@@ -1,0 +1,49 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+//! **§3 ablation bench**: sketching time of the quantization-based
+//! algorithm and its active-index accelerated version as the constant `C`
+//! grows — the `O(C·ΣS)` vs `O(log(C·ΣS))` separation of §4.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wmh_bench::bench_docs;
+use wmh_core::active::GollapudiSkip;
+use wmh_core::quantization::Haveliwala;
+use wmh_core::Sketcher;
+
+fn quantization_constant(c: &mut Criterion) {
+    let docs = bench_docs(8, 80, 17);
+    let d = 32;
+
+    let mut group = c.benchmark_group("ablation_quantization_constant");
+    group.sample_size(10);
+    for &constant in &[50.0f64, 200.0, 1000.0] {
+        let hav = Haveliwala::new(1, d, constant).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("haveliwala", constant as u64),
+            &constant,
+            |b, _| {
+                b.iter(|| {
+                    for doc in &docs {
+                        std::hint::black_box(hav.sketch(doc).expect("ok"));
+                    }
+                });
+            },
+        );
+        let gol = GollapudiSkip::new(1, d, constant).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("gollapudi_skip", constant as u64),
+            &constant,
+            |b, _| {
+                b.iter(|| {
+                    for doc in &docs {
+                        std::hint::black_box(gol.sketch(doc).expect("ok"));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, quantization_constant);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+//! **Extensions bench**: the efficiency claims of the §1/§7 extensions —
+//! one-permutation hashing's single-pass advantage over D-pass MinHash,
+//! b-bit truncation's estimation cost, and HistoSketch's per-item update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wmh_bench::bench_docs;
+use wmh_core::extensions::{BbitSketch, HistoSketch, OnePermutationHasher};
+use wmh_core::minhash::MinHash;
+use wmh_core::Sketcher;
+
+fn extensions(c: &mut Criterion) {
+    let docs = bench_docs(16, 300, 23);
+    let d = 256;
+
+    let mut group = c.benchmark_group("extensions");
+    group.throughput(Throughput::Elements(docs.len() as u64));
+
+    // §1: one permutation vs D permutations.
+    let mh = MinHash::new(1, d);
+    group.bench_function("minhash_d_passes", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                std::hint::black_box(mh.sketch(doc).expect("ok"));
+            }
+        });
+    });
+    let oph = OnePermutationHasher::new(1, d).expect("valid bins");
+    group.bench_function("one_permutation_single_pass", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                std::hint::black_box(oph.sketch(doc).expect("ok"));
+            }
+        });
+    });
+
+    // §1: b-bit estimation cost at different widths.
+    let sketches: Vec<_> = docs.iter().map(|doc| mh.sketch(doc).expect("ok")).collect();
+    for &bits in &[1u8, 8] {
+        let trunc: Vec<_> = sketches
+            .iter()
+            .map(|s| BbitSketch::from_sketch(s, bits).expect("valid"))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bbit_estimate", bits), &bits, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..trunc.len() {
+                    for j in (i + 1)..trunc.len() {
+                        acc += trunc[i].estimate_similarity(&trunc[j]).expect("compatible");
+                    }
+                }
+                std::hint::black_box(acc)
+            });
+        });
+    }
+
+    // §7: streaming updates.
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("histosketch_updates", |b| {
+        b.iter(|| {
+            let mut h = HistoSketch::new(1, 128).expect("valid D");
+            for i in 0..1_000u64 {
+                h.add(i % 97, 1.0).expect("valid mass");
+            }
+            std::hint::black_box(h.support_size())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, extensions);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+//! **Figure 9 bench**: sketching time of all thirteen algorithms vs
+//! fingerprint length `D` — the Criterion counterpart of the paper's
+//! runtime figure (the `fig9_runtime` binary prints the full matrix; this
+//! bench gives statistically rigorous per-algorithm timings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wmh_bench::bench_docs;
+use wmh_core::others::UpperBounds;
+use wmh_core::{Algorithm, AlgorithmConfig};
+
+fn sketching(c: &mut Criterion) {
+    let docs = bench_docs(16, 120, 7);
+    let config = AlgorithmConfig {
+        quantization_constant: 300.0,
+        upper_bounds: Some(UpperBounds::from_sets(docs.iter()).expect("non-empty")),
+        max_rejection_draws: 10_000_000,
+        ccws_weight_scale: 10.0,
+    };
+
+    let mut group = c.benchmark_group("fig9_sketching");
+    group.sample_size(10);
+    for &d in &[10usize, 50, 200] {
+        for algo in Algorithm::ALL {
+            // The quantization-based algorithms at D=200 dominate wall
+            // clock; bench them at the small D points only.
+            let heavy = matches!(
+                algo,
+                Algorithm::Haveliwala2000 | Algorithm::Haeupler2014
+            );
+            if heavy && d > 50 {
+                continue;
+            }
+            let sketcher = algo.build(1, d, &config).expect("buildable");
+            group.throughput(Throughput::Elements(docs.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), d),
+                &d,
+                |b, _| {
+                    b.iter(|| {
+                        for doc in &docs {
+                            let sk = sketcher.sketch(doc).expect("sketchable");
+                            std::hint::black_box(sk);
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sketching);
+criterion_main!(benches);

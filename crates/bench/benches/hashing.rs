@@ -1,0 +1,93 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+//! Microbenchmarks of the `wmh-hash` substrate: the mixers and permutation
+//! families every algorithm's inner loop is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wmh_hash::mix::{combine, fmix64, splitmix64};
+use wmh_hash::tabulation::TabulationHash;
+use wmh_hash::{MersennePermutation, SeededHash};
+
+fn hashing(c: &mut Criterion) {
+    let n = 4096u64;
+    let mut group = c.benchmark_group("hashing");
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("splitmix64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= splitmix64(i);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    group.bench_function("fmix64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= fmix64(i);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    group.bench_function("combine", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = combine(acc, i);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    let oracle = SeededHash::new(1);
+    group.bench_function("seeded_hash3", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= oracle.hash3(1, i, 2);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    group.bench_function("seeded_unit3", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..n {
+                acc += oracle.unit3(1, i, 2);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    let perm = MersennePermutation::new(&oracle, 0);
+    group.bench_function("mersenne_permutation", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= perm.apply(i);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    let tab = TabulationHash::new(&oracle, 0);
+    group.bench_function("tabulation", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= tab.hash(i);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, hashing);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+//! **Retrieval bench**: insert/query throughput of the banded LSH index —
+//! the application-side cost (§2.1's c-approximate NN) that the paper's
+//! fingerprints exist to pay for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wmh_bench::bench_docs;
+use wmh_core::cws::Icws;
+use wmh_lsh::{Bands, LshIndex};
+
+fn index_ops(c: &mut Criterion) {
+    let docs = bench_docs(256, 100, 19);
+    let bands = Bands::new(16, 4).expect("valid");
+
+    let mut group = c.benchmark_group("lsh_index");
+
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    group.bench_function("insert_256_docs", |b| {
+        b.iter(|| {
+            let mut idx =
+                LshIndex::new(Icws::new(1, bands.total_hashes()), bands).expect("fits");
+            for (id, d) in docs.iter().enumerate() {
+                idx.insert(id as u64, d).expect("non-empty");
+            }
+            std::hint::black_box(idx.len())
+        });
+    });
+
+    let mut idx = LshIndex::new(Icws::new(1, bands.total_hashes()), bands).expect("fits");
+    for (id, d) in docs.iter().enumerate() {
+        idx.insert(id as u64, d).expect("non-empty");
+    }
+    for &k in &[1usize, 10] {
+        group.throughput(Throughput::Elements(32));
+        group.bench_with_input(BenchmarkId::new("query_top_k", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in docs.iter().take(32) {
+                    std::hint::black_box(idx.query_top_k(q, k).expect("query works"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, index_ops);
+criterion_main!(benches);

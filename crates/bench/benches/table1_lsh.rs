@@ -1,0 +1,80 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+//! **Table 1 bench**: signature throughput of the classical LSH families
+//! the review surveys alongside MinHash.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wmh_bench::bench_docs;
+use wmh_core::minhash::MinHash;
+use wmh_core::Sketcher;
+use wmh_lsh::chi2::Chi2Lsh;
+use wmh_lsh::hamming::BitSamplingLsh;
+use wmh_lsh::pstable::{PStableLsh, Stable};
+use wmh_lsh::SimHash;
+
+fn lsh_families(c: &mut Criterion) {
+    let docs = bench_docs(16, 120, 13);
+    let d = 64;
+
+    let mut group = c.benchmark_group("table1_lsh_families");
+    group.throughput(Throughput::Elements(docs.len() as u64));
+
+    let mh = MinHash::new(1, d);
+    group.bench_function("minhash", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                std::hint::black_box(mh.sketch(doc).expect("ok"));
+            }
+        });
+    });
+
+    let sh = SimHash::new(1, d);
+    group.bench_function("simhash", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                std::hint::black_box(sh.signature(doc));
+            }
+        });
+    });
+
+    let gauss = PStableLsh::new(1, d, Stable::Gaussian, 4.0).expect("valid");
+    group.bench_function("pstable_gaussian", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                std::hint::black_box(gauss.signature(doc));
+            }
+        });
+    });
+
+    let cauchy = PStableLsh::new(1, d, Stable::Cauchy, 4.0).expect("valid");
+    group.bench_function("pstable_cauchy", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                std::hint::black_box(cauchy.signature(doc));
+            }
+        });
+    });
+
+    let bits = BitSamplingLsh::new(1, d, 5_000).expect("valid");
+    group.bench_function("hamming_bit_sampling", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                std::hint::black_box(bits.signature(doc));
+            }
+        });
+    });
+
+    let chi2 = Chi2Lsh::new(1, d, 1.0).expect("valid");
+    group.bench_function("chi2", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                std::hint::black_box(chi2.signature(doc));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, lsh_families);
+criterion_main!(benches);

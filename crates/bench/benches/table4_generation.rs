@@ -1,0 +1,36 @@
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+//! **Table 4 bench**: synthetic dataset generation and summary-statistics
+//! computation — the preprocessing cost of every experiment in §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wmh_data::{DatasetSummary, SynConfig};
+
+fn generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_generation");
+    for &(docs, features) in &[(100usize, 10_000u64), (400, 40_000)] {
+        let cfg = SynConfig {
+            docs,
+            features,
+            density: 0.005 * (100_000.0 / features as f64).sqrt(),
+            exponent: 3.0,
+            scale: 0.2,
+        };
+        group.throughput(Throughput::Elements(docs as u64));
+        group.bench_with_input(
+            BenchmarkId::new("generate", format!("{docs}x{features}")),
+            &cfg,
+            |b, cfg| b.iter(|| std::hint::black_box(cfg.generate(1).expect("valid"))),
+        );
+        let ds = cfg.generate(1).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("summarize", format!("{docs}x{features}")),
+            &ds,
+            |b, ds| b.iter(|| std::hint::black_box(DatasetSummary::compute(ds))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! # `wmh-bench` — shared workloads for the Criterion benchmarks
+//!
+//! One Criterion bench file exists per paper artifact with a runtime
+//! dimension:
+//!
+//! | Bench | Paper artifact |
+//! |---|---|
+//! | `benches/fig9_sketching.rs` | Figure 9 — per-algorithm sketching time vs `D` |
+//! | `benches/fig8_estimation.rs` | Figure 8 — the estimation loop (collision counting) |
+//! | `benches/table1_lsh.rs` | Table 1 — signature throughput of the LSH families |
+//! | `benches/table4_generation.rs` | Table 4 — dataset generation + summary |
+//! | `benches/ablation_quantization.rs` | §3's accuracy/runtime trade-off in `C` |
+//! | `benches/hashing.rs` | the `wmh-hash` substrate |
+
+use wmh_data::SynConfig;
+use wmh_sets::WeightedSet;
+
+/// A bench-sized paper dataset: power-law weights, paper-like per-document
+/// support, small enough for statistically meaningful Criterion runs.
+#[must_use]
+pub fn bench_docs(docs: usize, nnz_per_doc: usize, seed: u64) -> Vec<WeightedSet> {
+    let features = (nnz_per_doc * 40) as u64;
+    let cfg = SynConfig {
+        docs,
+        features,
+        density: nnz_per_doc as f64 / features as f64,
+        exponent: 3.0,
+        scale: 0.24,
+    };
+    cfg.generate(seed).expect("valid bench config").docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_docs_shape() {
+        let docs = bench_docs(10, 50, 1);
+        assert_eq!(docs.len(), 10);
+        assert!(docs.iter().all(|d| d.len() == 50));
+    }
+}

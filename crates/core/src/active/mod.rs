@@ -1,0 +1,5 @@
+//! "Active index"-based weighted MinHash for integer weights (paper §4.1).
+
+mod gollapudi_skip;
+
+pub use gollapudi_skip::GollapudiSkip;

@@ -1,0 +1,246 @@
+//! Improved Consistent Weighted Sampling \[49\] (paper §4.2.2).
+//!
+//! Ioffe's closed-form sampler: instead of exploring intervals, the two
+//! special active indices are drawn directly,
+//!
+//! ```text
+//! t_k  = ⌊ ln S_k / r_k + β_k ⌋            (the quantization step)
+//! y_k  = exp(r_k · (t_k − β_k))            (Eq. 10, = Eq. 7)
+//! z_k  = y_k · e^{r_k}                     (Eq. 6)
+//! a_k  = c_k / z_k                         (Eq. 9 / Eq. 11)
+//! ```
+//!
+//! with `r_k, c_k ~ Gamma(2,1)` and `β_k ~ Uniform(0,1)`, all consistent
+//! per-element draws. `a_k ~ Exp(S_k)`, so `argmin_k a_k` selects `k` with
+//! probability `S_k / Σ S_k` (Eq. 8 — uniformity); the floor makes `y_k`
+//! constant while `S_k` fluctuates within `[y_k, z_k)` (consistency). The
+//! fingerprint code is `(k, t_k)`, equivalent to the paper's `(k, y_k)`
+//! since `y_k` is a deterministic function of `(k, t_k)` and the shared
+//! randomness.
+//!
+//! Per element, ICWS consumes five uniforms (`r` and `c` take two each,
+//! `β` one) — the `O(5nD)` the review counts in §4.2.5.
+
+use crate::cws::encode_step;
+use crate::sketch::{pack3, Sketch, SketchError, Sketcher};
+use wmh_hash::seeded::role;
+use wmh_hash::SeededHash;
+use wmh_rng::gamma21_from_units;
+use wmh_sets::WeightedSet;
+
+/// Ioffe's ICWS sampler.
+///
+/// ```
+/// use wmh_core::{Sketcher, cws::Icws};
+/// use wmh_sets::WeightedSet;
+/// let icws = Icws::new(42, 512);
+/// let s = WeightedSet::from_pairs([(1, 2.0), (2, 1.0)]).unwrap();
+/// let t = WeightedSet::from_pairs([(1, 1.0), (2, 2.0)]).unwrap();
+/// let est = icws.sketch(&s).unwrap().estimate_similarity(&icws.sketch(&t).unwrap());
+/// assert!((est - 0.5).abs() < 0.15); // genJ = (1+1)/(2+2)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Icws {
+    oracle: SeededHash,
+    seed: u64,
+    num_hashes: usize,
+}
+
+/// One element's ICWS draw (exposed for tests and for the 0-bit variant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IcwsSample {
+    /// Quantization step `t_k` (can be negative for weights `< 1`).
+    pub step: i64,
+    /// `y_k ≤ S_k`, the sampled active index.
+    pub y: f64,
+    /// `z_k = y_k·e^{r_k} > S_k`, the paired upper active index.
+    pub z: f64,
+    /// The hash value `a_k ~ Exp(S_k)`.
+    pub a: f64,
+}
+
+impl Icws {
+    /// Catalog name.
+    pub const NAME: &'static str = "ICWS";
+
+    /// Create an ICWS sketcher.
+    #[must_use]
+    pub fn new(seed: u64, num_hashes: usize) -> Self {
+        Self { oracle: SeededHash::new(seed), seed, num_hashes }
+    }
+
+    /// The per-element draw for hash function `d`.
+    #[must_use]
+    pub fn element_sample(&self, d: usize, k: u64, s: f64) -> IcwsSample {
+        let d = d as u64;
+        let r = gamma21_from_units(
+            self.oracle.unit3(role::U1, d, k),
+            self.oracle.unit3(role::U2, d, k),
+        );
+        let beta = self.oracle.unit3(role::BETA, d, k);
+        let c = gamma21_from_units(
+            self.oracle.unit3(role::V1, d, k),
+            self.oracle.unit3(role::V2, d, k),
+        );
+        let t = (s.ln() / r + beta).floor();
+        let y = (r * (t - beta)).exp();
+        let z = y * r.exp();
+        IcwsSample { step: t as i64, y, z, a: c / z }
+    }
+
+    /// The full fingerprint sample for hash function `d`: the selected
+    /// element and its draw.
+    ///
+    /// # Panics
+    /// Panics on an empty set (guarded by [`Sketcher::sketch`]).
+    #[must_use]
+    pub fn sample(&self, set: &WeightedSet, d: usize) -> (u64, IcwsSample) {
+        set.iter()
+            .map(|(k, s)| (k, self.element_sample(d, k, s)))
+            .min_by(|(_, x), (_, y)| x.a.total_cmp(&y.a))
+            .expect("non-empty set")
+    }
+}
+
+impl Sketcher for Icws {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn num_hashes(&self) -> usize {
+        self.num_hashes
+    }
+
+    fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        if set.is_empty() {
+            return Err(SketchError::EmptySet);
+        }
+        let codes = (0..self.num_hashes)
+            .map(|d| {
+                let (k, smp) = self.sample(set, d);
+                pack3(d as u64, k, encode_step(smp.step))
+            })
+            .collect();
+        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_rng::stats::{binomial_z, ks_statistic};
+    use wmh_sets::generalized_jaccard;
+
+    fn ws(pairs: &[(u64, f64)]) -> WeightedSet {
+        WeightedSet::from_pairs(pairs.iter().copied()).expect("valid")
+    }
+
+    #[test]
+    fn sample_brackets_weight() {
+        // Ioffe Lemma: y_k ≤ S_k < z_k.
+        let icws = Icws::new(1, 1);
+        for k in 0..2000u64 {
+            let s = 0.05 + (k % 40) as f64 * 0.25;
+            let smp = icws.element_sample(0, k, s);
+            assert!(smp.y <= s * (1.0 + 1e-12), "y {} > s {}", smp.y, s);
+            assert!(smp.z > s * (1.0 - 1e-12), "z {} <= s {}", smp.z, s);
+            assert!(smp.a > 0.0);
+        }
+    }
+
+    #[test]
+    fn hash_value_is_exponential_in_weight() {
+        // The crux of uniformity: a_k ~ Exp(S_k) (proved in [49]).
+        let icws = Icws::new(2, 1);
+        for s in [0.3, 1.0, 4.2] {
+            let xs: Vec<f64> = (0..5000u64).map(|k| icws.element_sample(0, k, s).a).collect();
+            let d = ks_statistic(&xs, |x| 1.0 - (-s * x).exp());
+            assert!(d < 1.63 / (xs.len() as f64).sqrt() * 1.5, "s={s}: KS D = {d}");
+        }
+    }
+
+    #[test]
+    fn ln_y_is_uniform_in_window() {
+        // Eq. (7): ln y_k ~ Uniform(ln S_k − r_k, ln S_k); marginally,
+        // S/y = exp(r·(frac part)) — check y/S ∈ (0,1] and its law via
+        // the identity P(y/S > q) = E[(1 - ln q / -r)⁺]-ish; here we just
+        // verify the uniform *conditional* property empirically: β and the
+        // floor make (ln S − ln y)/r distributed as Uniform(0,1) in
+        // aggregate.
+        let icws = Icws::new(3, 1);
+        let s = 0.7;
+        let mut fracs = Vec::new();
+        for k in 0..5000u64 {
+            let d = 0usize;
+            let smp = icws.element_sample(d, k, s);
+            let r = (smp.z / smp.y).ln();
+            fracs.push((s.ln() - smp.y.ln()) / r);
+        }
+        let d = ks_statistic(&fracs, |x| x.clamp(0.0, 1.0));
+        assert!(d < 1.63 / (fracs.len() as f64).sqrt() * 1.5, "KS D = {d}");
+    }
+
+    #[test]
+    fn consistency_same_sample_for_compatible_weights() {
+        // If the weight moves but stays within [y_k, z_k), the sample (step,
+        // y) must not change (the consistency window of Fig. 5).
+        let icws = Icws::new(4, 1);
+        let mut checked = 0;
+        for k in 0..3000u64 {
+            let s = 1.7;
+            let smp = icws.element_sample(0, k, s);
+            let s2 = (smp.y + 0.5 * (smp.z - smp.y)).min(smp.z * 0.999);
+            if s2 > smp.y && s2 < smp.z {
+                let smp2 = icws.element_sample(0, k, s2);
+                assert_eq!(smp.step, smp2.step, "element {k}");
+                assert_eq!(smp.y, smp2.y, "element {k}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 2000, "too few checks: {checked}");
+    }
+
+    #[test]
+    fn selection_is_proportional_to_weight() {
+        let trials = 4000usize;
+        let icws = Icws::new(5, trials);
+        let set = ws(&[(10, 1.0), (20, 3.0)]);
+        let mut wins = 0u64;
+        for d in 0..trials {
+            let (k, _) = icws.sample(&set, d);
+            if k == 20 {
+                wins += 1;
+            }
+        }
+        let z = binomial_z(wins, trials as u64, 0.75);
+        assert!(z.abs() < 5.0, "z = {z}");
+    }
+
+    #[test]
+    fn estimates_generalized_jaccard() {
+        let d = 2048;
+        let icws = Icws::new(6, d);
+        let s = ws(&[(1, 0.31), (2, 0.17), (3, 0.55), (8, 1.4)]);
+        let t = ws(&[(1, 0.11), (2, 0.17), (9, 0.4), (8, 2.0)]);
+        let truth = generalized_jaccard(&s, &t);
+        let est = icws.sketch(&s).unwrap().estimate_similarity(&icws.sketch(&t).unwrap());
+        let sd = (truth * (1.0 - truth) / d as f64).sqrt();
+        assert!((est - truth).abs() < 5.0 * sd, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn handles_sub_unit_weights_with_negative_steps() {
+        let icws = Icws::new(7, 64);
+        let s = ws(&[(1, 0.001), (2, 0.002)]);
+        let sk = icws.sketch(&s).unwrap();
+        assert_eq!(sk.len(), 64);
+        // A negative step must occur for such tiny weights.
+        let any_negative = (0..64).any(|d| icws.element_sample(d, 1, 0.001).step < 0);
+        assert!(any_negative);
+    }
+
+    #[test]
+    fn empty_set_is_an_error() {
+        assert_eq!(Icws::new(8, 4).sketch(&WeightedSet::empty()), Err(SketchError::EmptySet));
+    }
+}

@@ -1,0 +1,214 @@
+//! b-bit minwise hashing (Li & König, WWW 2010; paper §1).
+//!
+//! Stores only the lowest `b` bits of each MinHash code. The collision
+//! probability of a `b`-bit code is `J + (1 − J)/2^b` (random codes agree on
+//! `b` bits with probability `2^{-b}`), so the unbiased estimator is
+//!
+//! ```text
+//! Ĵ = (p̂ − 2^{-b}) / (1 − 2^{-b})
+//! ```
+//!
+//! trading a variance factor for a `64/b` storage saving.
+
+use crate::sketch::{Sketch, SketchError};
+use serde::{Deserialize, Serialize};
+
+/// A truncated sketch holding only `b` bits per hash.
+///
+/// ```
+/// use wmh_core::{Sketcher, minhash::MinHash, extensions::BbitSketch};
+/// use wmh_sets::WeightedSet;
+/// let mh = MinHash::new(1, 256);
+/// let sk = mh.sketch(&WeightedSet::binary(0..40).unwrap()).unwrap();
+/// let b2 = BbitSketch::from_sketch(&sk, 2).unwrap();
+/// assert_eq!(b2.storage_bytes(), 256 / 32 * 8); // 32 codes per u64 word
+/// assert_eq!(b2.estimate_similarity(&b2).unwrap(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BbitSketch {
+    /// Provenance (copied from the source sketch).
+    pub algorithm: String,
+    /// Seed of the producing sketcher.
+    pub seed: u64,
+    /// Bits kept per code, `1 ..= 16`.
+    pub bits: u8,
+    /// Packed codes: each code occupies `bits` bits, little-endian within
+    /// consecutive `u64` words.
+    packed: Vec<u64>,
+    /// Number of codes.
+    len: usize,
+}
+
+impl BbitSketch {
+    /// Truncate a full sketch to its lowest `bits` bits per code.
+    ///
+    /// # Errors
+    /// [`SketchError::BadParameter`] for `bits` outside `1..=16` or an empty
+    /// source sketch.
+    pub fn from_sketch(sketch: &Sketch, bits: u8) -> Result<Self, SketchError> {
+        if !(1..=16).contains(&bits) {
+            return Err(SketchError::BadParameter { what: "b (bits per code)", value: f64::from(bits) });
+        }
+        if sketch.is_empty() {
+            return Err(SketchError::EmptySet);
+        }
+        let mask = (1u64 << bits) - 1;
+        let per_word = 64 / usize::from(bits);
+        let mut packed = vec![0u64; sketch.len().div_ceil(per_word)];
+        for (i, &code) in sketch.codes.iter().enumerate() {
+            let word = i / per_word;
+            let shift = (i % per_word) * usize::from(bits);
+            packed[word] |= (code & mask) << shift;
+        }
+        Ok(Self {
+            algorithm: sketch.algorithm.clone(),
+            seed: sketch.seed,
+            bits,
+            packed,
+            len: sketch.len(),
+        })
+    }
+
+    /// Number of codes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sketch has no codes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Storage in bytes (packed words only).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.packed.len() * 8
+    }
+
+    /// The `i`-th truncated code.
+    #[must_use]
+    pub fn code(&self, i: usize) -> u64 {
+        let per_word = 64 / usize::from(self.bits);
+        let mask = (1u64 << self.bits) - 1;
+        (self.packed[i / per_word] >> ((i % per_word) * usize::from(self.bits))) & mask
+    }
+
+    /// Raw collision fraction `p̂` of the truncated codes.
+    ///
+    /// # Errors
+    /// [`SketchError::Incompatible`] on provenance or shape mismatch.
+    pub fn collision_fraction(&self, other: &Self) -> Result<f64, SketchError> {
+        if self.algorithm != other.algorithm
+            || self.seed != other.seed
+            || self.len != other.len
+            || self.bits != other.bits
+            || self.len == 0
+        {
+            return Err(SketchError::Incompatible {
+                left: (self.algorithm.clone(), self.seed, self.len),
+                right: (other.algorithm.clone(), other.seed, other.len),
+            });
+        }
+        let hits = (0..self.len).filter(|&i| self.code(i) == other.code(i)).count();
+        Ok(hits as f64 / self.len as f64)
+    }
+
+    /// The debiased similarity estimator `(p̂ − 2^{-b}) / (1 − 2^{-b})`
+    /// (clamped to `[0, 1]`).
+    ///
+    /// # Errors
+    /// Same as [`Self::collision_fraction`].
+    pub fn estimate_similarity(&self, other: &Self) -> Result<f64, SketchError> {
+        let p = self.collision_fraction(other)?;
+        let floor = 0.5f64.powi(i32::from(self.bits));
+        Ok(((p - floor) / (1.0 - floor)).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHash;
+    use crate::sketch::Sketcher;
+    use wmh_sets::{jaccard, WeightedSet};
+
+    fn binary(r: std::ops::Range<u64>) -> WeightedSet {
+        WeightedSet::binary(r).expect("valid")
+    }
+
+    #[test]
+    fn rejects_bad_bits_and_empty() {
+        let mh = MinHash::new(1, 8);
+        let s = mh.sketch(&binary(0..10)).unwrap();
+        assert!(BbitSketch::from_sketch(&s, 0).is_err());
+        assert!(BbitSketch::from_sketch(&s, 17).is_err());
+        let empty = crate::sketch::Sketch { algorithm: "x".into(), seed: 0, codes: vec![] };
+        assert!(BbitSketch::from_sketch(&empty, 4).is_err());
+    }
+
+    #[test]
+    fn codes_roundtrip_lowest_bits() {
+        let s = crate::sketch::Sketch {
+            algorithm: "x".into(),
+            seed: 0,
+            codes: vec![0b1011, 0b0110, 0xFFFF_FFFF, 0],
+        };
+        let b = BbitSketch::from_sketch(&s, 3).unwrap();
+        assert_eq!(b.code(0), 0b011);
+        assert_eq!(b.code(1), 0b110);
+        assert_eq!(b.code(2), 0b111);
+        assert_eq!(b.code(3), 0);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn storage_shrinks_by_factor_64_over_b() {
+        let mh = MinHash::new(2, 256);
+        let s = mh.sketch(&binary(0..30)).unwrap();
+        let b1 = BbitSketch::from_sketch(&s, 1).unwrap();
+        let b8 = BbitSketch::from_sketch(&s, 8).unwrap();
+        assert_eq!(b1.storage_bytes(), 256 / 64 * 8);
+        assert_eq!(b8.storage_bytes(), 256 / 8 * 8);
+    }
+
+    #[test]
+    fn debiased_estimator_tracks_jaccard() {
+        let d = 4096;
+        let mh = MinHash::new(3, d);
+        let s = binary(0..60);
+        let t = binary(30..90);
+        let truth = jaccard(&s, &t); // 1/3
+        for bits in [1u8, 2, 4, 8] {
+            let a = BbitSketch::from_sketch(&mh.sketch(&s).unwrap(), bits).unwrap();
+            let b = BbitSketch::from_sketch(&mh.sketch(&t).unwrap(), bits).unwrap();
+            let est = a.estimate_similarity(&b).unwrap();
+            // Variance grows as bits shrink; 5σ of the debiased estimator.
+            let floor = 0.5f64.powi(i32::from(bits));
+            let p = truth + (1.0 - truth) * floor;
+            let sd = (p * (1.0 - p) / d as f64).sqrt() / (1.0 - floor);
+            assert!((est - truth).abs() < 5.0 * sd, "b={bits}: est {est} truth {truth}");
+        }
+    }
+
+    #[test]
+    fn incompatible_inputs_rejected() {
+        let mh = MinHash::new(4, 64);
+        let s = mh.sketch(&binary(0..10)).unwrap();
+        let a = BbitSketch::from_sketch(&s, 4).unwrap();
+        let b = BbitSketch::from_sketch(&s, 8).unwrap();
+        assert!(a.collision_fraction(&b).is_err(), "different b");
+        let mh2 = MinHash::new(5, 64);
+        let c = BbitSketch::from_sketch(&mh2.sketch(&binary(0..10)).unwrap(), 4).unwrap();
+        assert!(a.collision_fraction(&c).is_err(), "different seed");
+    }
+
+    #[test]
+    fn identical_inputs_estimate_one() {
+        let mh = MinHash::new(6, 128);
+        let s = mh.sketch(&binary(5..25)).unwrap();
+        let a = BbitSketch::from_sketch(&s, 2).unwrap();
+        assert_eq!(a.estimate_similarity(&a).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! HistoSketch-style streaming sketch with gradual forgetting (paper §7).
+//!
+//! The review's future-work section singles out streaming histograms with
+//! concept drift and points to HistoSketch \[55\]. This module implements
+//! that design on top of the workspace's consistent exponential race (the
+//! mechanism shared by \[Chum et al., 2008\] and the CWS family):
+//!
+//! * each slot `d` of the sketch holds the element with the minimum
+//!   consistent hash value `a_{d,k} = c_{d,k} / W_k` over the histogram
+//!   accumulated so far (`c_{d,k} ~ Exp(1)`, a pure function of `(d, k)`);
+//! * **incremental updates**: adding mass to element `k` only lowers
+//!   `a_{d,k}`, so each slot is updated in `O(1)` per stream item;
+//! * **gradual forgetting**: scaling the whole histogram by `λ < 1` scales
+//!   every `a` by `1/λ` *uniformly* — the argmin is unchanged — so decay
+//!   only re-weights the competition between old mass and *new* arrivals.
+//!   The implementation keeps the stored slot values exact by multiplying
+//!   them by `1/λ` on decay (the lazy-rescaling trick of \[55\]).
+//!
+//! Two sketches estimate the generalized Jaccard similarity of their decayed
+//! histograms by code collision, like every other sketch in this crate.
+
+use crate::sketch::{pack2, Sketch, SketchError};
+use wmh_hash::seeded::role;
+use wmh_hash::SeededHash;
+use wmh_sets::WeightedSet;
+use std::collections::HashMap;
+
+/// A streaming weighted-MinHash sketch with exponential decay.
+///
+/// ```
+/// use wmh_core::extensions::HistoSketch;
+/// let mut h = HistoSketch::new(1, 64).unwrap();
+/// h.add(10, 1.0).unwrap();
+/// h.add(10, 0.5).unwrap();
+/// h.decay(0.9).unwrap();
+/// assert!((h.weight(10) - 1.35).abs() < 1e-12);
+/// assert_eq!(h.sketch().unwrap().len(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoSketch {
+    oracle: SeededHash,
+    seed: u64,
+    num_hashes: usize,
+    /// Decayed histogram of the stream so far.
+    weights: HashMap<u64, f64>,
+    /// Per-slot current winner: `(element, hash value)`.
+    slots: Vec<Option<(u64, f64)>>,
+}
+
+impl HistoSketch {
+    /// Create an empty streaming sketch.
+    ///
+    /// # Errors
+    /// [`SketchError::BadParameter`] when `num_hashes == 0`.
+    pub fn new(seed: u64, num_hashes: usize) -> Result<Self, SketchError> {
+        if num_hashes == 0 {
+            return Err(SketchError::BadParameter { what: "num_hashes", value: 0.0 });
+        }
+        Ok(Self {
+            oracle: SeededHash::new(seed),
+            seed,
+            num_hashes,
+            weights: HashMap::new(),
+            slots: vec![None; num_hashes],
+        })
+    }
+
+    /// Number of distinct elements seen (with surviving mass).
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Current decayed weight of an element.
+    #[must_use]
+    pub fn weight(&self, k: u64) -> f64 {
+        self.weights.get(&k).copied().unwrap_or(0.0)
+    }
+
+    /// The consistent per-`(d, k)` exponential seed `c_{d,k} ~ Exp(1)`.
+    fn c(&self, d: usize, k: u64) -> f64 {
+        -self.oracle.unit3(role::CHUM, d as u64, k).ln()
+    }
+
+    /// Feed one stream item: add `mass` to element `k` and refresh the
+    /// affected slots in `O(D)`.
+    ///
+    /// # Errors
+    /// [`SketchError::BadParameter`] for non-finite or non-positive mass.
+    pub fn add(&mut self, k: u64, mass: f64) -> Result<(), SketchError> {
+        if !mass.is_finite() || mass <= 0.0 {
+            return Err(SketchError::BadParameter { what: "stream mass", value: mass });
+        }
+        let w = self.weights.entry(k).or_insert(0.0);
+        *w += mass;
+        let w = *w;
+        for d in 0..self.num_hashes {
+            let a = self.c(d, k) / w;
+            match &mut self.slots[d] {
+                Some((winner, best)) => {
+                    if *winner == k {
+                        // Same element, more mass: its value only improves.
+                        *best = a;
+                    } else if a < *best {
+                        *winner = k;
+                        *best = a;
+                    }
+                }
+                slot @ None => *slot = Some((k, a)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply gradual forgetting: multiply every accumulated weight by
+    /// `lambda ∈ (0, 1]`.
+    ///
+    /// The stored slot values are rescaled by `1/λ`, which keeps them exact
+    /// (`a = c/(λW) = (c/W)/λ`) without touching per-element state — decay
+    /// is `O(|support| + D)`.
+    ///
+    /// # Errors
+    /// [`SketchError::BadParameter`] for `lambda` outside `(0, 1]`.
+    pub fn decay(&mut self, lambda: f64) -> Result<(), SketchError> {
+        if !lambda.is_finite() || lambda <= 0.0 || lambda > 1.0 {
+            return Err(SketchError::BadParameter { what: "decay factor lambda", value: lambda });
+        }
+        if lambda == 1.0 {
+            return Ok(());
+        }
+        for w in self.weights.values_mut() {
+            *w *= lambda;
+        }
+        for slot in self.slots.iter_mut().flatten() {
+            slot.1 /= lambda;
+        }
+        Ok(())
+    }
+
+    /// The current fingerprint.
+    ///
+    /// # Errors
+    /// [`SketchError::EmptySet`] before any item arrived.
+    pub fn sketch(&self) -> Result<Sketch, SketchError> {
+        if self.weights.is_empty() {
+            return Err(SketchError::EmptySet);
+        }
+        let codes = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(d, slot)| {
+                let (k, _) = slot.expect("slots filled once any item arrived");
+                pack2(d as u64, k)
+            })
+            .collect();
+        Ok(Sketch { algorithm: "HistoSketch".to_owned(), seed: self.seed, codes })
+    }
+
+    /// The decayed histogram as a [`WeightedSet`] (for exact-similarity
+    /// cross-checks).
+    ///
+    /// # Errors
+    /// [`SketchError::EmptySet`] before any item arrived.
+    pub fn histogram(&self) -> Result<WeightedSet, SketchError> {
+        if self.weights.is_empty() {
+            return Err(SketchError::EmptySet);
+        }
+        WeightedSet::from_pairs(self.weights.iter().map(|(&k, &w)| (k, w)))
+            .map_err(|_| SketchError::BadParameter { what: "histogram weights", value: f64::NAN })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_sets::generalized_jaccard;
+
+    #[test]
+    fn construction_and_validation() {
+        assert!(HistoSketch::new(1, 0).is_err());
+        let mut h = HistoSketch::new(1, 8).unwrap();
+        assert!(h.sketch().is_err(), "empty stream has no sketch");
+        assert!(h.add(1, 0.0).is_err());
+        assert!(h.add(1, f64::NAN).is_err());
+        assert!(h.add(1, 1.0).is_ok());
+        assert!(h.decay(0.0).is_err());
+        assert!(h.decay(1.5).is_err());
+        assert!(h.decay(0.9).is_ok());
+        assert!(h.decay(1.0).is_ok());
+    }
+
+    #[test]
+    fn streaming_matches_batch_chum_race() {
+        // Feeding a histogram item-by-item must equal computing the race on
+        // the final histogram directly.
+        let mut h = HistoSketch::new(2, 64).unwrap();
+        h.add(1, 0.3).unwrap();
+        h.add(2, 1.0).unwrap();
+        h.add(1, 0.4).unwrap(); // total 0.7
+        h.add(3, 0.2).unwrap();
+        let streamed = h.sketch().unwrap();
+
+        let mut batch = HistoSketch::new(2, 64).unwrap();
+        batch.add(2, 1.0).unwrap();
+        batch.add(3, 0.2).unwrap();
+        batch.add(1, 0.7).unwrap();
+        assert_eq!(streamed.codes, batch.sketch().unwrap().codes);
+    }
+
+    #[test]
+    fn decay_alone_does_not_change_the_sketch() {
+        // Uniform scaling preserves the argmin.
+        let mut h = HistoSketch::new(3, 128).unwrap();
+        for k in 0..20u64 {
+            h.add(k, 0.1 + k as f64 * 0.05).unwrap();
+        }
+        let before = h.sketch().unwrap();
+        h.decay(0.5).unwrap();
+        assert_eq!(before.codes, h.sketch().unwrap().codes);
+    }
+
+    #[test]
+    fn decay_shifts_similarity_toward_recent_items() {
+        // Two streams share old history, then diverge. With decay the
+        // sketches drift apart faster than without.
+        let build = |lambda: f64| {
+            let mut a = HistoSketch::new(4, 512).unwrap();
+            let mut b = HistoSketch::new(4, 512).unwrap();
+            for k in 0..50u64 {
+                a.add(k, 1.0).unwrap();
+                b.add(k, 1.0).unwrap();
+            }
+            for _ in 0..30 {
+                a.decay(lambda).unwrap();
+                b.decay(lambda).unwrap();
+                for k in 0..5u64 {
+                    a.add(1000 + k, 1.0).unwrap(); // fresh, disjoint
+                    b.add(2000 + k, 1.0).unwrap();
+                }
+            }
+            a.sketch().unwrap().estimate_similarity(&b.sketch().unwrap())
+        };
+        let with_decay = build(0.8);
+        let without = build(1.0);
+        assert!(
+            with_decay < without - 0.05,
+            "decay {with_decay} should be well below no-decay {without}"
+        );
+    }
+
+    #[test]
+    fn sketch_estimates_histogram_similarity() {
+        let d = 2048;
+        let mut a = HistoSketch::new(5, d).unwrap();
+        let mut b = HistoSketch::new(5, d).unwrap();
+        for k in 0..30u64 {
+            a.add(k, 1.0 + (k % 3) as f64).unwrap();
+        }
+        for k in 15..45u64 {
+            b.add(k, 1.0 + (k % 3) as f64).unwrap();
+        }
+        let truth = generalized_jaccard(&a.histogram().unwrap(), &b.histogram().unwrap());
+        let est = a.sketch().unwrap().estimate_similarity(&b.sketch().unwrap());
+        // 0-bit-style codes: small upward bias allowed on top of CLT noise.
+        let sd = (truth * (1.0 - truth) / d as f64).sqrt();
+        assert!((est - truth).abs() < 5.0 * sd + 0.03, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn support_and_weight_accessors() {
+        let mut h = HistoSketch::new(6, 4).unwrap();
+        h.add(9, 2.0).unwrap();
+        h.add(9, 1.0).unwrap();
+        assert_eq!(h.support_size(), 1);
+        assert_eq!(h.weight(9), 3.0);
+        assert_eq!(h.weight(1), 0.0);
+        h.decay(0.5).unwrap();
+        assert_eq!(h.weight(9), 1.5);
+    }
+}

@@ -1,0 +1,25 @@
+//! Efficiency and streaming extensions the review discusses around the core
+//! taxonomy.
+//!
+//! * [`BbitSketch`] — b-bit minwise hashing (§1: *"b-bit MinHash
+//!   dramatically saves storage space by preserving only the lowest b bits
+//!   of each hash value"*);
+//! * [`OnePermutationHasher`] — one-permutation hashing with rotation
+//!   densification (§1: *"employs only one permutation to improve the
+//!   computational efficiency"*);
+//! * [`HistoSketch`] — the gradual-forgetting streaming sketch the
+//!   future-work section (§7) points to \[55\], built on top of the
+//!   consistent exponential race of \[Chum et al., 2008\]/ICWS;
+//! * [`StreamingIcws`] — exact incremental ICWS over add-only streams,
+//!   the "ICWS ... are good solutions" route of §7 (byte-identical to the
+//!   batch sketch, no feature-space pre-scan).
+
+mod bbit;
+mod histosketch;
+mod one_permutation;
+mod streaming_icws;
+
+pub use bbit::BbitSketch;
+pub use histosketch::HistoSketch;
+pub use one_permutation::OnePermutationHasher;
+pub use streaming_icws::StreamingIcws;

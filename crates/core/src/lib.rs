@@ -1,0 +1,49 @@
+//! # `wmh-core` — the thirteen (weighted) MinHash algorithms
+//!
+//! This crate is the paper's primary artifact: the standard MinHash
+//! algorithm (§2.2) plus the twelve weighted MinHash algorithms the review
+//! categorizes (§2.3, Tables 2–3), behind one [`Sketcher`] trait.
+//!
+//! | Category | Algorithms |
+//! |---|---|
+//! | baseline | [`minhash::MinHash`] |
+//! | quantization-based (§3) | [`quantization::Haveliwala`], [`quantization::Haeupler`] |
+//! | "active index"-based (§4) | [`active::GollapudiSkip`], [`cws::Cws`], [`cws::Icws`], [`cws::ZeroBitCws`], [`cws::Ccws`], [`cws::Pcws`], [`cws::I2cws`] |
+//! | others (§5) | [`others::GollapudiThreshold`], [`others::Chum`], [`others::Shrivastava`] |
+//!
+//! Every algorithm produces a [`Sketch`]: `D` 64-bit collision codes. Two
+//! sketches from the same configured algorithm estimate the (generalized)
+//! Jaccard similarity as the fraction of colliding codes — the estimator of
+//! paper §6.2:
+//!
+//! ```text
+//! Sim(S, T) = Σ_d 1(x_{S,d} = x_{T,d}) / D
+//! ```
+//!
+//! **Consistency protocol.** All randomness is derived from
+//! [`wmh_hash::SeededHash`] as a pure function of
+//! `(seed, d, element, role, step)`, so the same element in different sets
+//! receives the same random variables — the paper's "global random
+//! variables" requirement and the precondition for every collision-
+//! probability theorem quoted below.
+//!
+//! The [`catalog`] module exposes the review's taxonomy (Tables 2 and 3) as
+//! data, plus a uniform factory used by the evaluation harness. The
+//! [`extensions`] module implements the efficiency variants the review's
+//! introduction and future-work sections discuss: b-bit MinHash,
+//! one-permutation hashing with densification, and a HistoSketch-style
+//! streaming sketch with gradual forgetting.
+
+pub mod active;
+pub mod catalog;
+pub mod cws;
+pub mod extensions;
+pub mod minhash;
+pub mod others;
+pub mod quantization;
+pub mod sketch;
+pub mod store;
+
+pub use catalog::{Algorithm, AlgorithmConfig, Category};
+pub use sketch::{Sketch, SketchError, Sketcher};
+pub use store::SketchStore;

@@ -1,0 +1,10 @@
+//! The "others" category (paper §5): weighted MinHash via thresholding,
+//! exponential sampling, and rejection sampling.
+
+mod chum;
+mod gollapudi_threshold;
+mod shrivastava;
+
+pub use chum::Chum;
+pub use gollapudi_threshold::GollapudiThreshold;
+pub use shrivastava::{Shrivastava, UpperBounds, DEFAULT_MAX_DRAWS};

@@ -1,0 +1,63 @@
+//! Quantization-based weighted MinHash algorithms (paper §3).
+//!
+//! Both algorithms multiply every weight by a large constant `C`, split each
+//! element into unit-length subelements, and run plain MinHash over the
+//! augmented binary universe. They differ only in how the remaining
+//! fractional part is treated:
+//!
+//! * [`Haveliwala`] rounds it off (§3.1);
+//! * [`Haeupler`] keeps it with probability equal to its value (§3.2).
+//!
+//! Their cost is `O(C · Σ_k S_k)` hash evaluations per hash function — the
+//! review's Figure 9 shows them orders of magnitude slower than the
+//! "active index" family, which this crate's benches reproduce.
+
+mod haeupler;
+mod haveliwala;
+
+pub use haeupler::Haeupler;
+pub use haveliwala::Haveliwala;
+
+use crate::sketch::SketchError;
+
+/// Validate a quantization constant `C`.
+pub(crate) fn check_constant(c: f64) -> Result<(), SketchError> {
+    if !c.is_finite() || c <= 0.0 {
+        return Err(SketchError::BadParameter { what: "quantization constant C", value: c });
+    }
+    Ok(())
+}
+
+/// Quantized subelement count for weight `w` under constant `c`, rounding
+/// the fractional part *off* ([Haveliwala et al., 2000]).
+pub(crate) fn floor_quantize(w: f64, c: f64) -> u64 {
+    let scaled = w * c;
+    // Clamp pathological (but validated-finite) products.
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_validation() {
+        assert!(check_constant(1000.0).is_ok());
+        assert!(check_constant(0.0).is_err());
+        assert!(check_constant(-3.0).is_err());
+        assert!(check_constant(f64::NAN).is_err());
+        assert!(check_constant(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn floor_quantize_reference() {
+        assert_eq!(floor_quantize(0.2999, 1000.0), 299);
+        assert_eq!(floor_quantize(2.0, 1.0), 2);
+        assert_eq!(floor_quantize(0.0004, 1000.0), 0);
+        assert_eq!(floor_quantize(1e308, 1e308), u64::MAX);
+    }
+}

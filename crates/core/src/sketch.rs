@@ -1,0 +1,247 @@
+//! Sketches, the collision estimator, and the common [`Sketcher`] trait.
+
+use serde::{Deserialize, Serialize};
+use wmh_hash::mix::{combine, fmix64};
+use wmh_sets::WeightedSet;
+
+/// A MinHash fingerprint: `D` collision codes plus provenance.
+///
+/// Codes are opaque 64-bit values; equality of codes is the *collision*
+/// event whose probability each algorithm ties to the (generalized) Jaccard
+/// similarity. Structured codes such as ICWS's `(k, y_k)` are packed through
+/// [`pack2`]/[`pack3`], which are injective in practice (deterministic
+/// avalanche mixing; accidental 64-bit collisions are negligible at paper
+/// scales).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sketch {
+    /// Name of the producing algorithm (catalog name).
+    pub algorithm: String,
+    /// Master seed the producing sketcher was configured with.
+    pub seed: u64,
+    /// The `D` collision codes, indexed by hash function `d`.
+    pub codes: Vec<u64>,
+}
+
+impl Sketch {
+    /// Number of hash functions `D`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the sketch has no codes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The collision estimator of paper §6.2:
+    /// `Sim(S,T) = Σ_d 1(x_{S,d} = x_{T,d}) / D`.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Incompatible`] when the sketches come from
+    /// different algorithms, seeds or lengths — their codes would not share
+    /// the random variables the estimator's unbiasedness relies on.
+    pub fn try_estimate_similarity(&self, other: &Self) -> Result<f64, SketchError> {
+        if self.algorithm != other.algorithm
+            || self.seed != other.seed
+            || self.codes.len() != other.codes.len()
+            || self.codes.is_empty()
+        {
+            return Err(SketchError::Incompatible {
+                left: (self.algorithm.clone(), self.seed, self.codes.len()),
+                right: (other.algorithm.clone(), other.seed, other.codes.len()),
+            });
+        }
+        let hits = self
+            .codes
+            .iter()
+            .zip(&other.codes)
+            .filter(|(a, b)| a == b)
+            .count();
+        Ok(hits as f64 / self.codes.len() as f64)
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`Self::try_estimate_similarity`].
+    ///
+    /// # Panics
+    /// Panics when the sketches are incompatible (different algorithm, seed
+    /// or length).
+    #[must_use]
+    pub fn estimate_similarity(&self, other: &Self) -> f64 {
+        self.try_estimate_similarity(other)
+            .expect("sketches must come from the same configured sketcher")
+    }
+
+    /// Serialize the codes into a compact little-endian byte buffer
+    /// (`bytes::Bytes`), e.g. for storage alongside an index.
+    #[must_use]
+    pub fn code_bytes(&self) -> bytes::Bytes {
+        let mut buf = bytes::BytesMut::with_capacity(self.codes.len() * 8);
+        for &c in &self.codes {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        buf.freeze()
+    }
+}
+
+/// Errors produced by sketchers and the estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchError {
+    /// The input set has no elements: no MinHash is defined.
+    EmptySet,
+    /// A configuration parameter was invalid.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A weight exceeded a bound required by the algorithm (e.g.
+    /// [Shrivastava, 2016] pre-scanned upper bounds).
+    WeightExceedsBound {
+        /// Element whose weight broke the bound.
+        element: u64,
+        /// The weight.
+        weight: f64,
+        /// The bound that was exceeded.
+        bound: f64,
+    },
+    /// Estimator inputs from different algorithms / seeds / lengths.
+    Incompatible {
+        /// `(algorithm, seed, D)` of the left sketch.
+        left: (String, u64, usize),
+        /// `(algorithm, seed, D)` of the right sketch.
+        right: (String, u64, usize),
+    },
+}
+
+impl std::fmt::Display for SketchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptySet => write!(f, "cannot sketch an empty set"),
+            Self::BadParameter { what, value } => write!(f, "invalid {what}: {value}"),
+            Self::WeightExceedsBound { element, weight, bound } => write!(
+                f,
+                "element {element} weight {weight} exceeds pre-scanned bound {bound}"
+            ),
+            Self::Incompatible { left, right } => write!(
+                f,
+                "incompatible sketches: {}/seed {}/D={} vs {}/seed {}/D={}",
+                left.0, left.1, left.2, right.0, right.1, right.2
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// The common interface of all thirteen algorithms.
+pub trait Sketcher {
+    /// Catalog name (matches [`crate::catalog::Algorithm::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Fingerprint length `D`.
+    fn num_hashes(&self) -> usize;
+
+    /// Sketch a weighted set.
+    ///
+    /// # Errors
+    /// [`SketchError::EmptySet`] for empty inputs; algorithm-specific errors
+    /// (e.g. bound violations) as documented on each implementation.
+    fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError>;
+}
+
+/// Pack a 2-component structured code into an opaque 64-bit code.
+#[inline]
+#[must_use]
+pub fn pack2(a: u64, b: u64) -> u64 {
+    fmix64(combine(a ^ 0x5EE7_C0DE, b))
+}
+
+/// Pack a 3-component structured code into an opaque 64-bit code.
+#[inline]
+#[must_use]
+pub fn pack3(a: u64, b: u64, c: u64) -> u64 {
+    fmix64(combine(combine(a ^ 0x5EE7_C0DE, b), c))
+}
+
+/// Pack the bit pattern of an `f64` code component.
+///
+/// Collision semantics require *identical* floats (produced by identical
+/// arithmetic on identical inputs), so bit-pattern equality is exactly
+/// float equality here; `-0.0`/`0.0` never arise (codes are positive).
+#[inline]
+#[must_use]
+pub fn float_bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sk(alg: &str, seed: u64, codes: Vec<u64>) -> Sketch {
+        Sketch { algorithm: alg.to_owned(), seed, codes }
+    }
+
+    #[test]
+    fn estimator_counts_collisions() {
+        let a = sk("x", 1, vec![1, 2, 3, 4]);
+        let b = sk("x", 1, vec![1, 9, 3, 8]);
+        assert_eq!(a.try_estimate_similarity(&b).unwrap(), 0.5);
+        assert_eq!(a.estimate_similarity(&a), 1.0);
+    }
+
+    #[test]
+    fn estimator_rejects_mismatches() {
+        let a = sk("x", 1, vec![1, 2]);
+        assert!(matches!(
+            a.try_estimate_similarity(&sk("y", 1, vec![1, 2])),
+            Err(SketchError::Incompatible { .. })
+        ));
+        assert!(a.try_estimate_similarity(&sk("x", 2, vec![1, 2])).is_err());
+        assert!(a.try_estimate_similarity(&sk("x", 1, vec![1])).is_err());
+        let e = sk("x", 1, vec![]);
+        assert!(e.try_estimate_similarity(&e).is_err(), "empty sketches have no estimator");
+    }
+
+    #[test]
+    #[should_panic(expected = "same configured sketcher")]
+    fn panicking_wrapper_panics() {
+        let _ = sk("x", 1, vec![1]).estimate_similarity(&sk("y", 1, vec![1]));
+    }
+
+    #[test]
+    fn packers_distinguish_components_and_order() {
+        assert_ne!(pack2(1, 2), pack2(2, 1));
+        assert_ne!(pack2(1, 2), pack2(1, 3));
+        assert_ne!(pack3(1, 2, 3), pack3(3, 2, 1));
+        assert_ne!(pack2(1, 2), pack3(1, 2, 0));
+    }
+
+    #[test]
+    fn float_bits_is_exact_equality() {
+        let y = 0.1f64 + 0.2;
+        assert_eq!(float_bits(y), float_bits(0.1 + 0.2));
+        assert_ne!(float_bits(y), float_bits(0.3));
+    }
+
+    #[test]
+    fn code_bytes_roundtrip() {
+        let s = sk("x", 1, vec![0xDEAD_BEEF, 42]);
+        let b = s.code_bytes();
+        assert_eq!(b.len(), 16);
+        let back = u64::from_le_bytes(b[..8].try_into().unwrap());
+        assert_eq!(back, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn sketch_serde_roundtrip() {
+        let s = sk("icws", 7, vec![1, 2, 3]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

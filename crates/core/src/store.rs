@@ -1,0 +1,357 @@
+//! Compact binary storage for sketch collections.
+//!
+//! The review's application list (§1) includes enterprise information
+//! management \[16\], where fingerprints of large corpora are persisted and
+//! shipped between systems. This module defines a versioned little-endian
+//! binary format for a collection of same-provenance sketches:
+//!
+//! ```text
+//! magic "WMHS" | version u32 | algorithm len u32 | algorithm utf-8
+//! seed u64 | D u32 | count u32 | count × (id u64, D × code u64)
+//! ```
+//!
+//! All sketches in a store share `(algorithm, seed, D)` — the estimator's
+//! compatibility requirements — so the store re-validates on insert and the
+//! decoder can reconstruct comparable [`Sketch`] values.
+
+use crate::sketch::Sketch;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"WMHS";
+const VERSION: u32 = 1;
+
+/// An in-memory collection of compatible sketches with binary
+/// encode/decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchStore {
+    algorithm: String,
+    seed: u64,
+    num_hashes: usize,
+    ids: Vec<u64>,
+    codes: Vec<u64>, // row-major, num_hashes per id
+}
+
+/// Errors for [`SketchStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Inserted sketch does not match the store's provenance.
+    Incompatible {
+        /// Expected `(algorithm, seed, D)`.
+        expected: (String, u64, usize),
+        /// The offending sketch's `(algorithm, seed, D)`.
+        got: (String, u64, usize),
+    },
+    /// Duplicate document id.
+    DuplicateId(u64),
+    /// Unknown id on lookup.
+    UnknownId(u64),
+    /// Malformed or truncated buffer.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Incompatible { expected, got } => write!(
+                f,
+                "sketch {}/seed {}/D={} incompatible with store {}/seed {}/D={}",
+                got.0, got.1, got.2, expected.0, expected.1, expected.2
+            ),
+            Self::DuplicateId(id) => write!(f, "id {id} already stored"),
+            Self::UnknownId(id) => write!(f, "id {id} not in store"),
+            Self::Corrupt(what) => write!(f, "corrupt store buffer: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl SketchStore {
+    /// An empty store adopting the provenance of its first insert.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            algorithm: String::new(),
+            seed: 0,
+            num_hashes: 0,
+            ids: Vec::new(),
+            codes: Vec::new(),
+        }
+    }
+
+    /// Number of stored sketches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Insert a sketch under `id`.
+    ///
+    /// # Errors
+    /// [`StoreError::Incompatible`] on provenance mismatch with earlier
+    /// inserts; [`StoreError::DuplicateId`] on id reuse.
+    pub fn insert(&mut self, id: u64, sketch: &Sketch) -> Result<(), StoreError> {
+        if self.is_empty() {
+            self.algorithm = sketch.algorithm.clone();
+            self.seed = sketch.seed;
+            self.num_hashes = sketch.len();
+        } else if sketch.algorithm != self.algorithm
+            || sketch.seed != self.seed
+            || sketch.len() != self.num_hashes
+        {
+            return Err(StoreError::Incompatible {
+                expected: (self.algorithm.clone(), self.seed, self.num_hashes),
+                got: (sketch.algorithm.clone(), sketch.seed, sketch.len()),
+            });
+        }
+        if self.ids.contains(&id) {
+            return Err(StoreError::DuplicateId(id));
+        }
+        self.ids.push(id);
+        self.codes.extend_from_slice(&sketch.codes);
+        Ok(())
+    }
+
+    /// Reconstruct the sketch stored under `id`.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownId`] when absent.
+    pub fn get(&self, id: u64) -> Result<Sketch, StoreError> {
+        let pos = self
+            .ids
+            .iter()
+            .position(|&x| x == id)
+            .ok_or(StoreError::UnknownId(id))?;
+        let start = pos * self.num_hashes;
+        Ok(Sketch {
+            algorithm: self.algorithm.clone(),
+            seed: self.seed,
+            codes: self.codes[start..start + self.num_hashes].to_vec(),
+        })
+    }
+
+    /// All stored ids, in insertion order.
+    #[must_use]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Estimate the similarity of two stored documents.
+    ///
+    /// # Errors
+    /// [`StoreError::UnknownId`] for missing ids.
+    pub fn estimate(&self, a: u64, b: u64) -> Result<f64, StoreError> {
+        let sa = self.get(a)?;
+        let sb = self.get(b)?;
+        Ok(sa
+            .try_estimate_similarity(&sb)
+            .expect("stored sketches share provenance"))
+    }
+
+    /// Encode to the versioned binary format.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            32 + self.algorithm.len() + self.ids.len() * (8 + self.num_hashes * 8),
+        );
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.algorithm.len() as u32);
+        buf.put_slice(self.algorithm.as_bytes());
+        buf.put_u64_le(self.seed);
+        buf.put_u32_le(self.num_hashes as u32);
+        buf.put_u32_le(self.ids.len() as u32);
+        for (pos, &id) in self.ids.iter().enumerate() {
+            buf.put_u64_le(id);
+            let start = pos * self.num_hashes;
+            for &code in &self.codes[start..start + self.num_hashes] {
+                buf.put_u64_le(code);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from the binary format.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] for malformed input.
+    pub fn decode(mut buf: impl Buf) -> Result<Self, StoreError> {
+        let need = |buf: &dyn Buf, n: usize, what: &'static str| {
+            if buf.remaining() < n {
+                Err(StoreError::Corrupt(what))
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 4, "magic")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(StoreError::Corrupt("bad magic"));
+        }
+        need(&buf, 4, "version")?;
+        if buf.get_u32_le() != VERSION {
+            return Err(StoreError::Corrupt("unsupported version"));
+        }
+        need(&buf, 4, "algorithm length")?;
+        let alg_len = buf.get_u32_le() as usize;
+        if alg_len > 1024 {
+            return Err(StoreError::Corrupt("algorithm name too long"));
+        }
+        need(&buf, alg_len, "algorithm name")?;
+        let mut alg = vec![0u8; alg_len];
+        buf.copy_to_slice(&mut alg);
+        let algorithm =
+            String::from_utf8(alg).map_err(|_| StoreError::Corrupt("algorithm not utf-8"))?;
+        need(&buf, 8 + 4 + 4, "header")?;
+        let seed = buf.get_u64_le();
+        let num_hashes = buf.get_u32_le() as usize;
+        let count = buf.get_u32_le() as usize;
+        let mut ids = Vec::with_capacity(count);
+        let mut codes = Vec::with_capacity(count * num_hashes);
+        for _ in 0..count {
+            need(&buf, 8 + num_hashes * 8, "record")?;
+            ids.push(buf.get_u64_le());
+            for _ in 0..num_hashes {
+                codes.push(buf.get_u64_le());
+            }
+        }
+        if buf.has_remaining() {
+            return Err(StoreError::Corrupt("trailing bytes"));
+        }
+        Ok(Self { algorithm, seed, num_hashes, ids, codes })
+    }
+}
+
+impl Default for SketchStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cws::Icws;
+    use crate::sketch::Sketcher;
+    use wmh_sets::WeightedSet;
+
+    fn sketches() -> (Icws, Vec<(u64, Sketch)>) {
+        let icws = Icws::new(3, 32);
+        let out = (0..5u64)
+            .map(|i| {
+                let set = WeightedSet::from_pairs(
+                    (i * 10..i * 10 + 20).map(|k| (k, 1.0 + (k % 3) as f64)),
+                )
+                .expect("valid");
+                (i, icws.sketch(&set).expect("ok"))
+            })
+            .collect();
+        (icws, out)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (_, items) = sketches();
+        let mut store = SketchStore::new();
+        for (id, sk) in &items {
+            store.insert(*id, sk).expect("insert");
+        }
+        assert_eq!(store.len(), 5);
+        for (id, sk) in &items {
+            assert_eq!(&store.get(*id).expect("present"), sk);
+        }
+        assert_eq!(store.get(99), Err(StoreError::UnknownId(99)));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_mismatches() {
+        let (_, items) = sketches();
+        let mut store = SketchStore::new();
+        store.insert(0, &items[0].1).expect("insert");
+        assert_eq!(store.insert(0, &items[1].1), Err(StoreError::DuplicateId(0)));
+        // Different seed is incompatible.
+        let foreign = Icws::new(999, 32)
+            .sketch(&WeightedSet::from_pairs([(1, 1.0)]).expect("valid"))
+            .expect("ok");
+        assert!(matches!(
+            store.insert(7, &foreign),
+            Err(StoreError::Incompatible { .. })
+        ));
+        // Different D likewise.
+        let short = Icws::new(3, 16)
+            .sketch(&WeightedSet::from_pairs([(1, 1.0)]).expect("valid"))
+            .expect("ok");
+        assert!(matches!(store.insert(8, &short), Err(StoreError::Incompatible { .. })));
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let (_, items) = sketches();
+        let mut store = SketchStore::new();
+        for (id, sk) in &items {
+            store.insert(*id, sk).expect("insert");
+        }
+        let bytes = store.encode();
+        let back = SketchStore::decode(bytes.clone()).expect("decode");
+        assert_eq!(store, back);
+        // And estimates survive.
+        assert_eq!(store.estimate(0, 1).expect("ok"), back.estimate(0, 1).expect("ok"));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let (_, items) = sketches();
+        let mut store = SketchStore::new();
+        store.insert(0, &items[0].1).expect("insert");
+        let bytes = store.encode();
+
+        // Truncations at every prefix length fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let r = SketchStore::decode(&bytes[..cut]);
+            assert!(r.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            SketchStore::decode(&bad[..]),
+            Err(StoreError::Corrupt("bad magic"))
+        );
+        // Trailing garbage.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(
+            SketchStore::decode(&long[..]),
+            Err(StoreError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let store = SketchStore::new();
+        let back = SketchStore::decode(store.encode()).expect("decode");
+        assert!(back.is_empty());
+        assert_eq!(store, back);
+    }
+
+    #[test]
+    fn estimate_between_stored_documents() {
+        let icws = Icws::new(11, 512);
+        let s = WeightedSet::from_pairs((0..40u64).map(|k| (k, 1.0))).expect("valid");
+        let t = WeightedSet::from_pairs((20..60u64).map(|k| (k, 1.0))).expect("valid");
+        let mut store = SketchStore::new();
+        store.insert(1, &icws.sketch(&s).expect("ok")).expect("insert");
+        store.insert(2, &icws.sketch(&t).expect("ok")).expect("insert");
+        let est = store.estimate(1, 2).expect("ok");
+        let truth = wmh_sets::generalized_jaccard(&s, &t);
+        assert!((est - truth).abs() < 0.12, "est {est} truth {truth}");
+        assert_eq!(store.estimate(1, 9), Err(StoreError::UnknownId(9)));
+    }
+}

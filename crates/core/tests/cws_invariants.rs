@@ -1,0 +1,95 @@
+//! Property-based tests of the CWS-scheme invariants across the whole
+//! weight range (paper Definition 8 and the per-algorithm bracket laws).
+
+use proptest::prelude::*;
+use wmh_core::active::GollapudiSkip;
+use wmh_core::cws::{Ccws, Cws, I2cws, Icws, Pcws};
+
+fn weight() -> impl Strategy<Value = f64> {
+    // Log-uniform across 12 orders of magnitude.
+    (-6.0f64..6.0).prop_map(|e| 10f64.powf(e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn icws_bracket_and_positivity(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+        let icws = Icws::new(seed, 1);
+        let m = icws.element_sample(0, k, s);
+        prop_assert!(m.y <= s * (1.0 + 1e-9), "y {} s {}", m.y, s);
+        prop_assert!(m.z >= s * (1.0 - 1e-9), "z {} s {}", m.z, s);
+        prop_assert!(m.y > 0.0 && m.z.is_finite());
+        prop_assert!(m.a > 0.0 && m.a.is_finite());
+    }
+
+    #[test]
+    fn pcws_bracket_and_positivity(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+        let p = Pcws::new(seed, 1);
+        let (_, y, a) = p.element_sample(0, k, s);
+        prop_assert!(y <= s * (1.0 + 1e-9));
+        prop_assert!(y > 0.0 && a > 0.0 && a.is_finite());
+    }
+
+    #[test]
+    fn i2cws_bracket_and_positivity(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+        let i2 = I2cws::new(seed, 1);
+        let (z, a) = i2.element_z(0, k, s);
+        let (_, y) = i2.element_y(0, k, s);
+        prop_assert!(y <= s * (1.0 + 1e-9));
+        prop_assert!(z >= s * (1.0 - 1e-9));
+        prop_assert!(a > 0.0 && a.is_finite());
+    }
+
+    #[test]
+    fn ccws_default_pairing_is_total(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+        let c = Ccws::new(seed, 1);
+        let (_, _, a) = c.element_sample(0, k, s);
+        prop_assert!(a > 0.0 && a.is_finite());
+    }
+
+    #[test]
+    fn cws_record_is_inside_the_weight(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+        let cws = Cws::new(seed, 1);
+        let r = cws.element_sample(0, k, s);
+        prop_assert!(r.position > 0.0 && r.position <= s * (1.0 + 1e-9),
+            "position {} weight {}", r.position, s);
+        prop_assert!(r.value > 0.0 && r.value.is_finite());
+    }
+
+    #[test]
+    fn cws_monotone_in_weight(seed in any::<u64>(), k in any::<u64>(), s in weight(), grow in 1.01f64..100.0) {
+        // A larger weight can only lower the element's minimum hash value.
+        let cws = Cws::new(seed, 1);
+        let small = cws.element_sample(0, k, s);
+        let large = cws.element_sample(0, k, s * grow);
+        prop_assert!(large.value <= small.value * (1.0 + 1e-9),
+            "min grew with weight: {} -> {}", small.value, large.value);
+    }
+
+    #[test]
+    fn gollapudi_walk_monotone_in_weight(seed in any::<u64>(), k in any::<u64>(),
+                                          w1 in 1u64..2_000, extra in 0u64..2_000) {
+        let g = GollapudiSkip::new(seed, 1, 1.0).expect("valid constant");
+        let a = g.walk(0, k, w1).expect("w > 0");
+        let b = g.walk(0, k, w1 + extra).expect("w > 0");
+        prop_assert!(b.value <= a.value);
+        prop_assert!(b.index >= a.index || b.value < a.value);
+        prop_assert!(a.index < w1);
+    }
+
+    #[test]
+    fn icws_consistency_window_is_exact(seed in any::<u64>(), k in any::<u64>(), s in weight(),
+                                        frac in 0.001f64..0.999) {
+        // Any weight strictly inside (y, z) reproduces the same (y, z).
+        let icws = Icws::new(seed, 1);
+        let m = icws.element_sample(0, k, s);
+        let probe = m.y + frac * (m.z - m.y);
+        // Stay strictly inside the window despite float rounding.
+        prop_assume!(probe > m.y && probe < m.z);
+        let m2 = icws.element_sample(0, k, probe);
+        prop_assert_eq!(m.step, m2.step);
+        prop_assert_eq!(m.y, m2.y);
+        prop_assert_eq!(m.z, m2.z);
+    }
+}

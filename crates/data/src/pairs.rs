@@ -1,0 +1,196 @@
+//! Pair sampling and controlled-similarity pair construction.
+//!
+//! The MSE experiment (Figure 8) averages squared estimator error over
+//! document pairs; [`sample_pairs`] draws a uniform sample of distinct
+//! pairs so the laptop-scale default run does not need all ~500 000 of
+//! them. [`controlled_pair`] builds a pair with a *prescribed* generalized
+//! Jaccard similarity, used by calibration tests and the quickstart
+//! example.
+
+use wmh_rng::{Prng, Xoshiro256pp};
+use wmh_sets::WeightedSet;
+
+/// Sample `count` distinct unordered pairs `(i, j)`, `i < j`, from
+/// `0..n` uniformly (or all pairs if `count` covers them).
+///
+/// # Panics
+/// Panics when `n < 2`.
+#[must_use]
+pub fn sample_pairs(n: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(n >= 2, "need at least two documents to form pairs");
+    let total = n * (n - 1) / 2;
+    if count >= total {
+        let mut all = Vec::with_capacity(total);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                all.push((i, j));
+            }
+        }
+        return all;
+    }
+    // Sample distinct linear pair indices, then invert the triangular map.
+    let mut rng = Xoshiro256pp::new(seed ^ 0x9A17_55ED);
+    rng.sample_distinct(total as u64, count)
+        .into_iter()
+        .map(|lin| unrank_pair(lin, n))
+        .collect()
+}
+
+/// Invert the row-major triangular enumeration of pairs `(i, j)`, `i < j`.
+fn unrank_pair(lin: u64, n: usize) -> (usize, usize) {
+    // Row i starts at offset i·n − i(i+1)/2 − i … find by scan-free math:
+    // solve the quadratic, then fix up boundary cases.
+    let nf = n as f64;
+    let lf = lin as f64;
+    let mut i = (nf - 0.5 - (nf * nf - nf - 2.0 * lf + 0.25).max(0.0).sqrt()).floor() as usize;
+    loop {
+        let row_start = |i: usize| (i * (2 * n - i - 1) / 2) as u64;
+        if row_start(i) > lin {
+            i -= 1;
+            continue;
+        }
+        if i + 1 < n && row_start(i + 1) <= lin {
+            i += 1;
+            continue;
+        }
+        let j = i + 1 + (lin - row_start(i)) as usize;
+        return (i, j);
+    }
+}
+
+/// Build a pair of weighted sets whose generalized Jaccard similarity is
+/// exactly `target` (up to float rounding): both sets share `support`
+/// elements of weight 1, and each side carries private mass
+/// `p = support·(1 − J)/(2J)` (from `J = m/(m + 2p)`), spread over
+/// unit-weight private elements plus one fractional remainder so the weight
+/// profile stays natural.
+///
+/// # Panics
+/// Panics unless `0 < target ≤ 1`.
+#[must_use]
+pub fn controlled_pair(target: f64, support: usize, base_index: u64) -> (WeightedSet, WeightedSet) {
+    assert!(target > 0.0 && target <= 1.0, "target similarity out of (0, 1]");
+    let support = support.max(1);
+    let shared_mass = support as f64;
+    let private_mass = shared_mass * (1.0 - target) / (2.0 * target);
+    let mut s: Vec<(u64, f64)> = (0..support as u64).map(|k| (base_index + k, 1.0)).collect();
+    let mut t = s.clone();
+    // Spread each side's private mass over unit-weight elements, disjoint
+    // between the two sides.
+    let add_private = |out: &mut Vec<(u64, f64)>, side: u64| {
+        let whole = private_mass.floor() as u64;
+        let frac = private_mass - whole as f64;
+        let start = base_index + support as u64 + side * (whole + 2);
+        for i in 0..whole {
+            out.push((start + i, 1.0));
+        }
+        if frac > 1e-12 {
+            out.push((start + whole, frac));
+        }
+    };
+    if private_mass > 0.0 {
+        add_private(&mut s, 0);
+        add_private(&mut t, 1);
+    }
+    (
+        WeightedSet::from_pairs(s).expect("valid construction"),
+        WeightedSet::from_pairs(t).expect("valid construction"),
+    )
+}
+
+/// Histogram of exact pair similarities over a document sample: `bins`
+/// equal-width buckets on `[0, 1]`, returned as counts. Useful for judging
+/// which MSE regime an experiment runs in (the paper's synthetic pairs sit
+/// almost entirely in the first bucket).
+///
+/// # Panics
+/// Panics when `bins == 0` or fewer than two documents are given.
+#[must_use]
+pub fn similarity_histogram(docs: &[WeightedSet], max_pairs: usize, bins: usize, seed: u64) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    let pairs = sample_pairs(docs.len(), max_pairs, seed);
+    let mut counts = vec![0u64; bins];
+    for (i, j) in pairs {
+        let s = wmh_sets::generalized_jaccard(&docs[i], &docs[j]);
+        let b = ((s * bins as f64) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_sets::generalized_jaccard;
+
+    #[test]
+    fn sample_pairs_all_when_budget_covers() {
+        let pairs = sample_pairs(5, 100, 1);
+        assert_eq!(pairs.len(), 10);
+        assert!(pairs.iter().all(|&(i, j)| i < j && j < 5));
+        let set: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn sample_pairs_distinct_and_in_range() {
+        let pairs = sample_pairs(100, 500, 2);
+        assert_eq!(pairs.len(), 500);
+        let set: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), 500, "pairs must be distinct");
+        assert!(pairs.iter().all(|&(i, j)| i < j && j < 100));
+    }
+
+    #[test]
+    fn sample_pairs_is_deterministic() {
+        assert_eq!(sample_pairs(50, 30, 7), sample_pairs(50, 30, 7));
+        assert_ne!(sample_pairs(50, 30, 7), sample_pairs(50, 30, 8));
+    }
+
+    #[test]
+    fn unrank_covers_triangle_bijectively() {
+        let n = 13;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for lin in 0..total as u64 {
+            let (i, j) = unrank_pair(lin, n);
+            assert!(i < j && j < n, "lin {lin} → ({i}, {j})");
+            assert!(seen.insert((i, j)), "duplicate at {lin}");
+        }
+        assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn sample_pairs_needs_two_docs() {
+        let _ = sample_pairs(1, 1, 0);
+    }
+
+    #[test]
+    fn controlled_pair_hits_target() {
+        for target in [0.1, 0.25, 0.5, 0.9, 1.0] {
+            let (s, t) = controlled_pair(target, 20, 0);
+            let j = generalized_jaccard(&s, &t);
+            assert!((j - target).abs() < 1e-9, "target {target}: got {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn controlled_pair_rejects_zero() {
+        let _ = controlled_pair(0.0, 5, 0);
+    }
+
+    #[test]
+    fn similarity_histogram_buckets_correctly() {
+        // Three exact-duplicate docs and one disjoint doc: pairs land in
+        // the last bucket (sim 1) and the first (sim 0).
+        let a = WeightedSet::from_pairs([(1, 1.0), (2, 1.0)]).unwrap();
+        let b = WeightedSet::from_pairs([(9, 1.0)]).unwrap();
+        let docs = vec![a.clone(), a.clone(), a, b];
+        let h = similarity_histogram(&docs, 100, 10, 1);
+        assert_eq!(h.iter().sum::<u64>(), 6, "all C(4,2) pairs counted");
+        assert_eq!(h[9], 3, "three duplicate pairs at similarity 1");
+        assert_eq!(h[0], 3, "three disjoint pairs at similarity 0");
+    }
+}

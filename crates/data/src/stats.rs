@@ -1,0 +1,132 @@
+//! Dataset summary statistics — the columns of Table 4.
+
+use crate::synthetic::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// "# of Docs".
+    pub docs: usize,
+    /// "# of Features" (universe size).
+    pub features: u64,
+    /// "Average Density": mean fraction of universe elements with positive
+    /// weight per document.
+    pub avg_density: f64,
+    /// "Average Mean of Weights": for each element, the mean of its nonzero
+    /// weights across documents; averaged over elements.
+    pub avg_mean_weight: f64,
+    /// "Average Std of Weights": for each element, the sample standard
+    /// deviation (n−1, matching MATLAB's `std`) of its nonzero weights
+    /// across documents — 0 for elements seen once; averaged over elements.
+    pub avg_std_weight: f64,
+}
+
+impl DatasetSummary {
+    /// Compute the Table 4 row for a dataset.
+    #[must_use]
+    pub fn compute(dataset: &Dataset) -> Self {
+        let docs = dataset.docs.len();
+        let features = dataset.config.features;
+        let avg_density = if docs == 0 {
+            0.0
+        } else {
+            dataset
+                .docs
+                .iter()
+                .map(|d| d.len() as f64 / features as f64)
+                .sum::<f64>()
+                / docs as f64
+        };
+        // Per-element nonzero weights across documents.
+        let mut per_element: HashMap<u64, Vec<f64>> = HashMap::new();
+        for doc in &dataset.docs {
+            for (k, w) in doc.iter() {
+                per_element.entry(k).or_default().push(w);
+            }
+        }
+        let n_elem = per_element.len() as f64;
+        let (mut mean_acc, mut std_acc) = (0.0f64, 0.0f64);
+        for ws in per_element.values() {
+            let (mean, var) = wmh_rng::stats::mean_and_var(ws);
+            mean_acc += mean;
+            std_acc += var.sqrt();
+        }
+        let (avg_mean_weight, avg_std_weight) = if n_elem > 0.0 {
+            (mean_acc / n_elem, std_acc / n_elem)
+        } else {
+            (0.0, 0.0)
+        };
+        Self {
+            name: dataset.name.clone(),
+            docs,
+            features,
+            avg_density,
+            avg_mean_weight,
+            avg_std_weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynConfig;
+    use wmh_sets::WeightedSet;
+
+    #[test]
+    fn hand_computed_summary() {
+        let docs = vec![
+            WeightedSet::from_pairs([(0, 1.0), (1, 2.0)]).unwrap(),
+            WeightedSet::from_pairs([(0, 3.0)]).unwrap(),
+        ];
+        let cfg = SynConfig { docs: 2, features: 10, density: 0.15, exponent: 3.0, scale: 0.2 };
+        let ds = Dataset { name: "toy".into(), config: cfg, docs };
+        let s = DatasetSummary::compute(&ds);
+        assert_eq!(s.docs, 2);
+        assert_eq!(s.features, 10);
+        // Densities: 2/10 and 1/10 → 0.15.
+        assert!((s.avg_density - 0.15).abs() < 1e-12);
+        // Element 0: weights [1, 3] → mean 2, std √2; element 1: [2] → 2, 0.
+        assert!((s.avg_mean_weight - 2.0).abs() < 1e-12);
+        assert!((s.avg_std_weight - std::f64::consts::SQRT_2 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_summary_matches_generator_parameters() {
+        // A moderately sized SynESS sample must land near the paper's
+        // Table 4 row for s = 0.2: density 0.005, mean ≈ 0.30.
+        let cfg = SynConfig {
+            docs: 300,
+            features: 10_000,
+            density: 0.005,
+            exponent: 3.0,
+            scale: 0.2,
+        };
+        let ds = cfg.generate(42).unwrap();
+        let s = DatasetSummary::compute(&ds);
+        assert!((s.avg_density - 0.005).abs() < 1e-4, "density {}", s.avg_density);
+        assert!((s.avg_mean_weight - 0.30).abs() < 0.02, "mean {}", s.avg_mean_weight);
+        // Sample std of few heavy-tailed draws per element: positive and
+        // below the population value 0.173 (Table 4 reports ≈ 0.10).
+        assert!(
+            s.avg_std_weight > 0.02 && s.avg_std_weight < 0.173,
+            "std {}",
+            s.avg_std_weight
+        );
+    }
+
+    #[test]
+    fn empty_dataset_summary() {
+        let cfg = SynConfig { docs: 1, features: 10, density: 0.1, exponent: 3.0, scale: 0.2 };
+        let ds = Dataset { name: "empty".into(), config: cfg, docs: vec![] };
+        let s = DatasetSummary::compute(&ds);
+        assert_eq!(s.docs, 0);
+        assert_eq!(s.avg_density, 0.0);
+        assert_eq!(s.avg_mean_weight, 0.0);
+        assert_eq!(s.avg_std_weight, 0.0);
+    }
+}

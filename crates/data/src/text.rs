@@ -1,0 +1,180 @@
+//! Synthetic text-like workloads: Zipf token frequencies with topic
+//! mixtures.
+//!
+//! The paper's motivating domain is bag-of-words text (§1). Where the
+//! `SynESS` generator controls the *weight law* directly, this module
+//! controls the *token process*: documents draw tokens from a Zipf
+//! distribution over a topic vocabulary, which is what makes tf/tf-idf
+//! weights arise organically. Used by the classification pipeline tests
+//! and the streaming experiment.
+
+use serde::{Deserialize, Serialize};
+use wmh_rng::dist::Zipf;
+use wmh_rng::{Prng, Xoshiro256pp};
+use wmh_sets::WeightedSet;
+
+/// Configuration of a topic-mixture text corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TextConfig {
+    /// Number of topics; each owns a disjoint vocabulary block.
+    pub topics: usize,
+    /// Vocabulary size per topic.
+    pub vocab_per_topic: u64,
+    /// Tokens drawn per document.
+    pub tokens_per_doc: usize,
+    /// Zipf exponent of the within-topic token distribution.
+    pub zipf_exponent: f64,
+    /// Probability that a token comes from the document's own topic
+    /// (the remainder is drawn from a shared background topic 0).
+    pub topical_fraction: f64,
+}
+
+impl TextConfig {
+    /// A small default: 4 topics, 2 000-token vocabularies, 120 tokens per
+    /// document, Zipf(1.1), 70% topical.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            topics: 4,
+            vocab_per_topic: 2_000,
+            tokens_per_doc: 120,
+            zipf_exponent: 1.1,
+            topical_fraction: 0.7,
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    /// Returns a description of the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.topics == 0 {
+            return Err("topics must be positive".into());
+        }
+        if self.vocab_per_topic == 0 {
+            return Err("vocab_per_topic must be positive".into());
+        }
+        if self.tokens_per_doc == 0 {
+            return Err("tokens_per_doc must be positive".into());
+        }
+        if !(self.zipf_exponent.is_finite() && self.zipf_exponent >= 0.0) {
+            return Err(format!("zipf_exponent {} invalid", self.zipf_exponent));
+        }
+        if !(0.0..=1.0).contains(&self.topical_fraction) {
+            return Err(format!("topical_fraction {} outside [0, 1]", self.topical_fraction));
+        }
+        Ok(())
+    }
+
+    /// Generate `docs_per_topic` labeled tf documents per topic.
+    ///
+    /// Returns `(tf weighted set, topic label)` pairs; token ids are
+    /// `topic · vocab_per_topic + rank`.
+    ///
+    /// # Errors
+    /// Propagates [`Self::validate`] failures.
+    pub fn generate(
+        &self,
+        docs_per_topic: usize,
+        seed: u64,
+    ) -> Result<Vec<(WeightedSet, usize)>, String> {
+        self.validate()?;
+        let zipf = Zipf::new(self.vocab_per_topic as usize, self.zipf_exponent)
+            .map_err(|e| e.to_string())?;
+        let mut rng = Xoshiro256pp::new(seed ^ 0x7E97);
+        let mut out = Vec::with_capacity(self.topics * docs_per_topic);
+        for topic in 0..self.topics {
+            for _ in 0..docs_per_topic {
+                let mut counts: std::collections::BTreeMap<u64, u64> = Default::default();
+                for _ in 0..self.tokens_per_doc {
+                    let own = rng.next_f64() < self.topical_fraction;
+                    let block = if own { topic as u64 } else { 0 };
+                    let rank = zipf.sample(&mut rng) as u64 - 1;
+                    *counts.entry(block * self.vocab_per_topic + rank).or_insert(0) += 1;
+                }
+                let tf = WeightedSet::from_pairs(
+                    counts.into_iter().map(|(k, c)| (k, c as f64)),
+                )
+                .expect("counts positive");
+                out.push((tf, topic));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_sets::generalized_jaccard;
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = TextConfig::small();
+        c.topics = 0;
+        assert!(c.validate().is_err());
+        let mut c = TextConfig::small();
+        c.topical_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = TextConfig::small();
+        c.zipf_exponent = f64::NAN;
+        assert!(c.validate().is_err());
+        assert!(TextConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn corpus_shape_and_labels() {
+        let cfg = TextConfig::small();
+        let corpus = cfg.generate(5, 1).unwrap();
+        assert_eq!(corpus.len(), 20);
+        for (doc, topic) in &corpus {
+            assert!(*topic < 4);
+            assert!(!doc.is_empty());
+            // tf mass equals tokens drawn.
+            assert!((doc.total_weight() - 120.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_topic_documents_are_more_similar() {
+        let cfg = TextConfig::small();
+        let corpus = cfg.generate(6, 2).unwrap();
+        let same: Vec<f64> = (0..5)
+            .map(|i| generalized_jaccard(&corpus[i].0, &corpus[i + 1].0))
+            .collect();
+        let cross: Vec<f64> = (0..5)
+            .map(|i| generalized_jaccard(&corpus[i].0, &corpus[i + 7].0))
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&same) > mean(&cross) + 0.05,
+            "same-topic {} vs cross-topic {}",
+            mean(&same),
+            mean(&cross)
+        );
+    }
+
+    #[test]
+    fn token_frequencies_are_zipfian() {
+        // Rank-1 tokens should dominate: the max tf in a doc well above the
+        // median tf.
+        let cfg = TextConfig { tokens_per_doc: 500, ..TextConfig::small() };
+        let corpus = cfg.generate(1, 3).unwrap();
+        let doc = &corpus[0].0;
+        let mut ws: Vec<f64> = doc.weights().to_vec();
+        ws.sort_by(f64::total_cmp);
+        let median = ws[ws.len() / 2];
+        let max = ws[ws.len() - 1];
+        assert!(max >= 8.0 * median, "max {max} median {median}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = TextConfig::small();
+        let a = cfg.generate(2, 5).unwrap();
+        let b = cfg.generate(2, 5).unwrap();
+        let c = cfg.generate(2, 6).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,15 @@
+//! Measure the bias/variance decomposition of all thirteen estimators on
+//! controlled pairs — the quantitative backing for the unbiased/biased
+//! labels in Table 2 (paper §§3–5 discussion).
+
+use wmh_eval::experiments::bias;
+use wmh_eval::report::save_json;
+
+fn main() {
+    let cells = bias::bias_study(&[0.1, 0.3, 0.5, 0.7, 0.9], 512, 40);
+    println!("{}", bias::render(&cells));
+    match save_json(std::path::Path::new("results"), "bias_study", &cells) {
+        Ok(path) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

@@ -1,0 +1,50 @@
+//! Verify the paper's complexity accounting: linear-in-n scaling for the
+//! closed-form CWS family (O(4nD)/O(5nD)), and the C-scaling split between
+//! quantization (O(C·ΣS·D)) and active-index skipping (O(Σ log(C·S)·D)).
+
+use wmh_core::Algorithm;
+use wmh_eval::experiments::complexity;
+use wmh_eval::report::{fmt_value, save_json, Table};
+
+fn main() {
+    let algos = [
+        Algorithm::MinHash,
+        Algorithm::Icws,
+        Algorithm::ZeroBitCws,
+        Algorithm::Ccws,
+        Algorithm::Pcws,
+        Algorithm::I2cws,
+        Algorithm::Chum2008,
+    ];
+    let ns = [100usize, 200, 400, 800, 1600];
+    let points = complexity::scaling_study(&algos, &ns, 64, 16, 0xE5EED);
+
+    let mut t = Table::new(
+        std::iter::once("Algorithm".to_owned()).chain(ns.iter().map(|n| format!("n={n}"))),
+    );
+    for algo in algos {
+        let mut row = vec![algo.name().to_owned()];
+        for &n in &ns {
+            let p = points
+                .iter()
+                .find(|p| p.algorithm == algo.name() && p.n == n)
+                .expect("measured");
+            row.push(fmt_value(p.seconds));
+        }
+        t.row(row);
+    }
+    println!("Sketching seconds for 16 docs, D = 64, growing support n\n");
+    println!("{}", t.to_markdown());
+    println!("Growth factors (time-ratio / n-ratio; 1.0 = perfectly linear):");
+    for algo in algos {
+        println!(
+            "  {:<12} {:.2}",
+            algo.name(),
+            complexity::growth_factor(&points, algo.name())
+        );
+    }
+    match save_json(std::path::Path::new("results"), "complexity_study", &points) {
+        Ok(path) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

@@ -1,0 +1,40 @@
+//! Reproduce **Figure 8**: MSE of the generalized-Jaccard estimators vs
+//! fingerprint length `D`, for 13 algorithms × 6 power-law datasets.
+//!
+//! ```text
+//! cargo run --release -p wmh-eval --bin fig8_mse            # laptop scale
+//! cargo run --release -p wmh-eval --bin fig8_mse -- --full  # paper scale
+//! ```
+//!
+//! Results are printed (ASCII plots + tables) and saved to
+//! `results/fig8_<scale>.json`.
+
+use wmh_eval::experiments::figures;
+use wmh_eval::report::save_json;
+use wmh_eval::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::full()
+    } else if std::env::args().any(|a| a == "--medium") {
+        Scale::medium()
+    } else {
+        Scale::quick()
+    };
+    eprintln!(
+        "Figure 8 at scale '{}': {} docs x {} features, D = {:?}, {} repeats",
+        scale.label, scale.docs, scale.features, scale.d_values, scale.repeats
+    );
+    let (cells, rendered) = figures::figure8(&scale);
+    println!("{rendered}");
+
+    println!("Shape checks (paper §6.3):");
+    for (label, ok) in figures::check_figure8_shape(&scale, &cells) {
+        println!("  [{}] {label}", if ok { "PASS" } else { "FAIL" });
+    }
+
+    match save_json(std::path::Path::new("results"), &format!("fig8_{}", scale.label), &cells) {
+        Ok(path) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

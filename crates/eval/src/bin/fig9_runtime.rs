@@ -1,0 +1,36 @@
+//! Reproduce **Figure 9**: sketching runtime vs fingerprint length `D`.
+//!
+//! ```text
+//! cargo run --release -p wmh-eval --bin fig9_runtime            # laptop scale
+//! cargo run --release -p wmh-eval --bin fig9_runtime -- --full  # paper scale
+//! ```
+
+use wmh_eval::experiments::figures;
+use wmh_eval::report::save_json;
+use wmh_eval::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::full()
+    } else if std::env::args().any(|a| a == "--medium") {
+        Scale::medium()
+    } else {
+        Scale::quick()
+    };
+    eprintln!(
+        "Figure 9 at scale '{}': encoding {} docs per dataset, D = {:?}",
+        scale.label, scale.runtime_docs, scale.d_values
+    );
+    let (cells, rendered) = figures::figure9(&scale);
+    println!("{rendered}");
+
+    println!("Shape checks (paper §6.3):");
+    for (label, ok) in figures::check_figure9_shape(&scale, &cells) {
+        println!("  [{}] {label}", if ok { "PASS" } else { "FAIL" });
+    }
+
+    match save_json(std::path::Path::new("results"), &format!("fig9_{}", scale.label), &cells) {
+        Ok(path) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

@@ -1,0 +1,5 @@
+//! Trace the paper's didactic figures (1, 3–7) on their toy examples.
+
+fn main() {
+    println!("{}", wmh_eval::experiments::illustrations::all(0xE5EED));
+}

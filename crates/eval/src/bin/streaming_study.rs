@@ -1,0 +1,24 @@
+//! The §7 streaming study: batch re-sketching vs incremental ICWS vs the
+//! HistoSketch race over a token stream.
+
+use wmh_eval::experiments::streaming;
+use wmh_eval::report::{fmt_value, save_json, Table};
+
+fn main() {
+    let results = streaming::streaming_study(200, 20_000, 50, 0xE5EED);
+    let mut t = Table::new(["Strategy", "seconds", "mean |error|", "exact vs batch ICWS"]);
+    for r in &results {
+        t.row([
+            r.strategy.clone(),
+            fmt_value(r.seconds),
+            fmt_value(r.mean_abs_error),
+            r.exact_vs_batch.to_string(),
+        ]);
+    }
+    println!("Streaming maintenance over 20k items, D = 200, 50 checkpoints\n");
+    println!("{}", t.to_markdown());
+    match save_json(std::path::Path::new("results"), "streaming_study", &results) {
+        Ok(path) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

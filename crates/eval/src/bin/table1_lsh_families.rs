@@ -1,0 +1,10 @@
+//! Reproduce **Table 1**: the classical similarity measures and their LSH
+//! algorithms — each family is exercised live on a probe pair so the table
+//! shows the exact measure next to the family's estimate.
+
+use wmh_eval::experiments::tables;
+
+fn main() {
+    println!("Table 1 — Classical Similarity (Distance) Measures and LSH Algorithms\n");
+    println!("{}", tables::table1_demo(0xE5EED).to_markdown());
+}

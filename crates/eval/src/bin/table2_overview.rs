@@ -1,0 +1,13 @@
+//! Reproduce **Table 2**, **Table 3** and **Figure 2**: the review's
+//! taxonomy of weighted MinHash algorithms, rendered from the live catalog.
+
+use wmh_eval::experiments::tables;
+
+fn main() {
+    println!("Table 2 — An Overview of Weighted MinHash Algorithms\n");
+    println!("{}", tables::table2().to_markdown());
+    println!("Table 3 — The Algorithms of the CWS Scheme\n");
+    println!("{}", tables::table3().to_markdown());
+    println!("Figure 2 — An Overview of Weighted MinHash Algorithms\n");
+    println!("{}", tables::figure2_tree());
+}

@@ -1,0 +1,31 @@
+//! Reproduce **Table 4**: summary statistics of the six `SynESS` datasets.
+//!
+//! ```text
+//! cargo run --release -p wmh-eval --bin table4_datasets            # laptop scale
+//! cargo run --release -p wmh-eval --bin table4_datasets -- --full  # 1000 × 100k
+//! ```
+
+use wmh_data::PAPER_DATASETS;
+use wmh_eval::experiments::tables;
+use wmh_eval::report::save_json;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let configs: Vec<_> = if full {
+        PAPER_DATASETS.to_vec()
+    } else {
+        PAPER_DATASETS.iter().map(|c| c.scaled_down(200, 20_000)).collect()
+    };
+    let label = if full { "full" } else { "quick" };
+    eprintln!(
+        "Table 4 at scale '{label}': {} docs x {} features",
+        configs[0].docs, configs[0].features
+    );
+    let (table, summaries) = tables::table4(&configs, 0xE5EED);
+    println!("{}", table.to_markdown());
+    println!("Paper reference row (Syn3E0.2S): density 0.005, mean 0.2999, std 0.1035");
+    match save_json(std::path::Path::new("results"), &format!("table4_{label}"), &summaries) {
+        Ok(path) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

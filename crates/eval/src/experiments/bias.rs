@@ -1,0 +1,242 @@
+//! Bias/variance decomposition of every estimator across similarity levels.
+//!
+//! The review labels each algorithm unbiased or biased (our Table 2 catalog
+//! carries the flag); this study *measures* it: for controlled pairs with
+//! exact generalized Jaccard `J ∈ {0.1 … 0.9}`, it decomposes the estimator
+//! error into squared bias and variance over many independent seeds.
+//!
+//! `bias² + variance = MSE`, and for an unbiased estimator the variance
+//! floor is the binomial `J(1−J)/D`.
+
+use crate::report::{fmt_value, Table};
+use serde::{Deserialize, Serialize};
+use wmh_core::others::UpperBounds;
+use wmh_core::{Algorithm, AlgorithmConfig};
+use wmh_data::pairs::controlled_pair;
+use wmh_sets::generalized_jaccard;
+
+/// Which controlled-pair family a cell was measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairFamily {
+    /// Shared unit-weight support plus disjoint private mass: binary and
+    /// generalized Jaccard coincide, isolating pure estimator noise.
+    PrivateMass,
+    /// Identical support, one side scaled by the target: `genJ = scale`
+    /// while the binary Jaccard is 1 — the regime where weight-discarding
+    /// or weight-normalizing estimators must reveal their bias.
+    ScaledWeights,
+}
+
+/// One measured cell of the bias study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiasCell {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The pair family measured.
+    pub family: PairFamily,
+    /// Exact generalized Jaccard of the controlled pair.
+    pub target: f64,
+    /// Mean estimate over the seeds.
+    pub mean_estimate: f64,
+    /// Bias: `mean − target`.
+    pub bias: f64,
+    /// Variance of the estimates over seeds.
+    pub variance: f64,
+    /// The binomial variance floor `J(1−J)/D` of an ideal unbiased sketch.
+    pub binomial_floor: f64,
+}
+
+/// Run the bias study: `seeds` independent sketchers per algorithm per
+/// target similarity, fingerprint length `d`.
+///
+/// # Panics
+/// Panics on unbuildable algorithms (the config covers all thirteen).
+#[must_use]
+pub fn bias_study(targets: &[f64], d: usize, seeds: u64) -> Vec<BiasCell> {
+    let mut cells = Vec::new();
+    for &target in targets {
+        for family in [PairFamily::PrivateMass, PairFamily::ScaledWeights] {
+            let (s, t) = match family {
+                PairFamily::PrivateMass => controlled_pair(target, 30, 0),
+                PairFamily::ScaledWeights => {
+                    // Same support, mixed weights; one side scaled by the
+                    // target ⇒ genJ = target exactly (Σmin/Σmax = scale).
+                    let base = wmh_sets::WeightedSet::from_pairs(
+                        (0..30u64).map(|k| (k, 1.0 + (k % 4) as f64 * 0.5)),
+                    )
+                    .expect("valid");
+                    let scaled = base.scaled(target).expect("positive target");
+                    (base, scaled)
+                }
+            };
+            let truth = generalized_jaccard(&s, &t);
+            let config = AlgorithmConfig {
+                quantization_constant: 400.0,
+                upper_bounds: Some(UpperBounds::from_sets([&s, &t]).expect("non-empty")),
+                max_rejection_draws: 5_000_000,
+                ccws_weight_scale: 10.0,
+            };
+            for algo in Algorithm::ALL {
+                let estimates: Vec<f64> = (0..seeds)
+                    .map(|seed| {
+                        let sk = algo.build(seed, d, &config).expect("buildable");
+                        sk.sketch(&s)
+                            .expect("non-empty")
+                            .estimate_similarity(&sk.sketch(&t).expect("non-empty"))
+                    })
+                    .collect();
+                let (mean, variance) = wmh_rng::stats::mean_and_var(&estimates);
+                cells.push(BiasCell {
+                    algorithm: algo.name().to_owned(),
+                    family,
+                    target: truth,
+                    mean_estimate: mean,
+                    bias: mean - truth,
+                    variance,
+                    binomial_floor: truth * (1.0 - truth) / d as f64,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Render the study as one table per target.
+#[must_use]
+pub fn render(cells: &[BiasCell]) -> String {
+    let mut out = String::new();
+    let mut targets: Vec<f64> = cells.iter().map(|c| c.target).collect();
+    targets.sort_by(f64::total_cmp);
+    targets.dedup();
+    for target in targets {
+        for family in [PairFamily::PrivateMass, PairFamily::ScaledWeights] {
+            out.push_str(&format!(
+                "Target generalized Jaccard = {target:.3} ({family:?} pair)\n"
+            ));
+            let mut t =
+                Table::new(["Algorithm", "mean est", "bias", "variance", "binomial floor"]);
+            for c in cells
+                .iter()
+                .filter(|c| (c.target - target).abs() < 1e-12 && c.family == family)
+            {
+                t.row([
+                    c.algorithm.clone(),
+                    fmt_value(c.mean_estimate),
+                    fmt_value(c.bias),
+                    fmt_value(c.variance),
+                    fmt_value(c.binomial_floor),
+                ]);
+            }
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_algorithms_show_small_bias_on_both_families() {
+        let cells = bias_study(&[0.5], 256, 24);
+        for c in &cells {
+            let algo = Algorithm::by_name(&c.algorithm).expect("catalog name");
+            // Standard error of the mean over 24 seeds ≈ sqrt(var/24).
+            let se = (c.variance / 24.0).sqrt();
+            if algo.info().unbiased {
+                assert!(
+                    c.bias.abs() < 4.0 * se + 0.02,
+                    "{} ({:?}): bias {} (se {se})",
+                    c.algorithm,
+                    c.family,
+                    c.bias
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn i2cws_bias_matches_squared_agreement_law() {
+        // The independent-grid analysis (DESIGN.md §8): on a pair whose
+        // shared elements all have weight ratio ρ, I²CWS needs BOTH grids
+        // to agree, so its collision probability is ≈ ρ² where the exact
+        // value is ρ. At ρ = 0.5 the predicted estimate is ≈ 0.25.
+        let cells = bias_study(&[0.5], 256, 16);
+        let c = cells
+            .iter()
+            .find(|c| c.algorithm == "I2CWS" && c.family == PairFamily::ScaledWeights)
+            .expect("cell exists");
+        assert!(
+            (c.mean_estimate - 0.25).abs() < 0.05,
+            "I²CWS estimate {} should sit near ρ² = 0.25",
+            c.mean_estimate
+        );
+    }
+
+    #[test]
+    fn pcws_underestimates_scaled_pairs() {
+        // The DESIGN.md §8 finding: PCWS's heavy-tailed Ŝ breaks exact
+        // consistency in the subset-weights regime — a measurable negative
+        // bias where ICWS is exact.
+        let cells = bias_study(&[0.5], 256, 16);
+        let pcws = cells
+            .iter()
+            .find(|c| c.algorithm == "PCWS" && c.family == PairFamily::ScaledWeights)
+            .expect("cell exists");
+        let icws = cells
+            .iter()
+            .find(|c| c.algorithm == "ICWS" && c.family == PairFamily::ScaledWeights)
+            .expect("cell exists");
+        let se = (pcws.variance / 16.0).sqrt();
+        assert!(pcws.bias < -4.0 * se, "PCWS bias {} (se {se})", pcws.bias);
+        assert!(icws.bias.abs() < pcws.bias.abs(), "ICWS should be closer to exact");
+    }
+
+    #[test]
+    fn weight_blind_algorithms_reveal_bias_on_scaled_pairs() {
+        // Same support, scaled weights: genJ = 0.5 but the supports are
+        // identical, so support-only (MinHash) and normalization-based
+        // (Gollapudi(2)) and shape-only (Chum) estimators report ≈ 1.
+        let cells = bias_study(&[0.5], 256, 8);
+        for name in ["MinHash", "Gollapudi2006-Threshold", "Chum2008"] {
+            let c = cells
+                .iter()
+                .find(|c| c.algorithm == name && c.family == PairFamily::ScaledWeights)
+                .expect("cell exists");
+            assert!(
+                c.bias > 0.3,
+                "{name} should over-estimate scaled pairs: bias {}",
+                c.bias
+            );
+        }
+    }
+
+    #[test]
+    fn unbiased_variance_sits_near_binomial_floor() {
+        let cells = bias_study(&[0.5], 256, 24);
+        for c in &cells {
+            let algo = Algorithm::by_name(&c.algorithm).expect("catalog name");
+            if algo.info().unbiased {
+                // Variance within a small factor of the ideal binomial.
+                assert!(
+                    c.variance < 3.0 * c.binomial_floor + 1e-4,
+                    "{}: variance {} floor {}",
+                    c.algorithm,
+                    c.variance,
+                    c.binomial_floor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_covers_all_algorithms() {
+        let cells = bias_study(&[0.3], 64, 4);
+        let text = render(&cells);
+        for a in Algorithm::ALL {
+            assert!(text.contains(a.name()), "missing {}", a.name());
+        }
+    }
+}

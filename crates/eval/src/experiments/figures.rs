@@ -1,0 +1,247 @@
+//! Figures 8 and 9: rendering of the runner's measurements, plus the
+//! shape checks the paper's §6.3 narrates.
+
+use crate::report::{ascii_plot, fmt_value, Series, Table};
+use crate::runner::{run_mse, run_runtime, Measurement, MseCell, RuntimeCell, Scale};
+use wmh_core::Algorithm;
+
+/// Run Figure 8 (MSE vs `D`, 13 algorithms × datasets) and render one plot
+/// per dataset plus a summary table.
+#[must_use]
+pub fn figure8(scale: &Scale) -> (Vec<MseCell>, String) {
+    let cells = run_mse(scale, &Algorithm::ALL);
+    let rendered = render_mse(scale, &cells);
+    (cells, rendered)
+}
+
+/// Render pre-computed Figure 8 cells.
+#[must_use]
+pub fn render_mse(scale: &Scale, cells: &[MseCell]) -> String {
+    let mut out = String::new();
+    for cfg in &scale.datasets {
+        let name = cfg.name();
+        let series: Vec<Series> = Algorithm::ALL
+            .iter()
+            .map(|a| Series {
+                label: a.name().to_owned(),
+                points: cells
+                    .iter()
+                    .filter(|c| c.dataset == name && c.algorithm == a.name())
+                    .filter_map(|c| c.mse.value().map(|v| (c.d as f64, v)))
+                    .collect(),
+            })
+            .collect();
+        out.push_str(&ascii_plot(
+            &format!("Figure 8 — MSE of the generalized-Jaccard estimator, {name}"),
+            &series,
+            72,
+            20,
+        ));
+        out.push('\n');
+        let mut t = Table::new(
+            std::iter::once("Algorithm".to_owned())
+                .chain(scale.d_values.iter().map(|d| format!("D={d}"))),
+        );
+        for a in Algorithm::ALL {
+            let mut row = vec![a.name().to_owned()];
+            for &d in &scale.d_values {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.dataset == name && c.algorithm == a.name() && c.d == d);
+                row.push(match cell.map(|c| c.mse) {
+                    Some(Measurement::Value(v)) => fmt_value(v),
+                    Some(Measurement::TimedOut) => "timeout".to_owned(),
+                    None => "-".to_owned(),
+                });
+            }
+            t.row(row);
+        }
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    out
+}
+
+/// Run Figure 9 (runtime vs `D`) and render.
+#[must_use]
+pub fn figure9(scale: &Scale) -> (Vec<RuntimeCell>, String) {
+    let cells = run_runtime(scale, &Algorithm::ALL);
+    let rendered = render_runtime(scale, &cells);
+    (cells, rendered)
+}
+
+/// Render pre-computed Figure 9 cells.
+#[must_use]
+pub fn render_runtime(scale: &Scale, cells: &[RuntimeCell]) -> String {
+    let mut out = String::new();
+    for cfg in &scale.datasets {
+        let name = cfg.name();
+        let series: Vec<Series> = Algorithm::ALL
+            .iter()
+            .map(|a| Series {
+                label: a.name().to_owned(),
+                points: cells
+                    .iter()
+                    .filter(|c| c.dataset == name && c.algorithm == a.name())
+                    .filter_map(|c| c.seconds.value().map(|v| (c.d as f64, v)))
+                    .collect(),
+            })
+            .collect();
+        out.push_str(&ascii_plot(
+            &format!(
+                "Figure 9 — runtime (s) to encode {} docs, {name}",
+                scale.runtime_docs
+            ),
+            &series,
+            72,
+            20,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// The §6.3 shape assertions, evaluated on measured Figure 8 cells at the
+/// largest common `D`. Returns human-readable pass/fail lines (used by the
+/// binaries' summary and by the integration tests).
+#[must_use]
+pub fn check_figure8_shape(scale: &Scale, cells: &[MseCell]) -> Vec<(String, bool)> {
+    let d = *scale.d_values.iter().max().expect("non-empty grid");
+    let avg = |algo: Algorithm| -> Option<f64> {
+        let vs: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.algorithm == algo.name() && c.d == d)
+            .filter_map(|c| c.mse.value())
+            .collect();
+        (!vs.is_empty()).then(|| vs.iter().sum::<f64>() / vs.len() as f64)
+    };
+    let mut checks = Vec::new();
+    let mut push = |label: &str, ok: Option<bool>| {
+        checks.push((label.to_owned(), ok.unwrap_or(false)));
+    };
+    // "MinHash performs worst" (among the unbiased weighted algorithms).
+    push(
+        "MinHash MSE > ICWS MSE",
+        Some(avg(Algorithm::MinHash) > avg(Algorithm::Icws)),
+    );
+    push(
+        "MinHash MSE > CWS MSE",
+        Some(avg(Algorithm::MinHash) > avg(Algorithm::Cws)),
+    );
+    // "Haeupler performs nearly the same as Haveliwala".
+    if let (Some(a), Some(b)) = (avg(Algorithm::Haveliwala2000), avg(Algorithm::Haeupler2014)) {
+        push(
+            "Haveliwala ≈ Haeupler (within 25%)",
+            Some((a - b).abs() <= 0.25 * a.max(b)),
+        );
+    }
+    // "[Gollapudi](1) performs the same as Haveliwala".
+    if let (Some(a), Some(b)) = (avg(Algorithm::Haveliwala2000), avg(Algorithm::GollapudiActive)) {
+        push(
+            "Gollapudi(1) ≈ Haveliwala (within 25%)",
+            Some((a - b).abs() <= 0.25 * a.max(b)),
+        );
+    }
+    // "CCWS is inferior to all other CWS-based algorithms" — compared
+    // against the closed-form members (CWS itself is unbiased but has its
+    // own sampling noise at laptop scale).
+    if let Some(ccws) = avg(Algorithm::Ccws) {
+        let others = [Algorithm::Icws, Algorithm::Pcws, Algorithm::I2cws];
+        push(
+            "CCWS worst of the closed-form CWS family",
+            Some(others.iter().all(|&a| avg(a).is_some_and(|v| v <= ccws))),
+        );
+    }
+    // "ICWS performs almost the same as 0-bit CWS".
+    if let (Some(a), Some(b)) = (avg(Algorithm::Icws), avg(Algorithm::ZeroBitCws)) {
+        push("ICWS ≈ 0-bit CWS (within 50%)", Some((a - b).abs() <= 0.5 * a.max(b)));
+    }
+    // "[Chum] performs worse than most weighted MinHash algorithms".
+    push(
+        "Chum MSE > ICWS MSE",
+        Some(avg(Algorithm::Chum2008) > avg(Algorithm::Icws)),
+    );
+    checks
+}
+
+/// The §6.3 runtime-shape assertions at the largest `D`.
+#[must_use]
+pub fn check_figure9_shape(scale: &Scale, cells: &[RuntimeCell]) -> Vec<(String, bool)> {
+    let d = *scale.d_values.iter().max().expect("non-empty grid");
+    let avg = |algo: Algorithm| -> Option<f64> {
+        let vs: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.algorithm == algo.name() && c.d == d)
+            .filter_map(|c| c.seconds.value())
+            .collect();
+        (!vs.is_empty()).then(|| vs.iter().sum::<f64>() / vs.len() as f64)
+    };
+    let mut checks = Vec::new();
+    let mut push = |label: &str, ok: Option<bool>| {
+        checks.push((label.to_owned(), ok.unwrap_or(false)));
+    };
+    // Quantization ≫ active-index skipping.
+    push(
+        "Haveliwala slower than Gollapudi(1)",
+        Some(avg(Algorithm::Haveliwala2000) > avg(Algorithm::GollapudiActive)),
+    );
+    // CWS (interval traversal) slower than ICWS (closed form).
+    push(
+        "CWS slower than ICWS",
+        Some(avg(Algorithm::Cws) > avg(Algorithm::Icws)),
+    );
+    // Chum is the fastest weighted algorithm.
+    if let Some(chum) = avg(Algorithm::Chum2008) {
+        let weighted = [
+            Algorithm::Haveliwala2000,
+            Algorithm::Haeupler2014,
+            Algorithm::GollapudiActive,
+            Algorithm::Cws,
+            Algorithm::Icws,
+            Algorithm::Pcws,
+            Algorithm::I2cws,
+        ];
+        push(
+            "Chum fastest weighted algorithm",
+            Some(weighted.iter().all(|&a| avg(a).is_some_and(|v| v >= chum))),
+        );
+    }
+    // PCWS not slower than ICWS (one fewer uniform).
+    if let (Some(p), Some(i)) = (avg(Algorithm::Pcws), avg(Algorithm::Icws)) {
+        push("PCWS <= ICWS * 1.15", Some(p <= i * 1.15));
+    }
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_tiny_run_renders_and_checks() {
+        let mut scale = Scale::tiny();
+        scale.datasets.truncate(1);
+        let cells = run_mse(
+            &scale,
+            &[Algorithm::MinHash, Algorithm::Icws, Algorithm::Ccws, Algorithm::Pcws,
+              Algorithm::I2cws, Algorithm::Cws, Algorithm::ZeroBitCws, Algorithm::Chum2008],
+        );
+        let rendered = render_mse(&scale, &cells);
+        assert!(rendered.contains("Figure 8"));
+        assert!(rendered.contains("ICWS"));
+        let checks = check_figure8_shape(&scale, &cells);
+        assert!(!checks.is_empty());
+        let minhash_check = checks.iter().find(|(l, _)| l.contains("MinHash MSE > ICWS")).unwrap();
+        assert!(minhash_check.1, "MinHash should lose to ICWS even at tiny scale");
+    }
+
+    #[test]
+    fn figure9_tiny_run_renders() {
+        let mut scale = Scale::tiny();
+        scale.datasets.truncate(1);
+        scale.d_values = vec![10, 50];
+        let cells = run_runtime(&scale, &[Algorithm::Icws, Algorithm::Chum2008]);
+        let rendered = render_runtime(&scale, &cells);
+        assert!(rendered.contains("Figure 9"));
+    }
+}

@@ -1,0 +1,10 @@
+//! High-level reproductions of each paper artifact, shared by the binaries
+//! and the integration tests.
+
+pub mod ablations;
+pub mod bias;
+pub mod complexity;
+pub mod figures;
+pub mod illustrations;
+pub mod streaming;
+pub mod tables;

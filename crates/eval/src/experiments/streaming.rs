@@ -1,0 +1,212 @@
+//! The §7 streaming study: maintaining weighted MinHash sketches over a
+//! token stream.
+//!
+//! Compares three strategies the future-work section discusses:
+//!
+//! * **batch re-sketch** — re-run ICWS on the accumulated histogram at
+//!   every checkpoint (exact, but `O(n·D)` per checkpoint);
+//! * **incremental ICWS** ([`wmh_core::extensions::StreamingIcws`]) —
+//!   `O(D)` per stream item, byte-identical to batch;
+//! * **HistoSketch race** ([`wmh_core::extensions::HistoSketch`]) —
+//!   `O(D)` per item with `k`-only codes (0-bit-style) and decay support.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wmh_core::cws::Icws;
+use wmh_core::extensions::{HistoSketch, StreamingIcws};
+use wmh_core::Sketcher;
+use wmh_data::text::TextConfig;
+use wmh_sets::generalized_jaccard;
+
+/// Result of one streaming strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingResult {
+    /// Strategy label.
+    pub strategy: String,
+    /// Total maintenance seconds over the stream.
+    pub seconds: f64,
+    /// Mean absolute estimation error against the exact generalized
+    /// Jaccard at the checkpoints.
+    pub mean_abs_error: f64,
+    /// Whether the final sketch is byte-identical to batch ICWS.
+    pub exact_vs_batch: bool,
+}
+
+/// Run the study: two parallel token streams (same topic), sketches
+/// maintained per item, similarity estimated at `checkpoints` evenly spaced
+/// points.
+///
+/// # Panics
+/// Panics on internal configuration errors (fixed valid parameters).
+#[must_use]
+pub fn streaming_study(d: usize, items: usize, checkpoints: usize, seed: u64) -> Vec<StreamingResult> {
+    // Two documents' token streams drawn from overlapping topics.
+    let cfg = TextConfig { tokens_per_doc: items, ..TextConfig::small() };
+    let corpus = cfg.generate(2, seed).expect("valid config");
+    let stream_a: Vec<(u64, f64)> = explode(&corpus[0].0, seed);
+    let stream_b: Vec<(u64, f64)> = explode(&corpus[1].0, seed ^ 1);
+    let step = (items / checkpoints).max(1);
+
+    let mut results = Vec::new();
+
+    // Exact checkpoint truths, shared by all strategies.
+    let truths: Vec<f64> = {
+        let mut a = StreamingIcws::new(seed, 1).expect("valid D");
+        let mut b = StreamingIcws::new(seed, 1).expect("valid D");
+        let mut out = Vec::new();
+        for i in 0..items.min(stream_a.len()).min(stream_b.len()) {
+            a.add(stream_a[i].0, stream_a[i].1).expect("valid mass");
+            b.add(stream_b[i].0, stream_b[i].1).expect("valid mass");
+            if (i + 1) % step == 0 {
+                out.push(generalized_jaccard(
+                    &a.histogram().expect("non-empty"),
+                    &b.histogram().expect("non-empty"),
+                ));
+            }
+        }
+        out
+    };
+    let n = truths.len();
+
+    // Strategy 1: batch re-sketch at checkpoints.
+    {
+        let icws = Icws::new(seed, d);
+        let mut a = StreamingIcws::new(seed, 1).expect("valid D"); // histogram keeper
+        let mut b = StreamingIcws::new(seed, 1).expect("valid D");
+        let mut errors = Vec::new();
+        let start = Instant::now();
+        let mut ci = 0usize;
+        for i in 0..items.min(stream_a.len()).min(stream_b.len()) {
+            a.add(stream_a[i].0, stream_a[i].1).expect("valid mass");
+            b.add(stream_b[i].0, stream_b[i].1).expect("valid mass");
+            if (i + 1) % step == 0 && ci < n {
+                let sa = icws.sketch(&a.histogram().expect("ok")).expect("ok");
+                let sb = icws.sketch(&b.histogram().expect("ok")).expect("ok");
+                errors.push((sa.estimate_similarity(&sb) - truths[ci]).abs());
+                ci += 1;
+            }
+        }
+        results.push(StreamingResult {
+            strategy: "batch re-sketch".into(),
+            seconds: start.elapsed().as_secs_f64(),
+            mean_abs_error: errors.iter().sum::<f64>() / errors.len() as f64,
+            exact_vs_batch: true,
+        });
+    }
+
+    // Strategy 2: incremental ICWS.
+    {
+        let icws = Icws::new(seed, d);
+        let mut a = StreamingIcws::new(seed, d).expect("valid D");
+        let mut b = StreamingIcws::new(seed, d).expect("valid D");
+        let mut errors = Vec::new();
+        let start = Instant::now();
+        let mut ci = 0usize;
+        for i in 0..items.min(stream_a.len()).min(stream_b.len()) {
+            a.add(stream_a[i].0, stream_a[i].1).expect("valid mass");
+            b.add(stream_b[i].0, stream_b[i].1).expect("valid mass");
+            if (i + 1) % step == 0 && ci < n {
+                let est = a
+                    .sketch()
+                    .expect("ok")
+                    .estimate_similarity(&b.sketch().expect("ok"));
+                errors.push((est - truths[ci]).abs());
+                ci += 1;
+            }
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let exact = a.sketch().expect("ok").codes
+            == icws.sketch(&a.histogram().expect("ok")).expect("ok").codes;
+        results.push(StreamingResult {
+            strategy: "incremental ICWS".into(),
+            seconds,
+            mean_abs_error: errors.iter().sum::<f64>() / errors.len() as f64,
+            exact_vs_batch: exact,
+        });
+    }
+
+    // Strategy 3: HistoSketch (k-only codes, no decay here).
+    {
+        let mut a = HistoSketch::new(seed, d).expect("valid D");
+        let mut b = HistoSketch::new(seed, d).expect("valid D");
+        let mut errors = Vec::new();
+        let start = Instant::now();
+        let mut ci = 0usize;
+        for i in 0..items.min(stream_a.len()).min(stream_b.len()) {
+            a.add(stream_a[i].0, stream_a[i].1).expect("valid mass");
+            b.add(stream_b[i].0, stream_b[i].1).expect("valid mass");
+            if (i + 1) % step == 0 && ci < n {
+                let est = a
+                    .sketch()
+                    .expect("ok")
+                    .estimate_similarity(&b.sketch().expect("ok"));
+                errors.push((est - truths[ci]).abs());
+                ci += 1;
+            }
+        }
+        results.push(StreamingResult {
+            strategy: "HistoSketch race".into(),
+            seconds: start.elapsed().as_secs_f64(),
+            mean_abs_error: errors.iter().sum::<f64>() / errors.len() as f64,
+            exact_vs_batch: false,
+        });
+    }
+
+    results
+}
+
+/// Turn a tf histogram into a shuffled unit-mass token stream.
+fn explode(doc: &wmh_sets::WeightedSet, seed: u64) -> Vec<(u64, f64)> {
+    use wmh_rng::Prng;
+    let mut items = Vec::new();
+    for (k, w) in doc.iter() {
+        let whole = w as u64;
+        for _ in 0..whole {
+            items.push((k, 1.0));
+        }
+        let frac = w - whole as f64;
+        if frac > 1e-12 {
+            items.push((k, frac));
+        }
+    }
+    let mut rng = wmh_rng::Xoshiro256pp::new(seed ^ 0x57AE);
+    rng.shuffle(&mut items);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_produces_three_strategies() {
+        let results = streaming_study(64, 300, 5, 1);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.seconds > 0.0);
+            assert!(r.mean_abs_error.is_finite() && r.mean_abs_error >= 0.0);
+        }
+    }
+
+    #[test]
+    fn incremental_icws_is_exact_and_accuracy_matches_batch() {
+        let results = streaming_study(128, 300, 5, 2);
+        let batch = &results[0];
+        let incr = &results[1];
+        assert!(incr.exact_vs_batch, "incremental ICWS must equal batch");
+        // Same estimator ⇒ same checkpoint errors (both exact ICWS codes).
+        assert!((incr.mean_abs_error - batch.mean_abs_error).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_is_cheaper_than_batch_resketch_per_checkpoint() {
+        // With many checkpoints, batch re-sketching pays O(n·D) each time.
+        let results = streaming_study(64, 2_000, 40, 3);
+        let batch = results[0].seconds;
+        let incr = results[1].seconds;
+        assert!(
+            batch > incr * 0.8,
+            "batch {batch}s unexpectedly much faster than incremental {incr}s"
+        );
+    }
+}

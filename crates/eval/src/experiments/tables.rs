@@ -1,0 +1,243 @@
+//! Tables 1–4 of the paper as renderable artifacts.
+
+use crate::report::{fmt_value, Table};
+use wmh_core::{Algorithm, Category};
+use wmh_data::{DatasetSummary, SynConfig};
+use wmh_sets::WeightedSet;
+
+/// Table 1: similarity measures and their LSH families, demonstrated live —
+/// each family is run on a probe pair and its estimate printed next to the
+/// exact measure.
+#[must_use]
+pub fn table1_demo(seed: u64) -> Table {
+    // A probe pair with overlap in support and weights.
+    let v = WeightedSet::from_pairs((0..60u64).map(|k| (k, 1.0 + (k % 4) as f64 * 0.4)))
+        .expect("valid");
+    let w = WeightedSet::from_pairs((30..90u64).map(|k| (k, 1.0 + (k % 5) as f64 * 0.3)))
+        .expect("valid");
+
+    let mut t = Table::new([
+        "Similarity (Distance) Measure",
+        "LSH Algorithm",
+        "Exact",
+        "Estimated",
+    ]);
+
+    // l2 via Gaussian p-stable: report collision probability model vs rate.
+    let lsh = wmh_lsh::pstable::PStableLsh::new(seed, 2000, wmh_lsh::pstable::Stable::Gaussian, 8.0)
+        .expect("valid width");
+    let c = wmh_sets::lp_distance(&v, &w, 2.0);
+    let hits = (0..2000)
+        .filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&w, d))
+        .count() as f64
+        / 2000.0;
+    t.row([
+        "l_p distance, p in (0,2]".to_owned(),
+        "LSH with p-stable distribution [11]".to_owned(),
+        format!("p(c={}) = {}", fmt_value(c), fmt_value(lsh.collision_probability(c))),
+        format!("collision rate {}", fmt_value(hits)),
+    ]);
+
+    // Cosine via SimHash.
+    let sh = wmh_lsh::SimHash::new(seed, 2000);
+    t.row([
+        "Cosine similarity".to_owned(),
+        "SimHash [9]".to_owned(),
+        fmt_value(wmh_sets::cosine_similarity(&v, &w)),
+        fmt_value(sh.signature(&v).estimate_cosine(&sh.signature(&w))),
+    ]);
+
+    // Jaccard via MinHash.
+    use wmh_core::Sketcher;
+    let mh = wmh_core::minhash::MinHash::new(seed, 2000);
+    t.row([
+        "Jaccard similarity".to_owned(),
+        "MinHash [8], [25]".to_owned(),
+        fmt_value(wmh_sets::jaccard(&v, &w)),
+        fmt_value(
+            mh.sketch(&v)
+                .expect("non-empty")
+                .estimate_similarity(&mh.sketch(&w).expect("non-empty")),
+        ),
+    ]);
+
+    // Hamming via bit sampling.
+    let bs = wmh_lsh::hamming::BitSamplingLsh::new(seed, 4000, 1000).expect("valid universe");
+    t.row([
+        "Hamming distance".to_owned(),
+        "[Indyk and Motwani, 1998] [6]".to_owned(),
+        format!("{}", wmh_sets::hamming_distance(&v, &w)),
+        fmt_value(bs.estimate_distance(&bs.signature(&v), &bs.signature(&w))),
+    ]);
+
+    // Chi2 via chi2-LSH: report empirical collision rate (no closed form).
+    let chi = wmh_lsh::chi2::Chi2Lsh::new(seed, 2000, 2.0).expect("valid width");
+    let chits = (0..2000)
+        .filter(|&d| chi.bucket(&v, d) == chi.bucket(&w, d))
+        .count() as f64
+        / 2000.0;
+    t.row([
+        "Chi^2 distance".to_owned(),
+        "Chi^2-LSH [26]".to_owned(),
+        format!("chi2 = {}", fmt_value(wmh_sets::chi2_distance(&v, &w))),
+        format!("collision rate {}", fmt_value(chits)),
+    ]);
+
+    // Generalized Jaccard via ICWS (the paper's own subject).
+    let icws = wmh_core::cws::Icws::new(seed, 2000);
+    t.row([
+        "Generalized Jaccard similarity".to_owned(),
+        "Weighted MinHash (ICWS [49])".to_owned(),
+        fmt_value(wmh_sets::generalized_jaccard(&v, &w)),
+        fmt_value(
+            icws.sketch(&v)
+                .expect("non-empty")
+                .estimate_similarity(&icws.sketch(&w).expect("non-empty")),
+        ),
+    ]);
+    t
+}
+
+/// Table 2: the overview of weighted MinHash algorithms.
+#[must_use]
+pub fn table2() -> Table {
+    let mut t = Table::new([
+        "Category",
+        "Algorithm",
+        "Preprocessing",
+        "Characteristics",
+        "Time complexity",
+    ]);
+    for a in Algorithm::ALL {
+        if a == Algorithm::MinHash {
+            continue; // Table 2 lists only the weighted algorithms.
+        }
+        let info = a.info();
+        t.row([
+            info.category.label(),
+            info.name,
+            info.preprocessing,
+            info.characteristics,
+            info.time_complexity,
+        ]);
+    }
+    t
+}
+
+/// Table 3: the CWS-scheme lineage.
+#[must_use]
+pub fn table3() -> Table {
+    let mut t = Table::new(["Algorithm", "Brief Description", "Reference"]);
+    for a in Algorithm::CWS_SCHEME {
+        let info = a.info();
+        t.row([info.name, info.characteristics, info.reference]);
+    }
+    t
+}
+
+/// Figure 2: the taxonomy as an ASCII tree.
+#[must_use]
+pub fn figure2_tree() -> String {
+    let mut out = String::from("Weighted MinHash Algorithms\n");
+    for cat in [
+        Category::Quantization,
+        Category::ActiveIndex,
+        Category::ConsistentWeightedSampling,
+        Category::Others,
+    ] {
+        out.push_str(&format!("├─ {}\n", cat.label()));
+        for a in Algorithm::ALL {
+            if a.info().category == cat {
+                out.push_str(&format!("│   ├─ {} ({})\n", a.name(), a.info().reference));
+            }
+        }
+    }
+    out
+}
+
+/// Table 4: generate each dataset and compute its summary row. Returns the
+/// rendered table and the raw summaries (recorded in EXPERIMENTS.md).
+#[must_use]
+pub fn table4(configs: &[SynConfig], seed: u64) -> (Table, Vec<DatasetSummary>) {
+    let mut t = Table::new([
+        "Data Set",
+        "# of Docs",
+        "# of Features",
+        "Average Density",
+        "Average Mean of Weights",
+        "Average Std of Weights",
+    ]);
+    let mut summaries = Vec::new();
+    for cfg in configs {
+        let ds = cfg.generate(seed).expect("valid dataset config");
+        let s = DatasetSummary::compute(&ds);
+        t.row([
+            s.name.clone(),
+            s.docs.to_string(),
+            s.features.to_string(),
+            fmt_value(s.avg_density),
+            fmt_value(s.avg_mean_weight),
+            fmt_value(s.avg_std_weight),
+        ]);
+        summaries.push(s);
+    }
+    (t, summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_data::PAPER_DATASETS;
+
+    #[test]
+    fn table1_has_all_six_measures() {
+        let t = table1_demo(42);
+        assert_eq!(t.len(), 6);
+        let md = t.to_markdown();
+        assert!(md.contains("SimHash"));
+        assert!(md.contains("MinHash"));
+        assert!(md.contains("p-stable"));
+        assert!(md.contains("ICWS"));
+    }
+
+    #[test]
+    fn table2_lists_twelve_weighted_algorithms() {
+        let t = table2();
+        assert_eq!(t.len(), 12);
+        let md = t.to_markdown();
+        assert!(md.contains("Quantization-based"));
+        assert!(md.contains("Rejection sampling"));
+    }
+
+    #[test]
+    fn table3_lists_cws_family() {
+        let t = table3();
+        assert_eq!(t.len(), 6);
+        assert!(t.to_markdown().contains("I2CWS"));
+    }
+
+    #[test]
+    fn figure2_tree_mentions_every_weighted_algorithm() {
+        let tree = figure2_tree();
+        for a in Algorithm::ALL {
+            if a == Algorithm::MinHash {
+                continue;
+            }
+            assert!(tree.contains(a.name()), "missing {}", a.name());
+        }
+    }
+
+    #[test]
+    fn table4_shapes_match_configs() {
+        let configs: Vec<_> = PAPER_DATASETS.iter().map(|c| c.scaled_down(40, 2_000)).collect();
+        let (t, summaries) = table4(&configs, 7);
+        assert_eq!(t.len(), 6);
+        assert_eq!(summaries.len(), 6);
+        // Mean weights should increase with the scale parameter s.
+        assert!(summaries[5].avg_mean_weight > summaries[0].avg_mean_weight);
+        // Density as configured.
+        for s in &summaries {
+            assert!((s.avg_density - 0.005).abs() < 2e-3, "{}", s.avg_density);
+        }
+    }
+}

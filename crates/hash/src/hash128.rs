@@ -1,0 +1,85 @@
+//! 128-bit hashing for collision-free fingerprints.
+//!
+//! Sketch codes are compared for equality; a 64-bit space already makes
+//! accidental collisions negligible for the paper's workloads, but the
+//! dedup/retrieval examples fingerprint entire documents, where a 128-bit
+//! space removes the birthday bound from consideration entirely.
+
+use crate::mix::{combine, fmix64, splitmix64};
+use crate::seeded::SeededHash;
+
+/// A 128-bit hash value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hash128 {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl Hash128 {
+    /// Hash a word slice to 128 bits under `oracle`.
+    #[must_use]
+    pub fn of_words(oracle: &SeededHash, words: &[u64]) -> Self {
+        let lo = oracle.hash_words(words);
+        // Second, differently-keyed pass for the high half.
+        let mut acc = splitmix64(oracle.state() ^ 0x1337_C0DE_CAFE_F00D);
+        for &w in words {
+            acc = combine(acc, fmix64(w ^ 0x5555_5555_5555_5555));
+        }
+        Self {
+            hi: fmix64(acc ^ lo.rotate_left(32)),
+            lo,
+        }
+    }
+
+    /// Hash bytes to 128 bits under `oracle`.
+    #[must_use]
+    pub fn of_bytes(oracle: &SeededHash, bytes: &[u8]) -> Self {
+        let lo = oracle.hash_bytes(bytes);
+        let hi = oracle.derive(0xD00D).hash_bytes(bytes);
+        Self { hi, lo }
+    }
+
+    /// Pack into a `u128`.
+    #[must_use]
+    pub fn as_u128(&self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_are_not_equal() {
+        let o = SeededHash::new(5);
+        let h = Hash128::of_words(&o, &[1, 2, 3]);
+        assert_ne!(h.hi, h.lo);
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        let o = SeededHash::new(5);
+        assert_eq!(Hash128::of_words(&o, &[1, 2]), Hash128::of_words(&o, &[1, 2]));
+        assert_ne!(Hash128::of_words(&o, &[1, 2]), Hash128::of_words(&o, &[2, 1]));
+        assert_ne!(Hash128::of_bytes(&o, b"abc"), Hash128::of_bytes(&o, b"abd"));
+    }
+
+    #[test]
+    fn no_collisions_on_sequential_inputs() {
+        use std::collections::HashSet;
+        let o = SeededHash::new(6);
+        let outs: HashSet<u128> = (0..20_000u64)
+            .map(|i| Hash128::of_words(&o, &[i]).as_u128())
+            .collect();
+        assert_eq!(outs.len(), 20_000);
+    }
+
+    #[test]
+    fn u128_packing_roundtrip() {
+        let h = Hash128 { hi: 0xAAAA, lo: 0xBBBB };
+        assert_eq!(h.as_u128(), (0xAAAAu128 << 64) | 0xBBBBu128);
+    }
+}

@@ -1,0 +1,38 @@
+//! # `wmh-hash` — deterministic hashing substrate
+//!
+//! Every algorithm in the weighted-MinHash review relies on one protocol
+//! (paper §6.2): *"All the random variables are globally generated at random
+//! in one sampling process, that is, the same elements in different weighted
+//! sets share the same set of random variables."*
+//!
+//! This crate provides that protocol as pure functions: every "random"
+//! quantity used anywhere in the workspace is a deterministic function of
+//! `(seed, hash-function index d, element index k, role, step)`. Two sets
+//! that contain the same element therefore observe *identical* randomness,
+//! which is exactly the consistency requirement of the Consistent Weighted
+//! Sampling scheme (Definition 8 of the paper).
+//!
+//! Contents:
+//!
+//! * [`mix`] — scalar mixers (SplitMix64 finalizer, xxhash-style avalanche,
+//!   multi-word combiners), all written from scratch.
+//! * [`seeded`] — [`seeded::SeededHash`], the `(seed, words…) → u64` oracle.
+//! * [`mod@unit`] — mapping 64-bit words to floats in the open unit interval.
+//! * [`universal`] — the classical universal family `(a·i + b) mod p` over
+//!   the Mersenne prime `2^61 − 1` that MinHash uses to emulate random
+//!   permutations (paper §2.2).
+//! * [`tabulation`] — simple tabulation hashing (3-independent), used as an
+//!   alternative permutation family and in tests as an independence witness.
+//! * [`hash128`] — a 128-bit output variant for collision-free fingerprints.
+
+pub mod hash128;
+pub mod mix;
+pub mod seeded;
+pub mod tabulation;
+pub mod unit;
+pub mod universal;
+
+pub use hash128::Hash128;
+pub use seeded::SeededHash;
+pub use unit::{to_unit_exclusive, to_unit_inclusive, to_unit_open};
+pub use universal::{MersennePermutation, MERSENNE_61};

@@ -1,0 +1,81 @@
+//! Mapping 64-bit words to floating-point unit intervals.
+//!
+//! The paper's algorithms consume `Uniform(0,1)` variables that are later fed
+//! into `ln`, division, and floor operations; zero or one would produce
+//! infinities. [`to_unit_open`] therefore guarantees the *open* interval.
+
+/// Map a word to `(0, 1)` — never exactly `0.0` or `1.0`.
+///
+/// Uses the top 52 bits plus a half-cell offset: the result is
+/// `((w >> 12) + 0.5) / 2^52`, the midpoint of each of the `2^52` equal
+/// cells of the unit interval. Midpoints of 2^52 cells are exactly
+/// representable in `f64` (one mantissa bit to spare), so the extremes
+/// `0.5 · 2^-52` and `1 − 0.5 · 2^-52` never round to `0.0` or `1.0`.
+#[inline]
+#[must_use]
+pub fn to_unit_open(w: u64) -> f64 {
+    ((w >> 12) as f64 + 0.5) * (1.0 / 4_503_599_627_370_496.0) // 2^-52
+}
+
+/// Map a word to the half-open interval `[0, 1)`.
+#[inline]
+#[must_use]
+pub fn to_unit_exclusive(w: u64) -> f64 {
+    (w >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Map a word to the closed interval `[0, 1]` (inclusive of both ends).
+#[inline]
+#[must_use]
+pub fn to_unit_inclusive(w: u64) -> f64 {
+    (w >> 11) as f64 * (1.0 / 9_007_199_254_740_991.0) // 2^53 - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_interval_bounds() {
+        assert!(to_unit_open(0) > 0.0);
+        assert!(to_unit_open(u64::MAX) < 1.0);
+        assert!(to_unit_open(u64::MAX / 2) > 0.49 && to_unit_open(u64::MAX / 2) < 0.51);
+    }
+
+    #[test]
+    fn exclusive_bounds() {
+        assert_eq!(to_unit_exclusive(0), 0.0);
+        assert!(to_unit_exclusive(u64::MAX) < 1.0);
+    }
+
+    #[test]
+    fn inclusive_bounds() {
+        assert_eq!(to_unit_inclusive(0), 0.0);
+        assert_eq!(to_unit_inclusive(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_input() {
+        let mut prev = -1.0;
+        for i in 0..1000u64 {
+            let w = i << 54; // spread across the range
+            let u = to_unit_open(w);
+            assert!(u > prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn open_extremes_are_exact_midpoints() {
+        assert_eq!(to_unit_open(0), 0.5 / 4_503_599_627_370_496.0);
+        assert_eq!(to_unit_open(u64::MAX), 1.0 - 0.5 / 4_503_599_627_370_496.0);
+    }
+
+    #[test]
+    fn log_safe() {
+        // The whole point: ln of any output is finite.
+        assert!(to_unit_open(0).ln().is_finite());
+        assert!(to_unit_open(u64::MAX).ln().is_finite());
+        assert!((1.0 - to_unit_open(u64::MAX)).ln().is_finite());
+    }
+}

@@ -1,0 +1,231 @@
+//! AND/OR amplification (banding) and its S-curve.
+//!
+//! A single `(R, cR, p₁, p₂)`-sensitive hash (Definition 4) separates near
+//! from far pairs only weakly. Grouping `r` hashes per band (AND) and `b`
+//! bands (OR) turns a per-hash collision probability `s` into
+//!
+//! ```text
+//! P(candidate) = 1 − (1 − s^r)^b
+//! ```
+//!
+//! an S-curve with threshold `≈ (1/b)^{1/r}` — the knob every LSH index
+//! (and the paper's retrieval applications) tunes.
+
+/// A banding configuration: `bands` bands of `rows` hashes each.
+///
+/// ```
+/// use wmh_lsh::Bands;
+/// let b = Bands::new(16, 4).unwrap();
+/// assert_eq!(b.total_hashes(), 64);
+/// // The S-curve is steep around the threshold (1/16)^(1/4) ≈ 0.5.
+/// assert!(b.candidate_probability(0.8) > 0.95);
+/// assert!(b.candidate_probability(0.2) < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bands {
+    /// Number of OR-combined bands `b`.
+    pub bands: usize,
+    /// Number of AND-combined rows per band `r`.
+    pub rows: usize,
+}
+
+/// Errors for [`Bands`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandsError {
+    /// Both dimensions must be positive.
+    Zero,
+}
+
+impl std::fmt::Display for BandsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bands and rows must both be positive")
+    }
+}
+
+impl std::error::Error for BandsError {}
+
+impl Bands {
+    /// Create a banding scheme.
+    ///
+    /// # Errors
+    /// [`BandsError::Zero`] when either dimension is zero.
+    pub fn new(bands: usize, rows: usize) -> Result<Self, BandsError> {
+        if bands == 0 || rows == 0 {
+            return Err(BandsError::Zero);
+        }
+        Ok(Self { bands, rows })
+    }
+
+    /// Total hashes consumed: `b · r`.
+    #[must_use]
+    pub fn total_hashes(&self) -> usize {
+        self.bands * self.rows
+    }
+
+    /// The S-curve: probability a pair with per-hash collision probability
+    /// `s` becomes a candidate.
+    #[must_use]
+    pub fn candidate_probability(&self, s: f64) -> f64 {
+        let s = s.clamp(0.0, 1.0);
+        1.0 - (1.0 - s.powi(self.rows as i32)).powi(self.bands as i32)
+    }
+
+    /// The similarity threshold where the S-curve is steepest:
+    /// `(1/b)^{1/r}`.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    /// Probability that a *far* pair (per-hash collision probability
+    /// `s_far`) still becomes a candidate — the index's false-positive rate
+    /// for that pair.
+    #[must_use]
+    pub fn false_positive_rate(&self, s_far: f64) -> f64 {
+        self.candidate_probability(s_far)
+    }
+
+    /// Probability that a *near* pair (per-hash collision probability
+    /// `s_near`) is missed — the index's false-negative rate for that pair.
+    #[must_use]
+    pub fn false_negative_rate(&self, s_near: f64) -> f64 {
+        1.0 - self.candidate_probability(s_near)
+    }
+
+    /// Choose `(b, r)` with `b·r ≤ budget` minimizing
+    /// `false_negative_rate(s_near) + false_positive_rate(s_far)` — the
+    /// balanced-error banding for a known similarity split (Definition 4's
+    /// `(R, cR, p₁, p₂)` gap, optimized).
+    ///
+    /// # Panics
+    /// Panics when `budget == 0` or `s_near ≤ s_far`.
+    #[must_use]
+    pub fn for_gap(budget: usize, s_near: f64, s_far: f64) -> Self {
+        assert!(budget > 0, "hash budget must be positive");
+        assert!(
+            s_near > s_far,
+            "near collision probability must exceed far ({s_near} vs {s_far})"
+        );
+        let mut best: Option<(f64, Bands)> = None;
+        for rows in 1..=budget {
+            let bands = budget / rows;
+            if bands == 0 {
+                break;
+            }
+            let cfg = Bands { bands, rows };
+            let err = cfg.false_negative_rate(s_near) + cfg.false_positive_rate(s_far);
+            if best.is_none_or(|(be, _)| err < be) {
+                best = Some((err, cfg));
+            }
+        }
+        best.expect("budget > 0 yields at least (1,1)").1
+    }
+
+    /// Choose `(b, r)` with `b·r ≤ budget` whose threshold is closest to
+    /// `target`, preferring the steepest curve (largest `r`) among ties.
+    ///
+    /// # Panics
+    /// Panics when `budget == 0`.
+    #[must_use]
+    pub fn for_threshold(budget: usize, target: f64) -> Self {
+        assert!(budget > 0, "hash budget must be positive");
+        let target = target.clamp(1e-6, 1.0);
+        let mut best: Option<(f64, Bands)> = None;
+        for rows in 1..=budget {
+            let bands = budget / rows;
+            if bands == 0 {
+                break;
+            }
+            let cfg = Bands { bands, rows };
+            let err = (cfg.threshold() - target).abs();
+            if best.is_none_or(|(be, _)| err < be) {
+                best = Some((err, cfg));
+            }
+        }
+        best.expect("budget > 0 yields at least (1,1)").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_validation() {
+        assert_eq!(Bands::new(0, 4).unwrap_err(), BandsError::Zero);
+        assert_eq!(Bands::new(4, 0).unwrap_err(), BandsError::Zero);
+        let b = Bands::new(16, 8).unwrap();
+        assert_eq!(b.total_hashes(), 128);
+    }
+
+    #[test]
+    fn s_curve_endpoints_and_monotonicity() {
+        let b = Bands::new(20, 5).unwrap();
+        assert_eq!(b.candidate_probability(0.0), 0.0);
+        assert!((b.candidate_probability(1.0) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in 1..=100 {
+            let p = b.candidate_probability(i as f64 / 100.0);
+            assert!(p >= prev, "not monotone at {i}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn s_curve_is_sharp_around_threshold() {
+        let b = Bands::new(32, 8).unwrap();
+        let t = b.threshold();
+        assert!(b.candidate_probability(t * 1.3).min(1.0) > 0.9);
+        assert!(b.candidate_probability(t * 0.5) < 0.05);
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let b = Bands::new(16, 4).unwrap();
+        assert!((b.threshold() - (1.0f64 / 16.0).powf(0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_threshold_respects_budget_and_target() {
+        for target in [0.3, 0.5, 0.8] {
+            let cfg = Bands::for_threshold(128, target);
+            assert!(cfg.total_hashes() <= 128);
+            assert!((cfg.threshold() - target).abs() < 0.15, "target {target}: {cfg:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn zero_budget_panics() {
+        let _ = Bands::for_threshold(0, 0.5);
+    }
+
+    #[test]
+    fn error_rates_are_complementary_slices_of_the_s_curve() {
+        let b = Bands::new(16, 4).unwrap();
+        let s = 0.6;
+        assert!(
+            (b.false_negative_rate(s) + b.candidate_probability(s) - 1.0).abs() < 1e-12
+        );
+        assert_eq!(b.false_positive_rate(s), b.candidate_probability(s));
+    }
+
+    #[test]
+    fn for_gap_beats_naive_configurations() {
+        let (near, far) = (0.8, 0.3);
+        let chosen = Bands::for_gap(128, near, far);
+        let err = |cfg: Bands| cfg.false_negative_rate(near) + cfg.false_positive_rate(far);
+        // The optimizer's error is no worse than either extreme layout.
+        assert!(err(chosen) <= err(Bands::new(128, 1).unwrap()) + 1e-12);
+        assert!(err(chosen) <= err(Bands::new(1, 128).unwrap()) + 1e-12);
+        // And the chosen configuration actually separates the pair well.
+        assert!(chosen.false_negative_rate(near) < 0.05, "{chosen:?}");
+        assert!(chosen.false_positive_rate(far) < 0.05, "{chosen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn for_gap_rejects_inverted_split() {
+        let _ = Bands::for_gap(64, 0.2, 0.6);
+    }
+}

@@ -1,0 +1,166 @@
+//! χ²-LSH for the χ² distance (Gorisse, Cord & Precioso, TPAMI 2012; paper
+//! Table 1).
+//!
+//! Like the p-stable family, χ²-LSH projects onto a random Gaussian
+//! direction — but quantizes the projection with *quadratically growing*
+//! cells instead of equal-width ones: cell `m ≥ 0` covers
+//! `[w²·m(m+1)/2, w²·(m+1)(m+2)/2)` on each side of the origin. Gorisse et
+//! al. show this matches the geometry of the χ² distance
+//! (`χ²(x, y) = Σ (x_i − y_i)²/(x_i + y_i)`), whose balls grow like the
+//! *square root* of the corresponding `l_2` balls.
+
+use wmh_hash::seeded::role;
+use wmh_hash::SeededHash;
+use wmh_rng::dist::normal_from_units;
+use wmh_sets::WeightedSet;
+
+/// The χ²-LSH family.
+#[derive(Debug, Clone)]
+pub struct Chi2Lsh {
+    oracle: SeededHash,
+    width: f64,
+    num_hashes: usize,
+}
+
+/// Errors for [`Chi2Lsh`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Chi2Error {
+    /// Cell scale must be positive and finite.
+    BadWidth(f64),
+}
+
+impl std::fmt::Display for Chi2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadWidth(w) => write!(f, "cell scale {w} must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for Chi2Error {}
+
+impl Chi2Lsh {
+    /// Create the family with cell scale `w`.
+    ///
+    /// # Errors
+    /// [`Chi2Error::BadWidth`] for non-finite or non-positive scales.
+    pub fn new(seed: u64, num_hashes: usize, width: f64) -> Result<Self, Chi2Error> {
+        if !width.is_finite() || width <= 0.0 {
+            return Err(Chi2Error::BadWidth(width));
+        }
+        Ok(Self { oracle: SeededHash::new(seed), width, num_hashes })
+    }
+
+    /// Number of hash functions.
+    #[must_use]
+    pub fn num_hashes(&self) -> usize {
+        self.num_hashes
+    }
+
+    /// Quadratic cell index of a signed projection value: cell boundaries
+    /// on each side of zero sit at `w²·m(m+1)/2`.
+    #[must_use]
+    pub fn cell(&self, projection: f64) -> i64 {
+        let scaled = projection.abs() / (self.width * self.width);
+        // Solve m(m+1)/2 ≤ scaled: m = ⌊(√(1+8·scaled) − 1)/2⌋.
+        let m = (((1.0 + 8.0 * scaled).sqrt() - 1.0) / 2.0).floor() as i64;
+        if projection < 0.0 {
+            -m - 1
+        } else {
+            m
+        }
+    }
+
+    /// The `d`-th cell index of a vector (with a consistent random offset,
+    /// as in E2LSH).
+    #[must_use]
+    pub fn bucket(&self, v: &WeightedSet, d: usize) -> i64 {
+        let dot: f64 = v
+            .iter()
+            .map(|(k, w)| {
+                w * normal_from_units(
+                    self.oracle.unit3(role::MINHASH ^ 0x71, d as u64, k),
+                    self.oracle.unit3(role::MINHASH ^ 0x72, d as u64, k),
+                )
+            })
+            .sum();
+        let b = self.oracle.unit2(role::MINHASH ^ 0x73, d as u64) * self.width * self.width;
+        self.cell(dot + b)
+    }
+
+    /// All `D` cell indices.
+    #[must_use]
+    pub fn signature(&self, v: &WeightedSet) -> Vec<i64> {
+        (0..self.num_hashes).map(|d| self.bucket(v, d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_sets::chi2_distance;
+
+    fn ws(pairs: &[(u64, f64)]) -> WeightedSet {
+        WeightedSet::from_pairs(pairs.iter().copied()).expect("valid")
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(Chi2Lsh::new(1, 4, -1.0).is_err());
+        assert!(Chi2Lsh::new(1, 4, f64::INFINITY).is_err());
+        assert!(Chi2Lsh::new(1, 4, 0.5).is_ok());
+    }
+
+    #[test]
+    fn cell_boundaries_are_quadratic() {
+        let lsh = Chi2Lsh::new(2, 1, 1.0).unwrap();
+        // Boundaries at m(m+1)/2: 0, 1, 3, 6, 10 …
+        assert_eq!(lsh.cell(0.0), 0);
+        assert_eq!(lsh.cell(0.99), 0);
+        assert_eq!(lsh.cell(1.01), 1);
+        assert_eq!(lsh.cell(2.99), 1);
+        assert_eq!(lsh.cell(3.01), 2);
+        assert_eq!(lsh.cell(9.99), 3);
+        assert_eq!(lsh.cell(10.01), 4);
+        // Negative side mirrors with distinct indices.
+        assert_eq!(lsh.cell(-0.5), -1);
+        assert_eq!(lsh.cell(-1.5), -2);
+    }
+
+    #[test]
+    fn cells_widen_away_from_origin() {
+        let lsh = Chi2Lsh::new(3, 1, 1.0).unwrap();
+        // Cell m spans m+1 units: verify occupancy of a uniform sweep.
+        let mut width_of = std::collections::HashMap::new();
+        let mut x = 0.0;
+        while x < 50.0 {
+            *width_of.entry(lsh.cell(x)).or_insert(0u32) += 1;
+            x += 0.01;
+        }
+        assert!(width_of[&4] > width_of[&1]);
+        assert!(width_of[&8] > width_of[&4]);
+    }
+
+    #[test]
+    fn identical_points_always_collide() {
+        let lsh = Chi2Lsh::new(4, 64, 0.7).unwrap();
+        let v = ws(&[(1, 0.2), (9, 1.0)]);
+        assert_eq!(lsh.signature(&v), lsh.signature(&v));
+    }
+
+    #[test]
+    fn closer_in_chi2_collides_more() {
+        let trials = 3000;
+        let lsh = Chi2Lsh::new(5, trials, 1.0).unwrap();
+        let base = ws(&(0..20u64).map(|k| (k, 1.0)).collect::<Vec<_>>());
+        let near = ws(&(0..20u64).map(|k| (k, 1.2)).collect::<Vec<_>>());
+        let far = ws(&(0..20u64).map(|k| (k, 6.0)).collect::<Vec<_>>());
+        assert!(chi2_distance(&base, &near) < chi2_distance(&base, &far));
+        let hits = |u: &WeightedSet| {
+            (0..trials)
+                .filter(|&d| lsh.bucket(&base, d) == lsh.bucket(u, d))
+                .count()
+        };
+        assert!(hits(&near) > hits(&far) + 100, "near {} far {}", hits(&near), hits(&far));
+    }
+}

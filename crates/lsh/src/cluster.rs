@@ -1,0 +1,237 @@
+//! Similarity-threshold clustering over an LSH index — the application
+//! behind \[Haveliwala et al., 2000\] ("Scalable Techniques for Clustering
+//! the Web"), which is where the paper's quantization-based weighted
+//! MinHash was introduced.
+//!
+//! The pipeline: index every document, take each document's candidates,
+//! keep pairs whose *estimated* similarity clears a threshold, and union
+//! them — single-linkage clustering whose pair generation never scans the
+//! full `O(n²)` pair space.
+
+use crate::index::{IndexError, LshIndex};
+use wmh_core::Sketcher;
+use wmh_sets::WeightedSet;
+
+/// A classic disjoint-set (union–find) structure with path compression and
+/// union by rank.
+///
+/// ```
+/// use wmh_lsh::cluster::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert_eq!(uf.components(), 2);
+/// assert!(uf.connected(0, 1) && !uf.connected(1, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    /// Panics when `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns whether they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Group members by representative, sorted within and across groups.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+/// Single-linkage clusters of `docs` at estimated similarity `threshold`,
+/// using `sketcher`'s fingerprints and the given banding.
+///
+/// Returns clusters as sorted lists of document indices (singletons
+/// included), sorted by their smallest member.
+///
+/// # Errors
+/// Propagates index construction/sketching errors (e.g. empty documents or
+/// banding that exceeds the sketcher's `D`).
+pub fn cluster_by_similarity<S: Sketcher>(
+    sketcher: S,
+    bands: crate::amplify::Bands,
+    docs: &[WeightedSet],
+    threshold: f64,
+) -> Result<Vec<Vec<usize>>, IndexError> {
+    let mut index = LshIndex::new(sketcher, bands)?;
+    for (i, d) in docs.iter().enumerate() {
+        index.insert(i as u64, d)?;
+    }
+    let mut uf = UnionFind::new(docs.len());
+    for (i, d) in docs.iter().enumerate() {
+        for (j, est) in index.query_above(d, threshold)? {
+            let j = j as usize;
+            if j != i && est >= threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+    Ok(uf.groups())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amplify::Bands;
+    use wmh_core::cws::Icws;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        uf.union(1, 2);
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.groups(), vec![vec![0, 1, 2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn union_find_path_compression_long_chain() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.components(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+
+    fn planted_corpus() -> Vec<WeightedSet> {
+        // Three clusters of 4 near-duplicates each, plus 3 loners.
+        let mut docs = Vec::new();
+        for c in 0..3u64 {
+            let base: Vec<(u64, f64)> =
+                (0..50).map(|i| (c * 1000 + i, 1.0 + (i % 3) as f64)).collect();
+            for v in 0..4usize {
+                let pairs: Vec<(u64, f64)> = base
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i + v) % 13 != 0)
+                    .map(|(_, &p)| p)
+                    .collect();
+                docs.push(WeightedSet::from_pairs(pairs).expect("valid"));
+            }
+        }
+        for l in 0..3u64 {
+            docs.push(
+                WeightedSet::from_pairs((0..50).map(|i| (90_000 + l * 1000 + i, 1.0)))
+                    .expect("valid"),
+            );
+        }
+        docs
+    }
+
+    #[test]
+    fn clusters_planted_duplicates() {
+        let docs = planted_corpus();
+        let clusters = cluster_by_similarity(
+            Icws::new(11, 128),
+            Bands::new(32, 4).expect("valid"),
+            &docs,
+            0.5,
+        )
+        .expect("clusterable");
+        // 3 clusters of 4 + 3 singletons.
+        assert_eq!(clusters.len(), 6, "{clusters:?}");
+        let sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().filter(|&&s| s == 4).count(), 3);
+        assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 3);
+        // Cluster members come from the same plant.
+        for cl in &clusters {
+            if cl.len() == 4 {
+                let plant = cl[0] / 4;
+                assert!(cl.iter().all(|&i| i / 4 == plant), "{cl:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_one_keeps_only_exact_duplicates() {
+        let mut docs = planted_corpus();
+        docs.push(docs[0].clone()); // exact duplicate of doc 0
+        let n = docs.len();
+        let clusters = cluster_by_similarity(
+            Icws::new(13, 128),
+            Bands::new(32, 4).expect("valid"),
+            &docs,
+            1.0,
+        )
+        .expect("clusterable");
+        // Everything singleton except {0, n-1}.
+        assert_eq!(clusters.len(), n - 1);
+        assert!(clusters.contains(&vec![0, n - 1]));
+    }
+
+    #[test]
+    fn empty_corpus_clusters_trivially() {
+        let clusters = cluster_by_similarity(
+            Icws::new(1, 64),
+            Bands::new(16, 4).expect("valid"),
+            &[],
+            0.5,
+        )
+        .expect("clusterable");
+        assert!(clusters.is_empty());
+    }
+}

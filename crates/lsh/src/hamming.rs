@@ -1,0 +1,155 @@
+//! Bit-sampling LSH for Hamming distance (Indyk & Motwani 1998; paper
+//! Table 1).
+//!
+//! Over a binary universe of size `n`, the family is simply
+//! `h_i(x) = x[i]` for a random coordinate `i`: two points at Hamming
+//! distance `c` collide with probability exactly `1 − c/n`.
+
+use wmh_hash::SeededHash;
+use wmh_sets::WeightedSet;
+
+/// The bit-sampling family over a fixed-size universe.
+#[derive(Debug, Clone)]
+pub struct BitSamplingLsh {
+    coords: Vec<u64>,
+    universe: u64,
+}
+
+/// Errors for [`BitSamplingLsh`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitSamplingError {
+    /// Universe must be non-empty.
+    EmptyUniverse,
+}
+
+impl std::fmt::Display for BitSamplingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyUniverse => write!(f, "universe size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BitSamplingError {}
+
+impl BitSamplingLsh {
+    /// Sample `num_hashes` coordinates from a universe of size `universe`.
+    ///
+    /// # Errors
+    /// [`BitSamplingError::EmptyUniverse`] when `universe == 0`.
+    pub fn new(seed: u64, num_hashes: usize, universe: u64) -> Result<Self, BitSamplingError> {
+        if universe == 0 {
+            return Err(BitSamplingError::EmptyUniverse);
+        }
+        let oracle = SeededHash::new(seed);
+        // Rejection-free bounded sampling (coordinates may repeat — the
+        // family draws i.i.d. coordinates).
+        let coords = (0..num_hashes as u64)
+            .map(|d| {
+                let h = oracle.hash2(0xB175, d);
+                ((u128::from(h) * u128::from(universe)) >> 64) as u64
+            })
+            .collect();
+        Ok(Self { coords, universe })
+    }
+
+    /// Universe size `n`.
+    #[must_use]
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Number of sampled coordinates.
+    #[must_use]
+    pub fn num_hashes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The signature: the sampled bits of the set's support indicator.
+    #[must_use]
+    pub fn signature(&self, x: &WeightedSet) -> Vec<bool> {
+        self.coords.iter().map(|&i| x.contains(i)).collect()
+    }
+
+    /// Collision probability at Hamming distance `c`: `1 − c/n`.
+    #[must_use]
+    pub fn collision_probability(&self, c: u64) -> f64 {
+        1.0 - c.min(self.universe) as f64 / self.universe as f64
+    }
+
+    /// Estimate the Hamming distance from two signatures:
+    /// `n · (#disagreements / #coords)`.
+    ///
+    /// # Panics
+    /// Panics on signature length mismatch.
+    #[must_use]
+    pub fn estimate_distance(&self, a: &[bool], b: &[bool]) -> f64 {
+        assert_eq!(a.len(), b.len(), "signature length mismatch");
+        assert_eq!(a.len(), self.coords.len(), "foreign signature");
+        let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+        self.universe as f64 * diff as f64 / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_sets::hamming_distance;
+
+    fn binary(r: std::ops::Range<u64>) -> WeightedSet {
+        WeightedSet::binary(r).expect("valid")
+    }
+
+    #[test]
+    fn rejects_empty_universe() {
+        assert_eq!(
+            BitSamplingLsh::new(1, 4, 0).unwrap_err(),
+            BitSamplingError::EmptyUniverse
+        );
+    }
+
+    #[test]
+    fn identical_sets_collide_everywhere() {
+        let lsh = BitSamplingLsh::new(2, 128, 1000).unwrap();
+        let x = binary(0..100);
+        assert_eq!(lsh.signature(&x), lsh.signature(&x));
+    }
+
+    #[test]
+    fn estimates_hamming_distance() {
+        let n = 1000u64;
+        let d = 8192;
+        let lsh = BitSamplingLsh::new(3, d, n).unwrap();
+        let x = binary(0..100);
+        let y = binary(50..150);
+        let truth = hamming_distance(&x, &y) as f64; // 100
+        let est = lsh.estimate_distance(&lsh.signature(&x), &lsh.signature(&y));
+        // Binomial sampling noise: sd = n·sqrt(p(1-p)/d), p = truth/n.
+        let p = truth / n as f64;
+        let sd = n as f64 * (p * (1.0 - p) / d as f64).sqrt();
+        assert!((est - truth).abs() < 5.0 * sd, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn collision_probability_closed_form() {
+        let lsh = BitSamplingLsh::new(4, 1, 100).unwrap();
+        assert_eq!(lsh.collision_probability(0), 1.0);
+        assert!((lsh.collision_probability(25) - 0.75).abs() < 1e-12);
+        assert_eq!(lsh.collision_probability(100), 0.0);
+        assert_eq!(lsh.collision_probability(1000), 0.0, "clamped beyond n");
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_closed_form() {
+        let n = 500u64;
+        let trials = 4000;
+        let lsh = BitSamplingLsh::new(5, trials, n).unwrap();
+        let x = binary(0..250);
+        let y = binary(125..375); // hamming = 250
+        let want = lsh.collision_probability(hamming_distance(&x, &y));
+        let (sa, sb) = (lsh.signature(&x), lsh.signature(&y));
+        let got = sa.iter().zip(&sb).filter(|(a, b)| a == b).count() as f64 / trials as f64;
+        let sd = (want * (1.0 - want) / trials as f64).sqrt();
+        assert!((got - want).abs() < 5.0 * sd, "got {got} want {want}");
+    }
+}

@@ -1,0 +1,301 @@
+//! A banded LSH index answering c-approximate near-neighbour queries
+//! (Definition 3) over any `Sketcher` from `wmh-core`.
+//!
+//! Sketch codes are grouped into bands; each band hashes to a bucket key.
+//! Points sharing at least one bucket with the query are *candidates*; the
+//! index then re-ranks candidates by estimated similarity (sketch collision
+//! fraction) or by an exact measure the caller supplies.
+
+use crate::amplify::Bands;
+use std::collections::{HashMap, HashSet};
+use wmh_core::{Sketch, SketchError, Sketcher};
+use wmh_hash::mix::combine;
+use wmh_sets::WeightedSet;
+
+/// Errors for [`LshIndex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexError {
+    /// The banding scheme needs more hashes than the sketcher produces.
+    BandsExceedSketch {
+        /// Hashes required (`b·r`).
+        required: usize,
+        /// Hashes available (`D`).
+        available: usize,
+    },
+    /// Underlying sketching failure.
+    Sketch(SketchError),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BandsExceedSketch { required, available } => {
+                write!(f, "banding needs {required} hashes, sketcher provides {available}")
+            }
+            Self::Sketch(e) => write!(f, "sketching failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<SketchError> for IndexError {
+    fn from(e: SketchError) -> Self {
+        Self::Sketch(e)
+    }
+}
+
+/// A banded index over the sketches of one configured [`Sketcher`].
+///
+/// ```
+/// use wmh_lsh::{Bands, LshIndex};
+/// use wmh_core::cws::Icws;
+/// use wmh_sets::WeightedSet;
+/// let mut idx = LshIndex::new(Icws::new(1, 64), Bands::new(16, 4).unwrap()).unwrap();
+/// let doc = WeightedSet::from_pairs((0..30).map(|k| (k, 1.0))).unwrap();
+/// idx.insert(7, &doc).unwrap();
+/// let top = idx.query_top_k(&doc, 1).unwrap();
+/// assert_eq!(top, vec![(7, 1.0)]);
+/// ```
+pub struct LshIndex<S: Sketcher> {
+    sketcher: S,
+    bands: Bands,
+    buckets: Vec<HashMap<u64, Vec<usize>>>,
+    sketches: Vec<Sketch>,
+    ids: Vec<u64>,
+}
+
+impl<S: Sketcher> LshIndex<S> {
+    /// Create an index with a banding scheme.
+    ///
+    /// # Errors
+    /// [`IndexError::BandsExceedSketch`] when `bands.total_hashes()` exceeds
+    /// the sketcher's `D`.
+    pub fn new(sketcher: S, bands: Bands) -> Result<Self, IndexError> {
+        if bands.total_hashes() > sketcher.num_hashes() {
+            return Err(IndexError::BandsExceedSketch {
+                required: bands.total_hashes(),
+                available: sketcher.num_hashes(),
+            });
+        }
+        Ok(Self {
+            buckets: vec![HashMap::new(); bands.bands],
+            sketcher,
+            bands,
+            sketches: Vec::new(),
+            ids: Vec::new(),
+        })
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The banding configuration.
+    #[must_use]
+    pub fn bands(&self) -> Bands {
+        self.bands
+    }
+
+    fn band_keys(&self, sketch: &Sketch) -> Vec<u64> {
+        (0..self.bands.bands)
+            .map(|b| {
+                let start = b * self.bands.rows;
+                let mut acc = 0x9E37_79B9u64 ^ b as u64;
+                for &code in &sketch.codes[start..start + self.bands.rows] {
+                    acc = combine(acc, code);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Insert a point under a caller-chosen id.
+    ///
+    /// # Errors
+    /// Propagates sketching errors (e.g. empty sets).
+    pub fn insert(&mut self, id: u64, point: &WeightedSet) -> Result<(), IndexError> {
+        let sketch = self.sketcher.sketch(point)?;
+        let slot = self.sketches.len();
+        for (b, key) in self.band_keys(&sketch).into_iter().enumerate() {
+            self.buckets[b].entry(key).or_default().push(slot);
+        }
+        self.sketches.push(sketch);
+        self.ids.push(id);
+        Ok(())
+    }
+
+    /// Candidate ids sharing at least one band bucket with the query.
+    ///
+    /// # Errors
+    /// Propagates sketching errors.
+    pub fn candidates(&self, query: &WeightedSet) -> Result<Vec<u64>, IndexError> {
+        let sketch = self.sketcher.sketch(query)?;
+        let mut seen = HashSet::new();
+        for (b, key) in self.band_keys(&sketch).into_iter().enumerate() {
+            if let Some(slots) = self.buckets[b].get(&key) {
+                seen.extend(slots.iter().copied());
+            }
+        }
+        let mut out: Vec<u64> = seen.into_iter().map(|s| self.ids[s]).collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Top-`k` neighbours by estimated similarity among the candidates:
+    /// `(id, estimated similarity)`, highest first.
+    ///
+    /// # Errors
+    /// Propagates sketching errors.
+    pub fn query_top_k(&self, query: &WeightedSet, k: usize) -> Result<Vec<(u64, f64)>, IndexError> {
+        let sketch = self.sketcher.sketch(query)?;
+        let mut seen = HashSet::new();
+        for (b, key) in self.band_keys(&sketch).into_iter().enumerate() {
+            if let Some(slots) = self.buckets[b].get(&key) {
+                seen.extend(slots.iter().copied());
+            }
+        }
+        let mut scored: Vec<(u64, f64)> = seen
+            .into_iter()
+            .map(|s| {
+                let est = sketch
+                    .try_estimate_similarity(&self.sketches[s])
+                    .expect("index sketches share the sketcher");
+                (self.ids[s], est)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        Ok(scored)
+    }
+
+    /// All ids whose *estimated* similarity to the query is at least
+    /// `threshold` (the R-near-neighbour query of Definition 2, with
+    /// similarity standing in for distance).
+    ///
+    /// # Errors
+    /// Propagates sketching errors.
+    pub fn query_above(
+        &self,
+        query: &WeightedSet,
+        threshold: f64,
+    ) -> Result<Vec<(u64, f64)>, IndexError> {
+        let mut all = self.query_top_k(query, usize::MAX)?;
+        all.retain(|&(_, est)| est >= threshold);
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_core::cws::Icws;
+    use wmh_core::minhash::MinHash;
+
+    fn ws(pairs: &[(u64, f64)]) -> WeightedSet {
+        WeightedSet::from_pairs(pairs.iter().copied()).expect("valid")
+    }
+
+    /// A small corpus: clusters of near-duplicates plus noise.
+    fn corpus() -> Vec<(u64, WeightedSet)> {
+        let mut docs = Vec::new();
+        for c in 0..5u64 {
+            let base: Vec<(u64, f64)> =
+                (0..60).map(|i| (c * 1000 + i, 1.0 + (i % 4) as f64 * 0.3)).collect();
+            for v in 0..4u64 {
+                // Variants: drop a few elements, keep most weights.
+                let pairs: Vec<(u64, f64)> = base
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !(*i as u64 + v).is_multiple_of(17))
+                    .map(|(_, &p)| p)
+                    .collect();
+                docs.push((c * 10 + v, ws(&pairs)));
+            }
+        }
+        docs
+    }
+
+    #[test]
+    fn rejects_oversized_banding() {
+        let err = match LshIndex::new(MinHash::new(1, 16), Bands::new(8, 4).unwrap()) {
+            Err(e) => e,
+            Ok(_) => panic!("oversized banding accepted"),
+        };
+        assert_eq!(
+            err,
+            IndexError::BandsExceedSketch { required: 32, available: 16 }
+        );
+    }
+
+    #[test]
+    fn near_duplicates_are_retrieved() {
+        let mut idx =
+            LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let docs = corpus();
+        for (id, d) in &docs {
+            idx.insert(*id, d).unwrap();
+        }
+        assert_eq!(idx.len(), docs.len());
+        // Query with each doc: its cluster mates should dominate top-4.
+        for (id, d) in &docs {
+            let top = idx.query_top_k(d, 4).unwrap();
+            assert_eq!(top[0].0, *id, "self is most similar");
+            assert!((top[0].1 - 1.0).abs() < 1e-12);
+            let cluster = id / 10;
+            let mates = top.iter().filter(|(tid, _)| tid / 10 == cluster).count();
+            assert!(mates >= 3, "doc {id}: only {mates} cluster mates in top-4");
+        }
+    }
+
+    #[test]
+    fn unrelated_queries_return_few_candidates() {
+        let mut idx =
+            LshIndex::new(MinHash::new(3, 128), Bands::new(16, 8).unwrap()).unwrap();
+        for (id, d) in corpus() {
+            idx.insert(id, &d).unwrap();
+        }
+        let probe = ws(&(0..50u64).map(|k| (900_000 + k, 1.0)).collect::<Vec<_>>());
+        let cands = idx.candidates(&probe).unwrap();
+        assert!(cands.len() <= 1, "unrelated probe matched {cands:?}");
+    }
+
+    #[test]
+    fn query_above_threshold_filters() {
+        let mut idx =
+            LshIndex::new(Icws::new(4, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let docs = corpus();
+        for (id, d) in &docs {
+            idx.insert(*id, d).unwrap();
+        }
+        let hits = idx.query_above(&docs[0].1, 0.7).unwrap();
+        assert!(hits.iter().any(|&(id, _)| id == docs[0].0));
+        assert!(hits.iter().all(|&(_, est)| est >= 0.7));
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let idx = LshIndex::new(MinHash::new(5, 64), Bands::new(16, 4).unwrap()).unwrap();
+        assert!(matches!(
+            idx.candidates(&WeightedSet::empty()),
+            Err(IndexError::Sketch(SketchError::EmptySet))
+        ));
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = LshIndex::new(MinHash::new(6, 64), Bands::new(16, 4).unwrap()).unwrap();
+        assert!(idx.is_empty());
+        let q = ws(&[(1, 1.0)]);
+        assert!(idx.candidates(&q).unwrap().is_empty());
+        assert!(idx.query_top_k(&q, 3).unwrap().is_empty());
+    }
+}

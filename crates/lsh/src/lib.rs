@@ -1,0 +1,40 @@
+//! # `wmh-lsh` — classical LSH families and nearest-neighbour indexes
+//!
+//! The review's background section (paper §2.1, Table 1) surveys the
+//! classical locality-sensitive hashing families alongside MinHash. This
+//! crate implements that table:
+//!
+//! | Similarity (distance) measure | LSH family |
+//! |---|---|
+//! | Jaccard / generalized Jaccard | MinHash & weighted MinHash (via `wmh-core`) |
+//! | Cosine similarity | [`simhash::SimHash`] |
+//! | `l_p` distance, `p ∈ {1, 2}` | [`pstable::PStableLsh`] |
+//! | Hamming distance | [`hamming::BitSamplingLsh`] |
+//! | χ² distance | [`chi2::Chi2Lsh`] |
+//!
+//! plus the machinery the definitions of §2.1 call for:
+//!
+//! * [`amplify`] — AND/OR banding amplification and its S-curve
+//!   (`Pr[candidate] = 1 − (1 − s^r)^b`), the standard way an
+//!   `(R, cR, p₁, p₂)`-sensitive family (Definition 4) is boosted;
+//! * [`index`] — [`index::LshIndex`], a banded hash index answering
+//!   *c*-approximate near-neighbour queries (Definition 3);
+//! * [`nn`] — exact brute-force baselines for NN / R-NN (Definitions 1–2)
+//!   and recall evaluation against them;
+//! * [`cluster`] — single-linkage clustering over LSH candidate pairs, the
+//!   web-clustering application of \[Haveliwala et al., 2000\].
+
+pub mod amplify;
+pub mod chi2;
+pub mod cluster;
+pub mod hamming;
+pub mod index;
+pub mod nn;
+pub mod pstable;
+pub mod simhash;
+pub mod vector_index;
+
+pub use amplify::Bands;
+pub use index::LshIndex;
+pub use simhash::SimHash;
+pub use vector_index::{VectorIndex, VectorSignature};

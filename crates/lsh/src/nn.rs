@@ -1,0 +1,132 @@
+//! Exact nearest-neighbour baselines and recall evaluation (paper
+//! Definitions 1–3).
+//!
+//! The brute-force scans here are the ground truth against which the
+//! [`crate::index::LshIndex`] is measured: Definition 1 (NN), Definition 2
+//! (R-NN) and the recall of a c-approximate answer set.
+
+use wmh_sets::WeightedSet;
+
+/// A similarity function (larger = closer). The generalized Jaccard of
+/// Eq. 2 is the usual instantiation.
+pub type Similarity = fn(&WeightedSet, &WeightedSet) -> f64;
+
+/// Definition 1: the exact nearest neighbour by brute force.
+///
+/// Returns `(index into points, similarity)`; `None` for an empty corpus.
+#[must_use]
+pub fn nearest_neighbor(
+    query: &WeightedSet,
+    points: &[WeightedSet],
+    sim: Similarity,
+) -> Option<(usize, f64)> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, sim(query, p)))
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+}
+
+/// Definition 2: all points with similarity at least `threshold`
+/// (the similarity-form of the fixed-radius R-NN query), sorted by
+/// descending similarity.
+#[must_use]
+pub fn range_neighbors(
+    query: &WeightedSet,
+    points: &[WeightedSet],
+    sim: Similarity,
+    threshold: f64,
+) -> Vec<(usize, f64)> {
+    let mut out: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, sim(query, p)))
+        .filter(|&(_, s)| s >= threshold)
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Exact top-`k` by brute force, sorted by descending similarity.
+#[must_use]
+pub fn top_k(
+    query: &WeightedSet,
+    points: &[WeightedSet],
+    sim: Similarity,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    let mut out: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, sim(query, p)))
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out
+}
+
+/// Recall of an approximate answer set against the exact one:
+/// `|approx ∩ exact| / |exact|`. Returns 1.0 when the exact set is empty.
+#[must_use]
+pub fn recall(approx: &[u64], exact: &[u64]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let exact_set: std::collections::HashSet<u64> = exact.iter().copied().collect();
+    let hit = approx.iter().filter(|id| exact_set.contains(id)).count();
+    hit as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_sets::generalized_jaccard;
+
+    fn ws(pairs: &[(u64, f64)]) -> WeightedSet {
+        WeightedSet::from_pairs(pairs.iter().copied()).expect("valid")
+    }
+
+    fn corpus() -> Vec<WeightedSet> {
+        vec![
+            ws(&[(1, 1.0), (2, 1.0)]),
+            ws(&[(1, 1.0), (2, 1.0), (3, 1.0)]),
+            ws(&[(9, 1.0)]),
+        ]
+    }
+
+    #[test]
+    fn nearest_neighbor_finds_best() {
+        let q = ws(&[(1, 1.0), (2, 1.0)]);
+        let (i, s) = nearest_neighbor(&q, &corpus(), generalized_jaccard).unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(s, 1.0);
+        assert!(nearest_neighbor(&q, &[], generalized_jaccard).is_none());
+    }
+
+    #[test]
+    fn range_neighbors_filters_and_sorts() {
+        let q = ws(&[(1, 1.0), (2, 1.0)]);
+        let r = range_neighbors(&q, &corpus(), generalized_jaccard, 0.5);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0, 0);
+        assert_eq!(r[1].0, 1);
+        assert!(r[0].1 >= r[1].1);
+        assert!(range_neighbors(&q, &corpus(), generalized_jaccard, 1.1).is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let q = ws(&[(1, 1.0), (2, 1.0)]);
+        let t = top_k(&q, &corpus(), generalized_jaccard, 2);
+        assert_eq!(t.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(top_k(&q, &corpus(), generalized_jaccard, 0).len(), 0);
+    }
+
+    #[test]
+    fn recall_reference_values() {
+        assert_eq!(recall(&[1, 2, 3], &[1, 2]), 1.0);
+        assert_eq!(recall(&[1], &[1, 2]), 0.5);
+        assert_eq!(recall(&[], &[1, 2]), 0.0);
+        assert_eq!(recall(&[5], &[]), 1.0);
+    }
+}

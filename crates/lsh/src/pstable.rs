@@ -1,0 +1,220 @@
+//! LSH with p-stable distributions for `l_p` distance (Datar et al. 2004;
+//! paper Table 1).
+//!
+//! `h(v) = ⌊(a·v + b) / w⌋` with `a` drawn coordinate-wise from a p-stable
+//! law — Gaussian for `p = 2`, Cauchy for `p = 1` — and `b ~ Uniform[0, w)`.
+//! Two points at `l_p` distance `c` collide with probability
+//!
+//! ```text
+//! p(c) = ∫₀ʷ (1/c)·f_p(t/c)·(1 − t/w) dt
+//! ```
+//!
+//! which is monotonically decreasing in `c` — the `(R, cR, p₁, p₂)`
+//! sensitivity of Definition 4. [`PStableLsh::collision_probability`]
+//! evaluates the closed forms used to pick `w`.
+
+use wmh_hash::seeded::role;
+use wmh_hash::SeededHash;
+use wmh_rng::dist::{cauchy_from_unit, normal_from_units};
+use wmh_rng::stats::standard_normal_cdf;
+use wmh_sets::WeightedSet;
+
+/// Which `l_p` norm the family targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stable {
+    /// Cauchy projections — `l_1` distance.
+    Cauchy,
+    /// Gaussian projections — `l_2` distance.
+    Gaussian,
+}
+
+/// The p-stable LSH family.
+#[derive(Debug, Clone)]
+pub struct PStableLsh {
+    oracle: SeededHash,
+    stable: Stable,
+    width: f64,
+    num_hashes: usize,
+}
+
+/// Errors for [`PStableLsh`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PStableError {
+    /// The bucket width must be positive and finite.
+    BadWidth(f64),
+}
+
+impl std::fmt::Display for PStableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadWidth(w) => write!(f, "bucket width {w} must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for PStableError {}
+
+impl PStableLsh {
+    /// Create a family of `num_hashes` functions with bucket width `w`.
+    ///
+    /// # Errors
+    /// [`PStableError::BadWidth`] for non-finite or non-positive widths.
+    pub fn new(
+        seed: u64,
+        num_hashes: usize,
+        stable: Stable,
+        width: f64,
+    ) -> Result<Self, PStableError> {
+        if !width.is_finite() || width <= 0.0 {
+            return Err(PStableError::BadWidth(width));
+        }
+        Ok(Self { oracle: SeededHash::new(seed), stable, width, num_hashes })
+    }
+
+    /// Number of hash functions.
+    #[must_use]
+    pub fn num_hashes(&self) -> usize {
+        self.num_hashes
+    }
+
+    /// Stable coordinate of projection `d` at element `k`.
+    #[must_use]
+    pub fn coord(&self, d: usize, k: u64) -> f64 {
+        match self.stable {
+            Stable::Gaussian => normal_from_units(
+                self.oracle.unit3(role::MINHASH ^ 0x61, d as u64, k),
+                self.oracle.unit3(role::MINHASH ^ 0x62, d as u64, k),
+            ),
+            Stable::Cauchy => {
+                cauchy_from_unit(self.oracle.unit3(role::MINHASH ^ 0x63, d as u64, k))
+            }
+        }
+    }
+
+    /// The `d`-th bucket index of a vector.
+    #[must_use]
+    pub fn bucket(&self, v: &WeightedSet, d: usize) -> i64 {
+        let dot: f64 = v.iter().map(|(k, w)| w * self.coord(d, k)).sum();
+        let b = self.oracle.unit2(role::MINHASH ^ 0x64, d as u64) * self.width;
+        ((dot + b) / self.width).floor() as i64
+    }
+
+    /// All `D` bucket indices.
+    #[must_use]
+    pub fn signature(&self, v: &WeightedSet) -> Vec<i64> {
+        (0..self.num_hashes).map(|d| self.bucket(v, d)).collect()
+    }
+
+    /// Closed-form collision probability of one hash at distance `c > 0`.
+    ///
+    /// Gaussian (`p = 2`, Datar et al. Eq. for `f_2`):
+    /// `p(c) = 1 − 2Φ(−w/c) − (2c/(√(2π) w))(1 − e^{−w²/(2c²)})`.
+    /// Cauchy (`p = 1`):
+    /// `p(c) = 2·atan(w/c)/π − (c/(πw))·ln(1 + (w/c)²)`.
+    #[must_use]
+    pub fn collision_probability(&self, c: f64) -> f64 {
+        if c <= 0.0 {
+            return 1.0;
+        }
+        let r = self.width / c;
+        match self.stable {
+            Stable::Gaussian => {
+                1.0 - 2.0 * standard_normal_cdf(-r)
+                    - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r)
+                        * (1.0 - (-r * r / 2.0).exp())
+            }
+            Stable::Cauchy => {
+                2.0 * r.atan() / std::f64::consts::PI
+                    - (1.0 / (std::f64::consts::PI * r)) * (1.0 + r * r).ln()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_sets::lp_distance;
+
+    fn ws(pairs: &[(u64, f64)]) -> WeightedSet {
+        WeightedSet::from_pairs(pairs.iter().copied()).expect("valid")
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(PStableLsh::new(1, 4, Stable::Gaussian, 0.0).is_err());
+        assert!(PStableLsh::new(1, 4, Stable::Gaussian, f64::NAN).is_err());
+        assert!(PStableLsh::new(1, 4, Stable::Cauchy, 2.0).is_ok());
+    }
+
+    #[test]
+    fn identical_points_always_collide() {
+        let lsh = PStableLsh::new(2, 64, Stable::Gaussian, 4.0).unwrap();
+        let v = ws(&[(1, 0.5), (2, 2.0)]);
+        assert_eq!(lsh.signature(&v), lsh.signature(&v));
+    }
+
+    #[test]
+    fn collision_probability_is_monotone_decreasing() {
+        for stable in [Stable::Gaussian, Stable::Cauchy] {
+            let lsh = PStableLsh::new(3, 1, stable, 4.0).unwrap();
+            let mut prev = 1.0;
+            for c in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+                let p = lsh.collision_probability(c);
+                assert!(p < prev, "{stable:?}: p({c}) = {p} not below {prev}");
+                assert!((0.0..=1.0).contains(&p));
+                prev = p;
+            }
+            assert_eq!(lsh.collision_probability(0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_closed_form_gaussian() {
+        let trials = 4000;
+        let w = 4.0;
+        let lsh = PStableLsh::new(4, trials, Stable::Gaussian, w).unwrap();
+        let v = ws(&[(1, 1.0)]);
+        let u = ws(&[(1, 3.0)]); // l2 distance 2
+        let c = lp_distance(&v, &u, 2.0);
+        let want = lsh.collision_probability(c);
+        let hits = (0..trials)
+            .filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&u, d))
+            .count();
+        let got = hits as f64 / trials as f64;
+        let sd = (want * (1.0 - want) / trials as f64).sqrt();
+        assert!((got - want).abs() < 5.0 * sd, "got {got} want {want}");
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_closed_form_cauchy() {
+        let trials = 4000;
+        let w = 4.0;
+        let lsh = PStableLsh::new(5, trials, Stable::Cauchy, w).unwrap();
+        let v = ws(&[(1, 1.0), (2, 1.0)]);
+        let u = ws(&[(1, 2.0), (2, 2.0)]); // l1 distance 2
+        let c = lp_distance(&v, &u, 1.0);
+        let want = lsh.collision_probability(c);
+        let hits = (0..trials)
+            .filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&u, d))
+            .count();
+        let got = hits as f64 / trials as f64;
+        let sd = (want * (1.0 - want) / trials as f64).sqrt();
+        assert!((got - want).abs() < 5.0 * sd, "got {got} want {want}");
+    }
+
+    #[test]
+    fn closer_points_collide_more_often() {
+        let trials = 2000;
+        let lsh = PStableLsh::new(6, trials, Stable::Gaussian, 2.0).unwrap();
+        let origin = ws(&[(1, 1.0)]);
+        let near = ws(&[(1, 1.5)]);
+        let far = ws(&[(1, 9.0)]);
+        let hits = |u: &WeightedSet| {
+            (0..trials)
+                .filter(|&d| lsh.bucket(&origin, d) == lsh.bucket(u, d))
+                .count()
+        };
+        assert!(hits(&near) > hits(&far) + 100);
+    }
+}

@@ -1,0 +1,197 @@
+//! SimHash — sign random projections for cosine similarity (Charikar 2002;
+//! paper Table 1).
+//!
+//! Each hash bit is the sign of a projection onto a random Gaussian
+//! direction; two vectors collide on a bit with probability `1 − θ/π`,
+//! where `θ` is the angle between them. The Gaussian coordinates are hashed
+//! per `(d, element)`, so sparse vectors only touch their own support.
+
+use wmh_hash::seeded::role;
+use wmh_hash::SeededHash;
+use wmh_rng::dist::normal_from_units;
+use wmh_sets::WeightedSet;
+
+/// Sign-random-projection hasher.
+#[derive(Debug, Clone)]
+pub struct SimHash {
+    oracle: SeededHash,
+    num_bits: usize,
+}
+
+/// A SimHash signature: `num_bits` sign bits, packed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimHashSignature {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SimHash {
+    /// Create a SimHash with `num_bits` projections.
+    #[must_use]
+    pub fn new(seed: u64, num_bits: usize) -> Self {
+        Self { oracle: SeededHash::new(seed), num_bits }
+    }
+
+    /// Number of projections.
+    #[must_use]
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// The Gaussian coordinate of direction `d` at element `k` (consistent
+    /// across vectors — the "global" random directions).
+    #[must_use]
+    pub fn direction_coord(&self, d: usize, k: u64) -> f64 {
+        normal_from_units(
+            self.oracle.unit3(role::MINHASH ^ 0x51, d as u64, k),
+            self.oracle.unit3(role::MINHASH ^ 0x52, d as u64, k),
+        )
+    }
+
+    /// Sign signature of a sparse vector.
+    #[must_use]
+    pub fn signature(&self, v: &WeightedSet) -> SimHashSignature {
+        let mut bits = vec![0u64; self.num_bits.div_ceil(64)];
+        for d in 0..self.num_bits {
+            let dot: f64 = v.iter().map(|(k, w)| w * self.direction_coord(d, k)).sum();
+            if dot >= 0.0 {
+                bits[d / 64] |= 1u64 << (d % 64);
+            }
+        }
+        SimHashSignature { bits, len: self.num_bits }
+    }
+}
+
+impl SimHashSignature {
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the signature is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `d`-th bit.
+    #[must_use]
+    pub fn bit(&self, d: usize) -> bool {
+        (self.bits[d / 64] >> (d % 64)) & 1 == 1
+    }
+
+    /// Hamming distance to another signature.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn hamming(&self, other: &Self) -> u32 {
+        assert_eq!(self.len, other.len, "signature length mismatch");
+        let mut acc = 0u32;
+        for (i, (a, b)) in self.bits.iter().zip(&other.bits).enumerate() {
+            let mut x = a ^ b;
+            // Mask tail bits beyond len in the last word.
+            if (i + 1) * 64 > self.len {
+                let valid = self.len - i * 64;
+                x &= (1u64 << valid) - 1;
+            }
+            acc += x.count_ones();
+        }
+        acc
+    }
+
+    /// Estimate the cosine similarity: `cos(π · ham/len)`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn estimate_cosine(&self, other: &Self) -> f64 {
+        let theta = std::f64::consts::PI * f64::from(self.hamming(other)) / self.len as f64;
+        theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_sets::cosine_similarity;
+
+    fn ws(pairs: &[(u64, f64)]) -> WeightedSet {
+        WeightedSet::from_pairs(pairs.iter().copied()).expect("valid")
+    }
+
+    #[test]
+    fn identical_vectors_have_zero_hamming() {
+        let sh = SimHash::new(1, 256);
+        let v = ws(&[(1, 0.5), (9, 2.0), (77, 0.1)]);
+        let a = sh.signature(&v);
+        assert_eq!(a.hamming(&sh.signature(&v)), 0);
+        assert!((a.estimate_cosine(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_cosine_similarity() {
+        let bits = 4096;
+        let sh = SimHash::new(2, bits);
+        let v = ws(&(0..40u64).map(|k| (k, 1.0 + (k % 5) as f64)).collect::<Vec<_>>());
+        let w = ws(&(20..60u64).map(|k| (k, 1.0 + (k % 7) as f64)).collect::<Vec<_>>());
+        let truth = cosine_similarity(&v, &w);
+        let est = sh.signature(&v).estimate_cosine(&sh.signature(&w));
+        // Collision probability is 1 − θ/π; delta-method noise on cos.
+        assert!((est - truth).abs() < 0.06, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn opposite_vectors_disagree_everywhere() {
+        // v and −v are not representable (weights > 0), but two disjoint
+        // vectors are orthogonal: expect hamming ≈ len/2.
+        let bits = 2048;
+        let sh = SimHash::new(3, bits);
+        let v = ws(&(0..30u64).map(|k| (k, 1.0)).collect::<Vec<_>>());
+        let w = ws(&(100..130u64).map(|k| (k, 1.0)).collect::<Vec<_>>());
+        let ham = f64::from(sh.signature(&v).hamming(&sh.signature(&w)));
+        let z = (ham - bits as f64 / 2.0) / (bits as f64 / 4.0).sqrt();
+        assert!(z.abs() < 5.0, "orthogonal hamming z = {z}");
+        let est = sh.signature(&v).estimate_cosine(&sh.signature(&w));
+        assert!(est.abs() < 0.1, "orthogonal cosine {est}");
+    }
+
+    #[test]
+    fn signature_bits_are_balanced() {
+        let bits = 2048;
+        let sh = SimHash::new(4, bits);
+        let v = ws(&[(5, 1.0), (6, 2.0), (7, 0.5)]);
+        let sig = sh.signature(&v);
+        let ones = (0..bits).filter(|&d| sig.bit(d)).count() as f64;
+        let z = (ones - bits as f64 / 2.0) / (bits as f64 / 4.0).sqrt();
+        assert!(z.abs() < 5.0, "bit balance z = {z}");
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Sign projections ignore positive scaling.
+        let sh = SimHash::new(5, 128);
+        let v = ws(&[(1, 0.2), (2, 1.4)]);
+        let v3 = v.scaled(3.0).expect("valid");
+        assert_eq!(sh.signature(&v), sh.signature(&v3));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = SimHash::new(6, 64).signature(&ws(&[(1, 1.0)]));
+        let b = SimHash::new(6, 128).signature(&ws(&[(1, 1.0)]));
+        let _ = a.hamming(&b);
+    }
+
+    #[test]
+    fn tail_bits_are_masked() {
+        // len not a multiple of 64 must not leak garbage into hamming.
+        let sh = SimHash::new(7, 70);
+        let v = ws(&[(1, 1.0)]);
+        let a = sh.signature(&v);
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(a.len(), 70);
+    }
+}

@@ -1,0 +1,174 @@
+//! Hashed one-hot feature maps over sketches.
+//!
+//! Each fingerprint position `d` contributes one active feature
+//! `hash(d, code_d) mod dim`. Two documents share an active feature at
+//! position `d` exactly when their codes collide there, so
+//! `⟨φ(S), φ(T)⟩ = D · Sim(S,T)` up to rare bucket collisions — the
+//! "similarity kernel as inner product" construction of b-bit/0-bit
+//! minwise hashing for linear learning.
+
+use wmh_core::Sketch;
+use wmh_hash::SeededHash;
+
+/// Maps sketches into sparse binary vectors of a fixed dimension.
+#[derive(Debug, Clone)]
+pub struct SketchFeatureMap {
+    oracle: SeededHash,
+    dim: usize,
+}
+
+/// Errors for [`SketchFeatureMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureMapError {
+    /// Dimension must be positive.
+    ZeroDimension,
+    /// The sketch has no codes.
+    EmptySketch,
+}
+
+impl std::fmt::Display for FeatureMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroDimension => write!(f, "feature dimension must be positive"),
+            Self::EmptySketch => write!(f, "cannot map an empty sketch"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureMapError {}
+
+impl SketchFeatureMap {
+    /// Create a map into `dim` feature buckets.
+    ///
+    /// # Errors
+    /// [`FeatureMapError::ZeroDimension`] when `dim == 0`.
+    pub fn new(seed: u64, dim: usize) -> Result<Self, FeatureMapError> {
+        if dim == 0 {
+            return Err(FeatureMapError::ZeroDimension);
+        }
+        Ok(Self { oracle: SeededHash::new(seed ^ 0xFEA7_0123), dim })
+    }
+
+    /// Feature dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Active feature indices of a sketch (one per fingerprint position,
+    /// sorted, possibly with duplicates collapsed).
+    ///
+    /// # Errors
+    /// [`FeatureMapError::EmptySketch`] for empty sketches.
+    pub fn map(&self, sketch: &Sketch) -> Result<Vec<u32>, FeatureMapError> {
+        if sketch.is_empty() {
+            return Err(FeatureMapError::EmptySketch);
+        }
+        let mut out: Vec<u32> = sketch
+            .codes
+            .iter()
+            .enumerate()
+            .map(|(d, &code)| {
+                let h = self.oracle.hash2(d as u64, code);
+                ((u128::from(h) * self.dim as u128) >> 64) as u32
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Inner product of two mapped sketches (shared active features).
+    ///
+    /// # Errors
+    /// Propagates mapping errors.
+    pub fn dot(&self, a: &Sketch, b: &Sketch) -> Result<usize, FeatureMapError> {
+        let fa = self.map(a)?;
+        let fb = self.map(b)?;
+        let (mut i, mut j, mut hits) = (0usize, 0usize, 0usize);
+        while i < fa.len() && j < fb.len() {
+            match fa[i].cmp(&fb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    hits += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_core::cws::ZeroBitCws;
+    use wmh_core::Sketcher;
+    use wmh_sets::WeightedSet;
+
+    fn sk(codes: Vec<u64>) -> Sketch {
+        Sketch { algorithm: "test".into(), seed: 0, codes }
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(SketchFeatureMap::new(1, 0).unwrap_err(), FeatureMapError::ZeroDimension);
+        assert!(SketchFeatureMap::new(1, 64).is_ok());
+    }
+
+    #[test]
+    fn empty_sketch_rejected() {
+        let m = SketchFeatureMap::new(1, 64).unwrap();
+        assert_eq!(m.map(&sk(vec![])).unwrap_err(), FeatureMapError::EmptySketch);
+    }
+
+    #[test]
+    fn features_in_range_sorted_dedup() {
+        let m = SketchFeatureMap::new(2, 100).unwrap();
+        let f = m.map(&sk((0..500).map(|i| i * 31).collect())).unwrap();
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+        assert!(f.iter().all(|&x| (x as usize) < 100));
+    }
+
+    #[test]
+    fn identical_sketches_have_full_dot() {
+        let m = SketchFeatureMap::new(3, 1 << 20).unwrap();
+        let s = sk((0..64).map(|i| i * 977).collect());
+        let f = m.map(&s).unwrap();
+        assert_eq!(m.dot(&s, &s).unwrap(), f.len());
+        // With a huge dimension, hardly any bucket collisions: 64 features.
+        assert!(f.len() >= 62);
+    }
+
+    #[test]
+    fn dot_tracks_sketch_collisions() {
+        // Build two sketches agreeing on exactly half the positions.
+        let a: Vec<u64> = (0..128).map(|i| i * 13 + 1).collect();
+        let mut b = a.clone();
+        for (i, v) in b.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v ^= 0xDEAD_0000_0000;
+            }
+        }
+        let m = SketchFeatureMap::new(4, 1 << 22).unwrap();
+        let dot = m.dot(&sk(a), &sk(b)).unwrap();
+        // 64 agreeing positions map to 64 shared features (±bucket noise).
+        assert!((60..=68).contains(&dot), "dot {dot}");
+    }
+
+    #[test]
+    fn kernel_approximates_generalized_jaccard() {
+        // ⟨φ(S), φ(T)⟩ / D ≈ genJ(S, T) through 0-bit CWS codes.
+        let d = 512;
+        let zb = ZeroBitCws::new(7, d);
+        let s = WeightedSet::from_pairs((0..50u64).map(|k| (k, 1.0 + (k % 3) as f64))).unwrap();
+        let t = WeightedSet::from_pairs((25..75u64).map(|k| (k, 1.0 + (k % 3) as f64))).unwrap();
+        let truth = wmh_sets::generalized_jaccard(&s, &t);
+        let m = SketchFeatureMap::new(8, 1 << 22).unwrap();
+        let dot = m.dot(&zb.sketch(&s).unwrap(), &zb.sketch(&t).unwrap()).unwrap();
+        let est = dot as f64 / d as f64;
+        assert!((est - truth).abs() < 0.07, "kernel {est} vs genJ {truth}");
+    }
+}

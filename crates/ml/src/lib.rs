@@ -1,0 +1,30 @@
+//! # `wmh-ml` — sketches as features for linear learning
+//!
+//! The review motivates 0-bit CWS by the needs of *"large-scale linear
+//! classifiers"* (paper §4.2.3, citing Li's KDD'15 paper and the
+//! "Hashing Algorithms for Large-Scale Learning" line of work in §1): a
+//! fingerprint whose codes are plain element ids can be one-hot encoded and
+//! fed to a linear model, turning generalized-Jaccard similarity into an
+//! (approximate) kernel the model can exploit at `O(D)` cost per document.
+//!
+//! This crate implements that pipeline end to end:
+//!
+//! * [`features`] — the hashed one-hot feature map from any
+//!   [`wmh_core::Sketch`] into a fixed-dimension sparse binary vector. The
+//!   inner product of two mapped sketches equals `D · Sim(S, T)` in
+//!   expectation (minus hash-bucket noise), so a linear model over the map
+//!   approximates a generalized-Jaccard kernel machine.
+//! * [`linear`] — compact sparse linear learners (averaged perceptron and
+//!   logistic regression with SGD), written from scratch; enough to
+//!   demonstrate and test the pipeline without pulling an ML framework.
+//! * [`pipeline`] — [`pipeline::SketchClassifier`], gluing a sketcher, the
+//!   feature map and a learner behind a `fit`/`predict` API over
+//!   [`wmh_sets::WeightedSet`] documents.
+
+pub mod features;
+pub mod linear;
+pub mod pipeline;
+
+pub use features::SketchFeatureMap;
+pub use linear::{LogisticRegression, Perceptron};
+pub use pipeline::SketchClassifier;

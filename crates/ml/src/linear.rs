@@ -1,0 +1,219 @@
+//! Compact sparse linear learners over binary feature vectors.
+//!
+//! Inputs are sorted lists of active feature indices (the output of
+//! [`crate::features::SketchFeatureMap`]); labels are `bool`. Two models:
+//!
+//! * [`Perceptron`] — averaged perceptron, a margin-free baseline;
+//! * [`LogisticRegression`] — SGD with L2 regularization, giving calibrated
+//!   probabilities.
+
+/// An averaged perceptron over sparse binary features.
+#[derive(Debug, Clone)]
+pub struct Perceptron {
+    weights: Vec<f64>,
+    acc: Vec<f64>,
+    bias: f64,
+    acc_bias: f64,
+    updates: u64,
+}
+
+impl Perceptron {
+    /// Create a model over `dim` features.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            weights: vec![0.0; dim],
+            acc: vec![0.0; dim],
+            bias: 0.0,
+            acc_bias: 0.0,
+            updates: 0,
+        }
+    }
+
+    /// Raw score of the *current* (non-averaged) weights.
+    fn raw_score(&self, features: &[u32]) -> f64 {
+        features.iter().map(|&f| self.weights[f as usize]).sum::<f64>() + self.bias
+    }
+
+    /// Averaged decision score.
+    #[must_use]
+    pub fn score(&self, features: &[u32]) -> f64 {
+        if self.updates == 0 {
+            return 0.0;
+        }
+        let n = self.updates as f64;
+        let avg: f64 = features
+            .iter()
+            .map(|&f| self.weights[f as usize] - self.acc[f as usize] / n)
+            .sum();
+        avg + (self.bias - self.acc_bias / n)
+    }
+
+    /// Predicted label.
+    #[must_use]
+    pub fn predict(&self, features: &[u32]) -> bool {
+        self.score(features) >= 0.0
+    }
+
+    /// One online update; returns whether the example was misclassified.
+    pub fn update(&mut self, features: &[u32], label: bool) -> bool {
+        self.updates += 1;
+        let y = if label { 1.0 } else { -1.0 };
+        let wrong = y * self.raw_score(features) <= 0.0;
+        if wrong {
+            for &f in features {
+                self.weights[f as usize] += y;
+                self.acc[f as usize] += y * self.updates as f64;
+            }
+            self.bias += y;
+            self.acc_bias += y * self.updates as f64;
+        }
+        wrong
+    }
+
+    /// Train for `epochs` passes.
+    pub fn fit(&mut self, data: &[(Vec<u32>, bool)], epochs: usize) {
+        for _ in 0..epochs {
+            for (features, label) in data {
+                self.update(features, *label);
+            }
+        }
+    }
+}
+
+/// L2-regularized logistic regression with SGD over sparse binary features.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    learning_rate: f64,
+    l2: f64,
+}
+
+impl LogisticRegression {
+    /// Create a model over `dim` features.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self { weights: vec![0.0; dim], bias: 0.0, learning_rate: 0.1, l2: 1e-5 }
+    }
+
+    /// Override the SGD learning rate (default 0.1).
+    #[must_use]
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Override the L2 penalty (default 1e-5).
+    #[must_use]
+    pub fn with_l2(mut self, l2: f64) -> Self {
+        self.l2 = l2;
+        self
+    }
+
+    /// Predicted probability of the positive class.
+    #[must_use]
+    pub fn probability(&self, features: &[u32]) -> f64 {
+        let z: f64 =
+            features.iter().map(|&f| self.weights[f as usize]).sum::<f64>() + self.bias;
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Predicted label.
+    #[must_use]
+    pub fn predict(&self, features: &[u32]) -> bool {
+        self.probability(features) >= 0.5
+    }
+
+    /// One SGD step.
+    pub fn update(&mut self, features: &[u32], label: bool) {
+        let y = f64::from(u8::from(label));
+        let err = y - self.probability(features);
+        let step = self.learning_rate * err;
+        for &f in features {
+            let w = &mut self.weights[f as usize];
+            *w += step - self.learning_rate * self.l2 * *w;
+        }
+        self.bias += step;
+    }
+
+    /// Train for `epochs` passes.
+    pub fn fit(&mut self, data: &[(Vec<u32>, bool)], epochs: usize) {
+        for _ in 0..epochs {
+            for (features, label) in data {
+                self.update(features, *label);
+            }
+        }
+    }
+}
+
+/// Classification accuracy of any predictor closure on a labeled set.
+#[must_use]
+pub fn accuracy(predict: impl Fn(&[u32]) -> bool, data: &[(Vec<u32>, bool)]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let hits = data.iter().filter(|(f, y)| predict(f) == *y).count();
+    hits as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy data: positive examples activate low features,
+    /// negative examples high features, with a shared noise feature.
+    fn toy(n: usize) -> Vec<(Vec<u32>, bool)> {
+        (0..n)
+            .map(|i| {
+                let label = i % 2 == 0;
+                let base: u32 = if label { 0 } else { 10 };
+                (vec![base + (i as u32 % 5), 20], label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perceptron_separates_toy_data() {
+        let data = toy(200);
+        let mut p = Perceptron::new(32);
+        p.fit(&data, 5);
+        assert!(accuracy(|f| p.predict(f), &data) > 0.99);
+    }
+
+    #[test]
+    fn logistic_separates_toy_data_with_calibrated_probs() {
+        let data = toy(200);
+        let mut m = LogisticRegression::new(32);
+        m.fit(&data, 30);
+        assert!(accuracy(|f| m.predict(f), &data) > 0.99);
+        let p_pos = m.probability(&[1, 20]);
+        let p_neg = m.probability(&[11, 20]);
+        assert!(p_pos > 0.9, "positive prob {p_pos}");
+        assert!(p_neg < 0.1, "negative prob {p_neg}");
+    }
+
+    #[test]
+    fn untrained_models_are_indifferent() {
+        let p = Perceptron::new(8);
+        assert_eq!(p.score(&[1, 2]), 0.0);
+        let m = LogisticRegression::new(8);
+        assert!((m.probability(&[1, 2]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_handles_empty_data() {
+        assert_eq!(accuracy(|_| true, &[]), 0.0);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let data = toy(100);
+        let mut strong = LogisticRegression::new(32).with_l2(0.5);
+        let mut weak = LogisticRegression::new(32).with_l2(0.0);
+        strong.fit(&data, 20);
+        weak.fit(&data, 20);
+        let norm = |m: &LogisticRegression| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&strong) < norm(&weak));
+    }
+}

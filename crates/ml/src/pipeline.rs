@@ -1,0 +1,199 @@
+//! The glued pipeline: weighted sets → sketches → hashed features → linear
+//! model. This is the "0-bit CWS for large-scale linear classifiers"
+//! application of paper §4.2.3, behind a two-call `fit`/`predict` API.
+
+use crate::features::{FeatureMapError, SketchFeatureMap};
+use crate::linear::LogisticRegression;
+use wmh_core::{SketchError, Sketcher};
+use wmh_sets::WeightedSet;
+
+/// Errors from the pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Sketching failed (e.g. empty document).
+    Sketch(SketchError),
+    /// Feature mapping failed.
+    Features(FeatureMapError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Sketch(e) => write!(f, "sketching failed: {e}"),
+            Self::Features(e) => write!(f, "feature mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SketchError> for PipelineError {
+    fn from(e: SketchError) -> Self {
+        Self::Sketch(e)
+    }
+}
+
+impl From<FeatureMapError> for PipelineError {
+    fn from(e: FeatureMapError) -> Self {
+        Self::Features(e)
+    }
+}
+
+/// A binary document classifier over sketch features.
+///
+/// ```
+/// use wmh_ml::SketchClassifier;
+/// use wmh_core::cws::ZeroBitCws;
+/// use wmh_sets::WeightedSet;
+/// let mut clf = SketchClassifier::new(ZeroBitCws::new(1, 64), 1, 1024).unwrap();
+/// let pos = WeightedSet::from_pairs((0..20).map(|k| (k, 1.0))).unwrap();
+/// let neg = WeightedSet::from_pairs((100..120).map(|k| (k, 1.0))).unwrap();
+/// clf.fit(&[(pos.clone(), true), (neg.clone(), false)], 20).unwrap();
+/// assert!(clf.predict(&pos).unwrap());
+/// assert!(!clf.predict(&neg).unwrap());
+/// ```
+pub struct SketchClassifier<S: Sketcher> {
+    sketcher: S,
+    map: SketchFeatureMap,
+    model: LogisticRegression,
+}
+
+impl<S: Sketcher> SketchClassifier<S> {
+    /// Create a classifier with `dim` hashed feature buckets.
+    ///
+    /// # Errors
+    /// [`FeatureMapError::ZeroDimension`] when `dim == 0`.
+    pub fn new(sketcher: S, seed: u64, dim: usize) -> Result<Self, PipelineError> {
+        Ok(Self {
+            map: SketchFeatureMap::new(seed, dim)?,
+            model: LogisticRegression::new(dim),
+            sketcher,
+        })
+    }
+
+    /// Map one document to its active features.
+    ///
+    /// # Errors
+    /// Sketching / mapping failures (e.g. empty documents).
+    pub fn featurize(&self, doc: &WeightedSet) -> Result<Vec<u32>, PipelineError> {
+        Ok(self.map.map(&self.sketcher.sketch(doc)?)?)
+    }
+
+    /// Train on labeled documents for `epochs` SGD passes.
+    ///
+    /// # Errors
+    /// Fails on the first unfeaturizable document.
+    pub fn fit(
+        &mut self,
+        docs: &[(WeightedSet, bool)],
+        epochs: usize,
+    ) -> Result<(), PipelineError> {
+        let data: Vec<(Vec<u32>, bool)> = docs
+            .iter()
+            .map(|(d, y)| Ok((self.featurize(d)?, *y)))
+            .collect::<Result<_, PipelineError>>()?;
+        self.model.fit(&data, epochs);
+        Ok(())
+    }
+
+    /// Predicted probability of the positive class.
+    ///
+    /// # Errors
+    /// Sketching / mapping failures.
+    pub fn probability(&self, doc: &WeightedSet) -> Result<f64, PipelineError> {
+        Ok(self.model.probability(&self.featurize(doc)?))
+    }
+
+    /// Predicted label.
+    ///
+    /// # Errors
+    /// Sketching / mapping failures.
+    pub fn predict(&self, doc: &WeightedSet) -> Result<bool, PipelineError> {
+        Ok(self.probability(doc)? >= 0.5)
+    }
+
+    /// Accuracy on a labeled evaluation set.
+    ///
+    /// # Errors
+    /// Fails on the first unfeaturizable document.
+    pub fn accuracy(&self, docs: &[(WeightedSet, bool)]) -> Result<f64, PipelineError> {
+        if docs.is_empty() {
+            return Ok(0.0);
+        }
+        let mut hits = 0usize;
+        for (d, y) in docs {
+            if self.predict(d)? == *y {
+                hits += 1;
+            }
+        }
+        Ok(hits as f64 / docs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmh_core::cws::ZeroBitCws;
+    use wmh_rng::{Prng, Xoshiro256pp};
+
+    /// Two synthetic topics over overlapping vocabularies: class A draws
+    /// most of its mass from features 0..80, class B from 40..120.
+    fn corpus(n: usize, seed: u64) -> Vec<(WeightedSet, bool)> {
+        let mut rng = Xoshiro256pp::new(seed);
+        (0..n)
+            .map(|i| {
+                let label = i % 2 == 0;
+                let base = if label { 0u64 } else { 40 };
+                let mut pairs = std::collections::BTreeMap::new();
+                for _ in 0..30 {
+                    let k = base + rng.next_below(80);
+                    *pairs.entry(k).or_insert(0.0) += 1.0 + rng.next_f64();
+                }
+                (WeightedSet::from_pairs(pairs).expect("valid"), label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_bit_pipeline_learns_topics() {
+        let train = corpus(300, 1);
+        let test = corpus(120, 2);
+        let mut clf = SketchClassifier::new(ZeroBitCws::new(5, 128), 5, 4096)
+            .expect("valid dim");
+        clf.fit(&train, 12).expect("trainable");
+        let acc = clf.accuracy(&test).expect("evaluable");
+        assert!(acc > 0.9, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn pipeline_probabilities_are_calibrated_directionally() {
+        let train = corpus(300, 3);
+        let mut clf = SketchClassifier::new(ZeroBitCws::new(7, 128), 7, 4096)
+            .expect("valid dim");
+        clf.fit(&train, 12).expect("trainable");
+        // Strongly class-A and class-B documents.
+        let a = WeightedSet::from_pairs((0..30u64).map(|k| (k, 2.0))).expect("valid");
+        let b = WeightedSet::from_pairs((90..120u64).map(|k| (k, 2.0))).expect("valid");
+        let pa = clf.probability(&a).expect("ok");
+        let pb = clf.probability(&b).expect("ok");
+        assert!(pa > 0.7, "class-A prob {pa}");
+        assert!(pb < 0.3, "class-B prob {pb}");
+    }
+
+    #[test]
+    fn empty_documents_error_cleanly() {
+        let mut clf = SketchClassifier::new(ZeroBitCws::new(1, 16), 1, 64).expect("valid");
+        let empty = WeightedSet::empty();
+        assert!(matches!(
+            clf.predict(&empty),
+            Err(PipelineError::Sketch(SketchError::EmptySet))
+        ));
+        assert!(clf.fit(&[(empty, true)], 1).is_err());
+    }
+
+    #[test]
+    fn empty_eval_set_scores_zero() {
+        let clf = SketchClassifier::new(ZeroBitCws::new(1, 16), 1, 64).expect("valid");
+        assert_eq!(clf.accuracy(&[]).expect("ok"), 0.0);
+    }
+}

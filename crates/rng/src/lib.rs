@@ -1,0 +1,33 @@
+//! # `wmh-rng` — deterministic randomness and distributions
+//!
+//! The review's algorithms consume a small zoo of distributions:
+//!
+//! * `Uniform(0,1)` — everywhere;
+//! * `Exp(λ)` — the uniformity mechanism of ICWS/PCWS/Chum (paper Eq. 8/19/28);
+//! * `Gamma(2,1) = −ln(u₁·u₂)` — ICWS `r_k`, `c_k` (paper §4.2.5);
+//! * `Beta(2,1)` — CCWS `r_k` (paper Eq. 14);
+//! * `Geometric(p)` — the skip lengths of \[Gollapudi et al., 2006\](1) (§4.1);
+//! * power-law / Pareto — the synthetic datasets of §6.1.
+//!
+//! Two consumption styles exist side by side:
+//!
+//! 1. **Sequential** sampling from a [`prng::Prng`] stream — used by the data
+//!    generator and the evaluation harness;
+//! 2. **Hashed** sampling, where a variate is a pure function of identifying
+//!    coordinates through [`wmh_hash::SeededHash`] — used by the sketching
+//!    algorithms, which require the *same* element in *different* sets to see
+//!    the *same* variate (consistency). The [`dist`] module supports both via
+//!    inverse-CDF transforms of unit uniforms.
+//!
+//! The [`stats`] module implements the Kolmogorov–Smirnov and χ²
+//! goodness-of-fit tests used throughout the workspace's test suites to
+//! verify every sampler against its analytic law.
+
+pub mod dist;
+pub mod prng;
+pub mod stats;
+
+pub use dist::{
+    beta21_from_unit, exp_from_unit, gamma21_from_units, geometric_from_unit, pareto_from_unit,
+};
+pub use prng::{Prng, SplitMix64, Xoshiro256pp};

@@ -1,0 +1,299 @@
+//! Statistical helpers: summary statistics and goodness-of-fit tests.
+//!
+//! Used by the test suites of every crate in the workspace to verify samplers
+//! and estimator distributions, and by `wmh-eval` to compute the MSE /
+//! bias / variance columns of the reproduced figures.
+
+/// Sample mean and *unbiased* sample variance (`n−1` denominator).
+///
+/// Returns `(0.0, 0.0)` for empty input and `(x, 0.0)` for singletons.
+#[must_use]
+pub fn mean_and_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return (mean, 0.0);
+    }
+    let ss = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+    (mean, ss / (n - 1) as f64)
+}
+
+/// Population standard deviation (`n` denominator) — what MATLAB's
+/// `std(x, 1)` computes; used for the Table 4 "Average Std of Weights"
+/// column so our numbers are comparable to the paper's.
+#[must_use]
+pub fn population_std(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let ss = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+    (ss / n as f64).sqrt()
+}
+
+/// Mean squared error between paired estimates and truths.
+///
+/// The paper's Figure 8 metric: `MSE = Σ (est_i − true_i)² / n`.
+#[must_use]
+pub fn mse(estimates: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len(), "mse: length mismatch");
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+/// One-sample Kolmogorov–Smirnov statistic `D = sup |F̂(x) − F(x)|` against a
+/// continuous CDF.
+///
+/// Sorts a copy of the sample; `cdf` must be the hypothesized distribution
+/// function. Compare `D` against `c(α)/√n` (`c(0.01) ≈ 1.63`).
+#[must_use]
+pub fn ks_statistic(sample: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    let mut xs = sample.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i as f64 + 1.0) / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Asymptotic p-value for a one-sample KS statistic `D` with sample size
+/// `n`, via the Kolmogorov distribution series
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}` with the Stephens small-sample
+/// correction `λ = D(√n + 0.12 + 0.11/√n)`.
+#[must_use]
+pub fn ks_pvalue(d: f64, n: usize) -> f64 {
+    if n == 0 || d <= 0.0 {
+        return 1.0;
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+    if lambda < 1.18 {
+        // Small-λ regime: the alternating series converges too slowly, so
+        // use the Jacobi-theta dual form
+        // P(K ≤ λ) = (√(2π)/λ) Σ_{k≥1} e^{−(2k−1)²π²/(8λ²)}.
+        let mut cdf = 0.0f64;
+        for k in 1..=20u32 {
+            let m = f64::from(2 * k - 1);
+            cdf += (-m * m * std::f64::consts::PI * std::f64::consts::PI
+                / (8.0 * lambda * lambda))
+                .exp();
+        }
+        cdf *= (2.0 * std::f64::consts::PI).sqrt() / lambda;
+        (1.0 - cdf).clamp(0.0, 1.0)
+    } else {
+        let mut sum = 0.0f64;
+        for k in 1..=100u32 {
+            let kf = f64::from(k);
+            let term = (-2.0 * kf * kf * lambda * lambda).exp();
+            sum += if k % 2 == 1 { term } else { -term };
+            if term < 1e-16 {
+                break;
+            }
+        }
+        (2.0 * sum).clamp(0.0, 1.0)
+    }
+}
+
+/// χ² statistic for observed counts against equal expected frequencies.
+#[must_use]
+pub fn chi_square_uniform(counts: &[u32]) -> f64 {
+    let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+    if counts.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let expect = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = f64::from(c) - expect;
+            d * d / expect
+        })
+        .sum()
+}
+
+/// Approximate p-value for a χ² statistic with `k−1` degrees of freedom via
+/// the Wilson–Hilferty cube-root normal approximation.
+#[must_use]
+pub fn chi_square_uniform_pvalue(counts: &[u32]) -> f64 {
+    let k = counts.len();
+    if k < 2 {
+        return 1.0;
+    }
+    let stat = chi_square_uniform(counts);
+    let dof = (k - 1) as f64;
+    // Wilson–Hilferty: (X/dof)^(1/3) ≈ Normal(1 − 2/(9 dof), 2/(9 dof)).
+    let z = ((stat / dof).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof)))
+        / (2.0 / (9.0 * dof)).sqrt();
+    1.0 - standard_normal_cdf(z)
+}
+
+/// Standard normal CDF via the complementary-error-function series
+/// (Abramowitz & Stegun 7.1.26, |ε| < 1.5·10⁻⁷).
+#[must_use]
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf_abs = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf_abs } else { -erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+/// Two-sided binomial z-test helper: z-score of observing `successes` out of
+/// `trials` under success probability `p`.
+#[must_use]
+pub fn binomial_z(successes: u64, trials: u64, p: f64) -> f64 {
+    assert!(trials > 0, "binomial_z: zero trials");
+    let n = trials as f64;
+    (successes as f64 - n * p) / (n * p * (1.0 - p)).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_var_basics() {
+        assert_eq!(mean_and_var(&[]), (0.0, 0.0));
+        assert_eq!(mean_and_var(&[3.0]), (3.0, 0.0));
+        let (m, v) = mean_and_var(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!((v - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_std_matches_definition() {
+        let s = population_std(&[2.0, 4.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(population_std(&[]), 0.0);
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        let m = mse(&[1.0, 2.0], &[0.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_length_mismatch_panics() {
+        let _ = mse(&[1.0], &[]);
+    }
+
+    #[test]
+    fn ks_accepts_true_distribution() {
+        // Uniform grid against the uniform CDF: D ≈ 1/(2n).
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(d < 0.002, "D = {d}");
+    }
+
+    #[test]
+    fn ks_rejects_wrong_distribution() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i as f64 + 0.5) / 1000.0).powi(2)).collect();
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(d > 0.2, "D = {d}");
+    }
+
+    #[test]
+    fn ks_pvalue_reference_behaviour() {
+        // λ = 1.36 is the classical 5% critical value: p ≈ 0.05.
+        let n = 10_000usize;
+        let d_crit = 1.36 / (n as f64).sqrt();
+        let p = ks_pvalue(d_crit, n);
+        assert!((p - 0.05).abs() < 0.01, "p at the 5% critical value: {p}");
+        // Tiny D → p ≈ 1; huge D → p ≈ 0.
+        assert!(ks_pvalue(1e-6, n) > 0.999);
+        assert!(ks_pvalue(0.1, n) < 1e-12);
+        assert_eq!(ks_pvalue(0.5, 0), 1.0);
+    }
+
+    #[test]
+    fn ks_pvalue_accepts_true_uniform_sample() {
+        // Uniform grid against the uniform CDF has D ≈ 1/(2n): p ≈ 1.
+        let xs: Vec<f64> = (0..2000).map(|i| (i as f64 + 0.5) / 2000.0).collect();
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(ks_pvalue(d, xs.len()) > 0.99);
+    }
+
+    #[test]
+    fn chi_square_on_perfectly_uniform_counts_is_zero() {
+        assert_eq!(chi_square_uniform(&[10, 10, 10, 10]), 0.0);
+        assert!(chi_square_uniform_pvalue(&[100, 100, 100, 100]) > 0.9);
+    }
+
+    #[test]
+    fn chi_square_detects_skew() {
+        let p = chi_square_uniform_pvalue(&[400, 100, 100, 100]);
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(standard_normal_cdf(8.0) > 0.999_999);
+        assert!(standard_normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn binomial_z_centering() {
+        assert_eq!(binomial_z(50, 100, 0.5), 0.0);
+        assert!(binomial_z(80, 100, 0.5) > 5.0);
+        assert!(binomial_z(20, 100, 0.5) < -5.0);
+    }
+
+    #[test]
+    fn pearson_reference() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Element-wise set algebra over [`WeightedSet`]s.
+//!
+//! `min`/`max` merges are the two halves of the generalized Jaccard (Eq. 2);
+//! they are exposed so callers (and tests) can decompose the measure, and so
+//! the dataset tooling can build unions and intersections of documents.
+
+use crate::sparse::WeightedSet;
+
+/// Element-wise minimum: weight `min(S_k, T_k)` (zero entries dropped).
+///
+/// This is the "intersection" of weighted sets — `Σ` of its weights is the
+/// numerator of Eq. 2.
+#[must_use]
+pub fn element_min(s: &WeightedSet, t: &WeightedSet) -> WeightedSet {
+    let mut out: Vec<(u64, f64)> = Vec::with_capacity(s.len().min(t.len()));
+    // min is nonzero only on the support intersection.
+    let (si, sw) = (s.indices(), s.weights());
+    let (mut b, ti) = (0usize, t.indices());
+    for (a, &i) in si.iter().enumerate() {
+        while b < ti.len() && ti[b] < i {
+            b += 1;
+        }
+        if b < ti.len() && ti[b] == i {
+            out.push((i, sw[a].min(t.weights()[b])));
+        }
+    }
+    WeightedSet::from_pairs(out).expect("min of valid sets is valid")
+}
+
+/// Element-wise maximum: weight `max(S_k, T_k)` over the support union.
+///
+/// The "union" of weighted sets — `Σ` of its weights is the denominator of
+/// Eq. 2.
+#[must_use]
+pub fn element_max(s: &WeightedSet, t: &WeightedSet) -> WeightedSet {
+    merge_full(s, t, f64::max)
+}
+
+/// Element-wise sum over the support union.
+#[must_use]
+pub fn element_sum(s: &WeightedSet, t: &WeightedSet) -> WeightedSet {
+    merge_full(s, t, |a, b| a + b)
+}
+
+fn merge_full(s: &WeightedSet, t: &WeightedSet, f: impl Fn(f64, f64) -> f64) -> WeightedSet {
+    let mut out: Vec<(u64, f64)> = Vec::with_capacity(s.len() + t.len());
+    let (si, sw) = (s.indices(), s.weights());
+    let (ti, tw) = (t.indices(), t.weights());
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < si.len() && b < ti.len() {
+        match si[a].cmp(&ti[b]) {
+            std::cmp::Ordering::Less => {
+                out.push((si[a], f(sw[a], 0.0)));
+                a += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((ti[b], f(0.0, tw[b])));
+                b += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((si[a], f(sw[a], tw[b])));
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    out.extend(si[a..].iter().zip(&sw[a..]).map(|(&i, &w)| (i, f(w, 0.0))));
+    out.extend(ti[b..].iter().zip(&tw[b..]).map(|(&i, &w)| (i, f(0.0, w))));
+    WeightedSet::from_pairs(out.into_iter().filter(|&(_, w)| w > 0.0))
+        .expect("merge of valid sets is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::generalized_jaccard;
+
+    fn ws(pairs: &[(u64, f64)]) -> WeightedSet {
+        WeightedSet::from_pairs(pairs.iter().copied()).expect("valid")
+    }
+
+    #[test]
+    fn min_is_intersection_like() {
+        let s = ws(&[(1, 2.0), (2, 1.0), (4, 3.0)]);
+        let t = ws(&[(1, 1.0), (3, 2.0), (4, 4.0)]);
+        let m = element_min(&s, &t);
+        assert_eq!(m.indices(), &[1, 4]);
+        assert_eq!(m.weights(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn max_is_union_like() {
+        let s = ws(&[(1, 2.0), (2, 1.0)]);
+        let t = ws(&[(1, 1.0), (3, 2.0)]);
+        let m = element_max(&s, &t);
+        assert_eq!(m.indices(), &[1, 2, 3]);
+        assert_eq!(m.weights(), &[2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_adds_overlaps() {
+        let s = ws(&[(1, 2.0)]);
+        let t = ws(&[(1, 1.0), (2, 5.0)]);
+        let m = element_sum(&s, &t);
+        assert_eq!(m.indices(), &[1, 2]);
+        assert_eq!(m.weights(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn min_max_recompose_generalized_jaccard() {
+        let s = ws(&[(1, 0.4), (2, 1.3), (7, 0.2)]);
+        let t = ws(&[(2, 2.0), (7, 0.2), (9, 0.9)]);
+        let j = element_min(&s, &t).total_weight() / element_max(&s, &t).total_weight();
+        assert!((j - generalized_jaccard(&s, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interactions() {
+        let s = ws(&[(1, 1.0)]);
+        let e = WeightedSet::empty();
+        assert!(element_min(&s, &e).is_empty());
+        assert_eq!(element_max(&s, &e), s);
+        assert_eq!(element_sum(&e, &s), s);
+        assert!(element_max(&e, &e).is_empty());
+    }
+
+    #[test]
+    fn inclusion_exclusion_of_masses() {
+        // Σmin + Σmax = ΣS + ΣT.
+        let s = ws(&[(1, 0.5), (3, 1.5)]);
+        let t = ws(&[(1, 1.0), (2, 0.25)]);
+        let lhs = element_min(&s, &t).total_weight() + element_max(&s, &t).total_weight();
+        let rhs = s.total_weight() + t.total_weight();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

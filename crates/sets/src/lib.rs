@@ -1,0 +1,30 @@
+//! # `wmh-sets` — weighted sets and exact similarity measures
+//!
+//! The objects the review hashes are *weighted sets* (paper §2.2): sparse
+//! non-negative vectors over a universal set `U`, where a *binary* set is the
+//! special case of unit weights. This crate provides:
+//!
+//! * [`WeightedSet`] — a validated sparse vector (sorted parallel arrays of
+//!   `u64` element indices and `f64 > 0` weights), the input type of every
+//!   sketching algorithm in `wmh-core`;
+//! * [`similarity`] — the exact measures of Table 1: Jaccard (Definition 5),
+//!   **generalized Jaccard** (Definition 6 / Eq. 2, the quantity every
+//!   experiment estimates), cosine, `l_p` distance, Hamming distance and the
+//!   χ² distance;
+//! * [`algebra`] — element-wise min/max/sum merges and support set
+//!   operations, the building blocks of Eq. 2;
+//! * [`vocab`] — a string→index [`vocab::Vocabulary`] for text features;
+//! * [`tfidf`] — the bag-of-words → tf-idf pipeline the paper's motivating
+//!   applications (document analysis, §1) rely on.
+
+pub mod algebra;
+pub mod similarity;
+pub mod sparse;
+pub mod tfidf;
+pub mod vocab;
+
+pub use similarity::{
+    chi2_distance, cosine_similarity, generalized_jaccard, hamming_distance, jaccard, lp_distance,
+};
+pub use sparse::{SetError, WeightedSet};
+pub use vocab::Vocabulary;

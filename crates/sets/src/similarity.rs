@@ -1,0 +1,263 @@
+//! Exact similarity and distance measures (paper Table 1, Definitions 5–6).
+//!
+//! These are the ground truths the sketches estimate; the evaluation harness
+//! computes MSE against [`generalized_jaccard`] exactly as §6.3 does.
+
+use crate::sparse::WeightedSet;
+
+/// Jaccard similarity of the *supports* (Definition 5):
+/// `J(S,T) = |S ∩ T| / |S ∪ T|`. Weights are ignored.
+///
+/// Returns `0.0` when both sets are empty (the 0/0 convention shared by all
+/// measures here).
+#[must_use]
+pub fn jaccard(s: &WeightedSet, t: &WeightedSet) -> f64 {
+    let mut inter = 0usize;
+    merge(s, t, |_, ws, wt| {
+        if ws > 0.0 && wt > 0.0 {
+            inter += 1;
+        }
+    });
+    let union = s.len() + t.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Generalized Jaccard similarity (Definition 6, Eq. 2):
+/// `Σ_k min(S_k, T_k) / Σ_k max(S_k, T_k)`.
+///
+/// This is **the** quantity every weighted MinHash algorithm in the review
+/// estimates; Figure 8 plots the MSE of its estimators.
+///
+/// ```
+/// use wmh_sets::{WeightedSet, generalized_jaccard};
+/// let s = WeightedSet::from_pairs([(1, 2.0), (2, 1.0)]).unwrap();
+/// let t = WeightedSet::from_pairs([(1, 1.0), (3, 1.0)]).unwrap();
+/// // min: 1 + 0 + 0 = 1; max: 2 + 1 + 1 = 4.
+/// assert_eq!(generalized_jaccard(&s, &t), 0.25);
+/// ```
+#[must_use]
+pub fn generalized_jaccard(s: &WeightedSet, t: &WeightedSet) -> f64 {
+    let mut min_sum = 0.0f64;
+    let mut max_sum = 0.0f64;
+    merge(s, t, |_, ws, wt| {
+        min_sum += ws.min(wt);
+        max_sum += ws.max(wt);
+    });
+    if max_sum == 0.0 {
+        0.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+/// Cosine similarity `⟨s,t⟩ / (‖s‖·‖t‖)` (the SimHash target, Table 1).
+#[must_use]
+pub fn cosine_similarity(s: &WeightedSet, t: &WeightedSet) -> f64 {
+    let mut dot = 0.0f64;
+    merge(s, t, |_, ws, wt| dot += ws * wt);
+    let denom = s.l2_norm() * t.l2_norm();
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// `l_p` distance `(Σ |s_k − t_k|^p)^(1/p)` for `p ∈ (0, 2]` (the p-stable
+/// LSH target, Table 1).
+///
+/// # Panics
+/// Panics when `p ≤ 0` or `p` is not finite.
+#[must_use]
+pub fn lp_distance(s: &WeightedSet, t: &WeightedSet, p: f64) -> f64 {
+    assert!(p.is_finite() && p > 0.0, "lp_distance requires finite p > 0");
+    let mut acc = 0.0f64;
+    merge(s, t, |_, ws, wt| acc += (ws - wt).abs().powf(p));
+    acc.powf(1.0 / p)
+}
+
+/// Hamming distance between the supports: number of elements present in
+/// exactly one of the two sets (the bit-sampling LSH target, Table 1).
+#[must_use]
+pub fn hamming_distance(s: &WeightedSet, t: &WeightedSet) -> u64 {
+    let mut diff = 0u64;
+    merge(s, t, |_, ws, wt| {
+        if (ws > 0.0) != (wt > 0.0) {
+            diff += 1;
+        }
+    });
+    diff
+}
+
+/// χ² distance `Σ_k (s_k − t_k)² / (s_k + t_k)` over the joint support
+/// (the χ²-LSH target, Table 1; Gorisse et al. 2012).
+#[must_use]
+pub fn chi2_distance(s: &WeightedSet, t: &WeightedSet) -> f64 {
+    let mut acc = 0.0f64;
+    merge(s, t, |_, ws, wt| {
+        let sum = ws + wt;
+        if sum > 0.0 {
+            let d = ws - wt;
+            acc += d * d / sum;
+        }
+    });
+    acc
+}
+
+/// Sorted-merge driver: visits every index in the union of the supports with
+/// the two weights (0 for the absent side). All measures above are folds
+/// over this single pass, so they run in `O(|S| + |T|)`.
+#[inline]
+fn merge(s: &WeightedSet, t: &WeightedSet, mut visit: impl FnMut(u64, f64, f64)) {
+    let (si, sw) = (s.indices(), s.weights());
+    let (ti, tw) = (t.indices(), t.weights());
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < si.len() && b < ti.len() {
+        match si[a].cmp(&ti[b]) {
+            std::cmp::Ordering::Less => {
+                visit(si[a], sw[a], 0.0);
+                a += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                visit(ti[b], 0.0, tw[b]);
+                b += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                visit(si[a], sw[a], tw[b]);
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    while a < si.len() {
+        visit(si[a], sw[a], 0.0);
+        a += 1;
+    }
+    while b < ti.len() {
+        visit(ti[b], 0.0, tw[b]);
+        b += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(pairs: &[(u64, f64)]) -> WeightedSet {
+        WeightedSet::from_pairs(pairs.iter().copied()).expect("valid")
+    }
+
+    #[test]
+    fn jaccard_reference() {
+        let s = ws(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        let t = ws(&[(2, 1.0), (3, 1.0), (4, 1.0), (5, 1.0)]);
+        // |∩| = 2, |∪| = 5.
+        assert!((jaccard(&s, &t) - 0.4).abs() < 1e-12);
+        assert_eq!(jaccard(&s, &s), 1.0);
+        assert_eq!(jaccard(&WeightedSet::empty(), &WeightedSet::empty()), 0.0);
+        assert_eq!(jaccard(&s, &WeightedSet::empty()), 0.0);
+    }
+
+    #[test]
+    fn generalized_jaccard_reference() {
+        // Paper Eq. 2 on a hand-computed pair.
+        let s = ws(&[(1, 2.0), (2, 1.0), (4, 3.0)]);
+        let t = ws(&[(1, 1.0), (3, 2.0), (4, 4.0)]);
+        // min: 1 + 0 + 0 + 3 = 4; max: 2 + 1 + 2 + 4 = 9.
+        assert!((generalized_jaccard(&s, &t) - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalized_jaccard_on_binary_sets_is_jaccard() {
+        let s = ws(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        let t = ws(&[(2, 1.0), (3, 1.0), (4, 1.0), (5, 1.0)]);
+        assert!((generalized_jaccard(&s, &t) - jaccard(&s, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalized_jaccard_bounds_and_identity() {
+        let s = ws(&[(1, 0.3), (2, 0.8)]);
+        let t = ws(&[(2, 0.4), (9, 1.1)]);
+        let j = generalized_jaccard(&s, &t);
+        assert!((0.0..=1.0).contains(&j));
+        assert_eq!(generalized_jaccard(&s, &s), 1.0);
+        assert_eq!(generalized_jaccard(&s, &WeightedSet::empty()), 0.0);
+    }
+
+    #[test]
+    fn generalized_jaccard_symmetry_and_scale_covariance() {
+        let s = ws(&[(1, 0.5), (3, 2.5), (8, 0.1)]);
+        let t = ws(&[(1, 1.5), (2, 0.7), (8, 0.1)]);
+        assert_eq!(generalized_jaccard(&s, &t), generalized_jaccard(&t, &s));
+        // Scaling *both* sets leaves Eq. 2 unchanged.
+        let s2 = s.scaled(10.0).expect("valid");
+        let t2 = t.scaled(10.0).expect("valid");
+        assert!(
+            (generalized_jaccard(&s, &t) - generalized_jaccard(&s2, &t2)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn generalized_jaccard_subset_weights() {
+        // T_k ≤ S_k everywhere ⇒ genJ = ΣT / ΣS.
+        let s = ws(&[(1, 2.0), (2, 4.0)]);
+        let t = ws(&[(1, 1.0), (2, 2.0)]);
+        assert!((generalized_jaccard(&s, &t) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_reference() {
+        let s = ws(&[(1, 1.0), (2, 1.0)]);
+        let t = ws(&[(1, 1.0), (3, 1.0)]);
+        assert!((cosine_similarity(&s, &t) - 0.5).abs() < 1e-12);
+        assert!((cosine_similarity(&s, &s) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&s, &WeightedSet::empty()), 0.0);
+    }
+
+    #[test]
+    fn lp_distance_reference() {
+        let s = ws(&[(1, 3.0)]);
+        let t = ws(&[(2, 4.0)]);
+        assert!((lp_distance(&s, &t, 2.0) - 5.0).abs() < 1e-12);
+        assert!((lp_distance(&s, &t, 1.0) - 7.0).abs() < 1e-12);
+        assert_eq!(lp_distance(&s, &s, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite p > 0")]
+    fn lp_rejects_bad_p() {
+        let _ = lp_distance(&WeightedSet::empty(), &WeightedSet::empty(), 0.0);
+    }
+
+    #[test]
+    fn hamming_reference() {
+        let s = ws(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        let t = ws(&[(3, 5.0), (4, 1.0)]);
+        // Differ on {1, 2, 4}.
+        assert_eq!(hamming_distance(&s, &t), 3);
+        assert_eq!(hamming_distance(&s, &s), 0);
+    }
+
+    #[test]
+    fn chi2_reference() {
+        let s = ws(&[(1, 1.0), (2, 2.0)]);
+        let t = ws(&[(1, 3.0), (3, 1.0)]);
+        // (1-3)²/4 + (2-0)²/2 + (0-1)²/1 = 1 + 2 + 1 = 4.
+        assert!((chi2_distance(&s, &t) - 4.0).abs() < 1e-12);
+        assert_eq!(chi2_distance(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn all_measures_handle_disjoint_sets() {
+        let s = ws(&[(1, 1.0)]);
+        let t = ws(&[(2, 1.0)]);
+        assert_eq!(jaccard(&s, &t), 0.0);
+        assert_eq!(generalized_jaccard(&s, &t), 0.0);
+        assert_eq!(cosine_similarity(&s, &t), 0.0);
+        assert_eq!(hamming_distance(&s, &t), 2);
+    }
+}

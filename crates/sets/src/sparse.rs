@@ -1,0 +1,422 @@
+//! The sparse weighted-set representation.
+
+use serde::{Deserialize, Serialize};
+
+/// A weighted set: a sparse vector with strictly positive finite weights on
+/// distinct element indices (paper §2.2 — elements of `U − S` implicitly
+/// carry weight 0).
+///
+/// Stored as sorted parallel arrays (struct-of-arrays) so that the pairwise
+/// merge loops of Eq. 2 and the sketching hot loops stream through memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSet {
+    indices: Vec<u64>,
+    weights: Vec<f64>,
+}
+
+/// Validation errors for [`WeightedSet`] construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SetError {
+    /// A weight was NaN or ±∞.
+    NonFiniteWeight {
+        /// Element index carrying the offending weight.
+        index: u64,
+        /// The weight value.
+        weight: f64,
+    },
+    /// A weight was zero or negative (zero-weight elements must simply be
+    /// omitted; negative weights are outside the generalized-Jaccard domain).
+    NonPositiveWeight {
+        /// Element index carrying the offending weight.
+        index: u64,
+        /// The weight value.
+        weight: f64,
+    },
+    /// The same element index appeared twice.
+    DuplicateIndex(u64),
+}
+
+impl std::fmt::Display for SetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteWeight { index, weight } => {
+                write!(f, "element {index} has non-finite weight {weight}")
+            }
+            Self::NonPositiveWeight { index, weight } => {
+                write!(f, "element {index} has non-positive weight {weight}")
+            }
+            Self::DuplicateIndex(index) => write!(f, "element {index} appears more than once"),
+        }
+    }
+}
+
+impl std::error::Error for SetError {}
+
+impl WeightedSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            indices: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Build from `(index, weight)` pairs in any order.
+    ///
+    /// ```
+    /// use wmh_sets::WeightedSet;
+    /// let s = WeightedSet::from_pairs([(7, 1.5), (2, 0.5)]).unwrap();
+    /// assert_eq!(s.indices(), &[2, 7]);
+    /// assert_eq!(s.weight(7), 1.5);
+    /// assert!(WeightedSet::from_pairs([(1, -1.0)]).is_err());
+    /// ```
+    ///
+    /// # Errors
+    /// Rejects non-finite or non-positive weights and duplicate indices.
+    pub fn from_pairs<I>(pairs: I) -> Result<Self, SetError>
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        let mut v: Vec<(u64, f64)> = pairs.into_iter().collect();
+        for &(index, weight) in &v {
+            if !weight.is_finite() {
+                return Err(SetError::NonFiniteWeight { index, weight });
+            }
+            if weight <= 0.0 {
+                return Err(SetError::NonPositiveWeight { index, weight });
+            }
+        }
+        v.sort_unstable_by_key(|&(i, _)| i);
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(SetError::DuplicateIndex(w[0].0));
+            }
+        }
+        let (indices, weights) = v.into_iter().unzip();
+        Ok(Self { indices, weights })
+    }
+
+    /// Build from pre-sorted, pre-validated parallel arrays without copying.
+    ///
+    /// # Errors
+    /// Same validation as [`Self::from_pairs`] plus a sortedness check
+    /// (reported as [`SetError::DuplicateIndex`] only for equal neighbours;
+    /// out-of-order input is rejected via `debug_assert` + re-sort fallback).
+    pub fn from_sorted_parts(indices: Vec<u64>, weights: Vec<f64>) -> Result<Self, SetError> {
+        assert_eq!(indices.len(), weights.len(), "parallel arrays must match");
+        let sorted = indices.windows(2).all(|w| w[0] < w[1]);
+        if !sorted {
+            // Fall back to the general path (also catches duplicates).
+            return Self::from_pairs(indices.into_iter().zip(weights));
+        }
+        for (&index, &weight) in indices.iter().zip(&weights) {
+            if !weight.is_finite() {
+                return Err(SetError::NonFiniteWeight { index, weight });
+            }
+            if weight <= 0.0 {
+                return Err(SetError::NonPositiveWeight { index, weight });
+            }
+        }
+        Ok(Self { indices, weights })
+    }
+
+    /// A binary set (all weights `1.0`) over the given support.
+    ///
+    /// # Errors
+    /// Rejects duplicate indices.
+    pub fn binary<I: IntoIterator<Item = u64>>(support: I) -> Result<Self, SetError> {
+        Self::from_pairs(support.into_iter().map(|i| (i, 1.0)))
+    }
+
+    /// Number of elements with positive weight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Sorted element indices.
+    #[must_use]
+    pub fn indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// Weights, parallel to [`Self::indices`].
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Iterate `(index, weight)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.indices.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// Weight of an element (0 when absent), by binary search.
+    #[must_use]
+    pub fn weight(&self, index: u64) -> f64 {
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.weights[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Whether an element is in the support.
+    #[must_use]
+    pub fn contains(&self, index: u64) -> bool {
+        self.indices.binary_search(&index).is_ok()
+    }
+
+    /// Sum of weights (`Σ_k S_k`, the `l1` mass).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Largest weight (0 for the empty set).
+    #[must_use]
+    pub fn max_weight(&self) -> f64 {
+        self.weights.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest weight (0 for the empty set).
+    #[must_use]
+    pub fn min_weight(&self) -> f64 {
+        if self.weights.is_empty() {
+            0.0
+        } else {
+            self.weights.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// The set with every weight multiplied by `factor > 0`.
+    ///
+    /// # Errors
+    /// Rejects non-positive or non-finite factors.
+    pub fn scaled(&self, factor: f64) -> Result<Self, SetError> {
+        if !factor.is_finite() {
+            return Err(SetError::NonFiniteWeight { index: 0, weight: factor });
+        }
+        if factor <= 0.0 {
+            return Err(SetError::NonPositiveWeight { index: 0, weight: factor });
+        }
+        Ok(Self {
+            indices: self.indices.clone(),
+            weights: self.weights.iter().map(|w| w * factor).collect(),
+        })
+    }
+
+    /// The binary shadow: same support, all weights `1.0` (what standard
+    /// MinHash sees when handed a weighted set — paper §6.2 method 1).
+    #[must_use]
+    pub fn binarized(&self) -> Self {
+        Self {
+            indices: self.indices.clone(),
+            weights: vec![1.0; self.weights.len()],
+        }
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn l2_norm(&self) -> f64 {
+        self.weights.iter().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    /// The set with total weight normalized to 1 (`l1` normalization, the
+    /// usual tf → relative-frequency step).
+    ///
+    /// # Panics
+    /// Never: non-empty sets have positive total weight, and the empty set
+    /// is returned unchanged.
+    #[must_use]
+    pub fn l1_normalized(&self) -> Self {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return self.clone();
+        }
+        Self {
+            indices: self.indices.clone(),
+            weights: self.weights.iter().map(|w| w / total).collect(),
+        }
+    }
+
+    /// Drop elements with weight strictly below `threshold` (tf-idf pruning
+    /// of negligible terms). The empty result is allowed.
+    #[must_use]
+    pub fn pruned_below(&self, threshold: f64) -> Self {
+        let (indices, weights) = self
+            .iter()
+            .filter(|&(_, w)| w >= threshold)
+            .unzip();
+        Self { indices, weights }
+    }
+
+    /// The `k` heaviest elements (ties broken toward smaller indices),
+    /// returned as a new set in index order.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Self {
+        let mut pairs: Vec<(u64, f64)> = self.iter().collect();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let (indices, weights) = pairs.into_iter().unzip();
+        Self { indices, weights }
+    }
+}
+
+impl Default for WeightedSet {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a WeightedSet {
+    type Item = (u64, f64);
+    type IntoIter = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, u64>>,
+        std::iter::Copied<std::slice::Iter<'a, f64>>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.indices.iter().copied().zip(self.weights.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_validates() {
+        let s = WeightedSet::from_pairs([(5, 1.0), (1, 2.0), (3, 0.5)]).expect("valid");
+        assert_eq!(s.indices(), &[1, 3, 5]);
+        assert_eq!(s.weights(), &[2.0, 0.5, 1.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(matches!(
+            WeightedSet::from_pairs([(1, f64::NAN)]),
+            Err(SetError::NonFiniteWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            WeightedSet::from_pairs([(1, f64::INFINITY)]),
+            Err(SetError::NonFiniteWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            WeightedSet::from_pairs([(2, 0.0)]),
+            Err(SetError::NonPositiveWeight { index: 2, .. })
+        ));
+        assert!(matches!(
+            WeightedSet::from_pairs([(2, -1.0)]),
+            Err(SetError::NonPositiveWeight { index: 2, .. })
+        ));
+        assert_eq!(
+            WeightedSet::from_pairs([(2, 1.0), (2, 3.0)]).unwrap_err(),
+            SetError::DuplicateIndex(2)
+        );
+    }
+
+    #[test]
+    fn from_sorted_parts_fast_path_and_fallback() {
+        let s = WeightedSet::from_sorted_parts(vec![1, 2, 3], vec![1.0, 2.0, 3.0]).expect("ok");
+        assert_eq!(s.weight(2), 2.0);
+        // Unsorted input falls back and still works.
+        let s = WeightedSet::from_sorted_parts(vec![3, 1], vec![1.0, 2.0]).expect("ok");
+        assert_eq!(s.indices(), &[1, 3]);
+        // Duplicates rejected through the fallback.
+        assert!(WeightedSet::from_sorted_parts(vec![1, 1], vec![1.0, 2.0]).is_err());
+        // Validation still applies on the fast path.
+        assert!(WeightedSet::from_sorted_parts(vec![1, 2], vec![1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn lookup_and_aggregates() {
+        let s = WeightedSet::from_pairs([(10, 0.5), (20, 1.5), (30, 3.0)]).expect("valid");
+        assert_eq!(s.weight(20), 1.5);
+        assert_eq!(s.weight(25), 0.0);
+        assert!(s.contains(10) && !s.contains(11));
+        assert!((s.total_weight() - 5.0).abs() < 1e-12);
+        assert_eq!(s.max_weight(), 3.0);
+        assert_eq!(s.min_weight(), 0.5);
+        assert!((s.l2_norm() - (0.25f64 + 2.25 + 9.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_aggregates() {
+        let e = WeightedSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.total_weight(), 0.0);
+        assert_eq!(e.max_weight(), 0.0);
+        assert_eq!(e.min_weight(), 0.0);
+        assert_eq!(e.weight(0), 0.0);
+        assert_eq!(WeightedSet::default(), e);
+    }
+
+    #[test]
+    fn scaled_and_binarized() {
+        let s = WeightedSet::from_pairs([(1, 2.0), (2, 4.0)]).expect("valid");
+        let t = s.scaled(0.5).expect("valid factor");
+        assert_eq!(t.weights(), &[1.0, 2.0]);
+        assert!(s.scaled(0.0).is_err());
+        assert!(s.scaled(f64::NAN).is_err());
+        let b = s.binarized();
+        assert_eq!(b.indices(), s.indices());
+        assert_eq!(b.weights(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn binary_constructor() {
+        let b = WeightedSet::binary([3, 1, 2]).expect("valid");
+        assert_eq!(b.indices(), &[1, 2, 3]);
+        assert_eq!(b.weights(), &[1.0, 1.0, 1.0]);
+        assert!(WeightedSet::binary([1, 1]).is_err());
+    }
+
+    #[test]
+    fn iteration_orders_by_index() {
+        let s = WeightedSet::from_pairs([(9, 1.0), (4, 2.0)]).expect("valid");
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(4, 2.0), (9, 1.0)]);
+        let pairs2: Vec<_> = (&s).into_iter().collect();
+        assert_eq!(pairs, pairs2);
+    }
+
+    #[test]
+    fn l1_normalization() {
+        let s = WeightedSet::from_pairs([(1, 1.0), (2, 3.0)]).expect("valid");
+        let n = s.l1_normalized();
+        assert!((n.total_weight() - 1.0).abs() < 1e-12);
+        assert!((n.weight(2) - 0.75).abs() < 1e-12);
+        assert_eq!(WeightedSet::empty().l1_normalized(), WeightedSet::empty());
+    }
+
+    #[test]
+    fn pruning_and_top_k() {
+        let s = WeightedSet::from_pairs([(1, 0.1), (2, 0.5), (3, 0.9), (4, 0.5)])
+            .expect("valid");
+        let p = s.pruned_below(0.5);
+        assert_eq!(p.indices(), &[2, 3, 4]);
+        let t = s.top_k(2);
+        assert_eq!(t.indices(), &[2, 3], "ties break toward smaller index");
+        assert_eq!(s.top_k(0), WeightedSet::empty());
+        assert_eq!(s.top_k(99), s);
+        assert_eq!(s.pruned_below(10.0), WeightedSet::empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = WeightedSet::from_pairs([(1, 0.25), (1_000_000_007, 7.5)]).expect("valid");
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: WeightedSet = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

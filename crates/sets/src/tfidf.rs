@@ -1,0 +1,192 @@
+//! Bag-of-words → tf-idf pipeline.
+//!
+//! The paper's canonical weighted-set example (§1): *"A typical example is
+//! the tf-idf adopted in text mining, where each term is assigned with a
+//! positive value to indicate its importance in the documents."* The
+//! document-dedup example and the text benchmarks use this module to turn
+//! raw text into [`WeightedSet`]s.
+
+use crate::sparse::WeightedSet;
+use crate::vocab::Vocabulary;
+use std::collections::HashMap;
+
+/// Lowercase alphanumeric word tokenizer.
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// Character `n`-gram shingles of a string (the "5-grams" workload of §1).
+///
+/// Operates on `char` boundaries; returns the whole string once when it is
+/// shorter than `n`.
+#[must_use]
+pub fn char_shingles(text: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "shingle size must be positive");
+    let chars: Vec<char> = text.chars().collect();
+    if chars.len() <= n {
+        return vec![chars.iter().collect()];
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+/// Raw term-frequency weighted set of one document.
+pub fn term_frequencies(tokens: &[String], vocab: &mut Vocabulary) -> WeightedSet {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for tok in tokens {
+        *counts.entry(vocab.intern(tok)).or_insert(0) += 1;
+    }
+    WeightedSet::from_pairs(counts.into_iter().map(|(i, c)| (i, c as f64)))
+        .expect("counts are positive")
+}
+
+/// A corpus of tf vectors plus document frequencies, ready to produce tf-idf
+/// weighted sets.
+///
+/// ```
+/// use wmh_sets::tfidf::TfIdfCorpus;
+/// let mut c = TfIdfCorpus::new();
+/// c.add_document("the cat sat on the mat");
+/// c.add_document("the dog sat");
+/// let v = c.tfidf(0).unwrap();
+/// let the = c.vocab.get("the").unwrap();
+/// let cat = c.vocab.get("cat").unwrap();
+/// // "the" is in every document, so it is down-weighted relative to "cat"
+/// // even though it appears twice in document 0.
+/// assert!(v.weight(the) < 2.0 * v.weight(cat));
+/// ```
+#[derive(Debug, Default)]
+pub struct TfIdfCorpus {
+    /// Shared vocabulary over all added documents.
+    pub vocab: Vocabulary,
+    tf: Vec<WeightedSet>,
+    doc_freq: HashMap<u64, u64>,
+}
+
+impl TfIdfCorpus {
+    /// An empty corpus.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenize and add one document; returns its id.
+    pub fn add_document(&mut self, text: &str) -> usize {
+        let tokens = tokenize(text);
+        let tf = term_frequencies(&tokens, &mut self.vocab);
+        for (idx, _) in tf.iter() {
+            *self.doc_freq.entry(idx).or_insert(0) += 1;
+        }
+        self.tf.push(tf);
+        self.tf.len() - 1
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tf.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tf.is_empty()
+    }
+
+    /// Raw term-frequency set of a document.
+    #[must_use]
+    pub fn tf(&self, doc: usize) -> Option<&WeightedSet> {
+        self.tf.get(doc)
+    }
+
+    /// The tf-idf weighted set of a document:
+    /// `tf_{k,d} · ln(1 + N / df_k)` (smoothed idf, always positive).
+    #[must_use]
+    pub fn tfidf(&self, doc: usize) -> Option<WeightedSet> {
+        let tf = self.tf.get(doc)?;
+        let n = self.tf.len() as f64;
+        let pairs = tf.iter().map(|(idx, f)| {
+            let df = *self.doc_freq.get(&idx).expect("df recorded for every tf term") as f64;
+            (idx, f * (1.0 + n / df).ln())
+        });
+        Some(WeightedSet::from_pairs(pairs).expect("tf-idf weights positive"))
+    }
+
+    /// tf-idf sets for all documents.
+    #[must_use]
+    pub fn tfidf_all(&self) -> Vec<WeightedSet> {
+        (0..self.len())
+            .map(|d| self.tfidf(d).expect("in range"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_basics() {
+        assert_eq!(tokenize("Hello, World! 42"), vec!["hello", "world", "42"]);
+        assert!(tokenize("...").is_empty());
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn shingles_cover_string() {
+        assert_eq!(char_shingles("abcd", 2), vec!["ab", "bc", "cd"]);
+        assert_eq!(char_shingles("ab", 5), vec!["ab"]);
+        assert_eq!(char_shingles("héllo", 3).len(), 3); // char, not byte, boundaries
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shingle_panics() {
+        let _ = char_shingles("abc", 0);
+    }
+
+    #[test]
+    fn term_frequencies_count() {
+        let mut v = Vocabulary::new();
+        let tf = term_frequencies(&tokenize("a b a c a b"), &mut v);
+        assert_eq!(tf.weight(v.get("a").unwrap()), 3.0);
+        assert_eq!(tf.weight(v.get("b").unwrap()), 2.0);
+        assert_eq!(tf.weight(v.get("c").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn tfidf_downweights_common_terms() {
+        let mut c = TfIdfCorpus::new();
+        c.add_document("the cat sat");
+        c.add_document("the dog ran");
+        c.add_document("the bird flew");
+        let t = c.tfidf(0).expect("doc 0");
+        let the = c.vocab.get("the").expect("interned");
+        let cat = c.vocab.get("cat").expect("interned");
+        // "the" appears in all 3 docs, "cat" in 1 ⇒ idf(the) < idf(cat).
+        assert!(t.weight(the) < t.weight(cat));
+        assert!(t.weight(the) > 0.0, "smoothed idf stays positive");
+    }
+
+    #[test]
+    fn tfidf_out_of_range_is_none() {
+        let c = TfIdfCorpus::new();
+        assert!(c.tfidf(0).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn tfidf_all_matches_per_doc() {
+        let mut c = TfIdfCorpus::new();
+        c.add_document("x y");
+        c.add_document("y z");
+        let all = c.tfidf_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1], c.tfidf(1).expect("doc 1"));
+    }
+}

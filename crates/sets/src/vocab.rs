@@ -1,0 +1,93 @@
+//! String-feature vocabulary: a bijection between feature strings (terms,
+//! shingles, n-grams) and dense `u64` element indices.
+//!
+//! The paper's motivating workloads are bag-of-words documents (§1, §2.2);
+//! the examples in this repository tokenize text and need stable indices
+//! for the universal set `U`.
+
+use std::collections::HashMap;
+
+/// An append-only string→index interner.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, u64>,
+    terms: Vec<String>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of `term`, interning it if new.
+    pub fn intern(&mut self, term: &str) -> u64 {
+        if let Some(&i) = self.by_term.get(term) {
+            return i;
+        }
+        let i = self.terms.len() as u64;
+        self.terms.push(term.to_owned());
+        self.by_term.insert(term.to_owned(), i);
+        i
+    }
+
+    /// Index of `term` if already interned.
+    #[must_use]
+    pub fn get(&self, term: &str) -> Option<u64> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Term for an index, if in range.
+    #[must_use]
+    pub fn term(&self, index: u64) -> Option<&str> {
+        self.terms.get(usize::try_from(index).ok()?).map(String::as_str)
+    }
+
+    /// Number of interned terms (the size of the universal set).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(v.intern("alpha"), 0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn bijection_roundtrip() {
+        let mut v = Vocabulary::new();
+        for word in ["x", "y", "z"] {
+            let i = v.intern(word);
+            assert_eq!(v.term(i), Some(word));
+            assert_eq!(v.get(word), Some(i));
+        }
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.term(99), None);
+    }
+
+    #[test]
+    fn empty_state() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

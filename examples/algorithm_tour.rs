@@ -1,0 +1,66 @@
+//! A tour of all thirteen algorithms (paper §6.2's list) on one synthetic
+//! dataset: per-algorithm estimate quality and sketching time, in one table.
+//!
+//! ```text
+//! cargo run --release --example algorithm_tour
+//! ```
+
+use std::time::Instant;
+use wmh::core::others::UpperBounds;
+use wmh::core::{Algorithm, AlgorithmConfig};
+use wmh::data::pairs::sample_pairs;
+use wmh::data::SynConfig;
+use wmh::rng::stats::mse;
+use wmh::sets::generalized_jaccard;
+
+fn main() {
+    let cfg = SynConfig { docs: 60, features: 2_000, density: 0.03, exponent: 3.0, scale: 0.24 };
+    let ds = cfg.generate(9).expect("valid config");
+    let pairs = sample_pairs(ds.docs.len(), 200, 9);
+    let truths: Vec<f64> = pairs
+        .iter()
+        .map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j]))
+        .collect();
+    println!(
+        "dataset {}: {} docs, mean pair similarity {:.4}\n",
+        ds.name,
+        ds.len(),
+        truths.iter().sum::<f64>() / truths.len() as f64
+    );
+
+    let config = AlgorithmConfig {
+        quantization_constant: 500.0,
+        upper_bounds: Some(UpperBounds::from_sets(ds.docs.iter()).expect("non-empty")),
+        max_rejection_draws: 2_000_000,
+        ccws_weight_scale: 10.0,
+    };
+    let d = 256;
+
+    println!(
+        "{:<24} {:<34} {:>10} {:>9} {:>9}",
+        "algorithm", "category", "MSE", "seconds", "unbiased"
+    );
+    for algo in Algorithm::ALL {
+        let sketcher = algo.build(1, d, &config).expect("buildable");
+        let start = Instant::now();
+        let sketches: Vec<_> = ds
+            .docs
+            .iter()
+            .map(|doc| sketcher.sketch(doc).expect("sketchable"))
+            .collect();
+        let secs = start.elapsed().as_secs_f64();
+        let ests: Vec<f64> = pairs
+            .iter()
+            .map(|&(i, j)| sketches[i].estimate_similarity(&sketches[j]))
+            .collect();
+        let info = algo.info();
+        println!(
+            "{:<24} {:<34} {:>10.3e} {:>9.3} {:>9}",
+            info.name,
+            info.category.label(),
+            mse(&ests, &truths),
+            secs,
+            if info.unbiased { "yes" } else { "no" }
+        );
+    }
+}

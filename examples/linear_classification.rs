@@ -1,0 +1,62 @@
+//! Large-scale-learning pipeline — the application that motivates 0-bit CWS
+//! (paper §4.2.3): weighted documents → 0-bit CWS sketches → hashed one-hot
+//! features → a linear classifier.
+//!
+//! Two synthetic "topics" share part of their vocabulary; the classifier
+//! trained on sketch features separates them, and a raw-support baseline
+//! shows the sketch features carry the weight information MinHash features
+//! would lose.
+//!
+//! ```text
+//! cargo run --release --example linear_classification
+//! ```
+
+use wmh::core::cws::ZeroBitCws;
+use wmh::core::minhash::MinHash;
+use wmh::ml::SketchClassifier;
+use wmh::rng::{Prng, Xoshiro256pp};
+use wmh::sets::WeightedSet;
+
+/// Two topics over the SAME support (features 0..100) distinguished only by
+/// their *weight profiles*: topic A emphasizes low features, topic B high
+/// ones. Support-only methods cannot separate them.
+fn corpus(n: usize, seed: u64) -> Vec<(WeightedSet, bool)> {
+    let mut rng = Xoshiro256pp::new(seed);
+    (0..n)
+        .map(|i| {
+            let label = i % 2 == 0;
+            let pairs: Vec<(u64, f64)> = (0..100u64)
+                .map(|k| {
+                    let topical = if label { (100 - k) as f64 } else { k as f64 };
+                    (k, 0.2 + topical / 25.0 * (0.5 + rng.next_f64()))
+                })
+                .collect();
+            (WeightedSet::from_pairs(pairs).expect("valid"), label)
+        })
+        .collect()
+}
+
+fn main() {
+    let train = corpus(400, 1);
+    let test = corpus(200, 2);
+    let (d, dim, epochs) = (128, 8192, 15);
+
+    let mut weighted = SketchClassifier::new(ZeroBitCws::new(9, d), 9, dim)
+        .expect("valid dimension");
+    weighted.fit(&train, epochs).expect("trainable");
+    let weighted_acc = weighted.accuracy(&test).expect("evaluable");
+
+    let mut unweighted =
+        SketchClassifier::new(MinHash::new(9, d), 9, dim).expect("valid dimension");
+    unweighted.fit(&train, epochs).expect("trainable");
+    let unweighted_acc = unweighted.accuracy(&test).expect("evaluable");
+
+    println!("documents: same support, different weight profiles");
+    println!("test accuracy, 0-bit CWS features : {weighted_acc:.3}");
+    println!("test accuracy, MinHash features   : {unweighted_acc:.3}");
+    println!(
+        "\n0-bit CWS codes sample elements in proportion to their weights, so the\n\
+         linear model sees the topical weight profile; MinHash codes sample the\n\
+         (identical) supports uniformly and carry no signal."
+    );
+}

@@ -1,0 +1,61 @@
+//! MinHash vs SimHash on binary sets — the comparison behind the paper's
+//! reference \[12\] (Shrivastava & Li, "In Defense of MinHash over
+//! SimHash", AISTATS 2014): for sparse binary data, MinHash's collision
+//! probability (the Jaccard similarity) separates near pairs from far pairs
+//! better than SimHash's (1 − θ/π).
+//!
+//! ```text
+//! cargo run --release --example minhash_vs_simhash
+//! ```
+
+use wmh::core::minhash::MinHash;
+use wmh::core::Sketcher;
+use wmh::lsh::SimHash;
+use wmh::sets::{cosine_similarity, jaccard, WeightedSet};
+
+fn binary(range: std::ops::Range<u64>) -> WeightedSet {
+    WeightedSet::binary(range).expect("valid")
+}
+
+fn main() {
+    let bits = 2048;
+    let mh = MinHash::new(17, bits);
+    let sh = SimHash::new(17, bits);
+
+    // Pairs at decreasing overlap of 100-element binary sets.
+    println!(
+        "{:>8} {:>9} {:>9} {:>12} {:>12}",
+        "overlap", "Jaccard", "cosine", "MinHash-col", "SimHash-col"
+    );
+    let mut rows = Vec::new();
+    for overlap in [90u64, 70, 50, 30, 10] {
+        let s = binary(0..100);
+        let t = binary((100 - overlap)..(200 - overlap));
+        let j = jaccard(&s, &t);
+        let c = cosine_similarity(&s, &t);
+        // Empirical collision probabilities of one hash/bit.
+        let mh_col = mh
+            .sketch(&s)
+            .expect("non-empty")
+            .estimate_similarity(&mh.sketch(&t).expect("non-empty"));
+        let sh_sig_s = sh.signature(&s);
+        let sh_sig_t = sh.signature(&t);
+        let sh_col = 1.0 - f64::from(sh_sig_s.hamming(&sh_sig_t)) / bits as f64;
+        println!("{overlap:>8} {j:>9.3} {c:>9.3} {mh_col:>12.3} {sh_col:>12.3}");
+        rows.push((j, mh_col, sh_col));
+    }
+
+    // The defense: MinHash's collision gap between the nearest and farthest
+    // pair exceeds SimHash's, i.e. more bits of separation per hash.
+    let mh_gap = rows[0].1 - rows[rows.len() - 1].1;
+    let sh_gap = rows[0].2 - rows[rows.len() - 1].2;
+    println!("\ncollision-probability gap (near − far):");
+    println!("  MinHash : {mh_gap:.3}");
+    println!("  SimHash : {sh_gap:.3}");
+    assert!(mh_gap > sh_gap, "expected MinHash to separate better");
+    println!(
+        "\nMinHash spends its collision range on the Jaccard scale directly, while\n\
+         SimHash compresses it through 1 − θ/π — the 'defense of MinHash' result\n\
+         the review cites when motivating Jaccard-family sketches for sparse data."
+    );
+}

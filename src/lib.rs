@@ -1,0 +1,50 @@
+//! # `wmh` — Weighted MinHash toolbox
+//!
+//! A Rust reproduction of *"A Review for Weighted MinHash Algorithms"*
+//! (ICDE 2023): one unweighted MinHash algorithm, twelve weighted MinHash
+//! algorithms, the classical LSH families the review surveys, synthetic
+//! power-law workloads, and the full evaluation harness that regenerates
+//! every table and figure of the paper.
+//!
+//! This crate is a facade: it re-exports the workspace crates so downstream
+//! users can depend on a single package.
+//!
+//! ```
+//! use wmh::core::{Sketcher, cws::Icws};
+//! use wmh::sets::WeightedSet;
+//!
+//! let s = WeightedSet::from_pairs([(1, 0.5), (7, 2.0), (9, 1.0)]).unwrap();
+//! let t = WeightedSet::from_pairs([(1, 0.5), (7, 1.0), (4, 0.3)]).unwrap();
+//!
+//! let icws = Icws::new(42, 256);
+//! let est = icws
+//!     .sketch(&s)
+//!     .unwrap()
+//!     .estimate_similarity(&icws.sketch(&t).unwrap());
+//! let exact = wmh::sets::generalized_jaccard(&s, &t);
+//! assert!((est - exact).abs() < 0.2);
+//! ```
+
+/// Deterministic hashing substrate ([`wmh_hash`]).
+pub use wmh_hash as hash;
+
+/// PRNGs, distributions and statistical tests ([`wmh_rng`]).
+pub use wmh_rng as rng;
+
+/// Weighted sets and exact similarity measures ([`wmh_sets`]).
+pub use wmh_sets as sets;
+
+/// The thirteen (weighted) MinHash algorithms ([`wmh_core`]).
+pub use wmh_core as core;
+
+/// Classical LSH families and NN indexes ([`wmh_lsh`]).
+pub use wmh_lsh as lsh;
+
+/// Synthetic datasets and text pipelines ([`wmh_data`]).
+pub use wmh_data as data;
+
+/// The experiment harness ([`wmh_eval`]).
+pub use wmh_eval as eval;
+
+/// Sketch-based feature maps and linear learners ([`wmh_ml`]).
+pub use wmh_ml as ml;

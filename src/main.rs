@@ -1,0 +1,195 @@
+//! `wmh` — command-line interface to the weighted MinHash toolbox.
+//!
+//! Documents are JSON weighted sets (`{"doc-id": {"element": weight, …}, …}`
+//! or a JSON array of `[index, weight]` pair lists). Subcommands:
+//!
+//! ```text
+//! wmh sketch   --input docs.json --algorithm ICWS --hashes 256 --seed 42 --output sketches.json
+//! wmh estimate --input docs.json --algorithm ICWS --hashes 256 [--exact]
+//! wmh dedup    --input docs.json --threshold 0.8
+//! wmh algorithms
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use wmh::core::others::UpperBounds;
+use wmh::core::{Algorithm, AlgorithmConfig};
+use wmh::lsh::cluster::cluster_by_similarity;
+use wmh::lsh::Bands;
+use wmh::sets::{generalized_jaccard, WeightedSet};
+
+type DocMap = BTreeMap<String, BTreeMap<String, f64>>;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    match cmd.as_str() {
+        "algorithms" => {
+            for a in Algorithm::ALL {
+                let info = a.info();
+                println!(
+                    "{:<24} {:<36} unbiased: {}",
+                    info.name,
+                    info.category.label(),
+                    if info.unbiased { "yes" } else { "no" }
+                );
+            }
+            Ok(())
+        }
+        "sketch" => {
+            let docs = load_docs(&required(&flag("--input"), "--input")?)?;
+            let algo = parse_algorithm(&flag("--algorithm").unwrap_or_else(|| "ICWS".into()))?;
+            let hashes: usize = parse_num(&flag("--hashes").unwrap_or_else(|| "256".into()))?;
+            let seed: u64 = parse_num(&flag("--seed").unwrap_or_else(|| "42".into()))?;
+            let sets = to_sets(&docs)?;
+            let sketcher = build(algo, seed, hashes, &sets)?;
+            let mut out: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+            for (name, set) in &sets {
+                let sk = sketcher
+                    .sketch(set)
+                    .map_err(|e| format!("sketching {name:?}: {e}"))?;
+                out.insert(name.clone(), sk.codes);
+            }
+            let json = serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?;
+            match flag("--output") {
+                Some(path) => {
+                    std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("wrote {} sketches to {path}", out.len());
+                }
+                None => println!("{json}"),
+            }
+            Ok(())
+        }
+        "estimate" => {
+            let docs = load_docs(&required(&flag("--input"), "--input")?)?;
+            let algo = parse_algorithm(&flag("--algorithm").unwrap_or_else(|| "ICWS".into()))?;
+            let hashes: usize = parse_num(&flag("--hashes").unwrap_or_else(|| "256".into()))?;
+            let seed: u64 = parse_num(&flag("--seed").unwrap_or_else(|| "42".into()))?;
+            let exact = args.iter().any(|a| a == "--exact");
+            let sets = to_sets(&docs)?;
+            let sketcher = build(algo, seed, hashes, &sets)?;
+            let sketches: Vec<_> = sets
+                .iter()
+                .map(|(name, set)| {
+                    sketcher
+                        .sketch(set)
+                        .map(|s| (name.clone(), s))
+                        .map_err(|e| format!("sketching {name:?}: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            println!("{:<20} {:<20} {:>10} {}", "doc A", "doc B", "estimate", if exact { "exact" } else { "" });
+            for i in 0..sketches.len() {
+                for j in (i + 1)..sketches.len() {
+                    let est = sketches[i].1.estimate_similarity(&sketches[j].1);
+                    if exact {
+                        let ex = generalized_jaccard(&sets[i].1, &sets[j].1);
+                        println!(
+                            "{:<20} {:<20} {:>10.4} {:.4}",
+                            sketches[i].0, sketches[j].0, est, ex
+                        );
+                    } else {
+                        println!("{:<20} {:<20} {:>10.4}", sketches[i].0, sketches[j].0, est);
+                    }
+                }
+            }
+            Ok(())
+        }
+        "dedup" => {
+            let docs = load_docs(&required(&flag("--input"), "--input")?)?;
+            let threshold: f64 = parse_num(&flag("--threshold").unwrap_or_else(|| "0.8".into()))?;
+            let seed: u64 = parse_num(&flag("--seed").unwrap_or_else(|| "42".into()))?;
+            let sets = to_sets(&docs)?;
+            let vectors: Vec<WeightedSet> = sets.iter().map(|(_, s)| s.clone()).collect();
+            let clusters = cluster_by_similarity(
+                wmh::core::cws::Icws::new(seed, 128),
+                Bands::for_threshold(128, threshold.max(0.05)),
+                &vectors,
+                threshold,
+            )
+            .map_err(|e| e.to_string())?;
+            for cl in clusters.iter().filter(|c| c.len() > 1) {
+                let names: Vec<&str> = cl.iter().map(|&i| sets[i].0.as_str()).collect();
+                println!("{}", names.join("\t"));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  wmh algorithms\n  wmh sketch   --input docs.json [--algorithm ICWS] [--hashes 256] [--seed 42] [--output out.json]\n  wmh estimate --input docs.json [--algorithm ICWS] [--hashes 256] [--seed 42] [--exact]\n  wmh dedup    --input docs.json [--threshold 0.8] [--seed 42]".to_owned()
+}
+
+fn required(v: &Option<String>, name: &str) -> Result<String, String> {
+    v.clone().ok_or_else(|| format!("missing {name}\n{}", usage()))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("invalid number {s:?}: {e}"))
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    Algorithm::by_name(name).ok_or_else(|| {
+        let all: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        format!("unknown algorithm {name:?}; available: {}", all.join(", "))
+    })
+}
+
+fn load_docs(path: &str) -> Result<DocMap, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn to_sets(docs: &DocMap) -> Result<Vec<(String, WeightedSet)>, String> {
+    docs.iter()
+        .map(|(name, elems)| {
+            // String element keys hash to stable u64 indices; numeric keys
+            // keep their value so results are human-checkable.
+            let oracle = wmh::hash::SeededHash::new(0x0D0C);
+            let pairs = elems.iter().map(|(key, &w)| {
+                let idx = key
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| oracle.hash_bytes(key.as_bytes()));
+                (idx, w)
+            });
+            WeightedSet::from_pairs(pairs)
+                .map(|s| (name.clone(), s))
+                .map_err(|e| format!("document {name:?}: {e}"))
+        })
+        .collect()
+}
+
+fn build(
+    algo: Algorithm,
+    seed: u64,
+    hashes: usize,
+    sets: &[(String, WeightedSet)],
+) -> Result<Box<dyn wmh::core::Sketcher>, String> {
+    let config = AlgorithmConfig {
+        upper_bounds: UpperBounds::from_sets(sets.iter().map(|(_, s)| s)).ok(),
+        ..AlgorithmConfig::default()
+    };
+    algo.build(seed, hashes, &config).map_err(|e| e.to_string())
+}

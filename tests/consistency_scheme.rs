@@ -1,0 +1,126 @@
+//! Integration tests of the Consistent Weighted Sampling contract
+//! (paper Definition 8) across the CWS-family implementations.
+
+use wmh::core::cws::{Cws, Icws};
+use wmh::core::{Algorithm, AlgorithmConfig, Sketcher};
+use wmh::sets::WeightedSet;
+
+fn ic_config() -> AlgorithmConfig {
+    AlgorithmConfig {
+        quantization_constant: 100.0,
+        upper_bounds: None,
+        max_rejection_draws: 1_000_000,
+        ccws_weight_scale: 10.0,
+    }
+}
+
+/// Definition 8 (consistency), subset form: if `T ⊆ S` element-wise and the
+/// sample of `S` falls within `T`'s weights, it is also `T`'s sample.
+/// Verified on the exact CWS implementation per hash function.
+#[test]
+fn cws_subset_consistency() {
+    let cws = Cws::new(41, 64);
+    let s = WeightedSet::from_pairs((0..30u64).map(|k| (k, 0.4 + (k % 7) as f64 * 0.3)))
+        .expect("valid");
+    let t = WeightedSet::from_pairs(s.iter().map(|(k, w)| (k, w * 0.7))).expect("valid");
+    let mut checked = 0;
+    for d in 0..64 {
+        // Find S's winning sample.
+        let (k_s, rec_s) = s
+            .iter()
+            .map(|(k, w)| (k, cws.element_sample(d, k, w)))
+            .min_by(|a, b| a.1.value.total_cmp(&b.1.value))
+            .expect("non-empty");
+        if rec_s.position <= t.weight(k_s) {
+            let (k_t, rec_t) = t
+                .iter()
+                .map(|(k, w)| (k, cws.element_sample(d, k, w)))
+                .min_by(|a, b| a.1.value.total_cmp(&b.1.value))
+                .expect("non-empty");
+            assert_eq!(k_s, k_t, "hash {d}: selected element must persist");
+            assert_eq!(rec_s, rec_t, "hash {d}: selected record must persist");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 64 * 2 / 5, "too few applicable hashes: {checked}");
+}
+
+/// The estimator is invariant to jointly scaling both sets (Eq. 2 is).
+/// Exact for CWS (dyadic machinery scales); statistical for ICWS.
+#[test]
+fn estimates_are_scale_covariant() {
+    let d = 1024;
+    let s = WeightedSet::from_pairs((0..40u64).map(|k| (k, 0.3 + (k % 5) as f64 * 0.2)))
+        .expect("valid");
+    let t = WeightedSet::from_pairs((20..60u64).map(|k| (k, 0.3 + (k % 3) as f64 * 0.4)))
+        .expect("valid");
+    for algo in [Algorithm::Cws, Algorithm::Icws, Algorithm::Pcws] {
+        let sk = algo.build(43, d, &ic_config()).expect("buildable");
+        let base = sk
+            .sketch(&s)
+            .expect("ok")
+            .estimate_similarity(&sk.sketch(&t).expect("ok"));
+        let s4 = s.scaled(4.0).expect("valid factor");
+        let t4 = t.scaled(4.0).expect("valid factor");
+        let scaled = sk
+            .sketch(&s4)
+            .expect("ok")
+            .estimate_similarity(&sk.sketch(&t4).expect("ok"));
+        assert!(
+            (base - scaled).abs() < 0.05,
+            "{algo:?}: base {base} vs x4 {scaled}"
+        );
+    }
+}
+
+/// ICWS element samples satisfy the bracket `y ≤ S < z` and the sample is
+/// *stable* under weight changes inside `[y, z)` for every hash index —
+/// the Figure 5 property, end-to-end through the public sketch.
+#[test]
+fn icws_sketch_stable_under_in_window_weight_changes() {
+    let d = 256;
+    let icws = Icws::new(47, d);
+    let s = WeightedSet::from_pairs((0..20u64).map(|k| (k, 1.0 + (k % 4) as f64)))
+        .expect("valid");
+    let base = icws.sketch(&s).expect("ok");
+    // Perturb every weight by a hair (well within each element's window for
+    // almost all (d, k); collisions must survive almost everywhere).
+    let eps = WeightedSet::from_pairs(s.iter().map(|(k, w)| (k, w * 1.0005))).expect("valid");
+    let sk = icws.sketch(&eps).expect("ok");
+    let agreement = base.estimate_similarity(&sk);
+    assert!(agreement > 0.97, "tiny perturbation broke {agreement}");
+}
+
+/// Different seeds decorrelate fingerprints entirely.
+#[test]
+fn different_seeds_give_independent_sketches() {
+    let s = WeightedSet::from_pairs((0..30u64).map(|k| (k, 1.0 + (k % 3) as f64)))
+        .expect("valid");
+    let a = Icws::new(1, 512).sketch(&s).expect("ok");
+    let b = Icws::new(2, 512).sketch(&s).expect("ok");
+    assert!(a.try_estimate_similarity(&b).is_err(), "cross-seed comparison must fail");
+    // Codes pack (d, k, t) without the seed, so independent seeds still
+    // agree occasionally by chance (≈ Σ p_k² · P(same step) ≈ 3% here);
+    // what must NOT happen is wholesale agreement.
+    let matches = a.codes.iter().zip(&b.codes).filter(|(x, y)| x == y).count();
+    assert!(
+        matches < 512 / 5,
+        "seeds leak: {matches} of 512 codes shared"
+    );
+}
+
+/// The whole 13-algorithm factory produces deterministic sketches: building
+/// twice with the same seed yields byte-identical fingerprints.
+#[test]
+fn factory_sketches_are_reproducible() {
+    let s = WeightedSet::from_pairs((0..25u64).map(|k| (k, 0.2 + (k % 6) as f64 * 0.5)))
+        .expect("valid");
+    let mut config = ic_config();
+    config.upper_bounds =
+        Some(wmh::core::others::UpperBounds::from_sets([&s]).expect("non-empty"));
+    for algo in Algorithm::ALL {
+        let a = algo.build(53, 64, &config).expect("buildable").sketch(&s).expect("ok");
+        let b = algo.build(53, 64, &config).expect("buildable").sketch(&s).expect("ok");
+        assert_eq!(a, b, "{algo:?} not reproducible");
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-algorithm agreement: the exact estimators all target Eq. 2, so
+//! their estimates must agree with each other (not merely with the truth)
+//! across a spread of pairs — a mutual-consistency check that catches
+//! subtle per-algorithm drifts that single-pair tests miss.
+
+use wmh::core::others::UpperBounds;
+use wmh::core::{Algorithm, AlgorithmConfig};
+use wmh::data::SynConfig;
+use wmh::rng::stats::pearson;
+use wmh::sets::generalized_jaccard;
+
+/// The theoretically exact estimators (catalog `unbiased == true`).
+fn exact_algorithms() -> Vec<Algorithm> {
+    Algorithm::ALL
+        .into_iter()
+        .filter(|a| a.info().unbiased)
+        .collect()
+}
+
+#[test]
+fn exact_estimators_correlate_across_pairs() {
+    // A battery of controlled pairs sweeping the full similarity range:
+    // truth variance is large, so exact estimators must track it nearly
+    // perfectly at D = 512 (binomial noise sd ≤ 0.023 per pair).
+    let targets: Vec<f64> = (1..=19).map(|i| f64::from(i) / 20.0).collect();
+    let battery: Vec<_> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| wmh::data::pairs::controlled_pair(t, 25, (i as u64) * 10_000))
+        .collect();
+    let truths: Vec<f64> = battery
+        .iter()
+        .map(|(s, t)| generalized_jaccard(s, t))
+        .collect();
+    let all_sets: Vec<&wmh::sets::WeightedSet> =
+        battery.iter().flat_map(|(s, t)| [s, t]).collect();
+    let config = AlgorithmConfig {
+        quantization_constant: 300.0,
+        upper_bounds: Some(
+            UpperBounds::from_sets(all_sets.iter().copied()).expect("non-empty"),
+        ),
+        max_rejection_draws: 5_000_000,
+        ccws_weight_scale: 10.0,
+    };
+    let d = 512;
+    let mut estimates: Vec<(String, Vec<f64>)> = Vec::new();
+    for algo in exact_algorithms() {
+        let sk = algo.build(5, d, &config).expect("buildable");
+        let ests: Vec<f64> = battery
+            .iter()
+            .map(|(s, t)| {
+                sk.sketch(s)
+                    .expect("non-empty")
+                    .estimate_similarity(&sk.sketch(t).expect("non-empty"))
+            })
+            .collect();
+        estimates.push((algo.name().to_owned(), ests));
+    }
+    // Everyone correlates near-perfectly with the truth…
+    for (name, ests) in &estimates {
+        let rho = pearson(ests, &truths);
+        assert!(rho > 0.99, "{name}: corr with truth {rho}");
+    }
+    // …and with each other.
+    for i in 0..estimates.len() {
+        for j in (i + 1)..estimates.len() {
+            let rho = pearson(&estimates[i].1, &estimates[j].1);
+            assert!(
+                rho > 0.99,
+                "{} vs {}: corr {rho}",
+                estimates[i].0,
+                estimates[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_estimators_have_matching_error_scales() {
+    // All exact estimators share the binomial noise floor, so their RMS
+    // errors at the same D are within a small factor of each other.
+    let cfg = SynConfig { docs: 30, features: 1_000, density: 0.06, exponent: 3.0, scale: 0.24 };
+    let ds = cfg.generate(78).expect("valid");
+    let pairs = wmh::data::pairs::sample_pairs(ds.docs.len(), 100, 78);
+    let truths: Vec<f64> = pairs
+        .iter()
+        .map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j]))
+        .collect();
+    let config = AlgorithmConfig {
+        quantization_constant: 300.0,
+        upper_bounds: Some(UpperBounds::from_sets(ds.docs.iter()).expect("non-empty")),
+        max_rejection_draws: 5_000_000,
+        ccws_weight_scale: 10.0,
+    };
+    let d = 256;
+    let mut rmses = Vec::new();
+    for algo in exact_algorithms() {
+        let sk = algo.build(9, d, &config).expect("buildable");
+        let sketches: Vec<_> = ds
+            .docs
+            .iter()
+            .map(|doc| sk.sketch(doc).expect("sketchable"))
+            .collect();
+        let mse: f64 = pairs
+            .iter()
+            .enumerate()
+            .map(|(p, &(i, j))| {
+                let e = sketches[i].estimate_similarity(&sketches[j]) - truths[p];
+                e * e
+            })
+            .sum::<f64>()
+            / pairs.len() as f64;
+        rmses.push((algo.name(), mse.sqrt()));
+    }
+    let min = rmses.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+    let max = rmses.iter().map(|&(_, r)| r).fold(0.0, f64::max);
+    assert!(
+        max < 2.0 * min,
+        "exact estimators should share an error scale: {rmses:?}"
+    );
+}

@@ -1,0 +1,122 @@
+//! Integration tests: estimator quality of every algorithm on controlled
+//! and synthetic workloads (the statistical contract behind Figure 8).
+
+use wmh::core::others::UpperBounds;
+use wmh::core::{Algorithm, AlgorithmConfig};
+use wmh::data::pairs::controlled_pair;
+use wmh::data::SynConfig;
+use wmh::sets::generalized_jaccard;
+
+fn config_for(sets: &[&wmh::sets::WeightedSet]) -> AlgorithmConfig {
+    AlgorithmConfig {
+        quantization_constant: 400.0,
+        upper_bounds: Some(UpperBounds::from_sets(sets.iter().copied()).expect("non-empty")),
+        max_rejection_draws: 5_000_000,
+        ccws_weight_scale: 10.0,
+    }
+}
+
+/// Every *unbiased* algorithm's estimate lands within CLT bounds of the
+/// exact generalized Jaccard on a controlled pair.
+#[test]
+fn unbiased_algorithms_hit_controlled_targets() {
+    let d = 2048;
+    for target in [0.2, 0.5, 0.8] {
+        let (s, t) = controlled_pair(target, 40, 0);
+        let truth = generalized_jaccard(&s, &t);
+        let config = config_for(&[&s, &t]);
+        for algo in Algorithm::ALL {
+            if !algo.info().unbiased {
+                continue;
+            }
+            let sk = algo.build(17, d, &config).expect("buildable");
+            let est = sk
+                .sketch(&s)
+                .expect("non-empty")
+                .estimate_similarity(&sk.sketch(&t).expect("non-empty"));
+            let sd = (truth * (1.0 - truth) / d as f64).sqrt();
+            // 5σ plus a small quantization allowance for the integer-grid
+            // algorithms (C = 400 on unit-ish weights).
+            assert!(
+                (est - truth).abs() < 5.0 * sd + 0.015,
+                "{algo:?} at target {target}: est {est}, truth {truth}"
+            );
+        }
+    }
+}
+
+/// Every algorithm (biased ones included) is monotone: a more similar pair
+/// never estimates below a much less similar pair.
+#[test]
+fn all_algorithms_order_similar_above_dissimilar() {
+    let d = 1024;
+    let (hi_s, hi_t) = controlled_pair(0.8, 40, 0);
+    let (lo_s, lo_t) = controlled_pair(0.15, 40, 10_000);
+    let config = config_for(&[&hi_s, &hi_t, &lo_s, &lo_t]);
+    for algo in Algorithm::ALL {
+        let sk = algo.build(23, d, &config).expect("buildable");
+        let hi = sk
+            .sketch(&hi_s)
+            .expect("non-empty")
+            .estimate_similarity(&sk.sketch(&hi_t).expect("non-empty"));
+        let lo = sk
+            .sketch(&lo_s)
+            .expect("non-empty")
+            .estimate_similarity(&sk.sketch(&lo_t).expect("non-empty"));
+        assert!(hi > lo + 0.2, "{algo:?}: hi {hi} not above lo {lo}");
+    }
+}
+
+/// Self-similarity is always exactly 1 and disjoint similarity is ≈ 0.
+#[test]
+fn identity_and_disjointness() {
+    let d = 512;
+    let (s, _) = controlled_pair(0.5, 30, 0);
+    let (u, _) = controlled_pair(0.5, 30, 50_000);
+    let config = config_for(&[&s, &u]);
+    for algo in Algorithm::ALL {
+        let sk = algo.build(29, d, &config).expect("buildable");
+        let fs = sk.sketch(&s).expect("non-empty");
+        assert_eq!(
+            fs.estimate_similarity(&sk.sketch(&s).expect("non-empty")),
+            1.0,
+            "{algo:?} self-similarity"
+        );
+        let fu = sk.sketch(&u).expect("non-empty");
+        let est = fs.estimate_similarity(&fu);
+        assert!(est < 0.06, "{algo:?} disjoint estimate {est}");
+    }
+}
+
+/// On a power-law synthetic dataset (the paper's workload), the unbiased
+/// algorithms' mean signed error across pairs is near zero.
+#[test]
+fn mean_signed_error_is_small_on_synthetic_data() {
+    let cfg = SynConfig { docs: 40, features: 1_200, density: 0.05, exponent: 3.0, scale: 0.24 };
+    let ds = cfg.generate(31).expect("valid");
+    let pairs = wmh::data::pairs::sample_pairs(ds.docs.len(), 150, 31);
+    let truths: Vec<f64> = pairs
+        .iter()
+        .map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j]))
+        .collect();
+    let refs: Vec<&wmh::sets::WeightedSet> = ds.docs.iter().collect();
+    let config = config_for(&refs);
+    let d = 512;
+    for algo in [Algorithm::Icws, Algorithm::Cws, Algorithm::Shrivastava2016] {
+        let sk = algo.build(37, d, &config).expect("buildable");
+        let sketches: Vec<_> = ds
+            .docs
+            .iter()
+            .map(|doc| sk.sketch(doc).expect("sketchable"))
+            .collect();
+        let mean_err: f64 = pairs
+            .iter()
+            .enumerate()
+            .map(|(p, &(i, j))| sketches[i].estimate_similarity(&sketches[j]) - truths[p])
+            .sum::<f64>()
+            / pairs.len() as f64;
+        // Mean of ~150 pair errors, each with sd ≈ sqrt(p/D) ≈ 0.005;
+        // correlated across pairs, so allow a generous band.
+        assert!(mean_err.abs() < 0.004, "{algo:?} mean signed error {mean_err}");
+    }
+}

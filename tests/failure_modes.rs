@@ -1,0 +1,121 @@
+//! Failure-injection tests: invalid inputs and budget exhaustion must
+//! surface as typed errors, never as panics or silent nonsense.
+
+use wmh::core::others::{Shrivastava, UpperBounds};
+use wmh::core::{Algorithm, AlgorithmConfig, SketchError, Sketcher};
+use wmh::sets::{SetError, WeightedSet};
+
+#[test]
+fn invalid_weights_are_rejected_at_the_boundary() {
+    assert!(matches!(
+        WeightedSet::from_pairs([(1, f64::NAN)]),
+        Err(SetError::NonFiniteWeight { .. })
+    ));
+    assert!(matches!(
+        WeightedSet::from_pairs([(1, f64::NEG_INFINITY)]),
+        Err(SetError::NonFiniteWeight { .. })
+    ));
+    assert!(matches!(
+        WeightedSet::from_pairs([(1, -3.0)]),
+        Err(SetError::NonPositiveWeight { .. })
+    ));
+    assert!(matches!(
+        WeightedSet::from_pairs([(1, 1.0), (1, 2.0)]),
+        Err(SetError::DuplicateIndex(1))
+    ));
+}
+
+#[test]
+fn every_algorithm_rejects_the_empty_set() {
+    let some_set = WeightedSet::from_pairs([(1, 1.0)]).expect("valid");
+    let config = AlgorithmConfig {
+        upper_bounds: Some(UpperBounds::from_sets([&some_set]).expect("non-empty")),
+        ..AlgorithmConfig::default()
+    };
+    for algo in Algorithm::ALL {
+        let sk = algo.build(1, 8, &config).expect("buildable");
+        assert!(
+            matches!(sk.sketch(&WeightedSet::empty()), Err(SketchError::EmptySet)),
+            "{algo:?} accepted an empty set"
+        );
+    }
+}
+
+#[test]
+fn extreme_weights_do_not_break_cws_family() {
+    // Denormal-adjacent and astronomically large weights sketch fine.
+    let tiny = WeightedSet::from_pairs([(1, 1e-300), (2, 1e-280)]).expect("valid");
+    let huge = WeightedSet::from_pairs([(1, 1e280), (2, 1.7e308)]).expect("valid");
+    let mixed = WeightedSet::from_pairs([(1, 1e-12), (2, 1e12)]).expect("valid");
+    for algo in [Algorithm::Cws, Algorithm::Icws, Algorithm::Pcws, Algorithm::I2cws] {
+        let sk = algo.build(2, 16, &AlgorithmConfig::default()).expect("buildable");
+        for set in [&tiny, &huge, &mixed] {
+            let fp = sk.sketch(set).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+            assert_eq!(fp.len(), 16);
+            assert_eq!(fp.estimate_similarity(&sk.sketch(set).expect("ok")), 1.0);
+        }
+    }
+}
+
+#[test]
+fn shrivastava_bound_violations_are_typed_errors() {
+    let seen = WeightedSet::from_pairs([(1, 1.0), (2, 2.0)]).expect("valid");
+    let bounds = UpperBounds::from_sets([&seen]).expect("non-empty");
+    let sh = Shrivastava::new(3, 8, bounds);
+    // Streamed data exceeding the pre-scan.
+    let over = WeightedSet::from_pairs([(1, 1.5)]).expect("valid");
+    assert!(matches!(
+        sh.sketch(&over),
+        Err(SketchError::WeightExceedsBound { element: 1, .. })
+    ));
+    // Never-seen element.
+    let unseen = WeightedSet::from_pairs([(9, 0.1)]).expect("valid");
+    assert!(matches!(
+        sh.sketch(&unseen),
+        Err(SketchError::WeightExceedsBound { element: 9, .. })
+    ));
+}
+
+#[test]
+fn shrivastava_budget_exhaustion_is_reported_not_hung() {
+    let probe = WeightedSet::from_pairs([(1, 1e-9)]).expect("valid");
+    let wide = WeightedSet::from_pairs([(1, 1e-9), (2, 1e9)]).expect("valid");
+    let bounds = UpperBounds::from_sets([&probe, &wide]).expect("non-empty");
+    let sh = Shrivastava::new(4, 4, bounds).with_max_draws(100);
+    let start = std::time::Instant::now();
+    let err = sh.sketch(&probe).expect_err("budget must exhaust");
+    assert!(matches!(err, SketchError::BadParameter { what, .. } if what.contains("rejection")));
+    assert!(start.elapsed().as_secs() < 5, "cutoff did not bound the work");
+}
+
+#[test]
+fn quantization_resolution_failures_are_reported() {
+    let sub_resolution = WeightedSet::from_pairs([(1, 0.2)]).expect("valid");
+    let config = AlgorithmConfig { quantization_constant: 2.0, ..AlgorithmConfig::default() };
+    for algo in [Algorithm::Haveliwala2000, Algorithm::GollapudiActive] {
+        let sk = algo.build(5, 4, &config).expect("buildable");
+        assert!(
+            matches!(sk.sketch(&sub_resolution), Err(SketchError::BadParameter { .. })),
+            "{algo:?} silently dropped all mass"
+        );
+    }
+}
+
+#[test]
+fn incompatible_sketch_comparisons_fail_loudly() {
+    let s = WeightedSet::from_pairs([(1, 1.0)]).expect("valid");
+    let a = Algorithm::Icws
+        .build(1, 8, &AlgorithmConfig::default())
+        .expect("buildable")
+        .sketch(&s)
+        .expect("ok");
+    let b = Algorithm::Pcws
+        .build(1, 8, &AlgorithmConfig::default())
+        .expect("buildable")
+        .sketch(&s)
+        .expect("ok");
+    assert!(matches!(
+        a.try_estimate_similarity(&b),
+        Err(SketchError::Incompatible { .. })
+    ));
+}

