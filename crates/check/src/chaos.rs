@@ -1,0 +1,163 @@
+//! [`ChaosBuf`] — byte-level fault injection for crash-safety tests.
+//!
+//! Models the three failure classes a persisted sketch store or checkpoint
+//! log actually meets in the wild:
+//!
+//! * **bit flips** — a storage medium or transfer corrupting bytes in
+//!   place (what per-record CRCs must catch);
+//! * **truncation** — a crash mid-write tearing the file at an arbitrary
+//!   byte (what salvage / torn-tail recovery must survive);
+//! * **garbage suffixes** — a crashed writer leaving a partially written
+//!   next record behind the last valid one.
+//!
+//! Each mutator records what it did in [`ChaosBuf::mutations`], so a
+//! failing property test can print the exact fault sequence.
+
+use crate::Gen;
+
+/// One recorded fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Flipped a single bit: `(byte offset, bit index)`.
+    BitFlip(usize, u8),
+    /// Truncated the buffer to the given length.
+    Truncate(usize),
+    /// Appended this many random bytes.
+    GarbageSuffix(usize),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BitFlip(at, bit) => write!(f, "bit-flip @{at}.{bit}"),
+            Self::Truncate(len) => write!(f, "truncate→{len}"),
+            Self::GarbageSuffix(n) => write!(f, "garbage+{n}"),
+        }
+    }
+}
+
+/// A byte buffer with fault-injection mutators.
+#[derive(Debug, Clone)]
+pub struct ChaosBuf {
+    bytes: Vec<u8>,
+    mutations: Vec<Fault>,
+}
+
+impl ChaosBuf {
+    /// Wrap a pristine buffer.
+    #[must_use]
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Self { bytes, mutations: Vec::new() }
+    }
+
+    /// The (possibly corrupted) bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume into the byte vector.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// The faults applied so far, in order.
+    #[must_use]
+    pub fn mutations(&self) -> &[Fault] {
+        &self.mutations
+    }
+
+    /// Whether any fault has actually changed the byte content.
+    ///
+    /// (A truncation of an empty buffer or a zero-length suffix is a
+    /// no-op; callers asserting "corruption must be detected" should
+    /// require this to be `true` first.)
+    #[must_use]
+    pub fn is_mutated(&self) -> bool {
+        !self.mutations.is_empty()
+    }
+
+    /// Flip one random bit. No-op on an empty buffer (returns `None`).
+    pub fn bit_flip(&mut self, g: &mut Gen) -> Option<Fault> {
+        if self.bytes.is_empty() {
+            return None;
+        }
+        let at = g.range_usize(0, self.bytes.len() - 1);
+        let bit = g.below(8) as u8;
+        self.bytes[at] ^= 1 << bit;
+        let fault = Fault::BitFlip(at, bit);
+        self.mutations.push(fault.clone());
+        Some(fault)
+    }
+
+    /// Truncate to a strictly shorter random length. No-op when empty.
+    pub fn truncate_random(&mut self, g: &mut Gen) -> Option<Fault> {
+        if self.bytes.is_empty() {
+            return None;
+        }
+        let len = g.range_usize(0, self.bytes.len() - 1);
+        self.bytes.truncate(len);
+        let fault = Fault::Truncate(len);
+        self.mutations.push(fault.clone());
+        Some(fault)
+    }
+
+    /// Append 1–`max_len` random bytes (a torn next record).
+    pub fn garbage_suffix(&mut self, g: &mut Gen, max_len: usize) -> Fault {
+        let n = g.range_usize(1, max_len.max(1));
+        let mut tail = vec![0u8; n];
+        g.fill(&mut tail);
+        self.bytes.extend_from_slice(&tail);
+        let fault = Fault::GarbageSuffix(n);
+        self.mutations.push(fault.clone());
+        fault
+    }
+
+    /// Apply one random fault drawn from the three classes.
+    pub fn corrupt(&mut self, g: &mut Gen) -> Option<Fault> {
+        match g.below(3) {
+            0 => self.bit_flip(g),
+            1 => self.truncate_random(g),
+            _ => Some(self.garbage_suffix(g, 64)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let original = vec![0u8; 64];
+        let mut buf = ChaosBuf::new(original.clone());
+        let mut g = Gen::new(9);
+        buf.bit_flip(&mut g).expect("non-empty");
+        let differing: u32 =
+            original.iter().zip(buf.as_slice()).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(differing, 1);
+        assert_eq!(buf.mutations().len(), 1);
+    }
+
+    #[test]
+    fn truncate_shrinks_and_suffix_grows() {
+        let mut g = Gen::new(10);
+        let mut buf = ChaosBuf::new(vec![1, 2, 3, 4, 5]);
+        buf.truncate_random(&mut g).expect("non-empty");
+        assert!(buf.as_slice().len() < 5);
+        let before = buf.as_slice().len();
+        buf.garbage_suffix(&mut g, 8);
+        assert!(buf.as_slice().len() > before);
+        assert!(buf.is_mutated());
+    }
+
+    #[test]
+    fn empty_buffer_faults_are_none() {
+        let mut g = Gen::new(11);
+        let mut buf = ChaosBuf::new(Vec::new());
+        assert_eq!(buf.bit_flip(&mut g), None);
+        assert_eq!(buf.truncate_random(&mut g), None);
+        assert!(matches!(buf.garbage_suffix(&mut g, 4), Fault::GarbageSuffix(_)));
+    }
+}

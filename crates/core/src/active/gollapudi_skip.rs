@@ -182,15 +182,11 @@ mod tests {
         // Expected number of active indices in w subelements is H_w ≈ ln w.
         let g = GollapudiSkip::new(3, 1, 1.0).unwrap();
         let w = 100_000u64;
-        let mean_steps: f64 = (0..200u64)
-            .map(|k| f64::from(g.walk(0, k, w).expect("w > 0").steps))
-            .sum::<f64>()
-            / 200.0;
+        let mean_steps: f64 =
+            (0..200u64).map(|k| f64::from(g.walk(0, k, w).expect("w > 0").steps)).sum::<f64>()
+                / 200.0;
         let hw = (w as f64).ln() + 0.5772;
-        assert!(
-            (mean_steps - hw).abs() < 0.25 * hw,
-            "mean steps {mean_steps}, harmonic {hw}"
-        );
+        assert!((mean_steps - hw).abs() < 0.25 * hw, "mean steps {mean_steps}, harmonic {hw}");
     }
 
     #[test]
@@ -200,9 +196,8 @@ mod tests {
         let w = 64u64;
         let n = 4000u64;
         let median_target = 1.0 - 0.5f64.powf(1.0 / w as f64);
-        let below = (0..n)
-            .filter(|&k| g.walk(0, k, w).expect("w > 0").value < median_target)
-            .count();
+        let below =
+            (0..n).filter(|&k| g.walk(0, k, w).expect("w > 0").value < median_target).count();
         let z = wmh_rng::stats::binomial_z(below as u64, n, 0.5);
         assert!(z.abs() < 5.0, "z = {z}");
     }
@@ -235,10 +230,7 @@ mod tests {
     fn errors_on_empty_and_all_zero() {
         let g = GollapudiSkip::new(7, 4, 1.0).unwrap();
         assert_eq!(g.sketch(&WeightedSet::empty()), Err(SketchError::EmptySet));
-        assert!(matches!(
-            g.sketch(&ws(&[(1, 0.4)])),
-            Err(SketchError::BadParameter { .. })
-        ));
+        assert!(matches!(g.sketch(&ws(&[(1, 0.4)])), Err(SketchError::BadParameter { .. })));
         assert!(GollapudiSkip::new(7, 4, f64::NAN).is_err());
     }
 
@@ -246,9 +238,6 @@ mod tests {
     fn identical_sets_always_collide() {
         let g = GollapudiSkip::new(8, 64, 100.0).unwrap();
         let s = ws(&[(1, 0.5), (9, 2.5)]);
-        assert_eq!(
-            g.sketch(&s).unwrap().estimate_similarity(&g.sketch(&s).unwrap()),
-            1.0
-        );
+        assert_eq!(g.sketch(&s).unwrap().estimate_similarity(&g.sketch(&s).unwrap()), 1.0);
     }
 }

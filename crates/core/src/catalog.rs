@@ -304,9 +304,9 @@ impl Algorithm {
             Self::Cws => Box::new(Cws::new(seed, num_hashes)),
             Self::Icws => Box::new(Icws::new(seed, num_hashes)),
             Self::ZeroBitCws => Box::new(ZeroBitCws::new(seed, num_hashes)),
-            Self::Ccws => Box::new(
-                Ccws::new(seed, num_hashes).with_weight_scale(config.ccws_weight_scale)?,
-            ),
+            Self::Ccws => {
+                Box::new(Ccws::new(seed, num_hashes).with_weight_scale(config.ccws_weight_scale)?)
+            }
             Self::Pcws => Box::new(Pcws::new(seed, num_hashes)),
             Self::I2cws => Box::new(I2cws::new(seed, num_hashes)),
             Self::GollapudiThreshold => Box::new(GollapudiThreshold::new(seed, num_hashes)),

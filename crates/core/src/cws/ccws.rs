@@ -207,9 +207,8 @@ mod tests {
         // Documented behaviour: for S ≪ r·β the literal equations yield
         // y ≤ 0 and the element becomes unselectable.
         let c = Ccws::new(3, 1).with_pairing(CcwsPairing::ReviewEq14);
-        let degenerate = (0..2000u64)
-            .filter(|&k| c.element_sample(0, k, 0.05).2.is_infinite())
-            .count();
+        let degenerate =
+            (0..2000u64).filter(|&k| c.element_sample(0, k, 0.05).2.is_infinite()).count();
         assert!(degenerate > 1000, "expected widespread degeneracy, got {degenerate}");
     }
 
@@ -276,8 +275,10 @@ mod tests {
         // And ICWS on the same workload is closer to the truth.
         let icws = crate::cws::Icws::new(6, d);
         let ic = icws.sketch(&s).unwrap().estimate_similarity(&icws.sketch(&t).unwrap());
-        assert!((ic - truth).abs() <= (est - truth).abs() + 2.0 * sd,
-            "ICWS ({ic}) should beat CCWS ({est}) against truth {truth}");
+        assert!(
+            (ic - truth).abs() <= (est - truth).abs() + 2.0 * sd,
+            "ICWS ({ic}) should beat CCWS ({est}) against truth {truth}"
+        );
     }
 
     #[test]

@@ -274,9 +274,7 @@ mod tests {
         // elements with the same weight should be uniform.
         let cws = Cws::new(3, 1);
         let s = 2.7;
-        let xs: Vec<f64> = (0..4000u64)
-            .map(|k| cws.element_sample(0, k, s).position / s)
-            .collect();
+        let xs: Vec<f64> = (0..4000u64).map(|k| cws.element_sample(0, k, s).position / s).collect();
         let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
         assert!(d < 1.63 / (xs.len() as f64).sqrt() * 1.5, "KS D = {d}");
     }
@@ -353,10 +351,7 @@ mod tests {
     fn identical_sets_collide_everywhere() {
         let cws = Cws::new(8, 128);
         let s = ws(&[(1, 0.2), (2, 3.7), (5, 0.9)]);
-        assert_eq!(
-            cws.sketch(&s).unwrap().estimate_similarity(&cws.sketch(&s).unwrap()),
-            1.0
-        );
+        assert_eq!(cws.sketch(&s).unwrap().estimate_similarity(&cws.sketch(&s).unwrap()), 1.0);
     }
 
     #[test]

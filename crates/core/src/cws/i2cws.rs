@@ -242,7 +242,10 @@ mod tests {
         let ic = icws.sketch(&s).unwrap().estimate_similarity(&icws.sketch(&t).unwrap());
         assert!(est < truth + 3.0 * sd, "I²CWS should not overestimate: {est} vs {truth}");
         assert!(est > 0.3 * truth, "est {est} collapsed vs truth {truth}");
-        assert!(ic > est - 2.0 * sd, "ICWS ({ic}) should collide at least as often as I²CWS ({est})");
+        assert!(
+            ic > est - 2.0 * sd,
+            "ICWS ({ic}) should collide at least as often as I²CWS ({est})"
+        );
     }
 
     #[test]

@@ -11,7 +11,6 @@
 //! trading a variance factor for a `64/b` storage saving.
 
 use crate::sketch::{Sketch, SketchError};
-use serde::{Deserialize, Serialize};
 
 /// A truncated sketch holding only `b` bits per hash.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(b2.storage_bytes(), 256 / 32 * 8); // 32 codes per u64 word
 /// assert_eq!(b2.estimate_similarity(&b2).unwrap(), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BbitSketch {
     /// Provenance (copied from the source sketch).
     pub algorithm: String,
@@ -39,6 +38,8 @@ pub struct BbitSketch {
     len: usize,
 }
 
+wmh_json::json_object!(BbitSketch { algorithm, seed, bits, packed, len });
+
 impl BbitSketch {
     /// Truncate a full sketch to its lowest `bits` bits per code.
     ///
@@ -47,7 +48,10 @@ impl BbitSketch {
     /// source sketch.
     pub fn from_sketch(sketch: &Sketch, bits: u8) -> Result<Self, SketchError> {
         if !(1..=16).contains(&bits) {
-            return Err(SketchError::BadParameter { what: "b (bits per code)", value: f64::from(bits) });
+            return Err(SketchError::BadParameter {
+                what: "b (bits per code)",
+                value: f64::from(bits),
+            });
         }
         if sketch.is_empty() {
             return Err(SketchError::EmptySet);

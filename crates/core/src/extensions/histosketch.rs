@@ -20,10 +20,10 @@
 //! histograms by code collision, like every other sketch in this crate.
 
 use crate::sketch::{pack2, Sketch, SketchError};
+use std::collections::HashMap;
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
 use wmh_sets::WeightedSet;
-use std::collections::HashMap;
 
 /// A streaming weighted-MinHash sketch with exponential decay.
 ///

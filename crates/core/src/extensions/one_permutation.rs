@@ -113,10 +113,7 @@ mod tests {
         let s = binary(0..600);
         let t = binary(300..900);
         let truth = jaccard(&s, &t); // 1/3
-        let est = o
-            .sketch(&s)
-            .unwrap()
-            .estimate_similarity(&o.sketch(&t).unwrap());
+        let est = o.sketch(&s).unwrap().estimate_similarity(&o.sketch(&t).unwrap());
         let sd = (truth * (1.0 - truth) / bins as f64).sqrt();
         // Densified OPH has slightly higher variance than vanilla MinHash.
         assert!((est - truth).abs() < 7.0 * sd, "est {est} truth {truth}");

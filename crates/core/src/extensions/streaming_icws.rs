@@ -154,9 +154,7 @@ mod tests {
             let mass = 0.05 + rng.next_f64();
             stream.add(k, mass).unwrap();
         }
-        let batch = Icws::new(7, d)
-            .sketch(&stream.histogram().unwrap())
-            .unwrap();
+        let batch = Icws::new(7, d).sketch(&stream.histogram().unwrap()).unwrap();
         assert_eq!(stream.sketch().unwrap().codes, batch.codes);
     }
 
@@ -184,10 +182,9 @@ mod tests {
         for k in 0..30u64 {
             stream.add(k, 1.0 + (k % 3) as f64).unwrap();
         }
-        let other = wmh_sets::WeightedSet::from_pairs(
-            (15..45u64).map(|k| (k, 1.0 + (k % 3) as f64)),
-        )
-        .unwrap();
+        let other =
+            wmh_sets::WeightedSet::from_pairs((15..45u64).map(|k| (k, 1.0 + (k % 3) as f64)))
+                .unwrap();
         let batch = Icws::new(5, d).sketch(&other).unwrap();
         let est = stream.sketch().unwrap().estimate_similarity(&batch);
         let truth = wmh_sets::generalized_jaccard(&stream.histogram().unwrap(), &other);

@@ -66,15 +66,15 @@ impl MinHash {
     pub fn with_permutation(seed: u64, num_hashes: usize, kind: PermutationKind) -> Self {
         let oracle = SeededHash::new(seed);
         let linear = match kind {
-            PermutationKind::Linear => (0..num_hashes as u64)
-                .map(|d| MersennePermutation::new(&oracle, d))
-                .collect(),
+            PermutationKind::Linear => {
+                (0..num_hashes as u64).map(|d| MersennePermutation::new(&oracle, d)).collect()
+            }
             _ => Vec::new(),
         };
         let tabulation = match kind {
-            PermutationKind::Tabulation => (0..num_hashes as u64)
-                .map(|d| TabulationHash::new(&oracle, d))
-                .collect(),
+            PermutationKind::Tabulation => {
+                (0..num_hashes as u64).map(|d| TabulationHash::new(&oracle, d)).collect()
+            }
             _ => Vec::new(),
         };
         Self { oracle, seed, num_hashes, kind, linear, tabulation }
@@ -104,19 +104,11 @@ impl MinHash {
                 .expect("non-empty"),
             PermutationKind::Linear => {
                 let p = &self.linear[d];
-                indices
-                    .iter()
-                    .copied()
-                    .min_by_key(|&k| p.apply(k))
-                    .expect("non-empty")
+                indices.iter().copied().min_by_key(|&k| p.apply(k)).expect("non-empty")
             }
             PermutationKind::Tabulation => {
                 let t = &self.tabulation[d];
-                indices
-                    .iter()
-                    .copied()
-                    .min_by_key(|&k| t.hash(k))
-                    .expect("non-empty")
+                indices.iter().copied().min_by_key(|&k| t.hash(k)).expect("non-empty")
             }
         }
     }
@@ -135,9 +127,8 @@ impl Sketcher for MinHash {
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let codes = (0..self.num_hashes)
-            .map(|d| pack2(d as u64, self.min_element(set, d)))
-            .collect();
+        let codes =
+            (0..self.num_hashes).map(|d| pack2(d as u64, self.min_element(set, d))).collect();
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
     }
 }
@@ -186,10 +177,7 @@ mod tests {
         let mh = MinHash::new(4, 128);
         let s = WeightedSet::from_pairs([(1, 10.0), (2, 0.01)]).unwrap();
         let t = s.binarized();
-        assert_eq!(
-            mh.sketch(&s).unwrap().estimate_similarity(&mh.sketch(&t).unwrap()),
-            1.0
-        );
+        assert_eq!(mh.sketch(&s).unwrap().estimate_similarity(&mh.sketch(&t).unwrap()), 1.0);
     }
 
     #[test]
@@ -201,11 +189,7 @@ mod tests {
     #[test]
     fn all_permutation_kinds_agree_on_identical_inputs() {
         let s = binary(&[3, 8, 1000, 77]);
-        for kind in [
-            PermutationKind::Mixed,
-            PermutationKind::Linear,
-            PermutationKind::Tabulation,
-        ] {
+        for kind in [PermutationKind::Mixed, PermutationKind::Linear, PermutationKind::Tabulation] {
             let mh = MinHash::with_permutation(9, 32, kind);
             let a = mh.sketch(&s).unwrap();
             let b = mh.sketch(&s).unwrap();
@@ -234,10 +218,8 @@ mod tests {
         let mh = MinHash::new(13, d);
         let t: Vec<u64> = (0..40).collect();
         let s: Vec<u64> = (0..10).collect();
-        let est = mh
-            .sketch(&binary(&s))
-            .unwrap()
-            .estimate_similarity(&mh.sketch(&binary(&t)).unwrap());
+        let est =
+            mh.sketch(&binary(&s)).unwrap().estimate_similarity(&mh.sketch(&binary(&t)).unwrap());
         let truth = 0.25;
         let sd = (truth * (1.0 - truth) / d as f64).sqrt();
         assert!((est - truth).abs() < 5.0 * sd, "est {est}");

@@ -127,10 +127,7 @@ mod tests {
         let truth = generalized_jaccard(&s, &t);
         let est = c.sketch(&s).unwrap().estimate_similarity(&c.sketch(&t).unwrap());
         let sd = (0.02f64 * 0.98 / d as f64).sqrt();
-        assert!(
-            est > truth + 5.0 * sd,
-            "expected upward bias: est {est}, truth {truth}"
-        );
+        assert!(est > truth + 5.0 * sd, "expected upward bias: est {est}, truth {truth}");
     }
 
     #[test]

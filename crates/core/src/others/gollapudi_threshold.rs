@@ -79,9 +79,8 @@ impl Sketcher for GollapudiThreshold {
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let codes = (0..self.num_hashes)
-            .map(|d| pack2(d as u64, self.min_element(set, d)))
-            .collect();
+        let codes =
+            (0..self.num_hashes).map(|d| pack2(d as u64, self.min_element(set, d))).collect();
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
     }
 }
@@ -130,9 +129,7 @@ mod tests {
         // (element, d) pairs.
         let g = GollapudiThreshold::new(2, 16);
         let n = 2000u64;
-        let pairs: Vec<(u64, f64)> = (0..n)
-            .map(|k| (k, if k == 0 { 1.0 } else { 0.5 }))
-            .collect();
+        let pairs: Vec<(u64, f64)> = (0..n).map(|k| (k, if k == 0 { 1.0 } else { 0.5 })).collect();
         let s = ws(&pairs);
         let mut kept = 0usize;
         for d in 0..16 {

@@ -290,9 +290,7 @@ mod tests {
         let trials = 200usize;
         let mean_draws = |bounds: UpperBounds| {
             let sh = Shrivastava::new(3, trials, bounds);
-            (0..trials)
-                .map(|d| sh.first_green(&s, d).expect("within budget") as f64)
-                .sum::<f64>()
+            (0..trials).map(|d| sh.first_green(&s, d).expect("within budget") as f64).sum::<f64>()
                 / trials as f64
         };
         let dt = mean_draws(tight);

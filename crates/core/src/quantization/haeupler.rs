@@ -138,9 +138,7 @@ mod tests {
         // part (0.7 here).
         let h = Haeupler::new(3, 1, 10.0).unwrap();
         let n = 20_000u64;
-        let kept = (0..n)
-            .filter(|&k| h.effective_count(k, 0.47) == 5)
-            .count() as f64;
+        let kept = (0..n).filter(|&k| h.effective_count(k, 0.47) == 5).count() as f64;
         let frac = kept / n as f64;
         assert!((frac - 0.7).abs() < 0.02, "retention rate {frac}");
     }

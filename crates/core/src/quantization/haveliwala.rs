@@ -122,10 +122,7 @@ mod tests {
     fn all_zero_quantization_is_reported() {
         let h = Haveliwala::new(1, 4, 1.0).unwrap();
         let s = ws(&[(1, 0.3), (2, 0.9)]); // both floor to 0 at C=1
-        assert!(matches!(
-            h.sketch(&s),
-            Err(SketchError::BadParameter { .. })
-        ));
+        assert!(matches!(h.sketch(&s), Err(SketchError::BadParameter { .. })));
     }
 
     #[test]

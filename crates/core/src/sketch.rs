@@ -1,6 +1,5 @@
 //! Sketches, the collision estimator, and the common [`Sketcher`] trait.
 
-use serde::{Deserialize, Serialize};
 use wmh_hash::mix::{combine, fmix64};
 use wmh_sets::WeightedSet;
 
@@ -12,7 +11,7 @@ use wmh_sets::WeightedSet;
 /// [`pack2`]/[`pack3`], which are injective in practice (deterministic
 /// avalanche mixing; accidental 64-bit collisions are negligible at paper
 /// scales).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sketch {
     /// Name of the producing algorithm (catalog name).
     pub algorithm: String,
@@ -21,6 +20,8 @@ pub struct Sketch {
     /// The `D` collision codes, indexed by hash function `d`.
     pub codes: Vec<u64>,
 }
+
+wmh_json::json_object!(Sketch { algorithm, seed, codes });
 
 impl Sketch {
     /// Number of hash functions `D`.
@@ -53,12 +54,7 @@ impl Sketch {
                 right: (other.algorithm.clone(), other.seed, other.codes.len()),
             });
         }
-        let hits = self
-            .codes
-            .iter()
-            .zip(&other.codes)
-            .filter(|(a, b)| a == b)
-            .count();
+        let hits = self.codes.iter().zip(&other.codes).filter(|(a, b)| a == b).count();
         Ok(hits as f64 / self.codes.len() as f64)
     }
 
@@ -74,15 +70,15 @@ impl Sketch {
             .expect("sketches must come from the same configured sketcher")
     }
 
-    /// Serialize the codes into a compact little-endian byte buffer
-    /// (`bytes::Bytes`), e.g. for storage alongside an index.
+    /// Serialize the codes into a compact little-endian byte buffer,
+    /// e.g. for storage alongside an index.
     #[must_use]
-    pub fn code_bytes(&self) -> bytes::Bytes {
-        let mut buf = bytes::BytesMut::with_capacity(self.codes.len() * 8);
+    pub fn code_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.codes.len() * 8);
         for &c in &self.codes {
             buf.extend_from_slice(&c.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 }
 
@@ -122,10 +118,9 @@ impl std::fmt::Display for SketchError {
         match self {
             Self::EmptySet => write!(f, "cannot sketch an empty set"),
             Self::BadParameter { what, value } => write!(f, "invalid {what}: {value}"),
-            Self::WeightExceedsBound { element, weight, bound } => write!(
-                f,
-                "element {element} weight {weight} exceeds pre-scanned bound {bound}"
-            ),
+            Self::WeightExceedsBound { element, weight, bound } => {
+                write!(f, "element {element} weight {weight} exceeds pre-scanned bound {bound}")
+            }
             Self::Incompatible { left, right } => write!(
                 f,
                 "incompatible sketches: {}/seed {}/D={} vs {}/seed {}/D={}",
@@ -240,8 +235,8 @@ mod tests {
     #[test]
     fn sketch_serde_roundtrip() {
         let s = sk("icws", 7, vec![1, 2, 3]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Sketch = serde_json::from_str(&json).unwrap();
+        let json = wmh_json::to_string(&s);
+        let back: Sketch = wmh_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 }

@@ -1,95 +1,133 @@
 //! Property-based tests of the CWS-scheme invariants across the whole
 //! weight range (paper Definition 8 and the per-algorithm bracket laws).
 
-use proptest::prelude::*;
+use wmh_check::{ensure, run_cases};
 use wmh_core::active::GollapudiSkip;
 use wmh_core::cws::{Ccws, Cws, I2cws, Icws, Pcws};
 
-fn weight() -> impl Strategy<Value = f64> {
-    // Log-uniform across 12 orders of magnitude.
-    (-6.0f64..6.0).prop_map(|e| 10f64.powf(e))
+/// A weight drawn log-uniformly across 12 orders of magnitude.
+fn weight(g: &mut wmh_check::Gen) -> f64 {
+    g.log_uniform(-6.0, 6.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn icws_bracket_and_positivity(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+#[test]
+fn icws_bracket_and_positivity() {
+    run_cases(256, |g| {
+        let (seed, k, s) = (g.u64(), g.u64(), weight(g));
         let icws = Icws::new(seed, 1);
         let m = icws.element_sample(0, k, s);
-        prop_assert!(m.y <= s * (1.0 + 1e-9), "y {} s {}", m.y, s);
-        prop_assert!(m.z >= s * (1.0 - 1e-9), "z {} s {}", m.z, s);
-        prop_assert!(m.y > 0.0 && m.z.is_finite());
-        prop_assert!(m.a > 0.0 && m.a.is_finite());
-    }
+        ensure!(m.y <= s * (1.0 + 1e-9), "y {} s {s}", m.y);
+        ensure!(m.z >= s * (1.0 - 1e-9), "z {} s {s}", m.z);
+        ensure!(m.y > 0.0 && m.z.is_finite(), "window degenerate");
+        ensure!(m.a > 0.0 && m.a.is_finite(), "hash value degenerate");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pcws_bracket_and_positivity(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+#[test]
+fn pcws_bracket_and_positivity() {
+    run_cases(256, |g| {
+        let (seed, k, s) = (g.u64(), g.u64(), weight(g));
         let p = Pcws::new(seed, 1);
         let (_, y, a) = p.element_sample(0, k, s);
-        prop_assert!(y <= s * (1.0 + 1e-9));
-        prop_assert!(y > 0.0 && a > 0.0 && a.is_finite());
-    }
+        ensure!(y <= s * (1.0 + 1e-9), "y {y} above weight {s}");
+        ensure!(y > 0.0 && a > 0.0 && a.is_finite(), "degenerate sample");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn i2cws_bracket_and_positivity(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+#[test]
+fn i2cws_bracket_and_positivity() {
+    run_cases(256, |g| {
+        let (seed, k, s) = (g.u64(), g.u64(), weight(g));
         let i2 = I2cws::new(seed, 1);
         let (z, a) = i2.element_z(0, k, s);
         let (_, y) = i2.element_y(0, k, s);
-        prop_assert!(y <= s * (1.0 + 1e-9));
-        prop_assert!(z >= s * (1.0 - 1e-9));
-        prop_assert!(a > 0.0 && a.is_finite());
-    }
+        ensure!(y <= s * (1.0 + 1e-9), "y {y} above weight {s}");
+        ensure!(z >= s * (1.0 - 1e-9), "z {z} below weight {s}");
+        ensure!(a > 0.0 && a.is_finite(), "degenerate hash value");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ccws_default_pairing_is_total(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+#[test]
+fn ccws_default_pairing_is_total() {
+    run_cases(256, |g| {
+        let (seed, k, s) = (g.u64(), g.u64(), weight(g));
         let c = Ccws::new(seed, 1);
         let (_, _, a) = c.element_sample(0, k, s);
-        prop_assert!(a > 0.0 && a.is_finite());
-    }
+        ensure!(a > 0.0 && a.is_finite(), "pairing degenerate at weight {s}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cws_record_is_inside_the_weight(seed in any::<u64>(), k in any::<u64>(), s in weight()) {
+#[test]
+fn cws_record_is_inside_the_weight() {
+    run_cases(256, |g| {
+        let (seed, k, s) = (g.u64(), g.u64(), weight(g));
         let cws = Cws::new(seed, 1);
         let r = cws.element_sample(0, k, s);
-        prop_assert!(r.position > 0.0 && r.position <= s * (1.0 + 1e-9),
-            "position {} weight {}", r.position, s);
-        prop_assert!(r.value > 0.0 && r.value.is_finite());
-    }
+        ensure!(
+            r.position > 0.0 && r.position <= s * (1.0 + 1e-9),
+            "position {} weight {s}",
+            r.position
+        );
+        ensure!(r.value > 0.0 && r.value.is_finite(), "degenerate value");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cws_monotone_in_weight(seed in any::<u64>(), k in any::<u64>(), s in weight(), grow in 1.01f64..100.0) {
+#[test]
+fn cws_monotone_in_weight() {
+    run_cases(256, |g| {
+        let (seed, k, s) = (g.u64(), g.u64(), weight(g));
+        let grow = g.range_f64(1.01, 100.0);
         // A larger weight can only lower the element's minimum hash value.
         let cws = Cws::new(seed, 1);
         let small = cws.element_sample(0, k, s);
         let large = cws.element_sample(0, k, s * grow);
-        prop_assert!(large.value <= small.value * (1.0 + 1e-9),
-            "min grew with weight: {} -> {}", small.value, large.value);
-    }
+        ensure!(
+            large.value <= small.value * (1.0 + 1e-9),
+            "min grew with weight: {} -> {}",
+            small.value,
+            large.value
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gollapudi_walk_monotone_in_weight(seed in any::<u64>(), k in any::<u64>(),
-                                          w1 in 1u64..2_000, extra in 0u64..2_000) {
-        let g = GollapudiSkip::new(seed, 1, 1.0).expect("valid constant");
-        let a = g.walk(0, k, w1).expect("w > 0");
-        let b = g.walk(0, k, w1 + extra).expect("w > 0");
-        prop_assert!(b.value <= a.value);
-        prop_assert!(b.index >= a.index || b.value < a.value);
-        prop_assert!(a.index < w1);
-    }
+#[test]
+fn gollapudi_walk_monotone_in_weight() {
+    run_cases(256, |g| {
+        let (seed, k) = (g.u64(), g.u64());
+        let w1 = g.range_u64(1, 1_999);
+        let extra = g.range_u64(0, 1_999);
+        let gs = GollapudiSkip::new(seed, 1, 1.0).expect("valid constant");
+        let a = gs.walk(0, k, w1).expect("w > 0");
+        let b = gs.walk(0, k, w1 + extra).expect("w > 0");
+        ensure!(b.value <= a.value, "value grew with weight");
+        ensure!(b.index >= a.index || b.value < a.value, "walk went backwards");
+        ensure!(a.index < w1, "index {} escapes weight {w1}", a.index);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn icws_consistency_window_is_exact(seed in any::<u64>(), k in any::<u64>(), s in weight(),
-                                        frac in 0.001f64..0.999) {
+#[test]
+fn icws_consistency_window_is_exact() {
+    run_cases(256, |g| {
+        let (seed, k, s) = (g.u64(), g.u64(), weight(g));
+        let frac = g.range_f64(0.001, 0.999);
         // Any weight strictly inside (y, z) reproduces the same (y, z).
         let icws = Icws::new(seed, 1);
         let m = icws.element_sample(0, k, s);
         let probe = m.y + frac * (m.z - m.y);
         // Stay strictly inside the window despite float rounding.
-        prop_assume!(probe > m.y && probe < m.z);
+        if !(probe > m.y && probe < m.z) {
+            return Ok(());
+        }
         let m2 = icws.element_sample(0, k, probe);
-        prop_assert_eq!(m.step, m2.step);
-        prop_assert_eq!(m.y, m2.y);
-        prop_assert_eq!(m.z, m2.z);
-    }
+        ensure!(m.step == m2.step, "step changed inside the window");
+        ensure!(m.y == m2.y && m.z == m2.z, "window moved under probe");
+        Ok(())
+    });
 }

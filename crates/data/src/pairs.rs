@@ -30,10 +30,7 @@ pub fn sample_pairs(n: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
     }
     // Sample distinct linear pair indices, then invert the triangular map.
     let mut rng = Xoshiro256pp::new(seed ^ 0x9A17_55ED);
-    rng.sample_distinct(total as u64, count)
-        .into_iter()
-        .map(|lin| unrank_pair(lin, n))
-        .collect()
+    rng.sample_distinct(total as u64, count).into_iter().map(|lin| unrank_pair(lin, n)).collect()
 }
 
 /// Invert the row-major triangular enumeration of pairs `(i, j)`, `i < j`.
@@ -106,7 +103,12 @@ pub fn controlled_pair(target: f64, support: usize, base_index: u64) -> (Weighte
 /// # Panics
 /// Panics when `bins == 0` or fewer than two documents are given.
 #[must_use]
-pub fn similarity_histogram(docs: &[WeightedSet], max_pairs: usize, bins: usize, seed: u64) -> Vec<u64> {
+pub fn similarity_histogram(
+    docs: &[WeightedSet],
+    max_pairs: usize,
+    bins: usize,
+    seed: u64,
+) -> Vec<u64> {
     assert!(bins > 0, "need at least one bin");
     let pairs = sample_pairs(docs.len(), max_pairs, seed);
     let mut counts = vec![0u64; bins];

@@ -1,11 +1,10 @@
 //! Dataset summary statistics — the columns of Table 4.
 
 use crate::synthetic::Dataset;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One row of Table 4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSummary {
     /// Dataset name.
     pub name: String,
@@ -25,6 +24,15 @@ pub struct DatasetSummary {
     pub avg_std_weight: f64,
 }
 
+wmh_json::json_object!(DatasetSummary {
+    name,
+    docs,
+    features,
+    avg_density,
+    avg_mean_weight,
+    avg_std_weight,
+});
+
 impl DatasetSummary {
     /// Compute the Table 4 row for a dataset.
     #[must_use]
@@ -34,12 +42,7 @@ impl DatasetSummary {
         let avg_density = if docs == 0 {
             0.0
         } else {
-            dataset
-                .docs
-                .iter()
-                .map(|d| d.len() as f64 / features as f64)
-                .sum::<f64>()
-                / docs as f64
+            dataset.docs.iter().map(|d| d.len() as f64 / features as f64).sum::<f64>() / docs as f64
         };
         // Per-element nonzero weights across documents.
         let mut per_element: HashMap<u64, Vec<f64>> = HashMap::new();
@@ -55,11 +58,8 @@ impl DatasetSummary {
             mean_acc += mean;
             std_acc += var.sqrt();
         }
-        let (avg_mean_weight, avg_std_weight) = if n_elem > 0.0 {
-            (mean_acc / n_elem, std_acc / n_elem)
-        } else {
-            (0.0, 0.0)
-        };
+        let (avg_mean_weight, avg_std_weight) =
+            if n_elem > 0.0 { (mean_acc / n_elem, std_acc / n_elem) } else { (0.0, 0.0) };
         Self {
             name: dataset.name.clone(),
             docs,
@@ -99,24 +99,15 @@ mod tests {
     fn synthetic_summary_matches_generator_parameters() {
         // A moderately sized SynESS sample must land near the paper's
         // Table 4 row for s = 0.2: density 0.005, mean ≈ 0.30.
-        let cfg = SynConfig {
-            docs: 300,
-            features: 10_000,
-            density: 0.005,
-            exponent: 3.0,
-            scale: 0.2,
-        };
+        let cfg =
+            SynConfig { docs: 300, features: 10_000, density: 0.005, exponent: 3.0, scale: 0.2 };
         let ds = cfg.generate(42).unwrap();
         let s = DatasetSummary::compute(&ds);
         assert!((s.avg_density - 0.005).abs() < 1e-4, "density {}", s.avg_density);
         assert!((s.avg_mean_weight - 0.30).abs() < 0.02, "mean {}", s.avg_mean_weight);
         // Sample std of few heavy-tailed draws per element: positive and
         // below the population value 0.173 (Table 4 reports ≈ 0.10).
-        assert!(
-            s.avg_std_weight > 0.02 && s.avg_std_weight < 0.173,
-            "std {}",
-            s.avg_std_weight
-        );
+        assert!(s.avg_std_weight > 0.02 && s.avg_std_weight < 0.173, "std {}", s.avg_std_weight);
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! The `SynESS` synthetic dataset generator (paper §6.1, Table 4).
 
-use serde::{Deserialize, Serialize};
 use wmh_rng::dist::pareto_from_unit;
 use wmh_rng::{Prng, Xoshiro256pp};
 use wmh_sets::WeightedSet;
@@ -16,7 +15,7 @@ use wmh_sets::WeightedSet;
 /// assert_eq!(ds.len(), 10);
 /// assert_eq!(ds.docs[0].len(), 20); // features · density
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SynConfig {
     /// Number of documents ("# of Docs", 1 000 in the paper).
     pub docs: usize,
@@ -81,8 +80,7 @@ impl SynConfig {
     /// the paper's level while shrinking the universe.
     #[must_use]
     pub fn scaled_down_preserving_overlap(&self, docs: usize, features: u64) -> Self {
-        let density =
-            (self.density * (self.features as f64 / features as f64).sqrt()).min(1.0);
+        let density = (self.density * (self.features as f64 / features as f64).sqrt()).min(1.0);
         Self { docs, features, density, ..*self }
     }
 
@@ -118,7 +116,7 @@ pub const PAPER_DATASETS: [SynConfig; 6] = {
 };
 
 /// A generated dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Paper-style name, e.g. `Syn3E0.2S`.
     pub name: String,
@@ -127,6 +125,9 @@ pub struct Dataset {
     /// The documents.
     pub docs: Vec<WeightedSet>,
 }
+
+wmh_json::json_object!(SynConfig { docs, features, density, exponent, scale });
+wmh_json::json_object!(Dataset { name, config, docs });
 
 impl Dataset {
     /// Number of documents.
@@ -141,13 +142,13 @@ impl Dataset {
         self.docs.is_empty()
     }
 
-    /// Persist to a JSON file (exact float round-trip — the workspace
-    /// enables `serde_json/float_roundtrip`).
+    /// Persist to a JSON file (floats render shortest-roundtrip, so the
+    /// file is bit-exact on reload).
     ///
     /// # Errors
-    /// I/O or serialization failures, stringified.
+    /// I/O failures, stringified.
     pub fn save_json(&self, path: &std::path::Path) -> Result<(), String> {
-        let text = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        let text = wmh_json::to_string(self);
         std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
     }
 
@@ -158,7 +159,7 @@ impl Dataset {
     pub fn load_json(path: &std::path::Path) -> Result<Self, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        serde_json::from_str(&text).map_err(|e| e.to_string())
+        wmh_json::from_str(&text).map_err(|e| e.to_string())
     }
 }
 
@@ -267,8 +268,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let ds = small().generate(9).unwrap();
-        let json = serde_json::to_string(&ds).unwrap();
-        let back: Dataset = serde_json::from_str(&json).unwrap();
+        let json = wmh_json::to_string(&ds);
+        let back: Dataset = wmh_json::from_str(&json).unwrap();
         assert_eq!(ds.docs, back.docs);
         assert_eq!(ds.name, back.name);
     }

@@ -8,13 +8,12 @@
 //! weights arise organically. Used by the classification pipeline tests
 //! and the streaming experiment.
 
-use serde::{Deserialize, Serialize};
 use wmh_rng::dist::Zipf;
 use wmh_rng::{Prng, Xoshiro256pp};
 use wmh_sets::WeightedSet;
 
 /// Configuration of a topic-mixture text corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TextConfig {
     /// Number of topics; each owns a disjoint vocabulary block.
     pub topics: usize,
@@ -28,6 +27,14 @@ pub struct TextConfig {
     /// (the remainder is drawn from a shared background topic 0).
     pub topical_fraction: f64,
 }
+
+wmh_json::json_object!(TextConfig {
+    topics,
+    vocab_per_topic,
+    tokens_per_doc,
+    zipf_exponent,
+    topical_fraction,
+});
 
 impl TextConfig {
     /// A small default: 4 topics, 2 000-token vocabularies, 120 tokens per
@@ -92,10 +99,8 @@ impl TextConfig {
                     let rank = zipf.sample(&mut rng) as u64 - 1;
                     *counts.entry(block * self.vocab_per_topic + rank).or_insert(0) += 1;
                 }
-                let tf = WeightedSet::from_pairs(
-                    counts.into_iter().map(|(k, c)| (k, c as f64)),
-                )
-                .expect("counts positive");
+                let tf = WeightedSet::from_pairs(counts.into_iter().map(|(k, c)| (k, c as f64)))
+                    .expect("counts positive");
                 out.push((tf, topic));
             }
         }
@@ -139,12 +144,10 @@ mod tests {
     fn same_topic_documents_are_more_similar() {
         let cfg = TextConfig::small();
         let corpus = cfg.generate(6, 2).unwrap();
-        let same: Vec<f64> = (0..5)
-            .map(|i| generalized_jaccard(&corpus[i].0, &corpus[i + 1].0))
-            .collect();
-        let cross: Vec<f64> = (0..5)
-            .map(|i| generalized_jaccard(&corpus[i].0, &corpus[i + 7].0))
-            .collect();
+        let same: Vec<f64> =
+            (0..5).map(|i| generalized_jaccard(&corpus[i].0, &corpus[i + 1].0)).collect();
+        let cross: Vec<f64> =
+            (0..5).map(|i| generalized_jaccard(&corpus[i].0, &corpus[i + 7].0)).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
             mean(&same) > mean(&cross) + 0.05,

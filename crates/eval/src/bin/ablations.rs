@@ -17,10 +17,7 @@ fn main() {
     let c = ablations::ccws_pairing_ablation(seed);
     println!("  linear-shift MSE : {}", fmt_value(c.linear_shift_mse));
     println!("  review Eq.14 MSE : {}", fmt_value(c.review_eq14_mse));
-    println!(
-        "  Eq.14 degenerate-draw rate at weight 0.3: {}\n",
-        fmt_value(c.eq14_degenerate_rate)
-    );
+    println!("  Eq.14 degenerate-draw rate at weight 0.3: {}\n", fmt_value(c.eq14_degenerate_rate));
     let _ = save_json(dir, "ablation_ccws_pairing", &c);
 
     println!("Ablation 3 — ICWS vs I2CWS across D (paper §6.3 small-D remark)\n");

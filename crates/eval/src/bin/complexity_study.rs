@@ -25,10 +25,8 @@ fn main() {
     for algo in algos {
         let mut row = vec![algo.name().to_owned()];
         for &n in &ns {
-            let p = points
-                .iter()
-                .find(|p| p.algorithm == algo.name() && p.n == n)
-                .expect("measured");
+            let p =
+                points.iter().find(|p| p.algorithm == algo.name() && p.n == n).expect("measured");
             row.push(fmt_value(p.seconds));
         }
         t.row(row);
@@ -37,11 +35,7 @@ fn main() {
     println!("{}", t.to_markdown());
     println!("Growth factors (time-ratio / n-ratio; 1.0 = perfectly linear):");
     for algo in algos {
-        println!(
-            "  {:<12} {:.2}",
-            algo.name(),
-            complexity::growth_factor(&points, algo.name())
-        );
+        println!("  {:<12} {:.2}", algo.name(), complexity::growth_factor(&points, algo.name()));
     }
     match save_json(std::path::Path::new("results"), "complexity_study", &points) {
         Ok(path) => eprintln!("saved {}", path.display()),

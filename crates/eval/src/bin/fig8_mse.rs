@@ -7,11 +7,14 @@
 //! ```
 //!
 //! Results are printed (ASCII plots + tables) and saved to
-//! `results/fig8_<scale>.json`.
+//! `results/fig8_<scale>.json`. Progress is checkpointed to
+//! `results/checkpoints/fig8_<scale>.jsonl`: re-running after a crash (or
+//! a deliberate kill) resumes from the completed cells instead of starting
+//! over. Delete the checkpoint to force a fresh measurement.
 
 use wmh_eval::experiments::figures;
 use wmh_eval::report::save_json;
-use wmh_eval::Scale;
+use wmh_eval::{RunOptions, Scale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") {
@@ -25,7 +28,14 @@ fn main() {
         "Figure 8 at scale '{}': {} docs x {} features, D = {:?}, {} repeats",
         scale.label, scale.docs, scale.features, scale.d_values, scale.repeats
     );
-    let (cells, rendered) = figures::figure8(&scale);
+    let opts = RunOptions::checkpointed(format!("results/checkpoints/fig8_{}.jsonl", scale.label));
+    let (cells, rendered) = match figures::figure8_with(&scale, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("figure 8 run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("{rendered}");
 
     println!("Shape checks (paper §6.3):");

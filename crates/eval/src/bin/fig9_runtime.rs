@@ -5,9 +5,13 @@
 //! cargo run --release -p wmh-eval --bin fig9_runtime -- --full  # paper scale
 //! ```
 
+//! Progress is checkpointed to `results/checkpoints/fig9_<scale>.jsonl`;
+//! re-running resumes completed timings. Delete the checkpoint to force a
+//! fresh measurement.
+
 use wmh_eval::experiments::figures;
 use wmh_eval::report::save_json;
-use wmh_eval::Scale;
+use wmh_eval::{RunOptions, Scale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") {
@@ -21,7 +25,14 @@ fn main() {
         "Figure 9 at scale '{}': encoding {} docs per dataset, D = {:?}",
         scale.label, scale.runtime_docs, scale.d_values
     );
-    let (cells, rendered) = figures::figure9(&scale);
+    let opts = RunOptions::checkpointed(format!("results/checkpoints/fig9_{}.jsonl", scale.label));
+    let (cells, rendered) = match figures::figure9_with(&scale, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("figure 9 run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("{rendered}");
 
     println!("Shape checks (paper §6.3):");

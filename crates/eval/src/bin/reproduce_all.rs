@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use wmh_data::PAPER_DATASETS;
 use wmh_eval::experiments::{ablations, figures, illustrations, tables};
 use wmh_eval::report::{fmt_value, save_json, Table};
-use wmh_eval::Scale;
+use wmh_eval::{RunOptions, Scale};
 
 fn main() {
     let seed = 0xE5EED;
@@ -53,15 +53,25 @@ fn main() {
     }
     section("Ablation — ICWS vs I2CWS", t.to_markdown());
 
-    // The two figures, quick scale.
+    // The two figures, quick scale. Both runs checkpoint to
+    // `results/checkpoints/` and resume by default: killing this binary
+    // mid-sweep and restarting it re-measures only the in-flight cell.
     let scale = Scale::quick();
-    let (cells8, rendered8) = figures::figure8(&scale);
+    let or_die = |what: &str, e: wmh_eval::RunnerError| -> ! {
+        eprintln!("{what} failed: {e}");
+        std::process::exit(1);
+    };
+    let opts8 = RunOptions::checkpointed(format!("results/checkpoints/fig8_{}.jsonl", scale.label));
+    let (cells8, rendered8) =
+        figures::figure8_with(&scale, &opts8).unwrap_or_else(|e| or_die("figure 8", e));
     section("Figure 8 — MSE vs D (quick scale)", rendered8);
     let mut checks = String::new();
     for (label, ok) in figures::check_figure8_shape(&scale, &cells8) {
         let _ = writeln!(checks, "[{}] {label}", if ok { "PASS" } else { "FAIL" });
     }
-    let (cells9, rendered9) = figures::figure9(&scale);
+    let opts9 = RunOptions::checkpointed(format!("results/checkpoints/fig9_{}.jsonl", scale.label));
+    let (cells9, rendered9) =
+        figures::figure9_with(&scale, &opts9).unwrap_or_else(|e| or_die("figure 9", e));
     section("Figure 9 — runtime vs D (quick scale)", rendered9);
     for (label, ok) in figures::check_figure9_shape(&scale, &cells9) {
         let _ = writeln!(checks, "[{}] {label}", if ok { "PASS" } else { "FAIL" });

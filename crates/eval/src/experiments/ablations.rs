@@ -10,48 +10,43 @@
 //!    extension.
 
 use crate::report::{fmt_value, Table};
-use serde::{Deserialize, Serialize};
 use wmh_core::cws::{Ccws, CcwsPairing, I2cws, Icws};
 use wmh_core::extensions::BbitSketch;
 use wmh_core::quantization::Haveliwala;
-use wmh_core::{Sketcher};
+use wmh_core::Sketcher;
 use wmh_data::SynConfig;
 use wmh_rng::stats::mse;
 use wmh_sets::{generalized_jaccard, WeightedSet};
 
 /// Shared tiny workload for ablations: one scaled-down paper dataset and a
 /// sample of pairs with exact similarities.
-fn workload(docs: usize, features: u64, seed: u64) -> (Vec<WeightedSet>, Vec<(usize, usize)>, Vec<f64>) {
-    let cfg = SynConfig {
-        docs,
-        features,
-        density: 0.01,
-        exponent: 3.0,
-        scale: 0.24,
-    };
+fn workload(
+    docs: usize,
+    features: u64,
+    seed: u64,
+) -> (Vec<WeightedSet>, Vec<(usize, usize)>, Vec<f64>) {
+    let cfg = SynConfig { docs, features, density: 0.01, exponent: 3.0, scale: 0.24 };
     let ds = cfg.generate(seed).expect("valid config");
     let pairs = wmh_data::pairs::sample_pairs(ds.docs.len(), 200, seed);
-    let truths: Vec<f64> = pairs
-        .iter()
-        .map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j]))
-        .collect();
+    let truths: Vec<f64> =
+        pairs.iter().map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j])).collect();
     (ds.docs, pairs, truths)
 }
 
-fn mse_of(sketcher: &dyn Sketcher, docs: &[WeightedSet], pairs: &[(usize, usize)], truths: &[f64]) -> f64 {
-    let sketches: Vec<_> = docs
-        .iter()
-        .map(|d| sketcher.sketch(d).expect("sketchable"))
-        .collect();
-    let ests: Vec<f64> = pairs
-        .iter()
-        .map(|&(i, j)| sketches[i].estimate_similarity(&sketches[j]))
-        .collect();
+fn mse_of(
+    sketcher: &dyn Sketcher,
+    docs: &[WeightedSet],
+    pairs: &[(usize, usize)],
+    truths: &[f64],
+) -> f64 {
+    let sketches: Vec<_> = docs.iter().map(|d| sketcher.sketch(d).expect("sketchable")).collect();
+    let ests: Vec<f64> =
+        pairs.iter().map(|&(i, j)| sketches[i].estimate_similarity(&sketches[j])).collect();
     mse(&ests, truths)
 }
 
 /// One row of the quantization-constant sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QuantSweepRow {
     /// The constant `C`.
     pub constant: f64,
@@ -60,6 +55,8 @@ pub struct QuantSweepRow {
     /// Sketching seconds for the whole workload.
     pub seconds: f64,
 }
+
+wmh_json::json_object!(QuantSweepRow { constant, mse, seconds });
 
 /// Ablation 1: sweep `C` for the quantization approach; accuracy improves
 /// and runtime grows roughly linearly with `C` (paper §3's trade-off).
@@ -80,7 +77,7 @@ pub fn quantization_sweep(seed: u64, constants: &[f64]) -> (Vec<QuantSweepRow>, 
 }
 
 /// Ablation 2 result: the two CCWS pairings side by side.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CcwsAblation {
     /// MSE with the default `z = y + r` pairing.
     pub linear_shift_mse: f64,
@@ -91,6 +88,8 @@ pub struct CcwsAblation {
     pub eq14_degenerate_rate: f64,
 }
 
+wmh_json::json_object!(CcwsAblation { linear_shift_mse, review_eq14_mse, eq14_degenerate_rate });
+
 /// Ablation 2: CCWS pairing comparison (documents why the default deviates
 /// from the review's literal equations).
 #[must_use]
@@ -100,10 +99,9 @@ pub fn ccws_pairing_ablation(seed: u64) -> CcwsAblation {
     let eq14 = Ccws::new(seed, 128).with_pairing(CcwsPairing::ReviewEq14);
     let linear_mse = mse_of(&linear, &docs, &pairs, &truths);
     let eq14_mse = mse_of(&eq14, &docs, &pairs, &truths);
-    let degenerate = (0..4000u64)
-        .filter(|&k| eq14.element_sample(0, k, 0.3).2.is_infinite())
-        .count() as f64
-        / 4000.0;
+    let degenerate =
+        (0..4000u64).filter(|&k| eq14.element_sample(0, k, 0.3).2.is_infinite()).count() as f64
+            / 4000.0;
     CcwsAblation {
         linear_shift_mse: linear_mse,
         review_eq14_mse: eq14_mse,
@@ -112,7 +110,7 @@ pub fn ccws_pairing_ablation(seed: u64) -> CcwsAblation {
 }
 
 /// Ablation 3 row: ICWS vs I²CWS across `D`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SmallDRow {
     /// Fingerprint length.
     pub d: usize,
@@ -121,6 +119,8 @@ pub struct SmallDRow {
     /// I²CWS MSE.
     pub i2cws_mse: f64,
 }
+
+wmh_json::json_object!(SmallDRow { d, icws_mse, i2cws_mse });
 
 /// Ablation 3: the I²CWS small-D comparison of §6.3.
 #[must_use]
@@ -137,7 +137,7 @@ pub fn small_d_ablation(seed: u64, d_values: &[usize]) -> Vec<SmallDRow> {
 }
 
 /// Ablation 4 row: b-bit truncation of ICWS fingerprints.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BbitRow {
     /// Bits kept per code.
     pub bits: u8,
@@ -147,15 +147,14 @@ pub struct BbitRow {
     pub mse: f64,
 }
 
+wmh_json::json_object!(BbitRow { bits, bytes, mse });
+
 /// Ablation 4: storage vs accuracy for b-bit truncation.
 #[must_use]
 pub fn bbit_ablation(seed: u64, bits: &[u8]) -> Vec<BbitRow> {
     let (docs, pairs, truths) = workload(40, 1_500, seed);
     let icws = Icws::new(seed, 256);
-    let sketches: Vec<_> = docs
-        .iter()
-        .map(|d| icws.sketch(d).expect("sketchable"))
-        .collect();
+    let sketches: Vec<_> = docs.iter().map(|d| icws.sketch(d).expect("sketchable")).collect();
     bits.iter()
         .map(|&b| {
             let trunc: Vec<_> = sketches

@@ -9,14 +9,13 @@
 //! floor is the binomial `J(1−J)/D`.
 
 use crate::report::{fmt_value, Table};
-use serde::{Deserialize, Serialize};
 use wmh_core::others::UpperBounds;
 use wmh_core::{Algorithm, AlgorithmConfig};
 use wmh_data::pairs::controlled_pair;
 use wmh_sets::generalized_jaccard;
 
 /// Which controlled-pair family a cell was measured on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PairFamily {
     /// Shared unit-weight support plus disjoint private mass: binary and
     /// generalized Jaccard coincide, isolating pure estimator noise.
@@ -27,8 +26,30 @@ pub enum PairFamily {
     ScaledWeights,
 }
 
+impl wmh_json::ToJson for PairFamily {
+    fn to_json(&self) -> wmh_json::Json {
+        wmh_json::Json::Str(
+            match self {
+                Self::PrivateMass => "PrivateMass",
+                Self::ScaledWeights => "ScaledWeights",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl wmh_json::FromJson for PairFamily {
+    fn from_json(v: &wmh_json::Json) -> Result<Self, wmh_json::JsonError> {
+        match v.as_str() {
+            Some("PrivateMass") => Ok(Self::PrivateMass),
+            Some("ScaledWeights") => Ok(Self::ScaledWeights),
+            _ => Err(wmh_json::JsonError::Invalid(format!("unknown PairFamily: {v:?}"))),
+        }
+    }
+}
+
 /// One measured cell of the bias study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BiasCell {
     /// Algorithm name.
     pub algorithm: String,
@@ -45,6 +66,16 @@ pub struct BiasCell {
     /// The binomial variance floor `J(1−J)/D` of an ideal unbiased sketch.
     pub binomial_floor: f64,
 }
+
+wmh_json::json_object!(BiasCell {
+    algorithm,
+    family,
+    target,
+    mean_estimate,
+    bias,
+    variance,
+    binomial_floor,
+});
 
 /// Run the bias study: `seeds` independent sketchers per algorithm per
 /// target similarity, fingerprint length `d`.
@@ -110,14 +141,10 @@ pub fn render(cells: &[BiasCell]) -> String {
     targets.dedup();
     for target in targets {
         for family in [PairFamily::PrivateMass, PairFamily::ScaledWeights] {
-            out.push_str(&format!(
-                "Target generalized Jaccard = {target:.3} ({family:?} pair)\n"
-            ));
-            let mut t =
-                Table::new(["Algorithm", "mean est", "bias", "variance", "binomial floor"]);
-            for c in cells
-                .iter()
-                .filter(|c| (c.target - target).abs() < 1e-12 && c.family == family)
+            out.push_str(&format!("Target generalized Jaccard = {target:.3} ({family:?} pair)\n"));
+            let mut t = Table::new(["Algorithm", "mean est", "bias", "variance", "binomial floor"]);
+            for c in
+                cells.iter().filter(|c| (c.target - target).abs() < 1e-12 && c.family == family)
             {
                 t.row([
                     c.algorithm.clone(),
@@ -205,11 +232,7 @@ mod tests {
                 .iter()
                 .find(|c| c.algorithm == name && c.family == PairFamily::ScaledWeights)
                 .expect("cell exists");
-            assert!(
-                c.bias > 0.3,
-                "{name} should over-estimate scaled pairs: bias {}",
-                c.bias
-            );
+            assert!(c.bias > 0.3, "{name} should over-estimate scaled pairs: bias {}", c.bias);
         }
     }
 

@@ -2,16 +2,32 @@
 //! shape checks the paper's §6.3 narrates.
 
 use crate::report::{ascii_plot, fmt_value, Series, Table};
-use crate::runner::{run_mse, run_runtime, Measurement, MseCell, RuntimeCell, Scale};
+use crate::runner::{
+    run_mse_with, run_runtime_with, Measurement, MseCell, RunOptions, RunnerError, RuntimeCell,
+    Scale,
+};
 use wmh_core::Algorithm;
 
 /// Run Figure 8 (MSE vs `D`, 13 algorithms × datasets) and render one plot
 /// per dataset plus a summary table.
-#[must_use]
-pub fn figure8(scale: &Scale) -> (Vec<MseCell>, String) {
-    let cells = run_mse(scale, &Algorithm::ALL);
+///
+/// # Errors
+/// [`RunnerError`] from the measurement engine.
+pub fn figure8(scale: &Scale) -> Result<(Vec<MseCell>, String), RunnerError> {
+    figure8_with(scale, &RunOptions::default())
+}
+
+/// [`figure8`] with checkpoint/resume support.
+///
+/// # Errors
+/// [`RunnerError`] from the measurement engine or checkpoint file.
+pub fn figure8_with(
+    scale: &Scale,
+    options: &RunOptions,
+) -> Result<(Vec<MseCell>, String), RunnerError> {
+    let cells = run_mse_with(scale, &Algorithm::ALL, options)?;
     let rendered = render_mse(scale, &cells);
-    (cells, rendered)
+    Ok((cells, rendered))
 }
 
 /// Render pre-computed Figure 8 cells.
@@ -45,12 +61,12 @@ pub fn render_mse(scale: &Scale, cells: &[MseCell]) -> String {
         for a in Algorithm::ALL {
             let mut row = vec![a.name().to_owned()];
             for &d in &scale.d_values {
-                let cell = cells
-                    .iter()
-                    .find(|c| c.dataset == name && c.algorithm == a.name() && c.d == d);
+                let cell =
+                    cells.iter().find(|c| c.dataset == name && c.algorithm == a.name() && c.d == d);
                 row.push(match cell.map(|c| c.mse) {
                     Some(Measurement::Value(v)) => fmt_value(v),
-                    Some(Measurement::TimedOut) => "timeout".to_owned(),
+                    // The paper renders budget-exhausted cells as a dash.
+                    Some(Measurement::TimedOut) => "–".to_owned(),
                     None => "-".to_owned(),
                 });
             }
@@ -63,11 +79,24 @@ pub fn render_mse(scale: &Scale, cells: &[MseCell]) -> String {
 }
 
 /// Run Figure 9 (runtime vs `D`) and render.
-#[must_use]
-pub fn figure9(scale: &Scale) -> (Vec<RuntimeCell>, String) {
-    let cells = run_runtime(scale, &Algorithm::ALL);
+///
+/// # Errors
+/// [`RunnerError`] from the measurement engine.
+pub fn figure9(scale: &Scale) -> Result<(Vec<RuntimeCell>, String), RunnerError> {
+    figure9_with(scale, &RunOptions::default())
+}
+
+/// [`figure9`] with checkpoint/resume support.
+///
+/// # Errors
+/// [`RunnerError`] from the measurement engine or checkpoint file.
+pub fn figure9_with(
+    scale: &Scale,
+    options: &RunOptions,
+) -> Result<(Vec<RuntimeCell>, String), RunnerError> {
+    let cells = run_runtime_with(scale, &Algorithm::ALL, options)?;
     let rendered = render_runtime(scale, &cells);
-    (cells, rendered)
+    Ok((cells, rendered))
 }
 
 /// Render pre-computed Figure 9 cells.
@@ -88,10 +117,7 @@ pub fn render_runtime(scale: &Scale, cells: &[RuntimeCell]) -> String {
             })
             .collect();
         out.push_str(&ascii_plot(
-            &format!(
-                "Figure 9 — runtime (s) to encode {} docs, {name}",
-                scale.runtime_docs
-            ),
+            &format!("Figure 9 — runtime (s) to encode {} docs, {name}", scale.runtime_docs),
             &series,
             72,
             20,
@@ -120,27 +146,15 @@ pub fn check_figure8_shape(scale: &Scale, cells: &[MseCell]) -> Vec<(String, boo
         checks.push((label.to_owned(), ok.unwrap_or(false)));
     };
     // "MinHash performs worst" (among the unbiased weighted algorithms).
-    push(
-        "MinHash MSE > ICWS MSE",
-        Some(avg(Algorithm::MinHash) > avg(Algorithm::Icws)),
-    );
-    push(
-        "MinHash MSE > CWS MSE",
-        Some(avg(Algorithm::MinHash) > avg(Algorithm::Cws)),
-    );
+    push("MinHash MSE > ICWS MSE", Some(avg(Algorithm::MinHash) > avg(Algorithm::Icws)));
+    push("MinHash MSE > CWS MSE", Some(avg(Algorithm::MinHash) > avg(Algorithm::Cws)));
     // "Haeupler performs nearly the same as Haveliwala".
     if let (Some(a), Some(b)) = (avg(Algorithm::Haveliwala2000), avg(Algorithm::Haeupler2014)) {
-        push(
-            "Haveliwala ≈ Haeupler (within 25%)",
-            Some((a - b).abs() <= 0.25 * a.max(b)),
-        );
+        push("Haveliwala ≈ Haeupler (within 25%)", Some((a - b).abs() <= 0.25 * a.max(b)));
     }
     // "[Gollapudi](1) performs the same as Haveliwala".
     if let (Some(a), Some(b)) = (avg(Algorithm::Haveliwala2000), avg(Algorithm::GollapudiActive)) {
-        push(
-            "Gollapudi(1) ≈ Haveliwala (within 25%)",
-            Some((a - b).abs() <= 0.25 * a.max(b)),
-        );
+        push("Gollapudi(1) ≈ Haveliwala (within 25%)", Some((a - b).abs() <= 0.25 * a.max(b)));
     }
     // "CCWS is inferior to all other CWS-based algorithms" — compared
     // against the closed-form members (CWS itself is unbiased but has its
@@ -157,10 +171,7 @@ pub fn check_figure8_shape(scale: &Scale, cells: &[MseCell]) -> Vec<(String, boo
         push("ICWS ≈ 0-bit CWS (within 50%)", Some((a - b).abs() <= 0.5 * a.max(b)));
     }
     // "[Chum] performs worse than most weighted MinHash algorithms".
-    push(
-        "Chum MSE > ICWS MSE",
-        Some(avg(Algorithm::Chum2008) > avg(Algorithm::Icws)),
-    );
+    push("Chum MSE > ICWS MSE", Some(avg(Algorithm::Chum2008) > avg(Algorithm::Icws)));
     checks
 }
 
@@ -186,10 +197,7 @@ pub fn check_figure9_shape(scale: &Scale, cells: &[RuntimeCell]) -> Vec<(String,
         Some(avg(Algorithm::Haveliwala2000) > avg(Algorithm::GollapudiActive)),
     );
     // CWS (interval traversal) slower than ICWS (closed form).
-    push(
-        "CWS slower than ICWS",
-        Some(avg(Algorithm::Cws) > avg(Algorithm::Icws)),
-    );
+    push("CWS slower than ICWS", Some(avg(Algorithm::Cws) > avg(Algorithm::Icws)));
     // Chum is the fastest weighted algorithm.
     if let Some(chum) = avg(Algorithm::Chum2008) {
         let weighted = [
@@ -221,11 +229,21 @@ mod tests {
     fn figure8_tiny_run_renders_and_checks() {
         let mut scale = Scale::tiny();
         scale.datasets.truncate(1);
-        let cells = run_mse(
+        let cells = run_mse_with(
             &scale,
-            &[Algorithm::MinHash, Algorithm::Icws, Algorithm::Ccws, Algorithm::Pcws,
-              Algorithm::I2cws, Algorithm::Cws, Algorithm::ZeroBitCws, Algorithm::Chum2008],
-        );
+            &[
+                Algorithm::MinHash,
+                Algorithm::Icws,
+                Algorithm::Ccws,
+                Algorithm::Pcws,
+                Algorithm::I2cws,
+                Algorithm::Cws,
+                Algorithm::ZeroBitCws,
+                Algorithm::Chum2008,
+            ],
+            &RunOptions::default(),
+        )
+        .expect("runner");
         let rendered = render_mse(&scale, &cells);
         assert!(rendered.contains("Figure 8"));
         assert!(rendered.contains("ICWS"));
@@ -240,8 +258,30 @@ mod tests {
         let mut scale = Scale::tiny();
         scale.datasets.truncate(1);
         scale.d_values = vec![10, 50];
-        let cells = run_runtime(&scale, &[Algorithm::Icws, Algorithm::Chum2008]);
+        let cells = run_runtime_with(
+            &scale,
+            &[Algorithm::Icws, Algorithm::Chum2008],
+            &RunOptions::default(),
+        )
+        .expect("runner");
         let rendered = render_runtime(&scale, &cells);
         assert!(rendered.contains("Figure 9"));
+    }
+
+    #[test]
+    fn timed_out_cells_render_as_the_papers_dash() {
+        let mut scale = Scale::tiny();
+        scale.datasets.truncate(1);
+        scale.d_values = vec![10];
+        let cells = vec![MseCell {
+            dataset: scale.datasets[0].name(),
+            algorithm: "ICWS".to_owned(),
+            d: 10,
+            mse: Measurement::TimedOut,
+            mse_std: 0.0,
+        }];
+        let rendered = render_mse(&scale, &cells);
+        assert!(rendered.contains('–'), "timeout cell should render as a dash:\n{rendered}");
+        assert!(!rendered.contains("timeout"));
     }
 }

@@ -29,16 +29,9 @@ pub fn figure1(seed: u64) -> String {
         by_pos.iter().map(|(k, _)| k.to_string()).collect::<Vec<_>>().join(" < ")
     );
     let first_universe = by_pos[0].0;
-    let first_subset = by_pos
-        .iter()
-        .find(|(k, _)| subset.contains(k))
-        .expect("subset non-empty")
-        .0;
+    let first_subset = by_pos.iter().find(|(k, _)| subset.contains(k)).expect("subset non-empty").0;
     let _ = writeln!(out, "  first element of U: {first_universe}");
-    let _ = writeln!(
-        out,
-        "  first element of S = {{1,3,6,7}} under the SAME map: {first_subset}"
-    );
+    let _ = writeln!(out, "  first element of S = {{1,3,6,7}} under the SAME map: {first_subset}");
     let _ = writeln!(
         out,
         "  (global mapping ⇒ the subset's minimum is consistent with the universe's order)"
@@ -61,10 +54,8 @@ pub fn figure3_integer(seed: u64) -> String {
         "  final active index y_k = {} with hash value {:.4} ({} active indices visited)",
         walk.index, walk.value, walk.steps
     );
-    let _ = writeln!(
-        out,
-        "  subelements between active indices were skipped via Geometric(v) draws"
-    );
+    let _ =
+        writeln!(out, "  subelements between active indices were skipped via Geometric(v) draws");
     out
 }
 
@@ -119,9 +110,8 @@ pub fn figure5(seed: u64) -> String {
 /// larger weights.
 #[must_use]
 pub fn figure6() -> String {
-    let mut out = String::from(
-        "Figure 6 — log-domain quantization (ICWS) vs linear quantization (CCWS)\n",
-    );
+    let mut out =
+        String::from("Figure 6 — log-domain quantization (ICWS) vs linear quantization (CCWS)\n");
     let r = 0.7f64; // one grid step
     for s in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
         // ICWS cell containing s in log domain: [s·e^{−r}, s].
@@ -189,7 +179,9 @@ mod tests {
     #[test]
     fn every_figure_renders_nonempty() {
         let text = all(99);
-        for header in ["Figure 1", "Figure 3 (left)", "Figure 3 (right)", "Figure 5", "Figure 6", "Figure 7"] {
+        for header in
+            ["Figure 1", "Figure 3 (left)", "Figure 3 (right)", "Figure 5", "Figure 6", "Figure 7"]
+        {
             assert!(text.contains(header), "missing {header}");
         }
     }

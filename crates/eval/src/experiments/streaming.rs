@@ -10,7 +10,6 @@
 //! * **HistoSketch race** ([`wmh_core::extensions::HistoSketch`]) —
 //!   `O(D)` per item with `k`-only codes (0-bit-style) and decay support.
 
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use wmh_core::cws::Icws;
 use wmh_core::extensions::{HistoSketch, StreamingIcws};
@@ -19,7 +18,7 @@ use wmh_data::text::TextConfig;
 use wmh_sets::generalized_jaccard;
 
 /// Result of one streaming strategy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StreamingResult {
     /// Strategy label.
     pub strategy: String,
@@ -32,6 +31,8 @@ pub struct StreamingResult {
     pub exact_vs_batch: bool,
 }
 
+wmh_json::json_object!(StreamingResult { strategy, seconds, mean_abs_error, exact_vs_batch });
+
 /// Run the study: two parallel token streams (same topic), sketches
 /// maintained per item, similarity estimated at `checkpoints` evenly spaced
 /// points.
@@ -39,7 +40,12 @@ pub struct StreamingResult {
 /// # Panics
 /// Panics on internal configuration errors (fixed valid parameters).
 #[must_use]
-pub fn streaming_study(d: usize, items: usize, checkpoints: usize, seed: u64) -> Vec<StreamingResult> {
+pub fn streaming_study(
+    d: usize,
+    items: usize,
+    checkpoints: usize,
+    seed: u64,
+) -> Vec<StreamingResult> {
     // Two documents' token streams drawn from overlapping topics.
     let cfg = TextConfig { tokens_per_doc: items, ..TextConfig::small() };
     let corpus = cfg.generate(2, seed).expect("valid config");
@@ -106,10 +112,7 @@ pub fn streaming_study(d: usize, items: usize, checkpoints: usize, seed: u64) ->
             a.add(stream_a[i].0, stream_a[i].1).expect("valid mass");
             b.add(stream_b[i].0, stream_b[i].1).expect("valid mass");
             if (i + 1) % step == 0 && ci < n {
-                let est = a
-                    .sketch()
-                    .expect("ok")
-                    .estimate_similarity(&b.sketch().expect("ok"));
+                let est = a.sketch().expect("ok").estimate_similarity(&b.sketch().expect("ok"));
                 errors.push((est - truths[ci]).abs());
                 ci += 1;
             }
@@ -136,10 +139,7 @@ pub fn streaming_study(d: usize, items: usize, checkpoints: usize, seed: u64) ->
             a.add(stream_a[i].0, stream_a[i].1).expect("valid mass");
             b.add(stream_b[i].0, stream_b[i].1).expect("valid mass");
             if (i + 1) % step == 0 && ci < n {
-                let est = a
-                    .sketch()
-                    .expect("ok")
-                    .estimate_similarity(&b.sketch().expect("ok"));
+                let est = a.sketch().expect("ok").estimate_similarity(&b.sketch().expect("ok"));
                 errors.push((est - truths[ci]).abs());
                 ci += 1;
             }

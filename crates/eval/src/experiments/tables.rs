@@ -16,21 +16,16 @@ pub fn table1_demo(seed: u64) -> Table {
     let w = WeightedSet::from_pairs((30..90u64).map(|k| (k, 1.0 + (k % 5) as f64 * 0.3)))
         .expect("valid");
 
-    let mut t = Table::new([
-        "Similarity (Distance) Measure",
-        "LSH Algorithm",
-        "Exact",
-        "Estimated",
-    ]);
+    let mut t =
+        Table::new(["Similarity (Distance) Measure", "LSH Algorithm", "Exact", "Estimated"]);
 
     // l2 via Gaussian p-stable: report collision probability model vs rate.
-    let lsh = wmh_lsh::pstable::PStableLsh::new(seed, 2000, wmh_lsh::pstable::Stable::Gaussian, 8.0)
-        .expect("valid width");
+    let lsh =
+        wmh_lsh::pstable::PStableLsh::new(seed, 2000, wmh_lsh::pstable::Stable::Gaussian, 8.0)
+            .expect("valid width");
     let c = wmh_sets::lp_distance(&v, &w, 2.0);
-    let hits = (0..2000)
-        .filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&w, d))
-        .count() as f64
-        / 2000.0;
+    let hits =
+        (0..2000).filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&w, d)).count() as f64 / 2000.0;
     t.row([
         "l_p distance, p in (0,2]".to_owned(),
         "LSH with p-stable distribution [11]".to_owned(),
@@ -72,10 +67,8 @@ pub fn table1_demo(seed: u64) -> Table {
 
     // Chi2 via chi2-LSH: report empirical collision rate (no closed form).
     let chi = wmh_lsh::chi2::Chi2Lsh::new(seed, 2000, 2.0).expect("valid width");
-    let chits = (0..2000)
-        .filter(|&d| chi.bucket(&v, d) == chi.bucket(&w, d))
-        .count() as f64
-        / 2000.0;
+    let chits =
+        (0..2000).filter(|&d| chi.bucket(&v, d) == chi.bucket(&w, d)).count() as f64 / 2000.0;
     t.row([
         "Chi^2 distance".to_owned(),
         "Chi^2-LSH [26]".to_owned(),

@@ -18,8 +18,9 @@
 //! laptop-scale configuration whose *shape* matches the paper; see
 //! EXPERIMENTS.md for the recorded outputs of both.
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{Measurement, MseCell, RuntimeCell, Scale};
+pub use runner::{Budget, Measurement, MseCell, RunOptions, RunnerError, RuntimeCell, Scale};

@@ -92,9 +92,8 @@ pub struct Series {
 /// its own glyph; the legend maps glyphs to labels.
 #[must_use]
 pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
-    const GLYPHS: &[char] = &[
-        'o', '*', '+', 'x', '#', '@', '%', '&', '=', '~', '^', 's', 'v', 'd', 'p', 'q',
-    ];
+    const GLYPHS: &[char] =
+        &['o', '*', '+', 'x', '#', '@', '%', '&', '=', '~', '^', 's', 'v', 'd', 'p', 'q'];
     let mut pts: Vec<(f64, f64)> = Vec::new();
     for s in series {
         pts.extend(s.points.iter().filter(|&&(_, y)| y > 0.0 && y.is_finite()));
@@ -147,18 +146,22 @@ pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -
 
 /// Persist a serializable result next to a human-readable rendering.
 ///
-/// Writes `<dir>/<name>.json`; creates the directory if needed.
+/// Writes `<dir>/<name>.json`; creates the directory if needed. The write
+/// is atomic (temp file + rename) so a crash mid-write never leaves a
+/// half-written result file behind.
 ///
 /// # Errors
-/// I/O and serialization errors.
-pub fn save_json<T: serde::Serialize>(
+/// I/O errors.
+pub fn save_json<T: wmh_json::ToJson>(
     dir: &Path,
     name: &str,
     value: &T,
 ) -> Result<std::path::PathBuf, Box<dyn std::error::Error>> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    let tmp = dir.join(format!(".{name}.json.tmp"));
+    std::fs::write(&tmp, wmh_json::to_string_pretty(value))?;
+    std::fs::rename(&tmp, &path)?;
     Ok(path)
 }
 
@@ -225,8 +228,10 @@ mod tests {
         let dir = std::env::temp_dir().join("wmh_eval_test");
         let path = save_json(&dir, "probe", &vec![1, 2, 3]).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
-        let back: Vec<i32> = serde_json::from_str(&text).unwrap();
+        let back: Vec<i32> = wmh_json::from_str(&text).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
+        // No temp file is left behind.
+        assert!(!dir.join(".probe.json.tmp").exists());
     }
 
     #[test]

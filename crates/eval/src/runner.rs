@@ -16,18 +16,83 @@
 //! `d` only depends on `d`, and it mirrors how a deployment would reuse one
 //! long fingerprint. Runtime measurements never use the prefix trick: each
 //! `D` is timed with a fresh sketching pass.
+//!
+//! # Budgets and fault tolerance
+//!
+//! Each `(dataset, algorithm)` cell runs under a [`Budget`]: a rejection
+//! budget (the stand-in for the paper's 24-hour cutoff on \[Shrivastava,
+//! 2016\]) and an optional wall-clock deadline. Exhausting either marks
+//! the cell [`Measurement::TimedOut`] — the paper's "–" — and the run
+//! continues with the remaining cells, so one pathological algorithm can
+//! never hold a sweep hostage.
+//!
+//! Long runs survive crashes through [`RunOptions::checkpoint`]: every
+//! completed `(dataset, algorithm, repeat)` unit is appended to a JSON-lines
+//! checkpoint (see [`crate::checkpoint`]) and skipped on restart, so a
+//! `kill -9` costs at most the in-flight unit. Because every random
+//! quantity derives from the master seed, a resumed MSE run produces
+//! *identical* results to an uninterrupted one.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use crate::checkpoint::{Checkpoint, Entry};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use wmh_core::others::UpperBounds;
 use wmh_core::{Algorithm, AlgorithmConfig, Sketch, SketchError};
 use wmh_data::pairs::sample_pairs;
 use wmh_data::{SynConfig, PAPER_DATASETS};
+use wmh_json::{FromJson, Json, JsonError, ToJson};
 use wmh_sets::{generalized_jaccard, WeightedSet};
 
+/// Per-`(dataset, algorithm)` resource limits.
+///
+/// Serialized with `wall_clock` flattened to fractional seconds
+/// (`wall_clock_secs`), `null` when unlimited.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Budget {
+    /// Rejection budget per hash for \[Shrivastava, 2016\] — the stand-in
+    /// for the paper's 24-hour cutoff.
+    pub max_rejection_draws: u64,
+    /// Wall-clock deadline for one `(dataset, algorithm)` cell; `None`
+    /// disables the deadline. A cell that exceeds it is recorded as
+    /// [`Measurement::TimedOut`], and the sweep moves on.
+    pub wall_clock: Option<Duration>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self { max_rejection_draws: 2_000_000, wall_clock: None }
+    }
+}
+
+impl ToJson for Budget {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("max_rejection_draws".to_owned(), self.max_rejection_draws.to_json()),
+            ("wall_clock_secs".to_owned(), self.wall_clock.map(|d| d.as_secs_f64()).to_json()),
+        ])
+    }
+}
+
+impl FromJson for Budget {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let secs: Option<f64> = FromJson::from_json(v.field("wall_clock_secs")?)?;
+        let wall_clock = match secs {
+            None => None,
+            Some(s) => Some(
+                Duration::try_from_secs_f64(s)
+                    .map_err(|_| JsonError::OutOfRange("wall_clock_secs"))?,
+            ),
+        };
+        Ok(Self {
+            max_rejection_draws: FromJson::from_json(v.field("max_rejection_draws")?)?,
+            wall_clock,
+        })
+    }
+}
+
 /// Experiment size knobs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scale {
     /// Human-readable label recorded in results.
     pub label: String,
@@ -43,9 +108,8 @@ pub struct Scale {
     pub d_values: Vec<usize>,
     /// Quantization constant for algorithms 2–4 (the paper: 1 000).
     pub quantization_constant: f64,
-    /// Rejection budget per hash for \[Shrivastava, 2016\] — the stand-in
-    /// for the paper's 24-hour cutoff.
-    pub max_rejection_draws: u64,
+    /// Resource limits per `(dataset, algorithm)` cell.
+    pub budget: Budget,
     /// Documents used in the runtime measurement (Figure 9 times encoding
     /// of the whole dataset; the quick scale times a subset).
     pub runtime_docs: usize,
@@ -62,6 +126,21 @@ pub struct Scale {
     /// to `docs` × `features`).
     pub datasets: Vec<SynConfig>,
 }
+
+wmh_json::json_object!(Scale {
+    label,
+    docs,
+    features,
+    pair_sample,
+    repeats,
+    d_values,
+    quantization_constant,
+    budget,
+    runtime_docs,
+    ccws_weight_scale,
+    seed,
+    datasets,
+});
 
 impl Scale {
     /// Laptop-scale default: the same six datasets and `D` grid, re-sized
@@ -111,7 +190,7 @@ impl Scale {
             repeats,
             d_values: vec![10, 20, 50, 100, 120, 150, 200],
             quantization_constant,
-            max_rejection_draws: 2_000_000,
+            budget: Budget::default(),
             ccws_weight_scale: 10.0,
             runtime_docs,
             seed: 0xE5EED,
@@ -126,14 +205,66 @@ impl Scale {
         AlgorithmConfig {
             quantization_constant: self.quantization_constant,
             upper_bounds: bounds,
-            max_rejection_draws: self.max_rejection_draws,
+            max_rejection_draws: self.budget.max_rejection_draws,
             ccws_weight_scale: self.ccws_weight_scale,
         }
     }
 }
 
+/// Errors surfaced by the runners (every failure mode a caller can
+/// trigger through a [`Scale`] or checkpoint file — internal invariants
+/// stay debug assertions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunnerError {
+    /// `scale.d_values` was empty.
+    EmptyDGrid,
+    /// Dataset generation or preprocessing failed.
+    Data(String),
+    /// An algorithm could not be built or failed to sketch.
+    Algorithm {
+        /// Catalog name of the failing algorithm.
+        algorithm: String,
+        /// The underlying sketching error.
+        error: SketchError,
+    },
+    /// The checkpoint file could not be read or written.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyDGrid => write!(f, "scale has an empty D grid"),
+            Self::Data(msg) => write!(f, "dataset error: {msg}"),
+            Self::Algorithm { algorithm, error } => {
+                write!(f, "algorithm {algorithm} failed: {error}")
+            }
+            Self::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+/// Execution options shared by [`run_mse_with`] and [`run_runtime_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Path of a JSON-lines checkpoint file. When set, completed units are
+    /// appended there and skipped on restart; parent directories are
+    /// created as needed. `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl RunOptions {
+    /// Options with checkpointing at `path`.
+    #[must_use]
+    pub fn checkpointed(path: impl Into<PathBuf>) -> Self {
+        Self { checkpoint: Some(path.into()) }
+    }
+}
+
 /// A single measurement value that may have hit the cutoff.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Measurement {
     /// Measured value.
     Value(f64),
@@ -152,9 +283,30 @@ impl Measurement {
     }
 }
 
+// Externally-tagged (serde-style) representation: `{"Value": x}` or
+// `"TimedOut"` — the shape earlier result files used.
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::Value(v) => Json::Obj(vec![("Value".to_owned(), v.to_json())]),
+            Self::TimedOut => Json::Str("TimedOut".to_owned()),
+        }
+    }
+}
+
+impl FromJson for Measurement {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "TimedOut" => Ok(Self::TimedOut),
+            Json::Obj(_) => Ok(Self::Value(f64::from_json(v.field("Value")?)?)),
+            other => Err(JsonError::WrongType { expected: "Measurement", got: other.type_name() }),
+        }
+    }
+}
+
 /// One Figure 8 cell: MSE (mean ± std over repeats) for
 /// `(dataset, algorithm, D)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MseCell {
     /// Dataset name.
     pub dataset: String,
@@ -168,8 +320,10 @@ pub struct MseCell {
     pub mse_std: f64,
 }
 
+wmh_json::json_object!(MseCell { dataset, algorithm, d, mse, mse_std });
+
 /// One Figure 9 cell: sketching wall-clock for `(dataset, algorithm, D)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeCell {
     /// Dataset name.
     pub dataset: String,
@@ -181,23 +335,27 @@ pub struct RuntimeCell {
     pub seconds: Measurement,
 }
 
+wmh_json::json_object!(RuntimeCell { dataset, algorithm, d, seconds });
+
 /// Estimate similarity from fingerprint *prefixes* of length `d`.
 fn estimate_prefix(a: &Sketch, b: &Sketch, d: usize) -> f64 {
-    let hits = a.codes[..d]
-        .iter()
-        .zip(&b.codes[..d])
-        .filter(|(x, y)| x == y)
-        .count();
+    let hits = a.codes[..d].iter().zip(&b.codes[..d]).filter(|(x, y)| x == y).count();
     hits as f64 / d as f64
 }
 
-/// Sketch every listed document; `Ok(None)` marks a budget timeout.
+/// Sketch every listed document; `Ok(None)` marks a budget timeout —
+/// either the rejection budget (reported by the sketcher) or the
+/// wall-clock `deadline` (checked between documents).
 fn sketch_docs(
     sketcher: &dyn wmh_core::Sketcher,
     docs: &[WeightedSet],
+    deadline: Option<Instant>,
 ) -> Result<Option<Vec<Sketch>>, SketchError> {
     let mut out = Vec::with_capacity(docs.len());
     for doc in docs {
+        if deadline.is_some_and(|t| Instant::now() >= t) {
+            return Ok(None);
+        }
         match sketcher.sketch(doc) {
             Ok(s) => out.push(s),
             Err(SketchError::BadParameter { what, .. }) if what.contains("rejection budget") => {
@@ -209,101 +367,195 @@ fn sketch_docs(
     Ok(Some(out))
 }
 
+fn algorithm_names(algorithms: &[Algorithm]) -> Vec<String> {
+    algorithms.iter().map(|a| a.name().to_owned()).collect()
+}
+
 /// Run the Figure 8 protocol. `algorithms` defaults to all thirteen.
 ///
-/// # Panics
-/// Panics on configuration errors (invalid scale parameters) — the
-/// pre-baked scales are always valid.
-#[must_use]
-pub fn run_mse(scale: &Scale, algorithms: &[Algorithm]) -> Vec<MseCell> {
-    let results = Mutex::new(Vec::new());
-    let d_max = *scale.d_values.iter().max().expect("non-empty D grid");
-    crossbeam::thread::scope(|scope| {
-        for cfg in &scale.datasets {
-            let results = &results;
-            let scale = &scale;
-            scope.spawn(move |_| {
-                let dataset = cfg.generate(scale.seed).expect("valid dataset config");
-                let bounds =
-                    UpperBounds::from_sets(dataset.docs.iter()).expect("non-empty dataset");
-                let pairs = sample_pairs(dataset.docs.len(), scale.pair_sample, scale.seed);
-                let truths: Vec<f64> = pairs
-                    .iter()
-                    .map(|&(i, j)| generalized_jaccard(&dataset.docs[i], &dataset.docs[j]))
-                    .collect();
-                // Documents that actually appear in sampled pairs.
-                let mut used: Vec<usize> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
-                used.sort_unstable();
-                used.dedup();
-                let slot_of: std::collections::HashMap<usize, usize> =
-                    used.iter().enumerate().map(|(s, &i)| (i, s)).collect();
-                let used_docs: Vec<WeightedSet> =
-                    used.iter().map(|&i| dataset.docs[i].clone()).collect();
+/// # Errors
+/// [`RunnerError`] on invalid scales or algorithm failures.
+pub fn run_mse(scale: &Scale, algorithms: &[Algorithm]) -> Result<Vec<MseCell>, RunnerError> {
+    run_mse_with(scale, algorithms, &RunOptions::default())
+}
 
-                for &algorithm in algorithms {
-                    // Per-(D, repeat) squared-error accumulators.
-                    let mut per_d: Vec<Vec<f64>> =
-                        vec![Vec::with_capacity(scale.repeats); scale.d_values.len()];
-                    let mut timed_out = false;
-                    for rep in 0..scale.repeats {
-                        let seed = scale.seed ^ (rep as u64).wrapping_mul(0xA5A5_A5A5);
-                        let sketcher = algorithm
-                            .build(seed, d_max, &scale.config(Some(bounds.clone())))
-                            .expect("buildable algorithm");
-                        let sketches = match sketch_docs(sketcher.as_ref(), &used_docs) {
-                            Ok(Some(s)) => s,
-                            Ok(None) => {
-                                timed_out = true;
-                                break;
-                            }
-                            Err(e) => panic!("{algorithm:?} failed: {e}"),
-                        };
-                        for (di, &d) in scale.d_values.iter().enumerate() {
-                            let mut se = 0.0f64;
-                            for (p, &(i, j)) in pairs.iter().enumerate() {
-                                let est = estimate_prefix(
-                                    &sketches[slot_of[&i]],
-                                    &sketches[slot_of[&j]],
-                                    d,
-                                );
-                                let err = est - truths[p];
-                                se += err * err;
-                            }
-                            per_d[di].push(se / pairs.len() as f64);
+/// [`run_mse`] with [`RunOptions`] (checkpoint/resume).
+///
+/// With a checkpoint configured, each completed `(dataset, algorithm,
+/// repeat)` unit is persisted; a restarted run reloads them and — because
+/// all randomness derives from `scale.seed` — produces results identical
+/// to an uninterrupted run.
+///
+/// # Errors
+/// [`RunnerError`] on invalid scales, algorithm failures, or unusable
+/// checkpoint files.
+pub fn run_mse_with(
+    scale: &Scale,
+    algorithms: &[Algorithm],
+    options: &RunOptions,
+) -> Result<Vec<MseCell>, RunnerError> {
+    let d_max = *scale.d_values.iter().max().ok_or(RunnerError::EmptyDGrid)?;
+    let ckpt = match &options.checkpoint {
+        Some(path) => {
+            Some(Mutex::new(Checkpoint::open(path, "mse", scale, &algorithm_names(algorithms))?))
+        }
+        None => None,
+    };
+    let results = Mutex::new(Vec::new());
+    let first_error: Option<RunnerError> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scale
+            .datasets
+            .iter()
+            .map(|cfg| {
+                let results = &results;
+                let ckpt = ckpt.as_ref();
+                scope.spawn(move || run_mse_dataset(scale, algorithms, cfg, d_max, ckpt, results))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| match h.join() {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .next()
+    });
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let mut cells = results.into_inner().expect("no worker holds the lock");
+    cells.sort_by(|a, b| (&a.dataset, &a.algorithm, a.d).cmp(&(&b.dataset, &b.algorithm, b.d)));
+    Ok(cells)
+}
+
+/// The per-dataset MSE worker (one thread per dataset).
+fn run_mse_dataset(
+    scale: &Scale,
+    algorithms: &[Algorithm],
+    cfg: &SynConfig,
+    d_max: usize,
+    ckpt: Option<&Mutex<Checkpoint>>,
+    results: &Mutex<Vec<MseCell>>,
+) -> Result<(), RunnerError> {
+    let dataset = cfg.generate(scale.seed).map_err(RunnerError::Data)?;
+    let bounds = UpperBounds::from_sets(dataset.docs.iter())
+        .map_err(|e| RunnerError::Data(e.to_string()))?;
+    let pairs = sample_pairs(dataset.docs.len(), scale.pair_sample, scale.seed);
+    let truths: Vec<f64> = pairs
+        .iter()
+        .map(|&(i, j)| generalized_jaccard(&dataset.docs[i], &dataset.docs[j]))
+        .collect();
+    // Documents that actually appear in sampled pairs.
+    let mut used: Vec<usize> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
+    used.sort_unstable();
+    used.dedup();
+    let slot_of: std::collections::HashMap<usize, usize> =
+        used.iter().enumerate().map(|(s, &i)| (i, s)).collect();
+    let used_docs: Vec<WeightedSet> = used.iter().map(|&i| dataset.docs[i].clone()).collect();
+
+    for &algorithm in algorithms {
+        let algo = algorithm.name();
+        let algo_err =
+            |e: SketchError| RunnerError::Algorithm { algorithm: algo.to_owned(), error: e };
+        // Per-repeat MSE-per-D vectors, keyed by repeat so checkpointed
+        // and freshly computed repeats assemble in the same order.
+        let mut rep_results: Vec<Option<Vec<f64>>> = vec![None; scale.repeats];
+        let mut timed_out = false;
+        if let Some(c) = ckpt {
+            let c = c.lock().expect("checkpoint lock");
+            timed_out = c.mse_timed_out(&dataset.name, algo);
+            if !timed_out {
+                for (rep, slot) in rep_results.iter_mut().enumerate() {
+                    if let Some(per_d) = c.mse_rep(&dataset.name, algo, rep) {
+                        if per_d.len() == scale.d_values.len() {
+                            *slot = Some(per_d.to_vec());
                         }
                     }
-                    let mut out = results.lock();
-                    for (di, &d) in scale.d_values.iter().enumerate() {
-                        let cell = if timed_out {
-                            MseCell {
-                                dataset: dataset.name.clone(),
-                                algorithm: algorithm.name().to_owned(),
-                                d,
-                                mse: Measurement::TimedOut,
-                                mse_std: 0.0,
-                            }
-                        } else {
-                            let (mean, var) = wmh_rng::stats::mean_and_var(&per_d[di]);
-                            MseCell {
-                                dataset: dataset.name.clone(),
-                                algorithm: algorithm.name().to_owned(),
-                                d,
-                                mse: Measurement::Value(mean),
-                                mse_std: var.sqrt(),
-                            }
-                        };
-                        out.push(cell);
-                    }
                 }
-            });
+            }
         }
-    })
-    .expect("worker panicked");
-    let mut cells = results.into_inner();
-    cells.sort_by(|a, b| {
-        (&a.dataset, &a.algorithm, a.d).cmp(&(&b.dataset, &b.algorithm, b.d))
-    });
-    cells
+        if !timed_out {
+            // One wall-clock deadline per (dataset, algorithm) cell.
+            let deadline = scale.budget.wall_clock.map(|w| Instant::now() + w);
+            for (rep, slot) in rep_results.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue; // resumed from the checkpoint
+                }
+                if deadline.is_some_and(|t| Instant::now() >= t) {
+                    timed_out = true;
+                    break;
+                }
+                let seed = scale.seed ^ (rep as u64).wrapping_mul(0xA5A5_A5A5);
+                let sketcher = algorithm
+                    .build(seed, d_max, &scale.config(Some(bounds.clone())))
+                    .map_err(algo_err)?;
+                let sketches = match sketch_docs(sketcher.as_ref(), &used_docs, deadline) {
+                    Ok(Some(s)) => s,
+                    Ok(None) => {
+                        timed_out = true;
+                        break;
+                    }
+                    Err(e) => return Err(algo_err(e)),
+                };
+                let mut per_d = Vec::with_capacity(scale.d_values.len());
+                for &d in &scale.d_values {
+                    let mut se = 0.0f64;
+                    for (p, &(i, j)) in pairs.iter().enumerate() {
+                        let est =
+                            estimate_prefix(&sketches[slot_of[&i]], &sketches[slot_of[&j]], d);
+                        let err = est - truths[p];
+                        se += err * err;
+                    }
+                    per_d.push(se / pairs.len() as f64);
+                }
+                if let Some(c) = ckpt {
+                    c.lock().expect("checkpoint lock").append(&Entry::MseRep {
+                        dataset: dataset.name.clone(),
+                        algorithm: algo.to_owned(),
+                        rep,
+                        per_d: per_d.clone(),
+                    })?;
+                }
+                *slot = Some(per_d);
+            }
+            if timed_out {
+                if let Some(c) = ckpt {
+                    c.lock().expect("checkpoint lock").append(&Entry::MseTimeout {
+                        dataset: dataset.name.clone(),
+                        algorithm: algo.to_owned(),
+                    })?;
+                }
+            }
+        }
+        let mut out = results.lock().expect("results lock");
+        for (di, &d) in scale.d_values.iter().enumerate() {
+            let cell = if timed_out {
+                MseCell {
+                    dataset: dataset.name.clone(),
+                    algorithm: algo.to_owned(),
+                    d,
+                    mse: Measurement::TimedOut,
+                    mse_std: 0.0,
+                }
+            } else {
+                let per_rep: Vec<f64> = rep_results
+                    .iter()
+                    .map(|r| r.as_ref().expect("all repeats measured")[di])
+                    .collect();
+                let (mean, var) = wmh_rng::stats::mean_and_var(&per_rep);
+                MseCell {
+                    dataset: dataset.name.clone(),
+                    algorithm: algo.to_owned(),
+                    d,
+                    mse: Measurement::Value(mean),
+                    mse_std: var.sqrt(),
+                }
+            };
+            out.push(cell);
+        }
+    }
+    Ok(())
 }
 
 /// Run the Figure 9 protocol: wall-clock seconds to encode
@@ -312,37 +564,89 @@ pub fn run_mse(scale: &Scale, algorithms: &[Algorithm]) -> Vec<MseCell> {
 /// Timings run sequentially (no thread pool) so they are not skewed by
 /// contention.
 ///
-/// # Panics
-/// Panics on configuration errors — the pre-baked scales are always valid.
-#[must_use]
-pub fn run_runtime(scale: &Scale, algorithms: &[Algorithm]) -> Vec<RuntimeCell> {
+/// # Errors
+/// [`RunnerError`] on invalid scales or algorithm failures.
+pub fn run_runtime(
+    scale: &Scale,
+    algorithms: &[Algorithm],
+) -> Result<Vec<RuntimeCell>, RunnerError> {
+    run_runtime_with(scale, algorithms, &RunOptions::default())
+}
+
+/// [`run_runtime`] with [`RunOptions`] (checkpoint/resume).
+///
+/// Checkpointed timings are reused verbatim on restart — a timing that was
+/// already measured is never re-measured, so a resumed run's report equals
+/// the report the interrupted run would have produced.
+///
+/// # Errors
+/// [`RunnerError`] on invalid scales, algorithm failures, or unusable
+/// checkpoint files.
+pub fn run_runtime_with(
+    scale: &Scale,
+    algorithms: &[Algorithm],
+    options: &RunOptions,
+) -> Result<Vec<RuntimeCell>, RunnerError> {
+    let mut ckpt = match &options.checkpoint {
+        Some(path) => Some(Checkpoint::open(path, "runtime", scale, &algorithm_names(algorithms))?),
+        None => None,
+    };
     let mut cells = Vec::new();
     for cfg in &scale.datasets {
-        let dataset = cfg.generate(scale.seed).expect("valid dataset config");
+        let dataset = cfg.generate(scale.seed).map_err(RunnerError::Data)?;
         let docs: Vec<WeightedSet> =
             dataset.docs.iter().take(scale.runtime_docs).cloned().collect();
-        let bounds = UpperBounds::from_sets(dataset.docs.iter()).expect("non-empty dataset");
+        let bounds = UpperBounds::from_sets(dataset.docs.iter())
+            .map_err(|e| RunnerError::Data(e.to_string()))?;
         for &algorithm in algorithms {
+            let algo = algorithm.name();
+            let algo_err =
+                |e: SketchError| RunnerError::Algorithm { algorithm: algo.to_owned(), error: e };
+            // One wall-clock deadline per (dataset, algorithm) cell; a
+            // deadline hit mid-grid marks the remaining D cells too.
+            let deadline = scale.budget.wall_clock.map(|w| Instant::now() + w);
             for &d in &scale.d_values {
-                let sketcher = algorithm
-                    .build(scale.seed, d, &scale.config(Some(bounds.clone())))
-                    .expect("buildable algorithm");
-                let start = Instant::now();
-                let outcome = sketch_docs(sketcher.as_ref(), &docs).expect("sketching failed");
-                let seconds = match outcome {
-                    Some(_) => Measurement::Value(start.elapsed().as_secs_f64()),
-                    None => Measurement::TimedOut,
+                if let Some(c) = &ckpt {
+                    if let Some(seconds) = c.runtime_seconds(&dataset.name, algo, d) {
+                        cells.push(RuntimeCell {
+                            dataset: dataset.name.clone(),
+                            algorithm: algo.to_owned(),
+                            d,
+                            seconds,
+                        });
+                        continue;
+                    }
+                }
+                let seconds = if deadline.is_some_and(|t| Instant::now() >= t) {
+                    Measurement::TimedOut
+                } else {
+                    let sketcher = algorithm
+                        .build(scale.seed, d, &scale.config(Some(bounds.clone())))
+                        .map_err(algo_err)?;
+                    let start = Instant::now();
+                    match sketch_docs(sketcher.as_ref(), &docs, deadline).map_err(algo_err)? {
+                        Some(_) => Measurement::Value(start.elapsed().as_secs_f64()),
+                        None => Measurement::TimedOut,
+                    }
                 };
+                if let Some(c) = &mut ckpt {
+                    c.append(&Entry::Runtime {
+                        dataset: dataset.name.clone(),
+                        algorithm: algo.to_owned(),
+                        d,
+                        seconds,
+                    })?;
+                }
                 cells.push(RuntimeCell {
                     dataset: dataset.name.clone(),
-                    algorithm: algorithm.name().to_owned(),
+                    algorithm: algo.to_owned(),
                     d,
                     seconds,
                 });
             }
         }
     }
-    cells
+    Ok(cells)
 }
 
 #[cfg(test)]
@@ -361,7 +665,7 @@ mod tests {
     fn tiny_mse_run_produces_full_grid() {
         let scale = Scale::tiny();
         let algos = [Algorithm::MinHash, Algorithm::Icws, Algorithm::Chum2008];
-        let cells = run_mse(&scale, &algos);
+        let cells = run_mse(&scale, &algos).expect("runner");
         assert_eq!(cells.len(), scale.datasets.len() * algos.len() * scale.d_values.len());
         for c in &cells {
             if let Some(v) = c.mse.value() {
@@ -374,7 +678,7 @@ mod tests {
     #[test]
     fn mse_decreases_with_d_for_unbiased_algorithms() {
         let scale = Scale::tiny();
-        let cells = run_mse(&scale, &[Algorithm::Icws]);
+        let cells = run_mse(&scale, &[Algorithm::Icws]).expect("runner");
         let name = scale.datasets[0].name();
         let lo_d = cell_value(&cells, &name, "ICWS", 10);
         let hi_d = cell_value(&cells, &name, "ICWS", 50);
@@ -385,11 +689,18 @@ mod tests {
     fn minhash_is_less_accurate_than_icws_on_weighted_data() {
         // The headline of Figure 8.
         let scale = Scale::tiny();
-        let cells = run_mse(&scale, &[Algorithm::MinHash, Algorithm::Icws]);
+        let cells = run_mse(&scale, &[Algorithm::MinHash, Algorithm::Icws]).expect("runner");
         let name = scale.datasets[0].name();
         let mh = cell_value(&cells, &name, "MinHash", 50);
         let icws = cell_value(&cells, &name, "ICWS", 50);
         assert!(mh > icws, "MinHash {mh} should be worse than ICWS {icws}");
+    }
+
+    #[test]
+    fn empty_d_grid_is_a_typed_error() {
+        let mut scale = Scale::tiny();
+        scale.d_values.clear();
+        assert_eq!(run_mse(&scale, &[Algorithm::MinHash]).unwrap_err(), RunnerError::EmptyDGrid);
     }
 
     #[test]
@@ -398,7 +709,7 @@ mod tests {
         scale.d_values = vec![10];
         scale.datasets.truncate(1);
         let algos = [Algorithm::MinHash, Algorithm::Icws, Algorithm::Haveliwala2000];
-        let cells = run_runtime(&scale, &algos);
+        let cells = run_runtime(&scale, &algos).expect("runner");
         assert_eq!(cells.len(), algos.len());
         for c in &cells {
             let v = c.seconds.value().expect("no timeout at tiny scale");
@@ -424,7 +735,8 @@ mod tests {
                     let cells = run_runtime(
                         &scale,
                         &[Algorithm::Haveliwala2000, Algorithm::GollapudiActive],
-                    );
+                    )
+                    .expect("runner");
                     cells
                         .iter()
                         .find(|c| c.algorithm == name)
@@ -435,10 +747,7 @@ mod tests {
         };
         let quant = best_time("Haveliwala2000");
         let active = best_time("Gollapudi2006-Active");
-        assert!(
-            quant > 1.5 * active,
-            "quantization {quant} vs active {active}"
-        );
+        assert!(quant > 1.5 * active, "quantization {quant} vs active {active}");
     }
 
     #[test]
@@ -446,9 +755,33 @@ mod tests {
         let mut scale = Scale::tiny();
         scale.d_values = vec![10];
         scale.datasets.truncate(1);
-        scale.max_rejection_draws = 2; // force the cutoff
-        let cells = run_mse(&scale, &[Algorithm::Shrivastava2016]);
+        scale.budget.max_rejection_draws = 2; // force the cutoff
+        let cells = run_mse(&scale, &[Algorithm::Shrivastava2016]).expect("runner");
         assert!(cells.iter().all(|c| c.mse == Measurement::TimedOut));
+    }
+
+    #[test]
+    fn starved_wall_clock_times_out_but_the_grid_stays_complete() {
+        // A zero wall-clock budget: every cell times out, none is dropped.
+        let mut scale = Scale::tiny();
+        scale.budget.wall_clock = Some(Duration::from_secs(0));
+        let algos = [Algorithm::MinHash, Algorithm::Icws];
+        let cells = run_mse(&scale, &algos).expect("runner");
+        assert_eq!(cells.len(), scale.datasets.len() * algos.len() * scale.d_values.len());
+        assert!(cells.iter().all(|c| c.mse == Measurement::TimedOut));
+        let rcells = run_runtime(&scale, &algos).expect("runner");
+        assert_eq!(rcells.len(), scale.datasets.len() * algos.len() * scale.d_values.len());
+        assert!(rcells.iter().all(|c| c.seconds == Measurement::TimedOut));
+    }
+
+    #[test]
+    fn generous_wall_clock_changes_nothing() {
+        let mut scale = Scale::tiny();
+        scale.datasets.truncate(1);
+        let unlimited = run_mse(&scale, &[Algorithm::Icws]).expect("runner");
+        scale.budget.wall_clock = Some(Duration::from_secs(3600));
+        let bounded = run_mse(&scale, &[Algorithm::Icws]).expect("runner");
+        assert_eq!(unlimited, bounded);
     }
 
     #[test]
@@ -457,5 +790,24 @@ mod tests {
         let b = Sketch { algorithm: "x".into(), seed: 0, codes: vec![1, 9, 3, 7] };
         assert_eq!(estimate_prefix(&a, &b, 4), 0.5);
         assert_eq!(estimate_prefix(&a, &b, 1), 1.0);
+    }
+
+    #[test]
+    fn measurement_json_uses_the_external_tag_shape() {
+        assert_eq!(wmh_json::to_string(&Measurement::Value(0.5)), r#"{"Value":0.5}"#);
+        assert_eq!(wmh_json::to_string(&Measurement::TimedOut), r#""TimedOut""#);
+        let v: Measurement = wmh_json::from_str(r#"{"Value":0.25}"#).expect("value");
+        assert_eq!(v, Measurement::Value(0.25));
+        let t: Measurement = wmh_json::from_str(r#""TimedOut""#).expect("timeout");
+        assert_eq!(t, Measurement::TimedOut);
+    }
+
+    #[test]
+    fn scale_json_roundtrip() {
+        let mut scale = Scale::tiny();
+        scale.budget.wall_clock = Some(Duration::from_millis(1500));
+        let text = wmh_json::to_string(&scale);
+        let back: Scale = wmh_json::from_str(&text).expect("scale");
+        assert_eq!(scale, back);
     }
 }

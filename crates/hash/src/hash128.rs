@@ -27,10 +27,7 @@ impl Hash128 {
         for &w in words {
             acc = combine(acc, fmix64(w ^ 0x5555_5555_5555_5555));
         }
-        Self {
-            hi: fmix64(acc ^ lo.rotate_left(32)),
-            lo,
-        }
+        Self { hi: fmix64(acc ^ lo.rotate_left(32)), lo }
     }
 
     /// Hash bytes to 128 bits under `oracle`.
@@ -71,9 +68,8 @@ mod tests {
     fn no_collisions_on_sequential_inputs() {
         use std::collections::HashSet;
         let o = SeededHash::new(6);
-        let outs: HashSet<u128> = (0..20_000u64)
-            .map(|i| Hash128::of_words(&o, &[i]).as_u128())
-            .collect();
+        let outs: HashSet<u128> =
+            (0..20_000u64).map(|i| Hash128::of_words(&o, &[i]).as_u128()).collect();
         assert_eq!(outs.len(), 20_000);
     }
 

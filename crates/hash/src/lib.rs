@@ -24,7 +24,10 @@
 //! * [`tabulation`] — simple tabulation hashing (3-independent), used as an
 //!   alternative permutation family and in tests as an independence witness.
 //! * [`hash128`] — a 128-bit output variant for collision-free fingerprints.
+//! * [`crc32c`] — CRC-32C (Castagnoli) via compile-time slicing-by-8
+//!   tables, the integrity checksum of the persisted sketch store.
 
+pub mod crc32c;
 pub mod hash128;
 pub mod mix;
 pub mod seeded;

@@ -22,9 +22,7 @@ impl SeededHash {
     #[inline]
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self {
-            state: splitmix64(seed ^ 0x5851_F42D_4C95_7F2D),
-        }
+        Self { state: splitmix64(seed ^ 0x5851_F42D_4C95_7F2D) }
     }
 
     /// The pre-mixed internal state (stable across runs; useful for tests).
@@ -41,9 +39,7 @@ impl SeededHash {
     #[inline]
     #[must_use]
     pub fn derive(&self, stream: u64) -> Self {
-        Self {
-            state: combine(self.state, fmix64(stream)),
-        }
+        Self { state: combine(self.state, fmix64(stream)) }
     }
 
     /// Hash one word.
@@ -226,7 +222,15 @@ mod tests {
         let h = SeededHash::new(4);
         // Distinct lengths sharing a prefix must not collide.
         let inputs: Vec<&[u8]> = vec![
-            b"", b"a", b"ab", b"abc", b"abcd", b"abcde", b"abcdef", b"abcdefg", b"abcdefgh",
+            b"",
+            b"a",
+            b"ab",
+            b"abc",
+            b"abcd",
+            b"abcde",
+            b"abcdef",
+            b"abcdefg",
+            b"abcdefgh",
             b"abcdefghi",
         ];
         let mut seen = std::collections::HashSet::new();

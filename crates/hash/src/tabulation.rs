@@ -19,9 +19,7 @@ pub struct TabulationHash {
 
 impl std::fmt::Debug for TabulationHash {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TabulationHash")
-            .field("fingerprint", &self.tables[0][0])
-            .finish()
+        f.debug_struct("TabulationHash").field("fingerprint", &self.tables[0][0]).finish()
     }
 }
 

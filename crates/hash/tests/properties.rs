@@ -1,75 +1,107 @@
-//! Property-based tests of the hashing substrate.
+//! Property-based tests of the hashing substrate (`wmh-check` driven).
 
-use proptest::prelude::*;
+use wmh_check::{ensure, run_cases};
 use wmh_hash::mix::{combine, fmix64, splitmix64};
-use wmh_hash::{to_unit_exclusive, to_unit_inclusive, to_unit_open, MersennePermutation,
-               SeededHash, MERSENNE_61};
+use wmh_hash::{
+    to_unit_exclusive, to_unit_inclusive, to_unit_open, MersennePermutation, SeededHash,
+    MERSENNE_61,
+};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn mixers_are_deterministic_and_nontrivial(x in any::<u64>()) {
-        prop_assert_eq!(splitmix64(x), splitmix64(x));
-        prop_assert_eq!(fmix64(x), fmix64(x));
+#[test]
+fn mixers_are_deterministic_and_nontrivial() {
+    run_cases(512, |g| {
+        let x = g.u64();
+        ensure!(splitmix64(x) == splitmix64(x), "splitmix64 not deterministic at {x}");
+        ensure!(fmix64(x) == fmix64(x), "fmix64 not deterministic at {x}");
         // fmix64(0) == 0 is the one known fixed point; otherwise outputs move.
         if x != 0 {
-            prop_assert_ne!(fmix64(x), 0u64.wrapping_sub(u64::from(x == 0)));
+            ensure!(fmix64(x) != 0, "unexpected zero output for {x}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn combine_differs_from_both_inputs(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn combine_differs_from_both_inputs() {
+    run_cases(512, |g| {
+        let (a, b) = (g.u64(), g.u64());
         let c = combine(a, b);
         // Collisions with either input are possible in principle but should
         // never occur on random inputs (probability 2^-63 per case).
-        prop_assert!(c != a || c != b);
-    }
+        ensure!(c != a || c != b, "combine({a}, {b}) degenerate");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn unit_mappings_are_bounded_and_ordered(w in any::<u64>()) {
+#[test]
+fn unit_mappings_are_bounded_and_ordered() {
+    run_cases(512, |g| {
+        let w = g.u64();
         let open = to_unit_open(w);
-        prop_assert!(open > 0.0 && open < 1.0);
+        ensure!(open > 0.0 && open < 1.0, "open {open} out of (0,1) for {w}");
         let excl = to_unit_exclusive(w);
-        prop_assert!((0.0..1.0).contains(&excl));
+        ensure!((0.0..1.0).contains(&excl), "exclusive {excl} out of [0,1) for {w}");
         let incl = to_unit_inclusive(w);
-        prop_assert!((0.0..=1.0).contains(&incl));
+        ensure!((0.0..=1.0).contains(&incl), "inclusive {incl} out of [0,1] for {w}");
         // ln stays finite for the open mapping — the contract the
         // distribution layer relies on.
-        prop_assert!(open.ln().is_finite());
-        prop_assert!((1.0 - open).ln().is_finite());
-    }
+        ensure!(open.ln().is_finite(), "ln not finite for {w}");
+        ensure!((1.0 - open).ln().is_finite(), "ln(1-u) not finite for {w}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn seeded_hash_separates_coordinates(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn seeded_hash_separates_coordinates() {
+    run_cases(512, |g| {
+        let (seed, a, b) = (g.u64(), g.u64(), g.u64());
         let h = SeededHash::new(seed);
         if a != b {
-            prop_assert_ne!(h.hash1(a), h.hash1(b));
+            ensure!(h.hash1(a) != h.hash1(b), "collision hash1({a}) == hash1({b})");
         }
-        prop_assert_eq!(h.hash2(a, b), h.hash2(a, b));
-    }
+        ensure!(h.hash2(a, b) == h.hash2(a, b), "hash2 not deterministic");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn permutation_is_injective_pairwise(seed in any::<u64>(), i in 0u64..MERSENNE_61, j in 0u64..MERSENNE_61) {
+#[test]
+fn permutation_is_injective_pairwise() {
+    run_cases(512, |g| {
+        let seed = g.u64();
+        let (i, j) = (g.below(MERSENNE_61), g.below(MERSENNE_61));
         let p = MersennePermutation::new(&SeededHash::new(seed), 0);
         if i != j {
-            prop_assert_ne!(p.apply(i), p.apply(j));
+            ensure!(p.apply(i) != p.apply(j), "permutation collides at {i}, {j}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn permutation_output_in_field(seed in any::<u64>(), i in any::<u64>()) {
+#[test]
+fn permutation_output_in_field() {
+    run_cases(512, |g| {
+        let (seed, i) = (g.u64(), g.u64());
         let p = MersennePermutation::new(&SeededHash::new(seed), 1);
-        prop_assert!(p.apply(i) < MERSENNE_61);
-    }
+        ensure!(p.apply(i) < MERSENNE_61, "output escapes the field for {i}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hash_bytes_prefix_free(seed in any::<u64>(), bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn hash_bytes_prefix_free() {
+    run_cases(512, |g| {
+        let seed = g.u64();
+        let bytes = g.bytes(63);
         let h = SeededHash::new(seed);
         let full = h.hash_bytes(&bytes);
-        prop_assert_eq!(full, h.hash_bytes(&bytes));
+        ensure!(full == h.hash_bytes(&bytes), "hash_bytes not deterministic");
         if !bytes.is_empty() {
-            prop_assert_ne!(full, h.hash_bytes(&bytes[..bytes.len() - 1]));
+            ensure!(
+                full != h.hash_bytes(&bytes[..bytes.len() - 1]),
+                "prefix collision at len {}",
+                bytes.len()
+            );
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,142 @@
+//! # `wmh-json` — dependency-free JSON for results and checkpoints
+//!
+//! The evaluation harness persists every artifact as JSON (result files,
+//! the crash-recovery checkpoint log, CLI input documents). This crate is
+//! the workspace's single JSON implementation, written from scratch so the
+//! build has no registry dependencies and works fully offline:
+//!
+//! * [`Json`] — a value model that keeps `u64`/`i64`/`f64` as distinct
+//!   carriers, so 64-bit seeds and float measurements both round-trip
+//!   losslessly (floats render via Rust's shortest-roundtrip `Display`).
+//! * [`Json::parse`] — a strict recursive-descent parser with a depth
+//!   limit; it never panics on arbitrary input.
+//! * [`ToJson`] / [`FromJson`] — the (de)serialization traits, implemented
+//!   for the primitives, `Vec`, `Option`, pairs/triples and string maps.
+//! * [`json_object!`] — a `macro_rules!` stand-in for `#[derive]` that
+//!   implements both traits for a struct from its field names.
+//!
+//! Object key order is preserved (insertion order), which keeps rendered
+//! files stable across runs — a requirement for the byte-identical
+//! resume-vs-uninterrupted comparison in the fault-tolerance tests.
+
+mod parse;
+mod render;
+mod value;
+
+pub use parse::ParseError;
+pub use value::{FromJson, Json, JsonError};
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render()
+}
+
+/// Serialize a value to human-readable two-space-indented JSON.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render_pretty()
+}
+
+/// Parse text and convert to `T`.
+///
+/// # Errors
+/// [`JsonError`] on malformed syntax or shape mismatch.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    let v = Json::parse(text).map_err(JsonError::Syntax)?;
+    T::from_json(&v)
+}
+
+/// Conversion into the [`Json`] value model.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Implement [`ToJson`] and [`FromJson`] for a struct from its field names.
+///
+/// The JSON shape matches what `serde` would derive: an object with one
+/// entry per field, in declaration order. Field types must implement the
+/// traits themselves; missing fields surface as [`JsonError::MissingField`].
+///
+/// ```
+/// struct Point { x: f64, y: f64 }
+/// wmh_json::json_object!(Point { x, y });
+/// let p: Point = wmh_json::from_str(r#"{"x":1.0,"y":2.5}"#).unwrap();
+/// assert_eq!(wmh_json::to_string(&p), r#"{"x":1.0,"y":2.5}"#);
+/// ```
+#[macro_export]
+macro_rules! json_object {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_owned(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $($field: $crate::FromJson::from_json(v.field(stringify!($field))?)?,)+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Cell {
+        name: String,
+        d: usize,
+        mse: f64,
+        seeds: Vec<u64>,
+    }
+    json_object!(Cell { name, d, mse, seeds });
+
+    #[test]
+    fn struct_macro_roundtrips() {
+        let c = Cell { name: "SYN1".into(), d: 200, mse: 1.25e-4, seeds: vec![0xE5EED, u64::MAX] };
+        let text = to_string(&c);
+        let back: Cell = from_str(&text).expect("parse");
+        assert_eq!(c, back);
+        // u64::MAX survives exactly (would be lossy through f64).
+        assert!(text.contains("18446744073709551615"));
+    }
+
+    #[test]
+    fn missing_field_is_typed_error() {
+        let r: Result<Cell, _> = from_str(r#"{"name":"x","d":1,"mse":0.0}"#);
+        assert!(matches!(r, Err(JsonError::MissingField("seeds"))));
+    }
+
+    #[test]
+    fn pretty_rendering_parses_back() {
+        let c = Cell { name: "a".into(), d: 1, mse: 0.5, seeds: vec![1, 2] };
+        let pretty = to_string_pretty(&c);
+        assert!(pretty.contains('\n'));
+        let back: Cell = from_str(&pretty).expect("parse");
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &x in &[0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5e-7, 0.0] {
+            let text = to_string(&x);
+            let back: f64 = from_str(&text).expect("parse");
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} rendered as {text}");
+        }
+    }
+
+    #[test]
+    fn string_maps_roundtrip() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        m.insert("alpha".into(), vec![1, 2]);
+        m.insert("beta".into(), vec![]);
+        let back: BTreeMap<String, Vec<u64>> = from_str(&to_string(&m)).expect("parse");
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,171 @@
+//! Compact and pretty rendering.
+//!
+//! Floats use Rust's `Display`, which emits the shortest string that
+//! parses back to the same bits — the `float_roundtrip` guarantee the
+//! result files rely on. A trailing `.0` is added to integral floats so
+//! the value re-parses as a float carrier, keeping render∘parse a
+//! fixpoint on the value model. Non-finite floats render as `null`
+//! (JSON has no literal for them).
+
+use crate::value::Json;
+use std::fmt::Write as _;
+
+impl Json {
+    /// Render as compact single-line JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(true) => out.push_str("true"),
+            Self::Bool(false) => out.push_str("false"),
+            Self::U64(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Self::I64(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Self::F64(x) => write_f64(out, *x),
+            Self::Str(s) => write_string(out, s),
+            Self::Arr(items) => {
+                out.push('[');
+                write_items(out, indent, level, items.len(), |out, i| {
+                    items[i].write(out, indent, level + 1);
+                });
+                out.push(']');
+            }
+            Self::Obj(entries) => {
+                out.push('{');
+                write_items(out, indent, level, entries.len(), |out, i| {
+                    write_string(out, &entries[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    entries[i].1.write(out, indent, level + 1);
+                });
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_items(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    n: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    if n == 0 {
+        return;
+    }
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (level + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * level));
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{x}");
+    // `Display` prints integral floats without a decimal point; add one so
+    // the text re-parses as a float.
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering_matches_expectations() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::U64(1), Json::F64(2.0)])),
+            ("b".into(), Json::Str("x\ny".into())),
+            ("c".into(), Json::Null),
+        ]);
+        assert_eq!(v.render(), r#"{"a":[1,2.0],"b":"x\ny","c":null}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::U64(1)]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+        assert_eq!(Json::Obj(vec![]).render_pretty(), "{}");
+        assert_eq!(Json::Arr(vec![]).render(), "[]");
+    }
+
+    #[test]
+    fn render_parse_is_identity_on_values() {
+        let v = Json::Obj(vec![
+            ("f".into(), Json::F64(0.1)),
+            ("i".into(), Json::F64(3.0)),
+            ("u".into(), Json::U64(u64::MAX)),
+            ("n".into(), Json::I64(-42)),
+            ("s".into(), Json::Str("π \"quoted\" \\ \u{1}".into())),
+        ]);
+        assert_eq!(Json::parse(&v.render()), Ok(v.clone()));
+        assert_eq!(Json::parse(&v.render_pretty()), Ok(v));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,417 @@
+//! The JSON value model and the [`FromJson`] conversions.
+
+use crate::parse::ParseError;
+
+/// A parsed or constructed JSON value.
+///
+/// Numbers keep three carriers so that both 64-bit integers (ids, seeds)
+/// and floats survive a round-trip exactly: integers without a fractional
+/// part parse into `U64`/`I64`, everything else into `F64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float (anything with a `.`, exponent, or out of integer range).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on render.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Errors converting between [`Json`] and Rust types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// The text was not valid JSON.
+    Syntax(ParseError),
+    /// A value had the wrong JSON type.
+    WrongType {
+        /// What the conversion expected.
+        expected: &'static str,
+        /// What the value actually was.
+        got: &'static str,
+    },
+    /// An object was missing a required field.
+    MissingField(&'static str),
+    /// A number was out of range for the target type.
+    OutOfRange(&'static str),
+    /// An enum tag or array shape was not recognized.
+    Invalid(String),
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Syntax(e) => write!(f, "json syntax error: {e}"),
+            Self::WrongType { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            Self::MissingField(name) => write!(f, "missing field {name:?}"),
+            Self::OutOfRange(what) => write!(f, "number out of range for {what}"),
+            Self::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// The value's JSON type name, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "bool",
+            Self::U64(_) | Self::I64(_) | Self::F64(_) => "number",
+            Self::Str(_) => "string",
+            Self::Arr(_) => "array",
+            Self::Obj(_) => "object",
+        }
+    }
+
+    /// Look up an object field.
+    ///
+    /// # Errors
+    /// [`JsonError::WrongType`] if `self` is not an object,
+    /// [`JsonError::MissingField`] if the key is absent.
+    pub fn field(&self, name: &'static str) -> Result<&Json, JsonError> {
+        match self {
+            Self::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or(JsonError::MissingField(name)),
+            other => Err(JsonError::WrongType { expected: "object", got: other.type_name() }),
+        }
+    }
+
+    /// Look up an object field that may be absent.
+    #[must_use]
+    pub fn field_opt(&self, name: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if `self` is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Self::U64(u) => Some(u as f64),
+            Self::I64(i) => Some(i as f64),
+            Self::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if `self` is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if `self` is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Self::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion out of the [`Json`] value model.
+pub trait FromJson: Sized {
+    /// Convert `v` into `Self`.
+    ///
+    /// # Errors
+    /// [`JsonError`] on shape mismatch.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+// ---- ToJson implementations -------------------------------------------
+
+use crate::ToJson;
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+macro_rules! to_json_uint {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::U64(u64::from(*self))
+            }
+        }
+    )+};
+}
+to_json_uint!(u8, u16, u32, u64);
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::U64(*self as u64)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        if *self >= 0 {
+            Json::U64(*self as u64)
+        } else {
+            Json::I64(*self)
+        }
+    }
+}
+
+impl ToJson for i32 {
+    fn to_json(&self) -> Json {
+        i64::from(*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<V: ToJson> ToJson for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+// ---- FromJson implementations -----------------------------------------
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::WrongType { expected: "bool", got: other.type_name() }),
+        }
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::WrongType { expected: "string", got: other.type_name() }),
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // `null` maps to NaN: the renderer writes non-finite floats as
+        // `null` (JSON has no literal for them), so this closes the loop.
+        match v {
+            Json::Null => Ok(f64::NAN),
+            other => other
+                .as_f64()
+                .ok_or(JsonError::WrongType { expected: "number", got: other.type_name() }),
+        }
+    }
+}
+
+fn integer_from(v: &Json, what: &'static str) -> Result<u64, JsonError> {
+    match *v {
+        Json::U64(u) => Ok(u),
+        // Tolerate integral floats ("1.0"): other writers emit them.
+        Json::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(x as u64),
+        Json::I64(_) | Json::F64(_) => Err(JsonError::OutOfRange(what)),
+        ref other => Err(JsonError::WrongType { expected: "number", got: other.type_name() }),
+    }
+}
+
+macro_rules! from_json_uint {
+    ($($ty:ty),+) => {$(
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                <$ty>::try_from(integer_from(v, stringify!($ty))?)
+                    .map_err(|_| JsonError::OutOfRange(stringify!($ty)))
+            }
+        }
+    )+};
+}
+from_json_uint!(u8, u16, u32, u64, usize);
+
+impl FromJson for i64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match *v {
+            Json::I64(i) => Ok(i),
+            Json::U64(u) => i64::try_from(u).map_err(|_| JsonError::OutOfRange("i64")),
+            Json::F64(x) if x.fract() == 0.0 && x.abs() < 2f64.powi(63) => Ok(x as i64),
+            ref other => Err(JsonError::WrongType { expected: "number", got: other.type_name() }),
+        }
+    }
+}
+
+impl FromJson for i32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        i32::try_from(i64::from_json(v)?).map_err(|_| JsonError::OutOfRange("i32"))
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(JsonError::WrongType { expected: "array", got: other.type_name() }),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::Invalid("expected a 2-element array".into())),
+        }
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            _ => Err(JsonError::Invalid("expected a 3-element array".into())),
+        }
+    }
+}
+
+impl<V: FromJson> FromJson for std::collections::BTreeMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Obj(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::from_json(val)?))).collect()
+            }
+            other => Err(JsonError::WrongType { expected: "object", got: other.type_name() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_and_errors() {
+        let v = Json::Obj(vec![("a".into(), Json::U64(1))]);
+        assert_eq!(v.field("a"), Ok(&Json::U64(1)));
+        assert_eq!(v.field("b"), Err(JsonError::MissingField("b")));
+        assert!(Json::Null.field("a").is_err());
+        assert_eq!(v.field_opt("a"), Some(&Json::U64(1)));
+        assert_eq!(v.field_opt("zz"), None);
+    }
+
+    #[test]
+    fn integer_conversions_enforce_ranges() {
+        assert_eq!(u8::from_json(&Json::U64(255)), Ok(255));
+        assert_eq!(u8::from_json(&Json::U64(256)), Err(JsonError::OutOfRange("u8")));
+        assert_eq!(u64::from_json(&Json::F64(3.0)), Ok(3));
+        assert!(u64::from_json(&Json::F64(3.5)).is_err());
+        assert!(u64::from_json(&Json::I64(-1)).is_err());
+        assert_eq!(i64::from_json(&Json::I64(-5)), Ok(-5));
+    }
+
+    #[test]
+    fn nan_roundtrips_through_null() {
+        assert!(f64::from_json(&Json::Null).expect("null is NaN").is_nan());
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = (1u64, "x".to_owned()).to_json();
+        assert_eq!(v, Json::Arr(vec![Json::U64(1), Json::Str("x".into())]));
+        let back: (u64, String) = FromJson::from_json(&v).expect("pair");
+        assert_eq!(back, (1, "x".to_owned()));
+    }
+}

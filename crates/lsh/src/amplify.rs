@@ -102,10 +102,7 @@ impl Bands {
     #[must_use]
     pub fn for_gap(budget: usize, s_near: f64, s_far: f64) -> Self {
         assert!(budget > 0, "hash budget must be positive");
-        assert!(
-            s_near > s_far,
-            "near collision probability must exceed far ({s_near} vs {s_far})"
-        );
+        assert!(s_near > s_far, "near collision probability must exceed far ({s_near} vs {s_far})");
         let mut best: Option<(f64, Bands)> = None;
         for rows in 1..=budget {
             let bands = budget / rows;
@@ -204,9 +201,7 @@ mod tests {
     fn error_rates_are_complementary_slices_of_the_s_curve() {
         let b = Bands::new(16, 4).unwrap();
         let s = 0.6;
-        assert!(
-            (b.false_negative_rate(s) + b.candidate_probability(s) - 1.0).abs() < 1e-12
-        );
+        assert!((b.false_negative_rate(s) + b.candidate_probability(s) - 1.0).abs() < 1e-12);
         assert_eq!(b.false_positive_rate(s), b.candidate_probability(s));
     }
 

@@ -157,9 +157,7 @@ mod tests {
         let far = ws(&(0..20u64).map(|k| (k, 6.0)).collect::<Vec<_>>());
         assert!(chi2_distance(&base, &near) < chi2_distance(&base, &far));
         let hits = |u: &WeightedSet| {
-            (0..trials)
-                .filter(|&d| lsh.bucket(&base, d) == lsh.bucket(u, d))
-                .count()
+            (0..trials).filter(|&d| lsh.bucket(&base, d) == lsh.bucket(u, d)).count()
         };
         assert!(hits(&near) > hits(&far) + 100, "near {} far {}", hits(&near), hits(&far));
     }

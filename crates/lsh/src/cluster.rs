@@ -225,13 +225,9 @@ mod tests {
 
     #[test]
     fn empty_corpus_clusters_trivially() {
-        let clusters = cluster_by_similarity(
-            Icws::new(1, 64),
-            Bands::new(16, 4).expect("valid"),
-            &[],
-            0.5,
-        )
-        .expect("clusterable");
+        let clusters =
+            cluster_by_similarity(Icws::new(1, 64), Bands::new(16, 4).expect("valid"), &[], 0.5)
+                .expect("clusterable");
         assert!(clusters.is_empty());
     }
 }

@@ -102,10 +102,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_universe() {
-        assert_eq!(
-            BitSamplingLsh::new(1, 4, 0).unwrap_err(),
-            BitSamplingError::EmptyUniverse
-        );
+        assert_eq!(BitSamplingLsh::new(1, 4, 0).unwrap_err(), BitSamplingError::EmptyUniverse);
     }
 
     #[test]

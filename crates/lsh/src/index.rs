@@ -155,7 +155,11 @@ impl<S: Sketcher> LshIndex<S> {
     ///
     /// # Errors
     /// Propagates sketching errors.
-    pub fn query_top_k(&self, query: &WeightedSet, k: usize) -> Result<Vec<(u64, f64)>, IndexError> {
+    pub fn query_top_k(
+        &self,
+        query: &WeightedSet,
+        k: usize,
+    ) -> Result<Vec<(u64, f64)>, IndexError> {
         let sketch = self.sketcher.sketch(query)?;
         let mut seen = HashSet::new();
         for (b, key) in self.band_keys(&sketch).into_iter().enumerate() {
@@ -230,16 +234,12 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("oversized banding accepted"),
         };
-        assert_eq!(
-            err,
-            IndexError::BandsExceedSketch { required: 32, available: 16 }
-        );
+        assert_eq!(err, IndexError::BandsExceedSketch { required: 32, available: 16 });
     }
 
     #[test]
     fn near_duplicates_are_retrieved() {
-        let mut idx =
-            LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let mut idx = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
         let docs = corpus();
         for (id, d) in &docs {
             idx.insert(*id, d).unwrap();
@@ -258,8 +258,7 @@ mod tests {
 
     #[test]
     fn unrelated_queries_return_few_candidates() {
-        let mut idx =
-            LshIndex::new(MinHash::new(3, 128), Bands::new(16, 8).unwrap()).unwrap();
+        let mut idx = LshIndex::new(MinHash::new(3, 128), Bands::new(16, 8).unwrap()).unwrap();
         for (id, d) in corpus() {
             idx.insert(id, &d).unwrap();
         }
@@ -270,8 +269,7 @@ mod tests {
 
     #[test]
     fn query_above_threshold_filters() {
-        let mut idx =
-            LshIndex::new(Icws::new(4, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let mut idx = LshIndex::new(Icws::new(4, 128), Bands::new(32, 4).unwrap()).unwrap();
         let docs = corpus();
         for (id, d) in &docs {
             idx.insert(*id, d).unwrap();

@@ -55,11 +55,8 @@ pub fn top_k(
     sim: Similarity,
     k: usize,
 ) -> Vec<(usize, f64)> {
-    let mut out: Vec<(usize, f64)> = points
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (i, sim(query, p)))
-        .collect();
+    let mut out: Vec<(usize, f64)> =
+        points.iter().enumerate().map(|(i, p)| (i, sim(query, p))).collect();
     out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out.truncate(k);
     out
@@ -87,11 +84,7 @@ mod tests {
     }
 
     fn corpus() -> Vec<WeightedSet> {
-        vec![
-            ws(&[(1, 1.0), (2, 1.0)]),
-            ws(&[(1, 1.0), (2, 1.0), (3, 1.0)]),
-            ws(&[(9, 1.0)]),
-        ]
+        vec![ws(&[(1, 1.0), (2, 1.0)]), ws(&[(1, 1.0), (2, 1.0), (3, 1.0)]), ws(&[(9, 1.0)])]
     }
 
     #[test]

@@ -120,8 +120,7 @@ impl PStableLsh {
         match self.stable {
             Stable::Gaussian => {
                 1.0 - 2.0 * standard_normal_cdf(-r)
-                    - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r)
-                        * (1.0 - (-r * r / 2.0).exp())
+                    - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r) * (1.0 - (-r * r / 2.0).exp())
             }
             Stable::Cauchy => {
                 2.0 * r.atan() / std::f64::consts::PI
@@ -178,9 +177,7 @@ mod tests {
         let u = ws(&[(1, 3.0)]); // l2 distance 2
         let c = lp_distance(&v, &u, 2.0);
         let want = lsh.collision_probability(c);
-        let hits = (0..trials)
-            .filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&u, d))
-            .count();
+        let hits = (0..trials).filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&u, d)).count();
         let got = hits as f64 / trials as f64;
         let sd = (want * (1.0 - want) / trials as f64).sqrt();
         assert!((got - want).abs() < 5.0 * sd, "got {got} want {want}");
@@ -195,9 +192,7 @@ mod tests {
         let u = ws(&[(1, 2.0), (2, 2.0)]); // l1 distance 2
         let c = lp_distance(&v, &u, 1.0);
         let want = lsh.collision_probability(c);
-        let hits = (0..trials)
-            .filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&u, d))
-            .count();
+        let hits = (0..trials).filter(|&d| lsh.bucket(&v, d) == lsh.bucket(&u, d)).count();
         let got = hits as f64 / trials as f64;
         let sd = (want * (1.0 - want) / trials as f64).sqrt();
         assert!((got - want).abs() < 5.0 * sd, "got {got} want {want}");
@@ -211,9 +206,7 @@ mod tests {
         let near = ws(&[(1, 1.5)]);
         let far = ws(&[(1, 9.0)]);
         let hits = |u: &WeightedSet| {
-            (0..trials)
-                .filter(|&d| lsh.bucket(&origin, d) == lsh.bucket(u, d))
-                .count()
+            (0..trials).filter(|&d| lsh.bucket(&origin, d) == lsh.bucket(u, d)).count()
         };
         assert!(hits(&near) > hits(&far) + 100);
     }

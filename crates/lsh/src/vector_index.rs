@@ -99,12 +99,7 @@ impl<F: VectorSignature> VectorIndex<F> {
                 available: family.num_hashes(),
             });
         }
-        Ok(Self {
-            buckets: vec![HashMap::new(); bands.bands],
-            family,
-            bands,
-            ids: Vec::new(),
-        })
+        Ok(Self { buckets: vec![HashMap::new(); bands.bands], family, bands, ids: Vec::new() })
     }
 
     /// Number of indexed points.
@@ -269,10 +264,7 @@ mod tests {
         for id in &single {
             assert!(multi.contains(id), "multiprobe dropped {id}");
         }
-        assert!(
-            multi.len() >= single.len(),
-            "multi {multi:?} vs single {single:?}"
-        );
+        assert!(multi.len() >= single.len(), "multi {multi:?} vs single {single:?}");
         // And it finds all three near points here.
         assert_eq!(multi, vec![1, 2, 3], "{multi:?}");
     }

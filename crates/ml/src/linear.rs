@@ -21,13 +21,7 @@ impl Perceptron {
     /// Create a model over `dim` features.
     #[must_use]
     pub fn new(dim: usize) -> Self {
-        Self {
-            weights: vec![0.0; dim],
-            acc: vec![0.0; dim],
-            bias: 0.0,
-            acc_bias: 0.0,
-            updates: 0,
-        }
+        Self { weights: vec![0.0; dim], acc: vec![0.0; dim], bias: 0.0, acc_bias: 0.0, updates: 0 }
     }
 
     /// Raw score of the *current* (non-averaged) weights.
@@ -42,10 +36,8 @@ impl Perceptron {
             return 0.0;
         }
         let n = self.updates as f64;
-        let avg: f64 = features
-            .iter()
-            .map(|&f| self.weights[f as usize] - self.acc[f as usize] / n)
-            .sum();
+        let avg: f64 =
+            features.iter().map(|&f| self.weights[f as usize] - self.acc[f as usize] / n).sum();
         avg + (self.bias - self.acc_bias / n)
     }
 
@@ -114,8 +106,7 @@ impl LogisticRegression {
     /// Predicted probability of the positive class.
     #[must_use]
     pub fn probability(&self, features: &[u32]) -> f64 {
-        let z: f64 =
-            features.iter().map(|&f| self.weights[f as usize]).sum::<f64>() + self.bias;
+        let z: f64 = features.iter().map(|&f| self.weights[f as usize]).sum::<f64>() + self.bias;
         1.0 / (1.0 + (-z).exp())
     }
 

@@ -158,8 +158,7 @@ mod tests {
     fn zero_bit_pipeline_learns_topics() {
         let train = corpus(300, 1);
         let test = corpus(120, 2);
-        let mut clf = SketchClassifier::new(ZeroBitCws::new(5, 128), 5, 4096)
-            .expect("valid dim");
+        let mut clf = SketchClassifier::new(ZeroBitCws::new(5, 128), 5, 4096).expect("valid dim");
         clf.fit(&train, 12).expect("trainable");
         let acc = clf.accuracy(&test).expect("evaluable");
         assert!(acc > 0.9, "test accuracy {acc}");
@@ -168,8 +167,7 @@ mod tests {
     #[test]
     fn pipeline_probabilities_are_calibrated_directionally() {
         let train = corpus(300, 3);
-        let mut clf = SketchClassifier::new(ZeroBitCws::new(7, 128), 7, 4096)
-            .expect("valid dim");
+        let mut clf = SketchClassifier::new(ZeroBitCws::new(7, 128), 7, 4096).expect("valid dim");
         clf.fit(&train, 12).expect("trainable");
         // Strongly class-A and class-B documents.
         let a = WeightedSet::from_pairs((0..30u64).map(|k| (k, 2.0))).expect("valid");
@@ -184,10 +182,7 @@ mod tests {
     fn empty_documents_error_cleanly() {
         let mut clf = SketchClassifier::new(ZeroBitCws::new(1, 16), 1, 64).expect("valid");
         let empty = WeightedSet::empty();
-        assert!(matches!(
-            clf.predict(&empty),
-            Err(PipelineError::Sketch(SketchError::EmptySet))
-        ));
+        assert!(matches!(clf.predict(&empty), Err(PipelineError::Sketch(SketchError::EmptySet))));
         assert!(clf.fit(&[(empty, true)], 1).is_err());
     }
 

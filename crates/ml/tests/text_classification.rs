@@ -24,8 +24,7 @@ fn corpus(docs_per_topic: usize, seed: u64) -> Vec<(WeightedSet, bool)> {
 fn zero_bit_cws_classifies_zipf_topics() {
     let train = corpus(120, 1);
     let test = corpus(50, 2);
-    let mut clf =
-        SketchClassifier::new(ZeroBitCws::new(3, 128), 3, 8192).expect("valid dim");
+    let mut clf = SketchClassifier::new(ZeroBitCws::new(3, 128), 3, 8192).expect("valid dim");
     clf.fit(&train, 10).expect("trainable");
     let acc = clf.accuracy(&test).expect("evaluable");
     assert!(acc > 0.9, "0-bit CWS accuracy {acc}");
@@ -45,10 +44,7 @@ fn icws_codes_also_work_as_features() {
         fn num_hashes(&self) -> usize {
             self.0.num_hashes()
         }
-        fn sketch(
-            &self,
-            set: &WeightedSet,
-        ) -> Result<wmh_core::Sketch, wmh_core::SketchError> {
+        fn sketch(&self, set: &WeightedSet) -> Result<wmh_core::Sketch, wmh_core::SketchError> {
             self.0.sketch(set)
         }
     }
@@ -76,8 +72,7 @@ fn oph_features_degrade_gracefully_on_weight_heavy_topics() {
     oph_clf.fit(&train, 10).expect("trainable");
     let oph_acc = oph_clf.accuracy(&test).expect("evaluable");
 
-    let mut zb_clf =
-        SketchClassifier::new(ZeroBitCws::new(7, 128), 7, 8192).expect("valid dim");
+    let mut zb_clf = SketchClassifier::new(ZeroBitCws::new(7, 128), 7, 8192).expect("valid dim");
     zb_clf.fit(&train, 10).expect("trainable");
     let zb_acc = zb_clf.accuracy(&test).expect("evaluable");
 
@@ -92,10 +87,7 @@ fn oph_features_degrade_gracefully_on_weight_heavy_topics() {
         fn num_hashes(&self) -> usize {
             128
         }
-        fn sketch(
-            &self,
-            set: &WeightedSet,
-        ) -> Result<wmh_core::Sketch, wmh_core::SketchError> {
+        fn sketch(&self, set: &WeightedSet) -> Result<wmh_core::Sketch, wmh_core::SketchError> {
             self.0.sketch(set)
         }
     }

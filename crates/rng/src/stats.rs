@@ -44,11 +44,7 @@ pub fn mse(estimates: &[f64], truths: &[f64]) -> f64 {
     if estimates.is_empty() {
         return 0.0;
     }
-    estimates
-        .iter()
-        .zip(truths)
-        .map(|(e, t)| (e - t) * (e - t))
-        .sum::<f64>()
+    estimates.iter().zip(truths).map(|(e, t)| (e - t) * (e - t)).sum::<f64>()
         / estimates.len() as f64
 }
 
@@ -90,8 +86,7 @@ pub fn ks_pvalue(d: f64, n: usize) -> f64 {
         let mut cdf = 0.0f64;
         for k in 1..=20u32 {
             let m = f64::from(2 * k - 1);
-            cdf += (-m * m * std::f64::consts::PI * std::f64::consts::PI
-                / (8.0 * lambda * lambda))
+            cdf += (-m * m * std::f64::consts::PI * std::f64::consts::PI / (8.0 * lambda * lambda))
                 .exp();
         }
         cdf *= (2.0 * std::f64::consts::PI).sqrt() / lambda;
@@ -138,8 +133,7 @@ pub fn chi_square_uniform_pvalue(counts: &[u32]) -> f64 {
     let stat = chi_square_uniform(counts);
     let dof = (k - 1) as f64;
     // Wilson–Hilferty: (X/dof)^(1/3) ≈ Normal(1 − 2/(9 dof), 2/(9 dof)).
-    let z = ((stat / dof).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof)))
-        / (2.0 / (9.0 * dof)).sqrt();
+    let z = ((stat / dof).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof))) / (2.0 / (9.0 * dof)).sqrt();
     1.0 - standard_normal_cdf(z)
 }
 
@@ -151,7 +145,8 @@ pub fn standard_normal_cdf(z: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf_abs = 1.0 - poly * (-x * x).exp();
     let erf = if x >= 0.0 { erf_abs } else { -erf_abs };
     0.5 * (1.0 + erf)

@@ -1,89 +1,119 @@
-//! Property-based tests of the randomness layer.
+//! Property-based tests of the randomness layer (`wmh-check` driven).
 
-use proptest::prelude::*;
+use wmh_check::{ensure, run_cases};
 use wmh_rng::dist::{
     beta21_from_unit, cauchy_from_unit, exp_from_unit, gamma21_from_units, geometric_from_unit,
     normal_from_units, pareto_from_unit, Zipf,
 };
 use wmh_rng::{Prng, SplitMix64, Xoshiro256pp};
 
-/// Strategy: a uniform strictly inside (0, 1).
-fn unit() -> impl Strategy<Value = f64> {
-    (1e-12f64..1.0 - 1e-12).prop_map(|x| x)
+/// A uniform strictly inside (0, 1).
+fn unit(g: &mut wmh_check::Gen) -> f64 {
+    g.range_f64(1e-12, 1.0 - 1e-12)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn inverse_cdf_transforms_have_correct_supports(u1 in unit(), u2 in unit(),
-                                                    rate in 1e-6f64..1e6,
-                                                    alpha in 0.5f64..10.0,
-                                                    scale in 1e-6f64..1e6) {
-        prop_assert!(exp_from_unit(u1, rate) > 0.0);
-        prop_assert!(gamma21_from_units(u1, u2) > 0.0);
+#[test]
+fn inverse_cdf_transforms_have_correct_supports() {
+    run_cases(512, |g| {
+        let (u1, u2) = (unit(g), unit(g));
+        let rate = g.log_uniform(-6.0, 6.0);
+        let alpha = g.range_f64(0.5, 10.0);
+        let scale = g.log_uniform(-6.0, 6.0);
+        ensure!(exp_from_unit(u1, rate) > 0.0, "exp support");
+        ensure!(gamma21_from_units(u1, u2) > 0.0, "gamma support");
         let b = beta21_from_unit(u1);
-        prop_assert!(b > 0.0 && b < 1.0);
+        ensure!(b > 0.0 && b < 1.0, "beta support: {b}");
         let p = pareto_from_unit(u1, alpha, scale);
-        prop_assert!(p >= scale);
-        prop_assert!(normal_from_units(u1, u2).is_finite());
-        prop_assert!(cauchy_from_unit(u1).is_finite());
-    }
+        ensure!(p >= scale, "pareto below scale: {p} < {scale}");
+        ensure!(normal_from_units(u1, u2).is_finite(), "normal not finite");
+        ensure!(cauchy_from_unit(u1).is_finite(), "cauchy not finite");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn inverse_cdfs_are_monotone(u1 in unit(), u2 in unit(), rate in 0.01f64..100.0) {
+#[test]
+fn inverse_cdfs_are_monotone() {
+    run_cases(512, |g| {
+        let (u1, u2) = (unit(g), unit(g));
+        let rate = g.log_uniform(-2.0, 2.0);
         let (lo, hi) = if u1 < u2 { (u1, u2) } else { (u2, u1) };
         if lo < hi {
             // Exp inverse CDF via -ln(u) is *decreasing* in u.
-            prop_assert!(exp_from_unit(lo, rate) >= exp_from_unit(hi, rate));
-            prop_assert!(beta21_from_unit(lo) <= beta21_from_unit(hi));
+            ensure!(exp_from_unit(lo, rate) >= exp_from_unit(hi, rate), "exp not decreasing");
+            ensure!(beta21_from_unit(lo) <= beta21_from_unit(hi), "beta not increasing");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn geometric_saturates_not_panics(u in unit(), p in 1e-300f64..1.0) {
-        let g = geometric_from_unit(u, p);
+#[test]
+fn geometric_saturates_not_panics() {
+    run_cases(512, |g| {
+        let u = unit(g);
+        let p = g.log_uniform(-300.0, 0.0).min(1.0 - 1e-16);
         // Just exercising the full parameter space: no panic, defined value.
-        prop_assert!(g <= u64::MAX);
-    }
+        let _ = geometric_from_unit(u, p);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn prng_streams_are_reproducible(seed in any::<u64>()) {
+#[test]
+fn prng_streams_are_reproducible() {
+    run_cases(512, |g| {
+        let seed = g.u64();
         let mut a = Xoshiro256pp::new(seed);
         let mut b = Xoshiro256pp::new(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            ensure!(a.next_u64() == b.next_u64(), "xoshiro streams diverge for {seed}");
         }
         let mut c = SplitMix64::new(seed);
         let mut d = SplitMix64::new(seed);
-        prop_assert_eq!(c.next_u64(), d.next_u64());
-    }
+        ensure!(c.next_u64() == d.next_u64(), "splitmix streams diverge for {seed}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn next_below_always_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
-        let mut g = SplitMix64::new(seed);
+#[test]
+fn next_below_always_in_range() {
+    run_cases(512, |g| {
+        let seed = g.u64();
+        let bound = g.range_u64(1, u64::MAX - 1);
+        let mut r = SplitMix64::new(seed);
         for _ in 0..8 {
-            prop_assert!(g.next_below(bound) < bound);
+            ensure!(r.next_below(bound) < bound, "next_below escaped {bound}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sample_distinct_is_sorted_distinct_in_range(seed in any::<u64>(), n in 1u64..10_000, frac in 0.0f64..1.0) {
+#[test]
+fn sample_distinct_is_sorted_distinct_in_range() {
+    run_cases(512, |g| {
+        let seed = g.u64();
+        let n = g.range_u64(1, 9_999);
+        let frac = g.unit();
         let k = ((n as f64 * frac) as usize).min(n as usize);
-        let mut g = Xoshiro256pp::new(seed);
-        let s = g.sample_distinct(n, k);
-        prop_assert_eq!(s.len(), k);
-        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(s.iter().all(|&x| x < n));
-    }
+        let mut r = Xoshiro256pp::new(seed);
+        let s = r.sample_distinct(n, k);
+        ensure!(s.len() == k, "len {} != k {k}", s.len());
+        ensure!(s.windows(2).all(|w| w[0] < w[1]), "not sorted distinct");
+        ensure!(s.iter().all(|&x| x < n), "sample escapes range {n}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn zipf_samples_in_support(seed in any::<u64>(), n in 1usize..500, s in 0.0f64..3.0) {
+#[test]
+fn zipf_samples_in_support() {
+    run_cases(512, |g| {
+        let seed = g.u64();
+        let n = g.range_usize(1, 499);
+        let s = g.range_f64(0.0, 3.0);
         let z = Zipf::new(n, s).expect("valid");
-        let mut g = Xoshiro256pp::new(seed);
+        let mut r = Xoshiro256pp::new(seed);
         for _ in 0..8 {
-            let r = z.sample(&mut g);
-            prop_assert!((1..=n).contains(&r));
+            let x = z.sample(&mut r);
+            ensure!((1..=n).contains(&x), "zipf sample {x} outside 1..={n}");
         }
-    }
+        Ok(())
+    });
 }

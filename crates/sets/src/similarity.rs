@@ -196,9 +196,7 @@ mod tests {
         // Scaling *both* sets leaves Eq. 2 unchanged.
         let s2 = s.scaled(10.0).expect("valid");
         let t2 = t.scaled(10.0).expect("valid");
-        assert!(
-            (generalized_jaccard(&s, &t) - generalized_jaccard(&s2, &t2)).abs() < 1e-12
-        );
+        assert!((generalized_jaccard(&s, &t) - generalized_jaccard(&s2, &t2)).abs() < 1e-12);
     }
 
     #[test]

@@ -1,18 +1,18 @@
 //! The sparse weighted-set representation.
 
-use serde::{Deserialize, Serialize};
-
 /// A weighted set: a sparse vector with strictly positive finite weights on
 /// distinct element indices (paper §2.2 — elements of `U − S` implicitly
 /// carry weight 0).
 ///
 /// Stored as sorted parallel arrays (struct-of-arrays) so that the pairwise
 /// merge loops of Eq. 2 and the sketching hot loops stream through memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightedSet {
     indices: Vec<u64>,
     weights: Vec<f64>,
 }
+
+wmh_json::json_object!(WeightedSet { indices, weights });
 
 /// Validation errors for [`WeightedSet`] construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,10 +56,7 @@ impl WeightedSet {
     /// The empty set.
     #[must_use]
     pub fn empty() -> Self {
-        Self {
-            indices: Vec::new(),
-            weights: Vec::new(),
-        }
+        Self { indices: Vec::new(), weights: Vec::new() }
     }
 
     /// Build from `(index, weight)` pairs in any order.
@@ -216,10 +213,7 @@ impl WeightedSet {
     /// MinHash sees when handed a weighted set — paper §6.2 method 1).
     #[must_use]
     pub fn binarized(&self) -> Self {
-        Self {
-            indices: self.indices.clone(),
-            weights: vec![1.0; self.weights.len()],
-        }
+        Self { indices: self.indices.clone(), weights: vec![1.0; self.weights.len()] }
     }
 
     /// Euclidean norm.
@@ -250,10 +244,7 @@ impl WeightedSet {
     /// of negligible terms). The empty result is allowed.
     #[must_use]
     pub fn pruned_below(&self, threshold: f64) -> Self {
-        let (indices, weights) = self
-            .iter()
-            .filter(|&(_, w)| w >= threshold)
-            .unzip();
+        let (indices, weights) = self.iter().filter(|&(_, w)| w >= threshold).unzip();
         Self { indices, weights }
     }
 
@@ -401,8 +392,7 @@ mod tests {
 
     #[test]
     fn pruning_and_top_k() {
-        let s = WeightedSet::from_pairs([(1, 0.1), (2, 0.5), (3, 0.9), (4, 0.5)])
-            .expect("valid");
+        let s = WeightedSet::from_pairs([(1, 0.1), (2, 0.5), (3, 0.9), (4, 0.5)]).expect("valid");
         let p = s.pruned_below(0.5);
         assert_eq!(p.indices(), &[2, 3, 4]);
         let t = s.top_k(2);
@@ -415,8 +405,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let s = WeightedSet::from_pairs([(1, 0.25), (1_000_000_007, 7.5)]).expect("valid");
-        let json = serde_json::to_string(&s).expect("serialize");
-        let back: WeightedSet = serde_json::from_str(&json).expect("deserialize");
+        let json = wmh_json::to_string(&s);
+        let back: WeightedSet = wmh_json::from_str(&json).expect("deserialize");
         assert_eq!(s, back);
     }
 }

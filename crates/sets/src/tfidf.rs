@@ -30,9 +30,7 @@ pub fn char_shingles(text: &str, n: usize) -> Vec<String> {
     if chars.len() <= n {
         return vec![chars.iter().collect()];
     }
-    (0..=chars.len() - n)
-        .map(|i| chars[i..i + n].iter().collect())
-        .collect()
+    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
 }
 
 /// Raw term-frequency weighted set of one document.
@@ -120,9 +118,7 @@ impl TfIdfCorpus {
     /// tf-idf sets for all documents.
     #[must_use]
     pub fn tfidf_all(&self) -> Vec<WeightedSet> {
-        (0..self.len())
-            .map(|d| self.tfidf(d).expect("in range"))
-            .collect()
+        (0..self.len()).map(|d| self.tfidf(d).expect("in range")).collect()
     }
 }
 

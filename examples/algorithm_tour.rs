@@ -17,10 +17,8 @@ fn main() {
     let cfg = SynConfig { docs: 60, features: 2_000, density: 0.03, exponent: 3.0, scale: 0.24 };
     let ds = cfg.generate(9).expect("valid config");
     let pairs = sample_pairs(ds.docs.len(), 200, 9);
-    let truths: Vec<f64> = pairs
-        .iter()
-        .map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j]))
-        .collect();
+    let truths: Vec<f64> =
+        pairs.iter().map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j])).collect();
     println!(
         "dataset {}: {} docs, mean pair similarity {:.4}\n",
         ds.name,
@@ -43,16 +41,11 @@ fn main() {
     for algo in Algorithm::ALL {
         let sketcher = algo.build(1, d, &config).expect("buildable");
         let start = Instant::now();
-        let sketches: Vec<_> = ds
-            .docs
-            .iter()
-            .map(|doc| sketcher.sketch(doc).expect("sketchable"))
-            .collect();
+        let sketches: Vec<_> =
+            ds.docs.iter().map(|doc| sketcher.sketch(doc).expect("sketchable")).collect();
         let secs = start.elapsed().as_secs_f64();
-        let ests: Vec<f64> = pairs
-            .iter()
-            .map(|&(i, j)| sketches[i].estimate_similarity(&sketches[j]))
-            .collect();
+        let ests: Vec<f64> =
+            pairs.iter().map(|&(i, j)| sketches[i].estimate_similarity(&sketches[j])).collect();
         let info = algo.info();
         println!(
             "{:<24} {:<34} {:>10.3e} {:>9.3} {:>9}",

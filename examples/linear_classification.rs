@@ -41,8 +41,8 @@ fn main() {
     let test = corpus(200, 2);
     let (d, dim, epochs) = (128, 8192, 15);
 
-    let mut weighted = SketchClassifier::new(ZeroBitCws::new(9, d), 9, dim)
-        .expect("valid dimension");
+    let mut weighted =
+        SketchClassifier::new(ZeroBitCws::new(9, d), 9, dim).expect("valid dimension");
     weighted.fit(&train, epochs).expect("trainable");
     let weighted_acc = weighted.accuracy(&test).expect("evaluable");
 

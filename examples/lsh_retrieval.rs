@@ -29,8 +29,8 @@ fn main() {
     }
 
     let bands = Bands::new(24, 3).expect("valid banding");
-    let mut index = LshIndex::new(Icws::new(3, bands.total_hashes()), bands)
-        .expect("bands fit the sketcher");
+    let mut index =
+        LshIndex::new(Icws::new(3, bands.total_hashes()), bands).expect("bands fit the sketcher");
     for (id, d) in docs.iter().enumerate() {
         index.insert(id as u64, d).expect("non-empty");
     }
@@ -56,12 +56,7 @@ fn main() {
         recalls.push(recall(&approx, &exact));
         cand_counts.push(index.candidates(query).expect("query works").len());
         if i < 5 {
-            println!(
-                "query {:>3}: exact R-NN {:?}, LSH R-NN {:?}",
-                n_base + i,
-                exact,
-                approx
-            );
+            println!("query {:>3}: exact R-NN {:?}, LSH R-NN {:?}", n_base + i, exact, approx);
         }
     }
 

@@ -17,8 +17,8 @@ use wmh::sets::{generalized_jaccard, jaccard, WeightedSet};
 
 fn main() {
     // Same 60 terms, rotated tf-style weights {1, 2, 3}.
-    let s = WeightedSet::from_pairs((0..60u64).map(|k| (k, 1.0 + (k % 3) as f64)))
-        .expect("valid set");
+    let s =
+        WeightedSet::from_pairs((0..60u64).map(|k| (k, 1.0 + (k % 3) as f64))).expect("valid set");
     let t = WeightedSet::from_pairs((0..60u64).map(|k| (k, 1.0 + ((k + 1) % 3) as f64)))
         .expect("valid set");
 
@@ -38,11 +38,7 @@ fn main() {
     println!("{:<28}: {:.4}", "CWS", estimate(&Cws::new(seed, d)));
     println!("{:<28}: {:.4}", "ICWS", estimate(&Icws::new(seed, d)));
     println!("{:<28}: {:.4}", "PCWS", estimate(&Pcws::new(seed, d)));
-    println!(
-        "{:<28}: {:.4}",
-        "MinHash (weights discarded)",
-        estimate(&MinHash::new(seed, d))
-    );
+    println!("{:<28}: {:.4}", "MinHash (weights discarded)", estimate(&MinHash::new(seed, d)));
 
     println!(
         "\nMinHash sees identical supports and says 1.0; the weighted algorithms \

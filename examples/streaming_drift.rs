@@ -32,10 +32,8 @@ fn run(lambda: f64) -> Vec<(usize, f64, f64)> {
                 b.add(2_000 + item, 1.0).expect("valid mass");
             }
         }
-        let est = a
-            .sketch()
-            .expect("non-empty")
-            .estimate_similarity(&b.sketch().expect("non-empty"));
+        let est =
+            a.sketch().expect("non-empty").estimate_similarity(&b.sketch().expect("non-empty"));
         let exact = generalized_jaccard(
             &a.histogram().expect("non-empty"),
             &b.histogram().expect("non-empty"),

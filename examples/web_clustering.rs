@@ -21,9 +21,8 @@ fn main() {
     let mut docs: Vec<WeightedSet> = Vec::new();
     let mut truth: Vec<usize> = Vec::new(); // planted group id per doc
     for g in 0..40u64 {
-        let base: Vec<(u64, f64)> = (0..80)
-            .map(|i| (g * 10_000 + i, 1.0 + (rng.next_f64() * 3.0)))
-            .collect();
+        let base: Vec<(u64, f64)> =
+            (0..80).map(|i| (g * 10_000 + i, 1.0 + (rng.next_f64() * 3.0))).collect();
         let variants = 2 + rng.next_below(4) as usize;
         for v in 0..variants {
             let pairs: Vec<(u64, f64)> = base

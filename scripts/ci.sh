@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Pre-PR gate: build, test, format, lint. Everything here is offline-safe —
+# the workspace has no registry dependencies (wmh-bench, which pulls
+# criterion, lives in its own excluded workspace under crates/bench/).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release --workspace
+run cargo test --workspace -q
+
+# Formatting and lints are advisory if the components are not installed
+# (minimal toolchains ship without rustfmt/clippy).
+if cargo fmt --version >/dev/null 2>&1; then
+  run cargo fmt --all -- --check
+else
+  echo "==> skipping cargo fmt (rustfmt not installed)"
+fi
+if cargo clippy --version >/dev/null 2>&1; then
+  run cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "==> skipping cargo clippy (clippy not installed)"
+fi
+
+echo "CI gate passed."

@@ -48,3 +48,6 @@ pub use wmh_eval as eval;
 
 /// Sketch-based feature maps and linear learners ([`wmh_ml`]).
 pub use wmh_ml as ml;
+
+/// Dependency-free JSON encoding used across the workspace ([`wmh_json`]).
+pub use wmh_json as json;

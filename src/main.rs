@@ -36,10 +36,7 @@ fn run() -> Result<(), String> {
         return Err(usage());
     };
     let flag = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
     };
     match cmd.as_str() {
         "algorithms" => {
@@ -63,12 +60,10 @@ fn run() -> Result<(), String> {
             let sketcher = build(algo, seed, hashes, &sets)?;
             let mut out: BTreeMap<String, Vec<u64>> = BTreeMap::new();
             for (name, set) in &sets {
-                let sk = sketcher
-                    .sketch(set)
-                    .map_err(|e| format!("sketching {name:?}: {e}"))?;
+                let sk = sketcher.sketch(set).map_err(|e| format!("sketching {name:?}: {e}"))?;
                 out.insert(name.clone(), sk.codes);
             }
-            let json = serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?;
+            let json = wmh_json::to_string_pretty(&out);
             match flag("--output") {
                 Some(path) => {
                     std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
@@ -95,7 +90,13 @@ fn run() -> Result<(), String> {
                         .map_err(|e| format!("sketching {name:?}: {e}"))
                 })
                 .collect::<Result<_, _>>()?;
-            println!("{:<20} {:<20} {:>10} {}", "doc A", "doc B", "estimate", if exact { "exact" } else { "" });
+            println!(
+                "{:<20} {:<20} {:>10} {}",
+                "doc A",
+                "doc B",
+                "estimate",
+                if exact { "exact" } else { "" }
+            );
             for i in 0..sketches.len() {
                 for j in (i + 1)..sketches.len() {
                     let est = sketches[i].1.estimate_similarity(&sketches[j].1);
@@ -159,7 +160,7 @@ fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
 
 fn load_docs(path: &str) -> Result<DocMap, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+    wmh_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
 fn to_sets(docs: &DocMap) -> Result<Vec<(String, WeightedSet)>, String> {
@@ -169,9 +170,7 @@ fn to_sets(docs: &DocMap) -> Result<Vec<(String, WeightedSet)>, String> {
             // keep their value so results are human-checkable.
             let oracle = wmh::hash::SeededHash::new(0x0D0C);
             let pairs = elems.iter().map(|(key, &w)| {
-                let idx = key
-                    .parse::<u64>()
-                    .unwrap_or_else(|_| oracle.hash_bytes(key.as_bytes()));
+                let idx = key.parse::<u64>().unwrap_or_else(|_| oracle.hash_bytes(key.as_bytes()));
                 (idx, w)
             });
             WeightedSet::from_pairs(pairs)

@@ -46,16 +46,12 @@ fn estimate_reports_expected_similarities() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     // alpha vs alpha2 are identical: estimate = 1.
-    let dup_line = text
-        .lines()
-        .find(|l| l.contains("alpha") && l.contains("alpha2"))
-        .expect("pair line");
+    let dup_line =
+        text.lines().find(|l| l.contains("alpha") && l.contains("alpha2")).expect("pair line");
     assert!(dup_line.contains("1.0000"), "{dup_line}");
     // alpha vs beta are disjoint: estimate ≈ 0.
-    let disjoint = text
-        .lines()
-        .find(|l| l.contains("alpha ") && l.contains("beta"))
-        .expect("pair line");
+    let disjoint =
+        text.lines().find(|l| l.contains("alpha ") && l.contains("beta")).expect("pair line");
     assert!(disjoint.contains("0.00"), "{disjoint}");
 }
 
@@ -74,7 +70,7 @@ fn sketch_writes_fingerprints() {
         .expect("spawn");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let parsed: std::collections::BTreeMap<String, Vec<u64>> =
-        serde_json::from_str(&std::fs::read_to_string(&out_path).expect("read")).expect("json");
+        wmh_json::from_str(&std::fs::read_to_string(&out_path).expect("read")).expect("json");
     assert_eq!(parsed.len(), 4);
     assert!(parsed.values().all(|codes| codes.len() == 64));
     // Identical documents produce identical fingerprints.
@@ -105,10 +101,8 @@ fn bad_inputs_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
 
-    let out = wmh()
-        .args(["estimate", "--input", "/definitely/missing.json"])
-        .output()
-        .expect("spawn");
+    let out =
+        wmh().args(["estimate", "--input", "/definitely/missing.json"]).output().expect("spawn");
     assert!(!out.status.success());
 
     let dir = std::env::temp_dir().join("wmh_cli_bad");

@@ -56,20 +56,11 @@ fn estimates_are_scale_covariant() {
         .expect("valid");
     for algo in [Algorithm::Cws, Algorithm::Icws, Algorithm::Pcws] {
         let sk = algo.build(43, d, &ic_config()).expect("buildable");
-        let base = sk
-            .sketch(&s)
-            .expect("ok")
-            .estimate_similarity(&sk.sketch(&t).expect("ok"));
+        let base = sk.sketch(&s).expect("ok").estimate_similarity(&sk.sketch(&t).expect("ok"));
         let s4 = s.scaled(4.0).expect("valid factor");
         let t4 = t.scaled(4.0).expect("valid factor");
-        let scaled = sk
-            .sketch(&s4)
-            .expect("ok")
-            .estimate_similarity(&sk.sketch(&t4).expect("ok"));
-        assert!(
-            (base - scaled).abs() < 0.05,
-            "{algo:?}: base {base} vs x4 {scaled}"
-        );
+        let scaled = sk.sketch(&s4).expect("ok").estimate_similarity(&sk.sketch(&t4).expect("ok"));
+        assert!((base - scaled).abs() < 0.05, "{algo:?}: base {base} vs x4 {scaled}");
     }
 }
 
@@ -80,8 +71,7 @@ fn estimates_are_scale_covariant() {
 fn icws_sketch_stable_under_in_window_weight_changes() {
     let d = 256;
     let icws = Icws::new(47, d);
-    let s = WeightedSet::from_pairs((0..20u64).map(|k| (k, 1.0 + (k % 4) as f64)))
-        .expect("valid");
+    let s = WeightedSet::from_pairs((0..20u64).map(|k| (k, 1.0 + (k % 4) as f64))).expect("valid");
     let base = icws.sketch(&s).expect("ok");
     // Perturb every weight by a hair (well within each element's window for
     // almost all (d, k); collisions must survive almost everywhere).
@@ -94,8 +84,7 @@ fn icws_sketch_stable_under_in_window_weight_changes() {
 /// Different seeds decorrelate fingerprints entirely.
 #[test]
 fn different_seeds_give_independent_sketches() {
-    let s = WeightedSet::from_pairs((0..30u64).map(|k| (k, 1.0 + (k % 3) as f64)))
-        .expect("valid");
+    let s = WeightedSet::from_pairs((0..30u64).map(|k| (k, 1.0 + (k % 3) as f64))).expect("valid");
     let a = Icws::new(1, 512).sketch(&s).expect("ok");
     let b = Icws::new(2, 512).sketch(&s).expect("ok");
     assert!(a.try_estimate_similarity(&b).is_err(), "cross-seed comparison must fail");
@@ -103,10 +92,7 @@ fn different_seeds_give_independent_sketches() {
     // agree occasionally by chance (≈ Σ p_k² · P(same step) ≈ 3% here);
     // what must NOT happen is wholesale agreement.
     let matches = a.codes.iter().zip(&b.codes).filter(|(x, y)| x == y).count();
-    assert!(
-        matches < 512 / 5,
-        "seeds leak: {matches} of 512 codes shared"
-    );
+    assert!(matches < 512 / 5, "seeds leak: {matches} of 512 codes shared");
 }
 
 /// The whole 13-algorithm factory produces deterministic sketches: building
@@ -116,8 +102,7 @@ fn factory_sketches_are_reproducible() {
     let s = WeightedSet::from_pairs((0..25u64).map(|k| (k, 0.2 + (k % 6) as f64 * 0.5)))
         .expect("valid");
     let mut config = ic_config();
-    config.upper_bounds =
-        Some(wmh::core::others::UpperBounds::from_sets([&s]).expect("non-empty"));
+    config.upper_bounds = Some(wmh::core::others::UpperBounds::from_sets([&s]).expect("non-empty"));
     for algo in Algorithm::ALL {
         let a = algo.build(53, 64, &config).expect("buildable").sketch(&s).expect("ok");
         let b = algo.build(53, 64, &config).expect("buildable").sketch(&s).expect("ok");

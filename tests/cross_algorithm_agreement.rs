@@ -11,10 +11,7 @@ use wmh::sets::generalized_jaccard;
 
 /// The theoretically exact estimators (catalog `unbiased == true`).
 fn exact_algorithms() -> Vec<Algorithm> {
-    Algorithm::ALL
-        .into_iter()
-        .filter(|a| a.info().unbiased)
-        .collect()
+    Algorithm::ALL.into_iter().filter(|a| a.info().unbiased).collect()
 }
 
 #[test]
@@ -28,17 +25,11 @@ fn exact_estimators_correlate_across_pairs() {
         .enumerate()
         .map(|(i, &t)| wmh::data::pairs::controlled_pair(t, 25, (i as u64) * 10_000))
         .collect();
-    let truths: Vec<f64> = battery
-        .iter()
-        .map(|(s, t)| generalized_jaccard(s, t))
-        .collect();
-    let all_sets: Vec<&wmh::sets::WeightedSet> =
-        battery.iter().flat_map(|(s, t)| [s, t]).collect();
+    let truths: Vec<f64> = battery.iter().map(|(s, t)| generalized_jaccard(s, t)).collect();
+    let all_sets: Vec<&wmh::sets::WeightedSet> = battery.iter().flat_map(|(s, t)| [s, t]).collect();
     let config = AlgorithmConfig {
         quantization_constant: 300.0,
-        upper_bounds: Some(
-            UpperBounds::from_sets(all_sets.iter().copied()).expect("non-empty"),
-        ),
+        upper_bounds: Some(UpperBounds::from_sets(all_sets.iter().copied()).expect("non-empty")),
         max_rejection_draws: 5_000_000,
         ccws_weight_scale: 10.0,
     };
@@ -65,12 +56,7 @@ fn exact_estimators_correlate_across_pairs() {
     for i in 0..estimates.len() {
         for j in (i + 1)..estimates.len() {
             let rho = pearson(&estimates[i].1, &estimates[j].1);
-            assert!(
-                rho > 0.99,
-                "{} vs {}: corr {rho}",
-                estimates[i].0,
-                estimates[j].0
-            );
+            assert!(rho > 0.99, "{} vs {}: corr {rho}", estimates[i].0, estimates[j].0);
         }
     }
 }
@@ -82,10 +68,8 @@ fn exact_estimators_have_matching_error_scales() {
     let cfg = SynConfig { docs: 30, features: 1_000, density: 0.06, exponent: 3.0, scale: 0.24 };
     let ds = cfg.generate(78).expect("valid");
     let pairs = wmh::data::pairs::sample_pairs(ds.docs.len(), 100, 78);
-    let truths: Vec<f64> = pairs
-        .iter()
-        .map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j]))
-        .collect();
+    let truths: Vec<f64> =
+        pairs.iter().map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j])).collect();
     let config = AlgorithmConfig {
         quantization_constant: 300.0,
         upper_bounds: Some(UpperBounds::from_sets(ds.docs.iter()).expect("non-empty")),
@@ -96,11 +80,8 @@ fn exact_estimators_have_matching_error_scales() {
     let mut rmses = Vec::new();
     for algo in exact_algorithms() {
         let sk = algo.build(9, d, &config).expect("buildable");
-        let sketches: Vec<_> = ds
-            .docs
-            .iter()
-            .map(|doc| sk.sketch(doc).expect("sketchable"))
-            .collect();
+        let sketches: Vec<_> =
+            ds.docs.iter().map(|doc| sk.sketch(doc).expect("sketchable")).collect();
         let mse: f64 = pairs
             .iter()
             .enumerate()
@@ -114,8 +95,5 @@ fn exact_estimators_have_matching_error_scales() {
     }
     let min = rmses.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
     let max = rmses.iter().map(|&(_, r)| r).fold(0.0, f64::max);
-    assert!(
-        max < 2.0 * min,
-        "exact estimators should share an error scale: {rmses:?}"
-    );
+    assert!(max < 2.0 * min, "exact estimators should share an error scale: {rmses:?}");
 }

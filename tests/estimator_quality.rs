@@ -95,20 +95,15 @@ fn mean_signed_error_is_small_on_synthetic_data() {
     let cfg = SynConfig { docs: 40, features: 1_200, density: 0.05, exponent: 3.0, scale: 0.24 };
     let ds = cfg.generate(31).expect("valid");
     let pairs = wmh::data::pairs::sample_pairs(ds.docs.len(), 150, 31);
-    let truths: Vec<f64> = pairs
-        .iter()
-        .map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j]))
-        .collect();
+    let truths: Vec<f64> =
+        pairs.iter().map(|&(i, j)| generalized_jaccard(&ds.docs[i], &ds.docs[j])).collect();
     let refs: Vec<&wmh::sets::WeightedSet> = ds.docs.iter().collect();
     let config = config_for(&refs);
     let d = 512;
     for algo in [Algorithm::Icws, Algorithm::Cws, Algorithm::Shrivastava2016] {
         let sk = algo.build(37, d, &config).expect("buildable");
-        let sketches: Vec<_> = ds
-            .docs
-            .iter()
-            .map(|doc| sk.sketch(doc).expect("sketchable"))
-            .collect();
+        let sketches: Vec<_> =
+            ds.docs.iter().map(|doc| sk.sketch(doc).expect("sketchable")).collect();
         let mean_err: f64 = pairs
             .iter()
             .enumerate()

@@ -64,16 +64,10 @@ fn shrivastava_bound_violations_are_typed_errors() {
     let sh = Shrivastava::new(3, 8, bounds);
     // Streamed data exceeding the pre-scan.
     let over = WeightedSet::from_pairs([(1, 1.5)]).expect("valid");
-    assert!(matches!(
-        sh.sketch(&over),
-        Err(SketchError::WeightExceedsBound { element: 1, .. })
-    ));
+    assert!(matches!(sh.sketch(&over), Err(SketchError::WeightExceedsBound { element: 1, .. })));
     // Never-seen element.
     let unseen = WeightedSet::from_pairs([(9, 0.1)]).expect("valid");
-    assert!(matches!(
-        sh.sketch(&unseen),
-        Err(SketchError::WeightExceedsBound { element: 9, .. })
-    ));
+    assert!(matches!(sh.sketch(&unseen), Err(SketchError::WeightExceedsBound { element: 9, .. })));
 }
 
 #[test]
@@ -114,8 +108,5 @@ fn incompatible_sketch_comparisons_fail_loudly() {
         .expect("buildable")
         .sketch(&s)
         .expect("ok");
-    assert!(matches!(
-        a.try_estimate_similarity(&b),
-        Err(SketchError::Incompatible { .. })
-    ));
+    assert!(matches!(a.try_estimate_similarity(&b), Err(SketchError::Incompatible { .. })));
 }

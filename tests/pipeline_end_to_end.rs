@@ -30,17 +30,12 @@ fn lsh_pipeline_has_high_recall_at_low_cost() {
     let mut docs = cfg.generate(5).expect("valid").docs;
     let n_base = docs.len();
     for i in 0..10 {
-        let noisy: Vec<(u64, f64)> = docs[i]
-            .iter()
-            .enumerate()
-            .filter(|(pos, _)| pos % 8 != 0)
-            .map(|(_, p)| p)
-            .collect();
+        let noisy: Vec<(u64, f64)> =
+            docs[i].iter().enumerate().filter(|(pos, _)| pos % 8 != 0).map(|(_, p)| p).collect();
         docs.push(wmh::sets::WeightedSet::from_pairs(noisy).expect("valid"));
     }
     let bands = Bands::new(24, 3).expect("valid");
-    let mut index =
-        LshIndex::new(Icws::new(7, bands.total_hashes()), bands).expect("bands fit");
+    let mut index = LshIndex::new(Icws::new(7, bands.total_hashes()), bands).expect("bands fit");
     for (id, d) in docs.iter().enumerate() {
         index.insert(id as u64, d).expect("non-empty");
     }
@@ -48,12 +43,8 @@ fn lsh_pipeline_has_high_recall_at_low_cost() {
     let mut candidate_total = 0usize;
     for i in 0..10 {
         let q = &docs[n_base + i];
-        let approx: Vec<u64> = index
-            .query_above(q, 0.3)
-            .expect("query works")
-            .into_iter()
-            .map(|(id, _)| id)
-            .collect();
+        let approx: Vec<u64> =
+            index.query_above(q, 0.3).expect("query works").into_iter().map(|(id, _)| id).collect();
         let exact: Vec<u64> = range_neighbors(q, &docs, generalized_jaccard, 0.3)
             .into_iter()
             .map(|(i, _)| i as u64)
@@ -64,10 +55,7 @@ fn lsh_pipeline_has_high_recall_at_low_cost() {
     }
     let mean_recall = recalls.iter().sum::<f64>() / recalls.len() as f64;
     assert!(mean_recall > 0.9, "recall {mean_recall}");
-    assert!(
-        candidate_total < 10 * docs.len() / 4,
-        "candidates {candidate_total} ≈ brute force"
-    );
+    assert!(candidate_total < 10 * docs.len() / 4, "candidates {candidate_total} ≈ brute force");
 }
 
 /// The full Figure 8 machinery at test scale: all thirteen algorithms
@@ -77,7 +65,7 @@ fn lsh_pipeline_has_high_recall_at_low_cost() {
 fn figure8_machinery_full_grid() {
     let mut scale = Scale::tiny();
     scale.datasets.truncate(1);
-    let cells = runner::run_mse(&scale, &Algorithm::ALL);
+    let cells = runner::run_mse(&scale, &Algorithm::ALL).expect("runner");
     assert_eq!(cells.len(), 13 * scale.d_values.len());
     let rendered = figures::render_mse(&scale, &cells);
     for a in Algorithm::ALL {

@@ -1,124 +1,179 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! sketching invariants.
+//! Property-based tests (`wmh-check` driven) over the core data structures
+//! and the sketching invariants.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 use wmh::core::cws::Icws;
 use wmh::core::minhash::MinHash;
 use wmh::core::Sketcher;
 use wmh::sets::algebra::{element_max, element_min, element_sum};
 use wmh::sets::{generalized_jaccard, jaccard, WeightedSet};
+use wmh_check::{ensure, run_cases, Gen};
 
-/// Strategy: a small weighted set with positive finite weights.
-fn weighted_set() -> impl Strategy<Value = WeightedSet> {
-    proptest::collection::btree_map(0u64..200, 0.01f64..50.0, 1..40)
-        .prop_map(|m| WeightedSet::from_pairs(m).expect("strategy yields valid sets"))
+/// A small weighted set with positive finite weights.
+fn weighted_set(g: &mut Gen) -> WeightedSet {
+    let entries = g.range_usize(1, 39);
+    let mut m = BTreeMap::new();
+    for _ in 0..entries {
+        m.insert(g.below(200), g.range_f64(0.01, 50.0));
+    }
+    WeightedSet::from_pairs(m).expect("generator yields valid sets")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generalized_jaccard_is_symmetric_and_bounded(s in weighted_set(), t in weighted_set()) {
+#[test]
+fn generalized_jaccard_is_symmetric_and_bounded() {
+    run_cases(64, |g| {
+        let (s, t) = (weighted_set(g), weighted_set(g));
         let a = generalized_jaccard(&s, &t);
         let b = generalized_jaccard(&t, &s);
-        prop_assert!((a - b).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&a));
-        prop_assert!((generalized_jaccard(&s, &s) - 1.0).abs() < 1e-12);
-    }
+        ensure!((a - b).abs() < 1e-12, "asymmetric: {a} vs {b}");
+        ensure!((0.0..=1.0).contains(&a), "out of unit interval: {a}");
+        ensure!((generalized_jaccard(&s, &s) - 1.0).abs() < 1e-12, "self != 1");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn generalized_jaccard_dominates_nothing_above_binary_on_equal_weights(s in weighted_set()) {
+#[test]
+fn generalized_jaccard_of_binarized_is_bounded() {
+    run_cases(64, |g| {
         // genJ(S, binarized(S)) ≤ 1 and equals Σmin/Σmax by construction.
-        let b = s.binarized();
-        let j = generalized_jaccard(&s, &b);
-        prop_assert!((0.0..=1.0).contains(&j));
-    }
+        let s = weighted_set(g);
+        let j = generalized_jaccard(&s, &s.binarized());
+        ensure!((0.0..=1.0).contains(&j), "out of unit interval: {j}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn min_max_algebra_recomposes_eq2(s in weighted_set(), t in weighted_set()) {
+#[test]
+fn min_max_algebra_recomposes_eq2() {
+    run_cases(64, |g| {
+        let (s, t) = (weighted_set(g), weighted_set(g));
         let num = element_min(&s, &t).total_weight();
         let den = element_max(&s, &t).total_weight();
-        prop_assert!(den > 0.0);
-        prop_assert!((num / den - generalized_jaccard(&s, &t)).abs() < 1e-12);
+        ensure!(den > 0.0, "degenerate denominator");
+        ensure!((num / den - generalized_jaccard(&s, &t)).abs() < 1e-12, "Eq. 2 broken");
         // Inclusion–exclusion of masses.
         let sum = element_sum(&s, &t).total_weight();
-        prop_assert!((num + den - sum).abs() < 1e-9);
-    }
+        ensure!((num + den - sum).abs() < 1e-9, "min + max != sum");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scaling_both_sets_preserves_eq2(s in weighted_set(), t in weighted_set(),
-                                       factor in 0.01f64..100.0) {
+#[test]
+fn scaling_both_sets_preserves_eq2() {
+    run_cases(64, |g| {
+        let (s, t) = (weighted_set(g), weighted_set(g));
+        let factor = g.range_f64(0.01, 100.0);
         let a = generalized_jaccard(&s, &t);
         let b = generalized_jaccard(
             &s.scaled(factor).expect("valid factor"),
             &t.scaled(factor).expect("valid factor"),
         );
-        prop_assert!((a - b).abs() < 1e-9);
-    }
+        ensure!((a - b).abs() < 1e-9, "scaling by {factor} moved genJ: {a} -> {b}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn estimators_stay_in_unit_interval(s in weighted_set(), t in weighted_set(), seed in any::<u64>()) {
+#[test]
+fn estimators_stay_in_unit_interval() {
+    run_cases(64, |g| {
+        let (s, t, seed) = (weighted_set(g), weighted_set(g), g.u64());
         let icws = Icws::new(seed, 32);
         let est = icws
             .sketch(&s)
             .expect("non-empty")
             .estimate_similarity(&icws.sketch(&t).expect("non-empty"));
-        prop_assert!((0.0..=1.0).contains(&est));
-    }
+        ensure!((0.0..=1.0).contains(&est), "estimate {est} out of unit interval");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sketches_are_deterministic_functions_of_inputs(s in weighted_set(), seed in any::<u64>()) {
+#[test]
+fn sketches_are_deterministic_functions_of_inputs() {
+    run_cases(64, |g| {
+        let (s, seed) = (weighted_set(g), g.u64());
         let icws = Icws::new(seed, 16);
-        prop_assert_eq!(icws.sketch(&s).expect("ok"), icws.sketch(&s).expect("ok"));
+        ensure!(icws.sketch(&s).expect("ok") == icws.sketch(&s).expect("ok"), "icws varies");
         let mh = MinHash::new(seed, 16);
-        prop_assert_eq!(mh.sketch(&s).expect("ok"), mh.sketch(&s).expect("ok"));
-    }
+        ensure!(mh.sketch(&s).expect("ok") == mh.sketch(&s).expect("ok"), "minhash varies");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn minhash_ignores_weights_entirely(s in weighted_set(), seed in any::<u64>()) {
+#[test]
+fn minhash_ignores_weights_entirely() {
+    run_cases(64, |g| {
+        let (s, seed) = (weighted_set(g), g.u64());
         let mh = MinHash::new(seed, 32);
         let a = mh.sketch(&s).expect("ok");
         let b = mh.sketch(&s.binarized()).expect("ok");
-        prop_assert_eq!(a, b);
-    }
+        ensure!(a == b, "minhash saw the weights");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn jaccard_of_binarized_matches_support_jaccard(s in weighted_set(), t in weighted_set()) {
-        prop_assert!(
-            (jaccard(&s, &t) - generalized_jaccard(&s.binarized(), &t.binarized())).abs() < 1e-12
+#[test]
+fn jaccard_of_binarized_matches_support_jaccard() {
+    run_cases(64, |g| {
+        let (s, t) = (weighted_set(g), weighted_set(g));
+        ensure!(
+            (jaccard(&s, &t) - generalized_jaccard(&s.binarized(), &t.binarized())).abs() < 1e-12,
+            "support jaccard disagrees with binarized genJ"
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sketch_serde_roundtrips(s in weighted_set(), seed in any::<u64>()) {
+#[test]
+fn sketch_json_roundtrips() {
+    run_cases(64, |g| {
+        let (s, seed) = (weighted_set(g), g.u64());
         let icws = Icws::new(seed, 8);
         let sk = icws.sketch(&s).expect("ok");
-        let json = serde_json::to_string(&sk).expect("serialize");
-        let back: wmh::core::Sketch = serde_json::from_str(&json).expect("deserialize");
-        prop_assert_eq!(sk, back);
-    }
+        let json = wmh::json::to_string(&wmh::json::ToJson::to_json(&sk));
+        let back: wmh::core::Sketch = wmh::json::from_str(&json).expect("deserialize");
+        ensure!(sk == back, "sketch JSON roundtrip changed the sketch");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn weighted_set_serde_roundtrips(s in weighted_set()) {
-        let json = serde_json::to_string(&s).expect("serialize");
-        let back: WeightedSet = serde_json::from_str(&json).expect("deserialize");
-        prop_assert_eq!(s, back);
-    }
+#[test]
+fn weighted_set_json_roundtrips() {
+    run_cases(64, |g| {
+        let s = weighted_set(g);
+        let json = wmh::json::to_string(&wmh::json::ToJson::to_json(&s));
+        let back: WeightedSet = wmh::json::from_str(&json).expect("deserialize");
+        ensure!(s == back, "weighted set JSON roundtrip changed the set");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn icws_bracket_holds_for_all_weights(k in 0u64..1000, w in 0.001f64..1000.0, seed in any::<u64>()) {
+#[test]
+fn icws_bracket_holds_for_all_weights() {
+    run_cases(64, |g| {
+        let k = g.below(1000);
+        let w = g.range_f64(0.001, 1000.0);
+        let seed = g.u64();
         let icws = Icws::new(seed, 1);
         let smp = icws.element_sample(0, k, w);
-        prop_assert!(smp.y <= w * (1.0 + 1e-9));
-        prop_assert!(smp.z >= w * (1.0 - 1e-9));
-        prop_assert!(smp.a > 0.0);
-    }
+        ensure!(smp.y <= w * (1.0 + 1e-9), "y {} above weight {w}", smp.y);
+        ensure!(smp.z >= w * (1.0 - 1e-9), "z {} below weight {w}", smp.z);
+        ensure!(smp.a > 0.0, "non-positive hash value");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bbit_estimates_agree_with_full_on_identical_inputs(s in weighted_set(), bits in 1u8..=16) {
+#[test]
+fn bbit_estimates_agree_with_full_on_identical_inputs() {
+    run_cases(64, |g| {
+        let s = weighted_set(g);
+        let bits = g.range_u64(1, 16) as u8;
         let icws = Icws::new(5, 64);
         let sk = icws.sketch(&s).expect("ok");
         let b = wmh::core::extensions::BbitSketch::from_sketch(&sk, bits).expect("valid bits");
-        prop_assert_eq!(b.estimate_similarity(&b).expect("compatible"), 1.0);
-    }
+        ensure!(
+            b.estimate_similarity(&b).expect("compatible") == 1.0,
+            "self-similarity != 1 at {bits} bits"
+        );
+        Ok(())
+    });
 }
