@@ -13,8 +13,11 @@
 //! * [`chaos`] — [`chaos::ChaosBuf`], a byte-buffer corruptor (bit flips,
 //!   truncation, garbage suffixes) for crash-safety tests of binary
 //!   formats and checkpoint logs.
+//! * [`stress`] — barrier-synchronized concurrency hammering and a
+//!   single-thread witness for committer-style designs.
 
 pub mod chaos;
+pub mod stress;
 
 /// Deterministic value generator for property tests.
 ///

@@ -131,6 +131,48 @@ impl Sketcher for MinHash {
             (0..self.num_hashes).map(|d| pack2(d as u64, self.min_element(set, d))).collect();
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
     }
+
+    fn sketch_batch(&self, sets: &[WeightedSet]) -> Result<Vec<Sketch>, SketchError> {
+        // Hoist the permutation-family dispatch out of the per-(set, d)
+        // loop: one branch per batch instead of one per code.
+        let mut out = Vec::with_capacity(sets.len());
+        for set in sets {
+            let indices = set.indices();
+            if indices.is_empty() {
+                return Err(SketchError::EmptySet);
+            }
+            let codes: Vec<u64> = match self.kind {
+                PermutationKind::Mixed => (0..self.num_hashes)
+                    .map(|d| {
+                        let m = indices
+                            .iter()
+                            .copied()
+                            .min_by_key(|&k| self.oracle.hash2(d as u64, k))
+                            .expect("non-empty");
+                        pack2(d as u64, m)
+                    })
+                    .collect(),
+                PermutationKind::Linear => (0..self.num_hashes)
+                    .map(|d| {
+                        let p = &self.linear[d];
+                        let m =
+                            indices.iter().copied().min_by_key(|&k| p.apply(k)).expect("non-empty");
+                        pack2(d as u64, m)
+                    })
+                    .collect(),
+                PermutationKind::Tabulation => (0..self.num_hashes)
+                    .map(|d| {
+                        let t = &self.tabulation[d];
+                        let m =
+                            indices.iter().copied().min_by_key(|&k| t.hash(k)).expect("non-empty");
+                        pack2(d as u64, m)
+                    })
+                    .collect(),
+            };
+            out.push(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +251,20 @@ mod tests {
             // Looser bound for the linear family (known min-wise bias).
             assert!((est - truth).abs() < 0.1, "{kind:?} est {est} truth {truth}");
         }
+    }
+
+    #[test]
+    fn batch_override_matches_per_set_path_for_every_family() {
+        let sets: Vec<WeightedSet> =
+            [&[1u64, 5, 9][..], &[2, 5], &[1000, 77, 3, 8]].iter().map(|s| binary(s)).collect();
+        for kind in [PermutationKind::Mixed, PermutationKind::Linear, PermutationKind::Tabulation] {
+            let mh = MinHash::with_permutation(21, 48, kind);
+            let batched = mh.sketch_batch(&sets).unwrap();
+            for (set, b) in sets.iter().zip(&batched) {
+                assert_eq!(&mh.sketch(set).unwrap(), b, "{kind:?} batch diverged");
+            }
+        }
+        assert!(MinHash::new(21, 8).sketch_batch(&[WeightedSet::empty()]).is_err());
     }
 
     #[test]

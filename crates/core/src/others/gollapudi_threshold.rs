@@ -83,6 +83,33 @@ impl Sketcher for GollapudiThreshold {
             (0..self.num_hashes).map(|d| pack2(d as u64, self.min_element(set, d))).collect();
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
     }
+
+    fn sketch_batch(&self, sets: &[WeightedSet]) -> Result<Vec<Sketch>, SketchError> {
+        // Hoist the max-weight pre-scan out of the per-d loop: `sketch`
+        // re-scans the set once per hash function (D redundant scans).
+        let mut out = Vec::with_capacity(sets.len());
+        for set in sets {
+            if set.is_empty() {
+                return Err(SketchError::EmptySet);
+            }
+            let max = set.max_weight();
+            let codes = (0..self.num_hashes)
+                .map(|d| {
+                    let m = set
+                        .iter()
+                        .filter_map(|(k, w)| {
+                            let u = self.oracle.unit3(role::THRESHOLD, d as u64, k);
+                            (u <= w / max).then_some(k)
+                        })
+                        .min_by_key(|&k| self.oracle.hash2(d as u64, k))
+                        .expect("max-weight element is always kept");
+                    pack2(d as u64, m)
+                })
+                .collect();
+            out.push(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +205,18 @@ mod tests {
         for d in 0..8 {
             assert_eq!(g.reduce(&s, d), g.reduce(&s10, d));
         }
+    }
+
+    #[test]
+    fn batch_override_matches_per_set_path() {
+        let g = GollapudiThreshold::new(8, 64);
+        let (s, t) = workload();
+        let sets = vec![s, t, ws(&[(1, 0.4), (9, 0.8)])];
+        let batched = g.sketch_batch(&sets).unwrap();
+        for (set, b) in sets.iter().zip(&batched) {
+            assert_eq!(&g.sketch(set).unwrap(), b, "batch diverged from sketch()");
+        }
+        assert!(g.sketch_batch(&[WeightedSet::empty()]).is_err());
     }
 
     #[test]

@@ -146,6 +146,24 @@ pub trait Sketcher {
     /// [`SketchError::EmptySet`] for empty inputs; algorithm-specific errors
     /// (e.g. bound violations) as documented on each implementation.
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError>;
+
+    /// Sketch a batch of weighted sets.
+    ///
+    /// The default forwards to [`Self::sketch`] per set and stops at the
+    /// first error. Algorithms with meaningful per-call setup (permutation
+    /// family dispatch, per-set pre-scans repeated for every hash function)
+    /// override this to hoist that work out of the inner loops.
+    ///
+    /// Contract: an override must produce sketches *identical* to the
+    /// one-at-a-time path — the parallel sweep's byte-for-byte determinism
+    /// guarantee (`--threads 1` ≡ `--threads N`) depends on it, and the
+    /// conformance suite cross-checks the two paths for every algorithm.
+    ///
+    /// # Errors
+    /// The first error [`Self::sketch`] would report, in batch order.
+    fn sketch_batch(&self, sets: &[WeightedSet]) -> Result<Vec<Sketch>, SketchError> {
+        sets.iter().map(|s| self.sketch(s)).collect()
+    }
 }
 
 /// Pack a 2-component structured code into an opaque 64-bit code.

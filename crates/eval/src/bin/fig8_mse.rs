@@ -14,7 +14,7 @@
 
 use wmh_eval::experiments::figures;
 use wmh_eval::report::save_json;
-use wmh_eval::{RunOptions, Scale};
+use wmh_eval::{cli, RunOptions, Scale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") {
@@ -24,11 +24,17 @@ fn main() {
     } else {
         Scale::quick()
     };
+    let opts = RunOptions::checkpointed(format!("results/checkpoints/fig8_{}.jsonl", scale.label))
+        .with_threads(cli::threads_arg());
     eprintln!(
-        "Figure 8 at scale '{}': {} docs x {} features, D = {:?}, {} repeats",
-        scale.label, scale.docs, scale.features, scale.d_values, scale.repeats
+        "Figure 8 at scale '{}': {} docs x {} features, D = {:?}, {} repeats, {} threads",
+        scale.label,
+        scale.docs,
+        scale.features,
+        scale.d_values,
+        scale.repeats,
+        opts.effective_threads()
     );
-    let opts = RunOptions::checkpointed(format!("results/checkpoints/fig8_{}.jsonl", scale.label));
     let (cells, rendered) = match figures::figure8_with(&scale, &opts) {
         Ok(out) => out,
         Err(e) => {

@@ -11,7 +11,7 @@
 
 use wmh_eval::experiments::figures;
 use wmh_eval::report::save_json;
-use wmh_eval::{RunOptions, Scale};
+use wmh_eval::{cli, RunOptions, Scale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") {
@@ -25,7 +25,14 @@ fn main() {
         "Figure 9 at scale '{}': encoding {} docs per dataset, D = {:?}",
         scale.label, scale.runtime_docs, scale.d_values
     );
-    let opts = RunOptions::checkpointed(format!("results/checkpoints/fig9_{}.jsonl", scale.label));
+    if cli::threads_arg() > 1 {
+        eprintln!(
+            "note: timing sweeps always run single-threaded so measurements \
+             are not skewed by contention; --threads is ignored here"
+        );
+    }
+    let opts = RunOptions::checkpointed(format!("results/checkpoints/fig9_{}.jsonl", scale.label))
+        .with_threads(cli::threads_arg());
     let (cells, rendered) = match figures::figure9_with(&scale, &opts) {
         Ok(out) => out,
         Err(e) => {

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use wmh_data::PAPER_DATASETS;
 use wmh_eval::experiments::{ablations, figures, illustrations, tables};
 use wmh_eval::report::{fmt_value, save_json, Table};
-use wmh_eval::{RunOptions, Scale};
+use wmh_eval::{cli, RunOptions, Scale};
 
 fn main() {
     let seed = 0xE5EED;
@@ -61,7 +61,8 @@ fn main() {
         eprintln!("{what} failed: {e}");
         std::process::exit(1);
     };
-    let opts8 = RunOptions::checkpointed(format!("results/checkpoints/fig8_{}.jsonl", scale.label));
+    let opts8 = RunOptions::checkpointed(format!("results/checkpoints/fig8_{}.jsonl", scale.label))
+        .with_threads(cli::threads_arg());
     let (cells8, rendered8) =
         figures::figure8_with(&scale, &opts8).unwrap_or_else(|e| or_die("figure 8", e));
     section("Figure 8 — MSE vs D (quick scale)", rendered8);
@@ -69,6 +70,8 @@ fn main() {
     for (label, ok) in figures::check_figure8_shape(&scale, &cells8) {
         let _ = writeln!(checks, "[{}] {label}", if ok { "PASS" } else { "FAIL" });
     }
+    // Figure 9 times sketching: it always runs single-threaded regardless
+    // of --threads, so timings are never skewed by contention.
     let opts9 = RunOptions::checkpointed(format!("results/checkpoints/fig9_{}.jsonl", scale.label));
     let (cells9, rendered9) =
         figures::figure9_with(&scale, &opts9).unwrap_or_else(|e| or_die("figure 9", e));

@@ -1,0 +1,63 @@
+//! Tiny argument helpers shared by the experiment binaries.
+//!
+//! The binaries keep their hand-rolled flag style (`--full`, `--medium`);
+//! this module adds the one flag that takes a value, `--threads N`
+//! (also `--threads=N`), so every sweep binary parses it identically.
+
+/// Parse `--threads N` / `--threads=N` from the process arguments.
+///
+/// Returns `0` (auto-detect) when the flag is absent. Exits with an error
+/// message on a malformed value — these are top-level binaries, and a
+/// silently ignored thread count would be worse than stopping.
+#[must_use]
+pub fn threads_arg() -> usize {
+    threads_from(std::env::args().skip(1))
+}
+
+fn threads_from(args: impl Iterator<Item = String>) -> usize {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            Some(v.to_owned())
+        } else {
+            continue;
+        };
+        return match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("--threads expects a non-negative integer (0 = auto)");
+                std::process::exit(2);
+            }
+        };
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::threads_from;
+
+    fn parse(args: &[&str]) -> usize {
+        threads_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn absent_flag_means_auto() {
+        assert_eq!(parse(&[]), 0);
+        assert_eq!(parse(&["--full"]), 0);
+    }
+
+    #[test]
+    fn both_spellings_parse() {
+        assert_eq!(parse(&["--threads", "4"]), 4);
+        assert_eq!(parse(&["--threads=8"]), 8);
+        assert_eq!(parse(&["--full", "--threads", "2", "ignored"]), 2);
+    }
+
+    #[test]
+    fn zero_is_explicit_auto() {
+        assert_eq!(parse(&["--threads", "0"]), 0);
+    }
+}

@@ -19,8 +19,11 @@
 //! EXPERIMENTS.md for the recorded outputs of both.
 
 pub mod checkpoint;
+pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use runner::{Budget, Measurement, MseCell, RunOptions, RunnerError, RuntimeCell, Scale};
+pub use sweep::ParallelSweep;

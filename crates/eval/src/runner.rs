@@ -34,15 +34,14 @@
 //! *identical* results to an uninterrupted one.
 
 use crate::checkpoint::{Checkpoint, Entry};
+use crate::sweep::ParallelSweep;
 use std::path::PathBuf;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use wmh_core::others::UpperBounds;
 use wmh_core::{Algorithm, AlgorithmConfig, Sketch, SketchError};
-use wmh_data::pairs::sample_pairs;
 use wmh_data::{SynConfig, PAPER_DATASETS};
 use wmh_json::{FromJson, Json, JsonError, ToJson};
-use wmh_sets::{generalized_jaccard, WeightedSet};
+use wmh_sets::WeightedSet;
 
 /// Per-`(dataset, algorithm)` resource limits.
 ///
@@ -201,7 +200,7 @@ impl Scale {
         }
     }
 
-    fn config(&self, bounds: Option<UpperBounds>) -> AlgorithmConfig {
+    pub(crate) fn config(&self, bounds: Option<UpperBounds>) -> AlgorithmConfig {
         AlgorithmConfig {
             quantization_constant: self.quantization_constant,
             upper_bounds: bounds,
@@ -253,13 +252,37 @@ pub struct RunOptions {
     /// appended there and skipped on restart; parent directories are
     /// created as needed. `None` disables checkpointing.
     pub checkpoint: Option<PathBuf>,
+    /// Worker threads for the MSE sweep; `0` (the default) auto-detects
+    /// the machine's parallelism. Results are byte-identical for every
+    /// value — the cell decomposition only changes *when* work runs, never
+    /// what it computes. Runtime (Figure 9) sweeps ignore this and always
+    /// time on a single thread so measurements are not skewed by
+    /// contention.
+    pub threads: usize,
 }
 
 impl RunOptions {
     /// Options with checkpointing at `path`.
     #[must_use]
     pub fn checkpointed(path: impl Into<PathBuf>) -> Self {
-        Self { checkpoint: Some(path.into()) }
+        Self { checkpoint: Some(path.into()), ..Self::default() }
+    }
+
+    /// Set the MSE worker-thread count (`0` = auto-detect).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count an MSE sweep will actually use.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            wmh_par::available_parallelism()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -338,26 +361,31 @@ pub struct RuntimeCell {
 wmh_json::json_object!(RuntimeCell { dataset, algorithm, d, seconds });
 
 /// Estimate similarity from fingerprint *prefixes* of length `d`.
-fn estimate_prefix(a: &Sketch, b: &Sketch, d: usize) -> f64 {
+pub(crate) fn estimate_prefix(a: &Sketch, b: &Sketch, d: usize) -> f64 {
     let hits = a.codes[..d].iter().zip(&b.codes[..d]).filter(|(x, y)| x == y).count();
     hits as f64 / d as f64
 }
 
+/// Documents per `Sketcher::sketch_batch` call: large enough to amortize
+/// the batch path's hoisted setup, small enough that the wall-clock
+/// deadline is still checked frequently.
+const SKETCH_CHUNK: usize = 16;
+
 /// Sketch every listed document; `Ok(None)` marks a budget timeout —
 /// either the rejection budget (reported by the sketcher) or the
-/// wall-clock `deadline` (checked between documents).
-fn sketch_docs(
+/// wall-clock `deadline` (checked between chunks).
+pub(crate) fn sketch_docs(
     sketcher: &dyn wmh_core::Sketcher,
     docs: &[WeightedSet],
     deadline: Option<Instant>,
 ) -> Result<Option<Vec<Sketch>>, SketchError> {
     let mut out = Vec::with_capacity(docs.len());
-    for doc in docs {
+    for chunk in docs.chunks(SKETCH_CHUNK) {
         if deadline.is_some_and(|t| Instant::now() >= t) {
             return Ok(None);
         }
-        match sketcher.sketch(doc) {
-            Ok(s) => out.push(s),
+        match sketcher.sketch_batch(chunk) {
+            Ok(mut s) => out.append(&mut s),
             Err(SketchError::BadParameter { what, .. }) if what.contains("rejection budget") => {
                 return Ok(None)
             }
@@ -367,7 +395,7 @@ fn sketch_docs(
     Ok(Some(out))
 }
 
-fn algorithm_names(algorithms: &[Algorithm]) -> Vec<String> {
+pub(crate) fn algorithm_names(algorithms: &[Algorithm]) -> Vec<String> {
     algorithms.iter().map(|a| a.name().to_owned()).collect()
 }
 
@@ -379,12 +407,16 @@ pub fn run_mse(scale: &Scale, algorithms: &[Algorithm]) -> Result<Vec<MseCell>, 
     run_mse_with(scale, algorithms, &RunOptions::default())
 }
 
-/// [`run_mse`] with [`RunOptions`] (checkpoint/resume).
+/// [`run_mse`] with [`RunOptions`] (checkpoint/resume, worker threads).
 ///
 /// With a checkpoint configured, each completed `(dataset, algorithm,
 /// repeat)` unit is persisted; a restarted run reloads them and — because
 /// all randomness derives from `scale.seed` — produces results identical
 /// to an uninterrupted run.
+///
+/// Work is decomposed into `(dataset, algorithm, repeat)` cells and run on
+/// a [`ParallelSweep`] sized by [`RunOptions::effective_threads`]; any
+/// thread count yields byte-identical results (see [`crate::sweep`]).
 ///
 /// # Errors
 /// [`RunnerError`] on invalid scales, algorithm failures, or unusable
@@ -394,168 +426,7 @@ pub fn run_mse_with(
     algorithms: &[Algorithm],
     options: &RunOptions,
 ) -> Result<Vec<MseCell>, RunnerError> {
-    let d_max = *scale.d_values.iter().max().ok_or(RunnerError::EmptyDGrid)?;
-    let ckpt = match &options.checkpoint {
-        Some(path) => {
-            Some(Mutex::new(Checkpoint::open(path, "mse", scale, &algorithm_names(algorithms))?))
-        }
-        None => None,
-    };
-    let results = Mutex::new(Vec::new());
-    let first_error: Option<RunnerError> = std::thread::scope(|scope| {
-        let handles: Vec<_> = scale
-            .datasets
-            .iter()
-            .map(|cfg| {
-                let results = &results;
-                let ckpt = ckpt.as_ref();
-                scope.spawn(move || run_mse_dataset(scale, algorithms, cfg, d_max, ckpt, results))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .filter_map(|h| match h.join() {
-                Ok(Ok(())) => None,
-                Ok(Err(e)) => Some(e),
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
-            .next()
-    });
-    if let Some(e) = first_error {
-        return Err(e);
-    }
-    let mut cells = results.into_inner().expect("no worker holds the lock");
-    cells.sort_by(|a, b| (&a.dataset, &a.algorithm, a.d).cmp(&(&b.dataset, &b.algorithm, b.d)));
-    Ok(cells)
-}
-
-/// The per-dataset MSE worker (one thread per dataset).
-fn run_mse_dataset(
-    scale: &Scale,
-    algorithms: &[Algorithm],
-    cfg: &SynConfig,
-    d_max: usize,
-    ckpt: Option<&Mutex<Checkpoint>>,
-    results: &Mutex<Vec<MseCell>>,
-) -> Result<(), RunnerError> {
-    let dataset = cfg.generate(scale.seed).map_err(RunnerError::Data)?;
-    let bounds = UpperBounds::from_sets(dataset.docs.iter())
-        .map_err(|e| RunnerError::Data(e.to_string()))?;
-    let pairs = sample_pairs(dataset.docs.len(), scale.pair_sample, scale.seed);
-    let truths: Vec<f64> = pairs
-        .iter()
-        .map(|&(i, j)| generalized_jaccard(&dataset.docs[i], &dataset.docs[j]))
-        .collect();
-    // Documents that actually appear in sampled pairs.
-    let mut used: Vec<usize> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
-    used.sort_unstable();
-    used.dedup();
-    let slot_of: std::collections::HashMap<usize, usize> =
-        used.iter().enumerate().map(|(s, &i)| (i, s)).collect();
-    let used_docs: Vec<WeightedSet> = used.iter().map(|&i| dataset.docs[i].clone()).collect();
-
-    for &algorithm in algorithms {
-        let algo = algorithm.name();
-        let algo_err =
-            |e: SketchError| RunnerError::Algorithm { algorithm: algo.to_owned(), error: e };
-        // Per-repeat MSE-per-D vectors, keyed by repeat so checkpointed
-        // and freshly computed repeats assemble in the same order.
-        let mut rep_results: Vec<Option<Vec<f64>>> = vec![None; scale.repeats];
-        let mut timed_out = false;
-        if let Some(c) = ckpt {
-            let c = c.lock().expect("checkpoint lock");
-            timed_out = c.mse_timed_out(&dataset.name, algo);
-            if !timed_out {
-                for (rep, slot) in rep_results.iter_mut().enumerate() {
-                    if let Some(per_d) = c.mse_rep(&dataset.name, algo, rep) {
-                        if per_d.len() == scale.d_values.len() {
-                            *slot = Some(per_d.to_vec());
-                        }
-                    }
-                }
-            }
-        }
-        if !timed_out {
-            // One wall-clock deadline per (dataset, algorithm) cell.
-            let deadline = scale.budget.wall_clock.map(|w| Instant::now() + w);
-            for (rep, slot) in rep_results.iter_mut().enumerate() {
-                if slot.is_some() {
-                    continue; // resumed from the checkpoint
-                }
-                if deadline.is_some_and(|t| Instant::now() >= t) {
-                    timed_out = true;
-                    break;
-                }
-                let seed = scale.seed ^ (rep as u64).wrapping_mul(0xA5A5_A5A5);
-                let sketcher = algorithm
-                    .build(seed, d_max, &scale.config(Some(bounds.clone())))
-                    .map_err(algo_err)?;
-                let sketches = match sketch_docs(sketcher.as_ref(), &used_docs, deadline) {
-                    Ok(Some(s)) => s,
-                    Ok(None) => {
-                        timed_out = true;
-                        break;
-                    }
-                    Err(e) => return Err(algo_err(e)),
-                };
-                let mut per_d = Vec::with_capacity(scale.d_values.len());
-                for &d in &scale.d_values {
-                    let mut se = 0.0f64;
-                    for (p, &(i, j)) in pairs.iter().enumerate() {
-                        let est =
-                            estimate_prefix(&sketches[slot_of[&i]], &sketches[slot_of[&j]], d);
-                        let err = est - truths[p];
-                        se += err * err;
-                    }
-                    per_d.push(se / pairs.len() as f64);
-                }
-                if let Some(c) = ckpt {
-                    c.lock().expect("checkpoint lock").append(&Entry::MseRep {
-                        dataset: dataset.name.clone(),
-                        algorithm: algo.to_owned(),
-                        rep,
-                        per_d: per_d.clone(),
-                    })?;
-                }
-                *slot = Some(per_d);
-            }
-            if timed_out {
-                if let Some(c) = ckpt {
-                    c.lock().expect("checkpoint lock").append(&Entry::MseTimeout {
-                        dataset: dataset.name.clone(),
-                        algorithm: algo.to_owned(),
-                    })?;
-                }
-            }
-        }
-        let mut out = results.lock().expect("results lock");
-        for (di, &d) in scale.d_values.iter().enumerate() {
-            let cell = if timed_out {
-                MseCell {
-                    dataset: dataset.name.clone(),
-                    algorithm: algo.to_owned(),
-                    d,
-                    mse: Measurement::TimedOut,
-                    mse_std: 0.0,
-                }
-            } else {
-                let per_rep: Vec<f64> = rep_results
-                    .iter()
-                    .map(|r| r.as_ref().expect("all repeats measured")[di])
-                    .collect();
-                let (mean, var) = wmh_rng::stats::mean_and_var(&per_rep);
-                MseCell {
-                    dataset: dataset.name.clone(),
-                    algorithm: algo.to_owned(),
-                    d,
-                    mse: Measurement::Value(mean),
-                    mse_std: var.sqrt(),
-                }
-            };
-            out.push(cell);
-        }
-    }
-    Ok(())
+    ParallelSweep::new(options.effective_threads()).run_mse(scale, algorithms, options)
 }
 
 /// Run the Figure 9 protocol: wall-clock seconds to encode
@@ -578,6 +449,11 @@ pub fn run_runtime(
 /// Checkpointed timings are reused verbatim on restart — a timing that was
 /// already measured is never re-measured, so a resumed run's report equals
 /// the report the interrupted run would have produced.
+///
+/// [`RunOptions::threads`] is deliberately **ignored** here: Figure 9
+/// measures per-algorithm sketching wall-clock, and concurrent timing
+/// cells would contend for cores and skew every number. Timing sweeps pin
+/// to one thread no matter what `--threads` says (see EXPERIMENTS.md).
 ///
 /// # Errors
 /// [`RunnerError`] on invalid scales, algorithm failures, or unusable

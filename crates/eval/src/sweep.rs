@@ -1,0 +1,391 @@
+//! Cell-level parallel execution of the Figure 8 protocol.
+//!
+//! [`ParallelSweep`] decomposes an MSE sweep into independent
+//! `(dataset, algorithm, repeat)` **cells** and schedules them on a
+//! [`wmh_par::ThreadPool`] work-stealing pool. Three properties carry over
+//! from the sequential engine unchanged:
+//!
+//! * **Determinism** — every random quantity in a cell derives from
+//!   `scale.seed` and the cell's own coordinates, never from the schedule.
+//!   `--threads 1` and `--threads N` therefore produce byte-identical
+//!   result JSON (the determinism integration test pins this down).
+//! * **Checkpoint semantics** — all finished cells funnel through a single
+//!   *committer* thread that owns the [`Checkpoint`] writer, so the
+//!   fsync-per-append ordering and the resume rules of the sequential
+//!   engine are preserved; workers never touch the file. A rejection-budget
+//!   timeout in any repeat marks the whole `(dataset, algorithm)` group
+//!   timed out, exactly as the sequential early-exit did (the budget is
+//!   seed-deterministic, so *which* groups time out is schedule-independent).
+//! * **Fault tolerance** — a resumed run loads completed repeats before
+//!   scheduling and only executes the missing cells.
+//!
+//! Wall-clock deadlines remain per-`(dataset, algorithm)` group and start
+//! on the group's first scheduled cell; like the sequential engine, runs
+//! that hit a wall-clock deadline are not reproducible (time is not a
+//! seed), which is why the determinism guarantee is stated for rejection
+//! budgets only.
+
+use crate::checkpoint::{Checkpoint, Entry};
+use crate::runner::{
+    algorithm_names, estimate_prefix, sketch_docs, Measurement, MseCell, RunOptions, RunnerError,
+    Scale,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, OnceLock};
+use std::time::Instant;
+use wmh_core::others::UpperBounds;
+use wmh_core::{Algorithm, SketchError};
+use wmh_data::pairs::sample_pairs;
+use wmh_data::SynConfig;
+use wmh_par::ThreadPool;
+use wmh_sets::{generalized_jaccard, WeightedSet};
+
+/// A thread pool sized for an experiment sweep.
+///
+/// Thin wrapper around [`ThreadPool`] that adds the Figure 8 cell
+/// decomposition; reusable across sweeps (datasets prepare on the same
+/// pool the cells run on).
+#[derive(Debug)]
+pub struct ParallelSweep {
+    pool: ThreadPool,
+}
+
+/// Everything a cell needs about its dataset, computed once per dataset.
+struct DatasetCtx {
+    name: String,
+    bounds: UpperBounds,
+    /// The documents that appear in at least one sampled pair.
+    used_docs: Vec<WeightedSet>,
+    /// Sampled pairs as indices into `used_docs`.
+    pair_slots: Vec<(usize, usize)>,
+    /// Exact generalized Jaccard per sampled pair.
+    truths: Vec<f64>,
+}
+
+/// What one finished cell reports to the committer.
+enum Payload {
+    /// MSE per `D` for this repeat.
+    Rep(Vec<f64>),
+    /// The cell hit its rejection or wall-clock budget.
+    Timeout,
+    /// Another repeat already timed the group out; nothing was computed.
+    Skipped,
+    /// A hard failure (bad algorithm configuration, sketching error).
+    Fail(RunnerError),
+}
+
+struct CellDone {
+    group: usize,
+    rep: usize,
+    payload: Payload,
+}
+
+/// Committer-side accumulation for one `(dataset, algorithm)` group.
+struct GroupState {
+    reps: Vec<Option<Vec<f64>>>,
+    timed_out: bool,
+}
+
+impl ParallelSweep {
+    /// A sweep over `threads` workers; `0` means auto-detect
+    /// ([`wmh_par::available_parallelism`]).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 { wmh_par::available_parallelism() } else { threads };
+        Self { pool: ThreadPool::new(threads) }
+    }
+
+    /// Worker count (including the caller, which helps while waiting).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Run the Figure 8 protocol cell-parallel. Semantics (results,
+    /// checkpoint resume, budgets) match the sequential engine; see the
+    /// module docs for the determinism argument.
+    ///
+    /// # Errors
+    /// [`RunnerError`] on invalid scales, algorithm failures, or unusable
+    /// checkpoint files. When cells fail concurrently, the error of the
+    /// first cell in `(dataset, algorithm, repeat)` order is reported, so
+    /// the error, too, is schedule-independent.
+    pub fn run_mse(
+        &self,
+        scale: &Scale,
+        algorithms: &[Algorithm],
+        options: &RunOptions,
+    ) -> Result<Vec<MseCell>, RunnerError> {
+        let d_max = *scale.d_values.iter().max().ok_or(RunnerError::EmptyDGrid)?;
+        let ckpt = match &options.checkpoint {
+            Some(path) => Some(Checkpoint::open(path, "mse", scale, &algorithm_names(algorithms))?),
+            None => None,
+        };
+
+        let ctxs = self.prepare_datasets(scale)?;
+        let n_groups = ctxs.len() * algorithms.len();
+        let group = |ds: usize, al: usize| ds * algorithms.len() + al;
+
+        // Resume: load finished repeats and timed-out groups before
+        // scheduling anything.
+        let mut groups: Vec<GroupState> = (0..n_groups)
+            .map(|_| GroupState { reps: vec![None; scale.repeats], timed_out: false })
+            .collect();
+        if let Some(c) = &ckpt {
+            for (ds, ctx) in ctxs.iter().enumerate() {
+                for (al, algorithm) in algorithms.iter().enumerate() {
+                    let state = &mut groups[group(ds, al)];
+                    state.timed_out = c.mse_timed_out(&ctx.name, algorithm.name());
+                    if state.timed_out {
+                        continue;
+                    }
+                    for (rep, slot) in state.reps.iter_mut().enumerate() {
+                        if let Some(per_d) = c.mse_rep(&ctx.name, algorithm.name(), rep) {
+                            if per_d.len() == scale.d_values.len() {
+                                *slot = Some(per_d.to_vec());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // The cells still to run, in deterministic (dataset, algorithm,
+        // repeat) order.
+        let cells: Vec<(usize, usize, usize)> = (0..ctxs.len())
+            .flat_map(|ds| {
+                (0..algorithms.len())
+                    .flat_map(move |al| (0..scale.repeats).map(move |rep| (ds, al, rep)))
+            })
+            .filter(|&(ds, al, rep)| {
+                let state = &groups[group(ds, al)];
+                !state.timed_out && state.reps[rep].is_none()
+            })
+            .collect();
+
+        // Per-group shared cell state: the wall-clock deadline (started by
+        // the group's first scheduled cell) and the fast-path timeout flag
+        // that lets sibling cells skip work once the group's fate is known.
+        let deadlines: Vec<OnceLock<Option<Instant>>> =
+            (0..n_groups).map(|_| OnceLock::new()).collect();
+        let timed_out_flags: Vec<AtomicBool> =
+            (0..n_groups).map(|_| AtomicBool::new(false)).collect();
+
+        let group_names: Vec<(String, String)> = ctxs
+            .iter()
+            .flat_map(|ctx| algorithms.iter().map(|a| (ctx.name.clone(), a.name().to_owned())))
+            .collect();
+        let (tx, rx) = mpsc::channel::<CellDone>();
+        let committer_out: Result<(Vec<GroupState>, Option<RunnerError>), _> =
+            std::thread::scope(|outer| {
+                let committer = outer.spawn(move || commit_loop(rx, ckpt, groups, group_names));
+                self.pool.scope(|s| {
+                    for &(ds, al, rep) in &cells {
+                        let tx = tx.clone();
+                        let (ctx, algorithm) = (&ctxs[ds], algorithms[al]);
+                        let g = group(ds, al);
+                        let (deadline, flag) = (&deadlines[g], &timed_out_flags[g]);
+                        s.spawn(move || {
+                            let payload =
+                                run_cell(scale, algorithm, ctx, d_max, rep, deadline, flag);
+                            // The committer only disconnects after a
+                            // checkpoint write fails; the cell result is
+                            // then moot.
+                            let _ = tx.send(CellDone { group: g, rep, payload });
+                        });
+                    }
+                });
+                drop(tx);
+                committer.join()
+            });
+        let (groups, first_error) = match committer_out {
+            Ok(out) => out,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        // Deterministic aggregation: schedule order never reaches this
+        // point — only the (group, rep)-indexed table does.
+        let mut out = Vec::with_capacity(n_groups * scale.d_values.len());
+        for (ds, ctx) in ctxs.iter().enumerate() {
+            for (al, algorithm) in algorithms.iter().enumerate() {
+                let state = &groups[group(ds, al)];
+                for (di, &d) in scale.d_values.iter().enumerate() {
+                    let cell = if state.timed_out {
+                        MseCell {
+                            dataset: ctx.name.clone(),
+                            algorithm: algorithm.name().to_owned(),
+                            d,
+                            mse: Measurement::TimedOut,
+                            mse_std: 0.0,
+                        }
+                    } else {
+                        let per_rep: Vec<f64> = state
+                            .reps
+                            .iter()
+                            .map(|r| r.as_ref().expect("all repeats measured")[di])
+                            .collect();
+                        let (mean, var) = wmh_rng::stats::mean_and_var(&per_rep);
+                        MseCell {
+                            dataset: ctx.name.clone(),
+                            algorithm: algorithm.name().to_owned(),
+                            d,
+                            mse: Measurement::Value(mean),
+                            mse_std: var.sqrt(),
+                        }
+                    };
+                    out.push(cell);
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.dataset, &a.algorithm, a.d).cmp(&(&b.dataset, &b.algorithm, b.d)));
+        Ok(out)
+    }
+
+    /// Generate and preprocess every dataset, one pool task per dataset.
+    fn prepare_datasets(&self, scale: &Scale) -> Result<Vec<DatasetCtx>, RunnerError> {
+        let mut slots: Vec<Option<Result<DatasetCtx, RunnerError>>> =
+            (0..scale.datasets.len()).map(|_| None).collect();
+        self.pool.scope(|s| {
+            for (slot, cfg) in slots.iter_mut().zip(&scale.datasets) {
+                s.spawn(move || *slot = Some(prepare_dataset(scale, cfg)));
+            }
+        });
+        slots.into_iter().map(|r| r.expect("every dataset task ran")).collect()
+    }
+}
+
+fn prepare_dataset(scale: &Scale, cfg: &SynConfig) -> Result<DatasetCtx, RunnerError> {
+    let dataset = cfg.generate(scale.seed).map_err(RunnerError::Data)?;
+    let bounds = UpperBounds::from_sets(dataset.docs.iter())
+        .map_err(|e| RunnerError::Data(e.to_string()))?;
+    let pairs = sample_pairs(dataset.docs.len(), scale.pair_sample, scale.seed);
+    let truths: Vec<f64> = pairs
+        .iter()
+        .map(|&(i, j)| generalized_jaccard(&dataset.docs[i], &dataset.docs[j]))
+        .collect();
+    // Only documents that appear in sampled pairs get sketched.
+    let mut used: Vec<usize> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
+    used.sort_unstable();
+    used.dedup();
+    let slot_of: std::collections::HashMap<usize, usize> =
+        used.iter().enumerate().map(|(s, &i)| (i, s)).collect();
+    let used_docs: Vec<WeightedSet> = used.iter().map(|&i| dataset.docs[i].clone()).collect();
+    let pair_slots = pairs.iter().map(|&(i, j)| (slot_of[&i], slot_of[&j])).collect();
+    Ok(DatasetCtx { name: dataset.name, bounds, used_docs, pair_slots, truths })
+}
+
+/// Execute one `(dataset, algorithm, repeat)` cell. Pure apart from the
+/// wall-clock deadline: the repeat seed, the sketches, and the MSE vector
+/// depend only on `(scale.seed, rep)` and the inputs.
+fn run_cell(
+    scale: &Scale,
+    algorithm: Algorithm,
+    ctx: &DatasetCtx,
+    d_max: usize,
+    rep: usize,
+    deadline: &OnceLock<Option<Instant>>,
+    group_timed_out: &AtomicBool,
+) -> Payload {
+    if group_timed_out.load(Ordering::Relaxed) {
+        return Payload::Skipped;
+    }
+    let deadline = *deadline.get_or_init(|| scale.budget.wall_clock.map(|w| Instant::now() + w));
+    if deadline.is_some_and(|t| Instant::now() >= t) {
+        group_timed_out.store(true, Ordering::Relaxed);
+        return Payload::Timeout;
+    }
+    let algo_err = |e: SketchError| {
+        Payload::Fail(RunnerError::Algorithm { algorithm: algorithm.name().to_owned(), error: e })
+    };
+    let seed = scale.seed ^ (rep as u64).wrapping_mul(0xA5A5_A5A5);
+    let sketcher = match algorithm.build(seed, d_max, &scale.config(Some(ctx.bounds.clone()))) {
+        Ok(s) => s,
+        Err(e) => return algo_err(e),
+    };
+    let sketches = match sketch_docs(sketcher.as_ref(), &ctx.used_docs, deadline) {
+        Ok(Some(s)) => s,
+        Ok(None) => {
+            group_timed_out.store(true, Ordering::Relaxed);
+            return Payload::Timeout;
+        }
+        Err(e) => return algo_err(e),
+    };
+    let mut per_d = Vec::with_capacity(scale.d_values.len());
+    for &d in &scale.d_values {
+        let mut se = 0.0f64;
+        for (p, &(i, j)) in ctx.pair_slots.iter().enumerate() {
+            let err = estimate_prefix(&sketches[i], &sketches[j], d) - ctx.truths[p];
+            se += err * err;
+        }
+        per_d.push(se / ctx.pair_slots.len() as f64);
+    }
+    Payload::Rep(per_d)
+}
+
+/// The single committer: owns the checkpoint writer, serializes every
+/// append (fsync ordering unchanged from the sequential engine), and
+/// accumulates cell outcomes into the `(group, rep)` table.
+fn commit_loop(
+    rx: mpsc::Receiver<CellDone>,
+    mut ckpt: Option<Checkpoint>,
+    mut groups: Vec<GroupState>,
+    group_names: Vec<(String, String)>,
+) -> (Vec<GroupState>, Option<RunnerError>) {
+    // On concurrent failures, report the first cell in (group, rep) order
+    // so the surfaced error does not depend on the schedule.
+    let mut first_error: Option<((usize, usize), RunnerError)> = None;
+    let mut record_error = |key: (usize, usize), e: RunnerError| {
+        let earlier = match &first_error {
+            Some((k, _)) => key < *k,
+            None => true,
+        };
+        if earlier {
+            first_error = Some((key, e));
+        }
+    };
+    for done in rx {
+        let state = &mut groups[done.group];
+        let (dataset, algorithm) = &group_names[done.group];
+        match done.payload {
+            Payload::Rep(per_d) => {
+                // Repeats that land after the group timed out are moot;
+                // the sequential engine would not have run them at all.
+                if !state.timed_out {
+                    if let Some(c) = &mut ckpt {
+                        if let Err(e) = c.append(&Entry::MseRep {
+                            dataset: dataset.clone(),
+                            algorithm: algorithm.clone(),
+                            rep: done.rep,
+                            per_d: per_d.clone(),
+                        }) {
+                            record_error((done.group, done.rep), e);
+                        }
+                    }
+                    state.reps[done.rep] = Some(per_d);
+                }
+            }
+            Payload::Timeout => {
+                if !state.timed_out {
+                    state.timed_out = true;
+                    if let Some(c) = &mut ckpt {
+                        if let Err(e) = c.append(&Entry::MseTimeout {
+                            dataset: dataset.clone(),
+                            algorithm: algorithm.clone(),
+                        }) {
+                            record_error((done.group, done.rep), e);
+                        }
+                    }
+                }
+            }
+            // A skipping cell observed the group flag that some timing-out
+            // sibling set; that sibling's own Timeout message (possibly
+            // still in flight) marks the group.
+            Payload::Skipped => {}
+            Payload::Fail(e) => record_error((done.group, done.rep), e),
+        }
+    }
+    (groups, first_error.map(|(_, e)| e))
+}

@@ -1,0 +1,314 @@
+//! A Chase–Lev work-stealing deque over `usize` payloads.
+//!
+//! The owner pushes and pops at the *bottom*; thieves steal from the *top*
+//! (Chase & Lev, SPAA 2005). Memory orderings follow the weak-memory
+//! formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP 2013).
+//!
+//! Two deliberate simplifications keep the implementation auditable:
+//!
+//! * **Slots are `AtomicUsize`.** Payloads are single machine words (the
+//!   pool stores raw task pointers), so the racy slot read inherent to
+//!   Chase–Lev — a thief may read a slot the owner is about to overwrite,
+//!   then fail the `top` CAS and discard the value — is an atomic load of
+//!   a stale word, never a data race in the language model.
+//! * **Retired buffers live until the deque dies.** When the ring buffer
+//!   grows, the old allocation is parked in a retired list instead of being
+//!   freed, so a thief still dereferencing the stale buffer pointer reads
+//!   valid (if outdated) memory. Growth doubles capacity, so the retired
+//!   list holds `O(log capacity)` buffers — a bounded price for not
+//!   needing hazard pointers or epochs.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Ring buffer of atomic word slots, indexed modulo its power-of-two size.
+struct Buffer {
+    slots: Box<[AtomicUsize]>,
+    mask: usize,
+}
+
+impl Buffer {
+    fn new(capacity: usize) -> Box<Self> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots: Box<[AtomicUsize]> = (0..capacity).map(|_| AtomicUsize::new(0)).collect();
+        Box::new(Self { slots, mask: capacity - 1 })
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot(&self, index: isize) -> &AtomicUsize {
+        &self.slots[index as usize & self.mask]
+    }
+}
+
+/// State shared between the owner and the thieves.
+struct Shared {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer>,
+    /// Outgrown buffers, kept alive until the deque drops (see module doc).
+    retired: Mutex<Vec<*mut Buffer>>,
+}
+
+// SAFETY: all buffer access goes through atomics; raw pointers are only
+// dereferenced while the owning `Shared` is alive (retired buffers are not
+// freed until drop, which requires exclusive access).
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        let current = *self.buffer.get_mut();
+        // SAFETY: drop has exclusive access; these pointers came from
+        // `Box::into_raw` and are freed exactly once each.
+        unsafe {
+            drop(Box::from_raw(current));
+            for &p in self.retired.lock().expect("retired lock").iter() {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+/// The owner half: push and pop at the bottom. Not clonable; exactly one
+/// owner exists per deque.
+pub struct Owner {
+    shared: Arc<Shared>,
+}
+
+/// A thief handle: steal from the top. Freely clonable and shareable.
+#[derive(Clone)]
+pub struct Stealer {
+    shared: Arc<Shared>,
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque looked empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Stole this payload.
+    Success(usize),
+}
+
+/// Create a deque with at least `min_capacity` slots (rounded up to a
+/// power of two, minimum 4).
+#[must_use]
+pub fn deque(min_capacity: usize) -> (Owner, Stealer) {
+    let capacity = min_capacity.max(4).next_power_of_two();
+    let shared = Arc::new(Shared {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(Buffer::new(capacity))),
+        retired: Mutex::new(Vec::new()),
+    });
+    (Owner { shared: Arc::clone(&shared) }, Stealer { shared })
+}
+
+impl Owner {
+    /// Push a payload at the bottom. Never blocks; grows the buffer when
+    /// full.
+    pub fn push(&self, value: usize) {
+        let shared = &*self.shared;
+        let b = shared.bottom.load(Ordering::Relaxed);
+        let t = shared.top.load(Ordering::Acquire);
+        let mut buf = shared.buffer.load(Ordering::Relaxed);
+        // SAFETY: the buffer pointer is valid for the lifetime of `shared`.
+        if b - t >= unsafe { (*buf).capacity() } as isize {
+            buf = self.grow(buf, t, b);
+        }
+        unsafe { (*buf).slot(b) }.store(value, Ordering::Relaxed);
+        shared.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop the most recently pushed payload (LIFO on the owner side, which
+    /// keeps the owner cache-warm while thieves drain FIFO from the top).
+    pub fn pop(&self) -> Option<usize> {
+        let shared = &*self.shared;
+        let b = shared.bottom.load(Ordering::Relaxed) - 1;
+        let buf = shared.buffer.load(Ordering::Relaxed);
+        shared.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = shared.top.load(Ordering::Relaxed);
+        if t <= b {
+            // SAFETY: buffer valid for the lifetime of `shared`.
+            let value = unsafe { (*buf).slot(b) }.load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = shared
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                shared.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then_some(value);
+            }
+            Some(value)
+        } else {
+            shared.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Number of elements from the owner's perspective (approximate under
+    /// concurrent steals; exact when quiescent).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let b = self.shared.bottom.load(Ordering::Relaxed);
+        let t = self.shared.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque looks empty to the owner.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A thief handle onto this deque.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer {
+        Stealer { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Double the buffer, copying live slots; retire the old allocation.
+    fn grow(&self, old: *mut Buffer, t: isize, b: isize) -> *mut Buffer {
+        // SAFETY: `old` is the live buffer; only the owner grows.
+        let new = unsafe {
+            let new = Buffer::new((*old).capacity() * 2);
+            for i in t..b {
+                new.slot(i).store((*old).slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            Box::into_raw(new)
+        };
+        self.shared.buffer.store(new, Ordering::Release);
+        self.shared.retired.lock().expect("retired lock").push(old);
+        new
+    }
+}
+
+impl Stealer {
+    /// Attempt to steal the oldest payload.
+    pub fn steal(&self) -> Steal {
+        let shared = &*self.shared;
+        let t = shared.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = shared.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = shared.buffer.load(Ordering::Acquire);
+        // SAFETY: buffer (current or retired) stays allocated while
+        // `shared` is alive; a stale read is discarded by the CAS below.
+        let value = unsafe { (*buf).slot(t) }.load(Ordering::Relaxed);
+        if shared.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok() {
+            Steal::Success(value)
+        } else {
+            Steal::Retry
+        }
+    }
+}
+
+impl std::fmt::Debug for Owner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Owner").field("len", &self.len()).finish()
+    }
+}
+
+impl std::fmt::Debug for Stealer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stealer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let (owner, stealer) = deque(4);
+        for v in 1..=3 {
+            owner.push(v);
+        }
+        assert_eq!(stealer.steal(), Steal::Success(1), "thief takes the oldest");
+        assert_eq!(owner.pop(), Some(3), "owner takes the newest");
+        assert_eq!(owner.pop(), Some(2));
+        assert_eq!(owner.pop(), None);
+        assert_eq!(stealer.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let (owner, _stealer) = deque(4);
+        for v in 0..100 {
+            owner.push(v);
+        }
+        assert_eq!(owner.len(), 100);
+        for v in (0..100).rev() {
+            assert_eq!(owner.pop(), Some(v));
+        }
+        assert!(owner.is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_partition_the_work() {
+        // Every pushed value is taken exactly once across the owner and
+        // four thieves.
+        const N: usize = 20_000;
+        const THIEVES: usize = 4;
+        let (owner, stealer) = deque(8);
+        let taken: Vec<std::sync::atomic::AtomicUsize> =
+            (0..N).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                let stealer = stealer.clone();
+                let (taken, total) = (&taken, &total);
+                s.spawn(move || loop {
+                    match stealer.steal() {
+                        Steal::Success(v) => {
+                            taken[v - 1].fetch_add(1, Ordering::Relaxed);
+                            total.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if total.load(Ordering::Relaxed) >= N {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // Owner interleaves pushes and pops (values offset by 1 so the
+            // payload 0 never appears — slots are zero-initialized).
+            for v in 1..=N {
+                owner.push(v);
+                if v % 3 == 0 {
+                    if let Some(got) = owner.pop() {
+                        taken[got - 1].fetch_add(1, Ordering::Relaxed);
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Drain what the thieves have not taken yet.
+            while let Some(got) = owner.pop() {
+                taken[got - 1].fetch_add(1, Ordering::Relaxed);
+                total.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in taken.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "value {} taken {} times",
+                i + 1,
+                c.load(Ordering::Relaxed)
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # `wmh-par` — a from-scratch work-stealing thread pool
+//!
+//! The experiment sweeps (Figure 8's `(dataset, algorithm, repeat)` grid)
+//! need every core busy without dragging a registry dependency into the
+//! workspace. This crate is the whole story:
+//!
+//! * [`deque`] — a Chase–Lev work-stealing deque with word-sized payloads
+//!   (owner pushes/pops LIFO at the bottom, thieves steal FIFO from the
+//!   top);
+//! * [`ThreadPool`] / [`Scope`] — a fixed-size pool with a
+//!   `std::thread::scope`-style borrowing spawn API, caller-helping waits,
+//!   and panic propagation (the first task panic is re-raised after all
+//!   tasks drain).
+//!
+//! Determinism contract: the pool schedules *when and where* tasks run,
+//! never *what they compute* — callers derive all randomness from
+//! per-task seeds, so any schedule produces identical results. The sweep
+//! layer on top (`wmh-eval::sweep`) turns that into a byte-identical
+//! `--threads 1` vs `--threads N` guarantee.
+
+pub mod deque;
+mod pool;
+
+pub use pool::{available_parallelism, Scope, ThreadPool};

@@ -15,6 +15,17 @@ run() {
 run cargo build --release --workspace
 run cargo test --workspace -q
 
+# Estimator-conformance suite at a quick repetition count. WMH_CHECK_CASES
+# scales it (the CLT bound tightens as repetitions grow, so a nightly run
+# with a larger count is a stricter gate, not just a longer one).
+run env WMH_CHECK_CASES="${WMH_CHECK_CASES:-6}" \
+  cargo test --release -p wmh-core --test conformance -q
+
+# 1-vs-N-thread determinism: the parallel sweep must return byte-identical
+# results at every thread count, and the committer must never interleave
+# partial checkpoint lines.
+run cargo test --release -p wmh-eval --test determinism -q
+
 # Formatting and lints are advisory if the components are not installed
 # (minimal toolchains ship without rustfmt/clippy).
 if cargo fmt --version >/dev/null 2>&1; then
