@@ -1,0 +1,263 @@
+//! Adversarial weighted-input generation for chaos suites.
+//!
+//! Produces raw `(index, weight)` pair lists that concentrate on the
+//! boundaries where sketching code has historically broken: subnormal and
+//! near-`MAX` weights, zero/negative/non-finite weights, duplicated and
+//! descending index lists, astronomically sparse universes, and
+//! single-element sets. The output is deliberately *not* validated — the
+//! point is to throw it at validating constructors and totality-checked
+//! sketchers and demand either a correct result or a typed error, never a
+//! panic, hang, or non-finite output.
+//!
+//! Everything is a pure function of the [`Gen`] stream, so a failing case
+//! replays from its reported seed.
+
+use crate::Gen;
+
+/// Weight categories the generator draws from. Exposed so suites can
+/// report which category a failing case came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightClass {
+    /// Ordinary magnitudes, log-uniform across ~8 decades (1e-6..1e2).
+    Normal,
+    /// The normal-range extremes: `MIN_POSITIVE`, `MAX`, `~1e±308`.
+    Extreme,
+    /// Subnormal (denormal) positives — below `f64::MIN_POSITIVE`.
+    Subnormal,
+    /// Exactly zero.
+    Zero,
+    /// Negative, `NaN`, or `±∞` — never representable in a weighted set.
+    Invalid,
+}
+
+/// Index-layout categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexClass {
+    /// Sorted, distinct, dense near the origin.
+    Dense,
+    /// Sorted, distinct, spread over the whole `u64` range ("megasparse").
+    Megasparse,
+    /// Contains duplicates.
+    Duplicated,
+    /// Strictly descending.
+    Descending,
+    /// Exactly one element.
+    Single,
+}
+
+/// Draw a weight of the given class.
+#[must_use]
+pub fn weight_of(g: &mut Gen, class: WeightClass) -> f64 {
+    match class {
+        // Capped at 1e2: larger "ordinary" weights only make the
+        // quantization-based algorithms iterate their documented O(C·ΣS)
+        // subelements for minutes — the hostile magnitudes live in
+        // `Extreme`/`Subnormal`, which hit budget errors instantly.
+        WeightClass::Normal => g.log_uniform(-6.0, 2.0),
+        // Stay inside the normal range: 1e-308 and below are subnormal
+        // (MIN_POSITIVE ≈ 2.225e-308) and belong to `Subnormal`.
+        WeightClass::Extreme => match g.below(6) {
+            0 => f64::MIN_POSITIVE,
+            1 => f64::MAX,
+            2 => 3e-308,
+            3 => 1e308,
+            4 => g.log_uniform(-307.0, -290.0),
+            _ => g.log_uniform(290.0, 308.0),
+        },
+        // `MIN_POSITIVE * unit` lands strictly below MIN_POSITIVE (or at
+        // zero); nudge zero up to the smallest subnormal.
+        WeightClass::Subnormal => {
+            let w = f64::MIN_POSITIVE * g.unit();
+            if w == 0.0 {
+                f64::from_bits(1)
+            } else {
+                w
+            }
+        }
+        WeightClass::Zero => 0.0,
+        WeightClass::Invalid => match g.below(4) {
+            0 => -g.log_uniform(-6.0, 6.0),
+            1 => f64::NAN,
+            2 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        },
+    }
+}
+
+/// Draw a weight class, biased toward the hostile categories.
+#[must_use]
+pub fn weight_class(g: &mut Gen) -> WeightClass {
+    match g.below(10) {
+        0..=2 => WeightClass::Normal,
+        3..=5 => WeightClass::Extreme,
+        6 | 7 => WeightClass::Subnormal,
+        8 => WeightClass::Zero,
+        _ => WeightClass::Invalid,
+    }
+}
+
+/// Draw an index class.
+#[must_use]
+pub fn index_class(g: &mut Gen) -> IndexClass {
+    match g.below(8) {
+        0..=2 => IndexClass::Dense,
+        3 | 4 => IndexClass::Megasparse,
+        5 => IndexClass::Duplicated,
+        6 => IndexClass::Descending,
+        _ => IndexClass::Single,
+    }
+}
+
+/// An index list of roughly `len` entries in the given layout.
+#[must_use]
+pub fn indices_of(g: &mut Gen, class: IndexClass, len: usize) -> Vec<u64> {
+    let len = len.max(1);
+    match class {
+        IndexClass::Dense => {
+            let mut out: Vec<u64> = (0..len).map(|_| g.below(4 * len as u64 + 4)).collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        IndexClass::Megasparse => {
+            // Anywhere in u64, including the extremes.
+            let mut out: Vec<u64> = (0..len)
+                .map(|_| match g.below(8) {
+                    0 => 0,
+                    1 => u64::MAX,
+                    2 => u64::MAX - g.below(1000),
+                    _ => g.u64(),
+                })
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        IndexClass::Duplicated => {
+            let mut out = indices_of(g, IndexClass::Dense, len);
+            let dup = out[g.below(out.len() as u64) as usize];
+            out.push(dup);
+            out
+        }
+        IndexClass::Descending => {
+            let mut out = indices_of(g, IndexClass::Dense, len);
+            out.reverse();
+            out
+        }
+        IndexClass::Single => vec![g.u64()],
+    }
+}
+
+/// One adversarial raw pair list: layout, magnitudes, and hostility all
+/// drawn from `g`. May be empty, unsorted, duplicated, or carry weights no
+/// weighted set accepts — validating constructors must reject those with a
+/// typed error and accept the rest.
+#[must_use]
+pub fn pairs(g: &mut Gen) -> Vec<(u64, f64)> {
+    if g.bool(0.02) {
+        return Vec::new();
+    }
+    let len = match g.below(10) {
+        0..=5 => g.range_usize(1, 8),
+        6..=8 => g.range_usize(8, 64),
+        _ => g.range_usize(64, 512),
+    };
+    let layout = index_class(g);
+    let idx = indices_of(g, layout, len);
+    // One weight class per set in half the cases (homogeneous pathology
+    // stresses aggregate paths like total_weight); mixed otherwise.
+    let fixed = g.bool(0.5).then(|| weight_class(g));
+    idx.iter()
+        .map(|&k| {
+            let class = fixed.unwrap_or_else(|| weight_class(g));
+            (k, weight_of(g, class))
+        })
+        .collect()
+}
+
+/// Like [`pairs`], but every weight is valid (normal positive range) so
+/// the set always constructs — for suites that target the sketchers
+/// rather than the constructors.
+#[must_use]
+pub fn constructible_pairs(g: &mut Gen) -> Vec<(u64, f64)> {
+    let len = match g.below(10) {
+        0..=5 => g.range_usize(1, 8),
+        6..=8 => g.range_usize(8, 64),
+        _ => g.range_usize(64, 256),
+    };
+    let class = if g.bool(0.5) { WeightClass::Normal } else { WeightClass::Extreme };
+    let layout = index_class(g);
+    let mut idx = indices_of(g, layout, len);
+    idx.sort_unstable();
+    idx.dedup();
+    idx.iter().map(|&k| (k, weight_of(g, class))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_classes_produce_their_category() {
+        let mut g = Gen::new(1);
+        for _ in 0..500 {
+            let w = weight_of(&mut g, WeightClass::Normal);
+            assert!(w.is_finite() && w >= f64::MIN_POSITIVE);
+            let e = weight_of(&mut g, WeightClass::Extreme);
+            assert!(e.is_finite() && e >= f64::MIN_POSITIVE);
+            let s = weight_of(&mut g, WeightClass::Subnormal);
+            assert!(s > 0.0 && s < f64::MIN_POSITIVE, "not subnormal: {s:e}");
+            assert_eq!(weight_of(&mut g, WeightClass::Zero), 0.0);
+            let i = weight_of(&mut g, WeightClass::Invalid);
+            assert!(i.is_nan() || i.is_infinite() || i < 0.0);
+        }
+    }
+
+    #[test]
+    fn index_layouts_match_their_class() {
+        let mut g = Gen::new(2);
+        for _ in 0..200 {
+            let d = indices_of(&mut g, IndexClass::Dense, 16);
+            assert!(d.windows(2).all(|w| w[0] < w[1]));
+            let m = indices_of(&mut g, IndexClass::Megasparse, 16);
+            assert!(m.windows(2).all(|w| w[0] < w[1]));
+            let dup = indices_of(&mut g, IndexClass::Duplicated, 16);
+            let mut sorted = dup.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert!(sorted.len() < dup.len(), "no duplicate introduced");
+            assert_eq!(indices_of(&mut g, IndexClass::Single, 16).len(), 1);
+        }
+    }
+
+    #[test]
+    fn constructible_pairs_are_sorted_distinct_and_positive_normal() {
+        let mut g = Gen::new(3);
+        for _ in 0..300 {
+            let p = constructible_pairs(&mut g);
+            assert!(!p.is_empty());
+            assert!(p.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(p
+                .iter()
+                .all(|&(_, w)| w.is_finite() && (f64::MIN_POSITIVE..=f64::MAX).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn pairs_eventually_cover_every_hostility() {
+        let mut g = Gen::new(4);
+        let (mut saw_empty, mut saw_nan, mut saw_dup, mut saw_huge) = (false, false, false, false);
+        for _ in 0..2000 {
+            let p = pairs(&mut g);
+            saw_empty |= p.is_empty();
+            saw_nan |= p.iter().any(|&(_, w)| w.is_nan());
+            saw_huge |= p.iter().any(|&(_, w)| w >= 1e290);
+            let mut idx: Vec<u64> = p.iter().map(|&(k, _)| k).collect();
+            let n = idx.len();
+            idx.sort_unstable();
+            idx.dedup();
+            saw_dup |= idx.len() < n;
+        }
+        assert!(saw_empty && saw_nan && saw_dup && saw_huge, "coverage hole");
+    }
+}

@@ -16,6 +16,7 @@
 //! * [`stress`] — barrier-synchronized concurrency hammering and a
 //!   single-thread witness for committer-style designs.
 
+pub mod adversarial;
 pub mod chaos;
 pub mod stress;
 

@@ -16,6 +16,10 @@ use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
 use wmh_sets::WeightedSet;
 
+/// Safety cap on active-index walk length (expected length is the harmonic
+/// number `H_w ≤ 44` even for `w = u64::MAX`).
+const MAX_WALK: u32 = 100_000;
+
 /// The accelerated integer-weight algorithm of \[Gollapudi et al., 2006\](1).
 ///
 /// Statistically identical to [`crate::quantization::Haveliwala`] (the
@@ -83,6 +87,12 @@ impl GollapudiSkip {
         let mut value = self.oracle.unit4(role::ACTIVE_VALUE, d, k, 0);
         let mut steps = 1u32;
         loop {
+            if steps >= MAX_WALK {
+                // Unreachable without ~1e5 consecutive near-1.0 hash draws
+                // (expected length is H_w ≤ 44 even at w = u64::MAX); accept
+                // the current record rather than crawl on.
+                return Some(ActiveWalk { index, value, steps });
+            }
             // Geometric skip: failures before the next subelement whose hash
             // beats `value` (success probability = `value`).
             let u = self.oracle.unit4(role::SKIP, d, k, index);
@@ -92,8 +102,12 @@ impl GollapudiSkip {
                 return Some(ActiveWalk { index, value, steps });
             }
             index = next;
-            // The beating hash value is uniform on (0, value).
-            value *= self.oracle.unit4(role::ACTIVE_VALUE, d, k, index);
+            // The beating hash value is uniform on (0, value); the clamp
+            // keeps it a valid geometric parameter even if the product
+            // underflows (astronomically improbable, but it must not turn
+            // the next skip into a one-subelement crawl).
+            value =
+                (value * self.oracle.unit4(role::ACTIVE_VALUE, d, k, index)).max(f64::MIN_POSITIVE);
             steps += 1;
         }
     }
@@ -127,12 +141,16 @@ impl Sketcher for GollapudiSkip {
         for d in 0..self.num_hashes {
             let mut best: Option<(f64, u64, u64)> = None;
             for &(k, w) in &quantized {
-                let walk = self.walk(d, k, w).expect("w > 0");
+                // `quantized` keeps only w > 0, for which walk() is Some.
+                let Some(walk) = self.walk(d, k, w) else { continue };
                 if best.is_none_or(|(bv, _, _)| walk.value < bv) {
                     best = Some((walk.value, k, walk.index));
                 }
             }
-            let (_, k, i) = best.expect("quantized non-empty");
+            // `quantized` verified non-empty above.
+            let Some((_, k, i)) = best else {
+                return Err(SketchError::EmptySet);
+            };
             codes.push(pack3(d as u64, k, i));
         }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
@@ -232,6 +250,18 @@ mod tests {
         assert_eq!(g.sketch(&WeightedSet::empty()), Err(SketchError::EmptySet));
         assert!(matches!(g.sketch(&ws(&[(1, 0.4)])), Err(SketchError::BadParameter { .. })));
         assert!(GollapudiSkip::new(7, 4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn astronomical_weights_walk_in_logarithmic_time() {
+        // The skip structure makes u64::MAX-subelement weights cheap —
+        // unlike the quantization family, no budget error is needed here.
+        let g = GollapudiSkip::new(9, 8, 1000.0).unwrap();
+        let walk = g.walk(0, 1, u64::MAX).expect("w > 0");
+        assert!(walk.steps < 200, "walk length {} not logarithmic", walk.steps);
+        let s = ws(&[(1, 1e300), (2, f64::MAX)]);
+        let sk = g.sketch(&s).expect("extreme weights sketch fine");
+        assert_eq!(sk.codes.len(), 8);
     }
 
     #[test]

@@ -150,14 +150,16 @@ impl Sketcher for Ccws {
         }
         let mut codes = Vec::with_capacity(self.num_hashes);
         for d in 0..self.num_hashes {
-            let (k, t, a) = set
+            let Some((k, t, a)) = set
                 .iter()
                 .map(|(k, s)| {
                     let (t, _, a) = self.element_sample(d, k, s);
                     (k, t, a)
                 })
                 .min_by(|x, y| x.2.total_cmp(&y.2))
-                .expect("non-empty set");
+            else {
+                return Err(SketchError::EmptySet);
+            };
             if a.is_infinite() {
                 // Every element degenerate under Eq. (14): emit a sentinel
                 // code that never collides across sets (mixes d and k).

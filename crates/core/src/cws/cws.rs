@@ -127,11 +127,16 @@ impl Cws {
         // slightly short, which only perturbs astronomically large weights).
         let hi = exp2i(j).min(f64::MAX);
         let ji = j as i64 as u64;
-        // Step 0: the interval minimum.
+        // Step 0: the interval minimum. Interval lengths near the bottom of
+        // the f64 range are subnormal, so the Exp rate `1/len` overflows;
+        // clamping the record value to MAX keeps the downward walk's
+        // termination test `2^j · value < ε` well-defined (`0 · ∞` is NaN,
+        // which would never compare below ε and the walk would spin forever
+        // — the subnormal-weight hang this module used to have).
         let mut step = 0u32;
         let u_val = unit(&self.oracle, role::CWS_VAL, d, k, ji, 0);
         let u_pos = unit(&self.oracle, role::CWS_POS, d, k, ji, 0);
-        let mut value = exp_from_unit(u_val, hi - lo);
+        let mut value = exp_from_unit(u_val, hi - lo).min(f64::MAX);
         let mut position = lo + (hi - lo) * u_pos;
         while position > s {
             step += 1;
@@ -142,7 +147,7 @@ impl Cws {
             }
             let u_val = unit(&self.oracle, role::CWS_VAL, d, k, ji, u64::from(step));
             let u_pos = unit(&self.oracle, role::CWS_POS, d, k, ji, u64::from(step));
-            value += exp_from_unit(u_val, position - lo);
+            value = (value + exp_from_unit(u_val, position - lo)).min(f64::MAX);
             position = lo + (position - lo) * u_pos;
         }
         (step, position, value)
@@ -162,15 +167,21 @@ impl Cws {
         let (step, position, value) = self.partial_interval_record(d, k, j_star, s);
         let mut best = RecordSample { interval: j_star, step, position, value };
         // Whole intervals below, walking down until the tail is negligible.
+        // `best.value` is clamped finite, so once 2^j underflows to zero the
+        // product is exactly 0 < ε and the walk provably terminates; the
+        // extra `j` floor is a belt-and-braces bound (2^j = 0 for j < −1074).
         let mut j = j_star - 1;
-        loop {
+        while j >= -1100 {
             // Remaining region (0, 2^j] has total length 2^j.
             if exp2i(j) * best.value < self.tail_eps {
                 break;
             }
             let len = exp2i(j) - exp2i(j - 1);
+            if len <= 0.0 {
+                break;
+            }
             let u_val = unit(&self.oracle, role::CWS_VAL, d, k, j as i64 as u64, 0);
-            let m = exp_from_unit(u_val, len);
+            let m = exp_from_unit(u_val, len).min(f64::MAX);
             if m < best.value {
                 let u_pos = unit(&self.oracle, role::CWS_POS, d, k, j as i64 as u64, 0);
                 best = RecordSample {
@@ -220,7 +231,10 @@ impl Sketcher for Cws {
                     best = Some((r.value, k, r.interval, r.step));
                 }
             }
-            let (_, k, j, step) = best.expect("set non-empty");
+            // Non-empty set ⇒ the loop above ran at least once.
+            let Some((_, k, j, step)) = best else {
+                return Err(SketchError::EmptySet);
+            };
             codes.push(crate::sketch::pack2(d as u64, pack3(k, j as i64 as u64, u64::from(step))));
         }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
@@ -352,6 +366,23 @@ mod tests {
         let cws = Cws::new(8, 128);
         let s = ws(&[(1, 0.2), (2, 3.7), (5, 0.9)]);
         assert_eq!(cws.sketch(&s).unwrap().estimate_similarity(&cws.sketch(&s).unwrap()), 1.0);
+    }
+
+    #[test]
+    fn extreme_weights_terminate() {
+        // Regression: weights at the bottom of the normal f64 range drive
+        // interval lengths subnormal, the Exp rate overflows, and the old
+        // downward walk compared `0 · ∞ = NaN < ε` forever. Both extremes
+        // must now terminate with a well-formed record.
+        let cws = Cws::new(30, 4);
+        for s in [f64::MIN_POSITIVE, 1e-300, 1e300, f64::MAX] {
+            let r = cws.element_sample(0, 7, s);
+            assert!(r.position > 0.0 && r.position <= s, "s={s:e} pos {}", r.position);
+            assert!(r.value > 0.0 && r.value.is_finite(), "s={s:e} value {}", r.value);
+        }
+        let set = ws(&[(1, f64::MIN_POSITIVE), (2, f64::MAX), (3, 1.0)]);
+        let sk = cws.sketch(&set).expect("extreme set sketches");
+        assert_eq!(sk.codes.len(), 4);
     }
 
     #[test]

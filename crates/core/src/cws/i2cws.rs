@@ -87,14 +87,16 @@ impl Sketcher for I2cws {
         }
         let mut codes = Vec::with_capacity(self.num_hashes);
         for d in 0..self.num_hashes {
-            let (k_star, s_star, _) = set
+            let Some((k_star, s_star, _)) = set
                 .iter()
                 .map(|(k, s)| {
                     let (_, a) = self.element_z(d, k, s);
                     (k, s, a)
                 })
                 .min_by(|x, y| x.2.total_cmp(&y.2))
-                .expect("non-empty set");
+            else {
+                return Err(SketchError::EmptySet);
+            };
             // Lazy y: only for the winner (§4.2.6).
             let (t1, _) = self.element_y(d, k_star, s_star);
             codes.push(pack3(d as u64, k_star, encode_step(t1)));

@@ -83,22 +83,24 @@ impl Icws {
             self.oracle.unit3(role::V2, d, k),
         );
         let t = (s.ln() / r + beta).floor();
-        let y = (r * (t - beta)).exp();
-        let z = y * r.exp();
+        // `r·(t−β) ≤ ln s + r`, which for s near f64::MAX plus a large Gamma
+        // draw can push exp past the float range (and symmetrically under it
+        // for s near MIN_POSITIVE). Clamp into the normal range: the step
+        // `t` — the only part that reaches the fingerprint — is exact either
+        // way, and the clamp keeps `a = c/z` well-defined (never NaN; it may
+        // be +∞ for subnormal-scale weights, which total_cmp orders fine).
+        let y = (r * (t - beta)).exp().clamp(f64::MIN_POSITIVE, f64::MAX);
+        let z = (y * r.exp()).min(f64::MAX);
         IcwsSample { step: t as i64, y, z, a: c / z }
     }
 
     /// The full fingerprint sample for hash function `d`: the selected
-    /// element and its draw.
-    ///
-    /// # Panics
-    /// Panics on an empty set (guarded by [`Sketcher::sketch`]).
+    /// element and its draw, or `None` for an empty set.
     #[must_use]
-    pub fn sample(&self, set: &WeightedSet, d: usize) -> (u64, IcwsSample) {
+    pub fn sample(&self, set: &WeightedSet, d: usize) -> Option<(u64, IcwsSample)> {
         set.iter()
             .map(|(k, s)| (k, self.element_sample(d, k, s)))
             .min_by(|(_, x), (_, y)| x.a.total_cmp(&y.a))
-            .expect("non-empty set")
     }
 }
 
@@ -115,12 +117,13 @@ impl Sketcher for Icws {
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let codes = (0..self.num_hashes)
-            .map(|d| {
-                let (k, smp) = self.sample(set, d);
-                pack3(d as u64, k, encode_step(smp.step))
-            })
-            .collect();
+        let mut codes = Vec::with_capacity(self.num_hashes);
+        for d in 0..self.num_hashes {
+            let Some((k, smp)) = self.sample(set, d) else {
+                return Err(SketchError::EmptySet);
+            };
+            codes.push(pack3(d as u64, k, encode_step(smp.step)));
+        }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
     }
 }
@@ -207,7 +210,7 @@ mod tests {
         let set = ws(&[(10, 1.0), (20, 3.0)]);
         let mut wins = 0u64;
         for d in 0..trials {
-            let (k, _) = icws.sample(&set, d);
+            let (k, _) = icws.sample(&set, d).expect("non-empty set");
             if k == 20 {
                 wins += 1;
             }
@@ -242,5 +245,24 @@ mod tests {
     #[test]
     fn empty_set_is_an_error() {
         assert_eq!(Icws::new(8, 4).sketch(&WeightedSet::empty()), Err(SketchError::EmptySet));
+    }
+
+    #[test]
+    fn extreme_weights_stay_in_range() {
+        // The closed form must survive both ends of the normal float range:
+        // y/z clamp instead of overflowing to ∞ / collapsing to 0 (which
+        // would make a = c/z NaN-adjacent in comparisons).
+        let icws = Icws::new(9, 16);
+        for s in [f64::MIN_POSITIVE, 1e-300, 1e300, f64::MAX] {
+            for d in 0..16 {
+                let smp = icws.element_sample(d, 7, s);
+                assert!(smp.y.is_finite() && smp.y > 0.0, "y = {} for s = {s}", smp.y);
+                assert!(smp.z.is_finite() && smp.z > 0.0, "z = {} for s = {s}", smp.z);
+                assert!(!smp.a.is_nan(), "a NaN for s = {s}");
+            }
+        }
+        let s = ws(&[(1, f64::MAX), (2, f64::MIN_POSITIVE)]);
+        let sk = icws.sketch(&s).expect("extreme weights sketch fine");
+        assert_eq!(sk.len(), 16);
     }
 }

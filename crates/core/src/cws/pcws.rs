@@ -67,14 +67,16 @@ impl Sketcher for Pcws {
         }
         let mut codes = Vec::with_capacity(self.num_hashes);
         for d in 0..self.num_hashes {
-            let (k, t, _) = set
+            let Some((k, t, _)) = set
                 .iter()
                 .map(|(k, s)| {
                     let (t, _, a) = self.element_sample(d, k, s);
                     (k, t, a)
                 })
                 .min_by(|x, y| x.2.total_cmp(&y.2))
-                .expect("non-empty set");
+            else {
+                return Err(SketchError::EmptySet);
+            };
             codes.push(pack3(d as u64, k, encode_step(t)));
         }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })

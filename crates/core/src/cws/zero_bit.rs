@@ -49,12 +49,13 @@ impl Sketcher for ZeroBitCws {
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let codes = (0..self.num_hashes)
-            .map(|d| {
-                let (k, _) = self.inner.sample(set, d);
-                pack2(d as u64, k)
-            })
-            .collect();
+        let mut codes = Vec::with_capacity(self.num_hashes);
+        for d in 0..self.num_hashes {
+            let Some((k, _)) = self.inner.sample(set, d) else {
+                return Err(SketchError::EmptySet);
+            };
+            codes.push(pack2(d as u64, k));
+        }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
     }
 }
@@ -132,8 +133,8 @@ mod tests {
         let zb = ZeroBitCws::new(4, 32);
         let s = ws(&[(1, 1.0), (2, 2.0), (3, 0.5)]);
         for d in 0..32 {
-            let (k_icws, _) = zb.icws().sample(&s, d);
-            let (k_again, _) = zb.icws().sample(&s, d);
+            let (k_icws, _) = zb.icws().sample(&s, d).expect("non-empty set");
+            let (k_again, _) = zb.icws().sample(&s, d).expect("non-empty set");
             assert_eq!(k_icws, k_again);
         }
     }

@@ -145,15 +145,15 @@ impl HistoSketch {
         if self.weights.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let codes = self
-            .slots
-            .iter()
-            .enumerate()
-            .map(|(d, slot)| {
-                let (k, _) = slot.expect("slots filled once any item arrived");
-                pack2(d as u64, k)
-            })
-            .collect();
+        let mut codes = Vec::with_capacity(self.slots.len());
+        for (d, slot) in self.slots.iter().enumerate() {
+            // Every slot is filled by the first `add`; an empty one means no
+            // item has arrived, which the guard above already rejected.
+            let Some((k, _)) = slot else {
+                return Err(SketchError::EmptySet);
+            };
+            codes.push(pack2(d as u64, *k));
+        }
         Ok(Sketch { algorithm: "HistoSketch".to_owned(), seed: self.seed, codes })
     }
 

@@ -99,15 +99,15 @@ impl StreamingIcws {
         if self.weights.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let codes = self
-            .slots
-            .iter()
-            .enumerate()
-            .map(|(d, slot)| {
-                let (_, k, step) = slot.expect("slots filled once any item arrived");
-                pack3(d as u64, k, encode_step(step))
-            })
-            .collect();
+        let mut codes = Vec::with_capacity(self.slots.len());
+        for (d, slot) in self.slots.iter().enumerate() {
+            // Every slot is filled by the first `update`; an empty one means
+            // no item has arrived, which the guard above already rejected.
+            let Some((_, k, step)) = slot else {
+                return Err(SketchError::EmptySet);
+            };
+            codes.push(pack3(d as u64, *k, encode_step(*step)));
+        }
         Ok(Sketch { algorithm: Icws::NAME.to_owned(), seed: self.seed, codes })
     }
 

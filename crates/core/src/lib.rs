@@ -45,5 +45,5 @@ pub mod sketch;
 pub mod store;
 
 pub use catalog::{Algorithm, AlgorithmConfig, Category};
-pub use sketch::{Sketch, SketchError, Sketcher};
+pub use sketch::{ErrorKind, Sketch, SketchError, Sketcher};
 pub use store::SketchStore;

@@ -87,28 +87,22 @@ impl MinHash {
     }
 
     /// The argmin element (the paper's MinHash value) of permutation `d`
-    /// over the support of `set`.
-    ///
-    /// # Panics
-    /// Panics when `set` is empty or `d ≥ D` (the public entry point
-    /// [`Sketcher::sketch`] guards both).
+    /// over the support of `set`, or `None` when the set is empty or `d ≥ D`
+    /// for a table-backed permutation family.
     #[must_use]
-    pub fn min_element(&self, set: &WeightedSet, d: usize) -> u64 {
+    pub fn min_element(&self, set: &WeightedSet, d: usize) -> Option<u64> {
         let indices = set.indices();
-        assert!(!indices.is_empty(), "min_element on empty set");
         match self.kind {
-            PermutationKind::Mixed => indices
-                .iter()
-                .copied()
-                .min_by_key(|&k| self.oracle.hash2(d as u64, k))
-                .expect("non-empty"),
+            PermutationKind::Mixed => {
+                indices.iter().copied().min_by_key(|&k| self.oracle.hash2(d as u64, k))
+            }
             PermutationKind::Linear => {
-                let p = &self.linear[d];
-                indices.iter().copied().min_by_key(|&k| p.apply(k)).expect("non-empty")
+                let p = self.linear.get(d)?;
+                indices.iter().copied().min_by_key(|&k| p.apply(k))
             }
             PermutationKind::Tabulation => {
-                let t = &self.tabulation[d];
-                indices.iter().copied().min_by_key(|&k| t.hash(k)).expect("non-empty")
+                let t = self.tabulation.get(d)?;
+                indices.iter().copied().min_by_key(|&k| t.hash(k))
             }
         }
     }
@@ -127,8 +121,13 @@ impl Sketcher for MinHash {
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let codes =
-            (0..self.num_hashes).map(|d| pack2(d as u64, self.min_element(set, d))).collect();
+        let mut codes = Vec::with_capacity(self.num_hashes);
+        for d in 0..self.num_hashes {
+            let Some(m) = self.min_element(set, d) else {
+                return Err(SketchError::EmptySet);
+            };
+            codes.push(pack2(d as u64, m));
+        }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
     }
 
@@ -141,6 +140,9 @@ impl Sketcher for MinHash {
             if indices.is_empty() {
                 return Err(SketchError::EmptySet);
             }
+            // `indices` verified non-empty above, so the per-permutation
+            // argmin always exists; the fallback keeps the loops total.
+            let first = indices[0];
             let codes: Vec<u64> = match self.kind {
                 PermutationKind::Mixed => (0..self.num_hashes)
                     .map(|d| {
@@ -148,7 +150,7 @@ impl Sketcher for MinHash {
                             .iter()
                             .copied()
                             .min_by_key(|&k| self.oracle.hash2(d as u64, k))
-                            .expect("non-empty");
+                            .unwrap_or(first);
                         pack2(d as u64, m)
                     })
                     .collect(),
@@ -156,15 +158,14 @@ impl Sketcher for MinHash {
                     .map(|d| {
                         let p = &self.linear[d];
                         let m =
-                            indices.iter().copied().min_by_key(|&k| p.apply(k)).expect("non-empty");
+                            indices.iter().copied().min_by_key(|&k| p.apply(k)).unwrap_or(first);
                         pack2(d as u64, m)
                     })
                     .collect(),
                 PermutationKind::Tabulation => (0..self.num_hashes)
                     .map(|d| {
                         let t = &self.tabulation[d];
-                        let m =
-                            indices.iter().copied().min_by_key(|&k| t.hash(k)).expect("non-empty");
+                        let m = indices.iter().copied().min_by_key(|&k| t.hash(k)).unwrap_or(first);
                         pack2(d as u64, m)
                     })
                     .collect(),

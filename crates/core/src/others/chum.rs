@@ -60,11 +60,13 @@ impl Sketcher for Chum {
         }
         let mut codes = Vec::with_capacity(self.num_hashes);
         for d in 0..self.num_hashes {
-            let (k, _) = set
+            let Some((k, _)) = set
                 .iter()
                 .map(|(k, s)| (k, self.element_value(d, k, s)))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("non-empty set");
+            else {
+                return Err(SketchError::EmptySet);
+            };
             codes.push(pack2(d as u64, k));
         }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })

@@ -50,11 +50,15 @@ impl GollapudiThreshold {
             let u = self.oracle.unit3(role::THRESHOLD, d as u64, k);
             (u <= w / max).then_some(k)
         });
-        WeightedSet::binary(support).expect("distinct support indices")
+        // The support is a strictly increasing subsequence of an already
+        // sorted-distinct index list, so `binary` cannot reject it.
+        WeightedSet::binary(support).unwrap_or_else(|_| WeightedSet::empty())
     }
 
-    /// MinHash argmin element over the `d`-reduced support.
-    fn min_element(&self, set: &WeightedSet, d: usize) -> u64 {
+    /// MinHash argmin element over the `d`-reduced support, or `None` for an
+    /// empty reduction (unreachable for validated sets: the max-weight
+    /// element has `w / max = 1 > u` and is always kept).
+    fn min_element(&self, set: &WeightedSet, d: usize) -> Option<u64> {
         let max = set.max_weight();
         set.iter()
             .filter_map(|(k, w)| {
@@ -62,7 +66,6 @@ impl GollapudiThreshold {
                 (u <= w / max).then_some(k)
             })
             .min_by_key(|&k| self.oracle.hash2(d as u64, k))
-            .expect("max-weight element is always kept")
     }
 }
 
@@ -79,8 +82,13 @@ impl Sketcher for GollapudiThreshold {
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let codes =
-            (0..self.num_hashes).map(|d| pack2(d as u64, self.min_element(set, d))).collect();
+        let mut codes = Vec::with_capacity(self.num_hashes);
+        for d in 0..self.num_hashes {
+            let Some(m) = self.min_element(set, d) else {
+                return Err(SketchError::EmptySet);
+            };
+            codes.push(pack2(d as u64, m));
+        }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
     }
 
@@ -93,19 +101,21 @@ impl Sketcher for GollapudiThreshold {
                 return Err(SketchError::EmptySet);
             }
             let max = set.max_weight();
-            let codes = (0..self.num_hashes)
-                .map(|d| {
-                    let m = set
-                        .iter()
-                        .filter_map(|(k, w)| {
-                            let u = self.oracle.unit3(role::THRESHOLD, d as u64, k);
-                            (u <= w / max).then_some(k)
-                        })
-                        .min_by_key(|&k| self.oracle.hash2(d as u64, k))
-                        .expect("max-weight element is always kept");
-                    pack2(d as u64, m)
-                })
-                .collect();
+            let mut codes = Vec::with_capacity(self.num_hashes);
+            for d in 0..self.num_hashes {
+                let m = set
+                    .iter()
+                    .filter_map(|(k, w)| {
+                        let u = self.oracle.unit3(role::THRESHOLD, d as u64, k);
+                        (u <= w / max).then_some(k)
+                    })
+                    .min_by_key(|&k| self.oracle.hash2(d as u64, k));
+                // Max-weight element always survives thresholding.
+                let Some(m) = m else {
+                    return Err(SketchError::EmptySet);
+                };
+                codes.push(pack2(d as u64, m));
+            }
             out.push(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes });
         }
         Ok(out)

@@ -85,7 +85,9 @@ impl UpperBounds {
     /// Total proposal mass `M = Σ U_i`.
     #[must_use]
     pub fn total_mass(&self) -> f64 {
-        *self.prefix.last().expect("prefix non-empty")
+        // `prefix` always starts with a pushed 0.0, so `last` cannot miss;
+        // the fallback keeps this total rather than provably-unreachable.
+        self.prefix.last().copied().unwrap_or(0.0)
     }
 
     /// Bound for an element, if known.
@@ -203,9 +205,9 @@ impl Sketcher for Shrivastava {
         }
         let mut codes = Vec::with_capacity(self.num_hashes);
         for d in 0..self.num_hashes {
-            let t = self.first_green(set, d).ok_or(SketchError::BadParameter {
-                what: "rejection budget exhausted (acceptance rate too low)",
-                value: self.bounds.acceptance_rate(set),
+            let t = self.first_green(set, d).ok_or(SketchError::BudgetExhausted {
+                what: "Shrivastava2016 rejection sampling (acceptance rate too low)",
+                spent: self.max_draws,
             })?;
             codes.push(pack2(d as u64, t));
         }
@@ -304,10 +306,7 @@ mod tests {
         let s = ws(&[(1, 1.0)]);
         let loose = UpperBounds::from_pairs([(1, 1.0), (2, 1e6)]).unwrap();
         let sh = Shrivastava::new(4, 4, loose).with_max_draws(3);
-        assert!(matches!(
-            sh.sketch(&s),
-            Err(SketchError::BadParameter { what, .. }) if what.contains("rejection budget")
-        ));
+        assert!(matches!(sh.sketch(&s), Err(SketchError::BudgetExhausted { spent: 3, .. })));
     }
 
     #[test]

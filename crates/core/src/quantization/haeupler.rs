@@ -1,7 +1,7 @@
 //! \[Haeupler et al., 2014\] (paper §3.2): quantize, keep the fractional
 //! part with probability equal to its value.
 
-use crate::quantization::{check_constant, floor_quantize};
+use crate::quantization::{check_constant, check_subelement_budget, floor_quantize};
 use crate::sketch::{pack3, Sketch, SketchError, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
@@ -54,7 +54,10 @@ impl Haeupler {
         // d, so the rounded set is fixed for the whole fingerprint.
         let u = self.oracle.unit2(role::FRACTION, wmh_hash::mix::combine(k, whole));
         if u < frac {
-            whole + 1
+            // Saturate: `whole` is already clamped to u64::MAX for weights
+            // whose scaled value exceeds the integer range, and `frac` is
+            // then meaningless anyway (the budget check rejects such sets).
+            whole.saturating_add(1)
         } else {
             whole
         }
@@ -86,6 +89,10 @@ impl Sketcher for Haeupler {
                 value: self.constant,
             });
         }
+        check_subelement_budget(
+            counts.iter().map(|&(_, c)| c),
+            "Haeupler2014 subelement enumeration (C · Σ weights too large)",
+        )?;
         let mut codes = Vec::with_capacity(self.num_hashes);
         for d in 0..self.num_hashes {
             let mut best: Option<(u64, u64, u64)> = None;
@@ -100,7 +107,11 @@ impl Sketcher for Haeupler {
                     }
                 }
             }
-            let (_, k, i) = best.expect("counts non-empty");
+            // `counts` is non-empty with every count ≥ 1, so the scan above
+            // always found a subelement.
+            let Some((_, k, i)) = best else {
+                return Err(SketchError::EmptySet);
+            };
             codes.push(pack3(d as u64, k, i));
         }
         Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
@@ -176,6 +187,13 @@ mod tests {
         let est = h.sketch(&s).unwrap().estimate_similarity(&h.sketch(&t).unwrap());
         let sd = (truth * (1.0 - truth) / d as f64).sqrt();
         assert!((est - truth).abs() < 5.0 * sd + 0.02, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn astronomical_weights_error_instead_of_hanging() {
+        let h = Haeupler::new(1, 4, 1000.0).unwrap();
+        let s = ws(&[(1, 1e300), (2, 0.5)]);
+        assert!(matches!(h.sketch(&s), Err(SketchError::BudgetExhausted { .. })));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! \[Haveliwala et al., 2000\] (paper §3.1): quantize, round off, hash every
 //! subelement.
 
-use crate::quantization::{check_constant, floor_quantize};
+use crate::quantization::{check_constant, check_subelement_budget, floor_quantize};
 use crate::sketch::{pack3, Sketch, SketchError, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
@@ -45,11 +45,17 @@ impl Haveliwala {
 
     /// Minimum-hash subelement `(k, i)` and its hash value for hash
     /// function `d`, or `None` when every weight quantizes to zero.
+    ///
+    /// The per-element enumeration is capped at
+    /// [`crate::quantization::MAX_SUBELEMENTS`] as defense-in-depth; the
+    /// public [`Sketcher::sketch`] path has already rejected over-budget
+    /// sets with a typed error before calling this, so the cap never bites
+    /// there.
     #[must_use]
     pub fn min_subelement(&self, set: &WeightedSet, d: usize) -> Option<(u64, u64, u64)> {
         let mut best: Option<(u64, u64, u64)> = None;
         for (k, w) in set.iter() {
-            let count = floor_quantize(w, self.constant);
+            let count = floor_quantize(w, self.constant).min(crate::quantization::MAX_SUBELEMENTS);
             for i in 0..count {
                 let v = self.oracle.hash4(role::SUBELEMENT, d as u64, k, i);
                 if best.is_none_or(|(bv, _, _)| v < bv) {
@@ -74,6 +80,10 @@ impl Sketcher for Haveliwala {
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
+        check_subelement_budget(
+            set.iter().map(|(_, w)| floor_quantize(w, self.constant)),
+            "Haveliwala2000 subelement enumeration (C · Σ weights too large)",
+        )?;
         // A set whose every weight floors to zero has an empty augmented
         // universe — the algorithm's documented failure mode for too-small C.
         let mut codes = Vec::with_capacity(self.num_hashes);
@@ -167,6 +177,16 @@ mod tests {
         let t = ws(&[(1, 1.0)]);
         let est = h.sketch(&s).unwrap().estimate_similarity(&h.sketch(&t).unwrap());
         assert_eq!(est, 1.0, "sub-resolution weight should be rounded away");
+    }
+
+    #[test]
+    fn astronomical_weights_error_instead_of_hanging() {
+        // Regression: a weight near f64::MAX quantizes to u64::MAX
+        // subelements; the old loop enumerated all of them (a multi-century
+        // hang). Must now be a typed budget error, quickly.
+        let h = Haveliwala::new(1, 4, 1000.0).unwrap();
+        let s = ws(&[(1, 1e300)]);
+        assert!(matches!(h.sketch(&s), Err(SketchError::BudgetExhausted { .. })));
     }
 
     #[test]

@@ -40,6 +40,30 @@ pub(crate) fn floor_quantize(w: f64, c: f64) -> u64 {
     }
 }
 
+/// Cap on the rounded set's total subelement count, per hash function.
+///
+/// Both quantization algorithms cost `O(C · Σ_k S_k)` hash evaluations per
+/// hash function *by design*; a single adversarial weight near `1.8e308`
+/// quantizes to `u64::MAX` subelements — a loop that would outlive the
+/// process. This budget converts that hang into a typed
+/// [`SketchError::BudgetExhausted`]. The value is ~670× the heaviest paper
+/// workload (`C = 1000`, `Σ_k S_k ≈ 100` ⇒ `1e5` subelements), so no
+/// legitimate configuration comes near it.
+pub(crate) const MAX_SUBELEMENTS: u64 = 1 << 26;
+
+/// Reject rounded sets whose total subelement count exceeds
+/// [`MAX_SUBELEMENTS`].
+pub(crate) fn check_subelement_budget(
+    counts: impl Iterator<Item = u64>,
+    what: &'static str,
+) -> Result<(), SketchError> {
+    let total = counts.fold(0u64, u64::saturating_add);
+    if total > MAX_SUBELEMENTS {
+        return Err(SketchError::BudgetExhausted { what, spent: MAX_SUBELEMENTS });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

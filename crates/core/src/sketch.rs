@@ -94,6 +94,20 @@ pub enum SketchError {
         /// Offending value.
         value: f64,
     },
+    /// A bounded sampling or enumeration loop spent its whole budget
+    /// without producing a sample (rejection draws, subelement enumeration,
+    /// record chains). Deterministic for a given input and configuration;
+    /// the evaluation harness renders it as the paper's dash cell.
+    BudgetExhausted {
+        /// Which loop ran out.
+        what: &'static str,
+        /// The budget that was spent.
+        spent: u64,
+    },
+    /// The input set violated a [`wmh_sets`] invariant mid-algorithm — only
+    /// reachable through defense-in-depth checks, since every public
+    /// constructor validates.
+    Set(wmh_sets::SetError),
     /// A weight exceeded a bound required by the algorithm (e.g.
     /// [Shrivastava, 2016] pre-scanned upper bounds).
     WeightExceedsBound {
@@ -118,6 +132,10 @@ impl std::fmt::Display for SketchError {
         match self {
             Self::EmptySet => write!(f, "cannot sketch an empty set"),
             Self::BadParameter { what, value } => write!(f, "invalid {what}: {value}"),
+            Self::BudgetExhausted { what, spent } => {
+                write!(f, "{what} exhausted its budget of {spent}")
+            }
+            Self::Set(e) => write!(f, "invalid input set: {e}"),
             Self::WeightExceedsBound { element, weight, bound } => {
                 write!(f, "element {element} weight {weight} exceeds pre-scanned bound {bound}")
             }
@@ -131,6 +149,82 @@ impl std::fmt::Display for SketchError {
 }
 
 impl std::error::Error for SketchError {}
+
+impl From<wmh_sets::SetError> for SketchError {
+    fn from(e: wmh_sets::SetError) -> Self {
+        Self::Set(e)
+    }
+}
+
+/// Coarse, stable classification of a [`SketchError`] — what the
+/// evaluation harness records in checkpoint files and reports when a cell
+/// fails, so a resumed run can reproduce the same dash cell without
+/// re-running the failing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// [`SketchError::EmptySet`].
+    EmptySet,
+    /// [`SketchError::BadParameter`].
+    BadParameter,
+    /// [`SketchError::BudgetExhausted`].
+    BudgetExhausted,
+    /// [`SketchError::Set`].
+    InvalidSet,
+    /// [`SketchError::WeightExceedsBound`].
+    WeightExceedsBound,
+    /// [`SketchError::Incompatible`].
+    Incompatible,
+}
+
+impl ErrorKind {
+    /// Stable kebab-case name (the checkpoint wire format).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::EmptySet => "empty-set",
+            Self::BadParameter => "bad-parameter",
+            Self::BudgetExhausted => "budget-exhausted",
+            Self::InvalidSet => "invalid-set",
+            Self::WeightExceedsBound => "weight-exceeds-bound",
+            Self::Incompatible => "incompatible",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "empty-set" => Some(Self::EmptySet),
+            "bad-parameter" => Some(Self::BadParameter),
+            "budget-exhausted" => Some(Self::BudgetExhausted),
+            "invalid-set" => Some(Self::InvalidSet),
+            "weight-exceeds-bound" => Some(Self::WeightExceedsBound),
+            "incompatible" => Some(Self::Incompatible),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl SketchError {
+    /// The error's [`ErrorKind`].
+    #[must_use]
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Self::EmptySet => ErrorKind::EmptySet,
+            Self::BadParameter { .. } => ErrorKind::BadParameter,
+            Self::BudgetExhausted { .. } => ErrorKind::BudgetExhausted,
+            Self::Set(_) => ErrorKind::InvalidSet,
+            Self::WeightExceedsBound { .. } => ErrorKind::WeightExceedsBound,
+            Self::Incompatible { .. } => ErrorKind::Incompatible,
+        }
+    }
+}
 
 /// The common interface of all thirteen algorithms.
 pub trait Sketcher {
@@ -163,6 +257,25 @@ pub trait Sketcher {
     /// The first error [`Self::sketch`] would report, in batch order.
     fn sketch_batch(&self, sets: &[WeightedSet]) -> Result<Vec<Sketch>, SketchError> {
         sets.iter().map(|s| self.sketch(s)).collect()
+    }
+
+    /// The canonical fallible entry point — an explicit alias for
+    /// [`Self::sketch`], named for call sites that want the totality
+    /// contract visible: *every* input produces either a finite sketch or a
+    /// typed [`SketchError`]; no panic, no hang, no non-finite output.
+    ///
+    /// # Errors
+    /// Exactly those of [`Self::sketch`].
+    fn try_sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch(set)
+    }
+
+    /// Fallible alias for [`Self::sketch_batch`] (see [`Self::try_sketch`]).
+    ///
+    /// # Errors
+    /// Exactly those of [`Self::sketch_batch`].
+    fn try_sketch_batch(&self, sets: &[WeightedSet]) -> Result<Vec<Sketch>, SketchError> {
+        self.sketch_batch(sets)
     }
 }
 

@@ -1,0 +1,97 @@
+//! Degenerate-input edge suite for `sketch_batch`: the batch overrides
+//! (MinHash's permutation-family hoist, Gollapudi-Threshold's pre-scan
+//! hoist) and the default per-set forwarding path must agree on empty
+//! batches, batches containing an empty set, and single-element sets —
+//! byte-for-byte, error-for-error.
+
+use wmh_core::minhash::{MinHash, PermutationKind};
+use wmh_core::others::{GollapudiThreshold, UpperBounds};
+use wmh_core::{Algorithm, AlgorithmConfig, ErrorKind, Sketcher};
+use wmh_sets::WeightedSet;
+
+const D: usize = 16;
+
+fn catalog() -> Vec<(Algorithm, Box<dyn Sketcher>)> {
+    // Explicit bounds covering every index the edge sets below use, so
+    // Shrivastava exercises its batch path instead of bound rejection.
+    let bounds = UpperBounds::from_pairs([(1, 1e3), (7, 1e3), (9, 1e3), (u64::MAX, 1e3)])
+        .expect("valid bounds");
+    let config = AlgorithmConfig { upper_bounds: Some(bounds), ..AlgorithmConfig::default() };
+    Algorithm::ALL.into_iter().map(|a| (a, a.build(42, D, &config).expect("builds"))).collect()
+}
+
+#[test]
+fn empty_batch_is_ok_and_empty_for_every_algorithm() {
+    for (algo, sk) in catalog() {
+        let out = sk.sketch_batch(&[]).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        assert!(out.is_empty(), "{algo:?}: sketches from an empty batch");
+    }
+}
+
+#[test]
+fn a_batch_containing_an_empty_set_is_a_typed_error() {
+    let s = WeightedSet::from_pairs([(1, 1.0)]).expect("valid set");
+    for (algo, sk) in catalog() {
+        let err = sk
+            .sketch_batch(&[s.clone(), WeightedSet::empty()])
+            .expect_err(&format!("{algo:?}: accepted an empty set in a batch"));
+        assert_eq!(err.kind(), ErrorKind::EmptySet, "{algo:?}: wrong kind ({err})");
+    }
+}
+
+#[test]
+fn single_element_batches_match_the_one_at_a_time_path() {
+    // Single-element sets drive the overrides' degenerate paths: the
+    // argmin ranges over one candidate and thresholding can't drop it.
+    let sets = [
+        WeightedSet::from_pairs([(7, 0.25)]).expect("valid set"),
+        WeightedSet::from_pairs([(u64::MAX, 2.0)]).expect("valid set"),
+    ];
+    for (algo, sk) in catalog() {
+        let batch = sk.sketch_batch(&sets).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        for (s, b) in sets.iter().zip(&batch) {
+            let single = sk.sketch(s).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+            assert_eq!(single, *b, "{algo:?}: batch and single paths disagree");
+            assert_eq!(b.len(), D, "{algo:?}: short sketch");
+        }
+    }
+}
+
+#[test]
+fn minhash_override_agrees_for_every_permutation_family() {
+    let sets = [
+        WeightedSet::from_pairs([(3, 1.0)]).expect("valid set"),
+        WeightedSet::from_pairs([(0, 0.5), (1, 0.5), (u64::MAX, 0.5)]).expect("valid set"),
+    ];
+    for kind in [PermutationKind::Mixed, PermutationKind::Linear, PermutationKind::Tabulation] {
+        let sk = MinHash::with_permutation(11, D, kind);
+        let batch = sk.sketch_batch(&sets).expect("batch");
+        for (s, b) in sets.iter().zip(&batch) {
+            assert_eq!(sk.sketch(s).expect("single"), *b, "{kind:?} paths disagree");
+        }
+        assert_eq!(
+            sk.sketch_batch(&[WeightedSet::empty()]).expect_err("empty accepted").kind(),
+            ErrorKind::EmptySet,
+            "{kind:?}: wrong empty-batch error"
+        );
+    }
+}
+
+#[test]
+fn gollapudi_threshold_override_agrees_on_degenerate_sets() {
+    let sk = GollapudiThreshold::new(5, D);
+    let sets = [
+        WeightedSet::from_pairs([(9, 123.0)]).expect("valid set"),
+        // Extreme spread: thresholding keeps the max-weight element and
+        // almost nothing else.
+        WeightedSet::from_pairs([(1, f64::MIN_POSITIVE), (2, f64::MAX)]).expect("valid set"),
+    ];
+    let batch = sk.sketch_batch(&sets).expect("batch");
+    for (s, b) in sets.iter().zip(&batch) {
+        assert_eq!(sk.sketch(s).expect("single"), *b, "paths disagree on {:?}", s.indices());
+    }
+    assert_eq!(
+        sk.sketch_batch(&[WeightedSet::empty()]).expect_err("empty accepted").kind(),
+        ErrorKind::EmptySet
+    );
+}

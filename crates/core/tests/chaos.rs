@@ -1,0 +1,238 @@
+//! Adversarial-input chaos suite: the tentpole no-panic guarantee,
+//! exercised end-to-end over **every** algorithm in the catalog.
+//!
+//! Each case draws a hostile raw pair list from
+//! `wmh_check::adversarial` — subnormal and `~1e±308` weights,
+//! zero/negative/NaN/∞ weights, duplicated/descending/megasparse index
+//! lists, single-element and empty sets — then demands:
+//!
+//! * **constructors are total**: `try_from_pairs` (Strict) and
+//!   `try_from_pairs_with` (Sanitize) return `Ok` with the full invariant
+//!   (strictly increasing indices, weights in
+//!   `[f64::MIN_POSITIVE, f64::MAX]`) or a typed [`SetError`];
+//! * **sketchers are total**: every constructible set sketches to a
+//!   full-length fingerprint or a typed [`SketchError`] — never a panic,
+//!   hang, or bogus `EmptySet` for a non-empty input;
+//! * **sketches are deterministic**: re-sketching with the same sketcher
+//!   reproduces the codes bit-for-bit (spot-checked to bound runtime).
+//!
+//! `WMH_CHAOS_CASES` scales the case count (default 1 000 so plain
+//! `cargo test` stays fast); `scripts/ci.sh` runs the full 100 000 cases
+//! in release mode. Failures replay from the reported per-case seed.
+
+use wmh_check::adversarial;
+use wmh_check::{ensure, run_cases_seeded};
+use wmh_core::others::UpperBounds;
+use wmh_core::{Algorithm, AlgorithmConfig, ErrorKind, SketchError, Sketcher};
+use wmh_sets::{SetError, WeightPolicy, WeightedSet};
+
+/// Fingerprint length — small so 100k × 13 algorithms stays tractable.
+const D: usize = 8;
+
+/// Case count; `WMH_CHAOS_CASES` overrides (ci.sh runs 100_000).
+fn cases() -> usize {
+    std::env::var("WMH_CHAOS_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000).max(10)
+}
+
+/// The catalog under one roof: all 13, Shrivastava included via explicit
+/// bounds (arbitrary chaos indices then exercise its typed
+/// `WeightExceedsBound` path rather than making it unbuildable).
+fn catalog() -> Vec<(Algorithm, Box<dyn Sketcher>)> {
+    let config = AlgorithmConfig {
+        upper_bounds: Some(
+            UpperBounds::from_pairs((0..32).map(|k| (k, 8.0))).expect("valid bounds"),
+        ),
+        // A tight draw budget turns low-acceptance sets into fast typed
+        // errors instead of long rejection loops.
+        max_rejection_draws: 512,
+        // Small C keeps the quantizers' documented O(C·ΣS·D) subelement
+        // iteration tractable at 100k cases; extreme weights still drive
+        // their budget-exhaustion path (C·w overflows the cap instantly).
+        quantization_constant: 4.0,
+        ..AlgorithmConfig::default()
+    };
+    Algorithm::ALL
+        .into_iter()
+        .map(|a| (a, a.build(0xD15EA5E, D, &config).expect("catalog builds")))
+        .collect()
+}
+
+/// A constructed set's full invariant.
+fn check_invariant(s: &WeightedSet) -> Result<(), String> {
+    ensure!(
+        s.indices().windows(2).all(|w| w[0] < w[1]),
+        "indices not strictly increasing: {:?}",
+        s.indices()
+    );
+    ensure!(
+        s.weights().iter().all(|&w| (f64::MIN_POSITIVE..=f64::MAX).contains(&w)),
+        "weight outside the normal positive range: {:?}",
+        s.weights()
+    );
+    Ok(())
+}
+
+#[test]
+fn no_input_panics_and_every_output_is_typed() {
+    let sketchers = catalog();
+    let n = cases();
+    run_cases_seeded(0xC4A0_55ED, n, |g| {
+        let raw = adversarial::pairs(g);
+
+        // Constructors: total under both policies.
+        let strict = WeightedSet::try_from_pairs(raw.iter().copied());
+        if let Ok(s) = &strict {
+            check_invariant(s)?;
+        }
+        let sanitized =
+            WeightedSet::try_from_pairs_with(raw.iter().copied(), WeightPolicy::Sanitize);
+        match &sanitized {
+            Ok(s) => check_invariant(s)?,
+            // Sanitize repairs zeros/subnormals; anything else it rejects
+            // must be genuinely unrepairable.
+            Err(e) => ensure!(
+                matches!(
+                    e,
+                    SetError::NonFiniteWeight { .. }
+                        | SetError::NonPositiveWeight { .. }
+                        | SetError::DuplicateIndex(_)
+                ),
+                "sanitize rejected a repairable input: {e}"
+            ),
+        }
+
+        // Sketchers: total over whatever constructed.
+        let set = match strict.ok().or_else(|| sanitized.ok()) {
+            Some(s) => s,
+            None => return Ok(()),
+        };
+        for (algo, sk) in &sketchers {
+            match sk.sketch(&set) {
+                Ok(fp) => {
+                    ensure!(fp.len() == D, "{algo:?}: short sketch ({} of {D})", fp.len());
+                    ensure!(fp.algorithm == algo.name(), "{algo:?}: wrong label {}", fp.algorithm);
+                }
+                Err(e) => {
+                    let kind = e.kind();
+                    if set.is_empty() {
+                        ensure!(
+                            kind == ErrorKind::EmptySet,
+                            "{algo:?}: empty set gave {kind}, not empty-set"
+                        );
+                    } else {
+                        ensure!(
+                            kind != ErrorKind::EmptySet,
+                            "{algo:?}: bogus empty-set error for a {}-element set",
+                            set.len()
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn constructible_inputs_sketch_deterministically() {
+    let sketchers = catalog();
+    let n = (cases() / 10).max(10);
+    run_cases_seeded(0xDE7E_2A11, n, |g| {
+        let set = match WeightedSet::try_from_pairs(adversarial::constructible_pairs(g)) {
+            Ok(s) => s,
+            // constructible_pairs guarantees sorted/distinct/normal-range.
+            Err(e) => return Err(format!("constructible input rejected: {e}")),
+        };
+        for (algo, sk) in &sketchers {
+            let (a, b) = (sk.sketch(&set), sk.sketch(&set));
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    ensure!(x.codes == y.codes, "{algo:?}: non-deterministic codes")
+                }
+                (Err(x), Err(y)) => {
+                    ensure!(x.kind() == y.kind(), "{algo:?}: non-deterministic error kind")
+                }
+                _ => return Err(format!("{algo:?}: Ok/Err flapped between identical runs")),
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn the_empty_set_is_a_typed_error_for_every_algorithm() {
+    let empty = WeightedSet::empty();
+    for (algo, sk) in catalog() {
+        match sk.sketch(&empty) {
+            Err(e) => {
+                assert_eq!(e.kind(), ErrorKind::EmptySet, "{algo:?}: expected empty-set, got {e}")
+            }
+            Ok(_) => panic!("{algo:?}: sketched the empty set"),
+        }
+    }
+}
+
+#[test]
+fn hostile_weight_extremes_sketch_or_fail_typed() {
+    // The four corners of the normal range, plus a mixed set pairing them.
+    let corner_sets = [
+        vec![(3u64, f64::MIN_POSITIVE)],
+        vec![(3, f64::MAX)],
+        vec![(1, f64::MIN_POSITIVE), (2, f64::MAX)],
+        vec![(1, 3e-308), (2, 1e308), (5, 1.0)],
+    ];
+    let sketchers = catalog();
+    for raw in corner_sets {
+        let set = WeightedSet::try_from_pairs(raw.iter().copied()).expect("normal-range corners");
+        for (algo, sk) in &sketchers {
+            match sk.sketch(&set) {
+                Ok(fp) => assert_eq!(fp.len(), D, "{algo:?} on {raw:?}"),
+                Err(e) => assert_ne!(
+                    e.kind(),
+                    ErrorKind::EmptySet,
+                    "{algo:?} on {raw:?}: bogus empty-set ({e})"
+                ),
+            }
+        }
+    }
+}
+
+/// The chaos suite must also prove the *absence* of silent acceptance:
+/// hostile weights are rejected with the right typed variant.
+#[test]
+fn hostile_weights_map_to_their_set_error() {
+    type Expect = fn(&SetError) -> bool;
+    let cases: [(f64, Expect); 5] = [
+        (f64::NAN, |e| matches!(e, SetError::NonFiniteWeight { .. })),
+        (f64::INFINITY, |e| matches!(e, SetError::NonFiniteWeight { .. })),
+        (-1.0, |e| matches!(e, SetError::NonPositiveWeight { .. })),
+        (0.0, |e| matches!(e, SetError::NonPositiveWeight { .. })),
+        (5e-324, |e| matches!(e, SetError::SubnormalWeight { .. })),
+    ];
+    for (w, matches_expected) in cases {
+        let err = WeightedSet::try_from_pairs([(1, w)]).expect_err("hostile weight accepted");
+        assert!(matches_expected(&err), "weight {w:e} gave unexpected {err:?}");
+    }
+    assert!(matches!(
+        WeightedSet::try_from_pairs([(1, 1.0), (1, 2.0)]),
+        Err(SetError::DuplicateIndex(1))
+    ));
+}
+
+/// Budget-type errors must carry their context (the `spent` figure the
+/// eval layer records in checkpoints).
+#[test]
+fn budget_errors_carry_spent_context() {
+    let bounds = UpperBounds::from_pairs([(1, 1e9)]).expect("bounds");
+    let config = AlgorithmConfig {
+        upper_bounds: Some(bounds),
+        max_rejection_draws: 3,
+        ..AlgorithmConfig::default()
+    };
+    let sk = Algorithm::Shrivastava2016.build(1, 4, &config).expect("builds");
+    let set = WeightedSet::from_pairs([(1, 1e-3)]).expect("valid set");
+    match sk.sketch(&set) {
+        Err(SketchError::BudgetExhausted { spent, .. }) => assert_eq!(spent, 3),
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
+}

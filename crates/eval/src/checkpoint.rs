@@ -10,6 +10,7 @@
 //! {"kind":"meta","experiment":"mse","algorithms":[...],"scale":{...}}
 //! {"kind":"mse_rep","dataset":"SynESS-1","algorithm":"ICWS","rep":0,"per_d":[...]}
 //! {"kind":"mse_timeout","dataset":"SynESS-1","algorithm":"[Shrivastava, 2016]"}
+//! {"kind":"mse_failed","dataset":"SynESS-1","algorithm":"Haveliwala2000","error":"budget-exhausted"}
 //! {"kind":"runtime","dataset":"SynESS-1","algorithm":"ICWS","d":10,"seconds":{"Value":0.5}}
 //! ```
 //!
@@ -51,6 +52,17 @@ pub enum Entry {
         /// Algorithm catalog name.
         algorithm: String,
     },
+    /// A `(dataset, algorithm)` MSE cell whose algorithm returned a typed
+    /// error; the recorded kind lets a resumed run reproduce the dash cell
+    /// without re-running the failing algorithm.
+    MseFailed {
+        /// Dataset name.
+        dataset: String,
+        /// Algorithm catalog name.
+        algorithm: String,
+        /// The failure's classification.
+        error: wmh_core::ErrorKind,
+    },
     /// One completed runtime timing.
     Runtime {
         /// Dataset name.
@@ -80,6 +92,12 @@ impl ToJson for Entry {
                 ("dataset".to_owned(), dataset.to_json()),
                 ("algorithm".to_owned(), algorithm.to_json()),
             ]),
+            Self::MseFailed { dataset, algorithm, error } => Json::Obj(vec![
+                kind("mse_failed"),
+                ("dataset".to_owned(), dataset.to_json()),
+                ("algorithm".to_owned(), algorithm.to_json()),
+                ("error".to_owned(), Json::Str(error.as_str().to_owned())),
+            ]),
             Self::Runtime { dataset, algorithm, d, seconds } => Json::Obj(vec![
                 kind("runtime"),
                 ("dataset".to_owned(), dataset.to_json()),
@@ -105,6 +123,16 @@ impl FromJson for Entry {
                 dataset: FromJson::from_json(v.field("dataset")?)?,
                 algorithm: FromJson::from_json(v.field("algorithm")?)?,
             }),
+            "mse_failed" => {
+                let name = String::from_json(v.field("error")?)?;
+                let error = wmh_core::ErrorKind::parse(&name)
+                    .ok_or_else(|| JsonError::Invalid(format!("unknown error kind {name:?}")))?;
+                Ok(Self::MseFailed {
+                    dataset: FromJson::from_json(v.field("dataset")?)?,
+                    algorithm: FromJson::from_json(v.field("algorithm")?)?,
+                    error,
+                })
+            }
             "runtime" => Ok(Self::Runtime {
                 dataset: FromJson::from_json(v.field("dataset")?)?,
                 algorithm: FromJson::from_json(v.field("algorithm")?)?,
@@ -133,6 +161,7 @@ pub struct Checkpoint {
     resumed_units: usize,
     mse_reps: HashMap<(String, String, usize), Vec<f64>>,
     mse_timeouts: HashSet<(String, String)>,
+    mse_failures: HashMap<(String, String), wmh_core::ErrorKind>,
     runtime: HashMap<(String, String, usize), Measurement>,
 }
 
@@ -219,6 +248,7 @@ impl Checkpoint {
             resumed_units: entries.len(),
             mse_reps: HashMap::new(),
             mse_timeouts: HashSet::new(),
+            mse_failures: HashMap::new(),
             runtime: HashMap::new(),
         };
         for e in entries {
@@ -234,6 +264,9 @@ impl Checkpoint {
             }
             Entry::MseTimeout { dataset, algorithm } => {
                 self.mse_timeouts.insert((dataset, algorithm));
+            }
+            Entry::MseFailed { dataset, algorithm, error } => {
+                self.mse_failures.insert((dataset, algorithm), error);
             }
             Entry::Runtime { dataset, algorithm, d, seconds } => {
                 self.runtime.insert((dataset, algorithm, d), seconds);
@@ -257,6 +290,12 @@ impl Checkpoint {
     #[must_use]
     pub fn mse_timed_out(&self, dataset: &str, algorithm: &str) -> bool {
         self.mse_timeouts.contains(&(dataset.to_owned(), algorithm.to_owned()))
+    }
+
+    /// The recorded failure kind of a `(dataset, algorithm)` MSE cell.
+    #[must_use]
+    pub fn mse_failed(&self, dataset: &str, algorithm: &str) -> Option<wmh_core::ErrorKind> {
+        self.mse_failures.get(&(dataset.to_owned(), algorithm.to_owned())).copied()
     }
 
     /// The checkpointed timing of a `(dataset, algorithm, D)` cell.
@@ -308,6 +347,11 @@ mod tests {
                 per_d: vec![0.5, 0.25],
             },
             Entry::MseTimeout { dataset: "ds".into(), algorithm: "X".into() },
+            Entry::MseFailed {
+                dataset: "ds".into(),
+                algorithm: "Haveliwala2000".into(),
+                error: wmh_core::ErrorKind::BudgetExhausted,
+            },
             Entry::Runtime {
                 dataset: "ds".into(),
                 algorithm: "ICWS".into(),
@@ -406,6 +450,23 @@ mod tests {
         for line in repaired.lines().skip(1) {
             assert!(wmh_json::from_str::<Entry>(line).is_ok(), "unparseable line {line:?}");
         }
+    }
+
+    #[test]
+    fn failed_cells_are_checkpointed_and_resumed() {
+        let mut scale = small_scale();
+        scale.quantization_constant = -1.0; // Haveliwala fails at build
+        let algos = [Algorithm::Haveliwala2000, Algorithm::Icws];
+        let path = temp_path("mse_failed.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = RunOptions::checkpointed(&path);
+        let first = run_mse_with(&scale, &algos, &opts).expect("first");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains(r#""kind":"mse_failed""#), "failure not recorded: {text}");
+        // The resumed run reproduces the dash cells from the checkpoint
+        // without re-running the failing algorithm.
+        let resumed = run_mse_with(&scale, &algos, &opts).expect("resumed");
+        assert_eq!(wmh_json::to_string(&first), wmh_json::to_string(&resumed));
     }
 
     #[test]

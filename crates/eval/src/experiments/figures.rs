@@ -65,8 +65,10 @@ pub fn render_mse(scale: &Scale, cells: &[MseCell]) -> String {
                     cells.iter().find(|c| c.dataset == name && c.algorithm == a.name() && c.d == d);
                 row.push(match cell.map(|c| c.mse) {
                     Some(Measurement::Value(v)) => fmt_value(v),
-                    // The paper renders budget-exhausted cells as a dash.
+                    // The paper renders budget-exhausted cells as a dash;
+                    // typed failures get a dash annotated with the kind.
                     Some(Measurement::TimedOut) => "–".to_owned(),
+                    Some(Measurement::Failed(kind)) => format!("– ({kind})"),
                     None => "-".to_owned(),
                 });
             }

@@ -286,13 +286,16 @@ impl RunOptions {
     }
 }
 
-/// A single measurement value that may have hit the cutoff.
+/// A single measurement value that may have hit the cutoff or failed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Measurement {
     /// Measured value.
     Value(f64),
     /// The algorithm exceeded its budget (the paper's "forced to stop").
     TimedOut,
+    /// The algorithm returned a typed error for this cell; the report
+    /// renders it as the paper's dash, the checkpoint records the kind.
+    Failed(wmh_core::ErrorKind),
 }
 
 impl Measurement {
@@ -301,18 +304,22 @@ impl Measurement {
     pub fn value(&self) -> Option<f64> {
         match self {
             Self::Value(v) => Some(*v),
-            Self::TimedOut => None,
+            Self::TimedOut | Self::Failed(_) => None,
         }
     }
 }
 
-// Externally-tagged (serde-style) representation: `{"Value": x}` or
-// `"TimedOut"` — the shape earlier result files used.
+// Externally-tagged (serde-style) representation: `{"Value": x}`,
+// `"TimedOut"`, or `{"Failed": "empty-set"}` — extending the shape earlier
+// result files used.
 impl ToJson for Measurement {
     fn to_json(&self) -> Json {
         match self {
             Self::Value(v) => Json::Obj(vec![("Value".to_owned(), v.to_json())]),
             Self::TimedOut => Json::Str("TimedOut".to_owned()),
+            Self::Failed(kind) => {
+                Json::Obj(vec![("Failed".to_owned(), Json::Str(kind.as_str().to_owned()))])
+            }
         }
     }
 }
@@ -321,6 +328,12 @@ impl FromJson for Measurement {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         match v {
             Json::Str(s) if s == "TimedOut" => Ok(Self::TimedOut),
+            Json::Obj(fields) if fields.iter().any(|(k, _)| k == "Failed") => {
+                let name = String::from_json(v.field("Failed")?)?;
+                let kind = wmh_core::ErrorKind::parse(&name)
+                    .ok_or_else(|| JsonError::Invalid(format!("unknown error kind {name:?}")))?;
+                Ok(Self::Failed(kind))
+            }
             Json::Obj(_) => Ok(Self::Value(f64::from_json(v.field("Value")?)?)),
             other => Err(JsonError::WrongType { expected: "Measurement", got: other.type_name() }),
         }
@@ -386,9 +399,10 @@ pub(crate) fn sketch_docs(
         }
         match sketcher.sketch_batch(chunk) {
             Ok(mut s) => out.append(&mut s),
-            Err(SketchError::BadParameter { what, .. }) if what.contains("rejection budget") => {
-                return Ok(None)
-            }
+            // A spent budget (rejection draws, subelement enumeration) is
+            // the paper's cutoff, not a configuration mistake: mark the
+            // cell timed out and keep the sweep going.
+            Err(SketchError::BudgetExhausted { .. }) => return Ok(None),
             Err(e) => return Err(e),
         }
     }
@@ -476,8 +490,6 @@ pub fn run_runtime_with(
             .map_err(|e| RunnerError::Data(e.to_string()))?;
         for &algorithm in algorithms {
             let algo = algorithm.name();
-            let algo_err =
-                |e: SketchError| RunnerError::Algorithm { algorithm: algo.to_owned(), error: e };
             // One wall-clock deadline per (dataset, algorithm) cell; a
             // deadline hit mid-grid marks the remaining D cells too.
             let deadline = scale.budget.wall_clock.map(|w| Instant::now() + w);
@@ -496,13 +508,18 @@ pub fn run_runtime_with(
                 let seconds = if deadline.is_some_and(|t| Instant::now() >= t) {
                     Measurement::TimedOut
                 } else {
-                    let sketcher = algorithm
-                        .build(scale.seed, d, &scale.config(Some(bounds.clone())))
-                        .map_err(algo_err)?;
-                    let start = Instant::now();
-                    match sketch_docs(sketcher.as_ref(), &docs, deadline).map_err(algo_err)? {
-                        Some(_) => Measurement::Value(start.elapsed().as_secs_f64()),
-                        None => Measurement::TimedOut,
+                    // An algorithm error is a dash cell (recorded with its
+                    // kind), never an aborted sweep.
+                    match algorithm.build(scale.seed, d, &scale.config(Some(bounds.clone()))) {
+                        Err(e) => Measurement::Failed(e.kind()),
+                        Ok(sketcher) => {
+                            let start = Instant::now();
+                            match sketch_docs(sketcher.as_ref(), &docs, deadline) {
+                                Ok(Some(_)) => Measurement::Value(start.elapsed().as_secs_f64()),
+                                Ok(None) => Measurement::TimedOut,
+                                Err(e) => Measurement::Failed(e.kind()),
+                            }
+                        }
                     }
                 };
                 if let Some(c) = &mut ckpt {
@@ -676,6 +693,35 @@ mod tests {
         assert_eq!(v, Measurement::Value(0.25));
         let t: Measurement = wmh_json::from_str(r#""TimedOut""#).expect("timeout");
         assert_eq!(t, Measurement::TimedOut);
+        let failed = Measurement::Failed(wmh_core::ErrorKind::BudgetExhausted);
+        assert_eq!(wmh_json::to_string(&failed), r#"{"Failed":"budget-exhausted"}"#);
+        let f: Measurement = wmh_json::from_str(r#"{"Failed":"budget-exhausted"}"#).expect("fail");
+        assert_eq!(f, failed);
+        assert!(wmh_json::from_str::<Measurement>(r#"{"Failed":"no-such-kind"}"#).is_err());
+    }
+
+    #[test]
+    fn algorithm_failure_becomes_dash_cells_not_an_abort() {
+        // A bad quantization constant makes Haveliwala fail at build time;
+        // the sweep must keep going, fill the failed algorithm's grid with
+        // typed dash cells, and measure the healthy algorithm normally.
+        let mut scale = Scale::tiny();
+        scale.datasets.truncate(1);
+        scale.quantization_constant = -1.0;
+        let algos = [Algorithm::Haveliwala2000, Algorithm::Icws];
+        let cells = run_mse(&scale, &algos).expect("sweep survives algorithm failure");
+        assert_eq!(cells.len(), algos.len() * scale.d_values.len());
+        for c in &cells {
+            if c.algorithm == "Haveliwala2000" {
+                assert_eq!(c.mse, Measurement::Failed(wmh_core::ErrorKind::BadParameter), "{c:?}");
+            } else {
+                assert!(c.mse.value().is_some(), "{c:?}");
+            }
+        }
+        let rcells = run_runtime(&scale, &algos).expect("runtime sweep survives too");
+        for c in rcells.iter().filter(|c| c.algorithm == "Haveliwala2000") {
+            assert_eq!(c.seconds, Measurement::Failed(wmh_core::ErrorKind::BadParameter));
+        }
     }
 
     #[test]

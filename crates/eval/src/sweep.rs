@@ -84,6 +84,10 @@ struct CellDone {
 struct GroupState {
     reps: Vec<Option<Vec<f64>>>,
     timed_out: bool,
+    /// A typed algorithm failure: the whole group renders as dash cells
+    /// carrying the error kind (algorithm errors are rep-independent —
+    /// they depend on the documents and configuration, not the rep seed).
+    failed: Option<wmh_core::ErrorKind>,
 }
 
 impl ParallelSweep {
@@ -106,10 +110,12 @@ impl ParallelSweep {
     /// module docs for the determinism argument.
     ///
     /// # Errors
-    /// [`RunnerError`] on invalid scales, algorithm failures, or unusable
-    /// checkpoint files. When cells fail concurrently, the error of the
-    /// first cell in `(dataset, algorithm, repeat)` order is reported, so
-    /// the error, too, is schedule-independent.
+    /// [`RunnerError`] on invalid scales, dataset errors, or unusable
+    /// checkpoint files. Algorithm failures do **not** abort the sweep:
+    /// they become [`Measurement::Failed`] dash cells recording the error
+    /// kind. When hard errors occur concurrently, the error of the first
+    /// cell in `(dataset, algorithm, repeat)` order is reported, so the
+    /// error, too, is schedule-independent.
     pub fn run_mse(
         &self,
         scale: &Scale,
@@ -129,14 +135,15 @@ impl ParallelSweep {
         // Resume: load finished repeats and timed-out groups before
         // scheduling anything.
         let mut groups: Vec<GroupState> = (0..n_groups)
-            .map(|_| GroupState { reps: vec![None; scale.repeats], timed_out: false })
+            .map(|_| GroupState { reps: vec![None; scale.repeats], timed_out: false, failed: None })
             .collect();
         if let Some(c) = &ckpt {
             for (ds, ctx) in ctxs.iter().enumerate() {
                 for (al, algorithm) in algorithms.iter().enumerate() {
                     let state = &mut groups[group(ds, al)];
                     state.timed_out = c.mse_timed_out(&ctx.name, algorithm.name());
-                    if state.timed_out {
+                    state.failed = c.mse_failed(&ctx.name, algorithm.name());
+                    if state.timed_out || state.failed.is_some() {
                         continue;
                     }
                     for (rep, slot) in state.reps.iter_mut().enumerate() {
@@ -159,7 +166,7 @@ impl ParallelSweep {
             })
             .filter(|&(ds, al, rep)| {
                 let state = &groups[group(ds, al)];
-                !state.timed_out && state.reps[rep].is_none()
+                !state.timed_out && state.failed.is_none() && state.reps[rep].is_none()
             })
             .collect();
 
@@ -219,6 +226,14 @@ impl ParallelSweep {
                             algorithm: algorithm.name().to_owned(),
                             d,
                             mse: Measurement::TimedOut,
+                            mse_std: 0.0,
+                        }
+                    } else if let Some(kind) = state.failed {
+                        MseCell {
+                            dataset: ctx.name.clone(),
+                            algorithm: algorithm.name().to_owned(),
+                            d,
+                            mse: Measurement::Failed(kind),
                             mse_std: 0.0,
                         }
                     } else {
@@ -384,6 +399,23 @@ fn commit_loop(
             // sibling set; that sibling's own Timeout message (possibly
             // still in flight) marks the group.
             Payload::Skipped => {}
+            // An algorithm failure marks the group as a dash cell carrying
+            // the error kind — the sweep itself keeps going. Anything else
+            // (today only checkpoint I/O on other arms) still aborts.
+            Payload::Fail(RunnerError::Algorithm { error, .. }) => {
+                if state.failed.is_none() && !state.timed_out {
+                    state.failed = Some(error.kind());
+                    if let Some(c) = &mut ckpt {
+                        if let Err(e) = c.append(&Entry::MseFailed {
+                            dataset: dataset.clone(),
+                            algorithm: algorithm.clone(),
+                            error: error.kind(),
+                        }) {
+                            record_error((done.group, done.rep), e);
+                        }
+                    }
+                }
+            }
             Payload::Fail(e) => record_error((done.group, done.rep), e),
         }
     }

@@ -17,6 +17,17 @@ pub fn to_unit_open(w: u64) -> f64 {
     ((w >> 12) as f64 + 0.5) * (1.0 / 4_503_599_627_370_496.0) // 2^-52
 }
 
+/// The conventional name for [`to_unit_open`]: hash word → `(0, 1)`.
+///
+/// This is the CWS family's hot transform input — `ln(hash01(..))` and
+/// `1 / hash01(..)` must both be finite for every word, which the open
+/// interval guarantees (see the boundary tests below).
+#[inline]
+#[must_use]
+pub fn hash01(w: u64) -> f64 {
+    to_unit_open(w)
+}
+
 /// Map a word to the half-open interval `[0, 1)`.
 #[inline]
 #[must_use]
@@ -77,5 +88,44 @@ mod tests {
         assert!(to_unit_open(0).ln().is_finite());
         assert!(to_unit_open(u64::MAX).ln().is_finite());
         assert!((1.0 - to_unit_open(u64::MAX)).ln().is_finite());
+    }
+
+    #[test]
+    fn hash01_is_provably_open_at_every_boundary_word() {
+        // Exhaustive over the discarded low bits (they cannot move the
+        // output) plus every extreme of the kept 52 bits: the output is
+        // strictly inside (0,1) and both hot transforms stay finite.
+        let words = [
+            0u64,
+            1,
+            0xFFF,  // all-ones in the discarded low 12 bits
+            0x1000, // smallest word that moves the output
+            u64::MAX,
+            u64::MAX - 0xFFF,
+            u64::MAX << 12,
+            1u64 << 63,
+            (1u64 << 63) - 1,
+            0x5555_5555_5555_5555,
+            0xAAAA_AAAA_AAAA_AAAA,
+        ];
+        for &w in &words {
+            let u = hash01(w);
+            assert!(u > 0.0, "hash01({w:#x}) = {u} hit zero");
+            assert!(u < 1.0, "hash01({w:#x}) = {u} hit one");
+            assert!(u.ln().is_finite(), "ln(hash01({w:#x})) not finite");
+            assert!((1.0 / u).is_finite(), "1/hash01({w:#x}) not finite");
+            assert_eq!(u, to_unit_open(w), "hash01 must be exactly to_unit_open");
+        }
+    }
+
+    #[test]
+    fn hash01_low_bits_never_matter() {
+        // The map factors through w >> 12, so the minimum over all words is
+        // attained at w = 0 and the maximum at w = MAX; sweep the cells
+        // adjacent to both extremes.
+        for low in 0..(1u64 << 12) {
+            assert_eq!(hash01(low), hash01(0));
+            assert_eq!(hash01(u64::MAX - low), hash01(u64::MAX));
+        }
     }
 }

@@ -61,7 +61,11 @@ pub fn geometric_from_unit(u: f64, p: f64) -> u64 {
     if p >= 1.0 {
         return 0;
     }
-    let g = u.ln() / (1.0 - p).ln();
+    // ln_1p, not (1.0 - p).ln(): for p below ~1e-16 the subtraction rounds
+    // to 1.0 exactly, ln collapses to 0, and the quotient becomes −∞ → a
+    // zero skip. Active-index walks then crawl one subelement at a time —
+    // an effective hang for large quantized weights.
+    let g = u.ln() / (-p).ln_1p();
     if g >= u64::MAX as f64 {
         u64::MAX
     } else {

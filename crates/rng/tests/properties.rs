@@ -58,6 +58,26 @@ fn geometric_saturates_not_panics() {
 }
 
 #[test]
+fn geometric_mean_survives_tiny_p() {
+    // Regression: `(1.0 - p).ln()` rounds to 0 for p below one f64 ulp of
+    // 1.0, making every skip 0 — the active-index walk then degenerates to
+    // a per-subelement crawl. With ln_1p the skip keeps its ≈ 1/p scale all
+    // the way down to MIN_POSITIVE (where it saturates).
+    for exp in [-20, -40, -100, -200, -300] {
+        let p = 10f64.powi(exp);
+        let skip = geometric_from_unit(0.5, p);
+        let expected = core::f64::consts::LN_2 / p; // -ln(0.5)/p
+        if expected >= u64::MAX as f64 {
+            assert_eq!(skip, u64::MAX, "p=1e{exp} should saturate");
+        } else {
+            let ratio = skip as f64 / expected;
+            assert!((0.99..1.01).contains(&ratio), "p=1e{exp}: skip {skip} vs {expected}");
+        }
+    }
+    assert_eq!(geometric_from_unit(0.5, f64::MIN_POSITIVE), u64::MAX);
+}
+
+#[test]
 fn prng_streams_are_reproducible() {
     run_cases(512, |g| {
         let seed = g.u64();

@@ -24,7 +24,9 @@ pub fn element_min(s: &WeightedSet, t: &WeightedSet) -> WeightedSet {
             out.push((i, sw[a].min(t.weights()[b])));
         }
     }
-    WeightedSet::from_pairs(out).expect("min of valid sets is valid")
+    // min never leaves the valid weight domain (it returns one of its
+    // arguments), so the transform constructor's clamp is a no-op here.
+    WeightedSet::from_transform(out)
 }
 
 /// Element-wise maximum: weight `max(S_k, T_k)` over the support union.
@@ -66,8 +68,9 @@ fn merge_full(s: &WeightedSet, t: &WeightedSet, f: impl Fn(f64, f64) -> f64) -> 
     }
     out.extend(si[a..].iter().zip(&sw[a..]).map(|(&i, &w)| (i, f(w, 0.0))));
     out.extend(ti[b..].iter().zip(&tw[b..]).map(|(&i, &w)| (i, f(0.0, w))));
-    WeightedSet::from_pairs(out.into_iter().filter(|&(_, w)| w > 0.0))
-        .expect("merge of valid sets is valid")
+    // max/sum of valid weights stays positive; a sum of two near-MAX weights
+    // can overflow to +∞, which the transform constructor clamps to MAX.
+    WeightedSet::from_transform(out.into_iter().filter(|&(_, w)| w > 0.0))
 }
 
 #[cfg(test)]

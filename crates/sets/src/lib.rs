@@ -26,5 +26,5 @@ pub mod vocab;
 pub use similarity::{
     chi2_distance, cosine_similarity, generalized_jaccard, hamming_distance, jaccard, lp_distance,
 };
-pub use sparse::{SetError, WeightedSet};
+pub use sparse::{SetError, WeightPolicy, WeightedSet};
 pub use vocab::Vocabulary;

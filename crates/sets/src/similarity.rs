@@ -50,7 +50,9 @@ pub fn generalized_jaccard(s: &WeightedSet, t: &WeightedSet) -> f64 {
     if max_sum == 0.0 {
         0.0
     } else {
-        min_sum / max_sum
+        // Near-MAX weights can overflow both sums to +∞ (∞/∞ = NaN);
+        // clamping keeps the ratio defined and in [0, 1].
+        min_sum.min(f64::MAX) / max_sum.min(f64::MAX)
     }
 }
 
@@ -186,6 +188,40 @@ mod tests {
         assert!((0.0..=1.0).contains(&j));
         assert_eq!(generalized_jaccard(&s, &s), 1.0);
         assert_eq!(generalized_jaccard(&s, &WeightedSet::empty()), 0.0);
+    }
+
+    #[test]
+    fn single_element_edges() {
+        // The smallest non-degenerate inputs: identity, disjointness, and
+        // the nested case all reduce to closed forms.
+        let a = ws(&[(5, 2.0)]);
+        let b = ws(&[(5, 0.5)]);
+        let c = ws(&[(6, 2.0)]);
+        assert_eq!(generalized_jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        // Same support, nested weights: min/max = 0.5/2.0.
+        assert!((generalized_jaccard(&a, &b) - 0.25).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &b), 1.0);
+        // Disjoint singletons.
+        assert_eq!(generalized_jaccard(&a, &c), 0.0);
+        assert_eq!(jaccard(&a, &c), 0.0);
+        // Against the empty set (both orders — the merge loop is asymmetric
+        // inside even though the measure is not).
+        assert_eq!(generalized_jaccard(&a, &WeightedSet::empty()), 0.0);
+        assert_eq!(generalized_jaccard(&WeightedSet::empty(), &a), 0.0);
+        // Extreme single weights stay exact: min/max cancels the magnitude.
+        let hi = ws(&[(5, f64::MAX)]);
+        let lo = ws(&[(5, f64::MIN_POSITIVE)]);
+        assert_eq!(generalized_jaccard(&hi, &hi), 1.0);
+        assert_eq!(generalized_jaccard(&lo, &lo), 1.0);
+        assert_eq!(generalized_jaccard(&hi, &lo), f64::MIN_POSITIVE / f64::MAX);
+    }
+
+    #[test]
+    fn both_empty_convention_is_zero() {
+        let e = WeightedSet::empty();
+        assert_eq!(generalized_jaccard(&e, &e), 0.0);
+        assert_eq!(jaccard(&e, &e), 0.0);
     }
 
     #[test]

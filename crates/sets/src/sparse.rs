@@ -6,13 +6,62 @@
 ///
 /// Stored as sorted parallel arrays (struct-of-arrays) so that the pairwise
 /// merge loops of Eq. 2 and the sketching hot loops stream through memory.
+///
+/// # Invariant
+///
+/// Every constructor (including JSON deserialization) enforces that indices
+/// are strictly increasing and every weight lies in the *normal* positive
+/// range `[f64::MIN_POSITIVE, f64::MAX]` — no NaN, no ±∞, no zeros, no
+/// subnormals. Subnormal weights are excluded because the CWS family feeds
+/// weights through `ln`/division/rejection transforms whose intermediate
+/// rates overflow on subnormal inputs; see [`WeightPolicy`] for how callers
+/// choose between rejecting and sanitizing such weights.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedSet {
     indices: Vec<u64>,
     weights: Vec<f64>,
 }
 
-wmh_json::json_object!(WeightedSet { indices, weights });
+impl wmh_json::ToJson for WeightedSet {
+    fn to_json(&self) -> wmh_json::Json {
+        wmh_json::Json::Obj(vec![
+            ("indices".to_owned(), wmh_json::ToJson::to_json(&self.indices)),
+            ("weights".to_owned(), wmh_json::ToJson::to_json(&self.weights)),
+        ])
+    }
+}
+
+impl wmh_json::FromJson for WeightedSet {
+    /// Deserialize *and validate*: untrusted JSON goes through the same
+    /// strict construction path as [`WeightedSet::try_from_pairs`], so a
+    /// decoded set upholds the type's weight/ordering invariant (a raw
+    /// field-copying decode was the one hole through which NaN, negative,
+    /// duplicate or unsorted inputs could reach the sketchers).
+    fn from_json(v: &wmh_json::Json) -> Result<Self, wmh_json::JsonError> {
+        let indices: Vec<u64> = wmh_json::FromJson::from_json(v.field("indices")?)?;
+        let weights: Vec<f64> = wmh_json::FromJson::from_json(v.field("weights")?)?;
+        Self::from_sorted_parts(indices, weights)
+            .map_err(|e| wmh_json::JsonError::Invalid(format!("invalid weighted set: {e}")))
+    }
+}
+
+/// How constructors treat weights outside the normal positive range
+/// (`0`, subnormals): the two defensible readings of paper §2.2's
+/// "elements of `U − S` implicitly carry weight 0".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightPolicy {
+    /// Reject with a typed [`SetError`]: a zero weight means the caller
+    /// should have omitted the element, a subnormal weight means upstream
+    /// arithmetic already underflowed. The default, and what JSON
+    /// deserialization uses.
+    #[default]
+    Strict,
+    /// Repair: drop zero-weight elements (they are "not in the set") and
+    /// promote subnormal weights to `f64::MIN_POSITIVE` (the closest weight
+    /// the sketching transforms are total over). NaN, ±∞ and negative
+    /// weights are still rejected — there is no faithful repair for those.
+    Sanitize,
+}
 
 /// Validation errors for [`WeightedSet`] construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,8 +81,24 @@ pub enum SetError {
         /// The weight value.
         weight: f64,
     },
+    /// A weight was positive but subnormal (below `f64::MIN_POSITIVE`), so
+    /// the CWS-family log/rejection transforms would overflow on it. Use
+    /// [`WeightPolicy::Sanitize`] to promote instead of reject.
+    SubnormalWeight {
+        /// Element index carrying the offending weight.
+        index: u64,
+        /// The weight value.
+        weight: f64,
+    },
     /// The same element index appeared twice.
     DuplicateIndex(u64),
+    /// Parallel `indices`/`weights` arrays had different lengths.
+    LengthMismatch {
+        /// Number of indices supplied.
+        indices: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
 }
 
 impl std::fmt::Display for SetError {
@@ -45,7 +110,13 @@ impl std::fmt::Display for SetError {
             Self::NonPositiveWeight { index, weight } => {
                 write!(f, "element {index} has non-positive weight {weight}")
             }
+            Self::SubnormalWeight { index, weight } => {
+                write!(f, "element {index} has subnormal weight {weight:e}")
+            }
             Self::DuplicateIndex(index) => write!(f, "element {index} appears more than once"),
+            Self::LengthMismatch { indices, weights } => {
+                write!(f, "{indices} indices vs {weights} weights")
+            }
         }
     }
 }
@@ -70,18 +141,50 @@ impl WeightedSet {
     /// ```
     ///
     /// # Errors
-    /// Rejects non-finite or non-positive weights and duplicate indices.
+    /// Rejects non-finite, non-positive or subnormal weights and duplicate
+    /// indices (equivalent to [`Self::try_from_pairs`]).
     pub fn from_pairs<I>(pairs: I) -> Result<Self, SetError>
     where
         I: IntoIterator<Item = (u64, f64)>,
     {
-        let mut v: Vec<(u64, f64)> = pairs.into_iter().collect();
-        for &(index, weight) in &v {
-            if !weight.is_finite() {
-                return Err(SetError::NonFiniteWeight { index, weight });
-            }
-            if weight <= 0.0 {
-                return Err(SetError::NonPositiveWeight { index, weight });
+        Self::try_from_pairs(pairs)
+    }
+
+    /// Validated construction under the default [`WeightPolicy::Strict`].
+    ///
+    /// # Errors
+    /// Rejects non-finite, non-positive or subnormal weights and duplicate
+    /// indices.
+    pub fn try_from_pairs<I>(pairs: I) -> Result<Self, SetError>
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        Self::try_from_pairs_with(pairs, WeightPolicy::Strict)
+    }
+
+    /// Validated construction with an explicit zero/subnormal policy.
+    ///
+    /// ```
+    /// use wmh_sets::{WeightPolicy, WeightedSet};
+    /// let raw = [(1, 0.0), (2, 5e-324), (3, 1.0)];
+    /// assert!(WeightedSet::try_from_pairs_with(raw, WeightPolicy::Strict).is_err());
+    /// let s = WeightedSet::try_from_pairs_with(raw, WeightPolicy::Sanitize).unwrap();
+    /// assert_eq!(s.indices(), &[2, 3]); // zero dropped, subnormal promoted
+    /// assert_eq!(s.weight(2), f64::MIN_POSITIVE);
+    /// ```
+    ///
+    /// # Errors
+    /// Always rejects NaN, ±∞, negative weights and duplicate indices.
+    /// Under [`WeightPolicy::Strict`], additionally rejects zeros and
+    /// subnormals; under [`WeightPolicy::Sanitize`] those are repaired.
+    pub fn try_from_pairs_with<I>(pairs: I, policy: WeightPolicy) -> Result<Self, SetError>
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        let mut v: Vec<(u64, f64)> = Vec::new();
+        for (index, weight) in pairs {
+            if let Some(weight) = Self::admit(index, weight, policy)? {
+                v.push((index, weight));
             }
         }
         v.sort_unstable_by_key(|&(i, _)| i);
@@ -94,28 +197,74 @@ impl WeightedSet {
         Ok(Self { indices, weights })
     }
 
-    /// Build from pre-sorted, pre-validated parallel arrays without copying.
+    /// Policy check for one weight: `Ok(Some(w))` admits (possibly promoted)
+    /// `w`, `Ok(None)` drops the element, `Err` rejects the set.
+    fn admit(index: u64, weight: f64, policy: WeightPolicy) -> Result<Option<f64>, SetError> {
+        if !weight.is_finite() {
+            return Err(SetError::NonFiniteWeight { index, weight });
+        }
+        if weight < 0.0 {
+            return Err(SetError::NonPositiveWeight { index, weight });
+        }
+        if weight == 0.0 {
+            return match policy {
+                WeightPolicy::Strict => Err(SetError::NonPositiveWeight { index, weight }),
+                WeightPolicy::Sanitize => Ok(None),
+            };
+        }
+        if weight < f64::MIN_POSITIVE {
+            return match policy {
+                WeightPolicy::Strict => Err(SetError::SubnormalWeight { index, weight }),
+                WeightPolicy::Sanitize => Ok(Some(f64::MIN_POSITIVE)),
+            };
+        }
+        Ok(Some(weight))
+    }
+
+    /// Build from pre-sorted parallel arrays without copying.
     ///
     /// # Errors
-    /// Same validation as [`Self::from_pairs`] plus a sortedness check
-    /// (reported as [`SetError::DuplicateIndex`] only for equal neighbours;
-    /// out-of-order input is rejected via `debug_assert` + re-sort fallback).
+    /// Same strict validation as [`Self::try_from_pairs`], plus
+    /// [`SetError::LengthMismatch`] for unequal array lengths; unsorted
+    /// input is canonicalized through the general path (which also catches
+    /// duplicates).
     pub fn from_sorted_parts(indices: Vec<u64>, weights: Vec<f64>) -> Result<Self, SetError> {
-        assert_eq!(indices.len(), weights.len(), "parallel arrays must match");
+        if indices.len() != weights.len() {
+            return Err(SetError::LengthMismatch {
+                indices: indices.len(),
+                weights: weights.len(),
+            });
+        }
         let sorted = indices.windows(2).all(|w| w[0] < w[1]);
         if !sorted {
-            // Fall back to the general path (also catches duplicates).
-            return Self::from_pairs(indices.into_iter().zip(weights));
+            // Fall back to the general path (sorts and catches duplicates).
+            return Self::try_from_pairs(indices.into_iter().zip(weights));
         }
         for (&index, &weight) in indices.iter().zip(&weights) {
-            if !weight.is_finite() {
-                return Err(SetError::NonFiniteWeight { index, weight });
-            }
-            if weight <= 0.0 {
-                return Err(SetError::NonPositiveWeight { index, weight });
-            }
+            Self::admit(index, weight, WeightPolicy::Strict)?;
         }
         Ok(Self { indices, weights })
+    }
+
+    /// Crate-internal constructor for weight transforms of already-valid
+    /// sets: input pairs must be strictly index-sorted; each weight is the
+    /// image of a valid weight under a positive transform, so the only
+    /// invariant repairs ever needed are clamping float underflow (to
+    /// `f64::MIN_POSITIVE`, preserving the support) and overflow (to
+    /// `f64::MAX`).
+    pub(crate) fn from_transform<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        let mut indices = Vec::new();
+        let mut weights = Vec::new();
+        for (index, weight) in pairs {
+            debug_assert!(!weight.is_nan(), "transform produced NaN at {index}");
+            debug_assert!(indices.last().is_none_or(|&last| last < index), "unsorted transform");
+            indices.push(index);
+            weights.push(weight.clamp(f64::MIN_POSITIVE, f64::MAX));
+        }
+        Self { indices, weights }
     }
 
     /// A binary set (all weights `1.0`) over the given support.
@@ -192,7 +341,9 @@ impl WeightedSet {
         }
     }
 
-    /// The set with every weight multiplied by `factor > 0`.
+    /// The set with every weight multiplied by `factor > 0`. Products that
+    /// under/overflow the normal range are clamped to
+    /// `f64::MIN_POSITIVE`/`f64::MAX`, preserving the support.
     ///
     /// # Errors
     /// Rejects non-positive or non-finite factors.
@@ -203,10 +354,7 @@ impl WeightedSet {
         if factor <= 0.0 {
             return Err(SetError::NonPositiveWeight { index: 0, weight: factor });
         }
-        Ok(Self {
-            indices: self.indices.clone(),
-            weights: self.weights.iter().map(|w| w * factor).collect(),
-        })
+        Ok(Self::from_transform(self.iter().map(|(i, w)| (i, w * factor))))
     }
 
     /// The binary shadow: same support, all weights `1.0` (what standard
@@ -223,21 +371,21 @@ impl WeightedSet {
     }
 
     /// The set with total weight normalized to 1 (`l1` normalization, the
-    /// usual tf → relative-frequency step).
+    /// usual tf → relative-frequency step). Quotients that underflow the
+    /// normal range (a tiny weight divided by an astronomically large total)
+    /// are clamped to `f64::MIN_POSITIVE`, preserving the support; a total
+    /// that itself overflowed to `+∞` is treated as `f64::MAX`.
     ///
     /// # Panics
     /// Never: non-empty sets have positive total weight, and the empty set
     /// is returned unchanged.
     #[must_use]
     pub fn l1_normalized(&self) -> Self {
-        let total = self.total_weight();
+        let total = self.total_weight().min(f64::MAX);
         if total <= 0.0 {
             return self.clone();
         }
-        Self {
-            indices: self.indices.clone(),
-            weights: self.weights.iter().map(|w| w / total).collect(),
-        }
+        Self::from_transform(self.iter().map(|(i, w)| (i, w / total)))
     }
 
     /// Drop elements with weight strictly below `threshold` (tf-idf pruning
@@ -408,5 +556,86 @@ mod tests {
         let json = wmh_json::to_string(&s);
         let back: WeightedSet = wmh_json::from_str(&json).expect("deserialize");
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn deserialization_validates_untrusted_input() {
+        // The old derive-style decode copied fields verbatim; every one of
+        // these adversarial payloads used to produce an invariant-breaking
+        // set that fed NaN / ln(0) / wrong-order merges into the sketchers.
+        for bad in [
+            r#"{"indices":[1],"weights":[0.0]}"#,       // zero weight
+            r#"{"indices":[1],"weights":[-2.0]}"#,      // negative
+            r#"{"indices":[1],"weights":[5e-324]}"#,    // subnormal
+            r#"{"indices":[1,1],"weights":[1.0,1.0]}"#, // duplicate index
+            r#"{"indices":[1,2],"weights":[1.0]}"#,     // length mismatch
+            r#"{"indices":[1],"weights":[1e999]}"#,     // parses as inf
+        ] {
+            let r: Result<WeightedSet, _> = wmh_json::from_str(bad);
+            assert!(r.is_err(), "accepted adversarial payload {bad}");
+        }
+        // Unsorted-but-valid input is canonicalized, not rejected.
+        let s: WeightedSet =
+            wmh_json::from_str(r#"{"indices":[9,2],"weights":[1.0,3.0]}"#).expect("canonicalize");
+        assert_eq!(s.indices(), &[2, 9]);
+        assert_eq!(s.weight(9), 1.0);
+    }
+
+    #[test]
+    fn strict_policy_rejects_zero_and_subnormal() {
+        assert!(matches!(
+            WeightedSet::try_from_pairs([(4, 1e-320)]),
+            Err(SetError::SubnormalWeight { index: 4, .. })
+        ));
+        assert!(WeightedSet::try_from_pairs([(4, 0.0)]).is_err());
+        // MIN_POSITIVE itself is the smallest admissible weight.
+        let s = WeightedSet::try_from_pairs([(4, f64::MIN_POSITIVE)]).expect("normal weight");
+        assert_eq!(s.weight(4), f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn sanitize_policy_repairs_zero_and_subnormal() {
+        let raw = [(1, 0.0), (2, 5e-324), (3, 2.5)];
+        let s = WeightedSet::try_from_pairs_with(raw, WeightPolicy::Sanitize).expect("sanitized");
+        assert_eq!(s.indices(), &[2, 3]);
+        assert_eq!(s.weight(2), f64::MIN_POSITIVE);
+        assert_eq!(s.weight(3), 2.5);
+        // Sanitize still rejects the unrepairable.
+        for w in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(WeightedSet::try_from_pairs_with([(1, w)], WeightPolicy::Sanitize).is_err());
+        }
+        // Duplicate detection applies after repair.
+        assert!(
+            WeightedSet::try_from_pairs_with([(1, 1.0), (1, 2.0)], WeightPolicy::Sanitize).is_err()
+        );
+    }
+
+    #[test]
+    fn scaling_clamps_instead_of_breaking_the_invariant() {
+        let s = WeightedSet::from_pairs([(1, 1e-300), (2, 1e300)]).expect("valid");
+        let down = s.scaled(1e-300).expect("valid factor");
+        assert_eq!(down.weight(1), f64::MIN_POSITIVE, "underflow clamps, support kept");
+        assert_eq!(down.weight(2), 1.0);
+        let up = s.scaled(1e300).expect("valid factor");
+        assert_eq!(up.weight(2), f64::MAX, "overflow clamps to MAX");
+    }
+
+    #[test]
+    fn l1_normalization_is_total_at_the_extremes() {
+        // Total weight overflows to +∞; normalization must stay finite.
+        let s = WeightedSet::from_pairs([(1, 1e308), (2, 1e308), (3, 1e-300)]).expect("valid");
+        let n = s.l1_normalized();
+        for (_, w) in n.iter() {
+            assert!(w.is_finite() && w >= f64::MIN_POSITIVE, "weight {w:e}");
+        }
+        assert_eq!(n.len(), s.len(), "support preserved");
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error_not_a_panic() {
+        assert_eq!(
+            WeightedSet::from_sorted_parts(vec![1, 2], vec![1.0]).unwrap_err(),
+            SetError::LengthMismatch { indices: 2, weights: 1 }
+        );
     }
 }

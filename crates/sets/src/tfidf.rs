@@ -39,8 +39,10 @@ pub fn term_frequencies(tokens: &[String], vocab: &mut Vocabulary) -> WeightedSe
     for tok in tokens {
         *counts.entry(vocab.intern(tok)).or_insert(0) += 1;
     }
-    WeightedSet::from_pairs(counts.into_iter().map(|(i, c)| (i, c as f64)))
-        .expect("counts are positive")
+    let mut pairs: Vec<(u64, f64)> = counts.into_iter().map(|(i, c)| (i, c as f64)).collect();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    // Map keys are distinct and counts ≥ 1, so this is already valid.
+    WeightedSet::from_transform(pairs)
 }
 
 /// A corpus of tf vectors plus document frequencies, ready to produce tf-idf
@@ -109,16 +111,18 @@ impl TfIdfCorpus {
         let tf = self.tf.get(doc)?;
         let n = self.tf.len() as f64;
         let pairs = tf.iter().map(|(idx, f)| {
-            let df = *self.doc_freq.get(&idx).expect("df recorded for every tf term") as f64;
+            // Every tf term gets a df entry in `add_document`; the fallback
+            // (term counted in this one document) keeps the map total.
+            let df = self.doc_freq.get(&idx).copied().unwrap_or(1) as f64;
             (idx, f * (1.0 + n / df).ln())
         });
-        Some(WeightedSet::from_pairs(pairs).expect("tf-idf weights positive"))
+        Some(WeightedSet::from_transform(pairs))
     }
 
     /// tf-idf sets for all documents.
     #[must_use]
     pub fn tfidf_all(&self) -> Vec<WeightedSet> {
-        (0..self.len()).map(|d| self.tfidf(d).expect("in range")).collect()
+        (0..self.len()).filter_map(|d| self.tfidf(d)).collect()
     }
 }
 

@@ -21,6 +21,17 @@ run cargo test --workspace -q
 run env WMH_CHECK_CASES="${WMH_CHECK_CASES:-6}" \
   cargo test --release -p wmh-core --test conformance -q
 
+# Static no-panic gate: non-test code in the sketching core must not
+# unwrap/expect/panic outside the checked-in allowlist
+# (scripts/panic_allowlist.txt).
+run scripts/panic_gate.sh
+
+# Adversarial chaos suite at full strength: hostile weights and index
+# layouts against all 13 algorithms — no panic, no hang, typed errors or
+# full-length deterministic sketches only. WMH_CHAOS_CASES scales it.
+run env WMH_CHAOS_CASES="${WMH_CHAOS_CASES:-100000}" \
+  cargo test --release -p wmh-core --test chaos -q
+
 # 1-vs-N-thread determinism: the parallel sweep must return byte-identical
 # results at every thread count, and the committer must never interleave
 # partial checkpoint lines.

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Static no-panic gate for the sketching core (crates/core + crates/sets).
+#
+# Non-test code in those crates must not call `.unwrap()` / `.expect(` /
+# `panic!` / `unreachable!` / `todo!` / `unimplemented!` — the tentpole
+# guarantee is that every input produces a value or a typed error. The few
+# deliberate exceptions (documented panicking convenience wrappers) live in
+# scripts/panic_allowlist.txt; the gate fails on any hit missing from the
+# allowlist AND on any allowlist entry that no longer matches (so the list
+# can only shrink by editing it consciously).
+#
+# Heuristics, matching this repo's layout conventions:
+#   * everything from a line starting with `#[cfg(test)]` to end-of-file is
+#     a test module (test modules sit at the bottom of each file);
+#   * `//`-prefixed lines (incl. `///` doc examples) are not code.
+#
+# Usage: scripts/panic_gate.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=scripts/panic_allowlist.txt
+hits=$(mktemp)
+trap 'rm -f "$hits"' EXIT
+
+for f in $(find crates/core/src crates/sets/src -name '*.rs' | sort); do
+  awk -v FN="$f" '
+    /^#\[cfg\(test\)\]/ { intest = 1 }
+    intest { next }
+    /^[[:space:]]*\/\// { next }
+    /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\(/ {
+      line = $0
+      gsub(/^[[:space:]]+|[[:space:]]+$/, "", line)
+      print FN ": " line
+    }
+  ' "$f"
+done > "$hits"
+
+fail=0
+while IFS= read -r hit; do
+  if ! grep -Fxq "$hit" "$ALLOWLIST"; then
+    echo "panic gate: NOT allowlisted: $hit" >&2
+    fail=1
+  fi
+done < "$hits"
+
+# Stale allowlist entries mean the panic site moved or vanished — the list
+# must be edited to match reality, not accumulate dead grants.
+while IFS= read -r grant; do
+  case "$grant" in ''|'#'*) continue ;; esac
+  if ! grep -Fxq "$grant" "$hits"; then
+    echo "panic gate: stale allowlist entry (no longer in code): $grant" >&2
+    fail=1
+  fi
+done < "$ALLOWLIST"
+
+if [ "$fail" -ne 0 ]; then
+  echo "panic gate FAILED — convert the site to a typed error or allowlist it consciously." >&2
+  exit 1
+fi
+echo "panic gate passed ($(grep -vc '^\s*$\|^#' "$ALLOWLIST" || true) allowlisted sites)."

@@ -78,7 +78,10 @@ fn shrivastava_budget_exhaustion_is_reported_not_hung() {
     let sh = Shrivastava::new(4, 4, bounds).with_max_draws(100);
     let start = std::time::Instant::now();
     let err = sh.sketch(&probe).expect_err("budget must exhaust");
-    assert!(matches!(err, SketchError::BadParameter { what, .. } if what.contains("rejection")));
+    assert!(matches!(
+        err,
+        SketchError::BudgetExhausted { what, spent: 100 } if what.contains("rejection")
+    ));
     assert!(start.elapsed().as_secs() < 5, "cutoff did not bound the work");
 }
 
