@@ -174,6 +174,10 @@ pub enum ErrorKind {
     WeightExceedsBound,
     /// [`SketchError::Incompatible`].
     Incompatible,
+    /// A transient I/O failure (checkpoint or store write) that exhausted
+    /// the supervisor's retry budget; the cell is quarantined, not a
+    /// property of the algorithm or its input.
+    TransientIo,
 }
 
 impl ErrorKind {
@@ -187,6 +191,7 @@ impl ErrorKind {
             Self::InvalidSet => "invalid-set",
             Self::WeightExceedsBound => "weight-exceeds-bound",
             Self::Incompatible => "incompatible",
+            Self::TransientIo => "transient-io",
         }
     }
 
@@ -200,6 +205,7 @@ impl ErrorKind {
             "invalid-set" => Some(Self::InvalidSet),
             "weight-exceeds-bound" => Some(Self::WeightExceedsBound),
             "incompatible" => Some(Self::Incompatible),
+            "transient-io" => Some(Self::TransientIo),
             _ => None,
         }
     }

@@ -138,6 +138,12 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// An injected fault is indistinguishable from a real I/O failure to
+/// callers — same `Io` variant, message naming the failpoint.
+fn injected(point: Result<(), wmh_fault::Fault>) -> Result<(), StoreError> {
+    point.map_err(|f| StoreError::Io(f.to_string()))
+}
+
 /// What [`SketchStore::salvage`] managed to pull out of a damaged buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
@@ -519,9 +525,21 @@ impl SketchStore {
         let tmp = path.with_file_name(tmp_name);
         let result = (|| -> Result<(), StoreError> {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&self.encode())?;
+            injected(wmh_fault::point!("store::write"))?;
+            let bytes = self.encode();
+            // A firing `store::short_write` models a lying fsync: half the
+            // bytes land and the save still *reports* success, leaving a
+            // torn file for the salvage path to chew on.
+            let visible: &[u8] = if wmh_fault::point!("store::short_write").is_err() {
+                &bytes[..bytes.len() / 2]
+            } else {
+                &bytes
+            };
+            f.write_all(visible)?;
+            injected(wmh_fault::point!("store::fsync"))?;
             f.sync_all()?;
             drop(f);
+            injected(wmh_fault::point!("store::rename"))?;
             std::fs::rename(&tmp, path)?;
             // Make the rename itself durable.
             if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {

@@ -17,6 +17,7 @@ use wmh_eval::report::save_json;
 use wmh_eval::{cli, RunOptions, Scale};
 
 fn main() {
+    cli::init_faults();
     let scale = if std::env::args().any(|a| a == "--full") {
         Scale::full()
     } else if std::env::args().any(|a| a == "--medium") {

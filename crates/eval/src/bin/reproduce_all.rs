@@ -13,6 +13,7 @@ use wmh_eval::report::{fmt_value, save_json, Table};
 use wmh_eval::{cli, RunOptions, Scale};
 
 fn main() {
+    cli::init_faults();
     let seed = 0xE5EED;
     let mut report = String::from("# wmh — full reproduction report\n\n");
 

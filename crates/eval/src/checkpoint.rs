@@ -11,6 +11,7 @@
 //! {"kind":"mse_rep","dataset":"SynESS-1","algorithm":"ICWS","rep":0,"per_d":[...]}
 //! {"kind":"mse_timeout","dataset":"SynESS-1","algorithm":"[Shrivastava, 2016]"}
 //! {"kind":"mse_failed","dataset":"SynESS-1","algorithm":"Haveliwala2000","error":"budget-exhausted"}
+//! {"kind":"mse_quarantined","dataset":"SynESS-1","algorithm":"ICWS","attempts":4,"error":"..."}
 //! {"kind":"runtime","dataset":"SynESS-1","algorithm":"ICWS","d":10,"seconds":{"Value":0.5}}
 //! ```
 //!
@@ -63,6 +64,20 @@ pub enum Entry {
         /// The failure's classification.
         error: wmh_core::ErrorKind,
     },
+    /// A `(dataset, algorithm)` MSE cell quarantined by the supervisor:
+    /// every attempt failed transiently, the retry budget is spent, and
+    /// the sweep moved on. A resumed run reproduces the dash cell
+    /// (`transient-io`) without re-running the quarantined work.
+    MseQuarantined {
+        /// Dataset name.
+        dataset: String,
+        /// Algorithm catalog name.
+        algorithm: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last transient failure, verbatim.
+        error: String,
+    },
     /// One completed runtime timing.
     Runtime {
         /// Dataset name.
@@ -97,6 +112,13 @@ impl ToJson for Entry {
                 ("dataset".to_owned(), dataset.to_json()),
                 ("algorithm".to_owned(), algorithm.to_json()),
                 ("error".to_owned(), Json::Str(error.as_str().to_owned())),
+            ]),
+            Self::MseQuarantined { dataset, algorithm, attempts, error } => Json::Obj(vec![
+                kind("mse_quarantined"),
+                ("dataset".to_owned(), dataset.to_json()),
+                ("algorithm".to_owned(), algorithm.to_json()),
+                ("attempts".to_owned(), attempts.to_json()),
+                ("error".to_owned(), error.to_json()),
             ]),
             Self::Runtime { dataset, algorithm, d, seconds } => Json::Obj(vec![
                 kind("runtime"),
@@ -133,6 +155,12 @@ impl FromJson for Entry {
                     error,
                 })
             }
+            "mse_quarantined" => Ok(Self::MseQuarantined {
+                dataset: FromJson::from_json(v.field("dataset")?)?,
+                algorithm: FromJson::from_json(v.field("algorithm")?)?,
+                attempts: FromJson::from_json(v.field("attempts")?)?,
+                error: FromJson::from_json(v.field("error")?)?,
+            }),
             "runtime" => Ok(Self::Runtime {
                 dataset: FromJson::from_json(v.field("dataset")?)?,
                 algorithm: FromJson::from_json(v.field("algorithm")?)?,
@@ -158,10 +186,18 @@ fn meta_line(experiment: &str, scale: &Scale, algorithms: &[String]) -> String {
 #[derive(Debug)]
 pub struct Checkpoint {
     file: std::fs::File,
+    /// Bytes of complete, synced records. A failed append rewinds the file
+    /// here so a *retried* append never leaves a torn line mid-file (the
+    /// open-time torn-tail repair only handles a torn final line).
+    valid_len: u64,
+    /// Set when a failed append could not be rewound: the on-disk tail is
+    /// unknown, so further appends must not run.
+    poisoned: bool,
     resumed_units: usize,
     mse_reps: HashMap<(String, String, usize), Vec<f64>>,
     mse_timeouts: HashSet<(String, String)>,
     mse_failures: HashMap<(String, String), wmh_core::ErrorKind>,
+    mse_quarantines: HashMap<(String, String), (u32, String)>,
     runtime: HashMap<(String, String, usize), Measurement>,
 }
 
@@ -241,14 +277,18 @@ impl Checkpoint {
             file.write_all(expected_meta.as_bytes()).map_err(io)?;
             file.write_all(b"\n").map_err(io)?;
             file.sync_data().map_err(io)?;
+            valid_len = expected_meta.len() + 1;
         }
 
         let mut ckpt = Self {
             file,
+            valid_len: valid_len as u64,
+            poisoned: false,
             resumed_units: entries.len(),
             mse_reps: HashMap::new(),
             mse_timeouts: HashSet::new(),
             mse_failures: HashMap::new(),
+            mse_quarantines: HashMap::new(),
             runtime: HashMap::new(),
         };
         for e in entries {
@@ -267,6 +307,9 @@ impl Checkpoint {
             }
             Entry::MseFailed { dataset, algorithm, error } => {
                 self.mse_failures.insert((dataset, algorithm), error);
+            }
+            Entry::MseQuarantined { dataset, algorithm, attempts, error } => {
+                self.mse_quarantines.insert((dataset, algorithm), (attempts, error));
             }
             Entry::Runtime { dataset, algorithm, d, seconds } => {
                 self.runtime.insert((dataset, algorithm, d), seconds);
@@ -298,6 +341,15 @@ impl Checkpoint {
         self.mse_failures.get(&(dataset.to_owned(), algorithm.to_owned())).copied()
     }
 
+    /// The recorded quarantine of a `(dataset, algorithm)` MSE cell:
+    /// `(attempts, last transient error)`.
+    #[must_use]
+    pub fn mse_quarantined(&self, dataset: &str, algorithm: &str) -> Option<(u32, &str)> {
+        self.mse_quarantines
+            .get(&(dataset.to_owned(), algorithm.to_owned()))
+            .map(|(attempts, error)| (*attempts, error.as_str()))
+    }
+
     /// The checkpointed timing of a `(dataset, algorithm, D)` cell.
     #[must_use]
     pub fn runtime_seconds(&self, dataset: &str, algorithm: &str, d: usize) -> Option<Measurement> {
@@ -306,16 +358,53 @@ impl Checkpoint {
 
     /// Append one completed unit and flush it to disk before returning.
     ///
+    /// On failure the file is rewound to the last complete record, so the
+    /// caller may safely retry the append — a half-written line never
+    /// stays *mid-file*, where the open-time torn-tail repair (which only
+    /// handles a torn final line) could not remove it. If the rewind
+    /// itself fails the checkpoint is **poisoned**: the on-disk tail is
+    /// unknown, and every further append fails fast rather than write
+    /// after garbage.
+    ///
     /// # Errors
     /// [`RunnerError::Checkpoint`] on I/O failure.
     pub fn append(&mut self, entry: &Entry) -> Result<(), RunnerError> {
-        let io = |e: std::io::Error| RunnerError::Checkpoint(format!("append: {e}"));
+        let io = |e: String| RunnerError::Checkpoint(format!("append: {e}"));
+        if self.poisoned {
+            return Err(io("checkpoint poisoned by an earlier unrecoverable failure".to_owned()));
+        }
         let mut line = wmh_json::to_string(entry);
         line.push('\n');
-        self.file.write_all(line.as_bytes()).map_err(io)?;
-        self.file.sync_data().map_err(io)?;
+        if let Err(e) = self.try_write(&line) {
+            let rewound = self
+                .file
+                .set_len(self.valid_len)
+                .and_then(|()| self.file.seek(SeekFrom::Start(self.valid_len)).map(|_| ()));
+            if rewound.is_err() {
+                self.poisoned = true;
+            }
+            return Err(io(e));
+        }
+        self.valid_len += line.len() as u64;
         self.index(entry.clone());
         Ok(())
+    }
+
+    /// The fallible bytes-to-disk step of [`Self::append`], instrumented
+    /// for the chaos tests: `checkpoint::write` fails before any byte
+    /// lands, `checkpoint::torn_write` writes half the record before
+    /// failing, `checkpoint::fsync` fails after the write.
+    fn try_write(&mut self, line: &str) -> Result<(), String> {
+        let io = |e: std::io::Error| e.to_string();
+        let fault = |f: wmh_fault::Fault| f.to_string();
+        wmh_fault::point!("checkpoint::write").map_err(fault)?;
+        if let Err(f) = wmh_fault::point!("checkpoint::torn_write") {
+            let _ = self.file.write_all(&line.as_bytes()[..line.len() / 2]);
+            return Err(fault(f));
+        }
+        self.file.write_all(line.as_bytes()).map_err(io)?;
+        wmh_fault::point!("checkpoint::fsync").map_err(fault)?;
+        self.file.sync_data().map_err(io)
     }
 }
 
@@ -351,6 +440,12 @@ mod tests {
                 dataset: "ds".into(),
                 algorithm: "Haveliwala2000".into(),
                 error: wmh_core::ErrorKind::BudgetExhausted,
+            },
+            Entry::MseQuarantined {
+                dataset: "ds".into(),
+                algorithm: "ICWS".into(),
+                attempts: 4,
+                error: "injected fault at sweep::cell".into(),
             },
             Entry::Runtime {
                 dataset: "ds".into(),

@@ -2,7 +2,9 @@
 //!
 //! The binaries keep their hand-rolled flag style (`--full`, `--medium`);
 //! this module adds the one flag that takes a value, `--threads N`
-//! (also `--threads=N`), so every sweep binary parses it identically.
+//! (also `--threads=N`), so every sweep binary parses it identically —
+//! plus the `WMH_FAULTS` chaos-harness hook every sweep binary arms the
+//! same way.
 
 /// Parse `--threads N` / `--threads=N` from the process arguments.
 ///
@@ -33,6 +35,32 @@ fn threads_from(args: impl Iterator<Item = String>) -> usize {
         };
     }
     0
+}
+
+/// Arm fault injection from `WMH_FAULTS` / `WMH_FAULT_SEED` (see
+/// [`wmh_fault`]), reporting what happened on stderr.
+///
+/// A requested-but-compiled-out scenario is surfaced loudly rather than
+/// silently ignored: a chaos run against an inert binary would report a
+/// fault-free sweep as if it had survived injection. Exits with status 2
+/// on a malformed scenario.
+pub fn init_faults() {
+    match wmh_fault::init_from_env() {
+        Ok(wmh_fault::Activation::Inactive) => {}
+        Ok(wmh_fault::Activation::Active { specs, seed }) => {
+            eprintln!("fault injection ACTIVE: {specs} spec(s), seed {seed:#x}");
+        }
+        Ok(wmh_fault::Activation::CompiledOut) => {
+            eprintln!(
+                "warning: WMH_FAULTS is set but failpoints are compiled out; \
+                 rebuild with `--features wmh-fault/failpoints` to inject faults"
+            );
+        }
+        Err(e) => {
+            eprintln!("bad WMH_FAULTS scenario: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,9 @@ pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod supervisor;
 pub mod sweep;
 
 pub use runner::{Budget, Measurement, MseCell, RunOptions, RunnerError, RuntimeCell, Scale};
+pub use supervisor::{Attempt, CellOutcome, RetryPolicy};
 pub use sweep::ParallelSweep;

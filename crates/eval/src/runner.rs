@@ -34,6 +34,7 @@
 //! *identical* results to an uninterrupted one.
 
 use crate::checkpoint::{Checkpoint, Entry};
+use crate::supervisor::{supervise, Attempt, CellOutcome, RetryPolicy};
 use crate::sweep::ParallelSweep;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -56,11 +57,19 @@ pub struct Budget {
     /// disables the deadline. A cell that exceeds it is recorded as
     /// [`Measurement::TimedOut`], and the sweep moves on.
     pub wall_clock: Option<Duration>,
+    /// Wall-clock deadline for a *single unit of work* — one
+    /// `(dataset, algorithm, repeat)` MSE cell or one
+    /// `(dataset, algorithm, D)` timing — measured from the unit's first
+    /// attempt. Distinct from `wall_clock`: the group budget bounds the
+    /// whole `(dataset, algorithm)` cell while this bounds each unit, so a
+    /// single stuck unit cannot silently eat the group's entire budget.
+    /// The effective deadline of a unit is the earlier of the two.
+    pub cell_wall_clock: Option<Duration>,
 }
 
 impl Default for Budget {
     fn default() -> Self {
-        Self { max_rejection_draws: 2_000_000, wall_clock: None }
+        Self { max_rejection_draws: 2_000_000, wall_clock: None, cell_wall_clock: None }
     }
 }
 
@@ -69,23 +78,31 @@ impl ToJson for Budget {
         Json::Obj(vec![
             ("max_rejection_draws".to_owned(), self.max_rejection_draws.to_json()),
             ("wall_clock_secs".to_owned(), self.wall_clock.map(|d| d.as_secs_f64()).to_json()),
+            (
+                "cell_wall_clock_secs".to_owned(),
+                self.cell_wall_clock.map(|d| d.as_secs_f64()).to_json(),
+            ),
         ])
     }
 }
 
+fn duration_field(v: &Json, name: &'static str) -> Result<Option<Duration>, JsonError> {
+    // `field_opt`: checkpoints written before the field existed stay
+    // resumable (a missing field reads as "no deadline").
+    let secs: Option<f64> = match v.field_opt(name) {
+        Some(field) => FromJson::from_json(field)?,
+        None => None,
+    };
+    secs.map(|s| Duration::try_from_secs_f64(s).map_err(|_| JsonError::OutOfRange(name)))
+        .transpose()
+}
+
 impl FromJson for Budget {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let secs: Option<f64> = FromJson::from_json(v.field("wall_clock_secs")?)?;
-        let wall_clock = match secs {
-            None => None,
-            Some(s) => Some(
-                Duration::try_from_secs_f64(s)
-                    .map_err(|_| JsonError::OutOfRange("wall_clock_secs"))?,
-            ),
-        };
         Ok(Self {
             max_rejection_draws: FromJson::from_json(v.field("max_rejection_draws")?)?,
-            wall_clock,
+            wall_clock: duration_field(v, "wall_clock_secs")?,
+            cell_wall_clock: duration_field(v, "cell_wall_clock_secs")?,
         })
     }
 }
@@ -259,6 +276,11 @@ pub struct RunOptions {
     /// time on a single thread so measurements are not skewed by
     /// contention.
     pub threads: usize,
+    /// Retry policy for transiently failing units (see
+    /// [`crate::supervisor`]). Timeouts and typed algorithm errors are
+    /// never retried; after the policy's budget is spent the unit is
+    /// quarantined and rendered as a dash cell of kind `transient-io`.
+    pub retry: RetryPolicy,
 }
 
 impl RunOptions {
@@ -272,6 +294,13 @@ impl RunOptions {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Set the transient-failure retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -413,6 +442,14 @@ pub(crate) fn algorithm_names(algorithms: &[Algorithm]) -> Vec<String> {
     algorithms.iter().map(|a| a.name().to_owned()).collect()
 }
 
+/// The earlier of two optional deadlines (`None` = unlimited).
+pub(crate) fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
 /// Run the Figure 8 protocol. `algorithms` defaults to all thirteen.
 ///
 /// # Errors
@@ -482,6 +519,10 @@ pub fn run_runtime_with(
         None => None,
     };
     let mut cells = Vec::new();
+    // Stable unit identity for the supervisor's jitter stream: the unit's
+    // index in (dataset, algorithm, D) order. Advances for checkpointed
+    // units too, so a resumed run retries with the same backoff schedule.
+    let mut unit_salt = 0u64;
     for cfg in &scale.datasets {
         let dataset = cfg.generate(scale.seed).map_err(RunnerError::Data)?;
         let docs: Vec<WeightedSet> =
@@ -494,6 +535,8 @@ pub fn run_runtime_with(
             // deadline hit mid-grid marks the remaining D cells too.
             let deadline = scale.budget.wall_clock.map(|w| Instant::now() + w);
             for &d in &scale.d_values {
+                let salt = unit_salt;
+                unit_salt += 1;
                 if let Some(c) = &ckpt {
                     if let Some(seconds) = c.runtime_seconds(&dataset.name, algo, d) {
                         cells.push(RuntimeCell {
@@ -508,17 +551,44 @@ pub fn run_runtime_with(
                 let seconds = if deadline.is_some_and(|t| Instant::now() >= t) {
                     Measurement::TimedOut
                 } else {
-                    // An algorithm error is a dash cell (recorded with its
-                    // kind), never an aborted sweep.
-                    match algorithm.build(scale.seed, d, &scale.config(Some(bounds.clone()))) {
-                        Err(e) => Measurement::Failed(e.kind()),
-                        Ok(sketcher) => {
-                            let start = Instant::now();
-                            match sketch_docs(sketcher.as_ref(), &docs, deadline) {
-                                Ok(Some(_)) => Measurement::Value(start.elapsed().as_secs_f64()),
-                                Ok(None) => Measurement::TimedOut,
-                                Err(e) => Measurement::Failed(e.kind()),
+                    // Per-unit deadline: the earlier of the group budget
+                    // and this timing's own cell budget.
+                    let unit_deadline = min_deadline(
+                        deadline,
+                        scale.budget.cell_wall_clock.map(|w| Instant::now() + w),
+                    );
+                    let attempt = |_n: u32| {
+                        if unit_deadline.is_some_and(|t| Instant::now() >= t) {
+                            return Attempt::TimedOut;
+                        }
+                        // Transient-fault hook for the chaos tests; inert
+                        // without an active scenario.
+                        if let Err(f) = wmh_fault::point!("sweep::cell", algo) {
+                            return Attempt::Transient(f.to_string());
+                        }
+                        // An algorithm error is a dash cell (recorded with
+                        // its kind), never an aborted sweep — and never a
+                        // retry: typed errors are deterministic.
+                        let cfg = scale.config(Some(bounds.clone()));
+                        Attempt::Done(match algorithm.build(scale.seed, d, &cfg) {
+                            Err(e) => Measurement::Failed(e.kind()),
+                            Ok(sketcher) => {
+                                let start = Instant::now();
+                                match sketch_docs(sketcher.as_ref(), &docs, unit_deadline) {
+                                    Ok(Some(_)) => {
+                                        Measurement::Value(start.elapsed().as_secs_f64())
+                                    }
+                                    Ok(None) => Measurement::TimedOut,
+                                    Err(e) => Measurement::Failed(e.kind()),
+                                }
                             }
+                        })
+                    };
+                    match supervise(&options.retry, scale.seed, salt, attempt) {
+                        CellOutcome::Completed(m) => m,
+                        CellOutcome::TimedOut => Measurement::TimedOut,
+                        CellOutcome::Quarantined { .. } => {
+                            Measurement::Failed(wmh_core::ErrorKind::TransientIo)
                         }
                     }
                 };

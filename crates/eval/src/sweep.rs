@@ -27,9 +27,10 @@
 
 use crate::checkpoint::{Checkpoint, Entry};
 use crate::runner::{
-    algorithm_names, estimate_prefix, sketch_docs, Measurement, MseCell, RunOptions, RunnerError,
-    Scale,
+    algorithm_names, estimate_prefix, min_deadline, sketch_docs, Measurement, MseCell, RunOptions,
+    RunnerError, Scale,
 };
+use crate::supervisor::{supervise, Attempt, CellOutcome, RetryPolicy};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, OnceLock};
 use std::time::Instant;
@@ -70,6 +71,14 @@ enum Payload {
     Timeout,
     /// Another repeat already timed the group out; nothing was computed.
     Skipped,
+    /// The supervisor spent the retry budget on transient failures; the
+    /// group is quarantined (rendered as a `transient-io` dash).
+    Quarantine {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last transient failure, verbatim.
+        error: String,
+    },
     /// A hard failure (bad algorithm configuration, sketching error).
     Fail(RunnerError),
 }
@@ -88,6 +97,9 @@ struct GroupState {
     /// carrying the error kind (algorithm errors are rep-independent —
     /// they depend on the documents and configuration, not the rep seed).
     failed: Option<wmh_core::ErrorKind>,
+    /// A supervisor quarantine (persistent transient failures): the group
+    /// renders as dash cells of kind `transient-io`.
+    quarantined: bool,
 }
 
 impl ParallelSweep {
@@ -135,7 +147,12 @@ impl ParallelSweep {
         // Resume: load finished repeats and timed-out groups before
         // scheduling anything.
         let mut groups: Vec<GroupState> = (0..n_groups)
-            .map(|_| GroupState { reps: vec![None; scale.repeats], timed_out: false, failed: None })
+            .map(|_| GroupState {
+                reps: vec![None; scale.repeats],
+                timed_out: false,
+                failed: None,
+                quarantined: false,
+            })
             .collect();
         if let Some(c) = &ckpt {
             for (ds, ctx) in ctxs.iter().enumerate() {
@@ -143,7 +160,8 @@ impl ParallelSweep {
                     let state = &mut groups[group(ds, al)];
                     state.timed_out = c.mse_timed_out(&ctx.name, algorithm.name());
                     state.failed = c.mse_failed(&ctx.name, algorithm.name());
-                    if state.timed_out || state.failed.is_some() {
+                    state.quarantined = c.mse_quarantined(&ctx.name, algorithm.name()).is_some();
+                    if state.timed_out || state.failed.is_some() || state.quarantined {
                         continue;
                     }
                     for (rep, slot) in state.reps.iter_mut().enumerate() {
@@ -166,7 +184,10 @@ impl ParallelSweep {
             })
             .filter(|&(ds, al, rep)| {
                 let state = &groups[group(ds, al)];
-                !state.timed_out && state.failed.is_none() && state.reps[rep].is_none()
+                !state.timed_out
+                    && state.failed.is_none()
+                    && !state.quarantined
+                    && state.reps[rep].is_none()
             })
             .collect();
 
@@ -183,18 +204,22 @@ impl ParallelSweep {
             .flat_map(|ctx| algorithms.iter().map(|a| (ctx.name.clone(), a.name().to_owned())))
             .collect();
         let (tx, rx) = mpsc::channel::<CellDone>();
+        let retry = options.retry;
         let committer_out: Result<(Vec<GroupState>, Option<RunnerError>), _> =
             std::thread::scope(|outer| {
-                let committer = outer.spawn(move || commit_loop(rx, ckpt, groups, group_names));
+                let committer = outer
+                    .spawn(move || commit_loop(rx, ckpt, groups, group_names, retry, scale.seed));
                 self.pool.scope(|s| {
                     for &(ds, al, rep) in &cells {
                         let tx = tx.clone();
                         let (ctx, algorithm) = (&ctxs[ds], algorithms[al]);
                         let g = group(ds, al);
                         let (deadline, flag) = (&deadlines[g], &timed_out_flags[g]);
+                        let retry = &options.retry;
                         s.spawn(move || {
-                            let payload =
-                                run_cell(scale, algorithm, ctx, d_max, rep, deadline, flag);
+                            let payload = run_cell(
+                                scale, algorithm, ctx, d_max, rep, retry, deadline, flag, g,
+                            );
                             // The committer only disconnects after a
                             // checkpoint write fails; the cell result is
                             // then moot.
@@ -234,6 +259,14 @@ impl ParallelSweep {
                             algorithm: algorithm.name().to_owned(),
                             d,
                             mse: Measurement::Failed(kind),
+                            mse_std: 0.0,
+                        }
+                    } else if state.quarantined {
+                        MseCell {
+                            dataset: ctx.name.clone(),
+                            algorithm: algorithm.name().to_owned(),
+                            d,
+                            mse: Measurement::Failed(wmh_core::ErrorKind::TransientIo),
                             mse_std: 0.0,
                         }
                     } else {
@@ -292,26 +325,77 @@ fn prepare_dataset(scale: &Scale, cfg: &SynConfig) -> Result<DatasetCtx, RunnerE
     Ok(DatasetCtx { name: dataset.name, bounds, used_docs, pair_slots, truths })
 }
 
-/// Execute one `(dataset, algorithm, repeat)` cell. Pure apart from the
-/// wall-clock deadline: the repeat seed, the sketches, and the MSE vector
-/// depend only on `(scale.seed, rep)` and the inputs.
+/// Execute one `(dataset, algorithm, repeat)` cell under supervision:
+/// transient faults (the `sweep::cell` failpoint) retry with seeded
+/// backoff, deadlines are terminal, spent retry budgets quarantine. The
+/// measurement itself is pure apart from the deadlines: the repeat seed,
+/// the sketches, and the MSE vector depend only on `(scale.seed, rep)` and
+/// the inputs.
+#[allow(clippy::too_many_arguments)] // internal: the cell's full coordinate frame
 fn run_cell(
     scale: &Scale,
     algorithm: Algorithm,
     ctx: &DatasetCtx,
     d_max: usize,
     rep: usize,
+    retry: &RetryPolicy,
     deadline: &OnceLock<Option<Instant>>,
     group_timed_out: &AtomicBool,
+    group: usize,
 ) -> Payload {
     if group_timed_out.load(Ordering::Relaxed) {
         return Payload::Skipped;
     }
-    let deadline = *deadline.get_or_init(|| scale.budget.wall_clock.map(|w| Instant::now() + w));
-    if deadline.is_some_and(|t| Instant::now() >= t) {
-        group_timed_out.store(true, Ordering::Relaxed);
-        return Payload::Timeout;
+    let group_deadline =
+        *deadline.get_or_init(|| scale.budget.wall_clock.map(|w| Instant::now() + w));
+    // The cell's own deadline starts now and spans *all* attempts: retries
+    // must not extend the time a stuck cell can hold.
+    let cell_deadline =
+        min_deadline(group_deadline, scale.budget.cell_wall_clock.map(|w| Instant::now() + w));
+    // Stable cell identity (salts the backoff jitter stream): group and
+    // repeat coordinates, which no schedule can change.
+    let salt = ((group as u64) << 32) | rep as u64;
+    let outcome = supervise(retry, scale.seed, salt, |_n| {
+        if group_timed_out.load(Ordering::Relaxed) {
+            return Attempt::Done(Payload::Skipped);
+        }
+        if cell_deadline.is_some_and(|t| Instant::now() >= t) {
+            return Attempt::TimedOut;
+        }
+        // Transient-fault hook for the chaos tests, tagged with the
+        // algorithm so scenarios can target one group; inert without an
+        // active scenario.
+        if let Err(f) = wmh_fault::point!("sweep::cell", algorithm.name()) {
+            return Attempt::Transient(f.to_string());
+        }
+        Attempt::Done(attempt_cell(scale, algorithm, ctx, d_max, rep, cell_deadline))
+    });
+    match outcome {
+        CellOutcome::Completed(payload) => {
+            if matches!(payload, Payload::Timeout) {
+                group_timed_out.store(true, Ordering::Relaxed);
+            }
+            payload
+        }
+        CellOutcome::TimedOut => {
+            group_timed_out.store(true, Ordering::Relaxed);
+            Payload::Timeout
+        }
+        CellOutcome::Quarantined { attempts, error } => Payload::Quarantine { attempts, error },
     }
+}
+
+/// One attempt at the cell's measurement. Typed algorithm errors and
+/// budget timeouts are *final* answers (deterministic, so retrying cannot
+/// change them) — they come back as `Done`, not `Transient`.
+fn attempt_cell(
+    scale: &Scale,
+    algorithm: Algorithm,
+    ctx: &DatasetCtx,
+    d_max: usize,
+    rep: usize,
+    deadline: Option<Instant>,
+) -> Payload {
     let algo_err = |e: SketchError| {
         Payload::Fail(RunnerError::Algorithm { algorithm: algorithm.name().to_owned(), error: e })
     };
@@ -322,10 +406,7 @@ fn run_cell(
     };
     let sketches = match sketch_docs(sketcher.as_ref(), &ctx.used_docs, deadline) {
         Ok(Some(s)) => s,
-        Ok(None) => {
-            group_timed_out.store(true, Ordering::Relaxed);
-            return Payload::Timeout;
-        }
+        Ok(None) => return Payload::Timeout,
         Err(e) => return algo_err(e),
     };
     let mut per_d = Vec::with_capacity(scale.d_values.len());
@@ -340,14 +421,40 @@ fn run_cell(
     Payload::Rep(per_d)
 }
 
+/// Append with the supervisor's bounded retry. [`Checkpoint::append`]
+/// rewinds its file to the last complete record on failure, so retrying
+/// is safe; a *persistent* append failure still aborts the sweep — losing
+/// checkpoint durability silently would defeat the point of having one.
+fn append_with_retry(
+    ckpt: &mut Checkpoint,
+    entry: &Entry,
+    retry: &RetryPolicy,
+    seed: u64,
+    salt: u64,
+) -> Result<(), RunnerError> {
+    let outcome = supervise(retry, seed, salt, |_n| match ckpt.append(entry) {
+        Ok(()) => Attempt::Done(()),
+        Err(e) => Attempt::Transient(e.to_string()),
+    });
+    match outcome {
+        CellOutcome::Completed(()) => Ok(()),
+        // The closure never reports TimedOut, but map it conservatively.
+        CellOutcome::TimedOut => Err(RunnerError::Checkpoint("append timed out".to_owned())),
+        CellOutcome::Quarantined { error, .. } => Err(RunnerError::Checkpoint(error)),
+    }
+}
+
 /// The single committer: owns the checkpoint writer, serializes every
-/// append (fsync ordering unchanged from the sequential engine), and
+/// append (fsync ordering unchanged from the sequential engine), retries
+/// transient append failures with the supervisor's backoff, and
 /// accumulates cell outcomes into the `(group, rep)` table.
 fn commit_loop(
     rx: mpsc::Receiver<CellDone>,
     mut ckpt: Option<Checkpoint>,
     mut groups: Vec<GroupState>,
     group_names: Vec<(String, String)>,
+    retry: RetryPolicy,
+    seed: u64,
 ) -> (Vec<GroupState>, Option<RunnerError>) {
     // On concurrent failures, report the first cell in (group, rep) order
     // so the surfaced error does not depend on the schedule.
@@ -364,18 +471,22 @@ fn commit_loop(
     for done in rx {
         let state = &mut groups[done.group];
         let (dataset, algorithm) = &group_names[done.group];
+        // Committer appends get their own salt stream, disjoint from the
+        // worker cells' (high bit set).
+        let salt = (1u64 << 63) | ((done.group as u64) << 32) | done.rep as u64;
         match done.payload {
             Payload::Rep(per_d) => {
                 // Repeats that land after the group timed out are moot;
                 // the sequential engine would not have run them at all.
                 if !state.timed_out {
                     if let Some(c) = &mut ckpt {
-                        if let Err(e) = c.append(&Entry::MseRep {
+                        let entry = Entry::MseRep {
                             dataset: dataset.clone(),
                             algorithm: algorithm.clone(),
                             rep: done.rep,
                             per_d: per_d.clone(),
-                        }) {
+                        };
+                        if let Err(e) = append_with_retry(c, &entry, &retry, seed, salt) {
                             record_error((done.group, done.rep), e);
                         }
                     }
@@ -386,10 +497,11 @@ fn commit_loop(
                 if !state.timed_out {
                     state.timed_out = true;
                     if let Some(c) = &mut ckpt {
-                        if let Err(e) = c.append(&Entry::MseTimeout {
+                        let entry = Entry::MseTimeout {
                             dataset: dataset.clone(),
                             algorithm: algorithm.clone(),
-                        }) {
+                        };
+                        if let Err(e) = append_with_retry(c, &entry, &retry, seed, salt) {
                             record_error((done.group, done.rep), e);
                         }
                     }
@@ -399,6 +511,25 @@ fn commit_loop(
             // sibling set; that sibling's own Timeout message (possibly
             // still in flight) marks the group.
             Payload::Skipped => {}
+            // A quarantined cell marks the whole group: its siblings share
+            // the environment that kept failing, and a partial group could
+            // not be aggregated anyway.
+            Payload::Quarantine { attempts, error } => {
+                if !state.timed_out && state.failed.is_none() && !state.quarantined {
+                    state.quarantined = true;
+                    if let Some(c) = &mut ckpt {
+                        let entry = Entry::MseQuarantined {
+                            dataset: dataset.clone(),
+                            algorithm: algorithm.clone(),
+                            attempts,
+                            error,
+                        };
+                        if let Err(e) = append_with_retry(c, &entry, &retry, seed, salt) {
+                            record_error((done.group, done.rep), e);
+                        }
+                    }
+                }
+            }
             // An algorithm failure marks the group as a dash cell carrying
             // the error kind — the sweep itself keeps going. Anything else
             // (today only checkpoint I/O on other arms) still aborts.
@@ -406,11 +537,12 @@ fn commit_loop(
                 if state.failed.is_none() && !state.timed_out {
                     state.failed = Some(error.kind());
                     if let Some(c) = &mut ckpt {
-                        if let Err(e) = c.append(&Entry::MseFailed {
+                        let entry = Entry::MseFailed {
                             dataset: dataset.clone(),
                             algorithm: algorithm.clone(),
                             error: error.kind(),
-                        }) {
+                        };
+                        if let Err(e) = append_with_retry(c, &entry, &retry, seed, salt) {
                             record_error((done.group, done.rep), e);
                         }
                     }

@@ -1,0 +1,352 @@
+//! Scenario strings: parsing, activation, and scoped test guards.
+//!
+//! A scenario is `;`-separated clauses of the form
+//! `point['@'tag]'='trigger[':'action]` (grammar in the crate docs). This
+//! module turns that string into registry specs, exposes process-global
+//! [`configure`]/[`clear`] for binaries, and a lock-holding
+//! [`scenario`] guard for tests so parallel test threads never observe
+//! each other's injected faults.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use crate::registry::{self, Action, Spec, Trigger};
+
+/// A scenario string that could not be parsed or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A clause had no `=` separating the point name from its trigger.
+    MissingTrigger {
+        /// The offending clause, verbatim.
+        spec: String,
+    },
+    /// A clause had an empty point name (e.g. `=always`).
+    EmptyPoint {
+        /// The offending clause, verbatim.
+        spec: String,
+    },
+    /// The trigger was not `once`/`always`/`never`/`1inN`/`pF`.
+    BadTrigger {
+        /// The offending clause, verbatim.
+        spec: String,
+        /// The unrecognized trigger text.
+        trigger: String,
+    },
+    /// The action was not `fail`/`sleepDUR`.
+    BadAction {
+        /// The offending clause, verbatim.
+        spec: String,
+        /// The unrecognized action text.
+        action: String,
+    },
+    /// `WMH_FAULT_SEED` was not a decimal or `0x`-prefixed hex u64.
+    BadSeed {
+        /// The unparseable seed text.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingTrigger { spec } => {
+                write!(f, "fault spec {spec:?} is missing '=trigger'")
+            }
+            Self::EmptyPoint { spec } => {
+                write!(f, "fault spec {spec:?} has an empty point name")
+            }
+            Self::BadTrigger { spec, trigger } => write!(
+                f,
+                "fault spec {spec:?}: unknown trigger {trigger:?} \
+                 (expected once|always|never|1inN|pF)"
+            ),
+            Self::BadAction { spec, action } => {
+                write!(f, "fault spec {spec:?}: unknown action {action:?} (expected fail|sleepDUR)")
+            }
+            Self::BadSeed { value } => {
+                write!(f, "WMH_FAULT_SEED {value:?} is not a u64 (decimal or 0x-hex)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// What [`init_from_env`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `WMH_FAULTS` unset or empty: nothing to inject.
+    Inactive,
+    /// A scenario was installed.
+    Active {
+        /// Number of fault specs installed.
+        specs: usize,
+        /// The seed driving probabilistic schedules.
+        seed: u64,
+    },
+    /// `WMH_FAULTS` was set, but this binary was compiled without the
+    /// `failpoints` feature — every point is a no-op, so the scenario
+    /// cannot take effect. Callers should surface this loudly.
+    CompiledOut,
+}
+
+fn parse_duration(text: &str, spec: &str) -> Result<Duration, ScenarioError> {
+    let bad = || ScenarioError::BadAction { spec: spec.to_owned(), action: format!("sleep{text}") };
+    let (digits, unit) = match text.find(|c: char| !c.is_ascii_digit()) {
+        Some(split) if split > 0 => text.split_at(split),
+        _ => return Err(bad()),
+    };
+    let value: u64 = digits.parse().map_err(|_| bad())?;
+    match unit {
+        "ns" => Ok(Duration::from_nanos(value)),
+        "us" => Ok(Duration::from_micros(value)),
+        "ms" => Ok(Duration::from_millis(value)),
+        "s" => Ok(Duration::from_secs(value)),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_trigger(text: &str, spec: &str) -> Result<Trigger, ScenarioError> {
+    let bad = || ScenarioError::BadTrigger { spec: spec.to_owned(), trigger: text.to_owned() };
+    match text {
+        "once" => return Ok(Trigger::Once),
+        "always" => return Ok(Trigger::Always),
+        "never" => return Ok(Trigger::Never),
+        _ => {}
+    }
+    if let Some(n) = text.strip_prefix("1in") {
+        let n: u64 = n.parse().map_err(|_| bad())?;
+        if n == 0 {
+            return Err(bad());
+        }
+        return Ok(Trigger::EveryNth(n));
+    }
+    if let Some(p) = text.strip_prefix('p') {
+        let p: f64 = p.parse().map_err(|_| bad())?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(bad());
+        }
+        return Ok(Trigger::Prob(p));
+    }
+    Err(bad())
+}
+
+fn parse_spec(clause: &str) -> Result<(String, Spec), ScenarioError> {
+    let Some((site, rest)) = clause.split_once('=') else {
+        return Err(ScenarioError::MissingTrigger { spec: clause.to_owned() });
+    };
+    let (point, tag) = match site.split_once('@') {
+        Some((point, tag)) => (point.trim(), Some(tag.trim().to_owned())),
+        None => (site.trim(), None),
+    };
+    if point.is_empty() {
+        return Err(ScenarioError::EmptyPoint { spec: clause.to_owned() });
+    }
+    let (trigger_text, action_text) = match rest.split_once(':') {
+        Some((t, a)) => (t.trim(), Some(a.trim())),
+        None => (rest.trim(), None),
+    };
+    let trigger = parse_trigger(trigger_text, clause)?;
+    let action = match action_text {
+        None | Some("fail") => Action::Fail,
+        Some(a) => match a.strip_prefix("sleep") {
+            Some(dur) => Action::Sleep(parse_duration(dur, clause)?),
+            None => {
+                return Err(ScenarioError::BadAction {
+                    spec: clause.to_owned(),
+                    action: a.to_owned(),
+                });
+            }
+        },
+    };
+    Ok((point.to_owned(), Spec { tag, trigger, action }))
+}
+
+fn parse(scenario: &str) -> Result<Vec<(String, Spec)>, ScenarioError> {
+    scenario.split(';').map(str::trim).filter(|clause| !clause.is_empty()).map(parse_spec).collect()
+}
+
+/// Parse `scenario` and install it process-globally under `seed`,
+/// replacing any active scenario and resetting all counters.
+///
+/// Binaries call this (usually via [`init_from_env`]); tests should
+/// prefer the scoped [`scenario`] guard.
+///
+/// # Errors
+/// [`ScenarioError`] if the string does not match the grammar; the
+/// previously active scenario (if any) is left untouched.
+pub fn configure(scenario: &str, seed: u64) -> Result<usize, ScenarioError> {
+    let specs = parse(scenario)?;
+    let count = specs.len();
+    registry::install(specs, seed);
+    Ok(count)
+}
+
+/// Deactivate any active scenario and drop all hit counters.
+pub fn clear() {
+    registry::uninstall();
+}
+
+/// Serializes scenario-holding tests: the registry is process-global, so
+/// two tests injecting faults concurrently would see each other's.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// A scoped scenario: holds the global scenario lock, and clears the
+/// registry when dropped.
+///
+/// Returned by [`scenario`]; keep it alive for the duration of the test.
+#[must_use = "the scenario deactivates when the guard drops"]
+pub struct ScenarioGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ScenarioGuard {
+    fn drop(&mut self) {
+        clear();
+        // `_lock` releases afterwards, handing the registry — now clean —
+        // to the next scenario-holding test.
+    }
+}
+
+/// Install `spec` under `seed` for the lifetime of the returned guard.
+///
+/// Scenario-holding tests serialize on a global lock (parallel test
+/// threads would otherwise observe each other's faults), so keep
+/// scenario-holding sections short. A test that panics while holding the
+/// guard poisons nothing: the lock is recovered and the registry cleared.
+///
+/// # Errors
+/// [`ScenarioError`] if `spec` does not match the grammar.
+pub fn scenario(spec: &str, seed: u64) -> Result<ScenarioGuard, ScenarioError> {
+    let lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    configure(spec, seed)?;
+    Ok(ScenarioGuard { _lock: lock })
+}
+
+/// The scenario / seed pair as read from the environment.
+fn activate(faults: Option<&str>, seed_text: Option<&str>) -> Result<Activation, ScenarioError> {
+    let Some(faults) = faults.map(str::trim).filter(|f| !f.is_empty()) else {
+        return Ok(Activation::Inactive);
+    };
+    if !cfg!(feature = "failpoints") {
+        return Ok(Activation::CompiledOut);
+    }
+    let seed = match seed_text.map(str::trim).filter(|s| !s.is_empty()) {
+        None => 0,
+        Some(text) => {
+            let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => text.parse(),
+            };
+            parsed.map_err(|_| ScenarioError::BadSeed { value: text.to_owned() })?
+        }
+    };
+    let specs = configure(faults, seed)?;
+    Ok(Activation::Active { specs, seed })
+}
+
+/// Read `WMH_FAULTS` / `WMH_FAULT_SEED` and install the scenario they
+/// describe, if any. Call once at binary startup.
+///
+/// * `WMH_FAULTS` unset or blank → [`Activation::Inactive`].
+/// * Set, but the binary lacks the `failpoints` feature →
+///   [`Activation::CompiledOut`] (the caller should tell the operator the
+///   scenario is dead weight).
+/// * Otherwise the scenario is installed with the seed from
+///   `WMH_FAULT_SEED` (decimal or `0x`-hex, default 0).
+///
+/// # Errors
+/// [`ScenarioError`] if either variable fails to parse.
+pub fn init_from_env() -> Result<Activation, ScenarioError> {
+    let faults = std::env::var("WMH_FAULTS").ok();
+    let seed = std::env::var("WMH_FAULT_SEED").ok();
+    activate(faults.as_deref(), seed.as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips() {
+        let specs = parse(
+            "checkpoint::fsync=1in20; store::write=once; \
+             par::worker_delay=p0.25:sleep2ms; sweep::cell@ICWS=always:fail;",
+        )
+        .expect("parse");
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].0, "checkpoint::fsync");
+        assert_eq!(specs[0].1.trigger, Trigger::EveryNth(20));
+        assert_eq!(specs[0].1.action, Action::Fail);
+        assert_eq!(specs[1].1.trigger, Trigger::Once);
+        assert_eq!(specs[2].1.trigger, Trigger::Prob(0.25));
+        assert_eq!(specs[2].1.action, Action::Sleep(Duration::from_millis(2)));
+        assert_eq!(specs[3].0, "sweep::cell");
+        assert_eq!(specs[3].1.tag.as_deref(), Some("ICWS"));
+        assert_eq!(specs[3].1.trigger, Trigger::Always);
+    }
+
+    #[test]
+    fn durations_cover_all_units() {
+        let cases = [
+            ("a=once:sleep500ns", Duration::from_nanos(500)),
+            ("a=once:sleep250us", Duration::from_micros(250)),
+            ("a=once:sleep2ms", Duration::from_millis(2)),
+            ("a=once:sleep1s", Duration::from_secs(1)),
+        ];
+        for (text, want) in cases {
+            let specs = parse(text).expect("parse");
+            assert_eq!(specs[0].1.action, Action::Sleep(want), "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_scenarios_are_typed_errors() {
+        assert!(matches!(parse("no_trigger"), Err(ScenarioError::MissingTrigger { .. })));
+        assert!(matches!(parse("=always"), Err(ScenarioError::EmptyPoint { .. })));
+        assert!(matches!(parse("a=sometimes"), Err(ScenarioError::BadTrigger { .. })));
+        assert!(matches!(parse("a=1in0"), Err(ScenarioError::BadTrigger { .. })));
+        assert!(matches!(parse("a=p1.5"), Err(ScenarioError::BadTrigger { .. })));
+        assert!(matches!(parse("a=pNaN"), Err(ScenarioError::BadTrigger { .. })));
+        assert!(matches!(parse("a=once:explode"), Err(ScenarioError::BadAction { .. })));
+        assert!(matches!(parse("a=once:sleep2h"), Err(ScenarioError::BadAction { .. })));
+        assert!(matches!(parse("a=once:sleepms"), Err(ScenarioError::BadAction { .. })));
+    }
+
+    #[test]
+    fn blank_env_is_inactive() {
+        assert_eq!(activate(None, None), Ok(Activation::Inactive));
+        assert_eq!(activate(Some("   "), None), Ok(Activation::Inactive));
+    }
+
+    #[test]
+    fn bad_seed_is_a_typed_error() {
+        if !cfg!(feature = "failpoints") {
+            return; // feature-off builds report CompiledOut before seed parsing
+        }
+        assert!(matches!(
+            activate(Some("a=once"), Some("not-a-number")),
+            Err(ScenarioError::BadSeed { .. })
+        ));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn env_activation_parses_seeds_and_installs() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let active = activate(Some("env::point=always"), Some("0xDEADBEEF")).expect("activate");
+        assert_eq!(active, Activation::Active { specs: 1, seed: 0xDEAD_BEEF });
+        assert!(crate::hit("env::point", None).is_err());
+        clear();
+        let active = activate(Some("env::point=never"), Some("42")).expect("activate");
+        assert_eq!(active, Activation::Active { specs: 1, seed: 42 });
+        assert!(crate::hit("env::point", None).is_ok());
+        clear();
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[test]
+    fn feature_off_reports_compiled_out() {
+        assert_eq!(activate(Some("a=always"), None), Ok(Activation::CompiledOut));
+    }
+}

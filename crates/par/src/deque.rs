@@ -63,9 +63,10 @@ impl Drop for Shared {
         let current = *self.buffer.get_mut();
         // SAFETY: drop has exclusive access; these pointers came from
         // `Box::into_raw` and are freed exactly once each.
+        let retired = self.retired.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         unsafe {
             drop(Box::from_raw(current));
-            for &p in self.retired.lock().expect("retired lock").iter() {
+            for &p in retired.iter() {
                 drop(Box::from_raw(p));
             }
         }
@@ -185,7 +186,7 @@ impl Owner {
             Box::into_raw(new)
         };
         self.shared.buffer.store(new, Ordering::Release);
-        self.shared.retired.lock().expect("retired lock").push(old);
+        self.shared.retired.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(old);
         new
     }
 }

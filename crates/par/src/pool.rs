@@ -27,7 +27,18 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock a pool mutex, recovering from poisoning.
+///
+/// Every critical section in this module leaves its data structurally
+/// valid (queues stay queues, counters stay counters), so a poisoned lock
+/// only records that *some* thread panicked — and panicking *again* while
+/// already unwinding (e.g. in [`ScopeState::record_panic`]) would abort
+/// the process instead of reporting the original panic.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A task: the erased closure plus the scope it must report completion to.
 struct TaskCell {
@@ -66,7 +77,7 @@ struct Shared {
 impl Shared {
     /// Publish a state change (new task or completion) and wake sleepers.
     fn bump(&self) {
-        let mut inbox = self.inbox.lock().expect("pool inbox");
+        let mut inbox = lock(&self.inbox);
         inbox.epoch = inbox.epoch.wrapping_add(1);
         drop(inbox);
         self.wakeup.notify_all();
@@ -82,7 +93,7 @@ struct ScopeState {
 
 impl ScopeState {
     fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
-        let mut slot = self.panic.lock().expect("scope panic slot");
+        let mut slot = lock(&self.panic);
         slot.get_or_insert(payload);
     }
 }
@@ -103,6 +114,11 @@ struct WorkerHandle {
 fn run_task(shared: &Shared, payload: usize) {
     let cell = from_payload(payload);
     let scope = Arc::clone(&cell.scope);
+    // Delay-only injection site: chaos scenarios stall workers here
+    // (`par::worker_delay=p0.3:sleep2ms`) to shuffle task interleavings;
+    // a `fail` action makes no sense for a spawned task, so the result is
+    // deliberately ignored.
+    let _ = wmh_fault::point!("par::worker_delay");
     if let Err(panic) = catch_unwind(AssertUnwindSafe(cell.run)) {
         scope.record_panic(panic);
     }
@@ -116,7 +132,7 @@ const INJECTOR_BATCH: usize = 16;
 
 /// Grab a batch from the injector into `own`, returning one task to run.
 fn grab_injected(shared: &Shared, own: Option<&Owner>) -> Option<usize> {
-    let mut inbox = shared.inbox.lock().expect("pool inbox");
+    let mut inbox = lock(&shared.inbox);
     let first = inbox.injected.pop_front()?;
     if let Some(own) = own {
         for _ in 0..INJECTOR_BATCH {
@@ -157,17 +173,17 @@ fn steal_any(shared: &Shared, skip: usize) -> Option<usize> {
 /// The worker main loop.
 fn worker_loop(shared: &Shared, index: usize, own: Arc<WorkerHandle>) {
     CURRENT_WORKER.with(|w| *w.borrow_mut() = Some(Arc::clone(&own)));
-    let mut seen_epoch = shared.inbox.lock().expect("pool inbox").epoch;
+    let mut seen_epoch = lock(&shared.inbox).epoch;
     loop {
         // Drain: own deque first, then the injector, then other workers.
         loop {
             let next = {
-                let owner = own.own.lock().expect("worker deque");
+                let owner = lock(&own.own);
                 owner.pop()
             };
             let next = next
                 .or_else(|| {
-                    let owner = own.own.lock().expect("worker deque");
+                    let owner = lock(&own.own);
                     grab_injected(shared, Some(&owner))
                 })
                 .or_else(|| steal_any(shared, index));
@@ -177,12 +193,12 @@ fn worker_loop(shared: &Shared, index: usize, own: Arc<WorkerHandle>) {
             }
         }
         // Nothing found: park unless the epoch moved since the drain began.
-        let mut inbox = shared.inbox.lock().expect("pool inbox");
+        let mut inbox = lock(&shared.inbox);
         if inbox.shutdown {
             return;
         }
         if inbox.epoch == seen_epoch {
-            inbox = shared.wakeup.wait(inbox).expect("pool inbox");
+            inbox = shared.wakeup.wait(inbox).unwrap_or_else(PoisonError::into_inner);
         }
         seen_epoch = inbox.epoch;
     }
@@ -221,8 +237,7 @@ impl ThreadPool {
                 Arc::new(WorkerHandle { own: Mutex::new(owner) })
             })
             .collect();
-        let stealers =
-            handles.iter().map(|h| h.own.lock().expect("worker deque").stealer()).collect();
+        let stealers = handles.iter().map(|h| lock(&h.own).stealer()).collect();
         let shared = Arc::new(Shared {
             inbox: Mutex::new(Inbox { injected: VecDeque::new(), epoch: 0, shutdown: false }),
             wakeup: Condvar::new(),
@@ -268,7 +283,7 @@ impl ThreadPool {
         let scope = Scope { pool: self, state: Arc::clone(&state), _env: std::marker::PhantomData };
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         self.wait(&state);
-        if let Some(panic) = state.panic.lock().expect("scope panic slot").take() {
+        if let Some(panic) = lock(&state.panic).take() {
             std::panic::resume_unwind(panic);
         }
         match result {
@@ -280,18 +295,18 @@ impl ThreadPool {
     /// Help execute tasks until `state.pending` reaches zero.
     fn wait(&self, state: &ScopeState) {
         let shared = &*self.shared;
-        let mut seen_epoch = shared.inbox.lock().expect("pool inbox").epoch;
+        let mut seen_epoch = lock(&shared.inbox).epoch;
         while state.pending.load(Ordering::Acquire) != 0 {
             let next = grab_injected(shared, None).or_else(|| steal_any(shared, usize::MAX));
             match next {
                 Some(task) => run_task(shared, task),
                 None => {
-                    let mut inbox = shared.inbox.lock().expect("pool inbox");
+                    let mut inbox = lock(&shared.inbox);
                     if state.pending.load(Ordering::Acquire) == 0 {
                         return;
                     }
                     if inbox.epoch == seen_epoch {
-                        inbox = shared.wakeup.wait(inbox).expect("pool inbox");
+                        inbox = shared.wakeup.wait(inbox).unwrap_or_else(PoisonError::into_inner);
                     }
                     seen_epoch = inbox.epoch;
                 }
@@ -306,11 +321,11 @@ impl ThreadPool {
         // own deque; external spawns go through the injector.
         let direct = CURRENT_WORKER.with(|w| {
             w.borrow().as_ref().map(|handle| {
-                handle.own.lock().expect("worker deque").push(payload);
+                lock(&handle.own).push(payload);
             })
         });
         if direct.is_none() {
-            let mut inbox = self.shared.inbox.lock().expect("pool inbox");
+            let mut inbox = lock(&self.shared.inbox);
             inbox.injected.push_back(payload);
             drop(inbox);
         }
@@ -321,7 +336,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut inbox = self.shared.inbox.lock().expect("pool inbox");
+            let mut inbox = lock(&self.shared.inbox);
             inbox.shutdown = true;
             inbox.epoch = inbox.epoch.wrapping_add(1);
         }
@@ -469,5 +484,63 @@ mod tests {
         let pool = ThreadPool::new(2);
         let got = pool.scope(|_| 42);
         assert_eq!(got, 42);
+    }
+
+    /// Regression for the panic-slot bug: locking a poisoned mutex with
+    /// `.expect()` panics *again* — fatal when it happens during
+    /// unwinding. `lock` must recover the guard instead.
+    #[test]
+    fn poisoned_lock_is_recovered_not_repanicked() {
+        let mutex = Mutex::new(7);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = mutex.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock(&mutex), 7, "lock() must hand back the data, not panic");
+    }
+
+    #[test]
+    fn repeated_panicking_scopes_leave_the_pool_usable() {
+        let pool = ThreadPool::new(4);
+        for _ in 0..4 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|scope| {
+                    for i in 0..16 {
+                        scope.spawn(move || panic!("task {i} down"));
+                    }
+                });
+            }));
+            assert!(result.is_err(), "scope must re-raise the task panic");
+        }
+        let count = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..8 {
+                let count = &count;
+                scope.spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    /// The delay-injection point stalls workers but never drops tasks.
+    #[test]
+    fn worker_delay_injection_only_shuffles_schedules() {
+        let _g = wmh_fault::scenario("par::worker_delay=p0.5:sleep1ms", 9).expect("scenario");
+        let pool = ThreadPool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..32 {
+                let count = &count;
+                scope.spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 32, "every task must still run");
+        assert_eq!(wmh_fault::hits("par::worker_delay"), 32, "every task passes the point");
+        assert!(wmh_fault::fired("par::worker_delay") > 0, "p0.5 over 32 tasks should fire");
     }
 }

@@ -37,6 +37,20 @@ run env WMH_CHAOS_CASES="${WMH_CHAOS_CASES:-100000}" \
 # partial checkpoint lines.
 run cargo test --release -p wmh-eval --test determinism -q
 
+# Failpoint machinery: the wmh-fault crate's own scenario/registry suite
+# (points compile to no-ops without the feature, so it must be explicit).
+run cargo test --release -p wmh-fault --features failpoints -q
+
+# Chaos soak: the Figure 8 sweep under randomized transient fault schedules
+# must finish byte-identical to a fault-free run at 1 and 8 threads, and
+# timed-out / quarantined cells must stay terminal across resume. The soak
+# runs its built-in seeds plus the pinned WMH_FAULT_SEED below; override the
+# pin to probe new schedules (determinism holds for any seed, so a failure
+# under a fresh seed is a real bug, not flakiness).
+run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
+  cargo test --release -p wmh-eval --features wmh-fault/failpoints \
+  --test chaos_soak --test supervision -q
+
 # Formatting and lints are advisory if the components are not installed
 # (minimal toolchains ship without rustfmt/clippy).
 if cargo fmt --version >/dev/null 2>&1; then
