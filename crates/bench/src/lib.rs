@@ -1,5 +1,14 @@
 //! # `wmh-bench` — shared workloads for the Criterion benchmarks
 //!
+//! **Optional cross-check.** The CI-gated benchmark harness is the
+//! in-workspace, registry-free `wmh-perf` crate; these Criterion benches
+//! exist to confirm its numbers with an independent measurement
+//! methodology when the registry is reachable. [`to_perf_report`] bridges
+//! the two: it renders Criterion medians in the same versioned
+//! `wmh-perf/v1` JSON schema, so a Criterion run can be compared against
+//! `results/BENCH_baseline.json` with `wmh-perf compare` and validated by
+//! the `schema_check` binary.
+//!
 //! One Criterion bench file exists per paper artifact with a runtime
 //! dimension:
 //!
@@ -30,6 +39,34 @@ pub fn bench_docs(docs: usize, nnz_per_doc: usize, seed: u64) -> Vec<WeightedSet
     cfg.generate(seed).expect("valid bench config").docs
 }
 
+/// Render externally measured medians (e.g. Criterion estimates read from
+/// `target/criterion/*/new/estimates.json`) as a `wmh-perf/v1` report.
+///
+/// `iters`/`samples` are unknown to this bridge, so they are recorded as
+/// 1/`samples`-with-`kept`-equal; only the medians participate in
+/// `wmh-perf compare`, which is the cross-check that matters.
+#[must_use]
+pub fn to_perf_report(
+    profile: &str,
+    samples: u64,
+    medians_ns: &[(String, f64)],
+) -> wmh_perf::Report {
+    let results = medians_ns
+        .iter()
+        .map(|(id, median_ns)| wmh_perf::BenchResult {
+            id: id.clone(),
+            group: id.split('/').next().unwrap_or("criterion").to_owned(),
+            iters: 1,
+            samples,
+            kept: samples,
+            median_ns: *median_ns,
+            mad_ns: 0.0,
+            min_ns: *median_ns,
+        })
+        .collect();
+    wmh_perf::Report::new("criterion_cross_check", profile, results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,5 +76,18 @@ mod tests {
         let docs = bench_docs(10, 50, 1);
         assert_eq!(docs.len(), 10);
         assert!(docs.iter().all(|d| d.len() == 50));
+    }
+
+    #[test]
+    fn cross_check_report_matches_the_shared_schema() {
+        let report = to_perf_report(
+            "criterion",
+            100,
+            &[("fig9/Syn3E0.24S/ICWS/D50".to_owned(), 123_456.7)],
+        );
+        let text = wmh_json::to_string(&report);
+        let value = wmh_json::Json::parse(&text).expect("valid JSON");
+        wmh_perf::schemas::perf_report().validate(&value).expect("shared schema accepts it");
+        assert!(wmh_perf::Report::parse(&text).is_ok());
     }
 }

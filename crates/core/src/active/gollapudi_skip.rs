@@ -11,7 +11,7 @@
 //! per-element cost drops from `O(C·S_k)` to `O(log(C·S_k))` expected.
 
 use crate::quantization::{check_constant, floor_quantize};
-use crate::sketch::{pack3, Sketch, SketchError, Sketcher};
+use crate::sketch::{check_out_len, pack3, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
 use wmh_sets::WeightedSet;
@@ -122,25 +122,40 @@ impl Sketcher for GollapudiSkip {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch_with(set, &mut SketchScratch::new())
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let quantized: Vec<(u64, u64)> = set
-            .iter()
-            .map(|(k, w)| (k, floor_quantize(w, self.constant)))
-            .filter(|&(_, w)| w > 0)
-            .collect();
+        // The floor-quantized working set lives in the scratch's pair
+        // buffer — the per-call `Vec` this kernel used to allocate.
+        let quantized = scratch.pairs();
+        quantized.clear();
+        quantized.extend(
+            set.iter().map(|(k, w)| (k, floor_quantize(w, self.constant))).filter(|&(_, w)| w > 0),
+        );
         if quantized.is_empty() {
             return Err(SketchError::BadParameter {
                 what: "quantization constant C (all weights floor to zero)",
                 value: self.constant,
             });
         }
-        let mut codes = Vec::with_capacity(self.num_hashes);
-        for d in 0..self.num_hashes {
+        for (d, slot) in out.iter_mut().enumerate() {
             let mut best: Option<(f64, u64, u64)> = None;
-            for &(k, w) in &quantized {
+            for &(k, w) in quantized.iter() {
                 // `quantized` keeps only w > 0, for which walk() is Some.
                 let Some(walk) = self.walk(d, k, w) else { continue };
                 if best.is_none_or(|(bv, _, _)| walk.value < bv) {
@@ -151,9 +166,9 @@ impl Sketcher for GollapudiSkip {
             let Some((_, k, i)) = best else {
                 return Err(SketchError::EmptySet);
             };
-            codes.push(pack3(d as u64, k, i));
+            *slot = pack3(d as u64, k, i);
         }
-        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
+        Ok(())
     }
 }
 

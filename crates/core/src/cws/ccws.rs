@@ -35,7 +35,7 @@
 //! (Eq. 9) with `c_k ~ Gamma(2,1)`, exactly the framework of §4.2.4.
 
 use crate::cws::encode_step;
-use crate::sketch::{pack3, Sketch, SketchError, Sketcher};
+use crate::sketch::{check_out_len, pack3, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
 use wmh_rng::{beta21_from_unit, gamma21_from_units};
@@ -144,12 +144,25 @@ impl Sketcher for Ccws {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch_with(set, &mut SketchScratch::new())
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        _scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let mut codes = Vec::with_capacity(self.num_hashes);
-        for d in 0..self.num_hashes {
+        for (d, slot) in out.iter_mut().enumerate() {
             let Some((k, t, a)) = set
                 .iter()
                 .map(|(k, s)| {
@@ -163,12 +176,12 @@ impl Sketcher for Ccws {
             if a.is_infinite() {
                 // Every element degenerate under Eq. (14): emit a sentinel
                 // code that never collides across sets (mixes d and k).
-                codes.push(pack3(d as u64, k ^ 0xDEAD, u64::MAX));
+                *slot = pack3(d as u64, k ^ 0xDEAD, u64::MAX);
             } else {
-                codes.push(pack3(d as u64, k, encode_step(t)));
+                *slot = pack3(d as u64, k, encode_step(t));
             }
         }
-        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
+        Ok(())
     }
 }
 

@@ -36,7 +36,7 @@
 //! `|R_S ∩ R_T| / |R_S ∪ R_T|` — the generalized Jaccard similarity,
 //! exactly (Eq. 4).
 
-use crate::sketch::{pack3, Sketch, SketchError, Sketcher};
+use crate::sketch::{check_out_len, pack3, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
 use wmh_rng::exp_from_unit;
@@ -218,12 +218,25 @@ impl Sketcher for Cws {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch_with(set, &mut SketchScratch::new())
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        _scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let mut codes = Vec::with_capacity(self.num_hashes);
-        for d in 0..self.num_hashes {
+        for (d, slot) in out.iter_mut().enumerate() {
             let mut best: Option<(f64, u64, i32, u32)> = None;
             for (k, s) in set.iter() {
                 let r = self.element_sample(d, k, s);
@@ -235,9 +248,9 @@ impl Sketcher for Cws {
             let Some((_, k, j, step)) = best else {
                 return Err(SketchError::EmptySet);
             };
-            codes.push(crate::sketch::pack2(d as u64, pack3(k, j as i64 as u64, u64::from(step))));
+            *slot = crate::sketch::pack2(d as u64, pack3(k, j as i64 as u64, u64::from(step)));
         }
-        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
+        Ok(())
     }
 }
 

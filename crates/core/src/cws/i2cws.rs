@@ -15,7 +15,7 @@
 //! describes, giving `O(5nD)` time despite `O(7nD)` space.
 
 use crate::cws::encode_step;
-use crate::sketch::{pack3, Sketch, SketchError, Sketcher};
+use crate::sketch::{check_out_len, pack3, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
 use wmh_rng::gamma21_from_units;
@@ -81,12 +81,25 @@ impl Sketcher for I2cws {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch_with(set, &mut SketchScratch::new())
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        _scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let mut codes = Vec::with_capacity(self.num_hashes);
-        for d in 0..self.num_hashes {
+        for (d, slot) in out.iter_mut().enumerate() {
             let Some((k_star, s_star, _)) = set
                 .iter()
                 .map(|(k, s)| {
@@ -99,9 +112,9 @@ impl Sketcher for I2cws {
             };
             // Lazy y: only for the winner (§4.2.6).
             let (t1, _) = self.element_y(d, k_star, s_star);
-            codes.push(pack3(d as u64, k_star, encode_step(t1)));
+            *slot = pack3(d as u64, k_star, encode_step(t1));
         }
-        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@
 //! proof "remains a difficult probability problem".
 
 use crate::cws::Icws;
-use crate::sketch::{pack2, Sketch, SketchError, Sketcher};
+use crate::sketch::{check_out_len, pack2, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_sets::WeightedSet;
 
 /// ICWS with the `y_k` component discarded.
@@ -45,18 +45,31 @@ impl Sketcher for ZeroBitCws {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch_with(set, &mut SketchScratch::new())
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        _scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let mut codes = Vec::with_capacity(self.num_hashes);
-        for d in 0..self.num_hashes {
+        for (d, slot) in out.iter_mut().enumerate() {
             let Some((k, _)) = self.inner.sample(set, d) else {
                 return Err(SketchError::EmptySet);
             };
-            codes.push(pack2(d as u64, k));
+            *slot = pack2(d as u64, k);
         }
-        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
+        Ok(())
     }
 }
 

@@ -45,5 +45,5 @@ pub mod sketch;
 pub mod store;
 
 pub use catalog::{Algorithm, AlgorithmConfig, Category};
-pub use sketch::{ErrorKind, Sketch, SketchError, Sketcher};
+pub use sketch::{CodeBatch, ErrorKind, Sketch, SketchError, SketchScratch, Sketcher};
 pub use store::SketchStore;

@@ -4,7 +4,7 @@
 //! simply discards the weights (the review's method 1 in §6.2), which is
 //! exactly why it performs worst in Figure 8 — "serious information loss".
 
-use crate::sketch::{pack2, Sketch, SketchError, Sketcher};
+use crate::sketch::{check_out_len, pack2, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::tabulation::TabulationHash;
 use wmh_hash::{MersennePermutation, SeededHash};
 use wmh_sets::WeightedSet;
@@ -117,62 +117,57 @@ impl Sketcher for MinHash {
         self.num_hashes
     }
 
-    fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
-        if set.is_empty() {
-            return Err(SketchError::EmptySet);
-        }
-        let mut codes = Vec::with_capacity(self.num_hashes);
-        for d in 0..self.num_hashes {
-            let Some(m) = self.min_element(set, d) else {
-                return Err(SketchError::EmptySet);
-            };
-            codes.push(pack2(d as u64, m));
-        }
-        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
+    fn seed(&self) -> u64 {
+        self.seed
     }
 
-    fn sketch_batch(&self, sets: &[WeightedSet]) -> Result<Vec<Sketch>, SketchError> {
-        // Hoist the permutation-family dispatch out of the per-(set, d)
-        // loop: one branch per batch instead of one per code.
-        let mut out = Vec::with_capacity(sets.len());
-        for set in sets {
-            let indices = set.indices();
-            if indices.is_empty() {
-                return Err(SketchError::EmptySet);
-            }
-            // `indices` verified non-empty above, so the per-permutation
-            // argmin always exists; the fallback keeps the loops total.
-            let first = indices[0];
-            let codes: Vec<u64> = match self.kind {
-                PermutationKind::Mixed => (0..self.num_hashes)
-                    .map(|d| {
-                        let m = indices
-                            .iter()
-                            .copied()
-                            .min_by_key(|&k| self.oracle.hash2(d as u64, k))
-                            .unwrap_or(first);
-                        pack2(d as u64, m)
-                    })
-                    .collect(),
-                PermutationKind::Linear => (0..self.num_hashes)
-                    .map(|d| {
-                        let p = &self.linear[d];
-                        let m =
-                            indices.iter().copied().min_by_key(|&k| p.apply(k)).unwrap_or(first);
-                        pack2(d as u64, m)
-                    })
-                    .collect(),
-                PermutationKind::Tabulation => (0..self.num_hashes)
-                    .map(|d| {
-                        let t = &self.tabulation[d];
-                        let m = indices.iter().copied().min_by_key(|&k| t.hash(k)).unwrap_or(first);
-                        pack2(d as u64, m)
-                    })
-                    .collect(),
-            };
-            out.push(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes });
+    fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch_with(set, &mut SketchScratch::new())
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        _scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
+        let indices = set.indices();
+        if indices.is_empty() {
+            return Err(SketchError::EmptySet);
         }
-        Ok(out)
+        // Hoist the permutation-family dispatch out of the per-`d` loop:
+        // one branch per call instead of one per code. `indices` is
+        // verified non-empty above, so the per-permutation argmin always
+        // exists; the fallback keeps the loops total.
+        let first = indices[0];
+        match self.kind {
+            PermutationKind::Mixed => {
+                for (d, slot) in out.iter_mut().enumerate() {
+                    let m = indices
+                        .iter()
+                        .copied()
+                        .min_by_key(|&k| self.oracle.hash2(d as u64, k))
+                        .unwrap_or(first);
+                    *slot = pack2(d as u64, m);
+                }
+            }
+            PermutationKind::Linear => {
+                for (d, slot) in out.iter_mut().enumerate() {
+                    let p = &self.linear[d];
+                    let m = indices.iter().copied().min_by_key(|&k| p.apply(k)).unwrap_or(first);
+                    *slot = pack2(d as u64, m);
+                }
+            }
+            PermutationKind::Tabulation => {
+                for (d, slot) in out.iter_mut().enumerate() {
+                    let t = &self.tabulation[d];
+                    let m = indices.iter().copied().min_by_key(|&k| t.hash(k)).unwrap_or(first);
+                    *slot = pack2(d as u64, m);
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@
 //! the estimator is **biased** (§5.2: consistency fails because the sampled
 //! subelement depends on the weight, not on a shared interval).
 
-use crate::sketch::{pack2, Sketch, SketchError, Sketcher};
+use crate::sketch::{check_out_len, pack2, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
 use wmh_rng::exp_from_unit;
@@ -54,12 +54,25 @@ impl Sketcher for Chum {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch_with(set, &mut SketchScratch::new())
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        _scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let mut codes = Vec::with_capacity(self.num_hashes);
-        for d in 0..self.num_hashes {
+        for (d, slot) in out.iter_mut().enumerate() {
             let Some((k, _)) = set
                 .iter()
                 .map(|(k, s)| (k, self.element_value(d, k, s)))
@@ -67,9 +80,9 @@ impl Sketcher for Chum {
             else {
                 return Err(SketchError::EmptySet);
             };
-            codes.push(pack2(d as u64, k));
+            *slot = pack2(d as u64, k);
         }
-        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
+        Ok(())
     }
 }
 

@@ -11,7 +11,7 @@
 //! the kept support to the set's own maximum, and thresholding loses the
 //! sub-maximum weight structure.
 
-use crate::sketch::{pack2, Sketch, SketchError, Sketcher};
+use crate::sketch::{check_out_len, pack2, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
 use wmh_sets::WeightedSet;
@@ -54,19 +54,6 @@ impl GollapudiThreshold {
         // sorted-distinct index list, so `binary` cannot reject it.
         WeightedSet::binary(support).unwrap_or_else(|_| WeightedSet::empty())
     }
-
-    /// MinHash argmin element over the `d`-reduced support, or `None` for an
-    /// empty reduction (unreachable for validated sets: the max-weight
-    /// element has `w / max = 1 > u` and is always kept).
-    fn min_element(&self, set: &WeightedSet, d: usize) -> Option<u64> {
-        let max = set.max_weight();
-        set.iter()
-            .filter_map(|(k, w)| {
-                let u = self.oracle.unit3(role::THRESHOLD, d as u64, k);
-                (u <= w / max).then_some(k)
-            })
-            .min_by_key(|&k| self.oracle.hash2(d as u64, k))
-    }
 }
 
 impl Sketcher for GollapudiThreshold {
@@ -78,47 +65,43 @@ impl Sketcher for GollapudiThreshold {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        self.sketch_with(set, &mut SketchScratch::new())
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        _scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        let mut codes = Vec::with_capacity(self.num_hashes);
-        for d in 0..self.num_hashes {
-            let Some(m) = self.min_element(set, d) else {
+        // Hoist the max-weight pre-scan out of the per-d loop:
+        // `min_element` re-scans the set once per hash function (D
+        // redundant scans).
+        let max = set.max_weight();
+        for (d, slot) in out.iter_mut().enumerate() {
+            let m = set
+                .iter()
+                .filter_map(|(k, w)| {
+                    let u = self.oracle.unit3(role::THRESHOLD, d as u64, k);
+                    (u <= w / max).then_some(k)
+                })
+                .min_by_key(|&k| self.oracle.hash2(d as u64, k));
+            // Max-weight element always survives thresholding.
+            let Some(m) = m else {
                 return Err(SketchError::EmptySet);
             };
-            codes.push(pack2(d as u64, m));
+            *slot = pack2(d as u64, m);
         }
-        Ok(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes })
-    }
-
-    fn sketch_batch(&self, sets: &[WeightedSet]) -> Result<Vec<Sketch>, SketchError> {
-        // Hoist the max-weight pre-scan out of the per-d loop: `sketch`
-        // re-scans the set once per hash function (D redundant scans).
-        let mut out = Vec::with_capacity(sets.len());
-        for set in sets {
-            if set.is_empty() {
-                return Err(SketchError::EmptySet);
-            }
-            let max = set.max_weight();
-            let mut codes = Vec::with_capacity(self.num_hashes);
-            for d in 0..self.num_hashes {
-                let m = set
-                    .iter()
-                    .filter_map(|(k, w)| {
-                        let u = self.oracle.unit3(role::THRESHOLD, d as u64, k);
-                        (u <= w / max).then_some(k)
-                    })
-                    .min_by_key(|&k| self.oracle.hash2(d as u64, k));
-                // Max-weight element always survives thresholding.
-                let Some(m) = m else {
-                    return Err(SketchError::EmptySet);
-                };
-                codes.push(pack2(d as u64, m));
-            }
-            out.push(Sketch { algorithm: Self::NAME.to_owned(), seed: self.seed, codes });
-        }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -182,6 +182,10 @@ impl Sketcher for Shrivastava {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
         if set.is_empty() {
             return Err(SketchError::EmptySet);

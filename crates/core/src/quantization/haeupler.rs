@@ -73,6 +73,10 @@ impl Sketcher for Haeupler {
         self.num_hashes
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
         if set.is_empty() {
             return Err(SketchError::EmptySet);

@@ -232,6 +232,119 @@ impl SketchError {
     }
 }
 
+/// Reusable working memory for the scratch-backed sketching kernels.
+///
+/// The hot sketching loops ([`Sketcher::sketch_codes_into`]) borrow their
+/// temporary buffers from here instead of allocating per call, so a batch
+/// or sweep that threads one `SketchScratch` through every call performs
+/// zero heap allocations after the first (warmup) call — the property the
+/// `wmh-perf` allocation-regression test pins.
+///
+/// The contents carry no state between calls: every kernel fully
+/// re-initializes what it uses, so one scratch may be shared across
+/// different sketchers and algorithms freely (but not across threads).
+#[derive(Debug, Default)]
+pub struct SketchScratch {
+    /// `(index, integer weight)` working set for the quantizing algorithms
+    /// (e.g. the Gollapudi active-index walk's floor-quantized weights).
+    pairs: Vec<(u64, u64)>,
+}
+
+impl SketchScratch {
+    /// Fresh scratch with empty buffers (they grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The reusable `(index, integer weight)` pair buffer. Kernels must
+    /// `clear()` before use — contents from a previous call are garbage.
+    pub fn pairs(&mut self) -> &mut Vec<(u64, u64)> {
+        &mut self.pairs
+    }
+}
+
+/// A reusable `rows × D` matrix of sketch codes — the allocation-free
+/// output target of [`Sketcher::sketch_batch_into`].
+///
+/// Row `i` holds the `D` codes of input set `i`, the same values
+/// [`Sketch::codes`] would carry; reusing the batch across calls of the
+/// same shape performs no heap allocation ([`Self::reset`] keeps
+/// capacity).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CodeBatch {
+    codes: Vec<u64>,
+    rows: usize,
+    width: usize,
+}
+
+impl CodeBatch {
+    /// An empty batch (buffers grow on first [`Self::reset`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resize to `rows × width` and zero all codes, reusing the existing
+    /// allocation whenever capacity allows.
+    pub fn reset(&mut self, rows: usize, width: usize) {
+        self.rows = rows;
+        self.width = width;
+        self.codes.clear();
+        self.codes.resize(rows * width, 0);
+    }
+
+    /// Number of rows (input sets).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Codes per row (the fingerprint length `D`).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row `i`'s codes.
+    ///
+    /// # Panics
+    /// Panics when `i ≥ rows`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.codes[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Mutable view of row `i`'s codes.
+    ///
+    /// # Panics
+    /// Panics when `i ≥ rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.codes[i * self.width..(i + 1) * self.width]
+    }
+
+    /// The whole matrix, row-major.
+    #[must_use]
+    pub fn as_flat(&self) -> &[u64] {
+        &self.codes
+    }
+}
+
+/// Typed guard for the kernel output-buffer contract (`out.len() == D`).
+/// A slice of the wrong length is a caller bug, but the kernels stay
+/// total: they report it as a typed error instead of slicing out of
+/// bounds.
+pub(crate) fn check_out_len(out: &[u64], num_hashes: usize) -> Result<(), SketchError> {
+    if out.len() == num_hashes {
+        Ok(())
+    } else {
+        Err(SketchError::BadParameter {
+            what: "code output buffer length (must equal num_hashes)",
+            value: out.len() as f64,
+        })
+    }
+}
+
 /// The common interface of all thirteen algorithms.
 pub trait Sketcher {
     /// Catalog name (matches [`crate::catalog::Algorithm::name`]).
@@ -240,6 +353,10 @@ pub trait Sketcher {
     /// Fingerprint length `D`.
     fn num_hashes(&self) -> usize;
 
+    /// The master seed the sketcher was configured with (the provenance
+    /// recorded in every [`Sketch`] it produces).
+    fn seed(&self) -> u64;
+
     /// Sketch a weighted set.
     ///
     /// # Errors
@@ -247,12 +364,58 @@ pub trait Sketcher {
     /// (e.g. bound violations) as documented on each implementation.
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError>;
 
+    /// The allocation-free sketching kernel: write the `D` codes of `set`
+    /// into `out` (whose length must equal [`Self::num_hashes`]), borrowing
+    /// any temporary buffers from `scratch`.
+    ///
+    /// This is the override point the hot paths are built on: the audited
+    /// algorithms implement their inner loop here once, and `sketch`,
+    /// [`Self::sketch_batch`] and [`Self::sketch_batch_into`] all delegate
+    /// to it, so the three paths cannot drift apart. The codes written are
+    /// *bit-identical* to [`Sketch::codes`] from [`Self::sketch`] — pinned
+    /// by the conformance and determinism suites.
+    ///
+    /// The default materializes through [`Self::sketch`] (allocating), so
+    /// third-party implementations keep working unchanged; only overriding
+    /// kernels are allocation-free.
+    ///
+    /// # Errors
+    /// Exactly those of [`Self::sketch`], plus
+    /// [`SketchError::BadParameter`] for a mis-sized `out`. On error the
+    /// buffer contents are unspecified.
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        let _ = scratch;
+        check_out_len(out, self.num_hashes())?;
+        let sk = self.sketch(set)?;
+        out.copy_from_slice(&sk.codes);
+        Ok(())
+    }
+
+    /// [`Self::sketch`] with caller-provided scratch: allocates the code
+    /// vector (the `Sketch` owns it) but no temporaries.
+    ///
+    /// # Errors
+    /// Exactly those of [`Self::sketch`].
+    fn sketch_with(
+        &self,
+        set: &WeightedSet,
+        scratch: &mut SketchScratch,
+    ) -> Result<Sketch, SketchError> {
+        let mut codes = vec![0u64; self.num_hashes()];
+        self.sketch_codes_into(set, &mut codes, scratch)?;
+        Ok(Sketch { algorithm: self.name().to_owned(), seed: self.seed(), codes })
+    }
+
     /// Sketch a batch of weighted sets.
     ///
-    /// The default forwards to [`Self::sketch`] per set and stops at the
-    /// first error. Algorithms with meaningful per-call setup (permutation
-    /// family dispatch, per-set pre-scans repeated for every hash function)
-    /// override this to hoist that work out of the inner loops.
+    /// The default threads one fresh [`SketchScratch`] through
+    /// [`Self::sketch_with`] per set and stops at the first error, so
+    /// per-call temporary buffers are reused across the whole batch.
     ///
     /// Contract: an override must produce sketches *identical* to the
     /// one-at-a-time path — the parallel sweep's byte-for-byte determinism
@@ -262,7 +425,43 @@ pub trait Sketcher {
     /// # Errors
     /// The first error [`Self::sketch`] would report, in batch order.
     fn sketch_batch(&self, sets: &[WeightedSet]) -> Result<Vec<Sketch>, SketchError> {
-        sets.iter().map(|s| self.sketch(s)).collect()
+        self.sketch_batch_with(sets, &mut SketchScratch::new())
+    }
+
+    /// [`Self::sketch_batch`] with caller-provided scratch — the sweep
+    /// engines call this so buffer reuse spans *batches*, not just the sets
+    /// within one.
+    ///
+    /// # Errors
+    /// The first error [`Self::sketch`] would report, in batch order.
+    fn sketch_batch_with(
+        &self,
+        sets: &[WeightedSet],
+        scratch: &mut SketchScratch,
+    ) -> Result<Vec<Sketch>, SketchError> {
+        sets.iter().map(|s| self.sketch_with(s, scratch)).collect()
+    }
+
+    /// Fully allocation-free batch sketching: codes land in a reusable
+    /// [`CodeBatch`] (row `i` = set `i`), temporaries come from `scratch`.
+    /// After a warmup call of the same shape, a scratch-backed algorithm
+    /// performs zero heap allocations per call — the `wmh-perf`
+    /// allocation-regression test enforces this for MinHash and ICWS.
+    ///
+    /// # Errors
+    /// The first error [`Self::sketch`] would report, in batch order; the
+    /// batch contents are unspecified on error.
+    fn sketch_batch_into(
+        &self,
+        sets: &[WeightedSet],
+        out: &mut CodeBatch,
+        scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        out.reset(sets.len(), self.num_hashes());
+        for (i, set) in sets.iter().enumerate() {
+            self.sketch_codes_into(set, out.row_mut(i), scratch)?;
+        }
+        Ok(())
     }
 
     /// The canonical fallible entry point — an explicit alias for
@@ -375,5 +574,79 @@ mod tests {
         let json = wmh_json::to_string(&s);
         let back: Sketch = wmh_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn code_batch_reset_reshapes_and_zeroes() {
+        let mut b = CodeBatch::new();
+        b.reset(2, 3);
+        b.row_mut(1).copy_from_slice(&[7, 8, 9]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.width(), 3);
+        assert_eq!(b.row(0), &[0, 0, 0]);
+        assert_eq!(b.row(1), &[7, 8, 9]);
+        assert_eq!(b.as_flat(), &[0, 0, 0, 7, 8, 9]);
+        // Shrinking must clear stale codes, not expose them.
+        b.reset(1, 2);
+        assert_eq!(b.as_flat(), &[0, 0]);
+    }
+
+    /// A minimal sketcher that does NOT override the scratch-based entry
+    /// points — exercises every default-method path in the trait.
+    struct ConstSketcher(usize);
+
+    impl Sketcher for ConstSketcher {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+
+        fn num_hashes(&self) -> usize {
+            self.0
+        }
+
+        fn seed(&self) -> u64 {
+            9
+        }
+
+        fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+            if set.is_empty() {
+                return Err(SketchError::EmptySet);
+            }
+            let codes = (0..self.0 as u64).map(|d| pack2(d, set.len() as u64)).collect();
+            Ok(Sketch { algorithm: "const".to_owned(), seed: 9, codes })
+        }
+    }
+
+    #[test]
+    fn default_batch_into_matches_sketch_and_validates_output_len() {
+        let s = ConstSketcher(4);
+        let set = WeightedSet::from_pairs([(1, 1.0), (2, 0.5)]).unwrap();
+        let sets = vec![set.clone(), set.clone()];
+        let mut scratch = SketchScratch::new();
+        let mut batch = CodeBatch::new();
+        s.sketch_batch_into(&sets, &mut batch, &mut scratch).unwrap();
+        let direct = s.sketch(&set).unwrap();
+        assert_eq!(batch.rows(), 2);
+        assert_eq!(batch.row(0), direct.codes.as_slice());
+        assert_eq!(batch.row(1), direct.codes.as_slice());
+        // sketch_with carries name/seed through the scratch path.
+        let via_scratch = s.sketch_with(&set, &mut scratch).unwrap();
+        assert_eq!(via_scratch, direct);
+        // A wrong-length output buffer is a typed error, not a panic.
+        let mut short = [0u64; 3];
+        assert!(matches!(
+            s.sketch_codes_into(&set, &mut short, &mut scratch),
+            Err(SketchError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_into_on_empty_input_resets_to_zero_rows() {
+        let s = ConstSketcher(2);
+        let mut batch = CodeBatch::new();
+        batch.reset(3, 2);
+        s.sketch_batch_into(&[], &mut batch, &mut SketchScratch::new()).unwrap();
+        assert_eq!(batch.rows(), 0);
+        assert!(batch.as_flat().is_empty());
     }
 }

@@ -226,6 +226,9 @@ impl Sketcher for BiasedMutant {
     fn num_hashes(&self) -> usize {
         self.0.num_hashes()
     }
+    fn seed(&self) -> u64 {
+        self.0.seed()
+    }
     fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
         let mut sk = self.0.sketch(set)?;
         for code in &mut sk.codes {

@@ -39,7 +39,7 @@ use crate::sweep::ParallelSweep;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use wmh_core::others::UpperBounds;
-use wmh_core::{Algorithm, AlgorithmConfig, Sketch, SketchError};
+use wmh_core::{Algorithm, AlgorithmConfig, Sketch, SketchError, SketchScratch};
 use wmh_data::{SynConfig, PAPER_DATASETS};
 use wmh_json::{FromJson, Json, JsonError, ToJson};
 use wmh_sets::WeightedSet;
@@ -415,18 +415,22 @@ const SKETCH_CHUNK: usize = 16;
 
 /// Sketch every listed document; `Ok(None)` marks a budget timeout —
 /// either the rejection budget (reported by the sketcher) or the
-/// wall-clock `deadline` (checked between chunks).
+/// wall-clock `deadline` (checked between chunks). The caller-provided
+/// [`SketchScratch`] is threaded through every chunk, so the kernels'
+/// temporary buffers are reused across the whole document list (and, when
+/// the caller keeps the scratch, across cells).
 pub(crate) fn sketch_docs(
     sketcher: &dyn wmh_core::Sketcher,
     docs: &[WeightedSet],
     deadline: Option<Instant>,
+    scratch: &mut SketchScratch,
 ) -> Result<Option<Vec<Sketch>>, SketchError> {
     let mut out = Vec::with_capacity(docs.len());
     for chunk in docs.chunks(SKETCH_CHUNK) {
         if deadline.is_some_and(|t| Instant::now() >= t) {
             return Ok(None);
         }
-        match sketcher.sketch_batch(chunk) {
+        match sketcher.sketch_batch_with(chunk, scratch) {
             Ok(mut s) => out.append(&mut s),
             // A spent budget (rejection draws, subelement enumeration) is
             // the paper's cutoff, not a configuration mistake: mark the
@@ -573,8 +577,14 @@ pub fn run_runtime_with(
                         Attempt::Done(match algorithm.build(scale.seed, d, &cfg) {
                             Err(e) => Measurement::Failed(e.kind()),
                             Ok(sketcher) => {
+                                let mut scratch = SketchScratch::new();
                                 let start = Instant::now();
-                                match sketch_docs(sketcher.as_ref(), &docs, unit_deadline) {
+                                match sketch_docs(
+                                    sketcher.as_ref(),
+                                    &docs,
+                                    unit_deadline,
+                                    &mut scratch,
+                                ) {
                                     Ok(Some(_)) => {
                                         Measurement::Value(start.elapsed().as_secs_f64())
                                     }

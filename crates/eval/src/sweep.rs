@@ -404,7 +404,10 @@ fn attempt_cell(
         Ok(s) => s,
         Err(e) => return algo_err(e),
     };
-    let sketches = match sketch_docs(sketcher.as_ref(), &ctx.used_docs, deadline) {
+    // One scratch per attempt: the kernels' temporary buffers are reused
+    // across every chunk of this cell's documents.
+    let mut scratch = wmh_core::SketchScratch::new();
+    let sketches = match sketch_docs(sketcher.as_ref(), &ctx.used_docs, deadline, &mut scratch) {
         Ok(Some(s)) => s,
         Ok(None) => return Payload::Timeout,
         Err(e) => return algo_err(e),

@@ -14,6 +14,8 @@
 //!   for the primitives, `Vec`, `Option`, pairs/triples and string maps.
 //! * [`json_object!`] — a `macro_rules!` stand-in for `#[derive]` that
 //!   implements both traits for a struct from its field names.
+//! * [`schema::Schema`] — structural validation for the checked-in result
+//!   files, with path-annotated errors (`$.results[3].id: expected string`).
 //!
 //! Object key order is preserved (insertion order), which keeps rendered
 //! files stable across runs — a requirement for the byte-identical
@@ -21,9 +23,11 @@
 
 mod parse;
 mod render;
+pub mod schema;
 mod value;
 
 pub use parse::ParseError;
+pub use schema::{ObjectSchema, Schema, SchemaError};
 pub use value::{FromJson, Json, JsonError};
 
 /// Serialize a value to compact JSON.

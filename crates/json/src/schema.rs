@@ -1,0 +1,246 @@
+//! Structural schema validation for result files.
+//!
+//! Every artifact under `results/` has a fixed shape; CI validates each
+//! file against a [`Schema`] so a refactor that silently changes a field
+//! name or type is caught before the file is committed. The vocabulary is
+//! deliberately small — the result files only need objects, homogeneous
+//! arrays, numbers, strings, booleans and tagged unions (`OneOf`).
+
+use crate::Json;
+
+/// A structural description of a JSON shape.
+#[derive(Debug, Clone)]
+pub enum Schema {
+    /// Matches any value.
+    Any,
+    /// Matches `null`.
+    Null,
+    /// Matches `true`/`false`.
+    Bool,
+    /// Matches any numeric carrier (`U64`, `I64`, or finite `F64`).
+    Number,
+    /// Matches a non-negative integer (`U64`, or `I64`/integral `F64` ≥ 0).
+    UInt,
+    /// Matches any string.
+    Str,
+    /// Matches exactly this string.
+    Const(&'static str),
+    /// Matches an array whose every element matches the inner schema.
+    Array(Box<Schema>),
+    /// Matches an object with the given fields.
+    Object(ObjectSchema),
+    /// Matches if any alternative matches (tried in order).
+    OneOf(Vec<Schema>),
+}
+
+/// Field requirements for [`Schema::Object`].
+#[derive(Debug, Clone, Default)]
+pub struct ObjectSchema {
+    /// Fields that must be present, with their schemas.
+    pub required: Vec<(&'static str, Schema)>,
+    /// Fields that may be present, with their schemas.
+    pub optional: Vec<(&'static str, Schema)>,
+    /// Whether fields not listed above are allowed.
+    pub allow_unknown: bool,
+}
+
+/// A validation failure, annotated with the JSON path where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Dotted/indexed path from the document root, e.g. `$.results[3].id`.
+    pub path: String,
+    /// What went wrong at that path.
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Convenience constructor for a closed object of required fields.
+    #[must_use]
+    pub fn object(required: Vec<(&'static str, Schema)>) -> Self {
+        Self::Object(ObjectSchema { required, optional: Vec::new(), allow_unknown: false })
+    }
+
+    /// Convenience constructor for an array of `elem`.
+    #[must_use]
+    pub fn array(elem: Schema) -> Self {
+        Self::Array(Box::new(elem))
+    }
+
+    /// Validate `value` against this schema.
+    ///
+    /// # Errors
+    /// The first mismatch found, with its path from the root (`$`).
+    pub fn validate(&self, value: &Json) -> Result<(), SchemaError> {
+        validate_at(value, self, &mut String::from("$"))
+    }
+}
+
+fn err(path: &str, message: String) -> SchemaError {
+    SchemaError { path: path.to_owned(), message }
+}
+
+fn validate_at(value: &Json, schema: &Schema, path: &mut String) -> Result<(), SchemaError> {
+    match schema {
+        Schema::Any => Ok(()),
+        Schema::Null => match value {
+            Json::Null => Ok(()),
+            other => Err(err(path, format!("expected null, got {}", other.type_name()))),
+        },
+        Schema::Bool => match value {
+            Json::Bool(_) => Ok(()),
+            other => Err(err(path, format!("expected bool, got {}", other.type_name()))),
+        },
+        Schema::Number => match value {
+            Json::U64(_) | Json::I64(_) => Ok(()),
+            Json::F64(x) if x.is_finite() => Ok(()),
+            Json::F64(x) => Err(err(path, format!("expected finite number, got {x}"))),
+            other => Err(err(path, format!("expected number, got {}", other.type_name()))),
+        },
+        Schema::UInt => match value {
+            Json::U64(_) => Ok(()),
+            Json::I64(x) if *x >= 0 => Ok(()),
+            Json::F64(x) if *x >= 0.0 && x.fract() == 0.0 => Ok(()),
+            other => {
+                Err(err(path, format!("expected non-negative integer, got {}", other.type_name())))
+            }
+        },
+        Schema::Str => match value {
+            Json::Str(_) => Ok(()),
+            other => Err(err(path, format!("expected string, got {}", other.type_name()))),
+        },
+        Schema::Const(want) => match value {
+            Json::Str(s) if s == want => Ok(()),
+            Json::Str(s) => Err(err(path, format!("expected \"{want}\", got \"{s}\""))),
+            other => Err(err(path, format!("expected \"{want}\", got {}", other.type_name()))),
+        },
+        Schema::Array(elem) => match value {
+            Json::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    let len = path.len();
+                    path.push_str(&format!("[{i}]"));
+                    let r = validate_at(item, elem, path);
+                    path.truncate(len);
+                    r?;
+                }
+                Ok(())
+            }
+            other => Err(err(path, format!("expected array, got {}", other.type_name()))),
+        },
+        Schema::Object(shape) => match value {
+            Json::Obj(fields) => {
+                for (name, field_schema) in &shape.required {
+                    let Some((_, field)) = fields.iter().find(|(k, _)| k == name) else {
+                        return Err(err(path, format!("missing required field \"{name}\"")));
+                    };
+                    let len = path.len();
+                    path.push('.');
+                    path.push_str(name);
+                    let r = validate_at(field, field_schema, path);
+                    path.truncate(len);
+                    r?;
+                }
+                for (key, field) in fields {
+                    if shape.required.iter().any(|(n, _)| n == key) {
+                        continue;
+                    }
+                    if let Some((_, s)) = shape.optional.iter().find(|(n, _)| n == key) {
+                        let len = path.len();
+                        path.push('.');
+                        path.push_str(key);
+                        let r = validate_at(field, s, path);
+                        path.truncate(len);
+                        r?;
+                    } else if !shape.allow_unknown {
+                        return Err(err(path, format!("unknown field \"{key}\"")));
+                    }
+                }
+                Ok(())
+            }
+            other => Err(err(path, format!("expected object, got {}", other.type_name()))),
+        },
+        Schema::OneOf(alts) => {
+            let mut reasons = Vec::with_capacity(alts.len());
+            for alt in alts {
+                match validate_at(value, alt, path) {
+                    Ok(()) => return Ok(()),
+                    Err(e) => reasons.push(e.message),
+                }
+            }
+            Err(err(path, format!("no alternative matched: [{}]", reasons.join(" | "))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Json {
+        Json::parse(text).expect("valid test JSON")
+    }
+
+    #[test]
+    fn scalars_match() {
+        assert!(Schema::Number.validate(&parse("3.5")).is_ok());
+        assert!(Schema::Number.validate(&parse("-2")).is_ok());
+        assert!(Schema::UInt.validate(&parse("7")).is_ok());
+        assert!(Schema::UInt.validate(&parse("-1")).is_err());
+        assert!(Schema::Str.validate(&parse("\"x\"")).is_ok());
+        assert!(Schema::Bool.validate(&parse("true")).is_ok());
+        assert!(Schema::Const("hi").validate(&parse("\"hi\"")).is_ok());
+        assert!(Schema::Const("hi").validate(&parse("\"ho\"")).is_err());
+    }
+
+    #[test]
+    fn array_paths_are_indexed() {
+        let s = Schema::array(Schema::UInt);
+        let e = s.validate(&parse("[1, 2, -3]")).unwrap_err();
+        assert_eq!(e.path, "$[2]");
+    }
+
+    #[test]
+    fn object_required_optional_unknown() {
+        let s = Schema::Object(ObjectSchema {
+            required: vec![("a", Schema::UInt)],
+            optional: vec![("b", Schema::Str)],
+            allow_unknown: false,
+        });
+        assert!(s.validate(&parse("{\"a\": 1}")).is_ok());
+        assert!(s.validate(&parse("{\"a\": 1, \"b\": \"x\"}")).is_ok());
+        let missing = s.validate(&parse("{\"b\": \"x\"}")).unwrap_err();
+        assert!(missing.message.contains("missing required field"));
+        let unknown = s.validate(&parse("{\"a\": 1, \"c\": 0}")).unwrap_err();
+        assert!(unknown.message.contains("unknown field"));
+    }
+
+    #[test]
+    fn nested_path_reporting() {
+        let s = Schema::object(vec![(
+            "rows",
+            Schema::array(Schema::object(vec![("id", Schema::Str)])),
+        )]);
+        let e = s.validate(&parse("{\"rows\": [{\"id\": \"a\"}, {\"id\": 4}]}")).unwrap_err();
+        assert_eq!(e.path, "$.rows[1].id");
+    }
+
+    #[test]
+    fn one_of_tagged_union() {
+        let measurement = Schema::OneOf(vec![
+            Schema::Const("TimedOut"),
+            Schema::object(vec![("Value", Schema::Number)]),
+            Schema::object(vec![("Failed", Schema::Str)]),
+        ]);
+        assert!(measurement.validate(&parse("\"TimedOut\"")).is_ok());
+        assert!(measurement.validate(&parse("{\"Value\": 0.25}")).is_ok());
+        assert!(measurement.validate(&parse("{\"Failed\": \"EmptySet\"}")).is_ok());
+        assert!(measurement.validate(&parse("{\"Oops\": 1}")).is_err());
+    }
+}

@@ -44,6 +44,9 @@ fn icws_codes_also_work_as_features() {
         fn num_hashes(&self) -> usize {
             self.0.num_hashes()
         }
+        fn seed(&self) -> u64 {
+            self.0.seed()
+        }
         fn sketch(&self, set: &WeightedSet) -> Result<wmh_core::Sketch, wmh_core::SketchError> {
             self.0.sketch(set)
         }
@@ -86,6 +89,9 @@ fn oph_features_degrade_gracefully_on_weight_heavy_topics() {
         }
         fn num_hashes(&self) -> usize {
             128
+        }
+        fn seed(&self) -> u64 {
+            7
         }
         fn sketch(&self, set: &WeightedSet) -> Result<wmh_core::Sketch, wmh_core::SketchError> {
             self.0.sketch(set)

@@ -1,0 +1,39 @@
+//! Validate every `results/*.json` artifact against its registered schema.
+//!
+//! ```text
+//! schema_check [RESULTS_DIR]     # default: ./results
+//! ```
+//!
+//! Exits nonzero if any file fails validation **or has no registered
+//! schema** — new experiment outputs must register a shape in
+//! `crates/perf/src/schemas.rs` before they can land in `results/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wmh_perf::schemas::validate_results_dir;
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let outcomes = validate_results_dir(&dir);
+    if outcomes.is_empty() {
+        eprintln!("schema_check: no *.json files under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for (name, outcome) in &outcomes {
+        match outcome {
+            Ok(()) => println!("  ok    {name}"),
+            Err(reason) => {
+                failures += 1;
+                println!("  FAIL  {name}: {reason}");
+            }
+        }
+    }
+    if failures == 0 {
+        println!("schema_check: {} files valid", outcomes.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("schema_check: {failures}/{} files failed", outcomes.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,173 @@
+//! The versioned benchmark report and the baseline comparison.
+
+use crate::harness::BenchResult;
+
+/// Schema tag written into every report; bump on any shape change.
+pub const SCHEMA_VERSION: &str = "wmh-perf/v1";
+
+/// A full harness run: schema tag, run metadata, per-workload results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Always [`SCHEMA_VERSION`] for files written by this crate.
+    pub schema: String,
+    /// Which runner produced this report (`fig9_hot`).
+    pub bench: String,
+    /// Measurement profile (`quick` or `full`).
+    pub profile: String,
+    /// One entry per workload, in a stable order.
+    pub results: Vec<BenchResult>,
+}
+
+wmh_json::json_object!(Report { schema, bench, profile, results });
+
+impl Report {
+    /// Assemble a report under the current schema version.
+    #[must_use]
+    pub fn new(bench: &str, profile: &str, results: Vec<BenchResult>) -> Self {
+        Self {
+            schema: SCHEMA_VERSION.to_owned(),
+            bench: bench.to_owned(),
+            profile: profile.to_owned(),
+            results,
+        }
+    }
+
+    /// Parse a report and require the supported schema version.
+    ///
+    /// # Errors
+    /// Describes the parse failure or the version mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let report: Self =
+            wmh_json::from_str(text).map_err(|e| format!("malformed report: {e:?}"))?;
+        if report.schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema \"{}\" (this binary reads \"{SCHEMA_VERSION}\")",
+                report.schema
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// One workload's baseline-vs-current delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Workload identifier.
+    pub id: String,
+    /// Baseline median, ns/iteration.
+    pub baseline_ns: f64,
+    /// Current median, ns/iteration.
+    pub current_ns: f64,
+    /// `current / baseline − 1`; positive means slower.
+    pub change: f64,
+}
+
+/// Outcome of comparing a current run against the checked-in baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Workloads slower than the tolerance allows.
+    pub regressions: Vec<Delta>,
+    /// Workloads within tolerance (or faster).
+    pub passes: Vec<Delta>,
+    /// Baseline workloads absent from the current run. Coverage loss is a
+    /// gate failure — a deleted benchmark must be removed from the
+    /// baseline deliberately, not silently.
+    pub missing: Vec<String>,
+    /// Current workloads absent from the baseline (new benches; fine).
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the gate passes at the given tolerance.
+    #[must_use]
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compare `current` against `baseline`: a workload regresses when its
+/// median slows by more than `tolerance` (0.25 = +25%).
+#[must_use]
+pub fn compare(baseline: &Report, current: &Report, tolerance: f64) -> Comparison {
+    let mut out = Comparison::default();
+    for base in &baseline.results {
+        let Some(cur) = current.results.iter().find(|r| r.id == base.id) else {
+            out.missing.push(base.id.clone());
+            continue;
+        };
+        let change = if base.median_ns > 0.0 { cur.median_ns / base.median_ns - 1.0 } else { 0.0 };
+        let delta = Delta {
+            id: base.id.clone(),
+            baseline_ns: base.median_ns,
+            current_ns: cur.median_ns,
+            change,
+        };
+        if change > tolerance {
+            out.regressions.push(delta);
+        } else {
+            out.passes.push(delta);
+        }
+    }
+    for cur in &current.results {
+        if !baseline.results.iter().any(|r| r.id == cur.id) {
+            out.added.push(cur.id.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(id: &str, median_ns: f64) -> BenchResult {
+        BenchResult {
+            id: id.to_owned(),
+            group: "t".to_owned(),
+            iters: 10,
+            samples: 30,
+            kept: 30,
+            median_ns,
+            mad_ns: 0.1,
+            min_ns: median_ns * 0.9,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_checks_version() {
+        let r = Report::new("fig9_hot", "quick", vec![result("a", 100.0)]);
+        let text = wmh_json::to_string_pretty(&r);
+        assert_eq!(Report::parse(&text).unwrap(), r);
+        let old = text.replace("wmh-perf/v1", "wmh-perf/v0");
+        assert!(Report::parse(&old).unwrap_err().contains("unsupported schema"));
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let base = Report::new("b", "quick", vec![result("a", 100.0), result("b", 100.0)]);
+        let cur = Report::new("b", "quick", vec![result("a", 120.0), result("b", 200.0)]);
+        let cmp = compare(&base, &cur, 0.25);
+        assert_eq!(cmp.passes.len(), 1);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].id, "b");
+        assert!((cmp.regressions[0].change - 1.0).abs() < 1e-9);
+        assert!(!cmp.is_pass());
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let base = Report::new("b", "quick", vec![result("a", 100.0)]);
+        let cur = Report::new("b", "quick", vec![result("a", 10.0)]);
+        assert!(compare(&base, &cur, 0.25).is_pass());
+    }
+
+    #[test]
+    fn missing_coverage_fails_added_passes() {
+        let base = Report::new("b", "quick", vec![result("a", 100.0)]);
+        let cur = Report::new("b", "quick", vec![result("new", 5.0)]);
+        let cmp = compare(&base, &cur, 0.25);
+        assert_eq!(cmp.missing, vec!["a".to_owned()]);
+        assert_eq!(cmp.added, vec!["new".to_owned()]);
+        assert!(!cmp.is_pass());
+    }
+}

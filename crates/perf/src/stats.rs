@@ -1,0 +1,115 @@
+//! Robust summary statistics for timing samples.
+//!
+//! Wall-clock samples on a shared machine are contaminated by scheduler
+//! noise, frequency scaling and cache warmup — all one-sided, all rare.
+//! The median and the median absolute deviation (MAD) are the standard
+//! robust location/spread estimators for that regime: a handful of slow
+//! outliers moves neither, whereas the mean/stddev pair chases them.
+
+/// Median of `values` (not required to be sorted). Empty input yields NaN.
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median absolute deviation around `center`.
+#[must_use]
+pub fn mad(values: &[f64], center: f64) -> f64 {
+    let deviations: Vec<f64> = values.iter().map(|v| (v - center).abs()).collect();
+    median(&deviations)
+}
+
+/// Drop samples farther than `k` MADs from the median (two-sided).
+///
+/// With a MAD of zero (more than half the samples identical — common for
+/// fast kernels on a quiet machine) only exact-median samples would
+/// survive, so a zero MAD disables rejection instead.
+#[must_use]
+pub fn reject_outliers(values: &[f64], k: f64) -> Vec<f64> {
+    let m = median(values);
+    let spread = mad(values, m);
+    if spread == 0.0 || !spread.is_finite() {
+        return values.to_vec();
+    }
+    values.iter().copied().filter(|v| (v - m).abs() <= k * spread).collect()
+}
+
+/// Robust summary of a batch of per-iteration timings (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Median per-iteration time after outlier rejection.
+    pub median_ns: f64,
+    /// MAD around the post-rejection median.
+    pub mad_ns: f64,
+    /// Fastest sample observed (pre-rejection; the "clean machine" bound).
+    pub min_ns: f64,
+    /// Samples kept after outlier rejection.
+    pub kept: usize,
+}
+
+impl Summary {
+    /// Summarize `samples` (per-iteration nanoseconds), rejecting samples
+    /// farther than `k` MADs from the median.
+    #[must_use]
+    pub fn from_samples(samples: &[f64], k: f64) -> Self {
+        let min_ns = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let kept = reject_outliers(samples, k);
+        let med = median(&kept);
+        Self { median_ns: med, mad_ns: mad(&kept, med), min_ns, kept: kept.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let clean = [10.0, 11.0, 9.0, 10.0, 10.5];
+        let dirty = [10.0, 11.0, 9.0, 10.0, 1000.0];
+        let mc = median(&clean);
+        let md = median(&dirty);
+        assert!((mc - md).abs() < 1.0);
+        assert!(mad(&dirty, md) < 2.0);
+    }
+
+    #[test]
+    fn outlier_rejection_drops_the_spike() {
+        let samples = [10.0, 10.2, 9.8, 10.1, 9.9, 10.0, 500.0];
+        let kept = reject_outliers(&samples, 8.0);
+        assert_eq!(kept.len(), 6);
+        assert!(kept.iter().all(|&v| v < 11.0));
+    }
+
+    #[test]
+    fn zero_mad_keeps_everything() {
+        // >50% identical samples → MAD 0; rejection must not nuke the rest.
+        let samples = [5.0, 5.0, 5.0, 5.0, 7.0, 3.0];
+        assert_eq!(reject_outliers(&samples, 8.0).len(), samples.len());
+    }
+
+    #[test]
+    fn summary_reports_min_pre_rejection() {
+        let s = Summary::from_samples(&[10.0, 10.0, 10.1, 9.9, 10.0, 0.5], 8.0);
+        assert_eq!(s.min_ns, 0.5);
+        assert!(s.kept >= 5);
+        assert!((s.median_ns - 10.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Allocation-regression test: the scratch-backed batch path must perform
+//! **zero** heap allocations per call once its buffers are warm.
+//!
+//! A counting [`GlobalAlloc`] wraps the system allocator and tallies every
+//! `alloc`/`alloc_zeroed`/`realloc`. The whole check lives in a single
+//! `#[test]` function: the counter is process-global, so concurrent test
+//! threads would pollute each other's deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use wmh_core::catalog::{Algorithm, AlgorithmConfig};
+use wmh_core::{CodeBatch, SketchScratch};
+use wmh_data::PAPER_DATASETS;
+use wmh_sets::WeightedSet;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn docs() -> Vec<WeightedSet> {
+    PAPER_DATASETS[0]
+        .scaled_down_preserving_overlap(6, 1_000)
+        .generate(0xA110C)
+        .expect("valid dataset config")
+        .docs
+}
+
+#[test]
+fn batch_paths_do_not_allocate_after_warmup() {
+    const CALLS: u64 = 10;
+    let docs = docs();
+    let config = AlgorithmConfig::default();
+
+    for algorithm in [Algorithm::MinHash, Algorithm::Icws] {
+        let sketcher =
+            algorithm.build(7, 64, &config).expect("MinHash and ICWS build without preconditions");
+        let mut scratch = SketchScratch::new();
+        let mut batch = CodeBatch::new();
+
+        // Warmup: grows the scratch buffers and the code matrix to their
+        // steady-state capacity.
+        sketcher.sketch_batch_into(&docs, &mut batch, &mut scratch).expect("warmup sketch");
+
+        let before = allocations();
+        for _ in 0..CALLS {
+            sketcher.sketch_batch_into(&docs, &mut batch, &mut scratch).expect("steady sketch");
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta,
+            0,
+            "{}: {delta} heap allocations across {CALLS} warm sketch_batch_into calls \
+             (the scratch-backed path must reuse its buffers)",
+            sketcher.name()
+        );
+
+        // The warm path must still produce real output.
+        assert_eq!(batch.rows(), docs.len());
+        assert_eq!(batch.width(), 64);
+        assert!(batch.as_flat().iter().any(|&c| c != 0));
+    }
+}

@@ -3,43 +3,66 @@
 # the workspace has no registry dependencies (wmh-bench, which pulls
 # criterion, lives in its own excluded workspace under crates/bench/).
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh [--quick]
+#
+# --quick is the inner-loop mode (see CONTRIBUTING.md): debug builds and
+# scaled-down statistical suites, so it finishes in a few minutes. It
+# skips the perf gate — debug-build timings say nothing about release
+# performance. The full (default) mode is the merge gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+elif [[ $# -gt 0 ]]; then
+  echo "usage: scripts/ci.sh [--quick]" >&2
+  exit 2
+fi
+
+if [[ "$QUICK" == "1" ]]; then
+  RELEASE=()
+  CHECK_CASES_DEFAULT=2
+  CHAOS_CASES_DEFAULT=5000
+else
+  RELEASE=(--release)
+  CHECK_CASES_DEFAULT=6
+  CHAOS_CASES_DEFAULT=100000
+fi
 
 run() {
   echo "==> $*"
   "$@"
 }
 
-run cargo build --release --workspace
-run cargo test --workspace -q
+run cargo build "${RELEASE[@]}" --workspace
+run cargo test "${RELEASE[@]}" --workspace -q
 
-# Estimator-conformance suite at a quick repetition count. WMH_CHECK_CASES
-# scales it (the CLT bound tightens as repetitions grow, so a nightly run
-# with a larger count is a stricter gate, not just a longer one).
-run env WMH_CHECK_CASES="${WMH_CHECK_CASES:-6}" \
-  cargo test --release -p wmh-core --test conformance -q
+# Estimator-conformance suite. WMH_CHECK_CASES scales it (the CLT bound
+# tightens as repetitions grow, so a nightly run with a larger count is a
+# stricter gate, not just a longer one).
+run env WMH_CHECK_CASES="${WMH_CHECK_CASES:-$CHECK_CASES_DEFAULT}" \
+  cargo test "${RELEASE[@]}" -p wmh-core --test conformance -q
 
 # Static no-panic gate: non-test code in the sketching core must not
 # unwrap/expect/panic outside the checked-in allowlist
 # (scripts/panic_allowlist.txt).
 run scripts/panic_gate.sh
 
-# Adversarial chaos suite at full strength: hostile weights and index
-# layouts against all 13 algorithms — no panic, no hang, typed errors or
-# full-length deterministic sketches only. WMH_CHAOS_CASES scales it.
-run env WMH_CHAOS_CASES="${WMH_CHAOS_CASES:-100000}" \
-  cargo test --release -p wmh-core --test chaos -q
+# Adversarial chaos suite: hostile weights and index layouts against all
+# 13 algorithms — no panic, no hang, typed errors or full-length
+# deterministic sketches only. WMH_CHAOS_CASES scales it.
+run env WMH_CHAOS_CASES="${WMH_CHAOS_CASES:-$CHAOS_CASES_DEFAULT}" \
+  cargo test "${RELEASE[@]}" -p wmh-core --test chaos -q
 
 # 1-vs-N-thread determinism: the parallel sweep must return byte-identical
 # results at every thread count, and the committer must never interleave
 # partial checkpoint lines.
-run cargo test --release -p wmh-eval --test determinism -q
+run cargo test "${RELEASE[@]}" -p wmh-eval --test determinism -q
 
 # Failpoint machinery: the wmh-fault crate's own scenario/registry suite
 # (points compile to no-ops without the feature, so it must be explicit).
-run cargo test --release -p wmh-fault --features failpoints -q
+run cargo test "${RELEASE[@]}" -p wmh-fault --features failpoints -q
 
 # Chaos soak: the Figure 8 sweep under randomized transient fault schedules
 # must finish byte-identical to a fault-free run at 1 and 8 threads, and
@@ -48,8 +71,20 @@ run cargo test --release -p wmh-fault --features failpoints -q
 # pin to probe new schedules (determinism holds for any seed, so a failure
 # under a fresh seed is a real bug, not flakiness).
 run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
-  cargo test --release -p wmh-eval --features wmh-fault/failpoints \
+  cargo test "${RELEASE[@]}" -p wmh-eval --features wmh-fault/failpoints \
   --test chaos_soak --test supervision -q
+
+# Every checked-in results/*.json must match its registered schema
+# (crates/perf/src/schemas.rs); an unregistered file name is a failure.
+run cargo run "${RELEASE[@]}" -q -p wmh-perf --bin schema_check -- results
+
+# Performance gate: the wmh-perf quick suite vs results/BENCH_baseline.json
+# (skippable via WMH_SKIP_PERF=1; tolerance via WMH_PERF_TOL).
+if [[ "$QUICK" == "1" ]]; then
+  echo "==> skipping perf gate (--quick: debug timings are not gateable)"
+else
+  run scripts/perf_gate.sh
+fi
 
 # Formatting and lints are advisory if the components are not installed
 # (minimal toolchains ship without rustfmt/clippy).
