@@ -285,6 +285,11 @@ impl Default for AlgorithmConfig {
 impl Algorithm {
     /// Build a ready-to-use sketcher.
     ///
+    /// The trait object is `Send + Sync`: every catalog sketcher is a plain
+    /// immutable parameter struct, so one boxed instance can be shared
+    /// across threads (the serving layer sketches queries from concurrent
+    /// connection handlers).
+    ///
     /// # Errors
     /// Parameter errors from the underlying constructors;
     /// [`SketchError::BadParameter`] when \[Shrivastava, 2016\] is requested
@@ -294,7 +299,7 @@ impl Algorithm {
         seed: u64,
         num_hashes: usize,
         config: &AlgorithmConfig,
-    ) -> Result<Box<dyn Sketcher>, SketchError> {
+    ) -> Result<Box<dyn Sketcher + Send + Sync>, SketchError> {
         let c = config.quantization_constant;
         Ok(match self {
             Self::MinHash => Box::new(MinHash::new(seed, num_hashes)),

@@ -484,6 +484,39 @@ pub trait Sketcher {
     }
 }
 
+/// Boxed sketchers delegate, so a runtime-selected algorithm (the
+/// catalog's `Box<dyn Sketcher + Send + Sync>`) slots into generic
+/// consumers — `wmh_lsh::LshIndex`, the serving layer's shards — exactly
+/// like a concrete one. Only the required methods and the kernel override
+/// point are forwarded; the provided batch paths then route through the
+/// delegated kernel automatically.
+impl<S: Sketcher + ?Sized> Sketcher for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn num_hashes(&self) -> usize {
+        (**self).num_hashes()
+    }
+
+    fn seed(&self) -> u64 {
+        (**self).seed()
+    }
+
+    fn sketch(&self, set: &WeightedSet) -> Result<Sketch, SketchError> {
+        (**self).sketch(set)
+    }
+
+    fn sketch_codes_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        scratch: &mut SketchScratch,
+    ) -> Result<(), SketchError> {
+        (**self).sketch_codes_into(set, out, scratch)
+    }
+}
+
 /// Pack a 2-component structured code into an opaque 64-bit code.
 #[inline]
 #[must_use]

@@ -370,6 +370,30 @@ impl SketchStore {
         &self.ids
     }
 
+    /// Producing algorithm's catalog name (empty until the first insert).
+    ///
+    /// Together with [`Self::seed`] and [`Self::num_hashes`] this is the
+    /// provenance a reader needs to rebuild a compatible sketcher — the
+    /// serving layer uses it to configure its query-side sketcher from the
+    /// store file alone.
+    #[must_use]
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Master seed the stored sketches were produced with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fingerprint length `D` of every stored sketch (0 until the first
+    /// insert).
+    #[must_use]
+    pub fn num_hashes(&self) -> usize {
+        self.num_hashes
+    }
+
     /// Estimate the similarity of two stored documents.
     ///
     /// # Errors

@@ -11,7 +11,7 @@ use wmh_sets::WeightedSet;
 
 const D: usize = 16;
 
-fn catalog() -> Vec<(Algorithm, Box<dyn Sketcher>)> {
+fn catalog() -> Vec<(Algorithm, Box<dyn Sketcher + Send + Sync>)> {
     // Explicit bounds covering every index the edge sets below use, so
     // Shrivastava exercises its batch path instead of bound rejection.
     let bounds = UpperBounds::from_pairs([(1, 1e3), (7, 1e3), (9, 1e3), (u64::MAX, 1e3)])

@@ -37,7 +37,7 @@ fn cases() -> usize {
 /// The catalog under one roof: all 13, Shrivastava included via explicit
 /// bounds (arbitrary chaos indices then exercise its typed
 /// `WeightExceedsBound` path rather than making it unbuildable).
-fn catalog() -> Vec<(Algorithm, Box<dyn Sketcher>)> {
+fn catalog() -> Vec<(Algorithm, Box<dyn Sketcher + Send + Sync>)> {
     let config = AlgorithmConfig {
         upper_bounds: Some(
             UpperBounds::from_pairs((0..32).map(|k| (k, 8.0))).expect("valid bounds"),

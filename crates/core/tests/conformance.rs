@@ -109,7 +109,7 @@ fn allowance(algorithm: Algorithm) -> f64 {
 
 /// Mean estimate over `reps` independently seeded repetitions.
 fn mean_estimate(
-    build: &dyn Fn(u64) -> Box<dyn Sketcher>,
+    build: &dyn Fn(u64) -> Box<dyn Sketcher + Send + Sync>,
     s: &WeightedSet,
     t: &WeightedSet,
     reps: usize,
@@ -130,7 +130,7 @@ fn mean_estimate(
 /// the negative control) can inspect it.
 fn conformance(
     label: &str,
-    build: &dyn Fn(u64) -> Box<dyn Sketcher>,
+    build: &dyn Fn(u64) -> Box<dyn Sketcher + Send + Sync>,
     truth: f64,
     allowance: f64,
     reps: usize,
@@ -151,7 +151,7 @@ fn conformance(
     Ok(())
 }
 
-fn catalog_build(algorithm: Algorithm) -> impl Fn(u64) -> Box<dyn Sketcher> {
+fn catalog_build(algorithm: Algorithm) -> impl Fn(u64) -> Box<dyn Sketcher + Send + Sync> {
     move |seed| {
         let (s, t) = sets();
         algorithm.build(seed, D, &config(&s, &t)).expect("buildable")
@@ -217,7 +217,7 @@ fn batch_path_matches_single_path_for_every_algorithm() {
 /// similarity estimate by ~(1−J)/4 ≈ 0.14 here — comfortably above the
 /// CLT bound even at the minimum repetition count. It masquerades as the
 /// inner algorithm.
-struct BiasedMutant(Box<dyn Sketcher>);
+struct BiasedMutant(Box<dyn Sketcher + Send + Sync>);
 
 impl Sketcher for BiasedMutant {
     fn name(&self) -> &'static str {
@@ -243,7 +243,7 @@ fn deliberately_biased_mutant_fails_the_unbiased_bound() {
     let (s, t) = sets();
     let truth = generalized_jaccard(&s, &t);
     let cfg = config(&s, &t);
-    let build = move |seed: u64| -> Box<dyn Sketcher> {
+    let build = move |seed: u64| -> Box<dyn Sketcher + Send + Sync> {
         Box::new(BiasedMutant(Algorithm::Icws.build(seed, D, &cfg).expect("buildable")))
     };
     let verdict = conformance("biased-mutant", &build, truth, 0.0, reps());

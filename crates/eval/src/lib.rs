@@ -23,8 +23,12 @@ pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod runner;
-pub mod supervisor;
 pub mod sweep;
+
+// The cell supervisor (retry policy, seeded backoff, quarantine) moved to
+// `wmh-fault` so the serving layer can share it without depending on the
+// experiment harness; this re-export keeps every historical path working.
+pub use wmh_fault::supervisor;
 
 pub use runner::{Budget, Measurement, MseCell, RunOptions, RunnerError, RuntimeCell, Scale};
 pub use supervisor::{Attempt, CellOutcome, RetryPolicy};

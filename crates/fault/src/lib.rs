@@ -70,6 +70,7 @@
 
 mod registry;
 mod scenario;
+pub mod supervisor;
 
 pub use registry::{fired, hits, Fault};
 pub use scenario::{

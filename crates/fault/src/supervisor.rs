@@ -1,7 +1,11 @@
-//! Self-healing cell supervision: bounded retry with seeded backoff,
-//! terminal timeouts, and quarantine for persistent failures.
+//! Self-healing supervision: bounded retry with seeded backoff, terminal
+//! timeouts, and quarantine for persistent failures.
 //!
-//! A sweep cell can fail three ways, and the supervisor treats them very
+//! The policy was born in the sweep engine (`wmh-eval` re-exports this
+//! module unchanged) and is deliberately generic: a *cell* is any retryable
+//! unit of work with a stable `u64` identity — an experiment grid cell, a
+//! sketch-store ingest record, an admission decision in the serving layer.
+//! A cell can fail three ways, and the supervisor treats them very
 //! differently:
 //!
 //! * **Transient** faults (an I/O hiccup, an injected
@@ -126,7 +130,7 @@ pub fn supervise<T>(
                 error = e;
                 if attempt < policy.max_retries {
                     // Observability marker: one hit per backoff sleep.
-                    let _ = wmh_fault::point!("sweep::retry");
+                    let _ = crate::point!("sweep::retry");
                     std::thread::sleep(policy.backoff(seed, cell, attempt + 1));
                 }
             }

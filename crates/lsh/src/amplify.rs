@@ -34,11 +34,32 @@ pub struct Bands {
 pub enum BandsError {
     /// Both dimensions must be positive.
     Zero,
+    /// A banding optimizer was given a zero hash budget.
+    ZeroBudget,
+    /// A gap optimizer was given `s_near ≤ s_far` — there is no
+    /// similarity split to separate.
+    InvertedGap,
+    /// A code slice was shorter than the `b·r` hashes banding consumes.
+    TooFewCodes {
+        /// Hashes required (`b·r`).
+        required: usize,
+        /// Codes available.
+        available: usize,
+    },
 }
 
 impl std::fmt::Display for BandsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bands and rows must both be positive")
+        match self {
+            Self::Zero => write!(f, "bands and rows must both be positive"),
+            Self::ZeroBudget => write!(f, "hash budget must be positive"),
+            Self::InvertedGap => {
+                write!(f, "near collision probability must exceed far")
+            }
+            Self::TooFewCodes { required, available } => {
+                write!(f, "banding needs {required} codes, only {available} available")
+            }
+        }
     }
 }
 
@@ -92,54 +113,108 @@ impl Bands {
         1.0 - self.candidate_probability(s_near)
     }
 
+    /// One `u64` bucket key per band over the leading `total_hashes()`
+    /// entries of `codes` — the banded-index hashing shared by
+    /// [`crate::LshIndex`] and the `wmh-serve` shards, extracted here so
+    /// both probe byte-identical buckets.
+    ///
+    /// # Errors
+    /// [`BandsError::TooFewCodes`] when `codes` is shorter than `b·r`.
+    pub fn band_keys(&self, codes: &[u64]) -> Result<Vec<u64>, BandsError> {
+        if codes.len() < self.total_hashes() {
+            return Err(BandsError::TooFewCodes {
+                required: self.total_hashes(),
+                available: codes.len(),
+            });
+        }
+        Ok((0..self.bands)
+            .map(|b| {
+                let start = b * self.rows;
+                let mut acc = 0x9E37_79B9u64 ^ b as u64;
+                for &code in &codes[start..start + self.rows] {
+                    acc = wmh_hash::mix::combine(acc, code);
+                }
+                acc
+            })
+            .collect())
+    }
+
     /// Choose `(b, r)` with `b·r ≤ budget` minimizing
     /// `false_negative_rate(s_near) + false_positive_rate(s_far)` — the
     /// balanced-error banding for a known similarity split (Definition 4's
     /// `(R, cR, p₁, p₂)` gap, optimized).
     ///
+    /// # Errors
+    /// [`BandsError::ZeroBudget`] when `budget == 0`,
+    /// [`BandsError::InvertedGap`] when `s_near ≤ s_far`.
+    pub fn try_for_gap(budget: usize, s_near: f64, s_far: f64) -> Result<Self, BandsError> {
+        if budget == 0 {
+            return Err(BandsError::ZeroBudget);
+        }
+        // `partial_cmp` so a NaN on either side lands in the error arm too.
+        if s_near.partial_cmp(&s_far) != Some(std::cmp::Ordering::Greater) {
+            return Err(BandsError::InvertedGap);
+        }
+        let score = |cfg: Bands| cfg.false_negative_rate(s_near) + cfg.false_positive_rate(s_far);
+        Ok(Self::optimize(budget, score))
+    }
+
+    /// Panicking convenience wrapper around [`Self::try_for_gap`].
+    ///
     /// # Panics
     /// Panics when `budget == 0` or `s_near ≤ s_far`.
     #[must_use]
     pub fn for_gap(budget: usize, s_near: f64, s_far: f64) -> Self {
-        assert!(budget > 0, "hash budget must be positive");
-        assert!(s_near > s_far, "near collision probability must exceed far ({s_near} vs {s_far})");
-        let mut best: Option<(f64, Bands)> = None;
-        for rows in 1..=budget {
-            let bands = budget / rows;
-            if bands == 0 {
-                break;
-            }
-            let cfg = Bands { bands, rows };
-            let err = cfg.false_negative_rate(s_near) + cfg.false_positive_rate(s_far);
-            if best.is_none_or(|(be, _)| err < be) {
-                best = Some((err, cfg));
-            }
+        match Self::try_for_gap(budget, s_near, s_far) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e} ({s_near} vs {s_far})"),
         }
-        best.expect("budget > 0 yields at least (1,1)").1
     }
 
     /// Choose `(b, r)` with `b·r ≤ budget` whose threshold is closest to
     /// `target`, preferring the steepest curve (largest `r`) among ties.
     ///
+    /// # Errors
+    /// [`BandsError::ZeroBudget`] when `budget == 0`.
+    pub fn try_for_threshold(budget: usize, target: f64) -> Result<Self, BandsError> {
+        if budget == 0 {
+            return Err(BandsError::ZeroBudget);
+        }
+        let target = target.clamp(1e-6, 1.0);
+        Ok(Self::optimize(budget, |cfg| (cfg.threshold() - target).abs()))
+    }
+
+    /// Panicking convenience wrapper around [`Self::try_for_threshold`].
+    ///
     /// # Panics
     /// Panics when `budget == 0`.
     #[must_use]
     pub fn for_threshold(budget: usize, target: f64) -> Self {
-        assert!(budget > 0, "hash budget must be positive");
-        let target = target.clamp(1e-6, 1.0);
-        let mut best: Option<(f64, Bands)> = None;
-        for rows in 1..=budget {
+        match Self::try_for_threshold(budget, target) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Scan every `(b, r)` layout within `budget`, keeping the lowest
+    /// score. `budget ≥ 1` guarantees at least `(budget, 1)` is scored, so
+    /// the fold always yields a configuration.
+    fn optimize(budget: usize, score: impl Fn(Bands) -> f64) -> Self {
+        let mut best = Bands { bands: budget, rows: 1 };
+        let mut best_score = score(best);
+        for rows in 2..=budget {
             let bands = budget / rows;
             if bands == 0 {
                 break;
             }
             let cfg = Bands { bands, rows };
-            let err = (cfg.threshold() - target).abs();
-            if best.is_none_or(|(be, _)| err < be) {
-                best = Some((err, cfg));
+            let err = score(cfg);
+            if err < best_score {
+                best = cfg;
+                best_score = err;
             }
         }
-        best.expect("budget > 0 yields at least (1,1)").1
+        best
     }
 }
 
@@ -222,5 +297,41 @@ mod tests {
     #[should_panic(expected = "must exceed")]
     fn for_gap_rejects_inverted_split() {
         let _ = Bands::for_gap(64, 0.2, 0.6);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        assert_eq!(Bands::try_for_gap(0, 0.8, 0.2), Err(BandsError::ZeroBudget));
+        assert_eq!(Bands::try_for_gap(64, 0.2, 0.6), Err(BandsError::InvertedGap));
+        assert_eq!(Bands::try_for_gap(64, f64::NAN, 0.2), Err(BandsError::InvertedGap));
+        assert_eq!(Bands::try_for_threshold(0, 0.5), Err(BandsError::ZeroBudget));
+        assert_eq!(Bands::try_for_gap(128, 0.8, 0.3).unwrap(), Bands::for_gap(128, 0.8, 0.3));
+        assert_eq!(Bands::try_for_threshold(128, 0.5).unwrap(), Bands::for_threshold(128, 0.5));
+    }
+
+    #[test]
+    fn band_keys_are_deterministic_and_length_checked() {
+        let b = Bands::new(4, 3).unwrap();
+        let codes: Vec<u64> = (0..12).map(|i| i * 7 + 1).collect();
+        let keys = b.band_keys(&codes).unwrap();
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys, b.band_keys(&codes).unwrap());
+        // Keys depend only on their own band's rows: extra trailing codes
+        // change nothing, a changed code in band 2 changes only key 2.
+        let mut longer = codes.clone();
+        longer.push(999);
+        assert_eq!(keys, b.band_keys(&longer).unwrap());
+        let mut tweaked = codes.clone();
+        tweaked[7] ^= 1; // band 2 holds codes 6..9
+        let keys2 = b.band_keys(&tweaked).unwrap();
+        assert_ne!(keys[2], keys2[2]);
+        assert_eq!(keys[0], keys2[0]);
+        assert_eq!(keys[1], keys2[1]);
+        assert_eq!(keys[3], keys2[3]);
+        // Too-short input is a typed error, not a slice panic.
+        assert_eq!(
+            b.band_keys(&codes[..11]),
+            Err(BandsError::TooFewCodes { required: 12, available: 11 })
+        );
     }
 }

@@ -6,10 +6,9 @@
 //! index then re-ranks candidates by estimated similarity (sketch collision
 //! fraction) or by an exact measure the caller supplies.
 
-use crate::amplify::Bands;
+use crate::amplify::{Bands, BandsError};
 use std::collections::{HashMap, HashSet};
 use wmh_core::{Sketch, SketchError, Sketcher};
-use wmh_hash::mix::combine;
 use wmh_sets::WeightedSet;
 
 /// Errors for [`LshIndex`].
@@ -22,6 +21,21 @@ pub enum IndexError {
         /// Hashes available (`D`).
         available: usize,
     },
+    /// A pre-computed sketch did not match the index's configured sketcher
+    /// — wrong algorithm, seed, or fingerprint length `D`. Ingesting it
+    /// would silently poison every similarity estimate (and a short sketch
+    /// would previously have been truncated against the banding layout),
+    /// so the mismatch is rejected typed-ly instead.
+    SketchMismatch {
+        /// `(algorithm, seed, D)` the index's sketcher produces.
+        expected: (String, u64, usize),
+        /// `(algorithm, seed, D)` of the offered sketch.
+        got: (String, u64, usize),
+    },
+    /// A banding computation failed (e.g. fewer codes than `b·r`). Only
+    /// reachable through defense-in-depth: every ingest path validates
+    /// lengths before banding.
+    Bands(BandsError),
     /// Underlying sketching failure.
     Sketch(SketchError),
 }
@@ -32,6 +46,12 @@ impl std::fmt::Display for IndexError {
             Self::BandsExceedSketch { required, available } => {
                 write!(f, "banding needs {required} hashes, sketcher provides {available}")
             }
+            Self::SketchMismatch { expected, got } => write!(
+                f,
+                "sketch provenance mismatch: index expects ({}, seed {}, D {}), got ({}, seed {}, D {})",
+                expected.0, expected.1, expected.2, got.0, got.1, got.2
+            ),
+            Self::Bands(e) => write!(f, "banding failed: {e}"),
             Self::Sketch(e) => write!(f, "sketching failed: {e}"),
         }
     }
@@ -42,6 +62,12 @@ impl std::error::Error for IndexError {}
 impl From<SketchError> for IndexError {
     fn from(e: SketchError) -> Self {
         Self::Sketch(e)
+    }
+}
+
+impl From<BandsError> for IndexError {
+    fn from(e: BandsError) -> Self {
+        Self::Bands(e)
     }
 }
 
@@ -105,17 +131,22 @@ impl<S: Sketcher> LshIndex<S> {
         self.bands
     }
 
-    fn band_keys(&self, sketch: &Sketch) -> Vec<u64> {
-        (0..self.bands.bands)
-            .map(|b| {
-                let start = b * self.bands.rows;
-                let mut acc = 0x9E37_79B9u64 ^ b as u64;
-                for &code in &sketch.codes[start..start + self.bands.rows] {
-                    acc = combine(acc, code);
-                }
-                acc
-            })
-            .collect()
+    /// Validate that a pre-computed sketch carries this index's provenance.
+    fn check_provenance(&self, sketch: &Sketch) -> Result<(), IndexError> {
+        if sketch.algorithm != self.sketcher.name()
+            || sketch.seed != self.sketcher.seed()
+            || sketch.len() != self.sketcher.num_hashes()
+        {
+            return Err(IndexError::SketchMismatch {
+                expected: (
+                    self.sketcher.name().to_owned(),
+                    self.sketcher.seed(),
+                    self.sketcher.num_hashes(),
+                ),
+                got: (sketch.algorithm.clone(), sketch.seed, sketch.len()),
+            });
+        }
+        Ok(())
     }
 
     /// Insert a point under a caller-chosen id.
@@ -124,13 +155,40 @@ impl<S: Sketcher> LshIndex<S> {
     /// Propagates sketching errors (e.g. empty sets).
     pub fn insert(&mut self, id: u64, point: &WeightedSet) -> Result<(), IndexError> {
         let sketch = self.sketcher.sketch(point)?;
+        self.insert_banded(id, sketch)
+    }
+
+    /// Insert a pre-computed sketch (e.g. streamed out of a
+    /// `wmh_core::SketchStore`) under a caller-chosen id.
+    ///
+    /// # Errors
+    /// [`IndexError::SketchMismatch`] when the sketch's algorithm, seed, or
+    /// dimension `D` differs from the index's configured sketcher — the
+    /// mismatched sketch is rejected, never truncated.
+    pub fn insert_sketch(&mut self, id: u64, sketch: Sketch) -> Result<(), IndexError> {
+        self.check_provenance(&sketch)?;
+        self.insert_banded(id, sketch)
+    }
+
+    fn insert_banded(&mut self, id: u64, sketch: Sketch) -> Result<(), IndexError> {
         let slot = self.sketches.len();
-        for (b, key) in self.band_keys(&sketch).into_iter().enumerate() {
+        for (b, key) in self.bands.band_keys(&sketch.codes)?.into_iter().enumerate() {
             self.buckets[b].entry(key).or_default().push(slot);
         }
         self.sketches.push(sketch);
         self.ids.push(id);
         Ok(())
+    }
+
+    /// Candidate slots sharing at least one band bucket with the sketch.
+    fn candidate_slots(&self, sketch: &Sketch) -> Result<HashSet<usize>, IndexError> {
+        let mut seen = HashSet::new();
+        for (b, key) in self.bands.band_keys(&sketch.codes)?.into_iter().enumerate() {
+            if let Some(slots) = self.buckets[b].get(&key) {
+                seen.extend(slots.iter().copied());
+            }
+        }
+        Ok(seen)
     }
 
     /// Candidate ids sharing at least one band bucket with the query.
@@ -139,13 +197,18 @@ impl<S: Sketcher> LshIndex<S> {
     /// Propagates sketching errors.
     pub fn candidates(&self, query: &WeightedSet) -> Result<Vec<u64>, IndexError> {
         let sketch = self.sketcher.sketch(query)?;
-        let mut seen = HashSet::new();
-        for (b, key) in self.band_keys(&sketch).into_iter().enumerate() {
-            if let Some(slots) = self.buckets[b].get(&key) {
-                seen.extend(slots.iter().copied());
-            }
-        }
-        let mut out: Vec<u64> = seen.into_iter().map(|s| self.ids[s]).collect();
+        self.candidates_for_sketch(&sketch)
+    }
+
+    /// Candidate ids for a pre-computed query sketch (the sketch-once,
+    /// probe-everywhere path the serving layer fans out over shards).
+    ///
+    /// # Errors
+    /// [`IndexError::SketchMismatch`] on provenance mismatch.
+    pub fn candidates_for_sketch(&self, sketch: &Sketch) -> Result<Vec<u64>, IndexError> {
+        self.check_provenance(sketch)?;
+        let mut out: Vec<u64> =
+            self.candidate_slots(sketch)?.into_iter().map(|s| self.ids[s]).collect();
         out.sort_unstable();
         Ok(out)
     }
@@ -161,21 +224,14 @@ impl<S: Sketcher> LshIndex<S> {
         k: usize,
     ) -> Result<Vec<(u64, f64)>, IndexError> {
         let sketch = self.sketcher.sketch(query)?;
-        let mut seen = HashSet::new();
-        for (b, key) in self.band_keys(&sketch).into_iter().enumerate() {
-            if let Some(slots) = self.buckets[b].get(&key) {
-                seen.extend(slots.iter().copied());
-            }
+        let mut scored = Vec::new();
+        for s in self.candidate_slots(&sketch)? {
+            // Index sketches share the sketcher by construction, but the
+            // estimator stays total: a mismatch surfaces typed, not as a
+            // panic in the middle of a query.
+            let est = sketch.try_estimate_similarity(&self.sketches[s])?;
+            scored.push((self.ids[s], est));
         }
-        let mut scored: Vec<(u64, f64)> = seen
-            .into_iter()
-            .map(|s| {
-                let est = sketch
-                    .try_estimate_similarity(&self.sketches[s])
-                    .expect("index sketches share the sketcher");
-                (self.ids[s], est)
-            })
-            .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         Ok(scored)
@@ -286,6 +342,55 @@ mod tests {
             idx.candidates(&WeightedSet::empty()),
             Err(IndexError::Sketch(SketchError::EmptySet))
         ));
+    }
+
+    #[test]
+    fn insert_sketch_accepts_matching_provenance() {
+        let sketcher = Icws::new(2, 128);
+        let mut by_set = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let mut by_sketch = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let docs = corpus();
+        for (id, d) in &docs {
+            by_set.insert(*id, d).unwrap();
+            by_sketch.insert_sketch(*id, sketcher.sketch(d).unwrap()).unwrap();
+        }
+        // Pre-sketched ingest is indistinguishable from set ingest.
+        for (_, d) in &docs {
+            assert_eq!(by_set.candidates(d).unwrap(), by_sketch.candidates(d).unwrap());
+            assert_eq!(by_set.query_top_k(d, 4).unwrap(), by_sketch.query_top_k(d, 4).unwrap());
+        }
+    }
+
+    #[test]
+    fn insert_sketch_rejects_dimension_mismatch() {
+        // Regression: a D=32 sketch offered to a D=128 index used to be
+        // silently truncated by the banding slice (or panic, depending on
+        // layout); it must be a typed rejection.
+        let mut idx = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let doc = ws(&[(1, 1.0), (2, 2.0), (3, 0.5)]);
+        let short = Icws::new(2, 32).sketch(&doc).unwrap();
+        let err = idx.insert_sketch(7, short).unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::SketchMismatch {
+                expected: ("ICWS".into(), 2, 128),
+                got: ("ICWS".into(), 2, 32),
+            }
+        );
+        assert!(idx.is_empty(), "rejected sketch must not be ingested");
+    }
+
+    #[test]
+    fn insert_sketch_rejects_wrong_algorithm_or_seed() {
+        let mut idx = LshIndex::new(Icws::new(2, 64), Bands::new(16, 4).unwrap()).unwrap();
+        let doc = ws(&[(1, 1.0), (2, 2.0)]);
+        let minhash = MinHash::new(2, 64).sketch(&doc).unwrap();
+        assert!(matches!(idx.insert_sketch(1, minhash), Err(IndexError::SketchMismatch { .. })));
+        let wrong_seed = Icws::new(3, 64).sketch(&doc).unwrap();
+        assert!(matches!(idx.insert_sketch(1, wrong_seed), Err(IndexError::SketchMismatch { .. })));
+        // Query-side provenance is checked the same way.
+        let q = Icws::new(3, 64).sketch(&doc).unwrap();
+        assert!(matches!(idx.candidates_for_sketch(&q), Err(IndexError::SketchMismatch { .. })));
     }
 
     #[test]

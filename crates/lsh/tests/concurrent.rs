@@ -1,0 +1,97 @@
+//! Concurrent ingest/query: `LshIndex` results must be independent of the
+//! interleaving in which documents were ingested.
+//!
+//! The index itself is `&mut` for ingest (callers serialize through a
+//! lock, as the serving layer's shard threads do), so the property under
+//! test is *insertion-order independence*: candidates are keyed by band
+//! buckets and results are re-ranked with deterministic tie-breaks, so any
+//! thread-count / any interleaving must produce set-equal candidates and
+//! identical ranked results. `wmh_check::stress::hammer` provides the
+//! barrier-released fan-out that makes interleavings actually overlap.
+
+use std::sync::Mutex;
+use wmh_check::stress::hammer;
+use wmh_core::cws::Icws;
+use wmh_core::Sketcher;
+use wmh_lsh::{Bands, LshIndex};
+use wmh_sets::WeightedSet;
+
+const SEED: u64 = 0x5EED_C0DE;
+
+/// Deterministic corpus: clusters of near-duplicates plus unique noise.
+fn corpus() -> Vec<(u64, WeightedSet)> {
+    let mut docs = Vec::new();
+    for c in 0..6u64 {
+        let base: Vec<(u64, f64)> =
+            (0..48).map(|i| (c * 500 + i, 1.0 + (i % 5) as f64 * 0.25)).collect();
+        for v in 0..5u64 {
+            let pairs: Vec<(u64, f64)> = base
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !(*i as u64 + v).is_multiple_of(13))
+                .map(|(_, &p)| p)
+                .collect();
+            docs.push((c * 10 + v, WeightedSet::from_pairs(pairs).expect("valid corpus doc")));
+        }
+    }
+    docs
+}
+
+fn build_index() -> LshIndex<Icws> {
+    LshIndex::new(Icws::new(SEED, 128), Bands::new(32, 4).expect("bands"))
+        .expect("banding fits sketcher")
+}
+
+/// Ingest the corpus from `threads` threads (round-robin partition, all
+/// released together) and return the finished index.
+fn ingest_with_threads(docs: &[(u64, WeightedSet)], threads: usize) -> LshIndex<Icws> {
+    let index = Mutex::new(build_index());
+    let per_thread = docs.len().div_ceil(threads);
+    hammer(threads, per_thread, |t, i| {
+        let slot = t + i * threads;
+        if let Some((id, doc)) = docs.get(slot) {
+            // Pre-sketch outside the lock so ingest critical sections
+            // genuinely interleave rather than serializing on sketching.
+            let sketch = Icws::new(SEED, 128).sketch(doc).expect("corpus sketches");
+            index.lock().expect("ingest lock").insert_sketch(*id, sketch).expect("ingest");
+        }
+    });
+    index.into_inner().expect("no poisoned ingest")
+}
+
+#[test]
+fn query_results_are_independent_of_ingest_interleaving() {
+    let docs = corpus();
+    let reference = ingest_with_threads(&docs, 1);
+    for threads in [2usize, 8] {
+        let index = ingest_with_threads(&docs, threads);
+        assert_eq!(index.len(), docs.len(), "{threads} threads: lost ingests");
+        for (id, doc) in &docs {
+            // candidates() returns sorted ids, so Vec equality is
+            // set-equality here.
+            let want = reference.candidates(doc).expect("reference candidates");
+            let got = index.candidates(doc).expect("candidates");
+            assert_eq!(want, got, "doc {id} candidates diverged at {threads} threads");
+            // Ranked results break estimate ties by id, so the full ranking
+            // must also be interleaving-independent.
+            let want_top = reference.query_top_k(doc, 5).expect("reference top-k");
+            let got_top = index.query_top_k(doc, 5).expect("top-k");
+            assert_eq!(want_top, got_top, "doc {id} top-k diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_share_a_finished_index() {
+    let docs = corpus();
+    let index = ingest_with_threads(&docs, 4);
+    let expected: Vec<Vec<u64>> =
+        docs.iter().map(|(_, d)| index.candidates(d).expect("candidates")).collect();
+    // Queries are &self: many readers may probe simultaneously and must all
+    // see the same candidates.
+    hammer(8, docs.len(), |t, i| {
+        let slot = (t + i) % docs.len();
+        let got = index.candidates(&docs[slot].1).expect("concurrent candidates");
+        assert_eq!(expected[slot], got, "reader {t} diverged on doc slot {slot}");
+    });
+}

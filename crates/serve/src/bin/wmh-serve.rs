@@ -1,0 +1,254 @@
+//! `wmh-serve` — CLI for the sharded similarity-search service.
+//!
+//! ```text
+//! wmh-serve smoke [--quick]
+//! wmh-serve load  --out results/BENCH_serve_load.json [--requests N] [--concurrency C]
+//!                 [--docs N] [--shards S] [--k K] [--deadline-us U] [--seed X]
+//! wmh-serve check-report <path>
+//! wmh-serve serve --store sketches.bin [--addr 127.0.0.1:7878]
+//! ```
+//!
+//! * `smoke` — CI's end-to-end gate: a loopback server answering typed
+//!   outcomes for a healthy query, a forced deadline miss, a forced
+//!   overload, and a bad request.
+//! * `load` — the closed-loop load generator over a Table-4 medium corpus
+//!   (`Syn3E0.24S`, scaled preserving pairwise overlap); writes the
+//!   `wmh-serve-load/v1` report the perf gate checks.
+//! * `check-report` — validate a report file's schema and arithmetic
+//!   invariants (outcome counts must sum to requests issued).
+//! * `serve` — run a real server over a saved sketch store.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use wmh_core::{SketchStore, Sketcher};
+use wmh_data::PAPER_DATASETS;
+use wmh_serve::{
+    loadgen, Client, LoadConfig, LoadReport, Outcome, QueryRequest, Server, Service, ServiceConfig,
+};
+use wmh_sets::WeightedSet;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  wmh-serve smoke [--quick]\n  wmh-serve load --out FILE [--requests N] [--concurrency C] [--docs N]\n                 [--shards S] [--k K] [--deadline-us U] [--seed X]\n  wmh-serve check-report FILE\n  wmh-serve serve --store FILE [--addr 127.0.0.1:7878]"
+        .to_owned()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let num = |name: &str, default: u64| -> Result<u64, String> {
+        flag(name).map_or(Ok(default), |raw| {
+            raw.parse().map_err(|e| format!("invalid {name} {raw:?}: {e}"))
+        })
+    };
+    match cmd.as_str() {
+        "smoke" => smoke(args.iter().any(|a| a == "--quick")),
+        "load" => {
+            let out = flag("--out").ok_or_else(|| format!("missing --out\n{}", usage()))?;
+            load(
+                &out,
+                num("--requests", 2000)? as usize,
+                num("--concurrency", 4)? as usize,
+                num("--docs", 600)? as usize,
+                num("--shards", 4)? as usize,
+                num("--k", 10)? as usize,
+                num("--deadline-us", 20_000)?,
+                num("--seed", 42)?,
+            )
+        }
+        "check-report" => {
+            let path = args.get(1).ok_or_else(|| format!("missing FILE\n{}", usage()))?;
+            check_report(path)
+        }
+        "serve" => {
+            let store = flag("--store").ok_or_else(|| format!("missing --store\n{}", usage()))?;
+            let addr = flag("--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+            serve(&store, &addr)
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+/// The Table-4 medium corpus (`Syn3E0.24S`), scaled down preserving the
+/// expected pairwise overlap so similarity estimates stay in the paper's
+/// regime.
+fn corpus(docs: usize, seed: u64) -> Result<(String, Vec<WeightedSet>), String> {
+    let config = PAPER_DATASETS[2].scaled_down_preserving_overlap(docs, 20_000);
+    let dataset = config.generate(seed)?;
+    Ok((dataset.name, dataset.docs))
+}
+
+/// Sketch every document with catalog ICWS and fill a store.
+fn build_store(docs: &[WeightedSet], seed: u64) -> Result<SketchStore, String> {
+    let sketcher = wmh_core::cws::Icws::new(seed, 128);
+    let mut store = SketchStore::new();
+    for (id, doc) in docs.iter().enumerate() {
+        let sketch = sketcher.sketch(doc).map_err(|e| format!("sketching doc {id}: {e}"))?;
+        store.insert(id as u64, &sketch).map_err(|e| format!("storing doc {id}: {e}"))?;
+    }
+    Ok(store)
+}
+
+fn pairs_of(doc: &WeightedSet) -> Vec<(u64, f64)> {
+    doc.iter().collect()
+}
+
+fn expect(step: &str, ok: bool, detail: String) -> Result<(), String> {
+    if ok {
+        println!("smoke: {step}: ok");
+        Ok(())
+    } else {
+        Err(format!("smoke: {step}: FAILED — {detail}"))
+    }
+}
+
+/// End-to-end smoke over a loopback port: every outcome class must be
+/// reachable and typed.
+fn smoke(quick: bool) -> Result<(), String> {
+    let docs_n = if quick { 60 } else { 240 };
+    let (name, docs) = corpus(docs_n, 42)?;
+    let store = build_store(&docs, 42)?;
+    let config = ServiceConfig { shards: 4, ..ServiceConfig::default() };
+    let service = Arc::new(Service::from_store(&store, config).map_err(|e| format!("build: {e}"))?);
+    let server =
+        Server::spawn(Arc::clone(&service), "127.0.0.1:0").map_err(|e| format!("spawn: {e}"))?;
+    let mut client = Client::connect(server.addr()).map_err(|e| format!("connect: {e}"))?;
+    println!("smoke: serving {docs_n} docs of {name} on {}", server.addr());
+
+    let health = client.health().map_err(|e| format!("health: {e}"))?;
+    expect(
+        "health",
+        health.ready && health.indexed == docs_n && health.shards_quarantined == 0,
+        format!("{health:?}"),
+    )?;
+
+    let ok = client
+        .query(&QueryRequest { id: 1, doc: pairs_of(&docs[0]), k: 5, deadline_us: Some(2_000_000) })
+        .map_err(|e| format!("query: {e}"))?;
+    expect(
+        "ok outcome",
+        ok.outcome == Outcome::Ok
+            && ok.results.first().is_some_and(|&(id, est)| id == 0 && est == 1.0)
+            && (ok.coverage - 1.0).abs() < f64::EPSILON,
+        format!("{ok:?}"),
+    )?;
+
+    let miss = client
+        .query(&QueryRequest { id: 2, doc: pairs_of(&docs[1]), k: 5, deadline_us: Some(0) })
+        .map_err(|e| format!("query: {e}"))?;
+    expect(
+        "forced deadline miss",
+        miss.outcome == Outcome::DeadlineExceeded && miss.results.is_empty(),
+        format!("{miss:?}"),
+    )?;
+
+    let bad = client
+        .query(&QueryRequest { id: 3, doc: Vec::new(), k: 5, deadline_us: None })
+        .map_err(|e| format!("query: {e}"))?;
+    expect(
+        "bad request",
+        bad.outcome == Outcome::BadRequest && bad.error.is_some(),
+        format!("{bad:?}"),
+    )?;
+
+    // A zero-capacity twin forces the admission path deterministically.
+    let choked_config = ServiceConfig { shards: 2, max_inflight: 0, ..ServiceConfig::default() };
+    let choked = Arc::new(
+        Service::from_store(&store, choked_config).map_err(|e| format!("build choked: {e}"))?,
+    );
+    let choked_server = Server::spawn(Arc::clone(&choked), "127.0.0.1:0")
+        .map_err(|e| format!("spawn choked: {e}"))?;
+    let mut choked_client =
+        Client::connect(choked_server.addr()).map_err(|e| format!("connect choked: {e}"))?;
+    let over = choked_client
+        .query(&QueryRequest { id: 4, doc: pairs_of(&docs[2]), k: 5, deadline_us: None })
+        .map_err(|e| format!("query choked: {e}"))?;
+    expect(
+        "forced overload",
+        over.outcome == Outcome::Overloaded && over.retry_after_us > 0,
+        format!("{over:?}"),
+    )?;
+
+    println!("smoke: all outcomes typed — pass");
+    Ok(())
+}
+
+/// Run the closed-loop load generator and write the report.
+#[allow(clippy::too_many_arguments)]
+fn load(
+    out: &str,
+    requests: usize,
+    concurrency: usize,
+    docs_n: usize,
+    shards: usize,
+    k: usize,
+    deadline_us: u64,
+    seed: u64,
+) -> Result<(), String> {
+    let (name, docs) = corpus(docs_n, seed)?;
+    let store = build_store(&docs, seed)?;
+    let config = ServiceConfig { shards, seed, ..ServiceConfig::default() };
+    let service = Service::from_store(&store, config).map_err(|e| format!("build: {e}"))?;
+    let query_docs: Vec<Vec<(u64, f64)>> = docs.iter().map(pairs_of).collect();
+    let load_config = LoadConfig { requests, concurrency, k, deadline_us };
+    let report = loadgen::run(&service, &name, &query_docs, &load_config);
+    report.validate()?;
+    let mut text = wmh_json::to_string_pretty(&report);
+    text.push('\n');
+    std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "load: {} requests over {name} ({} docs, {} shards): {:.0} req/s, \
+         p50 {}us p99 {}us, ok {} partial {} deadline {} overloaded {} — wrote {out}",
+        report.requests,
+        report.docs,
+        report.shards,
+        report.throughput_rps,
+        report.p50_us,
+        report.p99_us,
+        report.ok,
+        report.partial,
+        report.deadline_exceeded,
+        report.overloaded,
+    );
+    Ok(())
+}
+
+/// Validate a load report file: schema shape plus arithmetic invariants.
+fn check_report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report: LoadReport =
+        wmh_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    report.validate().map_err(|e| format!("{path}: {e}"))?;
+    println!("check-report: {path}: valid {}", report.schema);
+    Ok(())
+}
+
+/// Serve a saved sketch store until killed.
+fn serve(store_path: &str, addr: &str) -> Result<(), String> {
+    let store = SketchStore::load_from_path(std::path::Path::new(store_path))
+        .map_err(|e| format!("loading {store_path}: {e}"))?;
+    let service = Arc::new(
+        Service::from_store(&store, ServiceConfig::default()).map_err(|e| format!("build: {e}"))?,
+    );
+    let indexed = service.health().indexed;
+    let server = Server::spawn(service, addr).map_err(|e| format!("spawn: {e}"))?;
+    println!("serving {indexed} sketches from {store_path} on {}", server.addr());
+    loop {
+        std::thread::park();
+    }
+}

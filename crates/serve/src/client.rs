@@ -1,0 +1,80 @@
+//! A minimal blocking client for the framed JSON protocol — what the
+//! smoke test, the load generator's TCP mode, and operators' scripts use.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{HealthResponse, QueryRequest, QueryResponse, Request, Response};
+use crate::wire::{self, WireError};
+
+/// Errors a client call can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect failed.
+    Connect(String),
+    /// Framing failed mid-call.
+    Wire(WireError),
+    /// The server's reply did not decode, or it answered the wrong op.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Connect(e) => write!(f, "connect failed: {e}"),
+            Self::Wire(e) => write!(f, "wire failure: {e}"),
+            Self::Protocol(e) => write!(f, "protocol failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connection to a `wmh-serve` front end.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server address.
+    ///
+    /// # Errors
+    /// [`ClientError::Connect`] when the TCP connect fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect(e.to_string()))?;
+        Ok(Self { stream })
+    }
+
+    /// Issue a similarity query.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport or decode failure. A degraded *service*
+    /// answer is not an error — it arrives as the response's typed outcome.
+    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
+        match self.round_trip(&Request::Query(request.clone()))? {
+            Response::Query(response) => Ok(response),
+            Response::Health(_) => Err(ClientError::Protocol("health reply to a query".into())),
+        }
+    }
+
+    /// Issue a health probe.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport or decode failure.
+    pub fn health(&mut self) -> Result<HealthResponse, ClientError> {
+        match self.round_trip(&Request::Health)? {
+            Response::Health(response) => Ok(response),
+            Response::Query(_) => {
+                Err(ClientError::Protocol("query reply to a health probe".into()))
+            }
+        }
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        wire::write_frame(&mut self.stream, &wmh_json::to_string(request))
+            .map_err(ClientError::Wire)?;
+        let body = wire::read_frame(&mut self.stream)
+            .map_err(ClientError::Wire)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        wmh_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+}

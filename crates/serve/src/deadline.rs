@@ -1,0 +1,78 @@
+//! Request deadlines: a wall-clock budget fixed once at admission and
+//! propagated by value through sketching, shard fan-out, and merge.
+//!
+//! The budget travels as an absolute expiry instant, so every layer that
+//! checks it — the front end before fan-out, each shard before probing its
+//! index, the merge loop sizing its `recv_timeout` — measures against the
+//! *same* clock reading taken at admission. There is no per-hop budget
+//! arithmetic to drift, and an expired deadline is expired everywhere at
+//! once.
+
+use std::time::{Duration, Instant};
+
+/// An absolute point in time after which a request's work is worthless.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    /// `None` means unbounded (administrative requests, health probes).
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self { at: None }
+    }
+
+    /// Expire `budget` from now. A zero budget is already expired — the
+    /// deterministic way to force a `DeadlineExceeded` outcome. A budget
+    /// too large to represent saturates to unbounded.
+    #[must_use]
+    pub fn after(budget: Duration) -> Self {
+        Self { at: Instant::now().checked_add(budget) }
+    }
+
+    /// Time left before expiry; `None` when unbounded.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the budget is spent. Unbounded deadlines never expire.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.remaining().is_some_and(|left| left.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::unbounded();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_is_already_expired() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_has_time_remaining() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().is_some_and(|left| left > Duration::from_secs(3000)));
+    }
+
+    #[test]
+    fn overflowing_budget_saturates_to_unbounded() {
+        let d = Deadline::after(Duration::MAX);
+        assert!(!d.expired());
+    }
+}

@@ -1,0 +1,186 @@
+//! b-bit packed fingerprints for cache-resident candidate re-ranking.
+//!
+//! Shards keep the full 64-bit sketch codes inside their LSH index for
+//! banding, but re-rank candidates against a *packed* copy: the low `b`
+//! bits of each of the `D` codes, `⌊64/b⌋` cells per word. At `b = 16` a
+//! `D = 128` fingerprint is 256 bytes — four cache lines — so scoring a
+//! candidate never touches the full sketch (the 0-bit/b-bit CWS line of
+//! the review, applied to serving).
+//!
+//! Truncation biases the collision fraction upward: unrelated codes still
+//! agree on their low `b` bits with probability `2⁻ᵇ`. The estimator
+//! debiases exactly as the b-bit MinHash literature does,
+//! `Ĵ = (ĉ − 2⁻ᵇ) / (1 − 2⁻ᵇ)`, clamped into `[0, 1]`.
+
+/// Errors from fingerprint construction and comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FingerprintError {
+    /// Bit width outside the supported `1..=32` range.
+    BadBits(u32),
+    /// Compared fingerprints differ in bit width or cell count.
+    ShapeMismatch {
+        /// `(bits, cells)` of the left-hand fingerprint.
+        left: (u32, usize),
+        /// `(bits, cells)` of the right-hand fingerprint.
+        right: (u32, usize),
+    },
+}
+
+impl std::fmt::Display for FingerprintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadBits(bits) => write!(f, "fingerprint bit width {bits} outside 1..=32"),
+            Self::ShapeMismatch { left, right } => write!(
+                f,
+                "fingerprint shape mismatch: {}x{} cells vs {}x{} cells",
+                left.0, left.1, right.0, right.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FingerprintError {}
+
+/// The low `b` bits of each sketch code, densely packed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BbitFingerprint {
+    bits: u32,
+    cells: usize,
+    words: Vec<u64>,
+}
+
+impl BbitFingerprint {
+    /// Pack the low `bits` bits of each code.
+    ///
+    /// # Errors
+    /// [`FingerprintError::BadBits`] when `bits` is outside `1..=32`.
+    pub fn pack(codes: &[u64], bits: u32) -> Result<Self, FingerprintError> {
+        if !(1..=32).contains(&bits) {
+            return Err(FingerprintError::BadBits(bits));
+        }
+        let per_word = (64 / bits) as usize;
+        let mask = (1u64 << bits) - 1;
+        let mut words = vec![0u64; codes.len().div_ceil(per_word)];
+        for (j, &code) in codes.iter().enumerate() {
+            words[j / per_word] |= (code & mask) << ((j % per_word) as u32 * bits);
+        }
+        Ok(Self { bits, cells: codes.len(), words })
+    }
+
+    /// Bit width `b` per cell.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of packed cells (the sketch length `D`).
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Packed size in bytes — what a shard actually keeps hot per point.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Number of cells on which the two fingerprints agree.
+    fn matches(&self, other: &Self) -> usize {
+        let per_word = (64 / self.bits) as usize;
+        let mask = (1u64 << self.bits) - 1;
+        let mut matches = 0usize;
+        for j in 0..self.cells {
+            let shift = (j % per_word) as u32 * self.bits;
+            let a = (self.words[j / per_word] >> shift) & mask;
+            let b = (other.words[j / per_word] >> shift) & mask;
+            matches += usize::from(a == b);
+        }
+        matches
+    }
+
+    /// Debiased similarity estimate from b-bit collisions:
+    /// `Ĵ = (ĉ − 2⁻ᵇ) / (1 − 2⁻ᵇ)`, clamped to `[0, 1]`.
+    ///
+    /// # Errors
+    /// [`FingerprintError::ShapeMismatch`] when widths or cell counts
+    /// differ — comparing such fingerprints would be silently meaningless.
+    pub fn estimate(&self, other: &Self) -> Result<f64, FingerprintError> {
+        if self.bits != other.bits || self.cells != other.cells {
+            return Err(FingerprintError::ShapeMismatch {
+                left: (self.bits, self.cells),
+                right: (other.bits, other.cells),
+            });
+        }
+        if self.cells == 0 {
+            return Ok(0.0);
+        }
+        let c_hat = self.matches(other) as f64 / self.cells as f64;
+        let floor = 0.5f64.powi(self.bits as i32);
+        Ok(((c_hat - floor) / (1.0 - floor)).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_codes_estimate_one() {
+        let codes: Vec<u64> = (0..128).map(|i| i * 0x9E37_79B9).collect();
+        for bits in [1, 4, 8, 16, 32] {
+            let fp = BbitFingerprint::pack(&codes, bits).expect("pack");
+            assert_eq!(fp.estimate(&fp), Ok(1.0), "b={bits}");
+        }
+    }
+
+    #[test]
+    fn disjoint_codes_estimate_near_zero() {
+        // Pseudo-random unrelated codes: raw collision fraction ≈ 2⁻ᵇ, so
+        // the debiased estimate must sit near zero, not near 2⁻ᵇ.
+        let mix = |x: u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+        let a: Vec<u64> = (0..4096u64).map(mix).collect();
+        let b: Vec<u64> = (0..4096u64).map(|i| mix(i + 1_000_000)).collect();
+        for bits in [4, 8, 16] {
+            let fa = BbitFingerprint::pack(&a, bits).expect("pack");
+            let fb = BbitFingerprint::pack(&b, bits).expect("pack");
+            let est = fa.estimate(&fb).expect("estimate");
+            assert!(est < 0.05, "b={bits}: debiased estimate {est} too large");
+        }
+    }
+
+    #[test]
+    fn only_low_bits_matter() {
+        let a: Vec<u64> = (0..64).collect();
+        let b: Vec<u64> = a.iter().map(|&x| x | 0xFFFF_0000_0000_0000).collect();
+        let fa = BbitFingerprint::pack(&a, 8).expect("pack");
+        let fb = BbitFingerprint::pack(&b, 8).expect("pack");
+        assert_eq!(fa.estimate(&fb), Ok(1.0), "high bits must be ignored");
+    }
+
+    #[test]
+    fn packing_is_dense() {
+        let codes = vec![0u64; 128];
+        let fp = BbitFingerprint::pack(&codes, 16).expect("pack");
+        assert_eq!(fp.bytes(), 128 * 2);
+        assert_eq!(fp.cells(), 128);
+        assert_eq!(fp.bits(), 16);
+    }
+
+    #[test]
+    fn bad_bits_and_shape_mismatch_are_typed() {
+        assert_eq!(BbitFingerprint::pack(&[1], 0), Err(FingerprintError::BadBits(0)));
+        assert_eq!(BbitFingerprint::pack(&[1], 33), Err(FingerprintError::BadBits(33)));
+        let a = BbitFingerprint::pack(&[1, 2, 3], 8).expect("pack");
+        let b = BbitFingerprint::pack(&[1, 2], 8).expect("pack");
+        let c = BbitFingerprint::pack(&[1, 2, 3], 4).expect("pack");
+        assert!(matches!(a.estimate(&b), Err(FingerprintError::ShapeMismatch { .. })));
+        assert!(matches!(a.estimate(&c), Err(FingerprintError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_fingerprint_estimates_zero() {
+        let e = BbitFingerprint::pack(&[], 8).expect("pack");
+        assert_eq!(e.estimate(&e), Ok(0.0));
+    }
+}

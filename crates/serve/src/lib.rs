@@ -1,0 +1,56 @@
+//! # `wmh-serve` — sharded similarity search with a robustness envelope
+//!
+//! A dependency-free similarity-search service over the weighted MinHash
+//! toolbox: sketches are ingested in batches from a CRC'd
+//! [`wmh_core::SketchStore`] into one banded [`wmh_lsh::LshIndex`] per
+//! shard, candidates are re-ranked against b-bit-packed fingerprints that
+//! stay cache-resident, and a length-prefixed-TCP front end speaks a small
+//! JSON protocol.
+//!
+//! The headline is not the lookup — it is the *robustness envelope* around
+//! it. Every request terminates with a **typed outcome**, never a silent
+//! drop and never a panic:
+//!
+//! * **Deadline propagation.** A per-request budget (`deadline_us`) is
+//!   fixed at admission and carried through sketching, shard fan-out, and
+//!   merge. A shard that misses its slice does not block the merge; the
+//!   response degrades to [`protocol::Outcome::Partial`] with an explicit
+//!   coverage fraction.
+//! * **Backpressure.** Shard inboxes are bounded queues; a full inbox
+//!   sheds that slice explicitly (counted in the response). A global
+//!   in-flight cap rejects at admission with
+//!   [`protocol::Outcome::Overloaded`] and a seeded-deterministic
+//!   `retry_after_us` computed by the same
+//!   [`wmh_fault::supervisor::RetryPolicy`] backoff the sweep engine uses.
+//! * **Graceful degradation.** A shard failing
+//!   [`service::ServiceConfig::quarantine_after`] consecutive queries is
+//!   quarantined; the service keeps answering from the healthy shards and
+//!   half-open-probes the quarantined one until it recovers. Health and
+//!   readiness are observable over the wire.
+//!
+//! Failure paths are exercised, not hoped for: `wmh_fault::point!` sites
+//! thread through ingest (`serve::ingest`), shard queries
+//! (`serve::shard_query`, tagged by shard id), admission
+//! (`serve::admission`), and merge (`serve::merge`), and the crate's chaos
+//! soak drives the closed-loop [`loadgen`] under injected faults asserting
+//! that outcome counts always sum to requests issued and that responses
+//! return byte-identical to fault-free once quarantined shards recover.
+
+pub mod client;
+pub mod deadline;
+pub mod fingerprint;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod service;
+mod shard;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use deadline::Deadline;
+pub use fingerprint::{BbitFingerprint, FingerprintError};
+pub use loadgen::{LoadConfig, LoadReport, LOAD_SCHEMA_VERSION};
+pub use protocol::{HealthResponse, Outcome, QueryRequest, QueryResponse, Request, Response};
+pub use server::{Server, ServerError};
+pub use service::{Service, ServiceConfig, ServiceError};
+pub use wire::{read_frame, write_frame, WireError, MAX_FRAME};

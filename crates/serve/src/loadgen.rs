@@ -1,0 +1,306 @@
+//! Closed-loop load generator: the instrument that turns the robustness
+//! envelope into numbers.
+//!
+//! `concurrency` workers each run a closed loop — issue, wait for the
+//! typed response, honor any `retry_after_us` hint, issue the next — over
+//! a shared request counter, so exactly [`LoadConfig::requests`] requests
+//! are issued in total regardless of worker count. Every response is
+//! recorded: the central invariant of [`LoadReport::validate`] is that the
+//! per-outcome counts sum to the requests issued, i.e. **no request ever
+//! terminates without a typed outcome**. Latency percentiles are exact
+//! (sorted order statistics, not histograms).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{Outcome, QueryRequest};
+use crate::service::Service;
+
+/// Schema tag of [`LoadReport`] files (`results/BENCH_serve_load.json`).
+pub const LOAD_SCHEMA_VERSION: &str = "wmh-serve-load/v1";
+
+/// Load-run shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Closed-loop workers.
+    pub concurrency: usize,
+    /// Neighbours per query.
+    pub k: usize,
+    /// Per-request budget in microseconds.
+    pub deadline_us: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self { requests: 2000, concurrency: 4, k: 10, deadline_us: 20_000 }
+    }
+}
+
+/// One load run's aggregate (schema [`LOAD_SCHEMA_VERSION`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Schema tag.
+    pub schema: String,
+    /// Corpus name (Table-4 style).
+    pub corpus: String,
+    /// Documents indexed.
+    pub docs: usize,
+    /// Service shard count.
+    pub shards: usize,
+    /// Requests issued.
+    pub requests: usize,
+    /// Closed-loop workers.
+    pub concurrency: usize,
+    /// Per-request budget.
+    pub deadline_us: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed_secs: f64,
+    /// Requests per second (requests / elapsed).
+    pub throughput_rps: f64,
+    /// Median latency, exact order statistic.
+    pub p50_us: u64,
+    /// 99th-percentile latency, exact order statistic.
+    pub p99_us: u64,
+    /// Worst latency.
+    pub max_us: u64,
+    /// Requests with outcome `ok`.
+    pub ok: usize,
+    /// Requests with outcome `partial`.
+    pub partial: usize,
+    /// Requests with outcome `deadline_exceeded`.
+    pub deadline_exceeded: usize,
+    /// Requests with outcome `overloaded`.
+    pub overloaded: usize,
+    /// Requests with outcome `bad_request`.
+    pub bad_request: usize,
+    /// Shard slices shed at full inboxes, summed over all requests.
+    pub shed_slices: usize,
+    /// Worst coverage among served (`ok`/`partial`) responses; 1.0 when
+    /// nothing was served degraded.
+    pub min_coverage: f64,
+}
+
+wmh_json::json_object!(LoadReport {
+    schema,
+    corpus,
+    docs,
+    shards,
+    requests,
+    concurrency,
+    deadline_us,
+    elapsed_secs,
+    throughput_rps,
+    p50_us,
+    p99_us,
+    max_us,
+    ok,
+    partial,
+    deadline_exceeded,
+    overloaded,
+    bad_request,
+    shed_slices,
+    min_coverage,
+});
+
+impl LoadReport {
+    /// Arithmetic invariants every honest run satisfies; `check-report`
+    /// and the chaos soak both gate on this.
+    ///
+    /// # Errors
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != LOAD_SCHEMA_VERSION {
+            return Err(format!("schema {:?}, expected {LOAD_SCHEMA_VERSION:?}", self.schema));
+        }
+        let accounted =
+            self.ok + self.partial + self.deadline_exceeded + self.overloaded + self.bad_request;
+        if accounted != self.requests {
+            return Err(format!(
+                "outcome counts sum to {accounted} but {} requests were issued — \
+                 some request terminated without a typed outcome",
+                self.requests
+            ));
+        }
+        if !(self.p50_us <= self.p99_us && self.p99_us <= self.max_us) {
+            return Err(format!(
+                "latency order statistics out of order: p50 {} / p99 {} / max {}",
+                self.p50_us, self.p99_us, self.max_us
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_coverage) {
+            return Err(format!("min_coverage {} outside [0, 1]", self.min_coverage));
+        }
+        if !(self.elapsed_secs.is_finite() && self.elapsed_secs >= 0.0) {
+            return Err(format!("elapsed_secs {} not a finite non-negative", self.elapsed_secs));
+        }
+        if !(self.throughput_rps.is_finite() && self.throughput_rps >= 0.0) {
+            return Err(format!(
+                "throughput_rps {} not a finite non-negative",
+                self.throughput_rps
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One recorded response.
+struct Sample {
+    latency_us: u64,
+    outcome: Outcome,
+    coverage: f64,
+    shed: usize,
+}
+
+/// Drive `service` with the closed loop and aggregate the run.
+///
+/// `docs` are the query documents, cycled round-robin by request index.
+/// Returns a report that always satisfies [`LoadReport::validate`] unless
+/// the service itself broke the typed-outcome contract.
+pub fn run(
+    service: &Service,
+    corpus: &str,
+    docs: &[Vec<(u64, f64)>],
+    config: &LoadConfig,
+) -> LoadReport {
+    let next = AtomicUsize::new(0);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(config.requests));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.concurrency.max(1) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= config.requests || docs.is_empty() {
+                        break;
+                    }
+                    let request = QueryRequest {
+                        id: i as u64,
+                        doc: docs[i % docs.len()].clone(),
+                        k: config.k,
+                        deadline_us: Some(config.deadline_us),
+                    };
+                    let issued = Instant::now();
+                    let response = service.query(&request);
+                    let latency_us =
+                        u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    if response.outcome == Outcome::Overloaded && response.retry_after_us > 0 {
+                        // Honor the server's typed backpressure (capped so a
+                        // long hint cannot stall the closed loop).
+                        std::thread::sleep(Duration::from_micros(
+                            response.retry_after_us.min(2000),
+                        ));
+                    }
+                    local.push(Sample {
+                        latency_us,
+                        outcome: response.outcome,
+                        coverage: response.coverage,
+                        shed: response.shed,
+                    });
+                }
+                samples.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
+            });
+        }
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let samples = samples.into_inner().unwrap_or_else(PoisonError::into_inner);
+
+    let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_us).collect();
+    latencies.sort_unstable();
+    let percentile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[rank.min(latencies.len() - 1)]
+    };
+    let count = |outcome: Outcome| samples.iter().filter(|s| s.outcome == outcome).count();
+    let min_coverage = samples
+        .iter()
+        .filter(|s| matches!(s.outcome, Outcome::Ok | Outcome::Partial))
+        .map(|s| s.coverage)
+        .fold(1.0f64, f64::min);
+
+    LoadReport {
+        schema: LOAD_SCHEMA_VERSION.to_owned(),
+        corpus: corpus.to_owned(),
+        docs: docs.len(),
+        shards: service.health().shards_total,
+        requests: samples.len(),
+        concurrency: config.concurrency.max(1),
+        deadline_us: config.deadline_us,
+        elapsed_secs,
+        throughput_rps: if elapsed_secs > 0.0 { samples.len() as f64 / elapsed_secs } else { 0.0 },
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        ok: count(Outcome::Ok),
+        partial: count(Outcome::Partial),
+        deadline_exceeded: count(Outcome::DeadlineExceeded),
+        overloaded: count(Outcome::Overloaded),
+        bad_request: count(Outcome::BadRequest),
+        shed_slices: samples.iter().map(|s| s.shed).sum(),
+        min_coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LoadReport {
+        LoadReport {
+            schema: LOAD_SCHEMA_VERSION.to_owned(),
+            corpus: "Syn3E0.24S".to_owned(),
+            docs: 600,
+            shards: 4,
+            requests: 100,
+            concurrency: 4,
+            deadline_us: 20_000,
+            elapsed_secs: 0.5,
+            throughput_rps: 200.0,
+            p50_us: 150,
+            p99_us: 900,
+            max_us: 1200,
+            ok: 97,
+            partial: 2,
+            deadline_exceeded: 1,
+            overloaded: 0,
+            bad_request: 0,
+            shed_slices: 1,
+            min_coverage: 0.75,
+        }
+    }
+
+    #[test]
+    fn valid_report_passes_and_round_trips() {
+        let r = report();
+        r.validate().expect("valid");
+        let back: LoadReport = wmh_json::from_str(&wmh_json::to_string(&r)).expect("parse");
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn unaccounted_requests_fail_validation() {
+        let mut r = report();
+        r.ok -= 1;
+        let err = r.validate().expect_err("must fail");
+        assert!(err.contains("typed outcome"), "{err}");
+    }
+
+    #[test]
+    fn misordered_percentiles_fail_validation() {
+        let mut r = report();
+        r.p99_us = r.max_us + 1;
+        assert!(r.validate().is_err());
+        let mut r = report();
+        r.schema = "wmh-serve-load/v0".into();
+        assert!(r.validate().is_err());
+        let mut r = report();
+        r.min_coverage = 1.5;
+        assert!(r.validate().is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! The JSON request/response protocol, and the typed-outcome contract.
+//!
+//! Every response carries an [`Outcome`] — the service's one-word verdict
+//! on what happened to the request. The precedence is fixed so clients can
+//! branch on it without cross-checking other fields:
+//!
+//! * `bad_request` — the request itself was unusable (malformed JSON,
+//!   empty document). Nothing was attempted.
+//! * `overloaded` — admission control rejected the request before any
+//!   work; `retry_after_us` carries the seeded-deterministic backoff hint.
+//! * `deadline_exceeded` — the budget expired with **zero** shard slices
+//!   merged; there are no results worth returning.
+//! * `partial` — some but not all shards contributed (deadline miss on a
+//!   slice, shed inbox, quarantined shard, merge fault). `coverage` says
+//!   how much of the index the results actually consulted.
+//! * `ok` — every shard answered in budget.
+
+use wmh_json::{FromJson, Json, JsonError, ToJson};
+
+/// Default `k` when a query does not specify one.
+pub const DEFAULT_K: usize = 10;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Similarity query.
+    Query(QueryRequest),
+    /// Health / readiness probe.
+    Health,
+}
+
+/// A similarity query: `{"op":"query","id":7,"doc":[[index,weight],…],
+/// "k":10,"deadline_us":5000}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: u64,
+    /// The weighted document as `(index, weight)` pairs.
+    pub doc: Vec<(u64, f64)>,
+    /// Number of neighbours wanted (defaults to [`DEFAULT_K`]).
+    pub k: usize,
+    /// Wall-clock budget in microseconds; absent means the server default.
+    pub deadline_us: Option<u64>,
+}
+
+/// The typed verdict on a request (see the module docs for precedence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every shard answered within budget.
+    Ok,
+    /// Results from a strict subset of shards (see `coverage`).
+    Partial,
+    /// The budget expired with no shard slice merged.
+    DeadlineExceeded,
+    /// Admission control rejected the request.
+    Overloaded,
+    /// The request was unusable.
+    BadRequest,
+}
+
+impl Outcome {
+    /// Wire spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Ok => "ok",
+            Self::Partial => "partial",
+            Self::DeadlineExceeded => "deadline_exceeded",
+            Self::Overloaded => "overloaded",
+            Self::BadRequest => "bad_request",
+        }
+    }
+
+    /// Parse the wire spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(Self::Ok),
+            "partial" => Some(Self::Partial),
+            "deadline_exceeded" => Some(Self::DeadlineExceeded),
+            "overloaded" => Some(Self::Overloaded),
+            "bad_request" => Some(Self::BadRequest),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for Outcome {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_owned())
+    }
+}
+
+impl FromJson for Outcome {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s =
+            v.as_str().ok_or(JsonError::WrongType { expected: "string", got: v.type_name() })?;
+        Self::parse(s).ok_or_else(|| JsonError::Invalid(format!("unknown outcome {s:?}")))
+    }
+}
+
+/// A similarity response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Typed verdict.
+    pub outcome: Outcome,
+    /// `(id, estimated similarity)`, best first; ties break by id.
+    pub results: Vec<(u64, f64)>,
+    /// Fraction of shards whose slice made it into `results`.
+    pub coverage: f64,
+    /// Shards the service is configured with.
+    pub shards_total: usize,
+    /// Shards whose slice was merged.
+    pub shards_answered: usize,
+    /// Slices shed at full shard inboxes (explicit load-shedding).
+    pub shed: usize,
+    /// For `overloaded`: the seeded backoff hint, else 0.
+    pub retry_after_us: u64,
+    /// Human-readable detail for degraded outcomes.
+    pub error: Option<String>,
+}
+
+wmh_json::json_object!(QueryResponse {
+    id,
+    outcome,
+    results,
+    coverage,
+    shards_total,
+    shards_answered,
+    shed,
+    retry_after_us,
+    error,
+});
+
+impl QueryResponse {
+    /// A response that carries no results — the rejected/expired shapes.
+    #[must_use]
+    pub fn empty(id: u64, outcome: Outcome, shards_total: usize, error: Option<String>) -> Self {
+        Self {
+            id,
+            outcome,
+            results: Vec::new(),
+            coverage: 0.0,
+            shards_total,
+            shards_answered: 0,
+            shed: 0,
+            retry_after_us: 0,
+            error,
+        }
+    }
+}
+
+/// A health / readiness snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthResponse {
+    /// Whether at least one shard is serving.
+    pub ready: bool,
+    /// Points indexed across all shards.
+    pub indexed: usize,
+    /// Configured shard count.
+    pub shards_total: usize,
+    /// Shards currently quarantined.
+    pub shards_quarantined: usize,
+    /// Requests currently between admission and response.
+    pub inflight: usize,
+}
+
+wmh_json::json_object!(HealthResponse {
+    ready,
+    indexed,
+    shards_total,
+    shards_quarantined,
+    inflight,
+});
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Query`].
+    Query(QueryResponse),
+    /// Answer to [`Request::Health`].
+    Health(HealthResponse),
+}
+
+fn tagged(op: &str, inner: Json) -> Json {
+    let mut entries = vec![("op".to_owned(), Json::Str(op.to_owned()))];
+    if let Json::Obj(rest) = inner {
+        entries.extend(rest);
+    }
+    Json::Obj(entries)
+}
+
+fn op_of(v: &Json) -> Result<&str, JsonError> {
+    let op = v.field("op")?;
+    op.as_str().ok_or(JsonError::WrongType { expected: "string", got: op.type_name() })
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::Query(q) => tagged("query", q.to_json()),
+            Self::Health => tagged("health", Json::Obj(Vec::new())),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match op_of(v)? {
+            "query" => Ok(Self::Query(QueryRequest::from_json(v)?)),
+            "health" => Ok(Self::Health),
+            other => Err(JsonError::Invalid(format!("unknown request op {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for QueryRequest {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_owned(), self.id.to_json()),
+            ("doc".to_owned(), self.doc.to_json()),
+            ("k".to_owned(), self.k.to_json()),
+            ("deadline_us".to_owned(), self.deadline_us.to_json()),
+        ])
+    }
+}
+
+impl FromJson for QueryRequest {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let k = match v.field_opt("k") {
+            Some(field) => usize::from_json(field)?,
+            None => DEFAULT_K,
+        };
+        let deadline_us = match v.field_opt("deadline_us") {
+            Some(field) => Option::<u64>::from_json(field)?,
+            None => None,
+        };
+        Ok(Self {
+            id: u64::from_json(v.field("id")?)?,
+            doc: Vec::from_json(v.field("doc")?)?,
+            k,
+            deadline_us,
+        })
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::Query(q) => tagged("query", q.to_json()),
+            Self::Health(h) => tagged("health", h.to_json()),
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match op_of(v)? {
+            "query" => Ok(Self::Query(QueryResponse::from_json(v)?)),
+            "health" => Ok(Self::Health(HealthResponse::from_json(v)?)),
+            other => Err(JsonError::Invalid(format!("unknown response op {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_request_round_trips() {
+        let req = Request::Query(QueryRequest {
+            id: 7,
+            doc: vec![(3, 1.5), (9, 0.25)],
+            k: 4,
+            deadline_us: Some(5000),
+        });
+        let text = wmh_json::to_string(&req);
+        assert!(text.contains("\"op\":\"query\""), "{text}");
+        let back: Request = wmh_json::from_str(&text).expect("parse");
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn query_request_defaults_apply() {
+        let req: Request =
+            wmh_json::from_str(r#"{"op":"query","id":1,"doc":[[0,1.0]]}"#).expect("parse");
+        let Request::Query(q) = req else { panic!("expected query") };
+        assert_eq!(q.k, DEFAULT_K);
+        assert_eq!(q.deadline_us, None);
+    }
+
+    #[test]
+    fn health_round_trips() {
+        let req: Request = wmh_json::from_str(r#"{"op":"health"}"#).expect("parse");
+        assert_eq!(req, Request::Health);
+        let resp = Response::Health(HealthResponse {
+            ready: true,
+            indexed: 600,
+            shards_total: 4,
+            shards_quarantined: 1,
+            inflight: 2,
+        });
+        let back: Response = wmh_json::from_str(&wmh_json::to_string(&resp)).expect("parse");
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn query_response_round_trips_with_outcome_spelling() {
+        let resp = Response::Query(QueryResponse {
+            id: 9,
+            outcome: Outcome::Partial,
+            results: vec![(12, 0.875), (40, 0.5)],
+            coverage: 0.75,
+            shards_total: 4,
+            shards_answered: 3,
+            shed: 1,
+            retry_after_us: 0,
+            error: Some("shard 2: injected".to_owned()),
+        });
+        let text = wmh_json::to_string(&resp);
+        assert!(text.contains("\"outcome\":\"partial\""), "{text}");
+        let back: Response = wmh_json::from_str(&text).expect("parse");
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn unknown_ops_and_outcomes_are_typed_errors() {
+        assert!(wmh_json::from_str::<Request>(r#"{"op":"mystery"}"#).is_err());
+        assert!(wmh_json::from_str::<Request>(r#"{"id":1}"#).is_err());
+        assert_eq!(Outcome::parse("sideways"), None);
+        for outcome in [
+            Outcome::Ok,
+            Outcome::Partial,
+            Outcome::DeadlineExceeded,
+            Outcome::Overloaded,
+            Outcome::BadRequest,
+        ] {
+            assert_eq!(Outcome::parse(outcome.as_str()), Some(outcome));
+        }
+    }
+}

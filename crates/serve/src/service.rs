@@ -1,0 +1,501 @@
+//! The service core: batched ingest into shard-local indexes, admission
+//! control, deadline-bounded fan-out, and a deterministic merge.
+//!
+//! [`Service::query`] is total: it returns a [`QueryResponse`] for every
+//! input — never an `Err`, never a panic, never a silently dropped
+//! request. Degradation is *data*, not control flow: the response's
+//! [`Outcome`], `coverage`, `shed`, and `error` fields say exactly what
+//! happened.
+//!
+//! ## Shard health and quarantine
+//!
+//! Each shard carries a consecutive-failure counter, updated by the merge
+//! path from the slices it actually received. Reaching
+//! [`ServiceConfig::quarantine_after`] failures quarantines the shard: it
+//! is skipped at fan-out (its slice shows up as missing coverage, not as
+//! latency), except that every [`ServiceConfig::probe_every`]-th request
+//! is sent through anyway — the half-open probe. One successful probe
+//! restores the shard, and because results flow only from received
+//! slices, a recovered service is *byte-identical* to one that never
+//! failed — the chaos soak pins exactly that.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::deadline::Deadline;
+use crate::fingerprint::BbitFingerprint;
+use crate::protocol::{HealthResponse, Outcome, QueryRequest, QueryResponse};
+use crate::shard::{DynSketcher, Job, Shard, Slice, SliceOutcome};
+use wmh_core::{Algorithm, AlgorithmConfig, SketchStore, Sketcher};
+use wmh_fault::supervisor::{supervise, Attempt, CellOutcome, RetryPolicy};
+use wmh_lsh::{Bands, LshIndex};
+use wmh_sets::WeightedSet;
+
+/// Sketches ingested between `serve::ingest` failpoint hits; a transient
+/// ingest fault restarts the whole shard build under the retry policy, so
+/// the batch is the unit of retried work.
+const INGEST_BATCH: usize = 64;
+
+/// Tuning knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards (worker threads). Defaults to the core count,
+    /// capped at 8.
+    pub shards: usize,
+    /// Bound on each shard's inbox; a full inbox sheds the slice.
+    pub queue_depth: usize,
+    /// Global cap on requests between admission and response.
+    pub max_inflight: usize,
+    /// Budget applied when a query does not carry `deadline_us`.
+    pub default_deadline_us: u64,
+    /// b-bit width for the packed re-ranking fingerprints (`1..=32`).
+    pub fingerprint_bits: u32,
+    /// Banding scheme; `None` derives one for a 0.5 similarity threshold
+    /// from the store's fingerprint length.
+    pub bands: Option<Bands>,
+    /// Consecutive shard failures before quarantine.
+    pub quarantine_after: u32,
+    /// Every Nth request is routed through quarantined shards as a
+    /// half-open recovery probe.
+    pub probe_every: u64,
+    /// Retry policy: ingest retries and the `retry_after_us` backoff hint
+    /// (the sweep supervisor's seeded-deterministic policy).
+    pub retry: RetryPolicy,
+    /// Master seed for every deterministic schedule in the service.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism()
+                .map_or(2, std::num::NonZeroUsize::get)
+                .min(8),
+            queue_depth: 64,
+            max_inflight: 256,
+            default_deadline_us: 50_000,
+            fingerprint_bits: 16,
+            bands: None,
+            quarantine_after: 3,
+            probe_every: 8,
+            retry: RetryPolicy::default(),
+            seed: 0x5E27E,
+        }
+    }
+}
+
+/// Errors surfaced while *building* a service. (Query-time failures are
+/// never errors — they are typed response outcomes.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The sketch store holds no points.
+    EmptyStore,
+    /// The store's recorded algorithm is not in the catalog.
+    UnknownAlgorithm(String),
+    /// A configuration field is unusable.
+    BadConfig(String),
+    /// Rebuilding the store's sketcher failed.
+    Build(String),
+    /// A shard's ingest failed even after the retry budget.
+    Ingest {
+        /// Which shard.
+        shard: usize,
+        /// Attempts made.
+        attempts: u32,
+        /// The last failure, verbatim.
+        error: String,
+    },
+    /// The OS refused a worker thread.
+    Spawn(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyStore => write!(f, "sketch store is empty"),
+            Self::UnknownAlgorithm(name) => write!(f, "store algorithm {name:?} not in catalog"),
+            Self::BadConfig(e) => write!(f, "bad service config: {e}"),
+            Self::Build(e) => write!(f, "rebuilding sketcher from store provenance: {e}"),
+            Self::Ingest { shard, attempts, error } => {
+                write!(f, "shard {shard} ingest failed after {attempts} attempts: {error}")
+            }
+            Self::Spawn(e) => write!(f, "spawning shard worker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Per-shard health bookkeeping, updated by the merge path.
+struct ShardHealth {
+    consecutive_failures: u32,
+    quarantined: bool,
+}
+
+/// Decrement-on-drop guard so the in-flight gauge survives every return
+/// path (including future early returns) without manual accounting.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A sharded similarity-search service (see the crate docs).
+pub struct Service {
+    config: ServiceConfig,
+    sketcher: DynSketcher,
+    shards: Vec<Shard>,
+    health: Mutex<Vec<ShardHealth>>,
+    inflight: AtomicUsize,
+    requests: AtomicU64,
+    indexed: usize,
+}
+
+impl Service {
+    /// Build a service from a sketch store: rebuild the sketcher from the
+    /// store's provenance, partition points round-robin by id, and batch-
+    /// ingest each partition into its shard's banded index (transient
+    /// ingest faults are retried under `config.retry`).
+    ///
+    /// # Errors
+    /// Any [`ServiceError`] variant; notably [`ServiceError::Ingest`] when
+    /// a shard's ingest keeps failing after the whole retry budget.
+    pub fn from_store(store: &SketchStore, config: ServiceConfig) -> Result<Self, ServiceError> {
+        if store.is_empty() {
+            return Err(ServiceError::EmptyStore);
+        }
+        if config.shards == 0 {
+            return Err(ServiceError::BadConfig("shards must be positive".into()));
+        }
+        if !(1..=32).contains(&config.fingerprint_bits) {
+            return Err(ServiceError::BadConfig(format!(
+                "fingerprint_bits {} outside 1..=32",
+                config.fingerprint_bits
+            )));
+        }
+        if config.probe_every == 0 {
+            return Err(ServiceError::BadConfig("probe_every must be positive".into()));
+        }
+        let algorithm = Algorithm::by_name(store.algorithm())
+            .ok_or_else(|| ServiceError::UnknownAlgorithm(store.algorithm().to_owned()))?;
+        let bands = match config.bands {
+            Some(bands) => bands,
+            None => Bands::try_for_threshold(store.num_hashes(), 0.5)
+                .map_err(|e| ServiceError::BadConfig(e.to_string()))?,
+        };
+        let sketcher = build_sketcher(algorithm, store)?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for shard_id in 0..config.shards {
+            let ids: Vec<u64> = store
+                .ids()
+                .iter()
+                .copied()
+                .filter(|id| (id % config.shards as u64) as usize == shard_id)
+                .collect();
+            let built = supervise(&config.retry, config.seed, shard_id as u64, |_| {
+                ingest_shard(store, algorithm, bands, config.fingerprint_bits, shard_id, &ids)
+            });
+            let (index, fingerprints) = match built {
+                CellOutcome::Completed(Ok(pair)) => pair,
+                CellOutcome::Completed(Err(error)) => {
+                    return Err(ServiceError::Ingest { shard: shard_id, attempts: 1, error })
+                }
+                CellOutcome::TimedOut => {
+                    return Err(ServiceError::Ingest {
+                        shard: shard_id,
+                        attempts: 1,
+                        error: "ingest deadline".into(),
+                    })
+                }
+                CellOutcome::Quarantined { attempts, error } => {
+                    return Err(ServiceError::Ingest { shard: shard_id, attempts, error })
+                }
+            };
+            shards.push(
+                Shard::spawn(shard_id, index, fingerprints, config.queue_depth)
+                    .map_err(ServiceError::Spawn)?,
+            );
+        }
+        let health = (0..config.shards)
+            .map(|_| ShardHealth { consecutive_failures: 0, quarantined: false })
+            .collect();
+        Ok(Self {
+            indexed: store.len(),
+            health: Mutex::new(health),
+            inflight: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            sketcher,
+            shards,
+            config,
+        })
+    }
+
+    /// Answer a similarity query. Total: every input maps to a typed
+    /// [`QueryResponse`]; see [`Outcome`] for the verdict taxonomy.
+    pub fn query(&self, request: &QueryRequest) -> QueryResponse {
+        let shards_total = self.shards.len();
+        let request_id = self.requests.fetch_add(1, Ordering::Relaxed);
+        let budget = request.deadline_us.unwrap_or(self.config.default_deadline_us);
+        let deadline = Deadline::after(Duration::from_micros(budget));
+
+        // Admission: the global in-flight cap, plus the injectable
+        // `serve::admission` rejection for overload drills.
+        let admitted = self.inflight.fetch_add(1, Ordering::AcqRel);
+        let _guard = InflightGuard(&self.inflight);
+        let admission_fault = wmh_fault::point!("serve::admission").err();
+        if admitted >= self.config.max_inflight || admission_fault.is_some() {
+            let backoff = self.config.retry.backoff(self.config.seed, request_id, 1);
+            let mut response = QueryResponse::empty(
+                request.id,
+                Outcome::Overloaded,
+                shards_total,
+                Some(admission_fault.map_or_else(
+                    || format!("{admitted} requests in flight at cap {}", self.config.max_inflight),
+                    |fault| fault.to_string(),
+                )),
+            );
+            response.retry_after_us = u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
+            return response;
+        }
+
+        // Sketch once at the front; shards only ever probe and re-rank.
+        let set = match WeightedSet::from_pairs(request.doc.iter().copied()) {
+            Ok(set) => set,
+            Err(e) => {
+                return QueryResponse::empty(
+                    request.id,
+                    Outcome::BadRequest,
+                    shards_total,
+                    Some(format!("bad document: {e}")),
+                )
+            }
+        };
+        let sketch = match self.sketcher.sketch(&set) {
+            Ok(sketch) => sketch,
+            Err(e) => {
+                return QueryResponse::empty(
+                    request.id,
+                    Outcome::BadRequest,
+                    shards_total,
+                    Some(format!("unsketchable document: {e}")),
+                )
+            }
+        };
+        let fp = match BbitFingerprint::pack(&sketch.codes, self.config.fingerprint_bits) {
+            Ok(fp) => fp,
+            Err(e) => {
+                return QueryResponse::empty(
+                    request.id,
+                    Outcome::BadRequest,
+                    shards_total,
+                    Some(e.to_string()),
+                )
+            }
+        };
+        if deadline.expired() {
+            return QueryResponse::empty(
+                request.id,
+                Outcome::DeadlineExceeded,
+                shards_total,
+                Some(format!("budget {budget}us spent before fan-out")),
+            );
+        }
+
+        // Fan out. Quarantined shards are skipped except on half-open
+        // probe requests; full inboxes shed explicitly.
+        let sketch = Arc::new(sketch);
+        let fp = Arc::new(fp);
+        let (reply_tx, reply_rx) = mpsc::channel::<Slice>();
+        let probing = request_id.is_multiple_of(self.config.probe_every);
+        let mut sent = 0usize;
+        let mut shed = 0usize;
+        {
+            let health = self.lock_health();
+            for (shard_id, shard) in self.shards.iter().enumerate() {
+                if health[shard_id].quarantined && !probing {
+                    continue;
+                }
+                let job = Job {
+                    sketch: Arc::clone(&sketch),
+                    fp: Arc::clone(&fp),
+                    k: request.k,
+                    deadline,
+                    reply: reply_tx.clone(),
+                };
+                match shard.tx.try_send(job) {
+                    Ok(()) => sent += 1,
+                    // Explicit load-shedding: the slice is *counted*, not
+                    // silently missing.
+                    Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => shed += 1,
+                }
+            }
+        }
+        drop(reply_tx);
+
+        // Merge: collect slices until the budget expires or every
+        // fanned-out shard reported. A missing slice never blocks — it
+        // becomes missing coverage.
+        let merge_fault = wmh_fault::point!("serve::merge").err();
+        let mut results: Vec<(u64, f64)> = Vec::new();
+        let mut succeeded: Vec<usize> = Vec::new();
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        if merge_fault.is_none() {
+            let mut received = 0usize;
+            while received < sent {
+                let slice = match deadline.remaining() {
+                    None => reply_rx.recv().ok(),
+                    Some(left) if left.is_zero() => None,
+                    Some(left) => reply_rx.recv_timeout(left).ok(),
+                };
+                let Some(slice) = slice else { break };
+                received += 1;
+                match slice.outcome {
+                    SliceOutcome::Hits(mut hits) => {
+                        results.append(&mut hits);
+                        succeeded.push(slice.shard);
+                    }
+                    SliceOutcome::Expired => {}
+                    SliceOutcome::Failed(error) => failures.push((slice.shard, error)),
+                }
+            }
+        }
+
+        // Health accounting from the slices actually received.
+        {
+            let mut health = self.lock_health();
+            for &shard_id in &succeeded {
+                health[shard_id].consecutive_failures = 0;
+                health[shard_id].quarantined = false;
+            }
+            for (shard_id, _) in &failures {
+                let entry = &mut health[*shard_id];
+                entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+                if entry.consecutive_failures >= self.config.quarantine_after {
+                    entry.quarantined = true;
+                }
+            }
+        }
+
+        let answered = succeeded.len();
+        let outcome = if answered == shards_total {
+            Outcome::Ok
+        } else if answered == 0 && deadline.expired() {
+            Outcome::DeadlineExceeded
+        } else {
+            Outcome::Partial
+        };
+        let error = merge_fault
+            .map(|fault| format!("merge: {fault}"))
+            .or_else(|| failures.first().map(|(shard_id, e)| format!("shard {shard_id}: {e}")));
+        results.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        results.truncate(request.k);
+        QueryResponse {
+            id: request.id,
+            outcome,
+            results,
+            coverage: answered as f64 / shards_total as f64,
+            shards_total,
+            shards_answered: answered,
+            shed,
+            retry_after_us: 0,
+            error,
+        }
+    }
+
+    /// Health / readiness snapshot.
+    pub fn health(&self) -> HealthResponse {
+        let health = self.lock_health();
+        let quarantined = health.iter().filter(|entry| entry.quarantined).count();
+        HealthResponse {
+            ready: quarantined < self.shards.len(),
+            indexed: self.indexed,
+            shards_total: self.shards.len(),
+            shards_quarantined: quarantined,
+            inflight: self.inflight.load(Ordering::Acquire),
+        }
+    }
+
+    /// The configuration the service runs under.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Poison-tolerant health lock: a panicking thread (impossible by the
+    /// crate's own contract, but the lock cannot know that) must not wedge
+    /// the whole service.
+    fn lock_health(&self) -> std::sync::MutexGuard<'_, Vec<ShardHealth>> {
+        self.health.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Closing each inbox ends its worker's `recv` loop; join so no
+        // worker outlives the index it borrows conceptually.
+        for shard in self.shards.drain(..) {
+            let Shard { tx, handle } = shard;
+            drop(tx);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Rebuild the store's sketcher from its recorded provenance.
+fn build_sketcher(algorithm: Algorithm, store: &SketchStore) -> Result<DynSketcher, ServiceError> {
+    algorithm
+        .build(store.seed(), store.num_hashes(), &AlgorithmConfig::default())
+        .map_err(|e| ServiceError::Build(e.to_string()))
+}
+
+/// What one shard ingest produces: its banded index plus the re-ranking
+/// fingerprints for every point it owns.
+type ShardContents = (LshIndex<DynSketcher>, HashMap<u64, BbitFingerprint>);
+
+/// One attempt at building a shard's index + fingerprints. Injected
+/// `serve::ingest` faults are transient (the supervisor retries the whole
+/// build); everything else is deterministic and terminal.
+fn ingest_shard(
+    store: &SketchStore,
+    algorithm: Algorithm,
+    bands: Bands,
+    bits: u32,
+    shard_id: usize,
+    ids: &[u64],
+) -> Attempt<Result<ShardContents, String>> {
+    let tag = shard_id.to_string();
+    let sketcher = match build_sketcher(algorithm, store) {
+        Ok(sketcher) => sketcher,
+        Err(e) => return Attempt::Done(Err(e.to_string())),
+    };
+    let mut index = match LshIndex::new(sketcher, bands) {
+        Ok(index) => index,
+        Err(e) => return Attempt::Done(Err(e.to_string())),
+    };
+    let mut fingerprints = HashMap::with_capacity(ids.len());
+    for batch in ids.chunks(INGEST_BATCH.max(1)) {
+        if let Err(fault) = wmh_fault::point!("serve::ingest", &tag) {
+            return Attempt::Transient(fault.to_string());
+        }
+        for &id in batch {
+            let sketch = match store.get(id) {
+                Ok(sketch) => sketch,
+                Err(e) => return Attempt::Done(Err(e.to_string())),
+            };
+            let fp = match BbitFingerprint::pack(&sketch.codes, bits) {
+                Ok(fp) => fp,
+                Err(e) => return Attempt::Done(Err(e.to_string())),
+            };
+            if let Err(e) = index.insert_sketch(id, sketch) {
+                return Attempt::Done(Err(e.to_string()));
+            }
+            fingerprints.insert(id, fp);
+        }
+    }
+    Attempt::Done(Ok((index, fingerprints)))
+}

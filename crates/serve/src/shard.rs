@@ -1,0 +1,124 @@
+//! Shard workers: one thread per shard, each owning its slice of the
+//! banded index plus the packed fingerprints of its points.
+//!
+//! The inbox is a *bounded* `sync_channel`: the front end uses `try_send`,
+//! so a shard that falls behind sheds load explicitly at enqueue time
+//! instead of growing an invisible backlog. A shard never answers out of
+//! band — every job it dequeues is answered on the job's own reply
+//! channel with exactly one [`Slice`], and a reply nobody is waiting for
+//! anymore (deadline already served) is dropped by the disconnected
+//! channel, not by shard-side bookkeeping.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::deadline::Deadline;
+use crate::fingerprint::BbitFingerprint;
+use wmh_core::{Sketch, Sketcher};
+use wmh_lsh::LshIndex;
+
+/// The runtime-selected sketcher shards are built over.
+pub(crate) type DynSketcher = Box<dyn Sketcher + Send + Sync>;
+
+/// What one shard reports back for its slice of a query.
+pub(crate) enum SliceOutcome {
+    /// Scored candidates, already ranked and truncated to `k`.
+    Hits(Vec<(u64, f64)>),
+    /// The budget was spent before the shard reached the job. Not a shard
+    /// fault: it must not feed quarantine accounting.
+    Expired,
+    /// A typed shard failure (real or injected) — quarantine accounting
+    /// counts these.
+    Failed(String),
+}
+
+/// One shard's reply.
+pub(crate) struct Slice {
+    /// Which shard answered.
+    pub shard: usize,
+    /// Its verdict.
+    pub outcome: SliceOutcome,
+}
+
+/// A unit of fan-out work.
+pub(crate) struct Job {
+    /// The query sketch (sketched once at the front).
+    pub sketch: Arc<Sketch>,
+    /// The query's packed fingerprint (packed once at the front).
+    pub fp: Arc<BbitFingerprint>,
+    /// Neighbours wanted.
+    pub k: usize,
+    /// The request's budget.
+    pub deadline: Deadline,
+    /// Where the slice goes.
+    pub reply: Sender<Slice>,
+}
+
+/// A running shard: its bounded inbox and its worker thread.
+pub(crate) struct Shard {
+    /// Bounded inbox; `try_send` failures are explicit sheds.
+    pub tx: SyncSender<Job>,
+    /// The worker, joined on service drop.
+    pub handle: JoinHandle<()>,
+}
+
+impl Shard {
+    /// Spawn a shard worker over its slice of the index.
+    pub fn spawn(
+        id: usize,
+        index: LshIndex<DynSketcher>,
+        fingerprints: HashMap<u64, BbitFingerprint>,
+        queue_depth: usize,
+    ) -> Result<Self, String> {
+        let (tx, rx) = sync_channel::<Job>(queue_depth);
+        let handle = std::thread::Builder::new()
+            .name(format!("wmh-serve-shard-{id}"))
+            .spawn(move || {
+                let tag = id.to_string();
+                while let Ok(job) = rx.recv() {
+                    let outcome = run_query(&tag, &index, &fingerprints, &job);
+                    // A receiver that stopped listening (deadline served,
+                    // client gone) is not an error the shard can act on.
+                    let _ = job.reply.send(Slice { shard: id, outcome });
+                }
+            })
+            .map_err(|e| format!("spawning shard {id} worker: {e}"))?;
+        Ok(Self { tx, handle })
+    }
+}
+
+/// Probe the banded index, re-rank candidates against packed fingerprints.
+fn run_query(
+    tag: &str,
+    index: &LshIndex<DynSketcher>,
+    fingerprints: &HashMap<u64, BbitFingerprint>,
+    job: &Job,
+) -> SliceOutcome {
+    if job.deadline.expired() {
+        return SliceOutcome::Expired;
+    }
+    if let Err(fault) = wmh_fault::point!("serve::shard_query", tag) {
+        return SliceOutcome::Failed(fault.to_string());
+    }
+    let ids = match index.candidates_for_sketch(&job.sketch) {
+        Ok(ids) => ids,
+        Err(e) => return SliceOutcome::Failed(e.to_string()),
+    };
+    let mut hits = Vec::with_capacity(ids.len());
+    for id in ids {
+        let Some(fp) = fingerprints.get(&id) else {
+            return SliceOutcome::Failed(format!("no fingerprint for candidate {id}"));
+        };
+        match job.fp.estimate(fp) {
+            Ok(est) => hits.push((id, est)),
+            Err(e) => return SliceOutcome::Failed(e.to_string()),
+        }
+    }
+    // Deterministic slice order: estimate descending, id ascending — the
+    // merge keeps the same rule, so responses are schedule-independent.
+    hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    hits.truncate(job.k);
+    SliceOutcome::Hits(hits)
+}

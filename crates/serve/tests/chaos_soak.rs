@@ -1,0 +1,226 @@
+//! Chaos soak for the serving robustness envelope.
+//!
+//! The claims under test, with deterministic failpoint schedules:
+//!
+//! * **Every request terminates with a typed outcome**, faults or not —
+//!   the load generator's accounting invariant holds under injected shard
+//!   failures and admission rejections.
+//! * **Quarantine is reversible and invisible afterwards**: once a faulty
+//!   shard recovers through half-open probes, responses are byte-identical
+//!   to a service that never failed.
+//! * **Ingest faults are survivable**: transient schedules clear under the
+//!   sweep supervisor's retry policy; a permanently failing shard surfaces
+//!   as a typed [`ServiceError::Ingest`], never a panic.
+//!
+//! Every test holds a [`wmh_fault::scenario`] guard for its full duration
+//! (fault-free phases run under a never-firing probe via
+//! [`wmh_fault::configure`]/[`wmh_fault::clear`] without releasing the
+//! lock), so scenarios cannot leak across concurrently scheduled tests.
+
+use std::time::Duration;
+
+use wmh_core::{SketchStore, Sketcher};
+use wmh_data::PAPER_DATASETS;
+use wmh_fault::supervisor::RetryPolicy;
+use wmh_serve::{loadgen, LoadConfig, Outcome, QueryRequest, Service, ServiceConfig, ServiceError};
+use wmh_sets::WeightedSet;
+
+/// The pinned CI seed, if any: `WMH_FAULT_SEED` as decimal or `0x`-hex,
+/// same syntax `wmh_fault::init_from_env` accepts.
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("WMH_FAULT_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.ok()
+}
+
+fn seed() -> u64 {
+    env_seed().unwrap_or(0xC1A05)
+}
+
+fn corpus(n: usize) -> Vec<WeightedSet> {
+    PAPER_DATASETS[2].scaled_down_preserving_overlap(n, 20_000).generate(7).expect("corpus").docs
+}
+
+fn store_for(docs: &[WeightedSet]) -> SketchStore {
+    let sketcher = wmh_core::cws::Icws::new(9, 128);
+    let mut store = SketchStore::new();
+    for (id, doc) in docs.iter().enumerate() {
+        store.insert(id as u64, &sketcher.sketch(doc).expect("sketch")).expect("insert");
+    }
+    store
+}
+
+fn config(shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        shards,
+        default_deadline_us: 5_000_000,
+        probe_every: 4,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Backoffs in microseconds, not milliseconds, so deliberately exhausted
+/// retry budgets do not dominate the soak's wall clock.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 8,
+        base_backoff: Duration::from_micros(50),
+        max_backoff: Duration::from_millis(2),
+    }
+}
+
+fn query(doc: &WeightedSet, id: u64) -> QueryRequest {
+    QueryRequest { id, doc: doc.iter().collect(), k: 10, deadline_us: Some(2_000_000) }
+}
+
+/// Quarantine a shard with an always-failing schedule, recover it through
+/// half-open probes, and pin that post-recovery responses are
+/// byte-identical to the fault-free baseline.
+#[test]
+fn quarantine_and_recovery_is_byte_identical() {
+    let _guard = wmh_fault::scenario("soak::baseline=never", seed()).expect("scenario");
+    let docs = corpus(64);
+    let service = Service::from_store(&store_for(&docs), config(4)).expect("service");
+    let queries: Vec<QueryRequest> = (0..8).map(|i| query(&docs[i], i as u64)).collect();
+    let baseline: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let response = service.query(q);
+            assert_eq!(response.outcome, Outcome::Ok, "baseline not clean: {response:?}");
+            wmh_json::to_string(&response)
+        })
+        .collect();
+
+    // Shard 1 starts failing every probe it sees.
+    wmh_fault::configure("serve::shard_query@1=always", seed()).expect("configure");
+    let mut saw_quarantine = false;
+    for i in 0..32u64 {
+        let response = service.query(&query(&docs[(i % 16) as usize], 1000 + i));
+        assert_eq!(response.outcome, Outcome::Partial, "{response:?}");
+        assert!((response.coverage - 0.75).abs() < 1e-9, "one shard of four lost: {response:?}");
+        assert!(
+            response.results.iter().all(|&(id, _)| id % 4 != 1),
+            "results leaked from the failed shard: {response:?}"
+        );
+        let health = service.health();
+        assert!(health.ready, "3 of 4 shards still serve: {health:?}");
+        if health.shards_quarantined == 1 {
+            saw_quarantine = true;
+            break;
+        }
+    }
+    assert!(saw_quarantine, "shard 1 never reached quarantine");
+
+    // Fault gone; half-open probes must restore the shard.
+    wmh_fault::clear();
+    let mut recovered = false;
+    for i in 0..32u64 {
+        let response = service.query(&query(&docs[(i % 16) as usize], 2000 + i));
+        assert!(matches!(response.outcome, Outcome::Ok | Outcome::Partial), "{response:?}");
+        if service.health().shards_quarantined == 0 {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "shard 1 never recovered through probes");
+
+    let after: Vec<String> =
+        queries.iter().map(|q| wmh_json::to_string(&service.query(q))).collect();
+    assert_eq!(baseline, after, "recovered service must be byte-identical to fault-free");
+}
+
+#[test]
+fn admission_fault_is_typed_and_transient() {
+    let _guard = wmh_fault::scenario("serve::admission=once", seed()).expect("scenario");
+    let docs = corpus(24);
+    let service = Service::from_store(&store_for(&docs), config(2)).expect("service");
+    let rejected = service.query(&query(&docs[0], 0));
+    assert_eq!(rejected.outcome, Outcome::Overloaded, "{rejected:?}");
+    assert!(rejected.retry_after_us > 0, "overload must carry a backoff hint: {rejected:?}");
+    assert!(rejected.results.is_empty());
+    let retried = service.query(&query(&docs[0], 1));
+    assert_eq!(retried.outcome, Outcome::Ok, "{retried:?}");
+}
+
+#[test]
+fn merge_fault_yields_typed_partial_not_a_hang() {
+    let _guard = wmh_fault::scenario("serve::merge=once", seed()).expect("scenario");
+    let docs = corpus(24);
+    let service = Service::from_store(&store_for(&docs), config(2)).expect("service");
+    let degraded = service.query(&query(&docs[0], 0));
+    assert_eq!(degraded.outcome, Outcome::Partial, "{degraded:?}");
+    assert_eq!(degraded.shards_answered, 0);
+    assert_eq!(degraded.coverage, 0.0);
+    let error = degraded.error.as_deref().expect("merge fault must be reported");
+    assert!(error.contains("merge"), "{error}");
+    let healthy = service.query(&query(&docs[0], 1));
+    assert_eq!(healthy.outcome, Outcome::Ok, "{healthy:?}");
+}
+
+#[test]
+fn transient_ingest_faults_clear_under_retry() {
+    let _guard = wmh_fault::scenario("serve::ingest=1in2", seed()).expect("scenario");
+    let docs = corpus(48);
+    let store = store_for(&docs);
+    let with_retry = ServiceConfig { retry: fast_retry(), ..config(4) };
+    let service = Service::from_store(&store, with_retry)
+        .expect("transient ingest faults must clear under the retry budget");
+    let response = service.query(&query(&docs[0], 0));
+    assert_eq!(response.outcome, Outcome::Ok, "{response:?}");
+}
+
+#[test]
+fn permanent_ingest_failure_is_a_typed_error() {
+    let _guard = wmh_fault::scenario("serve::ingest@0=always", seed()).expect("scenario");
+    let docs = corpus(48);
+    let store = store_for(&docs);
+    let with_retry = ServiceConfig { retry: fast_retry(), ..config(4) };
+    match Service::from_store(&store, with_retry) {
+        Err(ServiceError::Ingest { shard, attempts, error }) => {
+            assert_eq!(shard, 0, "the @0 schedule only hits shard 0");
+            assert!(attempts > 1, "the retry budget must be spent: {attempts}");
+            assert!(error.contains("serve::ingest"), "{error}");
+        }
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("always-failing ingest built a service"),
+    }
+}
+
+/// The load generator's accounting under probabilistic chaos, then the
+/// fleet recovered and re-measured fault-free.
+#[test]
+fn loadgen_accounts_every_request_under_chaos() {
+    let _guard = wmh_fault::scenario("serve::shard_query=p0.2;serve::admission=p0.05", seed())
+        .expect("scenario");
+    let docs = corpus(64);
+    let service = Service::from_store(&store_for(&docs), config(4)).expect("service");
+    let query_docs: Vec<Vec<(u64, f64)>> = docs.iter().map(|d| d.iter().collect()).collect();
+
+    let chaos_config = LoadConfig { requests: 240, concurrency: 4, k: 10, deadline_us: 20_000 };
+    let chaotic = loadgen::run(&service, "Syn3E0.24S-soak", &query_docs, &chaos_config);
+    chaotic.validate().expect("typed-outcome accounting must survive chaos");
+    assert_eq!(chaotic.requests, 240);
+
+    // Faults off; let probes repair whatever got quarantined.
+    wmh_fault::clear();
+    let mut recovered = false;
+    for i in 0..64u64 {
+        let _ = service.query(&query(&docs[(i % 16) as usize], 10_000 + i));
+        if service.health().shards_quarantined == 0 {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "quarantined shards never recovered after chaos");
+
+    let calm_config = LoadConfig { requests: 160, concurrency: 4, k: 10, deadline_us: 2_000_000 };
+    let calm = loadgen::run(&service, "Syn3E0.24S-soak", &query_docs, &calm_config);
+    calm.validate().expect("fault-free accounting");
+    assert_eq!(calm.ok, calm.requests, "recovered fleet must serve everything: {calm:?}");
+    assert_eq!(calm.min_coverage, 1.0, "{calm:?}");
+    assert_eq!(calm.shed_slices, 0, "{calm:?}");
+}

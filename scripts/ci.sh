@@ -74,6 +74,21 @@ run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
   cargo test "${RELEASE[@]}" -p wmh-eval --features wmh-fault/failpoints \
   --test chaos_soak --test supervision -q
 
+# Serving chaos soak: quarantine/recovery byte-identity, typed outcomes
+# under injected shard/admission faults, and supervised ingest retry — the
+# wmh-serve robustness envelope under the same pinned seed.
+run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
+  cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
+  --test chaos_soak -q
+
+# Serving smoke: a real loopback server must answer every outcome class
+# typed — healthy, forced deadline miss, forced overload, bad request.
+if [[ "$QUICK" == "1" ]]; then
+  run cargo run -q -p wmh-serve -- smoke --quick
+else
+  run cargo run "${RELEASE[@]}" -q -p wmh-serve -- smoke
+fi
+
 # Every checked-in results/*.json must match its registered schema
 # (crates/perf/src/schemas.rs); an unregistered file name is a failure.
 run cargo run "${RELEASE[@]}" -q -p wmh-perf --bin schema_check -- results

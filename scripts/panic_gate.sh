@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Static no-panic gate for the sketching core (crates/core + crates/sets)
-# and the experiment engine (crates/eval + crates/par).
+# Static no-panic gate for the sketching core (crates/core + crates/sets),
+# the experiment engine (crates/eval + crates/par), the fault harness
+# (crates/fault), and the retrieval stack (crates/lsh + crates/serve).
 #
 # Non-test code in those crates must not call `.unwrap()` / `.expect(` /
 # `panic!` / `unreachable!` / `todo!` / `unimplemented!` — the tentpole
@@ -11,8 +12,9 @@
 # can only shrink by editing it consciously).
 #
 # Heuristics, matching this repo's layout conventions:
-#   * everything from a line starting with `#[cfg(test)]` to end-of-file is
-#     a test module (test modules sit at the bottom of each file);
+#   * everything from a line starting with `#[cfg(test)]` (or a
+#     `#[cfg(all(test, ...))]` feature-gated variant) to end-of-file is a
+#     test module (test modules sit at the bottom of each file);
 #   * `//`-prefixed lines (incl. `///` doc examples) are not code.
 #
 # Scope: in crates/eval only the *engine* is gated (runner, sweep,
@@ -30,11 +32,12 @@ ALLOWLIST=scripts/panic_allowlist.txt
 hits=$(mktemp)
 trap 'rm -f "$hits"' EXIT
 
-for f in $(find crates/core/src crates/sets/src crates/eval/src crates/par/src -name '*.rs' \
+for f in $(find crates/core/src crates/sets/src crates/eval/src crates/par/src \
+             crates/fault/src crates/lsh/src crates/serve/src -name '*.rs' \
              -not -path 'crates/eval/src/experiments/*' \
              -not -path 'crates/eval/src/bin/*' | sort); do
   awk -v FN="$f" '
-    /^#\[cfg\(test\)\]/ { intest = 1 }
+    /^#\[cfg\((all\()?test[,)]/ { intest = 1 }
     intest { next }
     /^[[:space:]]*\/\// { next }
     /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\(/ {

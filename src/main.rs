@@ -185,7 +185,7 @@ fn build(
     seed: u64,
     hashes: usize,
     sets: &[(String, WeightedSet)],
-) -> Result<Box<dyn wmh::core::Sketcher>, String> {
+) -> Result<Box<dyn wmh::core::Sketcher + Send + Sync>, String> {
     let config = AlgorithmConfig {
         upper_bounds: UpperBounds::from_sets(sets.iter().map(|(_, s)| s)).ok(),
         ..AlgorithmConfig::default()
