@@ -17,6 +17,7 @@ fn sketching(c: &mut Criterion) {
         upper_bounds: Some(UpperBounds::from_sets(docs.iter()).expect("non-empty")),
         max_rejection_draws: 10_000_000,
         ccws_weight_scale: 10.0,
+        ..AlgorithmConfig::default()
     };
 
     let mut group = c.benchmark_group("fig9_sketching");

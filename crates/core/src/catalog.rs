@@ -4,6 +4,7 @@
 use crate::active::GollapudiSkip;
 use crate::cws::{Ccws, Cws, I2cws, Icws, Pcws, ZeroBitCws};
 use crate::minhash::MinHash;
+use crate::modern::{BagMinHash, DartMinHash};
 use crate::others::{Chum, GollapudiThreshold, Shrivastava, UpperBounds};
 use crate::quantization::{Haeupler, Haveliwala};
 use crate::sketch::{SketchError, Sketcher};
@@ -21,6 +22,9 @@ pub enum Category {
     ConsistentWeightedSampling,
     /// Others (§5).
     Others,
+    /// Beyond the paper: post-review state-of-the-art samplers
+    /// (ROADMAP item 1) — not part of Tables 2–3.
+    BeyondThePaper,
 }
 
 impl Category {
@@ -33,6 +37,7 @@ impl Category {
             Self::ActiveIndex => "\"Active index\"-based",
             Self::ConsistentWeightedSampling => "\"Active index\"-based (CWS scheme)",
             Self::Others => "Others",
+            Self::BeyondThePaper => "Beyond the paper",
         }
     }
 }
@@ -66,6 +71,10 @@ pub enum Algorithm {
     Chum2008,
     /// 13. \[Shrivastava, 2016\] \[48\].
     Shrivastava2016,
+    /// 14. DartMinHash \[Christiani, 2020\] — beyond the paper.
+    DartMinHash,
+    /// 15. BagMinHash \[Ertl, 2018\] — beyond the paper.
+    BagMinHash,
 }
 
 /// Everything Table 2 and Table 3 record about one algorithm.
@@ -92,8 +101,30 @@ pub struct AlgorithmInfo {
 }
 
 impl Algorithm {
-    /// All thirteen, in the paper's §6.2 order.
-    pub const ALL: [Algorithm; 13] = [
+    /// The full catalog: the paper's thirteen (§6.2 order) plus the two
+    /// beyond-the-paper samplers (ROADMAP item 1).
+    pub const ALL: [Algorithm; 15] = [
+        Algorithm::MinHash,
+        Algorithm::Haveliwala2000,
+        Algorithm::Haeupler2014,
+        Algorithm::GollapudiActive,
+        Algorithm::Cws,
+        Algorithm::Icws,
+        Algorithm::ZeroBitCws,
+        Algorithm::Ccws,
+        Algorithm::Pcws,
+        Algorithm::I2cws,
+        Algorithm::GollapudiThreshold,
+        Algorithm::Chum2008,
+        Algorithm::Shrivastava2016,
+        Algorithm::DartMinHash,
+        Algorithm::BagMinHash,
+    ];
+
+    /// The paper's thirteen compared algorithms (§6.2's numbered list) —
+    /// the iteration set for paper-faithful artifacts (Table 2, the
+    /// Figure 2 taxonomy tree).
+    pub const PAPER: [Algorithm; 13] = [
         Algorithm::MinHash,
         Algorithm::Haveliwala2000,
         Algorithm::Haeupler2014,
@@ -108,6 +139,9 @@ impl Algorithm {
         Algorithm::Chum2008,
         Algorithm::Shrivastava2016,
     ];
+
+    /// The beyond-the-paper samplers (algorithms 14–15).
+    pub const MODERN: [Algorithm; 2] = [Algorithm::DartMinHash, Algorithm::BagMinHash];
 
     /// The CWS-scheme members (Table 3), in order.
     pub const CWS_SCHEME: [Algorithm; 6] = [
@@ -240,6 +274,24 @@ impl Algorithm {
                 time_complexity: "O(D/s_x) expected + pre-scan",
                 reference: "Shrivastava, NIPS 2016 [48]",
             },
+            Self::DartMinHash => AlgorithmInfo {
+                name: DartMinHash::NAME,
+                category: Category::BeyondThePaper,
+                preprocessing: "-",
+                characteristics: "Poisson darts over absolute dyadic (rank × position) cells,                                   band-major; per-bucket minimum rank",
+                unbiased: true,
+                time_complexity: "O(n + D log D) expected",
+                reference: "Christiani, arXiv 2020 [2005.11547]",
+            },
+            Self::BagMinHash => AlgorithmInfo {
+                name: BagMinHash::NAME,
+                category: Category::BeyondThePaper,
+                preprocessing: "-",
+                characteristics: "Float-decomposed Poisson arrivals per element, pruned by the                                   slot-minima maximum in a binary tournament tree",
+                unbiased: true,
+                time_complexity: "O(n + D log D) expected",
+                reference: "Ertl, KDD 2018 [1802.03914]",
+            },
         }
     }
 
@@ -269,6 +321,10 @@ pub struct AlgorithmConfig {
     pub max_rejection_draws: u64,
     /// Weight pre-scaling for CCWS (see [`Ccws::with_weight_scale`]).
     pub ccws_weight_scale: f64,
+    /// Cell-probe budget per sketch for the beyond-the-paper dart samplers
+    /// (DartMinHash / BagMinHash); exhaustion surfaces as typed
+    /// [`SketchError::BudgetExhausted`].
+    pub modern_probe_budget: u64,
 }
 
 impl Default for AlgorithmConfig {
@@ -278,6 +334,7 @@ impl Default for AlgorithmConfig {
             upper_bounds: None,
             max_rejection_draws: crate::others::DEFAULT_MAX_DRAWS,
             ccws_weight_scale: 1.0,
+            modern_probe_budget: crate::modern::DEFAULT_MODERN_PROBES,
         }
     }
 }
@@ -326,6 +383,12 @@ impl Algorithm {
                         .with_max_draws(config.max_rejection_draws),
                 )
             }
+            Self::DartMinHash => Box::new(
+                DartMinHash::new(seed, num_hashes).with_max_probes(config.modern_probe_budget),
+            ),
+            Self::BagMinHash => Box::new(
+                BagMinHash::new(seed, num_hashes).with_max_probes(config.modern_probe_budget),
+            ),
         })
     }
 }
@@ -339,7 +402,16 @@ mod tests {
     fn all_names_are_distinct() {
         let names: std::collections::HashSet<&str> =
             Algorithm::ALL.iter().map(Algorithm::name).collect();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn paper_plus_modern_is_all() {
+        assert_eq!(Algorithm::PAPER.len(), 13);
+        assert_eq!(Algorithm::MODERN.len(), 2);
+        let rebuilt: Vec<Algorithm> =
+            Algorithm::PAPER.into_iter().chain(Algorithm::MODERN).collect();
+        assert_eq!(rebuilt, Algorithm::ALL.to_vec());
     }
 
     #[test]
@@ -358,7 +430,9 @@ mod tests {
         assert_eq!(count(Category::ActiveIndex), 1);
         assert_eq!(count(Category::ConsistentWeightedSampling), 6);
         assert_eq!(count(Category::Others), 3);
+        assert_eq!(count(Category::BeyondThePaper), 2);
         assert_eq!(Algorithm::CWS_SCHEME.len(), 6);
+        assert!(Algorithm::PAPER.iter().all(|a| a.info().category != Category::BeyondThePaper));
     }
 
     #[test]
@@ -397,5 +471,9 @@ mod tests {
         // the paper's near-orthogonal workloads.
         assert!(!Algorithm::Pcws.info().unbiased);
         assert!(!Algorithm::I2cws.info().unbiased);
+        // The beyond-the-paper dart samplers are exact generalized-Jaccard
+        // samplers (Christiani 2020 Thm. 1; Ertl 2018 Thm. 1).
+        assert!(Algorithm::DartMinHash.info().unbiased);
+        assert!(Algorithm::BagMinHash.info().unbiased);
     }
 }

@@ -1,8 +1,9 @@
-//! # `wmh-core` — the thirteen (weighted) MinHash algorithms
+//! # `wmh-core` — fifteen (weighted) MinHash algorithms
 //!
 //! This crate is the paper's primary artifact: the standard MinHash
 //! algorithm (§2.2) plus the twelve weighted MinHash algorithms the review
-//! categorizes (§2.3, Tables 2–3), behind one [`Sketcher`] trait.
+//! categorizes (§2.3, Tables 2–3), behind one [`Sketcher`] trait — plus
+//! two beyond-the-paper state-of-the-art samplers (ROADMAP item 1).
 //!
 //! | Category | Algorithms |
 //! |---|---|
@@ -10,6 +11,7 @@
 //! | quantization-based (§3) | [`quantization::Haveliwala`], [`quantization::Haeupler`] |
 //! | "active index"-based (§4) | [`active::GollapudiSkip`], [`cws::Cws`], [`cws::Icws`], [`cws::ZeroBitCws`], [`cws::Ccws`], [`cws::Pcws`], [`cws::I2cws`] |
 //! | others (§5) | [`others::GollapudiThreshold`], [`others::Chum`], [`others::Shrivastava`] |
+//! | beyond the paper | [`modern::DartMinHash`], [`modern::BagMinHash`] |
 //!
 //! Every algorithm produces a [`Sketch`]: `D` 64-bit collision codes. Two
 //! sketches from the same configured algorithm estimate the (generalized)
@@ -39,6 +41,7 @@ pub mod catalog;
 pub mod cws;
 pub mod extensions;
 pub mod minhash;
+pub mod modern;
 pub mod others;
 pub mod quantization;
 pub mod sketch;

@@ -248,7 +248,15 @@ pub struct SketchScratch {
     /// `(index, integer weight)` working set for the quantizing algorithms
     /// (e.g. the Gollapudi active-index walk's floor-quantized weights).
     pairs: Vec<(u64, u64)>,
+    /// Lexicographic rank-key state for the dart-based samplers
+    /// (DartMinHash bucket minima, BagMinHash tournament tree).
+    rank_keys: Vec<RankKey>,
 }
+
+/// Lexicographic `(band, rank, code)` dart key: band-major comparison so
+/// the dart-based samplers never collapse ranks into one float. Smaller is
+/// better (earlier band, then smaller rank hash).
+pub type RankKey = (i64, u64, u64);
 
 impl SketchScratch {
     /// Fresh scratch with empty buffers (they grow on first use).
@@ -261,6 +269,19 @@ impl SketchScratch {
     /// `clear()` before use — contents from a previous call are garbage.
     pub fn pairs(&mut self) -> &mut Vec<(u64, u64)> {
         &mut self.pairs
+    }
+
+    /// The reusable [`RankKey`] buffer. Kernels must `clear()` before use —
+    /// contents from a previous call are garbage.
+    pub fn rank_keys(&mut self) -> &mut Vec<RankKey> {
+        &mut self.rank_keys
+    }
+
+    /// Both scratch buffers at once, for kernels that need the pair buffer
+    /// and the rank-key buffer simultaneously (one `&mut self` borrow can
+    /// only hand out one field accessor at a time).
+    pub fn pairs_and_rank_keys(&mut self) -> (&mut Vec<(u64, u64)>, &mut Vec<RankKey>) {
+        (&mut self.pairs, &mut self.rank_keys)
     }
 }
 

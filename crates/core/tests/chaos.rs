@@ -26,7 +26,7 @@ use wmh_core::others::UpperBounds;
 use wmh_core::{Algorithm, AlgorithmConfig, ErrorKind, SketchError, Sketcher};
 use wmh_sets::{SetError, WeightPolicy, WeightedSet};
 
-/// Fingerprint length — small so 100k × 13 algorithms stays tractable.
+/// Fingerprint length — small so 100k × 15 algorithms stays tractable.
 const D: usize = 8;
 
 /// Case count; `WMH_CHAOS_CASES` overrides (ci.sh runs 100_000).
@@ -34,7 +34,8 @@ fn cases() -> usize {
     std::env::var("WMH_CHAOS_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000).max(10)
 }
 
-/// The catalog under one roof: all 13, Shrivastava included via explicit
+/// The catalog under one roof: all 15 (the paper's thirteen plus the
+/// beyond-the-paper dart samplers), Shrivastava included via explicit
 /// bounds (arbitrary chaos indices then exercise its typed
 /// `WeightExceedsBound` path rather than making it unbuildable).
 fn catalog() -> Vec<(Algorithm, Box<dyn Sketcher + Send + Sync>)> {

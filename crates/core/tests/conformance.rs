@@ -252,3 +252,40 @@ fn deliberately_biased_mutant_fails_the_unbiased_bound() {
         "negative control failed: the mutant's inflated collisions went undetected"
     );
 }
+
+/// Negative controls for the beyond-the-paper samplers: the same truncated
+/// mutant wrapped around DartMinHash and BagMinHash must also be rejected
+/// at their zero allowance — proving the 14/15 rows of the conformance
+/// wall have teeth, not just the original thirteen.
+#[test]
+fn biased_mutants_of_the_modern_samplers_fail_too() {
+    let (s, t) = sets();
+    let truth = generalized_jaccard(&s, &t);
+    for algorithm in Algorithm::MODERN {
+        let cfg = config(&s, &t);
+        let build = move |seed: u64| -> Box<dyn Sketcher + Send + Sync> {
+            Box::new(BiasedMutant(algorithm.build(seed, D, &cfg).expect("buildable")))
+        };
+        let verdict = conformance(algorithm.name(), &build, truth, allowance(algorithm), reps());
+        assert!(
+            verdict.is_err(),
+            "negative control failed: a truncated {} went undetected",
+            algorithm.name()
+        );
+    }
+}
+
+/// The catalog must contain exactly the paper's thirteen plus the two
+/// beyond-the-paper samplers; a silently unregistered sketcher would
+/// otherwise shrink every `ALL`-driven suite without failing anything.
+/// `scripts/ci.sh` pins the same count through the CLI.
+#[test]
+fn catalog_pins_fifteen_algorithms() {
+    assert_eq!(Algorithm::ALL.len(), 15);
+    for name in ["DartMinHash", "BagMinHash"] {
+        assert!(
+            Algorithm::by_name(name).is_some_and(|a| Algorithm::MODERN.contains(&a)),
+            "{name} missing from the catalog"
+        );
+    }
+}

@@ -106,6 +106,7 @@ pub fn bias_study(targets: &[f64], d: usize, seeds: u64) -> Vec<BiasCell> {
                 upper_bounds: Some(UpperBounds::from_sets([&s, &t]).expect("non-empty")),
                 max_rejection_draws: 5_000_000,
                 ccws_weight_scale: 10.0,
+                ..AlgorithmConfig::default()
             };
             for algo in Algorithm::ALL {
                 let estimates: Vec<f64> = (0..seeds)

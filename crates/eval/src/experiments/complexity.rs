@@ -56,6 +56,7 @@ pub fn scaling_study(
             upper_bounds: Some(UpperBounds::from_sets(sets.iter()).expect("non-empty")),
             max_rejection_draws: 10_000_000,
             ccws_weight_scale: 10.0,
+            ..AlgorithmConfig::default()
         };
         for &algo in algorithms {
             let sk = algo.build(seed, d, &config).expect("buildable");
@@ -124,6 +125,7 @@ mod tests {
                 upper_bounds: None,
                 max_rejection_draws: 1,
                 ccws_weight_scale: 1.0,
+                ..AlgorithmConfig::default()
             };
             let sk = algo.build(2, 16, &config).expect("buildable");
             (0..3)

@@ -101,9 +101,9 @@ pub fn table2() -> Table {
         "Characteristics",
         "Time complexity",
     ]);
-    for a in Algorithm::ALL {
+    for a in Algorithm::PAPER {
         if a == Algorithm::MinHash {
-            continue; // Table 2 lists only the weighted algorithms.
+            continue; // Table 2 lists only the paper's weighted algorithms.
         }
         let info = a.info();
         t.row([
@@ -139,7 +139,7 @@ pub fn figure2_tree() -> String {
         Category::Others,
     ] {
         out.push_str(&format!("├─ {}\n", cat.label()));
-        for a in Algorithm::ALL {
+        for a in Algorithm::PAPER {
             if a.info().category == cat {
                 out.push_str(&format!("│   ├─ {} ({})\n", a.name(), a.info().reference));
             }
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn figure2_tree_mentions_every_weighted_algorithm() {
         let tree = figure2_tree();
-        for a in Algorithm::ALL {
+        for a in Algorithm::PAPER {
             if a == Algorithm::MinHash {
                 continue;
             }

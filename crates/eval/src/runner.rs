@@ -223,6 +223,7 @@ impl Scale {
             upper_bounds: bounds,
             max_rejection_draws: self.budget.max_rejection_draws,
             ccws_weight_scale: self.ccws_weight_scale,
+            ..AlgorithmConfig::default()
         }
     }
 }

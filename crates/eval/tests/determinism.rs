@@ -16,7 +16,7 @@ fn scratch_dir(tag: &str) -> std::path::PathBuf {
 /// A mini-sweep broad enough to exercise batch overrides (MinHash,
 /// Gollapudi-Threshold), quantization, the CWS family, and the
 /// rejection-budgeted Shrivastava sampler.
-fn mini_algorithms() -> [Algorithm; 6] {
+fn mini_algorithms() -> [Algorithm; 8] {
     [
         Algorithm::MinHash,
         Algorithm::Haeupler2014,
@@ -24,6 +24,10 @@ fn mini_algorithms() -> [Algorithm; 6] {
         Algorithm::Ccws,
         Algorithm::GollapudiThreshold,
         Algorithm::Shrivastava2016,
+        // Beyond-the-paper samplers: their band scans and tournament-tree
+        // pruning must be as thread-count-invariant as everything else.
+        Algorithm::DartMinHash,
+        Algorithm::BagMinHash,
     ]
 }
 

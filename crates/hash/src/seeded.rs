@@ -171,6 +171,22 @@ pub mod role {
     pub const CHUM: u64 = 0x13;
     /// Rejection-sampling sequence (\[Shrivastava, 2016\]).
     pub const REJECTION: u64 = 0x14;
+    /// DartMinHash per-cell Poisson count draws (\[Christiani, 2020\]).
+    pub const DART_COUNT: u64 = 0x15;
+    /// DartMinHash boundary-cell position draw.
+    pub const DART_POS: u64 = 0x16;
+    /// DartMinHash within-band rank draw.
+    pub const DART_RANK: u64 = 0x17;
+    /// DartMinHash dart identity (code + bucket assignment).
+    pub const DART_ID: u64 = 0x18;
+    /// BagMinHash per-cell Poisson count draws (\[Ertl, 2018\]).
+    pub const BAG_COUNT: u64 = 0x19;
+    /// BagMinHash boundary-cell position draw.
+    pub const BAG_POS: u64 = 0x1A;
+    /// BagMinHash within-band rank draw.
+    pub const BAG_RANK: u64 = 0x1B;
+    /// BagMinHash dart identity (code + slot assignment).
+    pub const BAG_ID: u64 = 0x1C;
 }
 
 #[cfg(test)]
@@ -306,6 +322,14 @@ mod tests {
             role::THRESHOLD,
             role::CHUM,
             role::REJECTION,
+            role::DART_COUNT,
+            role::DART_POS,
+            role::DART_RANK,
+            role::DART_ID,
+            role::BAG_COUNT,
+            role::BAG_POS,
+            role::BAG_RANK,
+            role::BAG_ID,
         ];
         let set: std::collections::HashSet<u64> = roles.iter().copied().collect();
         assert_eq!(set.len(), roles.len());

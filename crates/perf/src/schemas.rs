@@ -267,6 +267,38 @@ mod tests {
     }
 
     #[test]
+    fn checked_in_trajectory_has_dart_beating_the_cws_family_at_d128() {
+        // The "beat the paper" acceptance bar, pinned against the
+        // checked-in trajectory point: on the Table-4 D=128 shape,
+        // DartMinHash's O(n + D log D) sketching must undercut every
+        // CWS-family O(n·D) sketcher. Read from the report so a baseline
+        // refresh that loses the head-to-head block (or the advantage)
+        // fails here, not in a human's eyeball diff.
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_fig9_hot.json");
+        let text = std::fs::read_to_string(&path).expect("BENCH_fig9_hot.json is checked in");
+        let report: crate::report::Report =
+            crate::report::Report::parse(&text).expect("valid perf report");
+        let median = |algo: &str| -> f64 {
+            let id = format!("fig9/Syn3E0.2S/{algo}/D128");
+            report
+                .results
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap_or_else(|| panic!("missing head-to-head workload {id}"))
+                .median_ns
+        };
+        let dart = median("DartMinHash");
+        for cws in wmh_core::Algorithm::CWS_SCHEME {
+            let rival = median(cws.name());
+            assert!(
+                dart < rival,
+                "DartMinHash ({dart:.0} ns) must beat {} ({rival:.0} ns) at D=128",
+                cws.name()
+            );
+        }
+    }
+
+    #[test]
     fn unknown_files_are_rejected() {
         assert!(schema_for("mystery_output.json").is_none());
     }
@@ -289,6 +321,29 @@ mod tests {
         );
         let value = Json::parse(&wmh_json::to_string(&report)).expect("renders valid JSON");
         perf_report().validate(&value).expect("schema matches the writer");
+    }
+
+    #[test]
+    fn perf_report_schema_accepts_the_head_to_head_block() {
+        // The beyond-the-paper D=128 rows (DartMinHash/BagMinHash) are new
+        // workload ids riding the same generic schema; pin that they
+        // validate so a registry tightening can't orphan them.
+        let results = ["fig9/Syn3E0.2S/DartMinHash/D128", "fig9/Syn3E0.2S/BagMinHash/D128"]
+            .into_iter()
+            .map(|id| crate::harness::BenchResult {
+                id: id.into(),
+                group: "fig9".into(),
+                iters: 4,
+                samples: 30,
+                kept: 30,
+                median_ns: 987.0,
+                mad_ns: 5.0,
+                min_ns: 950.0,
+            })
+            .collect();
+        let report = crate::report::Report::new("fig9_hot", "quick", results);
+        let value = Json::parse(&wmh_json::to_string(&report)).expect("renders valid JSON");
+        perf_report().validate(&value).expect("schema matches the head-to-head rows");
     }
 
     #[test]

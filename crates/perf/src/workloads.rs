@@ -158,6 +158,52 @@ fn fig9_filtered(
             out.push(result);
         }
     }
+    out.extend(head_to_head_filtered(profile, opts, keep));
+    out
+}
+
+/// Sketch length for the beyond-the-paper head-to-head block: the Table-4
+/// shape at `D = 128`, where the dart samplers' `O(n + D log D)` cost
+/// should overtake the CWS family's `O(n·D)` (results/REPORT.md quotes
+/// this block; the acceptance bar is DartMinHash beating every CWS-family
+/// sketcher here).
+pub const HEAD_TO_HEAD_D: usize = 128;
+
+fn head_to_head_filtered(
+    profile: Profile,
+    opts: &BenchOptions,
+    keep: &dyn Fn(&str) -> bool,
+) -> Vec<BenchResult> {
+    let d = HEAD_TO_HEAD_D;
+    let mut out = Vec::new();
+    let Some(cfg) = profile.dataset_configs().into_iter().next() else {
+        return out;
+    };
+    let ids: Vec<String> =
+        Algorithm::ALL.iter().map(|a| format!("fig9/{}/{}/D{d}", cfg.name(), a.name())).collect();
+    if !ids.iter().any(|id| keep(id)) {
+        return out;
+    }
+    let docs = generate_docs(&cfg);
+    let config = build_config(profile, &docs);
+    for (algorithm, id) in Algorithm::ALL.iter().zip(ids) {
+        if !keep(&id) {
+            continue;
+        }
+        let sketcher = algorithm
+            .build(BENCH_SEED, d, &config)
+            .expect("every catalog algorithm builds under the benchmark config");
+        let mut scratch = SketchScratch::new();
+        let mut batch = CodeBatch::new();
+        let result = bench(&id, "fig9", opts, || {
+            sketcher
+                .sketch_batch_into(black_box(&docs), &mut batch, &mut scratch)
+                .expect("benchmark documents sketch cleanly");
+            black_box(batch.as_flat());
+        });
+        progress(&result);
+        out.push(result);
+    }
     out
 }
 
@@ -281,7 +327,9 @@ mod tests {
     fn quick_profile_covers_all_algorithms_with_unique_ids() {
         let opts = smoke_opts();
         let results = fig9_workloads(Profile::Quick, &opts);
-        assert_eq!(results.len(), 2 * Algorithm::ALL.len());
+        // Two dataset shapes at the profile D, plus the D=128 head-to-head
+        // block on the first shape.
+        assert_eq!(results.len(), 3 * Algorithm::ALL.len());
         let ids: std::collections::HashSet<&str> = results.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids.len(), results.len(), "workload ids must be unique");
         for algorithm in Algorithm::ALL {
@@ -291,6 +339,8 @@ mod tests {
                 algorithm.name()
             );
         }
+        let d128: Vec<&str> = ids.iter().copied().filter(|id| id.ends_with("/D128")).collect();
+        assert_eq!(d128.len(), Algorithm::ALL.len(), "head-to-head block must cover the catalog");
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
         upper_bounds: Some(UpperBounds::from_sets(ds.docs.iter()).expect("non-empty")),
         max_rejection_draws: 2_000_000,
         ccws_weight_scale: 10.0,
+        ..AlgorithmConfig::default()
     };
     let d = 256;
 

@@ -44,13 +44,25 @@ run cargo test "${RELEASE[@]}" --workspace -q
 run env WMH_CHECK_CASES="${WMH_CHECK_CASES:-$CHECK_CASES_DEFAULT}" \
   cargo test "${RELEASE[@]}" -p wmh-core --test conformance -q
 
+# Catalog-count pin: the CLI must list exactly the 15 registered algorithms
+# (the paper's 13 + DartMinHash/BagMinHash). A silently unregistered
+# sketcher would shrink every ALL-driven suite without failing any test —
+# this step (and conformance's catalog_pins_fifteen_algorithms) makes that
+# loud.
+echo "==> catalog count pin (expect 15 algorithms)"
+ALGO_COUNT="$(cargo run "${RELEASE[@]}" -q -- algorithms | wc -l)"
+if [[ "$ALGO_COUNT" != "15" ]]; then
+  echo "catalog lists $ALGO_COUNT algorithms, expected 15" >&2
+  exit 1
+fi
+
 # Static no-panic gate: non-test code in the sketching core must not
 # unwrap/expect/panic outside the checked-in allowlist
 # (scripts/panic_allowlist.txt).
 run scripts/panic_gate.sh
 
 # Adversarial chaos suite: hostile weights and index layouts against all
-# 13 algorithms — no panic, no hang, typed errors or full-length
+# 15 algorithms — no panic, no hang, typed errors or full-length
 # deterministic sketches only. WMH_CHAOS_CASES scales it.
 run env WMH_CHAOS_CASES="${WMH_CHAOS_CASES:-$CHAOS_CASES_DEFAULT}" \
   cargo test "${RELEASE[@]}" -p wmh-core --test chaos -q

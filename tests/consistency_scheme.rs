@@ -11,6 +11,7 @@ fn ic_config() -> AlgorithmConfig {
         upper_bounds: None,
         max_rejection_draws: 1_000_000,
         ccws_weight_scale: 10.0,
+        ..AlgorithmConfig::default()
     }
 }
 

@@ -32,6 +32,7 @@ fn exact_estimators_correlate_across_pairs() {
         upper_bounds: Some(UpperBounds::from_sets(all_sets.iter().copied()).expect("non-empty")),
         max_rejection_draws: 5_000_000,
         ccws_weight_scale: 10.0,
+        ..AlgorithmConfig::default()
     };
     let d = 512;
     let mut estimates: Vec<(String, Vec<f64>)> = Vec::new();
@@ -75,6 +76,7 @@ fn exact_estimators_have_matching_error_scales() {
         upper_bounds: Some(UpperBounds::from_sets(ds.docs.iter()).expect("non-empty")),
         max_rejection_draws: 5_000_000,
         ccws_weight_scale: 10.0,
+        ..AlgorithmConfig::default()
     };
     let d = 256;
     let mut rmses = Vec::new();

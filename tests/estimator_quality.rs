@@ -13,6 +13,7 @@ fn config_for(sets: &[&wmh::sets::WeightedSet]) -> AlgorithmConfig {
         upper_bounds: Some(UpperBounds::from_sets(sets.iter().copied()).expect("non-empty")),
         max_rejection_draws: 5_000_000,
         ccws_weight_scale: 10.0,
+        ..AlgorithmConfig::default()
     }
 }
 

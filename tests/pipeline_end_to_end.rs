@@ -66,7 +66,7 @@ fn figure8_machinery_full_grid() {
     let mut scale = Scale::tiny();
     scale.datasets.truncate(1);
     let cells = runner::run_mse(&scale, &Algorithm::ALL).expect("runner");
-    assert_eq!(cells.len(), 13 * scale.d_values.len());
+    assert_eq!(cells.len(), 15 * scale.d_values.len());
     let rendered = figures::render_mse(&scale, &cells);
     for a in Algorithm::ALL {
         assert!(rendered.contains(a.name()), "missing {} in rendering", a.name());
