@@ -38,6 +38,14 @@ pub enum IndexError {
     Bands(BandsError),
     /// Underlying sketching failure.
     Sketch(SketchError),
+    /// An insert offered an id the index already holds. Ids are the
+    /// mutation handle (`remove_sketch` / `update_sketch` address points by
+    /// id), so a second point under the same id would make every later
+    /// mutation ambiguous; callers wanting replace semantics use
+    /// [`LshIndex::update_sketch`].
+    DuplicateId(u64),
+    /// A remove/update named an id the index does not hold.
+    UnknownId(u64),
 }
 
 impl std::fmt::Display for IndexError {
@@ -53,6 +61,8 @@ impl std::fmt::Display for IndexError {
             ),
             Self::Bands(e) => write!(f, "banding failed: {e}"),
             Self::Sketch(e) => write!(f, "sketching failed: {e}"),
+            Self::DuplicateId(id) => write!(f, "id {id} is already indexed"),
+            Self::UnknownId(id) => write!(f, "id {id} is not indexed"),
         }
     }
 }
@@ -89,6 +99,7 @@ pub struct LshIndex<S: Sketcher> {
     buckets: Vec<HashMap<u64, Vec<usize>>>,
     sketches: Vec<Sketch>,
     ids: Vec<u64>,
+    slot_of: HashMap<u64, usize>,
 }
 
 impl<S: Sketcher> LshIndex<S> {
@@ -110,6 +121,7 @@ impl<S: Sketcher> LshIndex<S> {
             bands,
             sketches: Vec::new(),
             ids: Vec::new(),
+            slot_of: HashMap::new(),
         })
     }
 
@@ -149,10 +161,17 @@ impl<S: Sketcher> LshIndex<S> {
         Ok(())
     }
 
+    /// Whether `id` is indexed.
+    #[must_use]
+    pub fn contains_id(&self, id: u64) -> bool {
+        self.slot_of.contains_key(&id)
+    }
+
     /// Insert a point under a caller-chosen id.
     ///
     /// # Errors
-    /// Propagates sketching errors (e.g. empty sets).
+    /// Propagates sketching errors (e.g. empty sets);
+    /// [`IndexError::DuplicateId`] if `id` is already indexed.
     pub fn insert(&mut self, id: u64, point: &WeightedSet) -> Result<(), IndexError> {
         let sketch = self.sketcher.sketch(point)?;
         self.insert_banded(id, sketch)
@@ -165,18 +184,99 @@ impl<S: Sketcher> LshIndex<S> {
     /// [`IndexError::SketchMismatch`] when the sketch's algorithm, seed, or
     /// dimension `D` differs from the index's configured sketcher — the
     /// mismatched sketch is rejected, never truncated.
+    /// [`IndexError::DuplicateId`] if `id` is already indexed.
     pub fn insert_sketch(&mut self, id: u64, sketch: Sketch) -> Result<(), IndexError> {
         self.check_provenance(&sketch)?;
         self.insert_banded(id, sketch)
     }
 
     fn insert_banded(&mut self, id: u64, sketch: Sketch) -> Result<(), IndexError> {
+        if self.slot_of.contains_key(&id) {
+            return Err(IndexError::DuplicateId(id));
+        }
         let slot = self.sketches.len();
         for (b, key) in self.bands.band_keys(&sketch.codes)?.into_iter().enumerate() {
             self.buckets[b].entry(key).or_default().push(slot);
         }
         self.sketches.push(sketch);
         self.ids.push(id);
+        self.slot_of.insert(id, slot);
+        Ok(())
+    }
+
+    /// Drop `slot`'s entries from every band bucket of `sketch`, pruning
+    /// buckets that become empty so deleted keys do not accumulate.
+    fn unlink_slot(&mut self, slot: usize, codes: &[u64]) -> Result<(), IndexError> {
+        for (b, key) in self.bands.band_keys(codes)?.into_iter().enumerate() {
+            if let Some(slots) = self.buckets[b].get_mut(&key) {
+                slots.retain(|&s| s != slot);
+                if slots.is_empty() {
+                    self.buckets[b].remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove the point indexed under `id`, returning its sketch.
+    ///
+    /// Internally the point's slot is back-filled by `swap_remove`; bucket
+    /// membership is re-pointed, so query results are unaffected by the
+    /// physical reshuffle (candidate ids are sorted before they leave the
+    /// index, and scoring is per-candidate).
+    ///
+    /// # Errors
+    /// [`IndexError::UnknownId`] if `id` is not indexed.
+    pub fn remove_sketch(&mut self, id: u64) -> Result<Sketch, IndexError> {
+        let Some(&slot) = self.slot_of.get(&id) else {
+            return Err(IndexError::UnknownId(id));
+        };
+        let codes = self.sketches[slot].codes.clone();
+        self.unlink_slot(slot, &codes)?;
+        let last = self.sketches.len() - 1;
+        if slot != last {
+            // Re-point the back-filled point's bucket entries at its new slot.
+            let moved_codes = self.sketches[last].codes.clone();
+            for (b, key) in self.bands.band_keys(&moved_codes)?.into_iter().enumerate() {
+                if let Some(slots) = self.buckets[b].get_mut(&key) {
+                    for s in slots.iter_mut() {
+                        if *s == last {
+                            *s = slot;
+                        }
+                    }
+                }
+            }
+        }
+        let sketch = self.sketches.swap_remove(slot);
+        self.ids.swap_remove(slot);
+        self.slot_of.remove(&id);
+        if slot != last {
+            self.slot_of.insert(self.ids[slot], slot);
+        }
+        Ok(sketch)
+    }
+
+    /// Replace the sketch indexed under `id` in place (slot and id are
+    /// preserved; only the band-bucket membership moves).
+    ///
+    /// The replacement is validated *before* anything is unlinked, so a
+    /// rejected update leaves the index untouched.
+    ///
+    /// # Errors
+    /// [`IndexError::SketchMismatch`] on provenance mismatch (wrong
+    /// algorithm, seed, or dimension `D`); [`IndexError::UnknownId`] if `id`
+    /// is not indexed.
+    pub fn update_sketch(&mut self, id: u64, sketch: Sketch) -> Result<(), IndexError> {
+        self.check_provenance(&sketch)?;
+        let Some(&slot) = self.slot_of.get(&id) else {
+            return Err(IndexError::UnknownId(id));
+        };
+        let old_codes = self.sketches[slot].codes.clone();
+        self.unlink_slot(slot, &old_codes)?;
+        for (b, key) in self.bands.band_keys(&sketch.codes)?.into_iter().enumerate() {
+            self.buckets[b].entry(key).or_default().push(slot);
+        }
+        self.sketches[slot] = sketch;
         Ok(())
     }
 
@@ -391,6 +491,107 @@ mod tests {
         // Query-side provenance is checked the same way.
         let q = Icws::new(3, 64).sketch(&doc).unwrap();
         assert!(matches!(idx.candidates_for_sketch(&q), Err(IndexError::SketchMismatch { .. })));
+    }
+
+    #[test]
+    fn duplicate_id_is_rejected() {
+        let mut idx = LshIndex::new(Icws::new(2, 64), Bands::new(16, 4).unwrap()).unwrap();
+        let doc = ws(&[(1, 1.0), (2, 2.0)]);
+        idx.insert(7, &doc).unwrap();
+        assert_eq!(idx.insert(7, &doc).unwrap_err(), IndexError::DuplicateId(7));
+        assert_eq!(idx.len(), 1, "rejected duplicate must not be ingested");
+    }
+
+    #[test]
+    fn delete_then_query_forgets_the_point() {
+        // Regression for the delete path: a removed id must vanish from
+        // candidates AND top-k, and every surviving id must still be
+        // retrievable despite the swap_remove backfill.
+        let mut idx = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let docs = corpus();
+        for (id, d) in &docs {
+            idx.insert(*id, d).unwrap();
+        }
+        // Remove half the corpus, front-loaded so backfill moves live slots.
+        let (gone, kept): (Vec<_>, Vec<_>) = docs.iter().partition(|(id, _)| id % 2 == 0);
+        for (id, _) in &gone {
+            idx.remove_sketch(*id).unwrap();
+            assert!(!idx.contains_id(*id));
+        }
+        assert_eq!(idx.len(), kept.len());
+        for (id, d) in &gone {
+            let cands = idx.candidates(d).unwrap();
+            assert!(!cands.contains(id), "removed id {id} still a candidate");
+        }
+        for (id, d) in &kept {
+            let top = idx.query_top_k(d, 4).unwrap();
+            assert_eq!(top[0].0, *id, "surviving id {id} must stay its own best match");
+            assert!(top.iter().all(|(tid, _)| !gone.iter().any(|(g, _)| g == tid)));
+        }
+        // Removing again is a typed error, not a panic or a silent no-op.
+        assert_eq!(idx.remove_sketch(gone[0].0).unwrap_err(), IndexError::UnknownId(gone[0].0));
+    }
+
+    #[test]
+    fn remove_matches_never_inserted() {
+        // Delete-everything-then-reinsert must behave exactly like a fresh
+        // index: no ghost buckets, no stale slots.
+        let docs = corpus();
+        let mut churned = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        for (id, d) in &docs {
+            churned.insert(*id, d).unwrap();
+        }
+        for (id, _) in &docs {
+            churned.remove_sketch(*id).unwrap();
+        }
+        assert!(churned.is_empty());
+        for (id, d) in &docs {
+            churned.insert(*id, d).unwrap();
+        }
+        let mut fresh = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        for (id, d) in &docs {
+            fresh.insert(*id, d).unwrap();
+        }
+        for (_, d) in &docs {
+            assert_eq!(churned.candidates(d).unwrap(), fresh.candidates(d).unwrap());
+            assert_eq!(churned.query_top_k(d, 4).unwrap(), fresh.query_top_k(d, 4).unwrap());
+        }
+    }
+
+    #[test]
+    fn update_moves_the_point() {
+        let sketcher = Icws::new(2, 128);
+        let mut idx = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let docs = corpus();
+        for (id, d) in &docs {
+            idx.insert(*id, d).unwrap();
+        }
+        // Drift doc 0 onto cluster 4's content: it must start matching its
+        // new neighbourhood and stop matching its old one.
+        let target = &docs.iter().find(|(id, _)| *id == 40).unwrap().1;
+        idx.update_sketch(0, sketcher.sketch(target).unwrap()).unwrap();
+        let top = idx.query_top_k(target, 2).unwrap();
+        let top_ids: Vec<u64> = top.iter().map(|(id, _)| *id).collect();
+        assert!(top_ids.contains(&0), "updated point must match its new content: {top_ids:?}");
+        let old = idx.query_top_k(&docs[0].1, 4).unwrap();
+        assert!(old.iter().all(|&(id, est)| id != 0 || est < 1.0));
+        assert_eq!(idx.len(), docs.len(), "update must not change the point count");
+    }
+
+    #[test]
+    fn update_rejects_dimension_mismatch_untouched() {
+        // Regression: a dimension-mismatched update must be rejected BEFORE
+        // the old sketch is unlinked, leaving the point queryable.
+        let mut idx = LshIndex::new(Icws::new(2, 128), Bands::new(32, 4).unwrap()).unwrap();
+        let doc = ws(&[(1, 1.0), (2, 2.0), (3, 0.5)]);
+        idx.insert(9, &doc).unwrap();
+        let short = Icws::new(2, 32).sketch(&doc).unwrap();
+        let err = idx.update_sketch(9, short).unwrap_err();
+        assert!(matches!(err, IndexError::SketchMismatch { .. }));
+        assert_eq!(idx.query_top_k(&doc, 1).unwrap()[0], (9, 1.0), "point must survive");
+        // Unknown-id update is typed too.
+        let fine = Icws::new(2, 128).sketch(&doc).unwrap();
+        assert_eq!(idx.update_sketch(8, fine).unwrap_err(), IndexError::UnknownId(8));
     }
 
     #[test]

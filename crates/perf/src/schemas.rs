@@ -177,6 +177,8 @@ pub fn serve_load() -> Schema {
         ("deadline_exceeded", Schema::UInt),
         ("overloaded", Schema::UInt),
         ("bad_request", Schema::UInt),
+        ("read_only", Schema::UInt),
+        ("writes", Schema::UInt),
         ("shed_slices", Schema::UInt),
         ("min_coverage", Schema::Number),
     ])
@@ -367,6 +369,8 @@ mod tests {
             deadline_exceeded: 3,
             overloaded: 1,
             bad_request: 0,
+            read_only: 0,
+            writes: 250,
             shed_slices: 2,
             min_coverage: 0.75,
         };

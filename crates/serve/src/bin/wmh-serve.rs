@@ -4,20 +4,30 @@
 //! wmh-serve smoke [--quick]
 //! wmh-serve load  --out results/BENCH_serve_load.json [--requests N] [--concurrency C]
 //!                 [--docs N] [--shards S] [--k K] [--deadline-us U] [--seed X]
+//!                 [--write-every W]
+//! wmh-serve mutation-soak [--quick]
 //! wmh-serve check-report <path>
-//! wmh-serve serve --store sketches.bin [--addr 127.0.0.1:7878]
+//! wmh-serve serve --store sketches.bin [--addr 127.0.0.1:7878] [--wal FILE]
 //! ```
 //!
 //! * `smoke` — CI's end-to-end gate: a loopback server answering typed
 //!   outcomes for a healthy query, a forced deadline miss, a forced
-//!   overload, and a bad request.
+//!   overload, a bad request, and a mutation against a read-only service.
 //! * `load` — the closed-loop load generator over a Table-4 medium corpus
 //!   (`Syn3E0.24S`, scaled preserving pairwise overlap); writes the
-//!   `wmh-serve-load/v1` report the perf gate checks.
+//!   `wmh-serve-load/v1` report the perf gate checks. `--write-every W`
+//!   mixes a mutation (insert → stream → delete cycle) into every Wth
+//!   request, served over a temporary write-ahead log.
+//! * `mutation-soak` — CI's live-mutation gate: drives the whole mutation
+//!   surface over the wire against a WAL-backed loopback server, then
+//!   proves kill-resume recovery and a live re-shard byte-identical to
+//!   from-scratch builds.
 //! * `check-report` — validate a report file's schema and arithmetic
 //!   invariants (outcome counts must sum to requests issued).
-//! * `serve` — run a real server over a saved sketch store.
+//! * `serve` — run a real server over a saved sketch store; `--wal FILE`
+//!   opens it writable with a crash-safe write-ahead log.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -39,7 +49,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  wmh-serve smoke [--quick]\n  wmh-serve load --out FILE [--requests N] [--concurrency C] [--docs N]\n                 [--shards S] [--k K] [--deadline-us U] [--seed X]\n  wmh-serve check-report FILE\n  wmh-serve serve --store FILE [--addr 127.0.0.1:7878]"
+    "usage:\n  wmh-serve smoke [--quick]\n  wmh-serve load --out FILE [--requests N] [--concurrency C] [--docs N]\n                 [--shards S] [--k K] [--deadline-us U] [--seed X] [--write-every W]\n  wmh-serve mutation-soak [--quick]\n  wmh-serve check-report FILE\n  wmh-serve serve --store FILE [--addr 127.0.0.1:7878] [--wal FILE]"
         .to_owned()
 }
 
@@ -69,8 +79,10 @@ fn run() -> Result<(), String> {
                 num("--k", 10)? as usize,
                 num("--deadline-us", 20_000)?,
                 num("--seed", 42)?,
+                num("--write-every", 0)? as usize,
             )
         }
+        "mutation-soak" => mutation_soak(args.iter().any(|a| a == "--quick")),
         "check-report" => {
             let path = args.get(1).ok_or_else(|| format!("missing FILE\n{}", usage()))?;
             check_report(path)
@@ -78,7 +90,7 @@ fn run() -> Result<(), String> {
         "serve" => {
             let store = flag("--store").ok_or_else(|| format!("missing --store\n{}", usage()))?;
             let addr = flag("--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
-            serve(&store, &addr)
+            serve(&store, &addr, flag("--wal"))
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -184,11 +196,31 @@ fn smoke(quick: bool) -> Result<(), String> {
         format!("{over:?}"),
     )?;
 
+    // A store-built service has no write path: mutations answer
+    // `read_only`, typed like everything else.
+    let ro = client
+        .insert(999_999, pairs_of(&docs[0]), Some(2_000_000))
+        .map_err(|e| format!("insert: {e}"))?;
+    expect(
+        "read-only mutation",
+        ro.outcome == Outcome::ReadOnly && !ro.durable && ro.error.is_some(),
+        format!("{ro:?}"),
+    )?;
+
     println!("smoke: all outcomes typed — pass");
     Ok(())
 }
 
-/// Run the closed-loop load generator and write the report.
+/// A scratch directory for WAL-backed runs, removed on a clean exit.
+fn scratch_dir(label: &str) -> Result<PathBuf, String> {
+    let dir = std::env::temp_dir().join(format!("wmh-serve-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+/// Run the closed-loop load generator and write the report. With a write
+/// mix, the service runs over a scratch write-ahead log so mutations take
+/// the real durable path.
 #[allow(clippy::too_many_arguments)]
 fn load(
     out: &str,
@@ -199,22 +231,34 @@ fn load(
     k: usize,
     deadline_us: u64,
     seed: u64,
+    write_every: usize,
 ) -> Result<(), String> {
     let (name, docs) = corpus(docs_n, seed)?;
     let store = build_store(&docs, seed)?;
     let config = ServiceConfig { shards, seed, ..ServiceConfig::default() };
-    let service = Service::from_store(&store, config).map_err(|e| format!("build: {e}"))?;
+    let scratch = if write_every > 0 { Some(scratch_dir("load")?) } else { None };
+    let service = match &scratch {
+        Some(dir) => Service::open(&store, &dir.join("load.wal"), config),
+        None => Service::from_store(&store, config),
+    }
+    .map_err(|e| format!("build: {e}"))?;
     let query_docs: Vec<Vec<(u64, f64)>> = docs.iter().map(pairs_of).collect();
-    let load_config = LoadConfig { requests, concurrency, k, deadline_us };
+    let load_config = LoadConfig { requests, concurrency, k, deadline_us, write_every };
     let report = loadgen::run(&service, &name, &query_docs, &load_config);
+    drop(service);
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     report.validate()?;
     let mut text = wmh_json::to_string_pretty(&report);
     text.push('\n');
     std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "load: {} requests over {name} ({} docs, {} shards): {:.0} req/s, \
-         p50 {}us p99 {}us, ok {} partial {} deadline {} overloaded {} — wrote {out}",
+        "load: {} requests ({} writes) over {name} ({} docs, {} shards): {:.0} req/s, \
+         p50 {}us p99 {}us, ok {} partial {} deadline {} overloaded {} bad {} read-only {} \
+         — wrote {out}",
         report.requests,
+        report.writes,
         report.docs,
         report.shards,
         report.throughput_rps,
@@ -224,7 +268,114 @@ fn load(
         report.partial,
         report.deadline_exceeded,
         report.overloaded,
+        report.bad_request,
+        report.read_only,
     );
+    Ok(())
+}
+
+/// Drive the whole mutation surface over the wire, then prove the two
+/// recovery claims end to end: a reopened service (kill-resume over the
+/// same WAL) answers byte-identically, and a live re-shard converges
+/// byte-identically to a from-scratch build at the new shard count.
+fn mutation_soak(quick: bool) -> Result<(), String> {
+    let docs_n = if quick { 48 } else { 160 };
+    let writes = if quick { 30 } else { 120 };
+    let shards = if quick { 2 } else { 4 };
+    let (name, docs) = corpus(docs_n, 42)?;
+    let store = build_store(&docs, 42)?;
+    let dir = scratch_dir("soak")?;
+    let wal = dir.join("soak.wal");
+    let config =
+        ServiceConfig { shards, default_deadline_us: 2_000_000, ..ServiceConfig::default() };
+    let deadline = Some(2_000_000u64);
+
+    let service =
+        Arc::new(Service::open(&store, &wal, config.clone()).map_err(|e| format!("open: {e}"))?);
+    let server =
+        Server::spawn(Arc::clone(&service), "127.0.0.1:0").map_err(|e| format!("spawn: {e}"))?;
+    let mut client = Client::connect(server.addr()).map_err(|e| format!("connect: {e}"))?;
+    println!("mutation-soak: {docs_n} docs of {name}, {writes} writes, {shards} shards");
+
+    // Mixed mutation script over the wire: inserts of fresh ids, streaming
+    // updates (creating and drifting), deletes of corpus and fresh ids.
+    let base = 1_000_000u64;
+    for i in 0..writes {
+        let doc = pairs_of(&docs[i % docs.len()]);
+        // Slot cycle: insert → stream → delete-the-insert-two-back →
+        // stream again, so every delete targets an id slot 0 inserted.
+        let response = match i % 4 {
+            0 => client.insert(base + i as u64, doc, deadline),
+            1 => client.stream(base + 500_000 + (i / 8) as u64, 0.5, doc, deadline),
+            2 => client.delete(base + (i - 2) as u64, deadline),
+            _ => client.stream(base + 500_000 + (i / 8) as u64, 0.9, doc, deadline),
+        }
+        .map_err(|e| format!("write {i}: {e}"))?;
+        if response.outcome != Outcome::Ok || !response.durable || !response.applied {
+            return Err(format!("mutation-soak: write {i} degraded: {response:?}"));
+        }
+    }
+    let probe = |client: &mut Client, label: &str| -> Result<Vec<String>, String> {
+        docs.iter()
+            .enumerate()
+            .map(|(i, doc)| {
+                client
+                    .query(&QueryRequest {
+                        id: i as u64,
+                        doc: pairs_of(doc),
+                        k: 10,
+                        deadline_us: deadline,
+                    })
+                    .map(|r| wmh_json::to_string(&r))
+                    .map_err(|e| format!("{label} probe {i}: {e}"))
+            })
+            .collect()
+    };
+    let live = probe(&mut client, "live")?;
+    let indexed = service.health().indexed;
+    drop(server);
+    drop(service);
+
+    // Kill-resume: a fresh process image over the same store + WAL must
+    // answer every probe byte-identically.
+    let reopened =
+        Arc::new(Service::open(&store, &wal, config.clone()).map_err(|e| format!("reopen: {e}"))?);
+    if reopened.health().indexed != indexed {
+        return Err(format!(
+            "mutation-soak: reopen indexed {} != live {indexed}",
+            reopened.health().indexed
+        ));
+    }
+    let server =
+        Server::spawn(Arc::clone(&reopened), "127.0.0.1:0").map_err(|e| format!("respawn: {e}"))?;
+    let mut client = Client::connect(server.addr()).map_err(|e| format!("reconnect: {e}"))?;
+    let recovered = probe(&mut client, "recovered")?;
+    if recovered != live {
+        return Err("mutation-soak: kill-resume replay is not byte-identical".into());
+    }
+    println!("mutation-soak: kill-resume replay byte-identical over {} probes", live.len());
+
+    // Live re-shard: the re-partitioned fleet must answer byte-identically
+    // to a from-scratch open at the new shard count.
+    let to = shards + 1;
+    let report = reopened.reshard_blocking(to).map_err(|e| format!("reshard: {e}"))?;
+    let resharded = probe(&mut client, "resharded")?;
+    let fresh_config = ServiceConfig { shards: to, ..config };
+    let fresh =
+        Arc::new(Service::open(&store, &wal, fresh_config).map_err(|e| format!("fresh: {e}"))?);
+    let fresh_server = Server::spawn(Arc::clone(&fresh), "127.0.0.1:0")
+        .map_err(|e| format!("fresh spawn: {e}"))?;
+    let mut fresh_client =
+        Client::connect(fresh_server.addr()).map_err(|e| format!("fresh connect: {e}"))?;
+    let from_scratch = probe(&mut fresh_client, "from-scratch")?;
+    if resharded != from_scratch {
+        return Err("mutation-soak: re-shard is not byte-identical to a from-scratch build".into());
+    }
+    println!(
+        "mutation-soak: re-shard {} -> {} ({} points) byte-identical to from-scratch — pass",
+        report.from, report.to, report.points
+    );
+    let _ = std::fs::remove_dir_all(dir);
     Ok(())
 }
 
@@ -238,16 +389,30 @@ fn check_report(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Serve a saved sketch store until killed.
-fn serve(store_path: &str, addr: &str) -> Result<(), String> {
+/// Serve a saved sketch store until killed; with `--wal`, writable over a
+/// crash-safe write-ahead log (replayed at startup).
+fn serve(store_path: &str, addr: &str, wal: Option<String>) -> Result<(), String> {
     let store = SketchStore::load_from_path(std::path::Path::new(store_path))
         .map_err(|e| format!("loading {store_path}: {e}"))?;
     let service = Arc::new(
-        Service::from_store(&store, ServiceConfig::default()).map_err(|e| format!("build: {e}"))?,
+        match &wal {
+            Some(path) => {
+                Service::open(&store, std::path::Path::new(path), ServiceConfig::default())
+            }
+            None => Service::from_store(&store, ServiceConfig::default()),
+        }
+        .map_err(|e| format!("build: {e}"))?,
     );
+    if let Some(report) = service.wal_recovery() {
+        println!(
+            "wal: replayed {} mutations ({} torn-tail bytes discarded)",
+            report.records, report.bytes_discarded
+        );
+    }
     let indexed = service.health().indexed;
+    let mode = if wal.is_some() { "read-write" } else { "read-only" };
     let server = Server::spawn(service, addr).map_err(|e| format!("spawn: {e}"))?;
-    println!("serving {indexed} sketches from {store_path} on {}", server.addr());
+    println!("serving {indexed} sketches ({mode}) from {store_path} on {}", server.addr());
     loop {
         std::thread::park();
     }

@@ -3,7 +3,10 @@
 
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{HealthResponse, QueryRequest, QueryResponse, Request, Response};
+use crate::protocol::{
+    HealthResponse, MutationKind, MutationRequest, MutationResponse, QueryRequest, QueryResponse,
+    Request, Response,
+};
 use crate::wire::{self, WireError};
 
 /// Errors a client call can surface.
@@ -52,7 +55,68 @@ impl Client {
     pub fn query(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
         match self.round_trip(&Request::Query(request.clone()))? {
             Response::Query(response) => Ok(response),
-            Response::Health(_) => Err(ClientError::Protocol("health reply to a query".into())),
+            Response::Health(_) | Response::Mutation(_) => {
+                Err(ClientError::Protocol("non-query reply to a query".into()))
+            }
+        }
+    }
+
+    /// Insert a new document under `id`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport or decode failure. Rejections
+    /// (duplicate id, bad document, read-only service, …) are not errors —
+    /// they arrive as the response's typed outcome.
+    pub fn insert(
+        &mut self,
+        id: u64,
+        doc: Vec<(u64, f64)>,
+        deadline_us: Option<u64>,
+    ) -> Result<MutationResponse, ClientError> {
+        self.mutate(&MutationRequest { id, kind: MutationKind::Insert { doc }, deadline_us })
+    }
+
+    /// Delete the document under `id`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport or decode failure.
+    pub fn delete(
+        &mut self,
+        id: u64,
+        deadline_us: Option<u64>,
+    ) -> Result<MutationResponse, ClientError> {
+        self.mutate(&MutationRequest { id, kind: MutationKind::Delete, deadline_us })
+    }
+
+    /// Feed `items` into the streaming document under `id` (creating it if
+    /// absent), decaying the existing histogram by `lambda` first.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport or decode failure.
+    pub fn stream(
+        &mut self,
+        id: u64,
+        lambda: f64,
+        items: Vec<(u64, f64)>,
+        deadline_us: Option<u64>,
+    ) -> Result<MutationResponse, ClientError> {
+        self.mutate(&MutationRequest {
+            id,
+            kind: MutationKind::Stream { lambda, items },
+            deadline_us,
+        })
+    }
+
+    /// Issue an arbitrary mutation.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport or decode failure.
+    pub fn mutate(&mut self, request: &MutationRequest) -> Result<MutationResponse, ClientError> {
+        match self.round_trip(&Request::Mutate(request.clone()))? {
+            Response::Mutation(response) => Ok(response),
+            Response::Query(_) | Response::Health(_) => {
+                Err(ClientError::Protocol("non-mutation reply to a mutation".into()))
+            }
         }
     }
 
@@ -63,8 +127,8 @@ impl Client {
     pub fn health(&mut self) -> Result<HealthResponse, ClientError> {
         match self.round_trip(&Request::Health)? {
             Response::Health(response) => Ok(response),
-            Response::Query(_) => {
-                Err(ClientError::Protocol("query reply to a health probe".into()))
+            Response::Query(_) | Response::Mutation(_) => {
+                Err(ClientError::Protocol("non-health reply to a health probe".into()))
             }
         }
     }

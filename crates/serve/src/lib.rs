@@ -27,14 +27,26 @@
 //!   quarantined; the service keeps answering from the healthy shards and
 //!   half-open-probes the quarantined one until it recovers. Health and
 //!   readiness are observable over the wire.
+//! * **Crash-safe live mutation.** Services opened over a write-ahead log
+//!   ([`Service::open`](service::Service::open)) accept typed `insert` /
+//!   `delete` / `stream` ops: every mutation commits to the CRC-32C-framed
+//!   [`wal`] *before* touching any index, so a SIGKILL at any point replays
+//!   byte-identical to the acknowledged state. Streaming updates drive
+//!   per-id HistoSketch gradual forgetting; id-skew triggers a background
+//!   re-shard that serves degraded-but-correct behind quarantine and
+//!   converges byte-identical to a from-scratch partition; a write path
+//!   that cannot log degrades to a typed `read_only`, never a lie.
 //!
 //! Failure paths are exercised, not hoped for: `wmh_fault::point!` sites
 //! thread through ingest (`serve::ingest`), shard queries
 //! (`serve::shard_query`, tagged by shard id), admission
-//! (`serve::admission`), and merge (`serve::merge`), and the crate's chaos
-//! soak drives the closed-loop [`loadgen`] under injected faults asserting
-//! that outcome counts always sum to requests issued and that responses
-//! return byte-identical to fault-free once quarantined shards recover.
+//! (`serve::admission`), merge (`serve::merge`), and the whole mutation
+//! commit path (`serve::wal_append`, `serve::wal_fsync`, `serve::apply`,
+//! `serve::reshard`); the crate's chaos soaks drive the closed-loop
+//! [`loadgen`] and the kill-resume/mutation scripts under injected faults,
+//! asserting that outcome counts always sum to requests issued and that
+//! recovery — quarantine repair, WAL replay, shard self-heal, re-shard —
+//! is byte-identical to never having failed.
 
 pub mod client;
 pub mod deadline;
@@ -44,13 +56,18 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 mod shard;
+pub mod wal;
 pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use deadline::Deadline;
 pub use fingerprint::{BbitFingerprint, FingerprintError};
 pub use loadgen::{LoadConfig, LoadReport, LOAD_SCHEMA_VERSION};
-pub use protocol::{HealthResponse, Outcome, QueryRequest, QueryResponse, Request, Response};
+pub use protocol::{
+    HealthResponse, MutationKind, MutationRequest, MutationResponse, Outcome, QueryRequest,
+    QueryResponse, Request, Response,
+};
 pub use server::{Server, ServerError};
-pub use service::{Service, ServiceConfig, ServiceError};
+pub use service::{ReshardReport, Service, ServiceConfig, ServiceError};
+pub use wal::{Mutation, ReplayReport, Wal, WalError, WalProvenance};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME};

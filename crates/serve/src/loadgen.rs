@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::protocol::{Outcome, QueryRequest};
+use crate::protocol::{MutationKind, MutationRequest, Outcome, QueryRequest};
 use crate::service::Service;
 
 /// Schema tag of [`LoadReport`] files (`results/BENCH_serve_load.json`).
@@ -31,13 +31,21 @@ pub struct LoadConfig {
     pub k: usize,
     /// Per-request budget in microseconds.
     pub deadline_us: u64,
+    /// Issue a mutation every Nth request (0 disables the write mix).
+    /// Writes cycle insert → stream → delete, so a long run exercises the
+    /// whole mutation surface, including deletes racing their own inserts
+    /// (accounted as typed `bad_request`, never lost).
+    pub write_every: usize,
 }
 
 impl Default for LoadConfig {
     fn default() -> Self {
-        Self { requests: 2000, concurrency: 4, k: 10, deadline_us: 20_000 }
+        Self { requests: 2000, concurrency: 4, k: 10, deadline_us: 20_000, write_every: 0 }
     }
 }
+
+/// Ids minted by the write mix start here, far above any corpus id.
+const WRITE_ID_BASE: u64 = 1_000_000;
 
 /// One load run's aggregate (schema [`LOAD_SCHEMA_VERSION`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +84,11 @@ pub struct LoadReport {
     pub overloaded: usize,
     /// Requests with outcome `bad_request`.
     pub bad_request: usize,
+    /// Requests with outcome `read_only` (mutations against a degraded or
+    /// WAL-less service).
+    pub read_only: usize,
+    /// Mutations issued (counted inside `requests`; the write mix).
+    pub writes: usize,
     /// Shard slices shed at full inboxes, summed over all requests.
     pub shed_slices: usize,
     /// Worst coverage among served (`ok`/`partial`) responses; 1.0 when
@@ -101,6 +114,8 @@ wmh_json::json_object!(LoadReport {
     deadline_exceeded,
     overloaded,
     bad_request,
+    read_only,
+    writes,
     shed_slices,
     min_coverage,
 });
@@ -115,13 +130,23 @@ impl LoadReport {
         if self.schema != LOAD_SCHEMA_VERSION {
             return Err(format!("schema {:?}, expected {LOAD_SCHEMA_VERSION:?}", self.schema));
         }
-        let accounted =
-            self.ok + self.partial + self.deadline_exceeded + self.overloaded + self.bad_request;
+        let accounted = self.ok
+            + self.partial
+            + self.deadline_exceeded
+            + self.overloaded
+            + self.bad_request
+            + self.read_only;
         if accounted != self.requests {
             return Err(format!(
                 "outcome counts sum to {accounted} but {} requests were issued — \
                  some request terminated without a typed outcome",
                 self.requests
+            ));
+        }
+        if self.writes > self.requests {
+            return Err(format!(
+                "{} writes exceed the {} requests issued",
+                self.writes, self.requests
             ));
         }
         if !(self.p50_us <= self.p99_us && self.p99_us <= self.max_us) {
@@ -152,6 +177,32 @@ struct Sample {
     outcome: Outcome,
     coverage: f64,
     shed: usize,
+    write: bool,
+}
+
+/// The write the mix issues at request index `i` (`i` is a multiple of
+/// `write_every`). Cycles insert → stream → delete on fresh ids above
+/// [`WRITE_ID_BASE`]; deletes target the insert from two write slots
+/// earlier, so under concurrency a delete can race its own insert — a
+/// typed `bad_request`, exercised on purpose.
+fn write_request(
+    i: usize,
+    write_every: usize,
+    doc: &[(u64, f64)],
+    deadline_us: u64,
+) -> MutationRequest {
+    let slot = i / write_every;
+    let kind = match slot % 3 {
+        0 => MutationKind::Insert { doc: doc.to_vec() },
+        1 => MutationKind::Stream { lambda: 0.5, items: doc.iter().take(8).copied().collect() },
+        _ => MutationKind::Delete,
+    };
+    let id = match kind {
+        // Deletes chase the insert from two slots back.
+        MutationKind::Delete => WRITE_ID_BASE + (i - 2 * write_every) as u64,
+        _ => WRITE_ID_BASE + i as u64,
+    };
+    MutationRequest { id, kind, deadline_us: Some(deadline_us) }
 }
 
 /// Drive `service` with the closed loop and aggregate the run.
@@ -177,29 +228,38 @@ pub fn run(
                     if i >= config.requests || docs.is_empty() {
                         break;
                     }
-                    let request = QueryRequest {
-                        id: i as u64,
-                        doc: docs[i % docs.len()].clone(),
-                        k: config.k,
-                        deadline_us: Some(config.deadline_us),
-                    };
+                    let doc = &docs[i % docs.len()];
+                    // Deletes never underflow: they fire only at write
+                    // slots >= 2, so `i - 2 * write_every` stays in range.
+                    let write = config.write_every > 0 && i.is_multiple_of(config.write_every);
                     let issued = Instant::now();
-                    let response = service.query(&request);
+                    let (outcome, coverage, shed, retry_after_us) = if write {
+                        let request = write_request(i, config.write_every, doc, config.deadline_us);
+                        let response = service.mutate(&request);
+                        (response.outcome, 1.0, 0, response.retry_after_us)
+                    } else {
+                        let request = QueryRequest {
+                            id: i as u64,
+                            doc: doc.clone(),
+                            k: config.k,
+                            deadline_us: Some(config.deadline_us),
+                        };
+                        let response = service.query(&request);
+                        (
+                            response.outcome,
+                            response.coverage,
+                            response.shed,
+                            response.retry_after_us,
+                        )
+                    };
                     let latency_us =
                         u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX);
-                    if response.outcome == Outcome::Overloaded && response.retry_after_us > 0 {
+                    if outcome == Outcome::Overloaded && retry_after_us > 0 {
                         // Honor the server's typed backpressure (capped so a
                         // long hint cannot stall the closed loop).
-                        std::thread::sleep(Duration::from_micros(
-                            response.retry_after_us.min(2000),
-                        ));
+                        std::thread::sleep(Duration::from_micros(retry_after_us.min(2000)));
                     }
-                    local.push(Sample {
-                        latency_us,
-                        outcome: response.outcome,
-                        coverage: response.coverage,
-                        shed: response.shed,
-                    });
+                    local.push(Sample { latency_us, outcome, coverage, shed, write });
                 }
                 samples.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
             });
@@ -242,6 +302,8 @@ pub fn run(
         deadline_exceeded: count(Outcome::DeadlineExceeded),
         overloaded: count(Outcome::Overloaded),
         bad_request: count(Outcome::BadRequest),
+        read_only: count(Outcome::ReadOnly),
+        writes: samples.iter().filter(|s| s.write).count(),
         shed_slices: samples.iter().map(|s| s.shed).sum(),
         min_coverage,
     }
@@ -270,6 +332,8 @@ mod tests {
             deadline_exceeded: 1,
             overloaded: 0,
             bad_request: 0,
+            read_only: 0,
+            writes: 10,
             shed_slices: 1,
             min_coverage: 0.75,
         }
@@ -289,6 +353,27 @@ mod tests {
         r.ok -= 1;
         let err = r.validate().expect_err("must fail");
         assert!(err.contains("typed outcome"), "{err}");
+    }
+
+    #[test]
+    fn overcounted_writes_fail_validation() {
+        let mut r = report();
+        r.writes = r.requests + 1;
+        let err = r.validate().expect_err("must fail");
+        assert!(err.contains("writes exceed"), "{err}");
+    }
+
+    #[test]
+    fn write_mix_cycles_and_deletes_chase_inserts() {
+        let doc = vec![(1u64, 1.0f64), (2, 2.0)];
+        let insert = write_request(0, 5, &doc, 1000);
+        assert!(matches!(insert.kind, MutationKind::Insert { .. }));
+        let stream = write_request(5, 5, &doc, 1000);
+        assert!(matches!(stream.kind, MutationKind::Stream { .. }));
+        let delete = write_request(10, 5, &doc, 1000);
+        assert!(matches!(delete.kind, MutationKind::Delete));
+        // The delete targets the insert from two write slots back.
+        assert_eq!(delete.id, insert.id);
     }
 
     #[test]

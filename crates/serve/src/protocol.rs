@@ -14,6 +14,22 @@
 //!   slice, shed inbox, quarantined shard, merge fault). `coverage` says
 //!   how much of the index the results actually consulted.
 //! * `ok` — every shard answered in budget.
+//!
+//! Mutations (`insert` / `delete` / `stream`) share the taxonomy, with two
+//! differences: they never return `partial` (a mutation touches exactly
+//! one shard), and they can return `read_only` — the service is not
+//! accepting writes (opened without a WAL, degraded after a WAL failure,
+//! or mid-re-shard; `retry_after_us` hints when to retry for the
+//! transient cases). Precedence for writes: `overloaded` (rejected at
+//! admission, nothing attempted) → `read_only` → `bad_request` →
+//! `deadline_exceeded` → `ok`. A write's `durable`/`applied` flags refine
+//! the verdict: `deadline_exceeded` with `durable: true` means the
+//! mutation **is** committed to the log and will be applied — only the
+//! confirmation ran out of time.
+//!
+//! The outcome spellings are wire contract, pinned by
+//! `outcome_spellings_are_stable` exactly like `wmh_core::ErrorKind`'s
+//! stability test — renaming a variant must not break deployed clients.
 
 use wmh_json::{FromJson, Json, JsonError, ToJson};
 
@@ -25,6 +41,8 @@ pub const DEFAULT_K: usize = 10;
 pub enum Request {
     /// Similarity query.
     Query(QueryRequest),
+    /// Live mutation (insert / delete / streaming update).
+    Mutate(MutationRequest),
     /// Health / readiness probe.
     Health,
 }
@@ -56,9 +74,22 @@ pub enum Outcome {
     Overloaded,
     /// The request was unusable.
     BadRequest,
+    /// The service is not accepting writes (no WAL, WAL degraded, or a
+    /// re-shard in progress). Mutation-only.
+    ReadOnly,
 }
 
 impl Outcome {
+    /// Every outcome, in precedence order (for exhaustive wire tests).
+    pub const ALL: [Self; 6] = [
+        Self::Ok,
+        Self::Partial,
+        Self::DeadlineExceeded,
+        Self::Overloaded,
+        Self::BadRequest,
+        Self::ReadOnly,
+    ];
+
     /// Wire spelling.
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -68,6 +99,7 @@ impl Outcome {
             Self::DeadlineExceeded => "deadline_exceeded",
             Self::Overloaded => "overloaded",
             Self::BadRequest => "bad_request",
+            Self::ReadOnly => "read_only",
         }
     }
 
@@ -80,6 +112,7 @@ impl Outcome {
             "deadline_exceeded" => Some(Self::DeadlineExceeded),
             "overloaded" => Some(Self::Overloaded),
             "bad_request" => Some(Self::BadRequest),
+            "read_only" => Some(Self::ReadOnly),
             _ => None,
         }
     }
@@ -152,6 +185,99 @@ impl QueryResponse {
     }
 }
 
+/// A live mutation: the `id` is the *point* id being written (it doubles
+/// as the correlation id, echoed back verbatim).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationRequest {
+    /// The point id the mutation addresses.
+    pub id: u64,
+    /// What to do to it.
+    pub kind: MutationKind,
+    /// Wall-clock budget in microseconds; absent means the server default.
+    /// Bounds the wait for the ack, never whether a committed mutation is
+    /// applied.
+    pub deadline_us: Option<u64>,
+}
+
+/// The three write shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationKind {
+    /// Index a new document: `{"op":"insert","id":7,"doc":[[k,w],…]}`.
+    Insert {
+        /// The weighted document as `(index, weight)` pairs.
+        doc: Vec<(u64, f64)>,
+    },
+    /// Forget a point: `{"op":"delete","id":7}`.
+    Delete,
+    /// One streaming step for a drifting document:
+    /// `{"op":"stream","id":7,"lambda":0.9,"items":[[k,mass],…]}`.
+    /// Decays the point's accumulated histogram by `lambda`, then feeds
+    /// `items` through the HistoSketch gradual-forgetting path. An unknown
+    /// id with non-empty items is created.
+    Stream {
+        /// Gradual-forgetting factor in `(0, 1]`.
+        lambda: f64,
+        /// `(element, mass)` stream items.
+        items: Vec<(u64, f64)>,
+    },
+}
+
+/// A mutation response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationResponse {
+    /// The point id, echoed.
+    pub id: u64,
+    /// Typed verdict (see the module docs for the write precedence).
+    pub outcome: Outcome,
+    /// Whether the mutation reached the WAL — the commit point. A durable
+    /// mutation survives any crash, whatever else the response says.
+    pub durable: bool,
+    /// Whether the owning shard confirmed the in-memory apply in budget.
+    pub applied: bool,
+    /// The owning shard, once routing happened.
+    pub shard: Option<usize>,
+    /// Live points across all shards after this mutation.
+    pub indexed: usize,
+    /// The id distribution has skewed past the configured threshold; a
+    /// background re-shard is advised.
+    pub reshard_hint: bool,
+    /// For `overloaded`/`read_only`: the seeded backoff hint, else 0.
+    pub retry_after_us: u64,
+    /// Human-readable detail for degraded outcomes.
+    pub error: Option<String>,
+}
+
+wmh_json::json_object!(MutationResponse {
+    id,
+    outcome,
+    durable,
+    applied,
+    shard,
+    indexed,
+    reshard_hint,
+    retry_after_us,
+    error,
+});
+
+impl MutationResponse {
+    /// A response for a mutation that changed nothing — the rejected /
+    /// degraded shapes.
+    #[must_use]
+    pub fn rejected(id: u64, outcome: Outcome, indexed: usize, error: Option<String>) -> Self {
+        Self {
+            id,
+            outcome,
+            durable: false,
+            applied: false,
+            shard: None,
+            indexed,
+            reshard_hint: false,
+            retry_after_us: 0,
+            error,
+        }
+    }
+}
+
 /// A health / readiness snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HealthResponse {
@@ -165,6 +291,10 @@ pub struct HealthResponse {
     pub shards_quarantined: usize,
     /// Requests currently between admission and response.
     pub inflight: usize,
+    /// Whether writes are currently rejected with `read_only`.
+    pub read_only: bool,
+    /// Whether a background re-shard is in progress.
+    pub resharding: bool,
 }
 
 wmh_json::json_object!(HealthResponse {
@@ -173,6 +303,8 @@ wmh_json::json_object!(HealthResponse {
     shards_total,
     shards_quarantined,
     inflight,
+    read_only,
+    resharding,
 });
 
 /// A decoded server response.
@@ -180,6 +312,9 @@ wmh_json::json_object!(HealthResponse {
 pub enum Response {
     /// Answer to [`Request::Query`].
     Query(QueryResponse),
+    /// Answer to [`Request::Mutate`] (wire op `mutation`, whatever the
+    /// request op was).
+    Mutation(MutationResponse),
     /// Answer to [`Request::Health`].
     Health(HealthResponse),
 }
@@ -201,6 +336,14 @@ impl ToJson for Request {
     fn to_json(&self) -> Json {
         match self {
             Self::Query(q) => tagged("query", q.to_json()),
+            Self::Mutate(m) => {
+                let op = match m.kind {
+                    MutationKind::Insert { .. } => "insert",
+                    MutationKind::Delete => "delete",
+                    MutationKind::Stream { .. } => "stream",
+                };
+                tagged(op, m.to_json())
+            }
             Self::Health => tagged("health", Json::Obj(Vec::new())),
         }
     }
@@ -208,11 +351,49 @@ impl ToJson for Request {
 
 impl FromJson for Request {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        match op_of(v)? {
+        let op = op_of(v)?;
+        match op {
             "query" => Ok(Self::Query(QueryRequest::from_json(v)?)),
+            "insert" | "delete" | "stream" => Ok(Self::Mutate(MutationRequest::decode(op, v)?)),
             "health" => Ok(Self::Health),
             other => Err(JsonError::Invalid(format!("unknown request op {other:?}"))),
         }
+    }
+}
+
+impl ToJson for MutationRequest {
+    fn to_json(&self) -> Json {
+        let mut entries = vec![("id".to_owned(), self.id.to_json())];
+        match &self.kind {
+            MutationKind::Insert { doc } => entries.push(("doc".to_owned(), doc.to_json())),
+            MutationKind::Delete => {}
+            MutationKind::Stream { lambda, items } => {
+                entries.push(("lambda".to_owned(), lambda.to_json()));
+                entries.push(("items".to_owned(), items.to_json()));
+            }
+        }
+        entries.push(("deadline_us".to_owned(), self.deadline_us.to_json()));
+        Json::Obj(entries)
+    }
+}
+
+impl MutationRequest {
+    /// Decode the body of an `insert`/`delete`/`stream` request.
+    fn decode(op: &str, v: &Json) -> Result<Self, JsonError> {
+        let kind = match op {
+            "insert" => MutationKind::Insert { doc: Vec::from_json(v.field("doc")?)? },
+            "delete" => MutationKind::Delete,
+            "stream" => MutationKind::Stream {
+                lambda: f64::from_json(v.field("lambda")?)?,
+                items: Vec::from_json(v.field("items")?)?,
+            },
+            other => return Err(JsonError::Invalid(format!("unknown mutation op {other:?}"))),
+        };
+        let deadline_us = match v.field_opt("deadline_us") {
+            Some(field) => Option::<u64>::from_json(field)?,
+            None => None,
+        };
+        Ok(Self { id: u64::from_json(v.field("id")?)?, kind, deadline_us })
     }
 }
 
@@ -250,6 +431,7 @@ impl ToJson for Response {
     fn to_json(&self) -> Json {
         match self {
             Self::Query(q) => tagged("query", q.to_json()),
+            Self::Mutation(m) => tagged("mutation", m.to_json()),
             Self::Health(h) => tagged("health", h.to_json()),
         }
     }
@@ -259,6 +441,7 @@ impl FromJson for Response {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         match op_of(v)? {
             "query" => Ok(Self::Query(QueryResponse::from_json(v)?)),
+            "mutation" => Ok(Self::Mutation(MutationResponse::from_json(v)?)),
             "health" => Ok(Self::Health(HealthResponse::from_json(v)?)),
             other => Err(JsonError::Invalid(format!("unknown response op {other:?}"))),
         }
@@ -302,9 +485,127 @@ mod tests {
             shards_total: 4,
             shards_quarantined: 1,
             inflight: 2,
+            read_only: false,
+            resharding: true,
         });
         let back: Response = wmh_json::from_str(&wmh_json::to_string(&resp)).expect("parse");
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn mutation_requests_round_trip() {
+        for (req, op) in [
+            (
+                Request::Mutate(MutationRequest {
+                    id: 42,
+                    kind: MutationKind::Insert { doc: vec![(3, 1.5), (9, 0.25)] },
+                    deadline_us: Some(7000),
+                }),
+                "insert",
+            ),
+            (
+                Request::Mutate(MutationRequest {
+                    id: 42,
+                    kind: MutationKind::Delete,
+                    deadline_us: None,
+                }),
+                "delete",
+            ),
+            (
+                Request::Mutate(MutationRequest {
+                    id: 42,
+                    kind: MutationKind::Stream { lambda: 0.875, items: vec![(5, 2.0)] },
+                    deadline_us: Some(1),
+                }),
+                "stream",
+            ),
+        ] {
+            let text = wmh_json::to_string(&req);
+            assert!(text.contains(&format!("\"op\":\"{op}\"")), "{text}");
+            let back: Request = wmh_json::from_str(&text).expect("parse");
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn mutation_response_round_trips() {
+        let resp = Response::Mutation(MutationResponse {
+            id: 42,
+            outcome: Outcome::Ok,
+            durable: true,
+            applied: true,
+            shard: Some(3),
+            indexed: 601,
+            reshard_hint: true,
+            retry_after_us: 0,
+            error: None,
+        });
+        let text = wmh_json::to_string(&resp);
+        assert!(text.contains("\"op\":\"mutation\""), "{text}");
+        let back: Response = wmh_json::from_str(&text).expect("parse");
+        assert_eq!(resp, back);
+        // The degraded shape keeps its flags honest.
+        let degraded = Response::Mutation(MutationResponse {
+            outcome: Outcome::DeadlineExceeded,
+            durable: true,
+            applied: false,
+            ..match resp {
+                Response::Mutation(m) => m,
+                _ => unreachable!(),
+            }
+        });
+        let back: Response = wmh_json::from_str(&wmh_json::to_string(&degraded)).expect("parse");
+        assert_eq!(degraded, back);
+    }
+
+    /// The wire spellings are a deployed-client contract, pinned the same
+    /// way `wmh_core::ErrorKind`'s kebab-case codes are: this test names
+    /// every spelling literally, so an enum rename that would change the
+    /// wire format fails here instead of in production.
+    #[test]
+    fn outcome_spellings_are_stable() {
+        let expected = [
+            (Outcome::Ok, "ok"),
+            (Outcome::Partial, "partial"),
+            (Outcome::DeadlineExceeded, "deadline_exceeded"),
+            (Outcome::Overloaded, "overloaded"),
+            (Outcome::BadRequest, "bad_request"),
+            (Outcome::ReadOnly, "read_only"),
+        ];
+        assert_eq!(expected.len(), Outcome::ALL.len(), "new outcomes must be pinned here");
+        for (outcome, spelling) in expected {
+            assert_eq!(outcome.as_str(), spelling);
+            assert_eq!(Outcome::parse(spelling), Some(outcome));
+        }
+        // Request/response op names are contract too.
+        for (req, op) in [
+            (
+                Request::Mutate(MutationRequest {
+                    id: 1,
+                    kind: MutationKind::Insert { doc: vec![(0, 1.0)] },
+                    deadline_us: None,
+                }),
+                "insert",
+            ),
+            (
+                Request::Mutate(MutationRequest {
+                    id: 1,
+                    kind: MutationKind::Delete,
+                    deadline_us: None,
+                }),
+                "delete",
+            ),
+            (
+                Request::Mutate(MutationRequest {
+                    id: 1,
+                    kind: MutationKind::Stream { lambda: 1.0, items: vec![] },
+                    deadline_us: None,
+                }),
+                "stream",
+            ),
+        ] {
+            assert!(wmh_json::to_string(&req).contains(&format!("\"op\":\"{op}\"")));
+        }
     }
 
     #[test]
@@ -331,13 +632,7 @@ mod tests {
         assert!(wmh_json::from_str::<Request>(r#"{"op":"mystery"}"#).is_err());
         assert!(wmh_json::from_str::<Request>(r#"{"id":1}"#).is_err());
         assert_eq!(Outcome::parse("sideways"), None);
-        for outcome in [
-            Outcome::Ok,
-            Outcome::Partial,
-            Outcome::DeadlineExceeded,
-            Outcome::Overloaded,
-            Outcome::BadRequest,
-        ] {
+        for outcome in Outcome::ALL {
             assert_eq!(Outcome::parse(outcome.as_str()), Some(outcome));
         }
     }

@@ -1,11 +1,13 @@
 //! The service core: batched ingest into shard-local indexes, admission
-//! control, deadline-bounded fan-out, and a deterministic merge.
+//! control, deadline-bounded fan-out, a deterministic merge — and, for
+//! services opened over a write-ahead log, the crash-safe live mutation
+//! path.
 //!
-//! [`Service::query`] is total: it returns a [`QueryResponse`] for every
-//! input — never an `Err`, never a panic, never a silently dropped
-//! request. Degradation is *data*, not control flow: the response's
-//! [`Outcome`], `coverage`, `shed`, and `error` fields say exactly what
-//! happened.
+//! [`Service::query`] and [`Service::mutate`] are total: they return a
+//! typed response for every input — never an `Err`, never a panic, never
+//! a silently dropped request. Degradation is *data*, not control flow:
+//! the response's [`Outcome`], `coverage`/`durable`/`applied`, and `error`
+//! fields say exactly what happened.
 //!
 //! ## Shard health and quarantine
 //!
@@ -18,38 +20,68 @@
 //! restores the shard, and because results flow only from received
 //! slices, a recovered service is *byte-identical* to one that never
 //! failed — the chaos soak pins exactly that.
+//!
+//! ## The write path (see also [`crate::wal`])
+//!
+//! Writes are serialized through one writer lock and follow a fixed
+//! order: validate → durable WAL append → mirror update → dispatch to the
+//! owning shard. The append is the commit point; everything after it is
+//! reconstructible, so a SIGKILL anywhere replays to the exact
+//! acknowledged state. An apply failure inside a shard (retry budget
+//! exhausted) is self-healed by rebuilding that shard from the store +
+//! WAL — the same code path a cold open uses, so the repaired shard is
+//! byte-identical to never having failed.
+//!
+//! ## Re-sharding
+//!
+//! [`Service::reshard_blocking`] rebuilds the whole fleet at a new shard
+//! count behind the quarantine machinery: writes degrade to `read_only`,
+//! the most-loaded shard is frozen (queries serve degraded-but-correct
+//! `partial` results from the rest), the new partition is built from the
+//! store + WAL — the same builder as a cold open, so the converged fleet
+//! is byte-identical to a from-scratch partition — and swapped in under
+//! the fleet lock. Skew detection ([`Service::plan_reshard`]) drives the
+//! `reshard_hint` response field; the TCP front end turns the hint into a
+//! background re-shard.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
 use crate::deadline::Deadline;
 use crate::fingerprint::BbitFingerprint;
-use crate::protocol::{HealthResponse, Outcome, QueryRequest, QueryResponse};
-use crate::shard::{DynSketcher, Job, Shard, Slice, SliceOutcome};
-use wmh_core::{Algorithm, AlgorithmConfig, SketchStore, Sketcher};
-use wmh_fault::supervisor::{supervise, Attempt, CellOutcome, RetryPolicy};
+use crate::protocol::{
+    HealthResponse, MutationKind, MutationRequest, MutationResponse, Outcome, QueryRequest,
+    QueryResponse,
+};
+use crate::shard::{ApplyJob, ApplyOp, DynSketcher, Job, QueryJob, Shard, Slice, SliceOutcome};
+use crate::wal::{Mutation, ReplayReport, Wal, WalError, WalProvenance};
+use wmh_core::extensions::HistoSketch;
+use wmh_core::{Algorithm, AlgorithmConfig, Sketch, SketchStore, Sketcher};
+use wmh_fault::supervisor::{supervise, Attempt, CellOutcome};
 use wmh_lsh::{Bands, LshIndex};
 use wmh_sets::WeightedSet;
 
-/// Sketches ingested between `serve::ingest` failpoint hits; a transient
-/// ingest fault restarts the whole shard build under the retry policy, so
-/// the batch is the unit of retried work.
+/// Sketches ingested (or WAL records replayed) between failpoint hits; a
+/// transient build fault restarts the whole shard build under the retry
+/// policy, so the batch is the unit of retried work.
 const INGEST_BATCH: usize = 64;
 
 /// Tuning knobs for a [`Service`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Number of shards (worker threads). Defaults to the core count,
-    /// capped at 8.
+    /// capped at 8. This is the *cold-open* count: a live re-shard changes
+    /// the running fleet, but a restart partitions at this count again.
     pub shards: usize,
     /// Bound on each shard's inbox; a full inbox sheds the slice.
     pub queue_depth: usize,
     /// Global cap on requests between admission and response.
     pub max_inflight: usize,
-    /// Budget applied when a query does not carry `deadline_us`.
+    /// Budget applied when a request does not carry `deadline_us`.
     pub default_deadline_us: u64,
     /// b-bit width for the packed re-ranking fingerprints (`1..=32`).
     pub fingerprint_bits: u32,
@@ -61,11 +93,17 @@ pub struct ServiceConfig {
     /// Every Nth request is routed through quarantined shards as a
     /// half-open recovery probe.
     pub probe_every: u64,
-    /// Retry policy: ingest retries and the `retry_after_us` backoff hint
-    /// (the sweep supervisor's seeded-deterministic policy).
-    pub retry: RetryPolicy,
+    /// Retry policy: ingest/WAL/apply retries and the `retry_after_us`
+    /// backoff hint (the sweep supervisor's seeded-deterministic policy).
+    pub retry: wmh_fault::supervisor::RetryPolicy,
     /// Master seed for every deterministic schedule in the service.
     pub seed: u64,
+    /// Id-distribution imbalance (max shard size / ideal size) at which
+    /// mutation responses raise `reshard_hint`; `None` disables skew
+    /// detection.
+    pub reshard_skew: Option<f64>,
+    /// Largest shard count [`Service::plan_reshard`] will propose.
+    pub reshard_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -81,14 +119,17 @@ impl Default for ServiceConfig {
             bands: None,
             quarantine_after: 3,
             probe_every: 8,
-            retry: RetryPolicy::default(),
+            retry: wmh_fault::supervisor::RetryPolicy::default(),
             seed: 0x5E27E,
+            reshard_skew: None,
+            reshard_cap: 8,
         }
     }
 }
 
-/// Errors surfaced while *building* a service. (Query-time failures are
-/// never errors — they are typed response outcomes.)
+/// Errors surfaced while *building* or *re-sharding* a service. (Query-
+/// and mutation-time failures are never errors — they are typed response
+/// outcomes.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The sketch store holds no points.
@@ -110,6 +151,13 @@ pub enum ServiceError {
     },
     /// The OS refused a worker thread.
     Spawn(String),
+    /// Opening or replaying the write-ahead log failed.
+    Wal(String),
+    /// A re-shard was requested while one is already in progress.
+    Resharding,
+    /// The operation needs the write path, but the service was built
+    /// read-only ([`Service::from_store`]).
+    ReadOnlyService,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -123,6 +171,11 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "shard {shard} ingest failed after {attempts} attempts: {error}")
             }
             Self::Spawn(e) => write!(f, "spawning shard worker: {e}"),
+            Self::Wal(e) => write!(f, "write-ahead log: {e}"),
+            Self::Resharding => write!(f, "a re-shard is already in progress"),
+            Self::ReadOnlyService => {
+                write!(f, "service was opened read-only (no write-ahead log)")
+            }
         }
     }
 }
@@ -133,6 +186,17 @@ impl std::error::Error for ServiceError {}
 struct ShardHealth {
     consecutive_failures: u32,
     quarantined: bool,
+    /// Set for the duration of a re-shard on the shard being rebuilt:
+    /// skipped at fan-out unconditionally (no half-open probes — the
+    /// freeze lifts when the re-shard finishes, not when a probe
+    /// succeeds).
+    frozen: bool,
+}
+
+impl ShardHealth {
+    fn new() -> Self {
+        Self { consecutive_failures: 0, quarantined: false, frozen: false }
+    }
 }
 
 /// Decrement-on-drop guard so the in-flight gauge survives every return
@@ -145,27 +209,98 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// Clear-on-drop guard for the `resharding` flag, so every exit path of a
+/// re-shard (including build failure) re-opens the write path.
+struct ReshardGuard<'a>(&'a AtomicBool);
+
+impl Drop for ReshardGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Everything the write path owns, serialized under one lock: the WAL,
+/// its in-memory mirror (the store + mutation list every rebuild replays),
+/// per-id streaming states, and the live-id bookkeeping.
+struct WriteState {
+    wal: Wal,
+    /// The base snapshot every rebuild starts from.
+    store: SketchStore,
+    /// Committed mutations, in log order — the WAL's in-memory mirror.
+    mutations: Vec<Mutation>,
+    /// Per-id HistoSketch states for streaming documents.
+    streams: HashMap<u64, HistoSketch>,
+    /// Ids currently indexed (store ∪ inserts ∖ deletes).
+    live: HashSet<u64>,
+    /// Live points per shard of the *current* fleet (skew detection).
+    sizes: Vec<usize>,
+}
+
+/// What a completed re-shard reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReshardReport {
+    /// Shard count before.
+    pub from: usize,
+    /// Shard count after.
+    pub to: usize,
+    /// Live points re-partitioned.
+    pub points: usize,
+}
+
 /// A sharded similarity-search service (see the crate docs).
 pub struct Service {
     config: ServiceConfig,
     sketcher: DynSketcher,
-    shards: Vec<Shard>,
+    algorithm: Algorithm,
+    bands: Bands,
+    shards: RwLock<Vec<Shard>>,
     health: Mutex<Vec<ShardHealth>>,
     inflight: AtomicUsize,
     requests: AtomicU64,
-    indexed: usize,
+    indexed: AtomicUsize,
+    read_only: AtomicBool,
+    resharding: AtomicBool,
+    writer: Option<Mutex<WriteState>>,
+    wal_recovery: Option<ReplayReport>,
 }
 
 impl Service {
-    /// Build a service from a sketch store: rebuild the sketcher from the
-    /// store's provenance, partition points round-robin by id, and batch-
-    /// ingest each partition into its shard's banded index (transient
-    /// ingest faults are retried under `config.retry`).
+    /// Build a *read-only* service from a sketch store: rebuild the
+    /// sketcher from the store's provenance, partition points round-robin
+    /// by id, and batch-ingest each partition into its shard's banded
+    /// index (transient ingest faults are retried under `config.retry`).
+    /// Mutations against it answer `read_only`.
     ///
     /// # Errors
     /// Any [`ServiceError`] variant; notably [`ServiceError::Ingest`] when
     /// a shard's ingest keeps failing after the whole retry budget.
     pub fn from_store(store: &SketchStore, config: ServiceConfig) -> Result<Self, ServiceError> {
+        Self::build(store, None, config)
+    }
+
+    /// Open a *mutable* service: everything [`Service::from_store`] does,
+    /// plus a write-ahead log at `wal_path`. An existing log is verified
+    /// against the store's provenance and replayed — after a crash the
+    /// service state is byte-identical to the acknowledged pre-crash
+    /// state. The store is snapshotted (owned) so shards can be rebuilt
+    /// at any time.
+    ///
+    /// # Errors
+    /// [`ServiceError::Wal`] for log open/verify/replay failures, plus
+    /// everything [`Service::from_store`] can return.
+    pub fn open(
+        store: &SketchStore,
+        wal_path: &Path,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        Self::build(store, Some(wal_path), config)
+    }
+
+    fn build(
+        store: &SketchStore,
+        wal_path: Option<&Path>,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
         if store.is_empty() {
             return Err(ServiceError::EmptyStore);
         }
@@ -181,6 +316,9 @@ impl Service {
         if config.probe_every == 0 {
             return Err(ServiceError::BadConfig("probe_every must be positive".into()));
         }
+        if config.reshard_skew.is_some_and(|t| t.is_nan() || t < 1.0) {
+            return Err(ServiceError::BadConfig("reshard_skew must be >= 1.0".into()));
+        }
         let algorithm = Algorithm::by_name(store.algorithm())
             .ok_or_else(|| ServiceError::UnknownAlgorithm(store.algorithm().to_owned()))?;
         let bands = match config.bands {
@@ -189,59 +327,74 @@ impl Service {
                 .map_err(|e| ServiceError::BadConfig(e.to_string()))?,
         };
         let sketcher = build_sketcher(algorithm, store)?;
-        let mut shards = Vec::with_capacity(config.shards);
-        for shard_id in 0..config.shards {
-            let ids: Vec<u64> = store
-                .ids()
-                .iter()
-                .copied()
-                .filter(|id| (id % config.shards as u64) as usize == shard_id)
-                .collect();
-            let built = supervise(&config.retry, config.seed, shard_id as u64, |_| {
-                ingest_shard(store, algorithm, bands, config.fingerprint_bits, shard_id, &ids)
-            });
-            let (index, fingerprints) = match built {
-                CellOutcome::Completed(Ok(pair)) => pair,
-                CellOutcome::Completed(Err(error)) => {
-                    return Err(ServiceError::Ingest { shard: shard_id, attempts: 1, error })
-                }
-                CellOutcome::TimedOut => {
-                    return Err(ServiceError::Ingest {
-                        shard: shard_id,
-                        attempts: 1,
-                        error: "ingest deadline".into(),
-                    })
-                }
-                CellOutcome::Quarantined { attempts, error } => {
-                    return Err(ServiceError::Ingest { shard: shard_id, attempts, error })
-                }
-            };
-            shards.push(
-                Shard::spawn(shard_id, index, fingerprints, config.queue_depth)
-                    .map_err(ServiceError::Spawn)?,
-            );
-        }
-        let health = (0..config.shards)
-            .map(|_| ShardHealth { consecutive_failures: 0, quarantined: false })
-            .collect();
+
+        let (wal, mutations, recovery) = match wal_path {
+            Some(path) => {
+                let provenance = WalProvenance {
+                    algorithm: store.algorithm().to_owned(),
+                    seed: store.seed(),
+                    num_hashes: store.num_hashes(),
+                };
+                let (wal, mutations, report) =
+                    Wal::open(path, &provenance).map_err(|e| ServiceError::Wal(e.to_string()))?;
+                (Some(wal), mutations, Some(report))
+            }
+            None => (None, Vec::new(), None),
+        };
+
+        let (shards, sizes, streams) = build_fleet(
+            store,
+            algorithm,
+            bands,
+            &config,
+            config.shards,
+            &mutations,
+            "serve::ingest",
+        )?;
+        let health = (0..config.shards).map(|_| ShardHealth::new()).collect();
+        let live = live_ids(store, &mutations);
+
+        let writer = wal.map(|wal| {
+            Mutex::new(WriteState {
+                wal,
+                store: store.clone(),
+                mutations,
+                streams,
+                live: live.clone(),
+                sizes,
+            })
+        });
         Ok(Self {
-            indexed: store.len(),
+            indexed: AtomicUsize::new(live.len()),
             health: Mutex::new(health),
             inflight: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
+            read_only: AtomicBool::new(false),
+            resharding: AtomicBool::new(false),
+            shards: RwLock::new(shards),
+            wal_recovery: recovery,
             sketcher,
-            shards,
+            algorithm,
+            bands,
+            writer,
             config,
         })
+    }
+
+    /// What WAL replay found at open time (`None` for [`Self::from_store`]
+    /// services).
+    #[must_use]
+    pub fn wal_recovery(&self) -> Option<&ReplayReport> {
+        self.wal_recovery.as_ref()
     }
 
     /// Answer a similarity query. Total: every input maps to a typed
     /// [`QueryResponse`]; see [`Outcome`] for the verdict taxonomy.
     pub fn query(&self, request: &QueryRequest) -> QueryResponse {
-        let shards_total = self.shards.len();
         let request_id = self.requests.fetch_add(1, Ordering::Relaxed);
         let budget = request.deadline_us.unwrap_or(self.config.default_deadline_us);
         let deadline = Deadline::after(Duration::from_micros(budget));
+        let shards_total = self.lock_shards_read().len();
 
         // Admission: the global in-flight cap, plus the injectable
         // `serve::admission` rejection for overload drills.
@@ -306,27 +459,30 @@ impl Service {
             );
         }
 
-        // Fan out. Quarantined shards are skipped except on half-open
-        // probe requests; full inboxes shed explicitly.
+        // Fan out. Frozen shards (mid-re-shard) are skipped always;
+        // quarantined shards are skipped except on half-open probe
+        // requests; full inboxes shed explicitly.
         let sketch = Arc::new(sketch);
         let fp = Arc::new(fp);
         let (reply_tx, reply_rx) = mpsc::channel::<Slice>();
         let probing = request_id.is_multiple_of(self.config.probe_every);
         let mut sent = 0usize;
         let mut shed = 0usize;
-        {
+        let shards_total = {
+            let shards = self.lock_shards_read();
             let health = self.lock_health();
-            for (shard_id, shard) in self.shards.iter().enumerate() {
-                if health[shard_id].quarantined && !probing {
+            for (shard_id, shard) in shards.iter().enumerate() {
+                let entry = &health[shard_id];
+                if entry.frozen || (entry.quarantined && !probing) {
                     continue;
                 }
-                let job = Job {
+                let job = Job::Query(QueryJob {
                     sketch: Arc::clone(&sketch),
                     fp: Arc::clone(&fp),
                     k: request.k,
                     deadline,
                     reply: reply_tx.clone(),
-                };
+                });
                 match shard.tx.try_send(job) {
                     Ok(()) => sent += 1,
                     // Explicit load-shedding: the slice is *counted*, not
@@ -334,7 +490,8 @@ impl Service {
                     Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => shed += 1,
                 }
             }
-        }
+            shards.len()
+        };
         drop(reply_tx);
 
         // Merge: collect slices until the budget expires or every
@@ -365,18 +522,23 @@ impl Service {
             }
         }
 
-        // Health accounting from the slices actually received.
+        // Health accounting from the slices actually received. Shard ids
+        // are bounds-checked: a re-shard may have swapped in a smaller
+        // fleet while slices from the old one were still in flight.
         {
             let mut health = self.lock_health();
             for &shard_id in &succeeded {
-                health[shard_id].consecutive_failures = 0;
-                health[shard_id].quarantined = false;
+                if let Some(entry) = health.get_mut(shard_id) {
+                    entry.consecutive_failures = 0;
+                    entry.quarantined = false;
+                }
             }
             for (shard_id, _) in &failures {
-                let entry = &mut health[*shard_id];
-                entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
-                if entry.consecutive_failures >= self.config.quarantine_after {
-                    entry.quarantined = true;
+                if let Some(entry) = health.get_mut(*shard_id) {
+                    entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+                    if entry.consecutive_failures >= self.config.quarantine_after {
+                        entry.quarantined = true;
+                    }
                 }
             }
         }
@@ -407,16 +569,534 @@ impl Service {
         }
     }
 
+    /// Apply a live mutation. Total: every input maps to a typed
+    /// [`MutationResponse`] — see the protocol docs for the write
+    /// precedence and the meaning of `durable`/`applied`.
+    pub fn mutate(&self, request: &MutationRequest) -> MutationResponse {
+        let request_id = self.requests.fetch_add(1, Ordering::Relaxed);
+        let budget = request.deadline_us.unwrap_or(self.config.default_deadline_us);
+        let deadline = Deadline::after(Duration::from_micros(budget));
+        let indexed = self.indexed.load(Ordering::Acquire);
+
+        // Admission first: an overloaded service rejects writes before
+        // touching the WAL, so `overloaded` always means "nothing
+        // happened, retry verbatim".
+        let admitted = self.inflight.fetch_add(1, Ordering::AcqRel);
+        let _guard = InflightGuard(&self.inflight);
+        let admission_fault = wmh_fault::point!("serve::admission").err();
+        if admitted >= self.config.max_inflight || admission_fault.is_some() {
+            let backoff = self.config.retry.backoff(self.config.seed, request_id, 1);
+            let mut response = MutationResponse::rejected(
+                request.id,
+                Outcome::Overloaded,
+                indexed,
+                Some(admission_fault.map_or_else(
+                    || format!("{admitted} requests in flight at cap {}", self.config.max_inflight),
+                    |fault| fault.to_string(),
+                )),
+            );
+            response.retry_after_us = u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
+            return response;
+        }
+
+        let Some(writer) = &self.writer else {
+            return MutationResponse::rejected(
+                request.id,
+                Outcome::ReadOnly,
+                indexed,
+                Some("service was opened read-only (no write-ahead log)".into()),
+            );
+        };
+        if self.resharding.load(Ordering::Acquire) {
+            let backoff = self.config.retry.backoff(self.config.seed, request_id, 1);
+            let mut response = MutationResponse::rejected(
+                request.id,
+                Outcome::ReadOnly,
+                indexed,
+                Some("re-shard in progress; writes resume when it completes".into()),
+            );
+            response.retry_after_us = u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
+            return response;
+        }
+        if self.read_only.load(Ordering::Acquire) {
+            return MutationResponse::rejected(
+                request.id,
+                Outcome::ReadOnly,
+                indexed,
+                Some("service degraded to read-only after a WAL failure".into()),
+            );
+        }
+
+        // Pre-sketch inserts and pre-validate stream parameters outside
+        // the writer lock: everything rejectable without id bookkeeping is
+        // rejected before any serialization point.
+        let presketched = match &request.kind {
+            MutationKind::Insert { doc } => match self.sketch_doc(doc) {
+                Ok(pair) => Some(pair),
+                Err(e) => {
+                    return MutationResponse::rejected(
+                        request.id,
+                        Outcome::BadRequest,
+                        indexed,
+                        Some(e),
+                    )
+                }
+            },
+            MutationKind::Delete => None,
+            MutationKind::Stream { lambda, items } => {
+                if !lambda.is_finite() || *lambda <= 0.0 || *lambda > 1.0 {
+                    return MutationResponse::rejected(
+                        request.id,
+                        Outcome::BadRequest,
+                        indexed,
+                        Some(format!("decay factor lambda {lambda} outside (0, 1]")),
+                    );
+                }
+                if let Some((k, mass)) =
+                    items.iter().find(|(_, mass)| !mass.is_finite() || *mass <= 0.0)
+                {
+                    return MutationResponse::rejected(
+                        request.id,
+                        Outcome::BadRequest,
+                        indexed,
+                        Some(format!("stream item ({k}, {mass}) has non-positive mass")),
+                    );
+                }
+                None
+            }
+        };
+
+        // Serialize: validate against live ids, commit to the WAL, update
+        // the mirror, dispatch to the owning shard — all under the writer
+        // lock, so WAL order is exactly per-shard apply order.
+        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+
+        // Prepare the (record, apply-op) pair; every rejection here
+        // happens *before* the append, so a `bad_request` never commits.
+        let prepared = prepare_mutation(&w, request, presketched, &*self.sketcher, &self.config);
+        let (record, op, new_stream) = match prepared {
+            Ok(triple) => triple,
+            Err(e) => {
+                return MutationResponse::rejected(
+                    request.id,
+                    Outcome::BadRequest,
+                    indexed,
+                    Some(e),
+                )
+            }
+        };
+        if deadline.expired() {
+            return MutationResponse::rejected(
+                request.id,
+                Outcome::DeadlineExceeded,
+                indexed,
+                Some(format!("budget {budget}us spent before the WAL append")),
+            );
+        }
+
+        // The commit point: durable append, transient faults retried
+        // under the policy. Exhaustion flips the service read-only — a
+        // log that cannot take writes must not acknowledge any.
+        let appended = supervise(&self.config.retry, self.config.seed, request_id, |_| {
+            match w.wal.append(&record) {
+                Ok(()) => Attempt::Done(Ok(())),
+                Err(e @ WalError::TooLarge(_)) => Attempt::Done(Err(e.to_string())),
+                Err(e) => Attempt::Transient(e.to_string()),
+            }
+        });
+        let append_failure = match appended {
+            CellOutcome::Completed(Ok(())) => None,
+            CellOutcome::Completed(Err(e)) => {
+                return MutationResponse::rejected(
+                    request.id,
+                    Outcome::BadRequest,
+                    indexed,
+                    Some(e),
+                )
+            }
+            CellOutcome::TimedOut => Some("WAL append deadline".to_owned()),
+            CellOutcome::Quarantined { attempts, error } => {
+                Some(format!("WAL append failed after {attempts} attempts: {error}"))
+            }
+        };
+        if let Some(detail) = append_failure {
+            self.read_only.store(true, Ordering::Release);
+            return MutationResponse::rejected(
+                request.id,
+                Outcome::ReadOnly,
+                indexed,
+                Some(format!("{detail}; service is now read-only")),
+            );
+        }
+
+        // Committed. Mirror the mutation, then apply it — from here on the
+        // response always reports `durable: true`.
+        let was_live = w.live.contains(&request.id);
+        w.mutations.push(record);
+        match &request.kind {
+            MutationKind::Insert { .. } => {
+                w.live.insert(request.id);
+            }
+            MutationKind::Delete => {
+                w.live.remove(&request.id);
+                w.streams.remove(&request.id);
+            }
+            MutationKind::Stream { .. } => {
+                w.live.insert(request.id);
+                if let Some(state) = new_stream {
+                    w.streams.insert(request.id, state);
+                }
+            }
+        }
+        let live_count = w.live.len();
+        self.indexed.store(live_count, Ordering::Release);
+
+        // Route to the owning shard of the *current* fleet.
+        let (shard_id, send_result, reply_rx) = {
+            let shards = self.lock_shards_read();
+            let shard_id = (request.id % shards.len() as u64) as usize;
+            let (ack_tx, ack_rx) = mpsc::channel();
+            // Blocking send: the mutation is durable, so it must reach the
+            // worker; the worker always drains, so the wait is bounded by
+            // the queue depth.
+            let sent =
+                shards[shard_id].tx.send(Job::Apply(Box::new(ApplyJob { op, reply: ack_tx })));
+            (shard_id, sent, ack_rx)
+        };
+        match &request.kind {
+            MutationKind::Insert { .. } => w.sizes[shard_id] += 1,
+            MutationKind::Delete => w.sizes[shard_id] = w.sizes[shard_id].saturating_sub(1),
+            MutationKind::Stream { .. } => {
+                if !was_live {
+                    w.sizes[shard_id] += 1;
+                }
+            }
+        }
+        let reshard_hint =
+            self.config.reshard_skew.is_some_and(|threshold| imbalance(&w.sizes) >= threshold);
+
+        let ack = if send_result.is_err() {
+            // The worker is gone (only possible mid-teardown): treat as an
+            // apply failure and fall into the rebuild path.
+            Err("shard worker unavailable".to_owned())
+        } else {
+            match deadline.remaining() {
+                None => reply_rx
+                    .recv()
+                    .map_err(|_| "shard worker gone".to_owned())
+                    .map(|a| a.result)
+                    .and_then(|r| r),
+                Some(left) => match reply_rx.recv_timeout(left) {
+                    Ok(ack) => ack.result,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Committed but unconfirmed: the worker applies it
+                        // regardless; only the wait ran out.
+                        return MutationResponse {
+                            id: request.id,
+                            outcome: Outcome::DeadlineExceeded,
+                            durable: true,
+                            applied: false,
+                            shard: Some(shard_id),
+                            indexed: live_count,
+                            reshard_hint,
+                            retry_after_us: 0,
+                            error: Some(
+                                "committed to the WAL; apply not confirmed in budget".into(),
+                            ),
+                        };
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err("shard worker gone".to_owned()),
+                },
+            }
+        };
+
+        match ack {
+            Ok(()) => MutationResponse {
+                id: request.id,
+                outcome: Outcome::Ok,
+                durable: true,
+                applied: true,
+                shard: Some(shard_id),
+                indexed: live_count,
+                reshard_hint,
+                retry_after_us: 0,
+                error: None,
+            },
+            Err(apply_error) => {
+                self.self_heal(&mut w, shard_id, request, live_count, reshard_hint, &apply_error)
+            }
+        }
+    }
+
+    /// An apply failed after its in-worker retry budget: the shard's
+    /// memory no longer matches the log. Rebuild it from the durable state
+    /// (store + WAL) — the same builder a cold open uses — and swap it
+    /// into the fleet. If even the rebuild fails, quarantine the shard and
+    /// flip read-only: the log stays authoritative, a restart recovers.
+    fn self_heal(
+        &self,
+        w: &mut WriteState,
+        shard_id: usize,
+        request: &MutationRequest,
+        live_count: usize,
+        reshard_hint: bool,
+        apply_error: &str,
+    ) -> MutationResponse {
+        let count = self.lock_shards_read().len();
+        let built = supervise(&self.config.retry, self.config.seed, shard_id as u64, |_| {
+            build_shard(
+                &w.store,
+                self.algorithm,
+                self.bands,
+                &self.config,
+                shard_id,
+                count,
+                &w.mutations,
+                "serve::ingest",
+            )
+        });
+        let rebuilt = match built {
+            CellOutcome::Completed(Ok(built)) => built,
+            // TimedOut cannot fire (shard builds carry no deadline), but a
+            // typed failure is the honest fallback if that ever changes.
+            CellOutcome::TimedOut => {
+                self.read_only.store(true, Ordering::Release);
+                return MutationResponse {
+                    id: request.id,
+                    outcome: Outcome::ReadOnly,
+                    durable: true,
+                    applied: false,
+                    shard: Some(shard_id),
+                    indexed: live_count,
+                    reshard_hint,
+                    retry_after_us: 0,
+                    error: Some(format!(
+                        "apply failed ({apply_error}); shard rebuild hit a deadline; \
+                         service read-only — the WAL stays authoritative"
+                    )),
+                };
+            }
+            CellOutcome::Completed(Err(error)) | CellOutcome::Quarantined { error, .. } => {
+                {
+                    let mut health = self.lock_health();
+                    if let Some(entry) = health.get_mut(shard_id) {
+                        entry.quarantined = true;
+                    }
+                }
+                self.read_only.store(true, Ordering::Release);
+                return MutationResponse {
+                    id: request.id,
+                    outcome: Outcome::ReadOnly,
+                    durable: true,
+                    applied: false,
+                    shard: Some(shard_id),
+                    indexed: live_count,
+                    reshard_hint,
+                    retry_after_us: 0,
+                    error: Some(format!(
+                        "apply failed ({apply_error}); shard rebuild also failed ({error}); \
+                         shard quarantined, service read-only — the WAL stays authoritative \
+                         and a restart recovers"
+                    )),
+                };
+            }
+        };
+        let (index, fingerprints) = rebuilt.contents;
+        w.sizes[shard_id] = index.len();
+        w.streams.extend(rebuilt.streams);
+        let spawned = Shard::spawn(
+            shard_id,
+            index,
+            fingerprints,
+            self.config.queue_depth,
+            self.config.retry,
+            self.config.seed,
+        );
+        match spawned {
+            Ok(shard) => {
+                {
+                    let mut shards = self.lock_shards_write();
+                    // The old worker exits once its (now unreferenced)
+                    // inbox drains.
+                    shards[shard_id] = shard;
+                }
+                {
+                    let mut health = self.lock_health();
+                    if let Some(entry) = health.get_mut(shard_id) {
+                        *entry = ShardHealth::new();
+                    }
+                }
+                MutationResponse {
+                    id: request.id,
+                    outcome: Outcome::Ok,
+                    durable: true,
+                    applied: true,
+                    shard: Some(shard_id),
+                    indexed: live_count,
+                    reshard_hint,
+                    retry_after_us: 0,
+                    error: Some(format!(
+                        "apply failed ({apply_error}); shard {shard_id} rebuilt from the WAL"
+                    )),
+                }
+            }
+            Err(e) => {
+                self.read_only.store(true, Ordering::Release);
+                MutationResponse {
+                    id: request.id,
+                    outcome: Outcome::ReadOnly,
+                    durable: true,
+                    applied: false,
+                    shard: Some(shard_id),
+                    indexed: live_count,
+                    reshard_hint,
+                    retry_after_us: 0,
+                    error: Some(format!("apply failed ({apply_error}); respawn failed ({e})")),
+                }
+            }
+        }
+    }
+
+    /// Rebuild the fleet at `to` shards, blocking until the swap. Writes
+    /// answer `read_only` for the duration; queries keep serving, degraded
+    /// by the frozen (most-loaded) shard. The new partition is built by
+    /// the cold-open builder over the store + WAL, so it is byte-identical
+    /// to a from-scratch partition at `to` shards.
+    ///
+    /// # Errors
+    /// [`ServiceError::ReadOnlyService`] for WAL-less services,
+    /// [`ServiceError::Resharding`] when one is already running,
+    /// [`ServiceError::Ingest`] when a shard build exhausts its retries
+    /// (the old fleet stays in place).
+    pub fn reshard_blocking(&self, to: usize) -> Result<ReshardReport, ServiceError> {
+        let Some(writer) = &self.writer else {
+            return Err(ServiceError::ReadOnlyService);
+        };
+        if to == 0 {
+            return Err(ServiceError::BadConfig("shards must be positive".into()));
+        }
+        if self
+            .resharding
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(ServiceError::Resharding);
+        }
+        let _flag = ReshardGuard(&self.resharding);
+        // Taking the writer lock waits out any in-flight mutation, so the
+        // mirror we build from includes everything acknowledged.
+        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let from = self.lock_shards_read().len();
+
+        // Freeze the most-loaded shard — the skew source — behind the
+        // quarantine machinery: queries degrade to partial, no probes.
+        let frozen = w
+            .sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &size)| size)
+            .map_or(0, |(shard_id, _)| shard_id);
+        {
+            let mut health = self.lock_health();
+            if let Some(entry) = health.get_mut(frozen) {
+                entry.frozen = true;
+            }
+        }
+
+        let built = build_fleet(
+            &w.store,
+            self.algorithm,
+            self.bands,
+            &self.config,
+            to,
+            &w.mutations,
+            "serve::reshard",
+        );
+        let (shards, sizes, streams) = match built {
+            Ok(triple) => triple,
+            Err(e) => {
+                // Abort: unfreeze, old fleet intact, writes resume (the
+                // guard clears the flag).
+                let mut health = self.lock_health();
+                if let Some(entry) = health.get_mut(frozen) {
+                    entry.frozen = false;
+                }
+                return Err(e);
+            }
+        };
+        {
+            let mut fleet = self.lock_shards_write();
+            let mut health = self.lock_health();
+            *fleet = shards;
+            *health = (0..to).map(|_| ShardHealth::new()).collect();
+        }
+        w.sizes = sizes;
+        w.streams = streams;
+        Ok(ReshardReport { from, to, points: w.live.len() })
+    }
+
+    /// Propose a better shard count, or `None` when the current partition
+    /// is within the configured skew threshold (or skew detection is off,
+    /// or the service is read-only). Deterministic: scans live ids against
+    /// every candidate count up to `reshard_cap`.
+    #[must_use]
+    pub fn plan_reshard(&self) -> Option<usize> {
+        let threshold = self.config.reshard_skew?;
+        let writer = self.writer.as_ref()?;
+        let w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let current = self.lock_shards_read().len();
+        if imbalance(&w.sizes) < threshold {
+            return None;
+        }
+        let cap = self.config.reshard_cap.max(current).max(1);
+        let mut best = (current, imbalance(&w.sizes));
+        for candidate in 1..=cap {
+            if candidate == current {
+                continue;
+            }
+            let mut counts = vec![0usize; candidate];
+            for &id in &w.live {
+                counts[(id % candidate as u64) as usize] += 1;
+            }
+            let skew = imbalance(&counts);
+            if skew + 1e-9 < best.1 {
+                best = (candidate, skew);
+            }
+        }
+        (best.0 != current).then_some(best.0)
+    }
+
+    /// Kick off [`Self::reshard_blocking`] on a background thread if
+    /// [`Self::plan_reshard`] proposes a count. Returns whether one
+    /// started. Failures (including a concurrent re-shard) are absorbed —
+    /// the old fleet keeps serving either way.
+    pub fn spawn_reshard(self: &Arc<Self>) -> bool {
+        let Some(to) = self.plan_reshard() else { return false };
+        let service = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("wmh-serve-reshard".into())
+            .spawn(move || {
+                let _ = service.reshard_blocking(to);
+            })
+            .is_ok()
+    }
+
     /// Health / readiness snapshot.
     pub fn health(&self) -> HealthResponse {
+        let shards_total = self.lock_shards_read().len();
         let health = self.lock_health();
         let quarantined = health.iter().filter(|entry| entry.quarantined).count();
+        let resharding = self.resharding.load(Ordering::Acquire);
         HealthResponse {
-            ready: quarantined < self.shards.len(),
-            indexed: self.indexed,
-            shards_total: self.shards.len(),
+            ready: quarantined < shards_total,
+            indexed: self.indexed.load(Ordering::Acquire),
+            shards_total,
             shards_quarantined: quarantined,
             inflight: self.inflight.load(Ordering::Acquire),
+            read_only: self.writer.is_none()
+                || self.read_only.load(Ordering::Acquire)
+                || resharding,
+            resharding,
         }
     }
 
@@ -426,11 +1106,30 @@ impl Service {
         &self.config
     }
 
-    /// Poison-tolerant health lock: a panicking thread (impossible by the
+    /// Sketch + fingerprint a document (the insert fast path).
+    fn sketch_doc(&self, doc: &[(u64, f64)]) -> Result<(Sketch, BbitFingerprint), String> {
+        let set = WeightedSet::from_pairs(doc.iter().copied())
+            .map_err(|e| format!("bad document: {e}"))?;
+        let sketch =
+            self.sketcher.sketch(&set).map_err(|e| format!("unsketchable document: {e}"))?;
+        let fp = BbitFingerprint::pack(&sketch.codes, self.config.fingerprint_bits)
+            .map_err(|e| e.to_string())?;
+        Ok((sketch, fp))
+    }
+
+    /// Poison-tolerant locks: a panicking thread (impossible by the
     /// crate's own contract, but the lock cannot know that) must not wedge
     /// the whole service.
     fn lock_health(&self) -> std::sync::MutexGuard<'_, Vec<ShardHealth>> {
         self.health.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_shards_read(&self) -> std::sync::RwLockReadGuard<'_, Vec<Shard>> {
+        self.shards.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_shards_write(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Shard>> {
+        self.shards.write().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -438,12 +1137,107 @@ impl Drop for Service {
     fn drop(&mut self) {
         // Closing each inbox ends its worker's `recv` loop; join so no
         // worker outlives the index it borrows conceptually.
-        for shard in self.shards.drain(..) {
+        let shards =
+            std::mem::take(&mut *self.shards.get_mut().unwrap_or_else(PoisonError::into_inner));
+        for shard in shards {
             let Shard { tx, handle } = shard;
             drop(tx);
             let _ = handle.join();
         }
     }
+}
+
+/// Prepared write: the WAL record, the shard apply op, and (for streams)
+/// the post-mutation HistoSketch state to commit into the mirror.
+type PreparedWrite = (Mutation, ApplyOp, Option<HistoSketch>);
+
+/// Validate a mutation against the live-id bookkeeping and derive its
+/// (record, apply-op) pair. Runs entirely *before* the WAL append: every
+/// `Err` here is a `bad_request` that commits nothing.
+fn prepare_mutation(
+    w: &WriteState,
+    request: &MutationRequest,
+    presketched: Option<(Sketch, BbitFingerprint)>,
+    sketcher: &(dyn Sketcher + Send + Sync),
+    config: &ServiceConfig,
+) -> Result<PreparedWrite, String> {
+    let id = request.id;
+    match &request.kind {
+        MutationKind::Insert { .. } => {
+            if w.live.contains(&id) {
+                return Err(format!("id {id} is already indexed (delete it first, or stream)"));
+            }
+            let (sketch, fp) =
+                presketched.ok_or_else(|| "insert without a pre-sketched document".to_owned())?;
+            let record = Mutation::Insert { id, codes: sketch.codes.clone() };
+            Ok((record, ApplyOp::Insert { id, sketch, fp }, None))
+        }
+        MutationKind::Delete => {
+            if !w.live.contains(&id) {
+                return Err(format!("id {id} is not indexed"));
+            }
+            Ok((Mutation::Delete { id }, ApplyOp::Delete { id }, None))
+        }
+        MutationKind::Stream { lambda, items } => {
+            // A static (non-streaming) live id has no histogram to decay;
+            // streaming onto it would silently replace its content.
+            let state = match w.streams.get(&id) {
+                Some(state) => Some(state.clone()),
+                None if w.live.contains(&id) => {
+                    return Err(format!(
+                        "id {id} is indexed but not a streaming document; delete it first"
+                    ))
+                }
+                None => None,
+            };
+            if state.is_none() && items.is_empty() {
+                return Err(format!("cannot create streaming id {id} from an empty item list"));
+            }
+            let mut state = match state {
+                Some(state) => state,
+                None => HistoSketch::new(w.store.seed(), sketcher.num_hashes())
+                    .map_err(|e| e.to_string())?,
+            };
+            state.decay(*lambda).map_err(|e| e.to_string())?;
+            for &(k, mass) in items {
+                state.add(k, mass).map_err(|e| e.to_string())?;
+            }
+            let set = state.histogram().map_err(|e| format!("stream state: {e}"))?;
+            let sketch =
+                sketcher.sketch(&set).map_err(|e| format!("unsketchable stream state: {e}"))?;
+            let fp = BbitFingerprint::pack(&sketch.codes, config.fingerprint_bits)
+                .map_err(|e| e.to_string())?;
+            let record = Mutation::Stream { id, lambda: *lambda, items: items.clone() };
+            Ok((record, ApplyOp::Upsert { id, sketch, fp }, Some(state)))
+        }
+    }
+}
+
+/// Imbalance of a partition: max shard size over the ideal (uniform)
+/// size. 1.0 is perfectly balanced; an empty fleet reads as balanced.
+fn imbalance(sizes: &[usize]) -> f64 {
+    let total: usize = sizes.iter().sum();
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    if total == 0 || sizes.is_empty() {
+        return 1.0;
+    }
+    (max * sizes.len()) as f64 / total as f64
+}
+
+/// The live-id set after replaying `mutations` over `store`.
+fn live_ids(store: &SketchStore, mutations: &[Mutation]) -> HashSet<u64> {
+    let mut live: HashSet<u64> = store.ids().iter().copied().collect();
+    for m in mutations {
+        match m {
+            Mutation::Insert { id, .. } | Mutation::Stream { id, .. } => {
+                live.insert(*id);
+            }
+            Mutation::Delete { id } => {
+                live.remove(id);
+            }
+        }
+    }
+    live
 }
 
 /// Rebuild the store's sketcher from its recorded provenance.
@@ -457,18 +1251,96 @@ fn build_sketcher(algorithm: Algorithm, store: &SketchStore) -> Result<DynSketch
 /// fingerprints for every point it owns.
 type ShardContents = (LshIndex<DynSketcher>, HashMap<u64, BbitFingerprint>);
 
-/// One attempt at building a shard's index + fingerprints. Injected
-/// `serve::ingest` faults are transient (the supervisor retries the whole
-/// build); everything else is deterministic and terminal.
-fn ingest_shard(
+/// A fully built shard: contents plus the HistoSketch states of its
+/// streaming ids.
+struct BuiltShard {
+    contents: ShardContents,
+    streams: HashMap<u64, HistoSketch>,
+}
+
+/// Spawned shard workers plus per-shard sizes and merged streaming states,
+/// as produced by [`build_fleet`].
+type FleetParts = (Vec<Shard>, Vec<usize>, HashMap<u64, HistoSketch>);
+
+/// Build every shard of a fleet at `count` shards from the store + the
+/// mutation log, spawn the workers, and report per-shard sizes and the
+/// merged streaming states. Used by cold open, self-heal (single shard via
+/// [`build_shard`]), and re-shard — one builder, so every path converges
+/// byte-identical.
+fn build_fleet(
     store: &SketchStore,
     algorithm: Algorithm,
     bands: Bands,
-    bits: u32,
+    config: &ServiceConfig,
+    count: usize,
+    mutations: &[Mutation],
+    failpoint: &'static str,
+) -> Result<FleetParts, ServiceError> {
+    let mut shards = Vec::with_capacity(count);
+    let mut sizes = Vec::with_capacity(count);
+    let mut streams = HashMap::new();
+    for shard_id in 0..count {
+        let built = supervise(&config.retry, config.seed, shard_id as u64, |_| {
+            build_shard(store, algorithm, bands, config, shard_id, count, mutations, failpoint)
+        });
+        let built = match built {
+            CellOutcome::Completed(Ok(built)) => built,
+            CellOutcome::Completed(Err(error)) => {
+                return Err(ServiceError::Ingest { shard: shard_id, attempts: 1, error })
+            }
+            CellOutcome::TimedOut => {
+                return Err(ServiceError::Ingest {
+                    shard: shard_id,
+                    attempts: 1,
+                    error: "ingest deadline".into(),
+                })
+            }
+            CellOutcome::Quarantined { attempts, error } => {
+                return Err(ServiceError::Ingest { shard: shard_id, attempts, error })
+            }
+        };
+        let (index, fingerprints) = built.contents;
+        sizes.push(index.len());
+        streams.extend(built.streams);
+        shards.push(
+            Shard::spawn(
+                shard_id,
+                index,
+                fingerprints,
+                config.queue_depth,
+                config.retry,
+                config.seed,
+            )
+            .map_err(ServiceError::Spawn)?,
+        );
+    }
+    Ok((shards, sizes, streams))
+}
+
+/// One attempt at building a shard: batch-ingest its slice of the store,
+/// then replay its slice of the mutation log in order. Injected
+/// `failpoint` faults are transient (the supervisor retries the whole
+/// build); everything else is deterministic and terminal.
+#[allow(clippy::too_many_arguments)]
+fn build_shard(
+    store: &SketchStore,
+    algorithm: Algorithm,
+    bands: Bands,
+    config: &ServiceConfig,
     shard_id: usize,
-    ids: &[u64],
-) -> Attempt<Result<ShardContents, String>> {
+    count: usize,
+    mutations: &[Mutation],
+    failpoint: &'static str,
+) -> Attempt<Result<BuiltShard, String>> {
     let tag = shard_id.to_string();
+    let bits = config.fingerprint_bits;
+    // Two sketcher instances: one owned by the index, one kept for
+    // re-sketching streaming histograms (identical provenance, so the
+    // sketches are interchangeable).
+    let front = match build_sketcher(algorithm, store) {
+        Ok(sketcher) => sketcher,
+        Err(e) => return Attempt::Done(Err(e.to_string())),
+    };
     let sketcher = match build_sketcher(algorithm, store) {
         Ok(sketcher) => sketcher,
         Err(e) => return Attempt::Done(Err(e.to_string())),
@@ -477,9 +1349,11 @@ fn ingest_shard(
         Ok(index) => index,
         Err(e) => return Attempt::Done(Err(e.to_string())),
     };
+    let ids: Vec<u64> =
+        store.ids().iter().copied().filter(|id| (id % count as u64) as usize == shard_id).collect();
     let mut fingerprints = HashMap::with_capacity(ids.len());
     for batch in ids.chunks(INGEST_BATCH.max(1)) {
-        if let Err(fault) = wmh_fault::point!("serve::ingest", &tag) {
+        if let Err(fault) = wmh_fault::point!(failpoint, &tag) {
             return Attempt::Transient(fault.to_string());
         }
         for &id in batch {
@@ -497,5 +1371,77 @@ fn ingest_shard(
             fingerprints.insert(id, fp);
         }
     }
-    Attempt::Done(Ok((index, fingerprints)))
+    // Replay the shard's slice of the log, in log order. Front-end
+    // validation ran before every append, so a replay error means a
+    // damaged or foreign log — terminal, never retried.
+    let mut streams: HashMap<u64, HistoSketch> = HashMap::new();
+    let mine: Vec<&Mutation> =
+        mutations.iter().filter(|m| (m.id() % count as u64) as usize == shard_id).collect();
+    for batch in mine.chunks(INGEST_BATCH.max(1)) {
+        if let Err(fault) = wmh_fault::point!(failpoint, &tag) {
+            return Attempt::Transient(fault.to_string());
+        }
+        for m in batch {
+            if let Err(e) =
+                replay_mutation(store, &front, bits, &mut index, &mut fingerprints, &mut streams, m)
+            {
+                return Attempt::Done(Err(format!("wal replay: {e}")));
+            }
+        }
+    }
+    Attempt::Done(Ok(BuiltShard { contents: (index, fingerprints), streams }))
+}
+
+/// Apply one logged mutation to a shard being built — the replay twin of
+/// the live path: identical index calls in identical order, so a rebuilt
+/// shard is byte-identical to one that applied the mutations live.
+fn replay_mutation(
+    store: &SketchStore,
+    front: &DynSketcher,
+    bits: u32,
+    index: &mut LshIndex<DynSketcher>,
+    fingerprints: &mut HashMap<u64, BbitFingerprint>,
+    streams: &mut HashMap<u64, HistoSketch>,
+    m: &Mutation,
+) -> Result<(), String> {
+    match m {
+        Mutation::Insert { id, codes } => {
+            let sketch = Sketch {
+                algorithm: store.algorithm().to_owned(),
+                seed: store.seed(),
+                codes: codes.clone(),
+            };
+            let fp = BbitFingerprint::pack(&sketch.codes, bits).map_err(|e| e.to_string())?;
+            index.insert_sketch(*id, sketch).map_err(|e| e.to_string())?;
+            fingerprints.insert(*id, fp);
+        }
+        Mutation::Delete { id } => {
+            index.remove_sketch(*id).map_err(|e| e.to_string())?;
+            fingerprints.remove(id);
+            streams.remove(id);
+        }
+        Mutation::Stream { id, lambda, items } => {
+            let state = match streams.entry(*id) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => v.insert(
+                    HistoSketch::new(store.seed(), front.num_hashes())
+                        .map_err(|e| e.to_string())?,
+                ),
+            };
+            state.decay(*lambda).map_err(|e| e.to_string())?;
+            for &(k, mass) in items {
+                state.add(k, mass).map_err(|e| e.to_string())?;
+            }
+            let set = state.histogram().map_err(|e| e.to_string())?;
+            let sketch = front.sketch(&set).map_err(|e| e.to_string())?;
+            let fp = BbitFingerprint::pack(&sketch.codes, bits).map_err(|e| e.to_string())?;
+            if index.contains_id(*id) {
+                index.update_sketch(*id, sketch).map_err(|e| e.to_string())?;
+            } else {
+                index.insert_sketch(*id, sketch).map_err(|e| e.to_string())?;
+            }
+            fingerprints.insert(*id, fp);
+        }
+    }
+    Ok(())
 }

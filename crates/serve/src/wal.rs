@@ -1,0 +1,617 @@
+//! The write-ahead log: crash-safety for the live mutation path.
+//!
+//! Every mutation is appended here — length-prefixed, CRC-32C-framed,
+//! fsynced — *before* it is applied to any shard index. The durable append
+//! is the commit point: a mutation acknowledged `ok` has hit the log, so a
+//! SIGKILL at any later point replays to the exact same service state. A
+//! mutation that never reached the log was never acknowledged, so losing
+//! it is correct.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! magic       8 bytes  b"WMHWAL1\0"
+//! frame*      each: [len: u32 LE] [payload: len bytes] [crc32c(payload): u32 LE]
+//! ```
+//!
+//! The first frame is always a *provenance* record binding the log to one
+//! `(algorithm, seed, D)` — a WAL replayed against the wrong store would
+//! silently poison every index, so the binding is checked on every open.
+//! Subsequent frames are mutations, `kind`-tagged in their first byte:
+//!
+//! ```text
+//! kind 0  provenance  [seed u64] [D u32] [name_len u32] [name bytes]
+//! kind 1  insert      [id u64] [n u32] [codes: n × u64]
+//! kind 2  delete      [id u64]
+//! kind 3  stream      [id u64] [λ: f64 bits] [n u32] [n × (key u64, mass: f64 bits)]
+//! ```
+//!
+//! All integers are little-endian; floats travel as raw IEEE-754 bits so a
+//! replayed stream update is *bit*-identical to the original, not merely
+//! close.
+//!
+//! ## Replay rules
+//!
+//! Replay walks frames from the front and stops at the first frame that is
+//! truncated or fails its CRC — everything before it is trusted, everything
+//! from it on is discarded and the file is rewound to the valid prefix
+//! (the same prefix-salvage contract as `SketchStore::salvage`). A torn
+//! tail is the expected signature of a kill mid-append: the torn frame was
+//! never acknowledged, so dropping it loses nothing that was promised.
+//!
+//! ## Failpoints
+//!
+//! `serve::wal_append` fires before the frame bytes are written and
+//! `serve::wal_fsync` before the data sync; a reported failure rewinds the
+//! file to its pre-append length, so a *failed* append never leaves a torn
+//! frame behind — torn frames come only from crashes, which replay
+//! tolerates.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use wmh_hash::crc32c::crc32c;
+
+/// File magic: identifies a wmh-serve WAL, version 1.
+pub const WAL_MAGIC: [u8; 8] = *b"WMHWAL1\0";
+
+/// Hard cap on a single frame payload (matches the wire frame cap).
+pub const MAX_WAL_RECORD: u32 = 16 << 20;
+
+/// Errors from the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalError {
+    /// Filesystem failure (or an injected fault standing in for one).
+    Io(String),
+    /// The file exists but does not start with [`WAL_MAGIC`].
+    BadMagic,
+    /// The log's provenance frame names a different `(algorithm, seed, D)`
+    /// than the store the service is opening over.
+    ProvenanceMismatch {
+        /// `(algorithm, seed, D)` the service expects.
+        expected: (String, u64, usize),
+        /// `(algorithm, seed, D)` recorded in the log.
+        got: (String, u64, usize),
+    },
+    /// A frame that passed its CRC decoded to garbage — a foreign or
+    /// damaged log that prefix-salvage must not paper over.
+    Corrupt(String),
+    /// A mutation too large to frame.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "wal I/O failed: {e}"),
+            Self::BadMagic => write!(f, "not a wmh-serve WAL (bad magic)"),
+            Self::ProvenanceMismatch { expected, got } => write!(
+                f,
+                "wal provenance mismatch: store is ({}, seed {}, D {}), log is ({}, seed {}, D {})",
+                expected.0, expected.1, expected.2, got.0, got.1, got.2
+            ),
+            Self::Corrupt(e) => write!(f, "wal frame corrupt: {e}"),
+            Self::TooLarge(len) => write!(f, "wal record {len} bytes exceeds cap {MAX_WAL_RECORD}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+/// An injected fault is indistinguishable from a real I/O failure to
+/// callers — same `Io` variant, message naming the failpoint.
+fn injected(point: Result<(), wmh_fault::Fault>) -> Result<(), WalError> {
+    point.map_err(|f| WalError::Io(f.to_string()))
+}
+
+/// The `(algorithm, seed, D)` binding a WAL to one store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalProvenance {
+    /// Catalog name of the sketching algorithm.
+    pub algorithm: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Fingerprint length `D`.
+    pub num_hashes: usize,
+}
+
+/// One logged mutation — the logical write, replayable bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Index a new point: its sketch codes (already sketched at the front,
+    /// so replay needs no document).
+    Insert {
+        /// The point's id.
+        id: u64,
+        /// Its `D` sketch codes.
+        codes: Vec<u64>,
+    },
+    /// Forget a point.
+    Delete {
+        /// The point's id.
+        id: u64,
+    },
+    /// One streaming step for a drifting document: decay its accumulated
+    /// histogram by `lambda`, then feed `items`. Replay re-runs the exact
+    /// HistoSketch op sequence, so the rebuilt histogram is bit-identical.
+    Stream {
+        /// The point's id.
+        id: u64,
+        /// Gradual-forgetting factor in `(0, 1]`.
+        lambda: f64,
+        /// `(element, mass)` stream items.
+        items: Vec<(u64, f64)>,
+    },
+}
+
+impl Mutation {
+    /// The id the mutation addresses.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match *self {
+            Self::Insert { id, .. } | Self::Delete { id } | Self::Stream { id, .. } => id,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::Insert { id, codes } => {
+                out.push(1);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&(codes.len() as u32).to_le_bytes());
+                for c in codes {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            Self::Delete { id } => {
+                out.push(2);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Self::Stream { id, lambda, items } => {
+                out.push(3);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&lambda.to_bits().to_le_bytes());
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for (k, mass) in items {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&mass.to_bits().to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, WalError> {
+        let mut r = Reader::new(payload);
+        let mutation = match r.u8()? {
+            1 => {
+                let id = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut codes = Vec::with_capacity(n.min(MAX_WAL_RECORD as usize / 8));
+                for _ in 0..n {
+                    codes.push(r.u64()?);
+                }
+                Self::Insert { id, codes }
+            }
+            2 => Self::Delete { id: r.u64()? },
+            3 => {
+                let id = r.u64()?;
+                let lambda = f64::from_bits(r.u64()?);
+                let n = r.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(MAX_WAL_RECORD as usize / 16));
+                for _ in 0..n {
+                    let k = r.u64()?;
+                    let mass = f64::from_bits(r.u64()?);
+                    items.push((k, mass));
+                }
+                Self::Stream { id, lambda, items }
+            }
+            kind => return Err(WalError::Corrupt(format!("unknown mutation kind {kind}"))),
+        };
+        r.finish()?;
+        Ok(mutation)
+    }
+}
+
+/// What replay found in an existing log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Mutations replayed (the provenance frame is not counted).
+    pub records: usize,
+    /// Torn-tail bytes discarded (0 for a cleanly closed log).
+    pub bytes_discarded: usize,
+}
+
+/// An open write-ahead log (see the module docs for format and rules).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    /// Length of the valid prefix — where the next frame goes, and where a
+    /// failed append rewinds to.
+    len: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, bound to `provenance`.
+    ///
+    /// An existing log is verified (magic + provenance), its mutations
+    /// replayed into the returned `Vec`, and any torn tail rewound; a
+    /// fresh log gets its magic + provenance frame written and fsynced.
+    ///
+    /// # Errors
+    /// [`WalError::BadMagic`] / [`WalError::ProvenanceMismatch`] /
+    /// [`WalError::Corrupt`] for a foreign or damaged log,
+    /// [`WalError::Io`] on filesystem failure.
+    pub fn open(
+        path: &Path,
+        provenance: &WalProvenance,
+    ) -> Result<(Self, Vec<Mutation>, ReplayReport), WalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.is_empty() {
+            return Ok((
+                Self::create(path, provenance)?,
+                Vec::new(),
+                ReplayReport { records: 0, bytes_discarded: 0 },
+            ));
+        }
+        if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(WalError::BadMagic);
+        }
+
+        let mut at = WAL_MAGIC.len();
+        // The provenance frame is load-bearing: a log whose first frame is
+        // torn is indistinguishable from a foreign file, so it is an error,
+        // not a salvage.
+        let head = next_frame(&bytes, at)
+            .ok_or_else(|| WalError::Corrupt("provenance frame missing or torn".into()))?;
+        let got = decode_provenance(head.payload)?;
+        let expected = WalProvenance {
+            algorithm: provenance.algorithm.clone(),
+            seed: provenance.seed,
+            num_hashes: provenance.num_hashes,
+        };
+        if got != expected {
+            return Err(WalError::ProvenanceMismatch {
+                expected: (expected.algorithm, expected.seed, expected.num_hashes),
+                got: (got.algorithm, got.seed, got.num_hashes),
+            });
+        }
+        at = head.end;
+
+        let mut mutations = Vec::new();
+        while let Some(frame) = next_frame(&bytes, at) {
+            // A CRC-valid frame that decodes to garbage is corruption, not
+            // a torn tail — prefix salvage must not swallow it.
+            mutations.push(Mutation::decode(frame.payload)?);
+            at = frame.end;
+        }
+        let report = ReplayReport { records: mutations.len(), bytes_discarded: bytes.len() - at };
+
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        // Rewind the torn tail so the next append starts at the valid
+        // prefix instead of interleaving with garbage.
+        file.set_len(at as u64)?;
+        file.seek(SeekFrom::Start(at as u64))?;
+        if report.bytes_discarded > 0 {
+            file.sync_data()?;
+        }
+        Ok((Self { file, len: at as u64 }, mutations, report))
+    }
+
+    /// Create a fresh log: magic + provenance frame, durably.
+    fn create(path: &Path, provenance: &WalProvenance) -> Result<Self, WalError> {
+        let mut file =
+            OpenOptions::new().create(true).truncate(true).read(true).write(true).open(path)?;
+        let mut head = Vec::new();
+        head.push(0u8);
+        head.extend_from_slice(&provenance.seed.to_le_bytes());
+        head.extend_from_slice(&(provenance.num_hashes as u32).to_le_bytes());
+        head.extend_from_slice(&(provenance.algorithm.len() as u32).to_le_bytes());
+        head.extend_from_slice(provenance.algorithm.as_bytes());
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&frame(&head)?);
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(Self { file, len: bytes.len() as u64 })
+    }
+
+    /// Durably append one mutation. On *any* failure — injected
+    /// (`serve::wal_append`, `serve::wal_fsync`) or real — the file is
+    /// rewound to its pre-append length, so a reported failure never
+    /// leaves a torn frame.
+    ///
+    /// # Errors
+    /// [`WalError::TooLarge`] for an oversized record, [`WalError::Io`]
+    /// on write/sync failure.
+    pub fn append(&mut self, mutation: &Mutation) -> Result<(), WalError> {
+        let bytes = frame(&mutation.encode())?;
+        let result = (|| -> Result<(), WalError> {
+            injected(wmh_fault::point!("serve::wal_append"))?;
+            self.file.write_all(&bytes)?;
+            injected(wmh_fault::point!("serve::wal_fsync"))?;
+            self.file.sync_data()?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.len += bytes.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Best-effort rewind; if even that fails the open-time
+                // prefix salvage still recovers, because the torn frame
+                // cannot pass its CRC.
+                let _ = self.file.set_len(self.len);
+                let _ = self.file.seek(SeekFrom::Start(self.len));
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes in the valid prefix (magic + provenance + committed frames).
+    #[must_use]
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+}
+
+/// Frame a payload: `[len][payload][crc32c(payload)]`.
+fn frame(payload: &[u8]) -> Result<Vec<u8>, WalError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WalError::TooLarge(payload.len()))?;
+    if len > MAX_WAL_RECORD {
+        return Err(WalError::TooLarge(payload.len()));
+    }
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    Ok(out)
+}
+
+struct Frame<'a> {
+    payload: &'a [u8],
+    end: usize,
+}
+
+/// The next whole, CRC-valid frame at `at`, or `None` for a torn tail.
+fn next_frame(bytes: &[u8], at: usize) -> Option<Frame<'_>> {
+    let len_end = at.checked_add(4)?;
+    if len_end > bytes.len() {
+        return None;
+    }
+    let len = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+    if len > MAX_WAL_RECORD {
+        return None;
+    }
+    let payload_end = len_end.checked_add(len as usize)?;
+    let end = payload_end.checked_add(4)?;
+    if end > bytes.len() {
+        return None;
+    }
+    let payload = &bytes[len_end..payload_end];
+    let stored = u32::from_le_bytes([
+        bytes[payload_end],
+        bytes[payload_end + 1],
+        bytes[payload_end + 2],
+        bytes[payload_end + 3],
+    ]);
+    if crc32c(payload) != stored {
+        return None;
+    }
+    Some(Frame { payload, end })
+}
+
+fn decode_provenance(payload: &[u8]) -> Result<WalProvenance, WalError> {
+    let mut r = Reader::new(payload);
+    if r.u8()? != 0 {
+        return Err(WalError::Corrupt("first frame is not a provenance record".into()));
+    }
+    let seed = r.u64()?;
+    let num_hashes = r.u32()? as usize;
+    let name_len = r.u32()? as usize;
+    let name = r.bytes(name_len)?;
+    let algorithm = std::str::from_utf8(name)
+        .map_err(|e| WalError::Corrupt(format!("algorithm name not UTF-8: {e}")))?
+        .to_owned();
+    r.finish()?;
+    Ok(WalProvenance { algorithm, seed, num_hashes })
+}
+
+/// A bounds-checked little-endian cursor; every short read is typed.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| WalError::Corrupt("record shorter than its fields".into()))?;
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WalError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WalError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn finish(self) -> Result<(), WalError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WalError::Corrupt(format!(
+                "{} trailing bytes after the last field",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provenance() -> WalProvenance {
+        WalProvenance { algorithm: "ICWS".into(), seed: 9, num_hashes: 128 }
+    }
+
+    fn dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("wmh-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn sample() -> Vec<Mutation> {
+        vec![
+            Mutation::Insert { id: 7, codes: vec![1, 2, 3] },
+            Mutation::Stream { id: 9, lambda: 0.875, items: vec![(4, 1.5), (11, 0.062_5)] },
+            Mutation::Delete { id: 7 },
+        ]
+    }
+
+    #[test]
+    fn append_replay_round_trips() {
+        let d = dir("roundtrip");
+        let path = d.join("serve.wal");
+        let (mut wal, replayed, report) = Wal::open(&path, &provenance()).expect("create");
+        assert!(replayed.is_empty());
+        assert_eq!(report, ReplayReport { records: 0, bytes_discarded: 0 });
+        for m in sample() {
+            wal.append(&m).expect("append");
+        }
+        drop(wal);
+        let (_, replayed, report) = Wal::open(&path, &provenance()).expect("reopen");
+        assert_eq!(replayed, sample());
+        assert_eq!(report, ReplayReport { records: 3, bytes_discarded: 0 });
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_tail_is_rewound_and_appends_continue() {
+        let d = dir("torn");
+        let path = d.join("serve.wal");
+        let (mut wal, _, _) = Wal::open(&path, &provenance()).expect("create");
+        for m in sample() {
+            wal.append(&m).expect("append");
+        }
+        let valid = wal.len_bytes();
+        drop(wal);
+        // A kill mid-append: half a frame lands.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(&40u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        std::fs::write(&path, &bytes).expect("tear");
+
+        let (mut wal, replayed, report) = Wal::open(&path, &provenance()).expect("salvage");
+        assert_eq!(replayed, sample(), "valid prefix survives");
+        assert_eq!(report.bytes_discarded, 7, "torn tail measured");
+        assert_eq!(wal.len_bytes(), valid, "file rewound to the valid prefix");
+        wal.append(&Mutation::Delete { id: 9 }).expect("append after salvage");
+        drop(wal);
+        let (_, replayed, report) = Wal::open(&path, &provenance()).expect("reopen");
+        assert_eq!(replayed.len(), 4);
+        assert_eq!(report.bytes_discarded, 0);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupt_middle_is_an_error_not_a_salvage() {
+        let d = dir("corrupt");
+        let path = d.join("serve.wal");
+        let (mut wal, _, _) = Wal::open(&path, &provenance()).expect("create");
+        for m in sample() {
+            wal.append(&m).expect("append");
+        }
+        drop(wal);
+        // Flip one payload byte in the middle: the CRC fails, which reads
+        // as a torn tail — everything after it is discarded.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let (_, replayed, report) = Wal::open(&path, &provenance()).expect("salvage");
+        assert!(replayed.len() < 3, "corrupted frame and successors dropped");
+        assert!(report.bytes_discarded > 0);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn provenance_mismatch_is_typed() {
+        let d = dir("prov");
+        let path = d.join("serve.wal");
+        let (_, _, _) = Wal::open(&path, &provenance()).expect("create");
+        let other = WalProvenance { algorithm: "ICWS".into(), seed: 10, num_hashes: 128 };
+        match Wal::open(&path, &other) {
+            Err(WalError::ProvenanceMismatch { expected, got }) => {
+                assert_eq!(expected.1, 10);
+                assert_eq!(got.1, 9);
+            }
+            other => panic!("expected provenance mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn foreign_file_is_bad_magic() {
+        let d = dir("magic");
+        let path = d.join("serve.wal");
+        std::fs::write(&path, b"definitely not a wal").expect("write");
+        assert_eq!(Wal::open(&path, &provenance()).unwrap_err(), WalError::BadMagic);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn float_payloads_survive_bit_exactly() {
+        let d = dir("bits");
+        let path = d.join("serve.wal");
+        let (mut wal, _, _) = Wal::open(&path, &provenance()).expect("create");
+        let m = Mutation::Stream {
+            id: 1,
+            lambda: 0.1 + 0.2, // deliberately non-representable
+            items: vec![(2, 1.0 / 3.0), (3, f64::MIN_POSITIVE)],
+        };
+        wal.append(&m).expect("append");
+        drop(wal);
+        let (_, replayed, _) = Wal::open(&path, &provenance()).expect("reopen");
+        let Mutation::Stream { lambda, items, .. } = &replayed[0] else { panic!("kind") };
+        assert_eq!(lambda.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(items[0].1.to_bits(), (1.0f64 / 3.0).to_bits());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

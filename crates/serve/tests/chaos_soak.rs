@@ -200,7 +200,8 @@ fn loadgen_accounts_every_request_under_chaos() {
     let service = Service::from_store(&store_for(&docs), config(4)).expect("service");
     let query_docs: Vec<Vec<(u64, f64)>> = docs.iter().map(|d| d.iter().collect()).collect();
 
-    let chaos_config = LoadConfig { requests: 240, concurrency: 4, k: 10, deadline_us: 20_000 };
+    let chaos_config =
+        LoadConfig { requests: 240, concurrency: 4, k: 10, deadline_us: 20_000, write_every: 0 };
     let chaotic = loadgen::run(&service, "Syn3E0.24S-soak", &query_docs, &chaos_config);
     chaotic.validate().expect("typed-outcome accounting must survive chaos");
     assert_eq!(chaotic.requests, 240);
@@ -217,7 +218,8 @@ fn loadgen_accounts_every_request_under_chaos() {
     }
     assert!(recovered, "quarantined shards never recovered after chaos");
 
-    let calm_config = LoadConfig { requests: 160, concurrency: 4, k: 10, deadline_us: 2_000_000 };
+    let calm_config =
+        LoadConfig { requests: 160, concurrency: 4, k: 10, deadline_us: 2_000_000, write_every: 0 };
     let calm = loadgen::run(&service, "Syn3E0.24S-soak", &query_docs, &calm_config);
     calm.validate().expect("fault-free accounting");
     assert_eq!(calm.ok, calm.requests, "recovered fleet must serve everything: {calm:?}");

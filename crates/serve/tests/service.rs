@@ -90,6 +90,7 @@ fn malformed_json_gets_typed_bad_request() {
             assert!(error.contains("malformed request"), "{error}");
         }
         Response::Health(h) => panic!("health reply to garbage: {h:?}"),
+        Response::Mutation(m) => panic!("mutation reply to garbage: {m:?}"),
     }
 }
 

@@ -93,12 +93,31 @@ run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
   cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
   --test chaos_soak -q
 
+# Mutation chaos soak: kill-resume recovery over the write-ahead log must
+# replay byte-identical with faults injected at every commit-path failpoint
+# (serve::wal_append, serve::wal_fsync, serve::apply, serve::reshard) at
+# 1/2/8 shards; torn tails discard, exhausted appends flip read-only, and
+# re-shards converge byte-identical to from-scratch partitions.
+run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
+  cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
+  --test mutation_soak -q
+
 # Serving smoke: a real loopback server must answer every outcome class
-# typed — healthy, forced deadline miss, forced overload, bad request.
+# typed — healthy, forced deadline miss, forced overload, bad request, and
+# a mutation against a read-only service.
 if [[ "$QUICK" == "1" ]]; then
   run cargo run -q -p wmh-serve -- smoke --quick
 else
   run cargo run "${RELEASE[@]}" -q -p wmh-serve -- smoke
+fi
+
+# Live-mutation soak over the wire: the whole mutation surface against a
+# WAL-backed loopback server, then kill-resume and a live re-shard both
+# proven byte-identical end to end.
+if [[ "$QUICK" == "1" ]]; then
+  run cargo run -q -p wmh-serve -- mutation-soak --quick
+else
+  run cargo run "${RELEASE[@]}" -q -p wmh-serve -- mutation-soak
 fi
 
 # Every checked-in results/*.json must match its registered schema
