@@ -169,6 +169,70 @@ impl HistoSketch {
         WeightedSet::from_pairs(self.weights.iter().map(|(&k, &w)| (k, w)))
             .map_err(|_| SketchError::BadParameter { what: "histogram weights", value: f64::NAN })
     }
+
+    /// Export the full mutable state for persistence.
+    ///
+    /// Weights are sorted by element so the serialization is canonical:
+    /// two sketches with identical state export identical bytes, whatever
+    /// their `HashMap` iteration order.
+    #[must_use]
+    pub fn state(&self) -> HistoSketchState {
+        let mut weights: Vec<(u64, f64)> = self.weights.iter().map(|(&k, &w)| (k, w)).collect();
+        weights.sort_unstable_by_key(|&(k, _)| k);
+        HistoSketchState {
+            seed: self.seed,
+            num_hashes: self.num_hashes,
+            weights,
+            slots: self.slots.clone(),
+        }
+    }
+
+    /// Reconstruct a sketch from an exported [`HistoSketchState`],
+    /// bit-exactly: the restored sketch produces the same codes and the
+    /// same future trajectory under `add`/`decay` as the original (the
+    /// oracle is a pure function of the seed, and weights/slot values are
+    /// restored as raw IEEE-754 values, never recomputed).
+    ///
+    /// # Errors
+    /// [`SketchError::BadParameter`] when `num_hashes == 0`, the slot count
+    /// disagrees with `num_hashes`, or any weight is non-finite or
+    /// non-positive.
+    pub fn from_state(state: &HistoSketchState) -> Result<Self, SketchError> {
+        if state.num_hashes == 0 {
+            return Err(SketchError::BadParameter { what: "num_hashes", value: 0.0 });
+        }
+        if state.slots.len() != state.num_hashes {
+            return Err(SketchError::BadParameter {
+                what: "slot count",
+                value: state.slots.len() as f64,
+            });
+        }
+        if let Some(&(_, w)) = state.weights.iter().find(|&&(_, w)| !w.is_finite() || w <= 0.0) {
+            return Err(SketchError::BadParameter { what: "restored weight", value: w });
+        }
+        Ok(Self {
+            oracle: SeededHash::new(state.seed),
+            seed: state.seed,
+            num_hashes: state.num_hashes,
+            weights: state.weights.iter().copied().collect(),
+            slots: state.slots.clone(),
+        })
+    }
+}
+
+/// The complete mutable state of a [`HistoSketch`], in canonical
+/// (element-sorted) order — what [`HistoSketch::state`] exports and
+/// [`HistoSketch::from_state`] restores bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoSketchState {
+    /// Master seed (the oracle is reconstructed from it).
+    pub seed: u64,
+    /// Sketch length `D`.
+    pub num_hashes: usize,
+    /// Decayed histogram, sorted by element.
+    pub weights: Vec<(u64, f64)>,
+    /// Per-slot current winner: `(element, hash value)`.
+    pub slots: Vec<Option<(u64, f64)>>,
 }
 
 #[cfg(test)]
@@ -265,6 +329,42 @@ mod tests {
         // 0-bit-style codes: small upward bias allowed on top of CLT noise.
         let sd = (truth * (1.0 - truth) / d as f64).sqrt();
         assert!((est - truth).abs() < 5.0 * sd + 0.03, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        let mut h = HistoSketch::new(7, 32).unwrap();
+        for k in 0..25u64 {
+            h.add(k, 0.1 + k as f64 * 0.3).unwrap();
+        }
+        h.decay(0.7).unwrap();
+        h.add(99, 2.5).unwrap();
+        let state = h.state();
+        let mut restored = HistoSketch::from_state(&state).unwrap();
+        assert_eq!(restored.sketch().unwrap().codes, h.sketch().unwrap().codes);
+        assert_eq!(restored.state(), state, "canonical state is stable");
+        // Future trajectory must also match bit-for-bit.
+        restored.decay(0.9).unwrap();
+        restored.add(7, 0.125).unwrap();
+        h.decay(0.9).unwrap();
+        h.add(7, 0.125).unwrap();
+        assert_eq!(restored.state(), h.state());
+        assert_eq!(restored.weight(7).to_bits(), h.weight(7).to_bits());
+    }
+
+    #[test]
+    fn from_state_validates() {
+        let good = HistoSketch::new(1, 4).unwrap().state();
+        assert!(HistoSketch::from_state(&good).is_ok());
+        let mut bad = good.clone();
+        bad.num_hashes = 0;
+        assert!(HistoSketch::from_state(&bad).is_err());
+        let mut bad = good.clone();
+        bad.slots.pop();
+        assert!(HistoSketch::from_state(&bad).is_err());
+        let mut bad = good;
+        bad.weights.push((3, f64::NAN));
+        assert!(HistoSketch::from_state(&bad).is_err());
     }
 
     #[test]

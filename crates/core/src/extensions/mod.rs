@@ -20,6 +20,6 @@ mod one_permutation;
 mod streaming_icws;
 
 pub use bbit::BbitSketch;
-pub use histosketch::HistoSketch;
+pub use histosketch::{HistoSketch, HistoSketchState};
 pub use one_permutation::OnePermutationHasher;
 pub use streaming_icws::StreamingIcws;

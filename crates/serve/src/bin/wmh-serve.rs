@@ -6,8 +6,12 @@
 //!                 [--docs N] [--shards S] [--k K] [--deadline-us U] [--seed X]
 //!                 [--write-every W]
 //! wmh-serve mutation-soak [--quick]
+//! wmh-serve recovery-bench --out results/BENCH_serve_recovery.json [--quick]
 //! wmh-serve check-report <path>
-//! wmh-serve serve --store sketches.bin [--addr 127.0.0.1:7878] [--wal FILE]
+//! wmh-serve wal-info <dir>
+//! wmh-serve snapshot --store sketches.bin --wal DIR
+//! wmh-serve serve --store sketches.bin [--addr 127.0.0.1:7878] [--wal DIR]
+//!                 [--snapshot-every N] [--scrub-every-secs S]
 //! ```
 //!
 //! * `smoke` — CI's end-to-end gate: a loopback server answering typed
@@ -22,10 +26,22 @@
 //!   surface over the wire against a WAL-backed loopback server, then
 //!   proves kill-resume recovery and a live re-shard byte-identical to
 //!   from-scratch builds.
+//! * `recovery-bench` — measure reopen (recovery) time with and without a
+//!   snapshot at several write counts; writes the `wmh-serve-recovery/v1`
+//!   report the perf gate checks.
 //! * `check-report` — validate a report file's schema and arithmetic
 //!   invariants (outcome counts must sum to requests issued).
-//! * `serve` — run a real server over a saved sketch store; `--wal FILE`
+//! * `wal-info` — offline inspection of a WAL directory (or legacy file):
+//!   per-segment generations, record counts, torn bytes, and snapshot
+//!   inventory. Exits 2 — distinctly from usage errors — when any sealed
+//!   segment or snapshot is damaged, so scripts can gate on it.
+//! * `snapshot` — open a store + WAL read-write, take one snapshot
+//!   (rotating the log and retiring subsumed segments), and exit.
+//! * `serve` — run a real server over a saved sketch store; `--wal DIR`
 //!   opens it writable with a crash-safe write-ahead log.
+//!   `--snapshot-every N` snapshots automatically every N committed
+//!   writes; `--scrub-every-secs S` runs the background integrity
+//!   scrubber at that cadence.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,13 +50,14 @@ use std::sync::Arc;
 use wmh_core::{SketchStore, Sketcher};
 use wmh_data::PAPER_DATASETS;
 use wmh_serve::{
-    loadgen, Client, LoadConfig, LoadReport, Outcome, QueryRequest, Server, Service, ServiceConfig,
+    loadgen, snapshot, wal, Client, LoadConfig, LoadReport, MutationKind, MutationRequest, Outcome,
+    QueryRequest, Server, Service, ServiceConfig, RECOVERY_SCHEMA_VERSION,
 };
 use wmh_sets::WeightedSet;
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -49,11 +66,11 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  wmh-serve smoke [--quick]\n  wmh-serve load --out FILE [--requests N] [--concurrency C] [--docs N]\n                 [--shards S] [--k K] [--deadline-us U] [--seed X] [--write-every W]\n  wmh-serve mutation-soak [--quick]\n  wmh-serve check-report FILE\n  wmh-serve serve --store FILE [--addr 127.0.0.1:7878] [--wal FILE]"
+    "usage:\n  wmh-serve smoke [--quick]\n  wmh-serve load --out FILE [--requests N] [--concurrency C] [--docs N]\n                 [--shards S] [--k K] [--deadline-us U] [--seed X] [--write-every W]\n  wmh-serve mutation-soak [--quick]\n  wmh-serve recovery-bench --out FILE [--quick]\n  wmh-serve check-report FILE\n  wmh-serve wal-info DIR\n  wmh-serve snapshot --store FILE --wal DIR\n  wmh-serve serve --store FILE [--addr 127.0.0.1:7878] [--wal DIR]\n                  [--snapshot-every N] [--scrub-every-secs S]"
         .to_owned()
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return Err(usage());
@@ -67,7 +84,7 @@ fn run() -> Result<(), String> {
         })
     };
     match cmd.as_str() {
-        "smoke" => smoke(args.iter().any(|a| a == "--quick")),
+        "smoke" => smoke(args.iter().any(|a| a == "--quick")).map(|()| ExitCode::SUCCESS),
         "load" => {
             let out = flag("--out").ok_or_else(|| format!("missing --out\n{}", usage()))?;
             load(
@@ -81,16 +98,41 @@ fn run() -> Result<(), String> {
                 num("--seed", 42)?,
                 num("--write-every", 0)? as usize,
             )
+            .map(|()| ExitCode::SUCCESS)
         }
-        "mutation-soak" => mutation_soak(args.iter().any(|a| a == "--quick")),
+        "mutation-soak" => {
+            mutation_soak(args.iter().any(|a| a == "--quick")).map(|()| ExitCode::SUCCESS)
+        }
+        "recovery-bench" => {
+            let out = flag("--out").ok_or_else(|| format!("missing --out\n{}", usage()))?;
+            recovery_bench(&out, args.iter().any(|a| a == "--quick")).map(|()| ExitCode::SUCCESS)
+        }
         "check-report" => {
             let path = args.get(1).ok_or_else(|| format!("missing FILE\n{}", usage()))?;
-            check_report(path)
+            check_report(path).map(|()| ExitCode::SUCCESS)
+        }
+        "wal-info" => {
+            let dir = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .ok_or_else(|| format!("missing DIR\n{}", usage()))?;
+            wal_info(dir)
+        }
+        "snapshot" => {
+            let store = flag("--store").ok_or_else(|| format!("missing --store\n{}", usage()))?;
+            let wal = flag("--wal").ok_or_else(|| format!("missing --wal\n{}", usage()))?;
+            snapshot_verb(&store, &wal).map(|()| ExitCode::SUCCESS)
         }
         "serve" => {
             let store = flag("--store").ok_or_else(|| format!("missing --store\n{}", usage()))?;
             let addr = flag("--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
-            serve(&store, &addr, flag("--wal"))
+            let snapshot_every = match num("--snapshot-every", 0)? {
+                0 => None,
+                n => Some(n),
+            };
+            serve(&store, &addr, flag("--wal"), snapshot_every, num("--scrub-every-secs", 0)?)
+                .map(|()| ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -379,6 +421,115 @@ fn mutation_soak(quick: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// One measured reopen in the recovery bench.
+struct RecoveryRow {
+    /// Committed writes before the kill.
+    writes: u64,
+    /// Whether a snapshot was taken before the kill.
+    snapshot: bool,
+    /// WAL mutations the reopen actually replayed.
+    wal_records_replayed: u64,
+    /// WAL segments the reopen actually read.
+    segments_replayed: u64,
+    /// Wall-clock seconds for the reopen (`Service::open`).
+    open_secs: f64,
+}
+
+wmh_json::json_object!(RecoveryRow {
+    writes,
+    snapshot,
+    wal_records_replayed,
+    segments_replayed,
+    open_secs
+});
+
+/// The `wmh-serve-recovery/v1` report: recovery cost with and without a
+/// snapshot, at several write counts.
+struct RecoveryReport {
+    schema: String,
+    corpus: String,
+    docs: u64,
+    shards: u64,
+    rows: Vec<RecoveryRow>,
+}
+
+wmh_json::json_object!(RecoveryReport { schema, corpus, docs, shards, rows });
+
+/// Measure reopen (recovery) time with and without a snapshot at several
+/// write counts: the snapshotted runs must replay only the (empty) tail,
+/// which is the whole point of the durability lifecycle.
+fn recovery_bench(out: &str, quick: bool) -> Result<(), String> {
+    let docs_n = if quick { 48 } else { 160 };
+    let max_writes = if quick { 60u64 } else { 240 };
+    let shards = 2usize;
+    let (name, docs) = corpus(docs_n, 42)?;
+    let store = build_store(&docs, 42)?;
+    let config =
+        ServiceConfig { shards, default_deadline_us: 2_000_000, ..ServiceConfig::default() };
+    let mut rows = Vec::new();
+    for writes in [max_writes / 4, max_writes / 2, max_writes] {
+        for snapshot in [false, true] {
+            let dir = scratch_dir(&format!("recovery-{writes}-{snapshot}"))?;
+            let wal_dir = dir.join("bench.wal");
+            let service = Service::open(&store, &wal_dir, config.clone())
+                .map_err(|e| format!("open ({writes} writes): {e}"))?;
+            for i in 0..writes {
+                let response = service.mutate(&MutationRequest {
+                    id: 1_000_000 + i,
+                    kind: MutationKind::Insert { doc: pairs_of(&docs[i as usize % docs.len()]) },
+                    deadline_us: Some(2_000_000),
+                });
+                if response.outcome != Outcome::Ok {
+                    return Err(format!("recovery-bench: write {i} degraded: {response:?}"));
+                }
+            }
+            if snapshot {
+                service.snapshot().map_err(|e| format!("snapshot ({writes} writes): {e}"))?;
+            }
+            drop(service);
+            let started = std::time::Instant::now();
+            let reopened = Service::open(&store, &wal_dir, config.clone())
+                .map_err(|e| format!("reopen ({writes} writes): {e}"))?;
+            let open_secs = started.elapsed().as_secs_f64();
+            let replay = reopened
+                .wal_recovery()
+                .ok_or_else(|| "recovery-bench: reopen reported no recovery".to_owned())?;
+            rows.push(RecoveryRow {
+                writes,
+                snapshot,
+                wal_records_replayed: replay.records as u64,
+                segments_replayed: replay.segments_replayed as u64,
+                open_secs,
+            });
+            drop(reopened);
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+    let report = RecoveryReport {
+        schema: RECOVERY_SCHEMA_VERSION.to_owned(),
+        corpus: name.clone(),
+        docs: docs_n as u64,
+        shards: shards as u64,
+        rows,
+    };
+    let mut text = wmh_json::to_string_pretty(&report);
+    text.push('\n');
+    std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    for row in &report.rows {
+        println!(
+            "recovery-bench: {} writes, snapshot={}: replayed {} records over {} segment(s) \
+             in {:.4}s",
+            row.writes,
+            row.snapshot,
+            row.wal_records_replayed,
+            row.segments_replayed,
+            row.open_secs
+        );
+    }
+    println!("recovery-bench: {} rows over {name} — wrote {out}", report.rows.len());
+    Ok(())
+}
+
 /// Validate a load report file: schema shape plus arithmetic invariants.
 fn check_report(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -389,26 +540,110 @@ fn check_report(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Serve a saved sketch store until killed; with `--wal`, writable over a
-/// crash-safe write-ahead log (replayed at startup).
-fn serve(store_path: &str, addr: &str, wal: Option<String>) -> Result<(), String> {
+/// Offline WAL + snapshot inspection. Exit code 2 (distinct from the
+/// generic failure 1) when any sealed segment or snapshot is damaged.
+fn wal_info(dir: &str) -> Result<ExitCode, String> {
+    let path = std::path::Path::new(dir);
+    let info = wal::inspect(path).map_err(|e| format!("inspecting {dir}: {e}"))?;
+    println!(
+        "wal-info: {dir}: provenance {} seed={} D={}",
+        info.provenance.algorithm, info.provenance.seed, info.provenance.num_hashes
+    );
+    let mut corrupt = info.corrupt();
+    for segment in &info.segments {
+        let health = match &segment.error {
+            Some(e) => format!("CORRUPT — {e}"),
+            None if segment.torn_bytes > 0 => {
+                format!("{} torn tail byte(s)", segment.torn_bytes)
+            }
+            None => "ok".into(),
+        };
+        println!(
+            "  segment gen {:>3}: {:>6} records, {:>9} bytes, {health}",
+            segment.generation, segment.records, segment.bytes
+        );
+    }
+    let snapshots = if path.is_dir() {
+        snapshot::list(path).map_err(|e| format!("listing snapshots in {dir}: {e}"))?
+    } else {
+        Vec::new()
+    };
+    let provenance = info.provenance.clone();
+    for (gen, snap_path) in &snapshots {
+        match snapshot::verify_file(snap_path, &provenance) {
+            Ok(()) => println!("  snapshot gen {gen:>3}: ok"),
+            Err(e) => {
+                corrupt = true;
+                println!("  snapshot gen {gen:>3}: CORRUPT — {e}");
+            }
+        }
+    }
+    if snapshots.is_empty() {
+        println!("  (no snapshots)");
+    }
+    if corrupt {
+        println!("wal-info: CORRUPTION FOUND");
+        return Ok(ExitCode::from(2));
+    }
+    println!("wal-info: clean");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Open a store + WAL read-write, take one snapshot, and exit.
+fn snapshot_verb(store_path: &str, wal_dir: &str) -> Result<(), String> {
     let store = SketchStore::load_from_path(std::path::Path::new(store_path))
         .map_err(|e| format!("loading {store_path}: {e}"))?;
+    let service = Service::open(&store, std::path::Path::new(wal_dir), ServiceConfig::default())
+        .map_err(|e| format!("open: {e}"))?;
+    let generation = service.snapshot().map_err(|e| e.to_string())?;
+    println!("snapshot: wrote generation {generation} in {wal_dir}");
+    Ok(())
+}
+
+/// Serve a saved sketch store until killed; with `--wal`, writable over a
+/// crash-safe write-ahead log (replayed at startup).
+fn serve(
+    store_path: &str,
+    addr: &str,
+    wal: Option<String>,
+    snapshot_every: Option<u64>,
+    scrub_every_secs: u64,
+) -> Result<(), String> {
+    let store = SketchStore::load_from_path(std::path::Path::new(store_path))
+        .map_err(|e| format!("loading {store_path}: {e}"))?;
+    let config = ServiceConfig { snapshot_every, ..ServiceConfig::default() };
     let service = Arc::new(
         match &wal {
-            Some(path) => {
-                Service::open(&store, std::path::Path::new(path), ServiceConfig::default())
-            }
-            None => Service::from_store(&store, ServiceConfig::default()),
+            Some(path) => Service::open(&store, std::path::Path::new(path), config),
+            None => Service::from_store(&store, config),
         }
         .map_err(|e| format!("build: {e}"))?,
     );
-    if let Some(report) = service.wal_recovery() {
+    if let Some(recovery) = service.recovery() {
+        let from = recovery
+            .snapshot_generation
+            .map_or("cold store".to_owned(), |g| format!("snapshot generation {g}"));
         println!(
-            "wal: replayed {} mutations ({} torn-tail bytes discarded)",
-            report.records, report.bytes_discarded
+            "wal: restored from {from}; replayed {} mutations from {} of {} segment(s) \
+             ({} torn-tail bytes discarded, {} damaged snapshot(s) skipped)",
+            recovery.replay.records,
+            recovery.replay.segments_replayed,
+            recovery.replay.segments_total,
+            recovery.replay.bytes_discarded,
+            recovery.snapshots_rejected,
         );
     }
+    let _scrubber = if scrub_every_secs > 0 && wal.is_some() {
+        Some(
+            wmh_serve::spawn_scrubber(
+                Arc::clone(&service),
+                std::time::Duration::from_secs(scrub_every_secs),
+            )
+            .map_err(|e| format!("spawning scrubber: {e}"))?,
+        )
+    } else {
+        None
+    };
     let indexed = service.health().indexed;
     let mode = if wal.is_some() { "read-write" } else { "read-only" };
     let server = Server::spawn(service, addr).map_err(|e| format!("spawn: {e}"))?;

@@ -1,0 +1,195 @@
+//! The write gate: half-open admission for the durable write path.
+//!
+//! When a durable WAL append exhausts its retry budget the service used to
+//! latch a `read_only` flag that nothing ever cleared — one transient disk
+//! fault (a full disk later freed, a hiccuping volume) left the service
+//! permanently read-only until a restart. The gate replaces that latch
+//! with the same half-open discipline shard quarantine uses:
+//!
+//! * **open** — writes are admitted normally;
+//! * **tripped** — writes are rejected *fast* (with a backoff hint) so a
+//!   broken disk is not hammered with doomed fsyncs, **except** that every
+//!   `probe_every`-th rejected attempt is admitted as a *probe*: it runs
+//!   the real durable append, and if that succeeds the fault has cleared —
+//!   the probe's own mutation commits and the gate re-opens.
+//!
+//! The probe is the caller's real write, not a synthetic one: a successful
+//! probe has already paid for a durable append, so it would be absurd to
+//! throw the evidence away and ask the client to retry. The cadence is a
+//! deterministic counter, not a timer — under a pinned fault seed the
+//! exact attempt on which the service recovers is reproducible, which is
+//! what the soak tests pin.
+//!
+//! The gate is deliberately dumb: it neither performs I/O nor knows *why*
+//! it tripped. The service trips it on append exhaustion and restores it
+//! when a probe append succeeds, so the gate can be tested exhaustively as
+//! a standalone state machine.
+
+use std::sync::Mutex;
+
+/// What the gate says about one write attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAdmission {
+    /// The gate is open: proceed normally.
+    Open,
+    /// The gate is tripped, but this attempt is the periodic probe:
+    /// proceed with the real durable append, and report the result back
+    /// via [`WriteGate::restore`] (success) or nothing (failure — the gate
+    /// stays tripped).
+    Probe,
+    /// The gate is tripped: reject without touching the disk.
+    Reject,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    open: bool,
+    trips: u64,
+    rejected_since_trip: u64,
+}
+
+/// The half-open write gate (see the module docs).
+#[derive(Debug)]
+pub struct WriteGate {
+    inner: Mutex<GateInner>,
+    probe_every: u64,
+}
+
+impl WriteGate {
+    /// A gate that probes on every `probe_every`-th rejected attempt
+    /// (clamped to at least 1: a zero cadence would mean "never probe",
+    /// which is the sticky latch this type exists to delete).
+    #[must_use]
+    pub fn new(probe_every: usize) -> Self {
+        Self {
+            inner: Mutex::new(GateInner { open: true, trips: 0, rejected_since_trip: 0 }),
+            probe_every: (probe_every as u64).max(1),
+        }
+    }
+
+    /// Classify one write attempt.
+    pub fn admit(&self) -> WriteAdmission {
+        let mut g = self.lock();
+        if g.open {
+            return WriteAdmission::Open;
+        }
+        g.rejected_since_trip += 1;
+        if g.rejected_since_trip.is_multiple_of(self.probe_every) {
+            WriteAdmission::Probe
+        } else {
+            WriteAdmission::Reject
+        }
+    }
+
+    /// Trip the gate: the durable write path just exhausted its retries.
+    /// Idempotent — re-tripping an already-tripped gate is not a new trip.
+    pub fn trip(&self) {
+        let mut g = self.lock();
+        if g.open {
+            g.open = false;
+            g.trips += 1;
+            g.rejected_since_trip = 0;
+        }
+    }
+
+    /// Re-open the gate: a probe append succeeded, the fault has cleared.
+    pub fn restore(&self) {
+        let mut g = self.lock();
+        g.open = true;
+        g.rejected_since_trip = 0;
+    }
+
+    /// Whether writes are currently admitted normally.
+    pub fn is_open(&self) -> bool {
+        self.lock().open
+    }
+
+    /// How many times the gate has tripped since construction.
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateInner> {
+        // The gate holds no invariants a panic could half-apply.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_gate_admits_everything() {
+        let gate = WriteGate::new(4);
+        assert!(gate.is_open());
+        for _ in 0..100 {
+            assert_eq!(gate.admit(), WriteAdmission::Open);
+        }
+        assert_eq!(gate.trips(), 0);
+    }
+
+    #[test]
+    fn tripped_gate_probes_on_a_deterministic_cadence() {
+        let gate = WriteGate::new(4);
+        gate.trip();
+        assert!(!gate.is_open());
+        let admissions: Vec<WriteAdmission> = (0..8).map(|_| gate.admit()).collect();
+        assert_eq!(
+            admissions,
+            vec![
+                WriteAdmission::Reject,
+                WriteAdmission::Reject,
+                WriteAdmission::Reject,
+                WriteAdmission::Probe,
+                WriteAdmission::Reject,
+                WriteAdmission::Reject,
+                WriteAdmission::Reject,
+                WriteAdmission::Probe,
+            ]
+        );
+    }
+
+    #[test]
+    fn restore_reopens_and_resets_the_cadence() {
+        let gate = WriteGate::new(3);
+        gate.trip();
+        assert_eq!(gate.admit(), WriteAdmission::Reject);
+        gate.restore();
+        assert!(gate.is_open());
+        assert_eq!(gate.admit(), WriteAdmission::Open);
+        // A fresh trip starts the cadence over.
+        gate.trip();
+        assert_eq!(gate.admit(), WriteAdmission::Reject);
+        assert_eq!(gate.admit(), WriteAdmission::Reject);
+        assert_eq!(gate.admit(), WriteAdmission::Probe);
+        assert_eq!(gate.trips(), 2);
+    }
+
+    #[test]
+    fn retrip_while_tripped_is_not_a_new_trip() {
+        let gate = WriteGate::new(2);
+        gate.trip();
+        gate.trip();
+        gate.trip();
+        assert_eq!(gate.trips(), 1);
+        // Cadence was not reset by the redundant trips.
+        assert_eq!(gate.admit(), WriteAdmission::Reject);
+        assert_eq!(gate.admit(), WriteAdmission::Probe);
+    }
+
+    #[test]
+    fn probe_every_one_probes_immediately() {
+        let gate = WriteGate::new(1);
+        gate.trip();
+        assert_eq!(gate.admit(), WriteAdmission::Probe);
+        assert_eq!(gate.admit(), WriteAdmission::Probe);
+    }
+
+    #[test]
+    fn zero_cadence_is_clamped_not_sticky() {
+        let gate = WriteGate::new(0);
+        gate.trip();
+        assert_eq!(gate.admit(), WriteAdmission::Probe, "a gate must always probe eventually");
+    }
+}

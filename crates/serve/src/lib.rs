@@ -36,38 +36,65 @@
 //!   re-shard that serves degraded-but-correct behind quarantine and
 //!   converges byte-identical to a from-scratch partition; a write path
 //!   that cannot log degrades to a typed `read_only`, never a lie.
+//! * **Durability lifecycle.** The log is a directory of
+//!   generation-numbered segments. [`Service::snapshot`](service::Service::snapshot)
+//!   atomically freezes the mutation mirror ([`snapshot`]), rotates the
+//!   log, and retires segments the second-newest snapshot subsumes —
+//!   recovery replays only writes since the last snapshot, and a flipped
+//!   bit in the newest snapshot falls back one generation. A background
+//!   [`scrub`] re-verifies every durable CRC and spot-checks shard memory
+//!   against the mirror, quarantining and self-healing what disagrees.
+//!   And a WAL append failure trips a half-open write [`gate`] instead of
+//!   a sticky read-only latch: deterministic probe appends re-admit
+//!   writes the moment the disk recovers.
 //!
 //! Failure paths are exercised, not hoped for: `wmh_fault::point!` sites
 //! thread through ingest (`serve::ingest`), shard queries
 //! (`serve::shard_query`, tagged by shard id), admission
-//! (`serve::admission`), merge (`serve::merge`), and the whole mutation
+//! (`serve::admission`), merge (`serve::merge`), the whole mutation
 //! commit path (`serve::wal_append`, `serve::wal_fsync`, `serve::apply`,
-//! `serve::reshard`); the crate's chaos soaks drive the closed-loop
-//! [`loadgen`] and the kill-resume/mutation scripts under injected faults,
-//! asserting that outcome counts always sum to requests issued and that
-//! recovery — quarantine repair, WAL replay, shard self-heal, re-shard —
-//! is byte-identical to never having failed.
+//! `serve::reshard`), and the durability lifecycle (`serve::wal_rotate`,
+//! `serve::wal_replay` tagged by generation, `serve::snapshot_write`,
+//! `serve::snapshot_fsync`, `serve::snapshot_rename`, `serve::scrub`,
+//! `serve::scrub_audit` tagged by shard id); the crate's chaos soaks
+//! drive the closed-loop [`loadgen`] and the kill-resume/mutation/snapshot
+//! scripts under injected faults, asserting that outcome counts always
+//! sum to requests issued and that recovery — quarantine repair, WAL
+//! replay, snapshot restore, shard self-heal, re-shard — is
+//! byte-identical to never having failed.
 
 pub mod client;
 pub mod deadline;
 pub mod fingerprint;
+pub mod gate;
 pub mod loadgen;
 pub mod protocol;
+pub mod scrub;
 pub mod server;
 pub mod service;
 mod shard;
+pub mod snapshot;
 pub mod wal;
 pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use deadline::Deadline;
 pub use fingerprint::{BbitFingerprint, FingerprintError};
+pub use gate::{WriteAdmission, WriteGate};
 pub use loadgen::{LoadConfig, LoadReport, LOAD_SCHEMA_VERSION};
 pub use protocol::{
     HealthResponse, MutationKind, MutationRequest, MutationResponse, Outcome, QueryRequest,
     QueryResponse, Request, Response,
 };
+pub use scrub::{spawn_scrubber, ScrubReport, Scrubber};
 pub use server::{Server, ServerError};
-pub use service::{ReshardReport, Service, ServiceConfig, ServiceError};
-pub use wal::{Mutation, ReplayReport, Wal, WalError, WalProvenance};
+pub use service::{RecoveryInfo, ReshardReport, Service, ServiceConfig, ServiceError};
+pub use snapshot::{LoadedSnapshot, SnapshotState};
+pub use wal::{
+    Mutation, ReplayReport, SegmentInfo, SegmentReport, Wal, WalError, WalInfo, WalProvenance,
+};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME};
+
+/// Schema version stamped into `results/BENCH_serve_recovery.json` by the
+/// `recovery-bench` CLI verb (pinned by `wmh-perf`'s schema registry).
+pub const RECOVERY_SCHEMA_VERSION: &str = "wmh-serve-recovery/v1";

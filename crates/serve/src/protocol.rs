@@ -278,7 +278,7 @@ impl MutationResponse {
     }
 }
 
-/// A health / readiness snapshot.
+/// A health / readiness snapshot, durability state included.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HealthResponse {
     /// Whether at least one shard is serving.
@@ -293,8 +293,27 @@ pub struct HealthResponse {
     pub inflight: usize,
     /// Whether writes are currently rejected with `read_only`.
     pub read_only: bool,
+    /// Whether the write gate is tripped and probing (half-open): writes
+    /// are rejected fast, except the periodic probe that re-admits them
+    /// once the disk fault clears. `read_only` is always true while
+    /// `half_open` is.
+    pub half_open: bool,
     /// Whether a background re-shard is in progress.
     pub resharding: bool,
+    /// Mutation records across the live WAL segments (replayed at open
+    /// plus appended since; 0 for read-only services).
+    pub wal_records: u64,
+    /// Bytes across the live WAL segments' valid prefixes.
+    pub wal_bytes: u64,
+    /// Records replayed by the open-time recovery (0 for read-only
+    /// services and fresh logs).
+    pub replayed_records: u64,
+    /// Torn-tail bytes the open-time recovery discarded (the crash
+    /// signature; 0 for a cleanly closed log).
+    pub replay_bytes_discarded: u64,
+    /// Generation of the newest durable snapshot, `null` before the first
+    /// one (and for read-only services).
+    pub snapshot_generation: Option<u64>,
 }
 
 wmh_json::json_object!(HealthResponse {
@@ -304,7 +323,13 @@ wmh_json::json_object!(HealthResponse {
     shards_quarantined,
     inflight,
     read_only,
+    half_open,
     resharding,
+    wal_records,
+    wal_bytes,
+    replayed_records,
+    replay_bytes_discarded,
+    snapshot_generation,
 });
 
 /// A decoded server response.
@@ -486,10 +511,26 @@ mod tests {
             shards_quarantined: 1,
             inflight: 2,
             read_only: false,
+            half_open: false,
             resharding: true,
+            wal_records: 37,
+            wal_bytes: 4096,
+            replayed_records: 12,
+            replay_bytes_discarded: 7,
+            snapshot_generation: Some(3),
         });
         let back: Response = wmh_json::from_str(&wmh_json::to_string(&resp)).expect("parse");
         assert_eq!(resp, back);
+        // The no-snapshot shape survives the wire too (`null` generation).
+        let cold = Response::Health(HealthResponse {
+            snapshot_generation: None,
+            ..match resp {
+                Response::Health(h) => h,
+                _ => unreachable!(),
+            }
+        });
+        let back: Response = wmh_json::from_str(&wmh_json::to_string(&cold)).expect("parse");
+        assert_eq!(cold, back);
     }
 
     #[test]

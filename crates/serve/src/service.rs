@@ -1,7 +1,8 @@
 //! The service core: batched ingest into shard-local indexes, admission
 //! control, deadline-bounded fan-out, a deterministic merge — and, for
 //! services opened over a write-ahead log, the crash-safe live mutation
-//! path.
+//! path with its durability lifecycle (snapshots, compaction, scrubbing,
+//! half-open write recovery).
 //!
 //! [`Service::query`] and [`Service::mutate`] are total: they return a
 //! typed response for every input — never an `Err`, never a panic, never
@@ -28,9 +29,37 @@
 //! owning shard. The append is the commit point; everything after it is
 //! reconstructible, so a SIGKILL anywhere replays to the exact
 //! acknowledged state. An apply failure inside a shard (retry budget
-//! exhausted) is self-healed by rebuilding that shard from the store +
-//! WAL — the same code path a cold open uses, so the repaired shard is
-//! byte-identical to never having failed.
+//! exhausted) is self-healed by rebuilding that shard from the
+//! authoritative mirror — the same code path a cold open uses, so the
+//! repaired shard is byte-identical to never having failed.
+//!
+//! ## The durability lifecycle
+//!
+//! The writer owns a [`Mirror`]: the live id set, the overlay codes of
+//! every id whose indexed sketch differs from the cold store, and the
+//! full streaming state of every drifting document. The mirror is what
+//! every rebuild (cold open, self-heal, re-shard) folds into shards, and
+//! it is exactly what a snapshot freezes:
+//!
+//! * [`Service::snapshot`] rotates the WAL to a fresh generation, writes
+//!   the mirror atomically as that generation's snapshot
+//!   ([`crate::snapshot`]), keeps the newest two snapshots, and retires
+//!   WAL segments the *second*-newest snapshot subsumes — lag-one
+//!   retention, so a flipped bit in the newest snapshot still falls back
+//!   one generation with its covering segments intact. Recovery cost is
+//!   bounded by writes since the last snapshot, not log lifetime.
+//!   `--snapshot-every N` ([`ServiceConfig::snapshot_every`]) triggers
+//!   this automatically from the write path.
+//! * [`Service::scrub`] re-verifies every snapshot and sealed segment
+//!   CRC end-to-end and spot-checks shard fingerprints against the
+//!   mirror ([`crate::scrub`]). Corrupt files are quarantined (renamed
+//!   `*.bad`), a fresh snapshot re-establishes durability, and a
+//!   mismatching shard is rebuilt through the self-heal machinery.
+//! * A WAL append that exhausts its retry budget no longer latches a
+//!   permanent read-only flag: it trips the [`WriteGate`], whose
+//!   half-open probe cadence re-admits every `probe_every`-th write as a
+//!   real durable append — one success re-opens the write path
+//!   ([`crate::gate`]).
 //!
 //! ## Re-sharding
 //!
@@ -38,9 +67,9 @@
 //! count behind the quarantine machinery: writes degrade to `read_only`,
 //! the most-loaded shard is frozen (queries serve degraded-but-correct
 //! `partial` results from the rest), the new partition is built from the
-//! store + WAL — the same builder as a cold open, so the converged fleet
-//! is byte-identical to a from-scratch partition — and swapped in under
-//! the fleet lock. Skew detection ([`Service::plan_reshard`]) drives the
+//! mirror — the same builder as a cold open, so the converged fleet is
+//! byte-identical to a from-scratch partition — and swapped in under the
+//! fleet lock. Skew detection ([`Service::plan_reshard`]) drives the
 //! `reshard_hint` response field; the TCP front end turns the hint into a
 //! background re-shard.
 
@@ -53,11 +82,16 @@ use std::time::Duration;
 
 use crate::deadline::Deadline;
 use crate::fingerprint::BbitFingerprint;
+use crate::gate::{WriteAdmission, WriteGate};
 use crate::protocol::{
     HealthResponse, MutationKind, MutationRequest, MutationResponse, Outcome, QueryRequest,
     QueryResponse,
 };
-use crate::shard::{ApplyJob, ApplyOp, DynSketcher, Job, QueryJob, Shard, Slice, SliceOutcome};
+use crate::scrub::ScrubReport;
+use crate::shard::{
+    ApplyJob, ApplyOp, AuditJob, DynSketcher, Job, QueryJob, Shard, Slice, SliceOutcome,
+};
+use crate::snapshot::{self, SnapshotState};
 use crate::wal::{Mutation, ReplayReport, Wal, WalError, WalProvenance};
 use wmh_core::extensions::HistoSketch;
 use wmh_core::{Algorithm, AlgorithmConfig, Sketch, SketchStore, Sketcher};
@@ -65,10 +99,14 @@ use wmh_fault::supervisor::{supervise, Attempt, CellOutcome};
 use wmh_lsh::{Bands, LshIndex};
 use wmh_sets::WeightedSet;
 
-/// Sketches ingested (or WAL records replayed) between failpoint hits; a
-/// transient build fault restarts the whole shard build under the retry
-/// policy, so the batch is the unit of retried work.
+/// Sketches ingested between failpoint hits; a transient build fault
+/// restarts the whole shard build under the retry policy, so the batch is
+/// the unit of retried work.
 const INGEST_BATCH: usize = 64;
+
+/// Live ids sampled per scrub pass (evenly strided over the sorted live
+/// set), so a scrub costs O(sample), not O(corpus).
+const SCRUB_SAMPLE: usize = 64;
 
 /// Tuning knobs for a [`Service`].
 #[derive(Debug, Clone)]
@@ -91,7 +129,8 @@ pub struct ServiceConfig {
     /// Consecutive shard failures before quarantine.
     pub quarantine_after: u32,
     /// Every Nth request is routed through quarantined shards as a
-    /// half-open recovery probe.
+    /// half-open recovery probe; the same cadence drives the write gate's
+    /// half-open probe appends.
     pub probe_every: u64,
     /// Retry policy: ingest/WAL/apply retries and the `retry_after_us`
     /// backoff hint (the sweep supervisor's seeded-deterministic policy).
@@ -104,6 +143,11 @@ pub struct ServiceConfig {
     pub reshard_skew: Option<f64>,
     /// Largest shard count [`Service::plan_reshard`] will propose.
     pub reshard_cap: usize,
+    /// Take an automatic snapshot every N committed writes; `None`
+    /// disables the trigger ([`Service::snapshot`] still works on
+    /// demand). A failed automatic snapshot is absorbed — the write that
+    /// triggered it was already acknowledged durably.
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -123,13 +167,14 @@ impl Default for ServiceConfig {
             seed: 0x5E27E,
             reshard_skew: None,
             reshard_cap: 8,
+            snapshot_every: None,
         }
     }
 }
 
-/// Errors surfaced while *building* or *re-sharding* a service. (Query-
-/// and mutation-time failures are never errors — they are typed response
-/// outcomes.)
+/// Errors surfaced while *building*, *re-sharding*, *snapshotting*, or
+/// *scrubbing* a service. (Query- and mutation-time failures are never
+/// errors — they are typed response outcomes.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The sketch store holds no points.
@@ -153,6 +198,11 @@ pub enum ServiceError {
     Spawn(String),
     /// Opening or replaying the write-ahead log failed.
     Wal(String),
+    /// Taking a snapshot failed (the previous generation is intact).
+    Snapshot(String),
+    /// An integrity scrub could not run (a scrub that *finds* damage is
+    /// not an error — damage is data, reported in the [`ScrubReport`]).
+    Scrub(String),
     /// A re-shard was requested while one is already in progress.
     Resharding,
     /// The operation needs the write path, but the service was built
@@ -172,6 +222,8 @@ impl std::fmt::Display for ServiceError {
             }
             Self::Spawn(e) => write!(f, "spawning shard worker: {e}"),
             Self::Wal(e) => write!(f, "write-ahead log: {e}"),
+            Self::Snapshot(e) => write!(f, "snapshot: {e}"),
+            Self::Scrub(e) => write!(f, "scrub: {e}"),
             Self::Resharding => write!(f, "a re-shard is already in progress"),
             Self::ReadOnlyService => {
                 write!(f, "service was opened read-only (no write-ahead log)")
@@ -219,21 +271,116 @@ impl Drop for ReshardGuard<'_> {
     }
 }
 
-/// Everything the write path owns, serialized under one lock: the WAL,
-/// its in-memory mirror (the store + mutation list every rebuild replays),
-/// per-id streaming states, and the live-id bookkeeping.
-struct WriteState {
-    wal: Wal,
-    /// The base snapshot every rebuild starts from.
-    store: SketchStore,
-    /// Committed mutations, in log order — the WAL's in-memory mirror.
-    mutations: Vec<Mutation>,
-    /// Per-id HistoSketch states for streaming documents.
-    streams: HashMap<u64, HistoSketch>,
+/// The authoritative in-memory mirror of the durable state: everything a
+/// rebuild needs beyond the cold store, and exactly what a snapshot
+/// freezes. Replaying the WAL folds into the same struct the live write
+/// path updates, so "restored from snapshot + tail" and "applied live"
+/// are the same data by construction.
+struct Mirror {
     /// Ids currently indexed (store ∪ inserts ∖ deletes).
     live: HashSet<u64>,
+    /// Current codes for every id whose indexed sketch differs from the
+    /// cold store: inserted after the store was built, or drifted by
+    /// stream updates.
+    overlays: HashMap<u64, Vec<u64>>,
+    /// Per-id HistoSketch states for streaming documents.
+    streams: HashMap<u64, HistoSketch>,
+}
+
+impl Mirror {
+    /// The mirror of a store with no mutations: every store id live, no
+    /// overlays, no streams.
+    fn cold(store: &SketchStore) -> Self {
+        Self {
+            live: store.ids().iter().copied().collect(),
+            overlays: HashMap::new(),
+            streams: HashMap::new(),
+        }
+    }
+
+    /// Restore from a verified snapshot.
+    fn from_snapshot(state: &SnapshotState) -> Result<Self, String> {
+        let mut streams = HashMap::with_capacity(state.streams.len());
+        for (id, hs) in &state.streams {
+            let sketch = HistoSketch::from_state(hs)
+                .map_err(|e| format!("stream state for id {id}: {e}"))?;
+            streams.insert(*id, sketch);
+        }
+        Ok(Self {
+            live: state.live.iter().copied().collect(),
+            overlays: state.overlays.iter().cloned().collect(),
+            streams,
+        })
+    }
+
+    /// Fold one logged mutation — the replay twin of the live mirror
+    /// update in [`Service::mutate`]: identical HistoSketch calls in
+    /// identical order, so a recovered mirror is bit-identical to one
+    /// that took the writes live.
+    fn fold(
+        &mut self,
+        seed: u64,
+        sketcher: &(dyn Sketcher + Send + Sync),
+        m: &Mutation,
+    ) -> Result<(), String> {
+        match m {
+            Mutation::Insert { id, codes } => {
+                self.live.insert(*id);
+                self.overlays.insert(*id, codes.clone());
+            }
+            Mutation::Delete { id } => {
+                self.live.remove(id);
+                self.overlays.remove(id);
+                self.streams.remove(id);
+            }
+            Mutation::Stream { id, lambda, items } => {
+                let state = match self.streams.entry(*id) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => v.insert(
+                        HistoSketch::new(seed, sketcher.num_hashes()).map_err(|e| e.to_string())?,
+                    ),
+                };
+                state.decay(*lambda).map_err(|e| e.to_string())?;
+                for &(k, mass) in items {
+                    state.add(k, mass).map_err(|e| e.to_string())?;
+                }
+                let set = state.histogram().map_err(|e| e.to_string())?;
+                let sketch = sketcher.sketch(&set).map_err(|e| e.to_string())?;
+                self.live.insert(*id);
+                self.overlays.insert(*id, sketch.codes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Freeze the mirror as snapshot generation `generation`. Everything
+    /// is sorted ascending by id, so the same mirror always serializes to
+    /// the same bytes.
+    fn to_snapshot_state(&self, generation: u64) -> SnapshotState {
+        let mut live: Vec<u64> = self.live.iter().copied().collect();
+        live.sort_unstable();
+        let mut overlays: Vec<(u64, Vec<u64>)> =
+            self.overlays.iter().map(|(&id, codes)| (id, codes.clone())).collect();
+        overlays.sort_unstable_by_key(|&(id, _)| id);
+        let mut streams: Vec<_> = self.streams.iter().map(|(&id, hs)| (id, hs.state())).collect();
+        streams.sort_unstable_by_key(|&(id, _)| id);
+        SnapshotState { generation, live, overlays, streams }
+    }
+}
+
+/// Everything the write path owns, serialized under one lock: the WAL,
+/// the cold store, the authoritative mirror, and per-shard bookkeeping.
+struct WriteState {
+    wal: Wal,
+    /// The base every rebuild starts from.
+    store: SketchStore,
+    /// The authoritative mirror (see [`Mirror`]).
+    mirror: Mirror,
     /// Live points per shard of the *current* fleet (skew detection).
     sizes: Vec<usize>,
+    /// Committed writes since the last snapshot (drives
+    /// [`ServiceConfig::snapshot_every`]).
+    writes_since_snapshot: u64,
 }
 
 /// What a completed re-shard reports.
@@ -247,6 +394,20 @@ pub struct ReshardReport {
     pub points: usize,
 }
 
+/// What recovery found at open time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// The WAL tail replay (only segments the snapshot does not subsume).
+    pub replay: ReplayReport,
+    /// The snapshot generation recovery restored from, `None` for a cold
+    /// store + full-replay open.
+    pub snapshot_generation: Option<u64>,
+    /// Snapshot files that failed verification and were skipped (the
+    /// one-generation fallback, or — when every snapshot is damaged but
+    /// the log still reaches generation 0 — the cold-replay fallback).
+    pub snapshots_rejected: usize,
+}
+
 /// A sharded similarity-search service (see the crate docs).
 pub struct Service {
     config: ServiceConfig,
@@ -258,10 +419,13 @@ pub struct Service {
     inflight: AtomicUsize,
     requests: AtomicU64,
     indexed: AtomicUsize,
-    read_only: AtomicBool,
+    gate: WriteGate,
     resharding: AtomicBool,
     writer: Option<Mutex<WriteState>>,
-    wal_recovery: Option<ReplayReport>,
+    recovery: Option<RecoveryInfo>,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshot_gen: AtomicU64,
 }
 
 impl Service {
@@ -279,11 +443,13 @@ impl Service {
     }
 
     /// Open a *mutable* service: everything [`Service::from_store`] does,
-    /// plus a write-ahead log at `wal_path`. An existing log is verified
-    /// against the store's provenance and replayed — after a crash the
-    /// service state is byte-identical to the acknowledged pre-crash
-    /// state. The store is snapshotted (owned) so shards can be rebuilt
-    /// at any time.
+    /// plus a write-ahead log at `wal_path` — a *directory* of
+    /// generation-numbered segments and snapshots (a legacy single-file
+    /// log at that path is migrated in place). Recovery restores the
+    /// newest verifiable snapshot, then replays only the WAL segments the
+    /// snapshot does not subsume — after a crash the service state is
+    /// byte-identical to the acknowledged pre-crash state. The store is
+    /// snapshotted (owned) so shards can be rebuilt at any time.
     ///
     /// # Errors
     /// [`ServiceError::Wal`] for log open/verify/replay failures, plus
@@ -319,6 +485,9 @@ impl Service {
         if config.reshard_skew.is_some_and(|t| t.is_nan() || t < 1.0) {
             return Err(ServiceError::BadConfig("reshard_skew must be >= 1.0".into()));
         }
+        if config.snapshot_every == Some(0) {
+            return Err(ServiceError::BadConfig("snapshot_every must be positive".into()));
+        }
         let algorithm = Algorithm::by_name(store.algorithm())
             .ok_or_else(|| ServiceError::UnknownAlgorithm(store.algorithm().to_owned()))?;
         let bands = match config.bands {
@@ -328,51 +497,87 @@ impl Service {
         };
         let sketcher = build_sketcher(algorithm, store)?;
 
-        let (wal, mutations, recovery) = match wal_path {
+        let (wal, mirror, recovery) = match wal_path {
             Some(path) => {
-                let provenance = WalProvenance {
-                    algorithm: store.algorithm().to_owned(),
-                    seed: store.seed(),
-                    num_hashes: store.num_hashes(),
+                let provenance = provenance_of(store);
+                // Snapshot first: it decides the replay floor. A path
+                // that is not a directory yet (fresh service, or a legacy
+                // single-file log awaiting migration) has no snapshots.
+                let (loaded, rejected) = if path.is_dir() {
+                    snapshot::load_latest(path, &provenance)
+                        .map_err(|e| ServiceError::Wal(format!("loading snapshots: {e}")))?
+                } else {
+                    (None, Vec::new())
                 };
-                let (wal, mutations, report) =
-                    Wal::open(path, &provenance).map_err(|e| ServiceError::Wal(e.to_string()))?;
-                (Some(wal), mutations, Some(report))
+                let from_gen = loaded.as_ref().map_or(0, |l| l.state.generation);
+                let (wal, tail, report) = Wal::open(path, &provenance, from_gen).map_err(|e| {
+                    if loaded.is_none() && !rejected.is_empty() {
+                        // Every snapshot failed verification AND the
+                        // log no longer reaches generation 0: name
+                        // both facts, this is the unrecoverable case.
+                        let names: Vec<String> = rejected
+                            .iter()
+                            .map(|(p, why)| format!("{}: {why}", p.display()))
+                            .collect();
+                        ServiceError::Wal(format!(
+                            "{e}; additionally, all {} snapshot(s) failed verification ({})",
+                            rejected.len(),
+                            names.join("; ")
+                        ))
+                    } else {
+                        ServiceError::Wal(e.to_string())
+                    }
+                })?;
+                let mut mirror = match &loaded {
+                    Some(l) => Mirror::from_snapshot(&l.state)
+                        .map_err(|e| ServiceError::Wal(format!("snapshot restore: {e}")))?,
+                    None => Mirror::cold(store),
+                };
+                for m in &tail {
+                    mirror
+                        .fold(store.seed(), &*sketcher, m)
+                        .map_err(|e| ServiceError::Wal(format!("wal replay: {e}")))?;
+                }
+                let info = RecoveryInfo {
+                    replay: report,
+                    snapshot_generation: loaded.as_ref().map(|l| l.state.generation),
+                    snapshots_rejected: rejected.len(),
+                };
+                (Some(wal), mirror, Some(info))
             }
-            None => (None, Vec::new(), None),
+            None => (None, Mirror::cold(store), None),
         };
 
-        let (shards, sizes, streams) = build_fleet(
-            store,
-            algorithm,
-            bands,
-            &config,
-            config.shards,
-            &mutations,
-            "serve::ingest",
-        )?;
+        let (shards, sizes) =
+            build_fleet(store, algorithm, bands, &config, config.shards, &mirror, "serve::ingest")?;
         let health = (0..config.shards).map(|_| ShardHealth::new()).collect();
-        let live = live_ids(store, &mutations);
+        let live_count = mirror.live.len();
+        let wal_records = wal.as_ref().map_or(0, Wal::records);
+        let wal_bytes = wal.as_ref().map_or(0, Wal::len_bytes);
+        let snapshot_gen = recovery.as_ref().and_then(|r| r.snapshot_generation).unwrap_or(0);
 
+        let gate = WriteGate::new(usize::try_from(config.probe_every).unwrap_or(usize::MAX));
         let writer = wal.map(|wal| {
             Mutex::new(WriteState {
                 wal,
                 store: store.clone(),
-                mutations,
-                streams,
-                live: live.clone(),
+                mirror,
                 sizes,
+                writes_since_snapshot: 0,
             })
         });
         Ok(Self {
-            indexed: AtomicUsize::new(live.len()),
+            indexed: AtomicUsize::new(live_count),
             health: Mutex::new(health),
             inflight: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
-            read_only: AtomicBool::new(false),
             resharding: AtomicBool::new(false),
             shards: RwLock::new(shards),
-            wal_recovery: recovery,
+            wal_records: AtomicU64::new(wal_records),
+            wal_bytes: AtomicU64::new(wal_bytes),
+            snapshot_gen: AtomicU64::new(snapshot_gen),
+            gate,
+            recovery,
             sketcher,
             algorithm,
             bands,
@@ -385,7 +590,15 @@ impl Service {
     /// services).
     #[must_use]
     pub fn wal_recovery(&self) -> Option<&ReplayReport> {
-        self.wal_recovery.as_ref()
+        self.recovery.as_ref().map(|r| &r.replay)
+    }
+
+    /// The full recovery picture at open time: the tail replay, the
+    /// snapshot generation restored from, and how many damaged snapshots
+    /// were skipped on the way.
+    #[must_use]
+    pub fn recovery(&self) -> Option<&RecoveryInfo> {
+        self.recovery.as_ref()
     }
 
     /// Answer a similarity query. Total: every input maps to a typed
@@ -618,13 +831,24 @@ impl Service {
             response.retry_after_us = u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
             return response;
         }
-        if self.read_only.load(Ordering::Acquire) {
-            return MutationResponse::rejected(
+        // The half-open write gate. `Reject` is the fast path of a
+        // tripped gate; `Probe` proceeds into the real durable append —
+        // its success is the evidence that re-opens the gate.
+        let admission = self.gate.admit();
+        if admission == WriteAdmission::Reject {
+            let backoff = self.config.retry.backoff(self.config.seed, request_id, 1);
+            let mut response = MutationResponse::rejected(
                 request.id,
                 Outcome::ReadOnly,
                 indexed,
-                Some("service degraded to read-only after a WAL failure".into()),
+                Some(
+                    "write gate tripped by a WAL failure; half-open probes re-admit \
+                     writes once an append succeeds — retry later"
+                        .into(),
+                ),
             );
+            response.retry_after_us = u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
+            return response;
         }
 
         // Pre-sketch inserts and pre-validate stream parameters outside
@@ -695,8 +919,9 @@ impl Service {
         }
 
         // The commit point: durable append, transient faults retried
-        // under the policy. Exhaustion flips the service read-only — a
-        // log that cannot take writes must not acknowledge any.
+        // under the policy. Exhaustion trips the write gate — a log that
+        // cannot take writes must not acknowledge any — and the gate's
+        // half-open probes re-admit writes once the disk recovers.
         let appended = supervise(&self.config.retry, self.config.seed, request_id, |_| {
             match w.wal.append(&record) {
                 Ok(()) => Attempt::Done(Ok(())),
@@ -720,36 +945,69 @@ impl Service {
             }
         };
         if let Some(detail) = append_failure {
-            self.read_only.store(true, Ordering::Release);
+            self.gate.trip();
             return MutationResponse::rejected(
                 request.id,
                 Outcome::ReadOnly,
                 indexed,
-                Some(format!("{detail}; service is now read-only")),
+                Some(format!(
+                    "{detail}; write gate tripped — half-open probes re-admit writes \
+                     once an append succeeds"
+                )),
             );
         }
+        // A successful probe append IS the recovery evidence: the fault
+        // has cleared, and this very mutation commits.
+        if admission == WriteAdmission::Probe {
+            self.gate.restore();
+        }
+        self.wal_records.store(w.wal.records(), Ordering::Release);
+        self.wal_bytes.store(w.wal.len_bytes(), Ordering::Release);
 
         // Committed. Mirror the mutation, then apply it — from here on the
         // response always reports `durable: true`.
-        let was_live = w.live.contains(&request.id);
-        w.mutations.push(record);
+        let was_live = w.mirror.live.contains(&request.id);
+        let overlay_codes = match &op {
+            ApplyOp::Insert { sketch, .. } | ApplyOp::Upsert { sketch, .. } => {
+                Some(sketch.codes.clone())
+            }
+            ApplyOp::Delete { .. } => None,
+        };
         match &request.kind {
             MutationKind::Insert { .. } => {
-                w.live.insert(request.id);
+                w.mirror.live.insert(request.id);
+                if let Some(codes) = overlay_codes {
+                    w.mirror.overlays.insert(request.id, codes);
+                }
             }
             MutationKind::Delete => {
-                w.live.remove(&request.id);
-                w.streams.remove(&request.id);
+                w.mirror.live.remove(&request.id);
+                w.mirror.overlays.remove(&request.id);
+                w.mirror.streams.remove(&request.id);
             }
             MutationKind::Stream { .. } => {
-                w.live.insert(request.id);
+                w.mirror.live.insert(request.id);
+                if let Some(codes) = overlay_codes {
+                    w.mirror.overlays.insert(request.id, codes);
+                }
                 if let Some(state) = new_stream {
-                    w.streams.insert(request.id, state);
+                    w.mirror.streams.insert(request.id, state);
                 }
             }
         }
-        let live_count = w.live.len();
+        let live_count = w.mirror.live.len();
         self.indexed.store(live_count, Ordering::Release);
+
+        // The snapshot trigger. A failed automatic snapshot is absorbed
+        // (this write is already durably acknowledged; the old generation
+        // keeps serving) and the counter resets either way, so a broken
+        // disk is probed once per window, not once per write.
+        if let Some(every) = self.config.snapshot_every {
+            w.writes_since_snapshot += 1;
+            if w.writes_since_snapshot >= every {
+                let _ = self.snapshot_locked(&mut w);
+            }
+        }
 
         // Route to the owning shard of the *current* fleet.
         let (shard_id, send_result, reply_rx) = {
@@ -829,10 +1087,11 @@ impl Service {
     }
 
     /// An apply failed after its in-worker retry budget: the shard's
-    /// memory no longer matches the log. Rebuild it from the durable state
-    /// (store + WAL) — the same builder a cold open uses — and swap it
-    /// into the fleet. If even the rebuild fails, quarantine the shard and
-    /// flip read-only: the log stays authoritative, a restart recovers.
+    /// memory no longer matches the log. Rebuild it from the authoritative
+    /// mirror — the same builder a cold open uses — and swap it into the
+    /// fleet. If even the rebuild fails, quarantine the shard and trip the
+    /// write gate: the log stays authoritative, and a half-open probe (or
+    /// a restart) recovers.
     fn self_heal(
         &self,
         w: &mut WriteState,
@@ -842,6 +1101,52 @@ impl Service {
         reshard_hint: bool,
         apply_error: &str,
     ) -> MutationResponse {
+        match self.rebuild_shard_locked(w, shard_id) {
+            Ok(()) => MutationResponse {
+                id: request.id,
+                outcome: Outcome::Ok,
+                durable: true,
+                applied: true,
+                shard: Some(shard_id),
+                indexed: live_count,
+                reshard_hint,
+                retry_after_us: 0,
+                error: Some(format!(
+                    "apply failed ({apply_error}); shard {shard_id} rebuilt from the \
+                     durable state"
+                )),
+            },
+            Err(rebuild_error) => {
+                {
+                    let mut health = self.lock_health();
+                    if let Some(entry) = health.get_mut(shard_id) {
+                        entry.quarantined = true;
+                    }
+                }
+                self.gate.trip();
+                MutationResponse {
+                    id: request.id,
+                    outcome: Outcome::ReadOnly,
+                    durable: true,
+                    applied: false,
+                    shard: Some(shard_id),
+                    indexed: live_count,
+                    reshard_hint,
+                    retry_after_us: 0,
+                    error: Some(format!(
+                        "apply failed ({apply_error}); shard rebuild also failed \
+                         ({rebuild_error}); shard quarantined, write gate tripped — the WAL \
+                         stays authoritative and probes or a restart recover"
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Rebuild one shard from the mirror and swap it into the fleet,
+    /// resetting its health entry. Shared by mutation self-heal and the
+    /// scrubber's mismatch repair.
+    fn rebuild_shard_locked(&self, w: &mut WriteState, shard_id: usize) -> Result<(), String> {
         let count = self.lock_shards_read().len();
         let built = supervise(&self.config.retry, self.config.seed, shard_id as u64, |_| {
             build_shard(
@@ -851,117 +1156,253 @@ impl Service {
                 &self.config,
                 shard_id,
                 count,
-                &w.mutations,
+                &w.mirror,
                 "serve::ingest",
             )
         });
-        let rebuilt = match built {
-            CellOutcome::Completed(Ok(built)) => built,
+        let (index, fingerprints) = match built {
+            CellOutcome::Completed(Ok(contents)) => contents,
             // TimedOut cannot fire (shard builds carry no deadline), but a
             // typed failure is the honest fallback if that ever changes.
-            CellOutcome::TimedOut => {
-                self.read_only.store(true, Ordering::Release);
-                return MutationResponse {
-                    id: request.id,
-                    outcome: Outcome::ReadOnly,
-                    durable: true,
-                    applied: false,
-                    shard: Some(shard_id),
-                    indexed: live_count,
-                    reshard_hint,
-                    retry_after_us: 0,
-                    error: Some(format!(
-                        "apply failed ({apply_error}); shard rebuild hit a deadline; \
-                         service read-only — the WAL stays authoritative"
-                    )),
-                };
-            }
-            CellOutcome::Completed(Err(error)) | CellOutcome::Quarantined { error, .. } => {
-                {
-                    let mut health = self.lock_health();
-                    if let Some(entry) = health.get_mut(shard_id) {
-                        entry.quarantined = true;
-                    }
-                }
-                self.read_only.store(true, Ordering::Release);
-                return MutationResponse {
-                    id: request.id,
-                    outcome: Outcome::ReadOnly,
-                    durable: true,
-                    applied: false,
-                    shard: Some(shard_id),
-                    indexed: live_count,
-                    reshard_hint,
-                    retry_after_us: 0,
-                    error: Some(format!(
-                        "apply failed ({apply_error}); shard rebuild also failed ({error}); \
-                         shard quarantined, service read-only — the WAL stays authoritative \
-                         and a restart recovers"
-                    )),
-                };
+            CellOutcome::TimedOut => return Err("shard rebuild hit a deadline".into()),
+            CellOutcome::Completed(Err(error)) => return Err(error),
+            CellOutcome::Quarantined { attempts, error } => {
+                return Err(format!("after {attempts} attempts: {error}"))
             }
         };
-        let (index, fingerprints) = rebuilt.contents;
-        w.sizes[shard_id] = index.len();
-        w.streams.extend(rebuilt.streams);
-        let spawned = Shard::spawn(
+        if let Some(size) = w.sizes.get_mut(shard_id) {
+            *size = index.len();
+        }
+        let shard = Shard::spawn(
             shard_id,
             index,
             fingerprints,
             self.config.queue_depth,
             self.config.retry,
             self.config.seed,
-        );
-        match spawned {
-            Ok(shard) => {
-                {
-                    let mut shards = self.lock_shards_write();
-                    // The old worker exits once its (now unreferenced)
-                    // inbox drains.
-                    shards[shard_id] = shard;
-                }
-                {
-                    let mut health = self.lock_health();
-                    if let Some(entry) = health.get_mut(shard_id) {
-                        *entry = ShardHealth::new();
-                    }
-                }
-                MutationResponse {
-                    id: request.id,
-                    outcome: Outcome::Ok,
-                    durable: true,
-                    applied: true,
-                    shard: Some(shard_id),
-                    indexed: live_count,
-                    reshard_hint,
-                    retry_after_us: 0,
-                    error: Some(format!(
-                        "apply failed ({apply_error}); shard {shard_id} rebuilt from the WAL"
-                    )),
+        )?;
+        {
+            let mut shards = self.lock_shards_write();
+            // The old worker exits once its (now unreferenced) inbox
+            // drains.
+            shards[shard_id] = shard;
+        }
+        {
+            let mut health = self.lock_health();
+            if let Some(entry) = health.get_mut(shard_id) {
+                *entry = ShardHealth::new();
+            }
+        }
+        Ok(())
+    }
+
+    /// Take a snapshot now: rotate the WAL to a fresh generation, write
+    /// the mirror atomically as that generation's snapshot, keep the
+    /// newest two snapshots, and retire segments the second-newest
+    /// snapshot subsumes. Returns the new generation.
+    ///
+    /// On *any* failure the previous generation — snapshot and covering
+    /// segments — is intact and keeps serving recovery; an ENOSPC
+    /// mid-write leaves no trace of the aborted generation.
+    ///
+    /// # Errors
+    /// [`ServiceError::ReadOnlyService`] for WAL-less services,
+    /// [`ServiceError::Snapshot`] for rotation/write/retention failures.
+    pub fn snapshot(&self) -> Result<u64, ServiceError> {
+        let Some(writer) = &self.writer else {
+            return Err(ServiceError::ReadOnlyService);
+        };
+        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        self.snapshot_locked(&mut w)
+    }
+
+    fn snapshot_locked(&self, w: &mut WriteState) -> Result<u64, ServiceError> {
+        w.writes_since_snapshot = 0;
+        // Rotate first: the snapshot subsumes everything below the fresh
+        // generation, and new appends land in segments the snapshot's
+        // replay floor covers.
+        let gen =
+            w.wal.rotate().map_err(|e| ServiceError::Snapshot(format!("rotating the WAL: {e}")))?;
+        let provenance = provenance_of(&w.store);
+        let dir = w.wal.dir().to_owned();
+        let state = w.mirror.to_snapshot_state(gen);
+        snapshot::write(&dir, &provenance, &state)
+            .map_err(|e| ServiceError::Snapshot(e.to_string()))?;
+        snapshot::retain_latest(&dir, 2)
+            .map_err(|e| ServiceError::Snapshot(format!("retiring old snapshots: {e}")))?;
+        // Lag-one retirement: segments stay until the *second*-newest
+        // snapshot subsumes them, so a flipped bit in the newest snapshot
+        // still has a fallback generation with covering history.
+        let snaps = snapshot::list(&dir).map_err(|e| ServiceError::Snapshot(e.to_string()))?;
+        if snaps.len() >= 2 {
+            w.wal
+                .retire_below(snaps[snaps.len() - 2].0)
+                .map_err(|e| ServiceError::Snapshot(format!("retiring segments: {e}")))?;
+        }
+        self.snapshot_gen.store(gen, Ordering::Release);
+        self.wal_records.store(w.wal.records(), Ordering::Release);
+        self.wal_bytes.store(w.wal.len_bytes(), Ordering::Release);
+        Ok(gen)
+    }
+
+    /// One integrity scrub pass: re-verify every snapshot and sealed WAL
+    /// segment end-to-end (magic, frame CRCs, provenance, footer), then
+    /// spot-check a strided sample of shard fingerprints against the
+    /// authoritative mirror. Damage found is *healed*, not just reported:
+    /// corrupt files are quarantined (renamed `*.bad`), a fresh snapshot
+    /// re-establishes a durable recovery point, and a mismatching shard
+    /// is quarantined and rebuilt from the mirror. Runs under the writer
+    /// lock, so the sample it audits is exactly what the shards hold.
+    ///
+    /// # Errors
+    /// [`ServiceError::ReadOnlyService`] for WAL-less services,
+    /// [`ServiceError::Scrub`] when the pass itself cannot run (directory
+    /// unreadable, or the injectable `serve::scrub` fault). Damage is
+    /// never an `Err` — it is data in the [`ScrubReport`].
+    pub fn scrub(&self) -> Result<ScrubReport, ServiceError> {
+        if let Err(fault) = wmh_fault::point!("serve::scrub") {
+            return Err(ServiceError::Scrub(fault.to_string()));
+        }
+        let Some(writer) = &self.writer else {
+            return Err(ServiceError::ReadOnlyService);
+        };
+        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let provenance = provenance_of(&w.store);
+        let dir = w.wal.dir().to_owned();
+        let findings = crate::scrub::scan_files(&dir, &provenance, w.wal.active_generation())
+            .map_err(|e| ServiceError::Scrub(e.to_string()))?;
+        let mut report = ScrubReport {
+            snapshots_checked: findings.snapshots_checked,
+            segments_checked: findings.segments_checked,
+            corrupt_snapshots: findings
+                .corrupt_snapshots
+                .iter()
+                .map(|(_, path, why)| format!("{}: {why}", path.display()))
+                .collect(),
+            corrupt_segments: findings.corrupt_segments.clone(),
+            ids_spot_checked: 0,
+            shards_audited: 0,
+            mismatched_shards: Vec::new(),
+            snapshot_taken: None,
+            heal_errors: Vec::new(),
+        };
+
+        // Heal phase A — files. Quarantine damaged snapshots out of the
+        // fallback walk, take a fresh snapshot so durability does not
+        // depend on the damaged history, then quarantine damaged sealed
+        // segments (often already retired by the fresh snapshot).
+        if !findings.corrupt_snapshots.is_empty() || !findings.corrupt_segments.is_empty() {
+            for (_, path, _) in &findings.corrupt_snapshots {
+                let mut bad = path.clone().into_os_string();
+                bad.push(".bad");
+                if let Err(e) = std::fs::rename(path, &bad) {
+                    report.heal_errors.push(format!("quarantining {}: {e}", path.display()));
                 }
             }
-            Err(e) => {
-                self.read_only.store(true, Ordering::Release);
-                MutationResponse {
-                    id: request.id,
-                    outcome: Outcome::ReadOnly,
-                    durable: true,
-                    applied: false,
-                    shard: Some(shard_id),
-                    indexed: live_count,
-                    reshard_hint,
-                    retry_after_us: 0,
-                    error: Some(format!("apply failed ({apply_error}); respawn failed ({e})")),
+            if !findings.corrupt_snapshots.is_empty() {
+                if let Err(e) = crate::wal::sync_dir(&dir) {
+                    report.heal_errors.push(format!("syncing {}: {e}", dir.display()));
+                }
+            }
+            match self.snapshot_locked(&mut w) {
+                Ok(gen) => report.snapshot_taken = Some(gen),
+                Err(e) => report.heal_errors.push(format!("fresh snapshot: {e}")),
+            }
+            for &gen in &findings.corrupt_segments {
+                if let Err(e) = w.wal.quarantine_segment(gen) {
+                    report.heal_errors.push(format!("quarantining segment generation {gen}: {e}"));
                 }
             }
         }
+
+        // Phase B — spot-check shard fingerprints against the mirror. A
+        // strided sample over the sorted live set is deterministic, so a
+        // pinned-seed run audits the same ids every pass.
+        let count = self.lock_shards_read().len();
+        let mut live: Vec<u64> = w.mirror.live.iter().copied().collect();
+        live.sort_unstable();
+        let stride = (live.len() / SCRUB_SAMPLE).max(1);
+        let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); count];
+        for &id in live.iter().step_by(stride) {
+            report.ids_spot_checked += 1;
+            per_shard[(id % count as u64) as usize].push(id);
+        }
+        for (shard_id, ids) in per_shard.into_iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            report.shards_audited += 1;
+            let tag = shard_id.to_string();
+            // The injectable corruption: a fired `serve::scrub_audit`
+            // stands in for a shard whose memory has silently diverged.
+            let mut mismatch = wmh_fault::point!("serve::scrub_audit", &tag).is_err();
+            if !mismatch {
+                let reply = {
+                    let shards = self.lock_shards_read();
+                    let (tx, rx) = mpsc::channel();
+                    let job = Job::Audit(AuditJob { ids: ids.clone(), reply: tx });
+                    if shards[shard_id].tx.send(job).is_err() {
+                        report.heal_errors.push(format!("shard {shard_id}: audit inbox closed"));
+                        continue;
+                    }
+                    rx
+                };
+                let answers = match reply.recv() {
+                    Ok(answers) => answers,
+                    Err(_) => {
+                        report.heal_errors.push(format!("shard {shard_id}: audit worker gone"));
+                        continue;
+                    }
+                };
+                for (id, got) in &answers {
+                    let expected = match self.expected_fingerprint(&w, *id) {
+                        Ok(fp) => fp,
+                        Err(e) => {
+                            report.heal_errors.push(format!("fingerprinting id {id}: {e}"));
+                            continue;
+                        }
+                    };
+                    if got.as_ref() != Some(&expected) {
+                        mismatch = true;
+                        break;
+                    }
+                }
+            }
+            if mismatch {
+                report.mismatched_shards.push(shard_id);
+                {
+                    let mut health = self.lock_health();
+                    if let Some(entry) = health.get_mut(shard_id) {
+                        entry.quarantined = true;
+                    }
+                }
+                // Self-heal through the same rebuild the mutation path
+                // uses; failure leaves the shard quarantined (fan-out
+                // skips it, probes keep trying).
+                if let Err(e) = self.rebuild_shard_locked(&mut w, shard_id) {
+                    report.heal_errors.push(format!("rebuilding shard {shard_id}: {e}"));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// The fingerprint shard `id % count` must hold for `id`, derived
+    /// from the authoritative mirror: overlay codes if the id drifted
+    /// from the store, store codes otherwise.
+    fn expected_fingerprint(&self, w: &WriteState, id: u64) -> Result<BbitFingerprint, String> {
+        let codes = match w.mirror.overlays.get(&id) {
+            Some(codes) => codes.clone(),
+            None => w.store.get(id).map_err(|e| e.to_string())?.codes,
+        };
+        BbitFingerprint::pack(&codes, self.config.fingerprint_bits).map_err(|e| e.to_string())
     }
 
     /// Rebuild the fleet at `to` shards, blocking until the swap. Writes
     /// answer `read_only` for the duration; queries keep serving, degraded
     /// by the frozen (most-loaded) shard. The new partition is built by
-    /// the cold-open builder over the store + WAL, so it is byte-identical
-    /// to a from-scratch partition at `to` shards.
+    /// the cold-open builder over the mirror, so it is byte-identical to a
+    /// from-scratch partition at `to` shards.
     ///
     /// # Errors
     /// [`ServiceError::ReadOnlyService`] for WAL-less services,
@@ -1009,11 +1450,11 @@ impl Service {
             self.bands,
             &self.config,
             to,
-            &w.mutations,
+            &w.mirror,
             "serve::reshard",
         );
-        let (shards, sizes, streams) = match built {
-            Ok(triple) => triple,
+        let (shards, sizes) = match built {
+            Ok(pair) => pair,
             Err(e) => {
                 // Abort: unfreeze, old fleet intact, writes resume (the
                 // guard clears the flag).
@@ -1031,8 +1472,7 @@ impl Service {
             *health = (0..to).map(|_| ShardHealth::new()).collect();
         }
         w.sizes = sizes;
-        w.streams = streams;
-        Ok(ReshardReport { from, to, points: w.live.len() })
+        Ok(ReshardReport { from, to, points: w.mirror.live.len() })
     }
 
     /// Propose a better shard count, or `None` when the current partition
@@ -1055,7 +1495,7 @@ impl Service {
                 continue;
             }
             let mut counts = vec![0usize; candidate];
-            for &id in &w.live {
+            for &id in &w.mirror.live {
                 counts[(id % candidate as u64) as usize] += 1;
             }
             let skew = imbalance(&counts);
@@ -1081,22 +1521,33 @@ impl Service {
             .is_ok()
     }
 
-    /// Health / readiness snapshot.
+    /// Health / readiness snapshot. Durability gauges (`wal_records`,
+    /// `wal_bytes`, `snapshot_generation`) read from atomics published by
+    /// the write path, so health never blocks on the writer lock.
     pub fn health(&self) -> HealthResponse {
         let shards_total = self.lock_shards_read().len();
         let health = self.lock_health();
         let quarantined = health.iter().filter(|entry| entry.quarantined).count();
         let resharding = self.resharding.load(Ordering::Acquire);
+        let half_open = self.writer.is_some() && !self.gate.is_open();
+        let replay = self.recovery.as_ref().map(|r| &r.replay);
         HealthResponse {
             ready: quarantined < shards_total,
             indexed: self.indexed.load(Ordering::Acquire),
             shards_total,
             shards_quarantined: quarantined,
             inflight: self.inflight.load(Ordering::Acquire),
-            read_only: self.writer.is_none()
-                || self.read_only.load(Ordering::Acquire)
-                || resharding,
+            read_only: self.writer.is_none() || half_open || resharding,
+            half_open,
             resharding,
+            wal_records: self.wal_records.load(Ordering::Acquire),
+            wal_bytes: self.wal_bytes.load(Ordering::Acquire),
+            replayed_records: replay.map_or(0, |r| r.records as u64),
+            replay_bytes_discarded: replay.map_or(0, |r| r.bytes_discarded as u64),
+            snapshot_generation: match self.snapshot_gen.load(Ordering::Acquire) {
+                0 => None,
+                gen => Some(gen),
+            },
         }
     }
 
@@ -1164,7 +1615,7 @@ fn prepare_mutation(
     let id = request.id;
     match &request.kind {
         MutationKind::Insert { .. } => {
-            if w.live.contains(&id) {
+            if w.mirror.live.contains(&id) {
                 return Err(format!("id {id} is already indexed (delete it first, or stream)"));
             }
             let (sketch, fp) =
@@ -1173,7 +1624,7 @@ fn prepare_mutation(
             Ok((record, ApplyOp::Insert { id, sketch, fp }, None))
         }
         MutationKind::Delete => {
-            if !w.live.contains(&id) {
+            if !w.mirror.live.contains(&id) {
                 return Err(format!("id {id} is not indexed"));
             }
             Ok((Mutation::Delete { id }, ApplyOp::Delete { id }, None))
@@ -1181,9 +1632,9 @@ fn prepare_mutation(
         MutationKind::Stream { lambda, items } => {
             // A static (non-streaming) live id has no histogram to decay;
             // streaming onto it would silently replace its content.
-            let state = match w.streams.get(&id) {
+            let state = match w.mirror.streams.get(&id) {
                 Some(state) => Some(state.clone()),
-                None if w.live.contains(&id) => {
+                None if w.mirror.live.contains(&id) => {
                     return Err(format!(
                         "id {id} is indexed but not a streaming document; delete it first"
                     ))
@@ -1224,20 +1675,13 @@ fn imbalance(sizes: &[usize]) -> f64 {
     (max * sizes.len()) as f64 / total as f64
 }
 
-/// The live-id set after replaying `mutations` over `store`.
-fn live_ids(store: &SketchStore, mutations: &[Mutation]) -> HashSet<u64> {
-    let mut live: HashSet<u64> = store.ids().iter().copied().collect();
-    for m in mutations {
-        match m {
-            Mutation::Insert { id, .. } | Mutation::Stream { id, .. } => {
-                live.insert(*id);
-            }
-            Mutation::Delete { id } => {
-                live.remove(id);
-            }
-        }
+/// The WAL/snapshot provenance binding of a store.
+fn provenance_of(store: &SketchStore) -> WalProvenance {
+    WalProvenance {
+        algorithm: store.algorithm().to_owned(),
+        seed: store.seed(),
+        num_hashes: store.num_hashes(),
     }
-    live
 }
 
 /// Rebuild the store's sketcher from its recorded provenance.
@@ -1251,40 +1695,31 @@ fn build_sketcher(algorithm: Algorithm, store: &SketchStore) -> Result<DynSketch
 /// fingerprints for every point it owns.
 type ShardContents = (LshIndex<DynSketcher>, HashMap<u64, BbitFingerprint>);
 
-/// A fully built shard: contents plus the HistoSketch states of its
-/// streaming ids.
-struct BuiltShard {
-    contents: ShardContents,
-    streams: HashMap<u64, HistoSketch>,
-}
+/// Spawned shard workers plus per-shard sizes, as produced by
+/// [`build_fleet`].
+type FleetParts = (Vec<Shard>, Vec<usize>);
 
-/// Spawned shard workers plus per-shard sizes and merged streaming states,
-/// as produced by [`build_fleet`].
-type FleetParts = (Vec<Shard>, Vec<usize>, HashMap<u64, HistoSketch>);
-
-/// Build every shard of a fleet at `count` shards from the store + the
-/// mutation log, spawn the workers, and report per-shard sizes and the
-/// merged streaming states. Used by cold open, self-heal (single shard via
-/// [`build_shard`]), and re-shard — one builder, so every path converges
-/// byte-identical.
+/// Build every shard of a fleet at `count` shards from the mirror, spawn
+/// the workers, and report per-shard sizes. Used by cold open, self-heal
+/// (single shard via [`build_shard`]), and re-shard — one builder, so
+/// every path converges byte-identical.
 fn build_fleet(
     store: &SketchStore,
     algorithm: Algorithm,
     bands: Bands,
     config: &ServiceConfig,
     count: usize,
-    mutations: &[Mutation],
+    mirror: &Mirror,
     failpoint: &'static str,
 ) -> Result<FleetParts, ServiceError> {
     let mut shards = Vec::with_capacity(count);
     let mut sizes = Vec::with_capacity(count);
-    let mut streams = HashMap::new();
     for shard_id in 0..count {
         let built = supervise(&config.retry, config.seed, shard_id as u64, |_| {
-            build_shard(store, algorithm, bands, config, shard_id, count, mutations, failpoint)
+            build_shard(store, algorithm, bands, config, shard_id, count, mirror, failpoint)
         });
-        let built = match built {
-            CellOutcome::Completed(Ok(built)) => built,
+        let (index, fingerprints) = match built {
+            CellOutcome::Completed(Ok(contents)) => contents,
             CellOutcome::Completed(Err(error)) => {
                 return Err(ServiceError::Ingest { shard: shard_id, attempts: 1, error })
             }
@@ -1299,9 +1734,7 @@ fn build_fleet(
                 return Err(ServiceError::Ingest { shard: shard_id, attempts, error })
             }
         };
-        let (index, fingerprints) = built.contents;
         sizes.push(index.len());
-        streams.extend(built.streams);
         shards.push(
             Shard::spawn(
                 shard_id,
@@ -1314,11 +1747,15 @@ fn build_fleet(
             .map_err(ServiceError::Spawn)?,
         );
     }
-    Ok((shards, sizes, streams))
+    Ok((shards, sizes))
 }
 
-/// One attempt at building a shard: batch-ingest its slice of the store,
-/// then replay its slice of the mutation log in order. Injected
+/// One attempt at building a shard: batch-ingest its slice of the live
+/// set in ascending id order, taking each id's current codes from the
+/// mirror overlay (inserted or drifted ids) or the cold store. Every id
+/// is inserted exactly once, and because query responses depend only on
+/// index *content* (candidates and hits are sorted), a folded build is
+/// byte-identical to one that applied the same mutations live. Injected
 /// `failpoint` faults are transient (the supervisor retries the whole
 /// build); everything else is deterministic and terminal.
 #[allow(clippy::too_many_arguments)]
@@ -1329,18 +1766,11 @@ fn build_shard(
     config: &ServiceConfig,
     shard_id: usize,
     count: usize,
-    mutations: &[Mutation],
+    mirror: &Mirror,
     failpoint: &'static str,
-) -> Attempt<Result<BuiltShard, String>> {
+) -> Attempt<Result<ShardContents, String>> {
     let tag = shard_id.to_string();
     let bits = config.fingerprint_bits;
-    // Two sketcher instances: one owned by the index, one kept for
-    // re-sketching streaming histograms (identical provenance, so the
-    // sketches are interchangeable).
-    let front = match build_sketcher(algorithm, store) {
-        Ok(sketcher) => sketcher,
-        Err(e) => return Attempt::Done(Err(e.to_string())),
-    };
     let sketcher = match build_sketcher(algorithm, store) {
         Ok(sketcher) => sketcher,
         Err(e) => return Attempt::Done(Err(e.to_string())),
@@ -1349,17 +1779,25 @@ fn build_shard(
         Ok(index) => index,
         Err(e) => return Attempt::Done(Err(e.to_string())),
     };
-    let ids: Vec<u64> =
-        store.ids().iter().copied().filter(|id| (id % count as u64) as usize == shard_id).collect();
+    let mut ids: Vec<u64> =
+        mirror.live.iter().copied().filter(|id| (id % count as u64) as usize == shard_id).collect();
+    ids.sort_unstable();
     let mut fingerprints = HashMap::with_capacity(ids.len());
     for batch in ids.chunks(INGEST_BATCH.max(1)) {
         if let Err(fault) = wmh_fault::point!(failpoint, &tag) {
             return Attempt::Transient(fault.to_string());
         }
         for &id in batch {
-            let sketch = match store.get(id) {
-                Ok(sketch) => sketch,
-                Err(e) => return Attempt::Done(Err(e.to_string())),
+            let sketch = match mirror.overlays.get(&id) {
+                Some(codes) => Sketch {
+                    algorithm: store.algorithm().to_owned(),
+                    seed: store.seed(),
+                    codes: codes.clone(),
+                },
+                None => match store.get(id) {
+                    Ok(sketch) => sketch,
+                    Err(e) => return Attempt::Done(Err(e.to_string())),
+                },
             };
             let fp = match BbitFingerprint::pack(&sketch.codes, bits) {
                 Ok(fp) => fp,
@@ -1371,77 +1809,5 @@ fn build_shard(
             fingerprints.insert(id, fp);
         }
     }
-    // Replay the shard's slice of the log, in log order. Front-end
-    // validation ran before every append, so a replay error means a
-    // damaged or foreign log — terminal, never retried.
-    let mut streams: HashMap<u64, HistoSketch> = HashMap::new();
-    let mine: Vec<&Mutation> =
-        mutations.iter().filter(|m| (m.id() % count as u64) as usize == shard_id).collect();
-    for batch in mine.chunks(INGEST_BATCH.max(1)) {
-        if let Err(fault) = wmh_fault::point!(failpoint, &tag) {
-            return Attempt::Transient(fault.to_string());
-        }
-        for m in batch {
-            if let Err(e) =
-                replay_mutation(store, &front, bits, &mut index, &mut fingerprints, &mut streams, m)
-            {
-                return Attempt::Done(Err(format!("wal replay: {e}")));
-            }
-        }
-    }
-    Attempt::Done(Ok(BuiltShard { contents: (index, fingerprints), streams }))
-}
-
-/// Apply one logged mutation to a shard being built — the replay twin of
-/// the live path: identical index calls in identical order, so a rebuilt
-/// shard is byte-identical to one that applied the mutations live.
-fn replay_mutation(
-    store: &SketchStore,
-    front: &DynSketcher,
-    bits: u32,
-    index: &mut LshIndex<DynSketcher>,
-    fingerprints: &mut HashMap<u64, BbitFingerprint>,
-    streams: &mut HashMap<u64, HistoSketch>,
-    m: &Mutation,
-) -> Result<(), String> {
-    match m {
-        Mutation::Insert { id, codes } => {
-            let sketch = Sketch {
-                algorithm: store.algorithm().to_owned(),
-                seed: store.seed(),
-                codes: codes.clone(),
-            };
-            let fp = BbitFingerprint::pack(&sketch.codes, bits).map_err(|e| e.to_string())?;
-            index.insert_sketch(*id, sketch).map_err(|e| e.to_string())?;
-            fingerprints.insert(*id, fp);
-        }
-        Mutation::Delete { id } => {
-            index.remove_sketch(*id).map_err(|e| e.to_string())?;
-            fingerprints.remove(id);
-            streams.remove(id);
-        }
-        Mutation::Stream { id, lambda, items } => {
-            let state = match streams.entry(*id) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(v) => v.insert(
-                    HistoSketch::new(store.seed(), front.num_hashes())
-                        .map_err(|e| e.to_string())?,
-                ),
-            };
-            state.decay(*lambda).map_err(|e| e.to_string())?;
-            for &(k, mass) in items {
-                state.add(k, mass).map_err(|e| e.to_string())?;
-            }
-            let set = state.histogram().map_err(|e| e.to_string())?;
-            let sketch = front.sketch(&set).map_err(|e| e.to_string())?;
-            let fp = BbitFingerprint::pack(&sketch.codes, bits).map_err(|e| e.to_string())?;
-            if index.contains_id(*id) {
-                index.update_sketch(*id, sketch).map_err(|e| e.to_string())?;
-            } else {
-                index.insert_sketch(*id, sketch).map_err(|e| e.to_string())?;
-            }
-            fingerprints.insert(*id, fp);
-        }
-    }
-    Ok(())
+    Attempt::Done(Ok((index, fingerprints)))
 }

@@ -117,12 +117,26 @@ pub(crate) struct ApplyAck {
     pub result: Result<(), String>,
 }
 
+/// A scrubber's spot-check unit: report the shard's fingerprints for a
+/// sample of ids so the front end can compare them with the authoritative
+/// mirror. Because the inbox is FIFO and mutations are dispatched before
+/// the writer lock is released, an audit enqueued under that lock sees
+/// every mutation the mirror has.
+pub(crate) struct AuditJob {
+    /// The ids to report on.
+    pub ids: Vec<u64>,
+    /// Where `(id, fingerprint-if-present)` pairs go.
+    pub reply: Sender<Vec<(u64, Option<BbitFingerprint>)>>,
+}
+
 /// A unit of shard work.
 pub(crate) enum Job {
     /// Probe + re-rank.
     Query(QueryJob),
     /// Apply a committed mutation.
     Apply(Box<ApplyJob>),
+    /// Report fingerprints for a scrub spot-check.
+    Audit(AuditJob),
 }
 
 /// A running shard: its bounded inbox and its worker thread.
@@ -170,6 +184,14 @@ impl Shard {
                                 &job.op,
                             );
                             let _ = job.reply.send(ApplyAck { result });
+                        }
+                        Job::Audit(job) => {
+                            let report = job
+                                .ids
+                                .iter()
+                                .map(|&id| (id, fingerprints.get(&id).cloned()))
+                                .collect();
+                            let _ = job.reply.send(report);
                         }
                     }
                 }

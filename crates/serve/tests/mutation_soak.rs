@@ -223,8 +223,8 @@ fn exhausted_append_flips_read_only_and_commits_nothing() {
     assert_eq!(first.outcome, Outcome::ReadOnly, "{first:?}");
     assert!(!first.durable && !first.applied, "{first:?}");
     assert!(
-        first.error.as_deref().is_some_and(|e| e.contains("read-only")),
-        "the flip must be reported: {first:?}"
+        first.error.as_deref().is_some_and(|e| e.contains("write gate tripped")),
+        "the trip must be reported: {first:?}"
     );
     assert!(service.health().read_only, "health must surface the degradation");
 
@@ -261,8 +261,10 @@ fn torn_tail_is_discarded_not_misread() {
     drop(service);
 
     // A crash mid-append leaves a length prefix promising more bytes than
-    // the file holds.
-    let mut file = std::fs::OpenOptions::new().append(true).open(&wal).expect("append to torn wal");
+    // the file holds — in the *active segment* of the WAL directory.
+    let segment = wal.join("wal-0000000000000000.seg");
+    let mut file =
+        std::fs::OpenOptions::new().append(true).open(&segment).expect("append to torn wal");
     file.write_all(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad]).expect("torn bytes");
     drop(file);
 

@@ -102,6 +102,22 @@ run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
   cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
   --test mutation_soak -q
 
+# Durability-lifecycle soak: kill-resume byte-identity with faults at every
+# lifecycle failpoint (serve::snapshot_write/fsync/rename, serve::wal_rotate,
+# serve::scrub) at 1/2/8 shards; compaction-bounded replay pinned by the
+# serve::wal_replay hit counter; one-generation fallback from a flipped bit;
+# ENOSPC-style snapshot aborts; half-open write-gate recovery.
+run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
+  cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
+  --test snapshot_soak -q
+
+# Scrub gate, called out by name: a flipped bit in a snapshot AND a sealed
+# WAL segment must be detected, quarantined to *.bad, and healed with a
+# fresh snapshot under the pinned seed — query bytes unchanged.
+run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
+  cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
+  --test snapshot_soak scrub_detects_flipped_bits_and_heals -q
+
 # Serving smoke: a real loopback server must answer every outcome class
 # typed — healthy, forced deadline miss, forced overload, bad request, and
 # a mutation against a read-only service.
