@@ -103,14 +103,23 @@ impl Ccws {
     /// the configured factor.
     #[must_use]
     pub fn element_sample(&self, d: usize, k: u64, s: f64) -> (i64, f64, f64) {
-        let s = s * self.weight_scale;
         let d = d as u64;
-        let r = beta21_from_unit(self.oracle.unit3(role::BETA_R, d, k));
-        let beta = self.oracle.unit3(role::BETA, d, k);
-        let c = gamma21_from_units(
+        self.closed_form(
+            self.oracle.unit3(role::BETA_R, d, k),
+            self.oracle.unit3(role::BETA, d, k),
             self.oracle.unit3(role::V1, d, k),
             self.oracle.unit3(role::V2, d, k),
-        );
+            s,
+        )
+    }
+
+    /// The CCWS quantization over the four uniforms — shared by the scalar
+    /// path and the lane kernel.
+    #[inline]
+    fn closed_form(&self, ur: f64, beta: f64, v1: f64, v2: f64, s: f64) -> (i64, f64, f64) {
+        let s = s * self.weight_scale;
+        let r = beta21_from_unit(ur);
+        let c = gamma21_from_units(v1, v2);
         let t = (s / r + beta).floor();
         let y = r * (t - beta);
         let a = match self.pairing {
@@ -162,23 +171,41 @@ impl Sketcher for Ccws {
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
+        // Vectorized d-outer kernel (CCWS needs no ln/exp beyond one Gamma
+        // draw, so hashing dominates — the hoisted prefixes and the fused
+        // hash-plus-race pass carry the win here; uniforms stay in
+        // registers). Bit-identical to the scalar per-element path; a is
+        // never NaN (+∞ marks Eq. 14 degeneracy and loses every strict <).
+        let keys = set.indices();
+        let weights = set.weights();
         for (d, slot) in out.iter_mut().enumerate() {
-            let Some((k, t, a)) = set
-                .iter()
-                .map(|(k, s)| {
-                    let (t, _, a) = self.element_sample(d, k, s);
-                    (k, t, a)
-                })
-                .min_by(|x, y| x.2.total_cmp(&y.2))
-            else {
-                return Err(SketchError::EmptySet);
-            };
-            if a.is_infinite() {
+            let du = d as u64;
+            let p_br = self.oracle.prefix2(role::BETA_R, du);
+            let p_beta = self.oracle.prefix2(role::BETA, du);
+            let p_v1 = self.oracle.prefix2(role::V1, du);
+            let p_v2 = self.oracle.prefix2(role::V2, du);
+            let mut best_a = f64::INFINITY;
+            let mut best_k = keys[0];
+            let mut best_t = 0i64;
+            for (i, &k) in keys.iter().enumerate() {
+                let (t, _, a) = self.closed_form(
+                    p_br.finish_unit(k),
+                    p_beta.finish_unit(k),
+                    p_v1.finish_unit(k),
+                    p_v2.finish_unit(k),
+                    weights[i],
+                );
+                let better = i == 0 || a < best_a;
+                best_a = if better { a } else { best_a };
+                best_k = if better { k } else { best_k };
+                best_t = if better { t } else { best_t };
+            }
+            if best_a.is_infinite() {
                 // Every element degenerate under Eq. (14): emit a sentinel
                 // code that never collides across sets (mixes d and k).
-                *slot = pack3(d as u64, k ^ 0xDEAD, u64::MAX);
+                *slot = pack3(du, best_k ^ 0xDEAD, u64::MAX);
             } else {
-                *slot = pack3(d as u64, k, encode_step(t));
+                *slot = pack3(du, best_k, encode_step(best_t));
             }
         }
         Ok(())
@@ -320,6 +347,37 @@ mod tests {
     #[test]
     fn empty_set_is_an_error() {
         assert_eq!(Ccws::new(8, 4).sketch(&WeightedSet::empty()), Err(SketchError::EmptySet));
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_sample_path_in_both_pairings() {
+        for pairing in [CcwsPairing::LinearShift, CcwsPairing::ReviewEq14] {
+            let c = Ccws::new(0xCC5, 48).with_pairing(pairing);
+            for set in [
+                ws(&[(3, 1.0)]),
+                ws(&[(1, 0.31), (2, 0.17), (3, 0.55), (8, 1.4), (1000, 9.0)]),
+                ws(&[(5, 0.001), (6, 1.0), (7, 500.0), (u64::MAX, f64::MAX)]),
+                ws(&[(5, 0.0011), (9, 0.002)]), // Eq. 14 all-degenerate sets
+            ] {
+                let sk = c.sketch(&set).unwrap();
+                for d in 0..48 {
+                    let (k, t, a) = set
+                        .iter()
+                        .map(|(k, s)| {
+                            let (t, _, a) = c.element_sample(d, k, s);
+                            (k, t, a)
+                        })
+                        .min_by(|x, y| x.2.total_cmp(&y.2))
+                        .unwrap();
+                    let want = if a.is_infinite() {
+                        pack3(d as u64, k ^ 0xDEAD, u64::MAX)
+                    } else {
+                        pack3(d as u64, k, encode_step(t))
+                    };
+                    assert_eq!(sk.codes[d], want, "{pairing:?} d={d}");
+                }
+            }
+        }
     }
 
     #[test]

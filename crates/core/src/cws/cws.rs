@@ -38,7 +38,7 @@
 
 use crate::sketch::{check_out_len, pack3, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::seeded::role;
-use wmh_hash::SeededHash;
+use wmh_hash::{SeededHash, WordChain};
 use wmh_rng::exp_from_unit;
 use wmh_sets::WeightedSet;
 
@@ -117,10 +117,22 @@ impl Cws {
         j
     }
 
+    /// The hoisted `[role, d, k]` hash-chain prefixes for one element —
+    /// reused across the whole `(j, t)` record walk, where the scalar path
+    /// used to re-hash all five words per draw. Finishing a copy with
+    /// `push(j).push(t)` is bit-identical to
+    /// `hash_words(&[role, d, k, j, t])`.
+    #[inline]
+    fn element_chains(&self, d: u64, k: u64) -> (WordChain, WordChain) {
+        let val = self.oracle.chain().push(role::CWS_VAL).push(d).push(k);
+        let pos = self.oracle.chain().push(role::CWS_POS).push(d).push(k);
+        (val, pos)
+    }
+
     /// Walk interval `j`'s record chain from its minimum upward/leftward
     /// until a record at or below `s` is found; returns `(step, position,
     /// value)`.
-    fn partial_interval_record(&self, d: u64, k: u64, j: i32, s: f64) -> (u32, f64, f64) {
+    fn partial_interval_record(val: WordChain, pos: WordChain, j: i32, s: f64) -> (u32, f64, f64) {
         let lo = exp2i(j - 1);
         // Weights above 2^1023 make the upper endpoint overflow to ∞;
         // clamping keeps the chain arithmetic finite (the interval is then
@@ -134,8 +146,8 @@ impl Cws {
         // which would never compare below ε and the walk would spin forever
         // — the subnormal-weight hang this module used to have).
         let mut step = 0u32;
-        let u_val = unit(&self.oracle, role::CWS_VAL, d, k, ji, 0);
-        let u_pos = unit(&self.oracle, role::CWS_POS, d, k, ji, 0);
+        let u_val = val.push(ji).push(0).finish_unit();
+        let u_pos = pos.push(ji).push(0).finish_unit();
         let mut value = exp_from_unit(u_val, hi - lo).min(f64::MAX);
         let mut position = lo + (hi - lo) * u_pos;
         while position > s {
@@ -145,26 +157,20 @@ impl Cws {
                 // bias is far below TAIL_EPS).
                 break;
             }
-            let u_val = unit(&self.oracle, role::CWS_VAL, d, k, ji, u64::from(step));
-            let u_pos = unit(&self.oracle, role::CWS_POS, d, k, ji, u64::from(step));
+            let u_val = val.push(ji).push(u64::from(step)).finish_unit();
+            let u_pos = pos.push(ji).push(u64::from(step)).finish_unit();
             value = (value + exp_from_unit(u_val, position - lo)).min(f64::MAX);
             position = lo + (position - lo) * u_pos;
         }
         (step, position, value)
     }
 
-    /// The element's CWS sample: the minimal Poisson point over
-    /// `(0, S]` and its record identity.
-    ///
-    /// # Panics
-    /// Debug-panics on non-positive or non-finite `s` (guarded by
-    /// [`WeightedSet`] validation in the public path).
-    #[must_use]
-    pub fn element_sample(&self, d: usize, k: u64, s: f64) -> RecordSample {
-        let d = d as u64;
-        let j_star = Self::interval_of(s);
+    /// The record walk over precomputed element chains and interval index —
+    /// the shared body of the scalar path ([`Self::element_sample`]) and the
+    /// batched kernel, so the two cannot drift apart.
+    fn sample_chained(&self, val: WordChain, pos: WordChain, j_star: i32, s: f64) -> RecordSample {
         // Partial interval containing s.
-        let (step, position, value) = self.partial_interval_record(d, k, j_star, s);
+        let (step, position, value) = Self::partial_interval_record(val, pos, j_star, s);
         let mut best = RecordSample { interval: j_star, step, position, value };
         // Whole intervals below, walking down until the tail is negligible.
         // `best.value` is clamped finite, so once 2^j underflows to zero the
@@ -180,14 +186,13 @@ impl Cws {
             if len <= 0.0 {
                 break;
             }
-            let u_val = unit(&self.oracle, role::CWS_VAL, d, k, j as i64 as u64, 0);
-            let m = exp_from_unit(u_val, len).min(f64::MAX);
+            let ji = j as i64 as u64;
+            let m = exp_from_unit(val.push(ji).push(0).finish_unit(), len).min(f64::MAX);
             if m < best.value {
-                let u_pos = unit(&self.oracle, role::CWS_POS, d, k, j as i64 as u64, 0);
                 best = RecordSample {
                     interval: j,
                     step: 0,
-                    position: exp2i(j - 1) + len * u_pos,
+                    position: exp2i(j - 1) + len * pos.push(ji).push(0).finish_unit(),
                     value: m,
                 };
             }
@@ -195,18 +200,24 @@ impl Cws {
         }
         best
     }
+
+    /// The element's CWS sample: the minimal Poisson point over
+    /// `(0, S]` and its record identity.
+    ///
+    /// # Panics
+    /// Debug-panics on non-positive or non-finite `s` (guarded by
+    /// [`WeightedSet`] validation in the public path).
+    #[must_use]
+    pub fn element_sample(&self, d: usize, k: u64, s: f64) -> RecordSample {
+        let (val, pos) = self.element_chains(d as u64, k);
+        self.sample_chained(val, pos, Self::interval_of(s), s)
+    }
 }
 
 /// `2^j` for signed `j`.
 #[inline]
 fn exp2i(j: i32) -> f64 {
     f64::from(j).exp2()
-}
-
-/// A unit uniform from five identifying words.
-#[inline]
-fn unit(oracle: &SeededHash, role: u64, d: u64, k: u64, j: u64, t: u64) -> f64 {
-    wmh_hash::to_unit_open(oracle.hash_words(&[role, d, k, j, t]))
 }
 
 impl Sketcher for Cws {
@@ -230,25 +241,47 @@ impl Sketcher for Cws {
         &self,
         set: &WeightedSet,
         out: &mut [u64],
-        _scratch: &mut SketchScratch,
+        scratch: &mut SketchScratch,
     ) -> Result<(), SketchError> {
         check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
+        // The record walk is variable-length per element, so CWS cannot lane
+        // the walk itself; the batched wins are (a) the `[role, d, k]` chain
+        // prefixes hoisted over every draw of the walk and (b) the dyadic
+        // interval index, a pure function of the weight, hoisted per set
+        // instead of recomputed per (d, element).
+        let keys = set.indices();
+        let weights = set.weights();
+        let n = keys.len();
+        let lanes = scratch.lanes();
+        lanes.resize(n);
+        for (e, &s) in lanes.exponent.iter_mut().zip(weights) {
+            *e = i64::from(Self::interval_of(s));
+        }
         for (d, slot) in out.iter_mut().enumerate() {
-            let mut best: Option<(f64, u64, i32, u32)> = None;
-            for (k, s) in set.iter() {
-                let r = self.element_sample(d, k, s);
-                if best.is_none_or(|(bv, _, _, _)| r.value < bv) {
-                    best = Some((r.value, k, r.interval, r.step));
-                }
+            let du = d as u64;
+            // First-minimal select, same tie-break as the scalar
+            // `is_none_or(value < best)`; `value` is clamped ≤ MAX (never
+            // NaN), so strict < induces the same order as total_cmp.
+            let mut best_v = f64::INFINITY;
+            let mut best_k = keys[0];
+            let mut best_j = 0i32;
+            let mut best_t = 0u32;
+            for i in 0..n {
+                let (val, pos) = self.element_chains(du, keys[i]);
+                #[allow(clippy::cast_possible_truncation)] // round-trips i32
+                let j_star = lanes.exponent[i] as i32;
+                let r = self.sample_chained(val, pos, j_star, weights[i]);
+                let better = i == 0 || r.value < best_v;
+                best_v = if better { r.value } else { best_v };
+                best_k = if better { keys[i] } else { best_k };
+                best_j = if better { r.interval } else { best_j };
+                best_t = if better { r.step } else { best_t };
             }
-            // Non-empty set ⇒ the loop above ran at least once.
-            let Some((_, k, j, step)) = best else {
-                return Err(SketchError::EmptySet);
-            };
-            *slot = crate::sketch::pack2(d as u64, pack3(k, j as i64 as u64, u64::from(step)));
+            *slot =
+                crate::sketch::pack2(du, pack3(best_k, best_j as i64 as u64, u64::from(best_t)));
         }
         Ok(())
     }
@@ -396,6 +429,34 @@ mod tests {
         let set = ws(&[(1, f64::MIN_POSITIVE), (2, f64::MAX), (3, 1.0)]);
         let sk = cws.sketch(&set).expect("extreme set sketches");
         assert_eq!(sk.codes.len(), 4);
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_sample_path() {
+        // The batched kernel (chain-prefix hoist + interval hoist) must
+        // reproduce, bit for bit, what the per-element scalar API computes
+        // (the pre-batching kernel was exactly the argmin of
+        // `element_sample` packed the same way).
+        let cws = Cws::new(0xBEE5, 24);
+        for set in [
+            ws(&[(3, 1.0)]),
+            ws(&[(1, 0.31), (2, 0.17), (3, 0.55), (8, 1.4), (1000, 9.0)]),
+            ws(&[(5, 0.001), (6, 1.0), (7, 500.0), (2, f64::MAX)]),
+        ] {
+            let sk = cws.sketch(&set).unwrap();
+            for d in 0..24 {
+                let (k, r) = set
+                    .iter()
+                    .map(|(k, s)| (k, cws.element_sample(d, k, s)))
+                    .min_by(|(_, a), (_, b)| a.value.total_cmp(&b.value))
+                    .unwrap();
+                let want = crate::sketch::pack2(
+                    d as u64,
+                    pack3(k, r.interval as i64 as u64, u64::from(r.step)),
+                );
+                assert_eq!(sk.codes[d], want, "d={d}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The explicitly-toggled fast-math profile for the ICWS closed form.
+//!
+//! The ICWS family spends most of its non-hashing time in `ln`/`exp`
+//! (paper §4.2.5 counts the draws; the closed form of §4.2.2 adds two of
+//! each per `(element, d)`). [`MathProfile::FastPoly`] replaces them with
+//! short polynomial approximations — the classic argument-reduction
+//! constructions (atanh series for `ln` after mantissa/exponent split,
+//! degree-9 Taylor after base-2 range reduction for `exp`) with worst-case
+//! relative error below `1e-9` on the ranges the kernels use (pinned by
+//! this module's tests and the dedicated conformance run).
+//!
+//! Fast math **changes sketch bytes**: codes carry the quantization step
+//! `t = ⌊ln S / r + β⌋`, and a last-ulp difference in `ln`/`exp` can move a
+//! floor or an argmin. It is therefore *opt-in twice*: the catalog only
+//! accepts [`crate::catalog::AlgorithmConfig::fast_math`] when the
+//! `fast-math` cargo feature is compiled in, and the default is off
+//! everywhere. Sketches from different profiles are not comparable — treat
+//! the profile as part of the sketcher's identity, like the seed. The
+//! end-to-end accuracy cost is recorded in `results/ablation_fastmath.json`
+//! (MSE vs exact generalized Jaccard, per D).
+
+/// Which `ln`/`exp` implementations the ICWS closed form uses.
+///
+/// `Exact` (the default) calls the platform `f64::ln`/`f64::exp` and is the
+/// profile every byte-identity guarantee in the workspace refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MathProfile {
+    /// Platform `ln`/`exp` — correctly-rounded-ish libm, byte-stable.
+    #[default]
+    Exact,
+    /// Polynomial approximations (≲1e-9 relative error, faster): an
+    /// explicitly-toggled trade of exactness for throughput.
+    FastPoly,
+}
+
+impl MathProfile {
+    /// Stable name (reports / ablation files).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::FastPoly => "fast-poly",
+        }
+    }
+
+    /// Natural logarithm under this profile.
+    #[inline]
+    #[must_use]
+    pub fn ln(self, x: f64) -> f64 {
+        match self {
+            Self::Exact => x.ln(),
+            Self::FastPoly => fast_ln(x),
+        }
+    }
+
+    /// Natural exponential under this profile.
+    #[inline]
+    #[must_use]
+    pub fn exp(self, x: f64) -> f64 {
+        match self {
+            Self::Exact => x.exp(),
+            Self::FastPoly => fast_exp(x),
+        }
+    }
+}
+
+/// `ln 2` split into a high part exact in 32 bits and the remainder, so
+/// `n·LN_2_HI` is exact for the `|n| ≤ 1075` the reduction produces. The
+/// literals carry every decimal digit of the intended bit patterns —
+/// shortening them risks a silent 1-ulp drift in the split.
+#[allow(clippy::excessive_precision)]
+const LN_2_HI: f64 = 6.931_471_803_691_238_2e-1;
+#[allow(clippy::excessive_precision)]
+const LN_2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// Polynomial `ln` approximation (relative error ≲ 1e-12 on normal inputs).
+///
+/// Splits `x = m·2^e` with `m ∈ [√½, √2)`, then evaluates the atanh series
+/// `ln m = 2t·(1 + t²/3 + t⁴/5 + …)` at `t = (m−1)/(m+1)` (|t| ≤ 0.1716,
+/// so seven terms reach ~1e-13) and adds `e·ln 2`. Non-normal inputs
+/// (zero, negative, subnormal, infinite, NaN) fall back to `f64::ln` —
+/// the fast path only covers what the kernels feed it.
+#[inline]
+#[must_use]
+pub fn fast_ln(x: f64) -> f64 {
+    if !x.is_finite() || x < f64::MIN_POSITIVE {
+        return x.ln();
+    }
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7FF) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | 0x3FF0_0000_0000_0000);
+    if m > std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    // Horner over the odd atanh series 1 + t²/3 + t⁴/5 + … + t¹²/13.
+    let p = 1.0
+        + t2 * (1.0 / 3.0
+            + t2 * (1.0 / 5.0
+                + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0 + t2 * (1.0 / 11.0 + t2 * (1.0 / 13.0))))));
+    let e = e as f64;
+    2.0 * t * p + e * LN_2_LO + e * LN_2_HI
+}
+
+/// Polynomial `exp` approximation (relative error ≲ 1e-10 in range).
+///
+/// Reduces `x = n·ln 2 + r` with `|r| ≤ ln 2 / 2` (two-part `ln 2` keeps
+/// the reduction exact), evaluates the degree-9 Taylor polynomial of `eʳ`,
+/// and scales by `2ⁿ` through exponent bits. Inputs outside `(−708, 709)`
+/// (including non-finite) fall back to `f64::exp`, so overflow/underflow
+/// behave exactly like the platform call.
+#[inline]
+#[must_use]
+pub fn fast_exp(x: f64) -> f64 {
+    if !(x > -708.0 && x < 709.0) {
+        return x.exp();
+    }
+    let n = (x * std::f64::consts::LOG2_E).round();
+    let r = (x - n * LN_2_HI) - n * LN_2_LO;
+    // Degree-9 Taylor of e^r, |r| ≤ 0.3466: truncation ≈ r¹⁰/10! ≲ 3e-11.
+    let p = 1.0
+        + r * (1.0
+            + r * (1.0 / 2.0
+                + r * (1.0 / 6.0
+                    + r * (1.0 / 24.0
+                        + r * (1.0 / 120.0
+                            + r * (1.0 / 720.0
+                                + r * (1.0 / 5040.0
+                                    + r * (1.0 / 40320.0 + r * (1.0 / 362_880.0)))))))));
+    // |n| ≤ 1023 here, so the biased exponent stays in the normal range.
+    let scale = f64::from_bits(((n as i64 + 1023) as u64) << 52);
+    p * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(approx: f64, exact: f64) -> f64 {
+        if exact == 0.0 {
+            approx.abs()
+        } else {
+            ((approx - exact) / exact).abs()
+        }
+    }
+
+    #[test]
+    fn fast_ln_error_budget() {
+        // Sweep the magnitudes the kernels feed it: unit-interval uniforms
+        // (products in (0, 1)) and raw weights across the normal range.
+        let mut worst = 0.0f64;
+        for i in 1..200_000u64 {
+            let x = i as f64 / 200_000.0;
+            worst = worst.max(rel_err(fast_ln(x), x.ln()));
+        }
+        for e in -300..=300 {
+            for frac in [1.0, 1.3333333, 1.77, 1.9999999] {
+                let x = frac * 2f64.powi(e);
+                worst = worst.max(rel_err(fast_ln(x), x.ln()));
+            }
+        }
+        assert!(worst < 1e-9, "fast_ln worst relative error {worst:e}");
+    }
+
+    #[test]
+    fn fast_exp_error_budget() {
+        let mut worst = 0.0f64;
+        for i in 0..200_000 {
+            let x = -700.0 + i as f64 * (1400.0 / 200_000.0);
+            worst = worst.max(rel_err(fast_exp(x), x.exp()));
+        }
+        assert!(worst < 1e-9, "fast_exp worst relative error {worst:e}");
+    }
+
+    #[test]
+    fn fallbacks_match_libm_exactly() {
+        for x in [0.0, -1.0, -123.5, f64::INFINITY, f64::NEG_INFINITY, 1e-320, f64::MIN_POSITIVE] {
+            assert_eq!(fast_ln(x).to_bits(), x.ln().to_bits(), "ln({x})");
+        }
+        assert!(fast_ln(f64::NAN).is_nan());
+        for x in [710.0, 1e308, -709.0, -1e308, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(fast_exp(x).to_bits(), x.exp().to_bits(), "exp({x})");
+        }
+        assert!(fast_exp(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn exact_profile_is_libm() {
+        let m = MathProfile::Exact;
+        for x in [0.3, 1.0, 17.25, 1e-12, 1e12] {
+            assert_eq!(m.ln(x).to_bits(), x.ln().to_bits());
+            assert_eq!(m.exp(x.min(700.0)).to_bits(), x.min(700.0).exp().to_bits());
+        }
+        assert_eq!(MathProfile::default(), MathProfile::Exact);
+        assert_eq!(MathProfile::Exact.name(), "exact");
+        assert_eq!(MathProfile::FastPoly.name(), "fast-poly");
+    }
+
+    #[test]
+    fn fast_profile_stays_monotone_on_samples() {
+        // The floor in t = ⌊ln S / r + β⌋ tolerates small absolute error but
+        // not order inversions along a monotone grid.
+        let mut prev_ln = f64::NEG_INFINITY;
+        let mut prev_exp = 0.0f64;
+        for i in 1..50_000 {
+            let x = i as f64 * 1e-3;
+            let l = fast_ln(x);
+            assert!(l >= prev_ln, "ln not monotone at {x}");
+            prev_ln = l;
+            let e = fast_exp(x * 2e-2 - 500.0);
+            assert!(e >= prev_exp * (1.0 - 1e-12), "exp not monotone at {x}");
+            prev_exp = e;
+        }
+    }
+}

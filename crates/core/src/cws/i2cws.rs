@@ -43,16 +43,23 @@ impl I2cws {
     #[must_use]
     pub fn element_z(&self, d: usize, k: u64, s: f64) -> (f64, f64) {
         let d = d as u64;
-        let r2 = gamma21_from_units(
+        Self::z_closed_form(
             self.oracle.unit3(role::U3, d, k),
             self.oracle.unit3(role::U4, d, k),
-        );
-        let beta2 = self.oracle.unit3(role::BETA2, d, k);
-        let c = gamma21_from_units(
+            self.oracle.unit3(role::BETA2, d, k),
             self.oracle.unit3(role::V1, d, k),
             self.oracle.unit3(role::V2, d, k),
-        );
-        let t2 = (s.ln() / r2 + beta2).floor();
+            s.ln(),
+        )
+    }
+
+    /// Eq. 26 + Eq. 9 over the five uniforms and pre-computed `ln s` —
+    /// shared by the scalar path and the lane kernel.
+    #[inline]
+    fn z_closed_form(u3: f64, u4: f64, beta2: f64, v1: f64, v2: f64, ln_s: f64) -> (f64, f64) {
+        let r2 = gamma21_from_units(u3, u4);
+        let c = gamma21_from_units(v1, v2);
+        let t2 = (ln_s / r2 + beta2).floor();
         let z = (r2 * (t2 - beta2 + 1.0)).exp();
         (z, c / z)
     }
@@ -93,26 +100,51 @@ impl Sketcher for I2cws {
         &self,
         set: &WeightedSet,
         out: &mut [u64],
-        _scratch: &mut SketchScratch,
+        scratch: &mut SketchScratch,
     ) -> Result<(), SketchError> {
         check_out_len(out, self.num_hashes)?;
         if set.is_empty() {
             return Err(SketchError::EmptySet);
         }
+        // Vectorized d-outer kernel: the z-side race runs over hoisted
+        // (role, d) hash prefixes with the five per-element uniforms in
+        // registers and a branchless first-minimal select, all in one fused
+        // pass; the y-side stays lazy and scalar — one draw per winner,
+        // exactly as §4.2.6 prescribes. Bit-identical to the scalar path
+        // (a = c/z is never NaN: c is positive finite and z ∈ [0, ∞]).
+        // Only `ln s` is staged in scratch, hoisted once per set.
+        let keys = set.indices();
+        let weights = set.weights();
+        let lanes = scratch.lanes();
+        lanes.resize(keys.len());
+        for (l, &s) in lanes.ln_weight.iter_mut().zip(weights) {
+            *l = s.ln();
+        }
         for (d, slot) in out.iter_mut().enumerate() {
-            let Some((k_star, s_star, _)) = set
-                .iter()
-                .map(|(k, s)| {
-                    let (_, a) = self.element_z(d, k, s);
-                    (k, s, a)
-                })
-                .min_by(|x, y| x.2.total_cmp(&y.2))
-            else {
-                return Err(SketchError::EmptySet);
-            };
+            let du = d as u64;
+            let p_u3 = self.oracle.prefix2(role::U3, du);
+            let p_u4 = self.oracle.prefix2(role::U4, du);
+            let p_beta2 = self.oracle.prefix2(role::BETA2, du);
+            let p_v1 = self.oracle.prefix2(role::V1, du);
+            let p_v2 = self.oracle.prefix2(role::V2, du);
+            let mut best_a = f64::INFINITY;
+            let mut best_i = 0usize;
+            for (i, &k) in keys.iter().enumerate() {
+                let (_, a) = Self::z_closed_form(
+                    p_u3.finish_unit(k),
+                    p_u4.finish_unit(k),
+                    p_beta2.finish_unit(k),
+                    p_v1.finish_unit(k),
+                    p_v2.finish_unit(k),
+                    lanes.ln_weight[i],
+                );
+                let better = i == 0 || a < best_a;
+                best_a = if better { a } else { best_a };
+                best_i = if better { i } else { best_i };
+            }
             // Lazy y: only for the winner (§4.2.6).
-            let (t1, _) = self.element_y(d, k_star, s_star);
-            *slot = pack3(d as u64, k_star, encode_step(t1));
+            let (t1, _) = self.element_y(d, keys[best_i], weights[best_i]);
+            *slot = pack3(du, keys[best_i], encode_step(t1));
         }
         Ok(())
     }
@@ -288,6 +320,30 @@ mod tests {
     #[test]
     fn empty_set_is_an_error() {
         assert_eq!(I2cws::new(7, 4).sketch(&WeightedSet::empty()), Err(SketchError::EmptySet));
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_sample_path() {
+        let i2 = I2cws::new(0x12C5, 48);
+        for set in [
+            ws(&[(3, 1.0)]),
+            ws(&[(1, 0.31), (2, 0.17), (3, 0.55), (8, 1.4), (1000, 9.0)]),
+            ws(&[(5, 0.001), (6, 1.0), (7, 500.0), (u64::MAX, f64::MAX)]),
+        ] {
+            let sk = i2.sketch(&set).unwrap();
+            for d in 0..48 {
+                let (k_star, s_star, _) = set
+                    .iter()
+                    .map(|(k, s)| {
+                        let (_, a) = i2.element_z(d, k, s);
+                        (k, s, a)
+                    })
+                    .min_by(|x, y| x.2.total_cmp(&y.2))
+                    .unwrap();
+                let (t1, _) = i2.element_y(d, k_star, s_star);
+                assert_eq!(sk.codes[d], pack3(d as u64, k_star, encode_step(t1)), "d={d}");
+            }
+        }
     }
 
     #[test]

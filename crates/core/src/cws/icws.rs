@@ -22,10 +22,10 @@
 //! `β` one) — the `O(5nD)` the review counts in §4.2.5.
 
 use crate::cws::encode_step;
+use crate::cws::fastmath::MathProfile;
 use crate::sketch::{check_out_len, pack3, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_hash::seeded::role;
 use wmh_hash::SeededHash;
-use wmh_rng::gamma21_from_units;
 use wmh_sets::WeightedSet;
 
 /// Ioffe's ICWS sampler.
@@ -44,6 +44,7 @@ pub struct Icws {
     oracle: SeededHash,
     seed: u64,
     num_hashes: usize,
+    math: MathProfile,
 }
 
 /// One element's ICWS draw (exposed for tests and for the 0-bit variant).
@@ -63,35 +64,87 @@ impl Icws {
     /// Catalog name.
     pub const NAME: &'static str = "ICWS";
 
-    /// Create an ICWS sketcher.
+    /// Create an ICWS sketcher (the exact, byte-stable math profile).
     #[must_use]
     pub fn new(seed: u64, num_hashes: usize) -> Self {
-        Self { oracle: SeededHash::new(seed), seed, num_hashes }
+        Self::with_math_profile(seed, num_hashes, MathProfile::default())
+    }
+
+    /// Create an ICWS sketcher with an explicit [`MathProfile`].
+    ///
+    /// [`MathProfile::FastPoly`] trades byte-stability for speed (see the
+    /// [`crate::cws::fastmath`] docs); sketches from different profiles are
+    /// not comparable.
+    #[must_use]
+    pub fn with_math_profile(seed: u64, num_hashes: usize, math: MathProfile) -> Self {
+        Self { oracle: SeededHash::new(seed), seed, num_hashes, math }
+    }
+
+    /// The math profile this sketcher computes its closed form under.
+    #[must_use]
+    pub fn math_profile(&self) -> MathProfile {
+        self.math
     }
 
     /// The per-element draw for hash function `d`.
     #[must_use]
     pub fn element_sample(&self, d: usize, k: u64, s: f64) -> IcwsSample {
         let d = d as u64;
-        let r = gamma21_from_units(
+        self.closed_form(
             self.oracle.unit3(role::U1, d, k),
             self.oracle.unit3(role::U2, d, k),
-        );
-        let beta = self.oracle.unit3(role::BETA, d, k);
-        let c = gamma21_from_units(
+            self.oracle.unit3(role::BETA, d, k),
             self.oracle.unit3(role::V1, d, k),
             self.oracle.unit3(role::V2, d, k),
-        );
-        let t = (s.ln() / r + beta).floor();
-        // `r·(t−β) ≤ ln s + r`, which for s near f64::MAX plus a large Gamma
-        // draw can push exp past the float range (and symmetrically under it
-        // for s near MIN_POSITIVE). Clamp into the normal range: the step
-        // `t` — the only part that reaches the fingerprint — is exact either
-        // way, and the clamp keeps `a = c/z` well-defined (never NaN; it may
-        // be +∞ for subnormal-scale weights, which total_cmp orders fine).
-        let y = (r * (t - beta)).exp().clamp(f64::MIN_POSITIVE, f64::MAX);
-        let z = (y * r.exp()).min(f64::MAX);
-        IcwsSample { step: t as i64, y, z, a: c / z }
+            self.math.ln(s),
+        )
+    }
+
+    /// The race-deciding part of Ioffe's closed form over the five uniforms
+    /// and the pre-computed `ln s`: returns `(r, t, z, a)`.
+    ///
+    /// This is the shared body of the scalar path ([`Self::closed_form`])
+    /// and the batched kernel ([`Self::winners_into`]), so the two cannot
+    /// drift apart. It spends exactly two `ln` and one `exp` per call:
+    /// `z = y·e^{r}` collapses to the single exponential
+    /// `exp(r·(t − β + 1))`, and `y` — which only the scalar sample and the
+    /// per-`d` winner ever need — is materialized separately in
+    /// [`Self::closed_form`].
+    ///
+    /// `r·(t−β+1) ≤ ln s + 2r`, which for `s` near `f64::MAX` plus a large
+    /// Gamma draw can push exp past the float range (and symmetrically
+    /// under it for `s` near `MIN_POSITIVE`). Clamp into the normal range:
+    /// the step `t` — the only part that reaches the fingerprint — is exact
+    /// either way, and the clamp keeps `a = c/z` well-defined (never NaN;
+    /// it may be +∞ for subnormal-scale weights, which total_cmp orders
+    /// fine).
+    #[inline]
+    fn race_form(
+        &self,
+        u1: f64,
+        u2: f64,
+        beta: f64,
+        v1: f64,
+        v2: f64,
+        ln_s: f64,
+    ) -> (f64, f64, f64, f64) {
+        let m = self.math;
+        // r, c ~ Gamma(2,1) as the product of two unit exponentials
+        // (wmh_rng::gamma21_from_units inlined so the profile picks the ln).
+        let r = -m.ln(u1 * u2);
+        let c = -m.ln(v1 * v2);
+        let t = (ln_s / r + beta).floor();
+        let z = m.exp(r * (t - beta + 1.0)).clamp(f64::MIN_POSITIVE, f64::MAX);
+        (r, t, z, c / z)
+    }
+
+    /// Ioffe's full closed form: [`Self::race_form`] plus the `y` active
+    /// index (its own exponential, clamped like `z`).
+    #[inline]
+    fn closed_form(&self, u1: f64, u2: f64, beta: f64, v1: f64, v2: f64, ln_s: f64) -> IcwsSample {
+        let (r, t, z, a) = self.race_form(u1, u2, beta, v1, v2, ln_s);
+        let y = self.math.exp(r * (t - beta)).clamp(f64::MIN_POSITIVE, f64::MAX);
+        IcwsSample { step: t as i64, y, z, a }
     }
 
     /// The full fingerprint sample for hash function `d`: the selected
@@ -101,6 +154,68 @@ impl Icws {
         set.iter()
             .map(|(k, s)| (k, self.element_sample(d, k, s)))
             .min_by(|(_, x), (_, y)| x.a.total_cmp(&y.a))
+    }
+
+    /// The shared vectorized kernel: run the d-outer, element-inner argmin
+    /// and emit `code(d, winner, step)` into each slot. ICWS packs the step;
+    /// the 0-bit variant drops it — both ride the same selection.
+    ///
+    /// Shape: per `d`, the five `(role, d)` hash prefixes are hoisted once
+    /// and the five per-element uniforms stay in registers — bit-identical
+    /// to the scalar oracle calls, only the loop structure differs — feeding
+    /// [`Self::race_form`] and a branchless first-minimal select in the same
+    /// pass (a buffered fill-then-scan measured strictly slower: the lane
+    /// round-trip costs more than it saves when the finalizer is this
+    /// cheap). Only `ln s` is staged in scratch, hoisted once per set — the
+    /// scalar path computes the identical `f64::ln` per `(element, d)`, so
+    /// reusing it cannot change a bit.
+    pub(crate) fn winners_into(
+        &self,
+        set: &WeightedSet,
+        out: &mut [u64],
+        scratch: &mut SketchScratch,
+        code: impl Fn(u64, u64, i64) -> u64,
+    ) -> Result<(), SketchError> {
+        check_out_len(out, self.num_hashes)?;
+        if set.is_empty() {
+            return Err(SketchError::EmptySet);
+        }
+        let keys = set.indices();
+        let lanes = scratch.lanes();
+        lanes.resize(keys.len());
+        for (l, &s) in lanes.ln_weight.iter_mut().zip(set.weights()) {
+            *l = self.math.ln(s);
+        }
+        for (d, slot) in out.iter_mut().enumerate() {
+            let du = d as u64;
+            let p_u1 = self.oracle.prefix2(role::U1, du);
+            let p_u2 = self.oracle.prefix2(role::U2, du);
+            let p_beta = self.oracle.prefix2(role::BETA, du);
+            let p_v1 = self.oracle.prefix2(role::V1, du);
+            let p_v2 = self.oracle.prefix2(role::V2, du);
+            // First-minimal argmin, same tie-break as the scalar min_by
+            // (strict < never replaces an equal earlier winner; a is never
+            // NaN, so total_cmp and < induce the same order).
+            let mut best_a = f64::INFINITY;
+            let mut best_k = keys[0];
+            let mut best_t = 0i64;
+            for (i, &k) in keys.iter().enumerate() {
+                let (_, t, _, a) = self.race_form(
+                    p_u1.finish_unit(k),
+                    p_u2.finish_unit(k),
+                    p_beta.finish_unit(k),
+                    p_v1.finish_unit(k),
+                    p_v2.finish_unit(k),
+                    lanes.ln_weight[i],
+                );
+                let better = i == 0 || a < best_a;
+                best_a = if better { a } else { best_a };
+                best_k = if better { k } else { best_k };
+                best_t = if better { t as i64 } else { best_t };
+            }
+            *slot = code(du, best_k, best_t);
+        }
+        Ok(())
     }
 }
 
@@ -125,19 +240,9 @@ impl Sketcher for Icws {
         &self,
         set: &WeightedSet,
         out: &mut [u64],
-        _scratch: &mut SketchScratch,
+        scratch: &mut SketchScratch,
     ) -> Result<(), SketchError> {
-        check_out_len(out, self.num_hashes)?;
-        if set.is_empty() {
-            return Err(SketchError::EmptySet);
-        }
-        for (d, slot) in out.iter_mut().enumerate() {
-            let Some((k, smp)) = self.sample(set, d) else {
-                return Err(SketchError::EmptySet);
-            };
-            *slot = pack3(d as u64, k, encode_step(smp.step));
-        }
-        Ok(())
+        self.winners_into(set, out, scratch, |d, k, t| pack3(d, k, encode_step(t)))
     }
 }
 
@@ -258,6 +363,45 @@ mod tests {
     #[test]
     fn empty_set_is_an_error() {
         assert_eq!(Icws::new(8, 4).sketch(&WeightedSet::empty()), Err(SketchError::EmptySet));
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_sample_path() {
+        // The vectorized d-outer kernel must reproduce, bit for bit, what
+        // the per-element scalar API computes (the pre-vectorization kernel
+        // was exactly `pack3(d, sample(set, d))`).
+        let icws = Icws::new(0xBEE5, 48);
+        for set in [
+            ws(&[(3, 1.0)]),
+            ws(&[(1, 0.31), (2, 0.17), (3, 0.55), (8, 1.4), (1000, 9.0)]),
+            ws(&[(5, 0.001), (6, 1.0), (7, 500.0), (u64::MAX, f64::MAX)]),
+        ] {
+            let sk = icws.sketch(&set).unwrap();
+            for d in 0..48 {
+                let (k, smp) = icws.sample(&set, d).unwrap();
+                assert_eq!(sk.codes[d], pack3(d as u64, k, encode_step(smp.step)), "d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_math_profile_estimates_stay_close_to_exact() {
+        let d = 1024;
+        let exact = Icws::new(11, d);
+        let fast = Icws::with_math_profile(11, d, MathProfile::FastPoly);
+        assert_eq!(fast.math_profile(), MathProfile::FastPoly);
+        assert_eq!(exact.math_profile(), MathProfile::Exact);
+        let s = ws(&[(1, 0.31), (2, 0.17), (3, 0.55), (8, 1.4)]);
+        let t = ws(&[(1, 0.11), (2, 0.17), (9, 0.4), (8, 2.0)]);
+        let est_exact = exact.sketch(&s).unwrap().estimate_similarity(&exact.sketch(&t).unwrap());
+        let est_fast = fast.sketch(&s).unwrap().estimate_similarity(&fast.sketch(&t).unwrap());
+        // ~1e-9-relative math error flips at most a negligible fraction of
+        // the D argmins; at D=1024 the two estimates should differ by at
+        // most a few codes.
+        assert!(
+            (est_exact - est_fast).abs() <= 8.0 / d as f64,
+            "exact {est_exact} vs fast {est_fast}"
+        );
     }
 
     #[test]

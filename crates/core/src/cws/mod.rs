@@ -19,6 +19,7 @@
 mod ccws;
 #[allow(clippy::module_inception)]
 mod cws;
+pub mod fastmath;
 mod i2cws;
 mod icws;
 mod pcws;
@@ -26,6 +27,7 @@ mod zero_bit;
 
 pub use ccws::{Ccws, CcwsPairing};
 pub use cws::{Cws, RecordSample};
+pub use fastmath::MathProfile;
 pub use i2cws::I2cws;
 pub use icws::{Icws, IcwsSample};
 pub use pcws::Pcws;

@@ -6,8 +6,9 @@
 //! collision probability barely changes; the review echoes that a rigorous
 //! proof "remains a difficult probability problem".
 
+use crate::cws::fastmath::MathProfile;
 use crate::cws::Icws;
-use crate::sketch::{check_out_len, pack2, Sketch, SketchError, SketchScratch, Sketcher};
+use crate::sketch::{pack2, Sketch, SketchError, SketchScratch, Sketcher};
 use wmh_sets::WeightedSet;
 
 /// ICWS with the `y_k` component discarded.
@@ -26,7 +27,14 @@ impl ZeroBitCws {
     /// the same seed, it selects exactly the elements ICWS selects).
     #[must_use]
     pub fn new(seed: u64, num_hashes: usize) -> Self {
-        Self { inner: Icws::new(seed, num_hashes), seed, num_hashes }
+        Self::with_math_profile(seed, num_hashes, MathProfile::default())
+    }
+
+    /// Create a 0-bit CWS sketcher over an explicit [`MathProfile`] for the
+    /// inner ICWS closed form (see [`Icws::with_math_profile`]).
+    #[must_use]
+    pub fn with_math_profile(seed: u64, num_hashes: usize, math: MathProfile) -> Self {
+        Self { inner: Icws::with_math_profile(seed, num_hashes, math), seed, num_hashes }
     }
 
     /// Access the underlying ICWS sampler.
@@ -57,19 +65,10 @@ impl Sketcher for ZeroBitCws {
         &self,
         set: &WeightedSet,
         out: &mut [u64],
-        _scratch: &mut SketchScratch,
+        scratch: &mut SketchScratch,
     ) -> Result<(), SketchError> {
-        check_out_len(out, self.num_hashes)?;
-        if set.is_empty() {
-            return Err(SketchError::EmptySet);
-        }
-        for (d, slot) in out.iter_mut().enumerate() {
-            let Some((k, _)) = self.inner.sample(set, d) else {
-                return Err(SketchError::EmptySet);
-            };
-            *slot = pack2(d as u64, k);
-        }
-        Ok(())
+        // Same lane kernel as ICWS — only the code drops the step.
+        self.inner.winners_into(set, out, scratch, |d, k, _t| pack2(d, k))
     }
 }
 
@@ -139,6 +138,24 @@ mod tests {
         let s = ws(&[(5, 0.9), (6, 2.0)]);
         assert_eq!(zb.sketch(&s).unwrap().estimate_similarity(&zb.sketch(&s).unwrap()), 1.0);
         assert_eq!(zb.sketch(&WeightedSet::empty()), Err(SketchError::EmptySet));
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_sample_path() {
+        // The vectorized kernel must emit exactly `pack2(d, k)` for the
+        // element the scalar ICWS sample path selects.
+        let zb = ZeroBitCws::new(0xBEE5, 48);
+        for set in [
+            ws(&[(3, 1.0)]),
+            ws(&[(1, 0.31), (2, 0.17), (3, 0.55), (8, 1.4), (1000, 9.0)]),
+            ws(&[(5, 0.001), (6, 1.0), (7, 500.0), (u64::MAX, f64::MAX)]),
+        ] {
+            let sk = zb.sketch(&set).unwrap();
+            for d in 0..48 {
+                let (k, _) = zb.icws().sample(&set, d).unwrap();
+                assert_eq!(sk.codes[d], pack2(d as u64, k), "d={d}");
+            }
+        }
     }
 
     #[test]

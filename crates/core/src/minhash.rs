@@ -136,34 +136,44 @@ impl Sketcher for MinHash {
         if indices.is_empty() {
             return Err(SketchError::EmptySet);
         }
-        // Hoist the permutation-family dispatch out of the per-`d` loop:
-        // one branch per call instead of one per code. `indices` is
-        // verified non-empty above, so the per-permutation argmin always
-        // exists; the fallback keeps the loops total.
-        let first = indices[0];
+        // MinHash is a pure hash race: the hash is cheap enough that a
+        // buffered fill-then-scan pass loses to a fused one (the lane
+        // round-trip costs more than the hoisted combine saves), so each
+        // family runs hash + branchless first-minimal select in one pass.
+        // `best_h` starts at `u64::MAX` with `best_k = indices[0]`, so the
+        // strict `<` keeps the FIRST minimal key even when every hash is
+        // `u64::MAX` — matching the scalar `min_by_key` tie-break.
+        #[inline]
+        fn race(indices: &[u64], hash: impl Fn(u64) -> u64) -> u64 {
+            let mut best_h = u64::MAX;
+            let mut best_k = indices[0];
+            for &k in indices {
+                let h = hash(k);
+                let better = h < best_h;
+                best_h = if better { h } else { best_h };
+                best_k = if better { k } else { best_k };
+            }
+            best_k
+        }
         match self.kind {
             PermutationKind::Mixed => {
                 for (d, slot) in out.iter_mut().enumerate() {
-                    let m = indices
-                        .iter()
-                        .copied()
-                        .min_by_key(|&k| self.oracle.hash2(d as u64, k))
-                        .unwrap_or(first);
-                    *slot = pack2(d as u64, m);
+                    // One combine hoisted per `d`; `finish` is bit-identical
+                    // to the scalar `hash2(d, k)` call.
+                    let pfx = self.oracle.prefix1(d as u64);
+                    *slot = pack2(d as u64, race(indices, |k| pfx.finish(k)));
                 }
             }
             PermutationKind::Linear => {
                 for (d, slot) in out.iter_mut().enumerate() {
                     let p = &self.linear[d];
-                    let m = indices.iter().copied().min_by_key(|&k| p.apply(k)).unwrap_or(first);
-                    *slot = pack2(d as u64, m);
+                    *slot = pack2(d as u64, race(indices, |k| p.apply(k)));
                 }
             }
             PermutationKind::Tabulation => {
                 for (d, slot) in out.iter_mut().enumerate() {
                     let t = &self.tabulation[d];
-                    let m = indices.iter().copied().min_by_key(|&k| t.hash(k)).unwrap_or(first);
-                    *slot = pack2(d as u64, m);
+                    *slot = pack2(d as u64, race(indices, |k| t.hash(k)));
                 }
             }
         }
@@ -261,6 +271,25 @@ mod tests {
             }
         }
         assert!(MinHash::new(21, 8).sketch_batch(&[WeightedSet::empty()]).is_err());
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_min_element_for_every_family() {
+        // The vectorized hash-lane argmin must emit exactly
+        // `pack2(d, min_element(set, d))` — the pre-vectorization kernel —
+        // for each permutation family, including on ties (first minimal).
+        for kind in [PermutationKind::Mixed, PermutationKind::Linear, PermutationKind::Tabulation] {
+            let mh = MinHash::with_permutation(0xBEE5, 48, kind);
+            for set in
+                [binary(&[3]), binary(&[3, 8, 1000, 77]), binary(&(0..200).collect::<Vec<_>>())]
+            {
+                let sk = mh.sketch(&set).unwrap();
+                for d in 0..48 {
+                    let m = mh.min_element(&set, d).unwrap();
+                    assert_eq!(sk.codes[d], pack2(d as u64, m), "{kind:?} d={d}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -251,6 +251,8 @@ pub struct SketchScratch {
     /// Lexicographic rank-key state for the dart-based samplers
     /// (DartMinHash bucket minima, BagMinHash tournament tree).
     rank_keys: Vec<RankKey>,
+    /// Structure-of-arrays lanes for the vectorized sketching kernels.
+    lanes: LaneBuffers,
 }
 
 /// Lexicographic `(band, rank, code)` dart key: band-major comparison so
@@ -282,6 +284,50 @@ impl SketchScratch {
     /// only hand out one field accessor at a time).
     pub fn pairs_and_rank_keys(&mut self) -> (&mut Vec<(u64, u64)>, &mut Vec<RankKey>) {
         (&mut self.pairs, &mut self.rank_keys)
+    }
+
+    /// The structure-of-arrays lane buffers the vectorized kernels fill.
+    /// Kernels must [`LaneBuffers::resize`] (or resize individual lanes)
+    /// before use — contents from a previous call are garbage.
+    pub fn lanes(&mut self) -> &mut LaneBuffers {
+        &mut self.lanes
+    }
+}
+
+/// Structure-of-arrays working lanes for the vectorized sketching kernels.
+///
+/// The hot CWS-family loops are *d-outer, element-inner*: for each hash
+/// index `d` they hoist the `(role, d)` hash prefixes once (via the
+/// lane-parallel [`wmh_hash::seeded::HashPrefix`] surface) and run the
+/// per-element uniforms, closed-form arithmetic, and a branchless
+/// min-reduction in one fused register pass — an A/B against a buffered
+/// fill-then-scan layout showed the lane round-trip costs more than it
+/// saves when the hash finalizer is this cheap. What *does* pay to stage
+/// are the per-element quantities that are invariant across all `D` hash
+/// indices: those lanes live here, computed once per set and re-read `D`
+/// times.
+///
+/// Fields are public on purpose: a kernel typically needs several lanes
+/// mutably at once, which accessor methods cannot express under one
+/// `&mut self` borrow. Every lane is garbage between calls; kernels resize
+/// and overwrite what they use (capacity is retained, preserving the
+/// zero-allocation warm-path contract).
+#[derive(Debug, Default)]
+pub struct LaneBuffers {
+    /// Per-element `ln(weight)` lane, hoisted once per set (the scalar path
+    /// recomputes the identical `f64::ln` per `(element, d)` — same bits).
+    pub ln_weight: Vec<f64>,
+    /// Per-element integer lane (e.g. the CWS starting interval exponent).
+    pub exponent: Vec<i64>,
+}
+
+impl LaneBuffers {
+    /// Resize every lane to `n` elements without initializing contents
+    /// beyond what `Vec::resize` writes (reuses capacity when possible).
+    /// Individual kernels may instead resize only the lanes they touch.
+    pub fn resize(&mut self, n: usize) {
+        self.ln_weight.resize(n, 0.0);
+        self.exponent.resize(n, 0);
     }
 }
 

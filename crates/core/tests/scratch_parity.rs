@@ -14,10 +14,19 @@
 //! proven. The whole dump is rendered to a string and the test re-runs
 //! the matrix to assert the dump is byte-stable — the differential
 //! fixture the acceptance criteria pin.
+//!
+//! Since the vectorization PR, the matrix additionally re-derives the
+//! codes of MinHash and the six CWS-family algorithms through their
+//! **per-element scalar APIs** (argmin over `element_sample`-style calls
+//! — exactly the pre-vectorization kernels) and asserts the lane kernels
+//! match byte for byte, adding 210 `scalar` dump lines.
 
 use std::fmt::Write as _;
 
+use wmh_core::cws::{encode_step, Ccws, Cws, I2cws, Icws, Pcws, ZeroBitCws};
+use wmh_core::minhash::MinHash;
 use wmh_core::others::UpperBounds;
+use wmh_core::sketch::{pack2, pack3};
 use wmh_core::{Algorithm, AlgorithmConfig, CodeBatch, SketchScratch};
 use wmh_sets::WeightedSet;
 
@@ -49,6 +58,113 @@ fn config(sets: &[WeightedSet]) -> AlgorithmConfig {
         upper_bounds: Some(UpperBounds::from_sets(sets.iter()).expect("non-empty")),
         ..AlgorithmConfig::default()
     }
+}
+
+/// Re-derive the expected codes through the **per-element scalar APIs** for
+/// the seven algorithms whose kernels were vectorized (MinHash + the CWS
+/// family). The pre-vectorization kernels were literally these argmins, so
+/// equality proves the lane kernels are byte-identical to the scalar path.
+/// Returns `None` for algorithms without a public per-element surface.
+fn scalar_reference(
+    algorithm: Algorithm,
+    seed: u64,
+    num_hashes: usize,
+    config: &AlgorithmConfig,
+    set: &WeightedSet,
+) -> Option<Vec<u64>> {
+    let codes: Vec<u64> = match algorithm {
+        Algorithm::MinHash => {
+            let mh = MinHash::new(seed, num_hashes);
+            (0..num_hashes)
+                .map(|d| pack2(d as u64, mh.min_element(set, d).expect("non-empty")))
+                .collect()
+        }
+        Algorithm::Cws => {
+            let cws = Cws::new(seed, num_hashes);
+            (0..num_hashes)
+                .map(|d| {
+                    let (k, r) = set
+                        .iter()
+                        .map(|(k, s)| (k, cws.element_sample(d, k, s)))
+                        .min_by(|(_, a), (_, b)| a.value.total_cmp(&b.value))
+                        .expect("non-empty");
+                    pack2(d as u64, pack3(k, r.interval as i64 as u64, u64::from(r.step)))
+                })
+                .collect()
+        }
+        Algorithm::Icws => {
+            let icws = Icws::new(seed, num_hashes);
+            (0..num_hashes)
+                .map(|d| {
+                    let (k, smp) = icws.sample(set, d).expect("non-empty");
+                    pack3(d as u64, k, encode_step(smp.step))
+                })
+                .collect()
+        }
+        Algorithm::ZeroBitCws => {
+            let zb = ZeroBitCws::new(seed, num_hashes);
+            (0..num_hashes)
+                .map(|d| {
+                    let (k, _) = zb.icws().sample(set, d).expect("non-empty");
+                    pack2(d as u64, k)
+                })
+                .collect()
+        }
+        Algorithm::Ccws => {
+            let ccws = Ccws::new(seed, num_hashes)
+                .with_weight_scale(config.ccws_weight_scale)
+                .expect("valid scale");
+            (0..num_hashes)
+                .map(|d| {
+                    let (k, t, a) = set
+                        .iter()
+                        .map(|(k, s)| {
+                            let (t, _, a) = ccws.element_sample(d, k, s);
+                            (k, t, a)
+                        })
+                        .min_by(|x, y| x.2.total_cmp(&y.2))
+                        .expect("non-empty");
+                    if a.is_infinite() {
+                        pack3(d as u64, k ^ 0xDEAD, u64::MAX)
+                    } else {
+                        pack3(d as u64, k, encode_step(t))
+                    }
+                })
+                .collect()
+        }
+        Algorithm::Pcws => {
+            let pcws = Pcws::new(seed, num_hashes);
+            (0..num_hashes)
+                .map(|d| {
+                    let (k, t, _) = set
+                        .iter()
+                        .map(|(k, s)| {
+                            let (t, _, a) = pcws.element_sample(d, k, s);
+                            (k, t, a)
+                        })
+                        .min_by(|x, y| x.2.total_cmp(&y.2))
+                        .expect("non-empty");
+                    pack3(d as u64, k, encode_step(t))
+                })
+                .collect()
+        }
+        Algorithm::I2cws => {
+            let i2 = I2cws::new(seed, num_hashes);
+            (0..num_hashes)
+                .map(|d| {
+                    let (k, s, _) = set
+                        .iter()
+                        .map(|(k, s)| (k, s, i2.element_z(d, k, s).1))
+                        .min_by(|x, y| x.2.total_cmp(&y.2))
+                        .expect("non-empty");
+                    let (t1, _) = i2.element_y(d, k, s);
+                    pack3(d as u64, k, encode_step(t1))
+                })
+                .collect()
+        }
+        _ => return None,
+    };
+    Some(codes)
 }
 
 /// Run the full matrix once, asserting kernel/per-call parity case by
@@ -89,9 +205,28 @@ fn run_matrix() -> String {
                         "{} seed={seed} D={d} set#{case}: sketch_batch_into diverged",
                         algorithm.name()
                     );
-                    // Two dump lines per case: single + batch path.
-                    for (path, codes) in
-                        [("single", plain.codes.as_slice()), ("batch", batch.row(case))]
+                    // For the vectorized algorithms, re-derive the codes
+                    // through the per-element scalar APIs: the lane kernels
+                    // must be byte-identical to the scalar path.
+                    let reference = scalar_reference(algorithm, seed, d, &config, set);
+                    if let Some(reference) = &reference {
+                        assert_eq!(
+                            &plain.codes,
+                            reference,
+                            "{} seed={seed} D={d} set#{case}: lane kernel diverged from \
+                             the scalar reference",
+                            algorithm.name()
+                        );
+                    }
+                    // Dump lines per case: single + batch path, plus the
+                    // scalar reference where one exists.
+                    for (path, codes) in [
+                        Some(("single", plain.codes.as_slice())),
+                        Some(("batch", batch.row(case))),
+                        reference.as_deref().map(|r| ("scalar", r)),
+                    ]
+                    .into_iter()
+                    .flatten()
                     {
                         write!(dump, "{} {seed:#x} D{d} set{case} {path}", algorithm.name())
                             .expect("write");
@@ -110,8 +245,9 @@ fn run_matrix() -> String {
 #[test]
 fn kernel_paths_are_byte_identical_across_the_catalog() {
     let dump = run_matrix();
-    // 15 algorithms × 2 seeds × 3 D × 5 sets × (single + batch).
-    assert_eq!(dump.lines().count(), 15 * 2 * 3 * 5 * 2, "matrix shrank");
+    // 15 algorithms × 2 seeds × 3 D × 5 sets × (single + batch), plus a
+    // scalar-reference line for each of the 7 vectorized algorithms.
+    assert_eq!(dump.lines().count(), 15 * 2 * 3 * 5 * 2 + 7 * 2 * 3 * 5, "matrix shrank");
     // Byte-stability: an independent second pass (fresh scratch, fresh
     // code batch, fresh sketchers) must reproduce the dump exactly.
     let again = run_matrix();

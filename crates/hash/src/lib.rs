@@ -36,6 +36,6 @@ pub mod unit;
 pub mod universal;
 
 pub use hash128::Hash128;
-pub use seeded::SeededHash;
+pub use seeded::{HashPrefix, SeededHash, WordChain};
 pub use unit::{hash01, to_unit_exclusive, to_unit_inclusive, to_unit_open};
 pub use universal::{MersennePermutation, MERSENNE_61};

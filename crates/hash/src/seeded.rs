@@ -5,7 +5,8 @@
 //! constant plus its coordinates (hash index `d`, element `k`, step `t`),
 //! so that e.g. the `β_k` of ICWS and the `β_{k1}` of I²CWS never alias.
 
-use crate::mix::{combine, combine_all, fmix64, splitmix64};
+use crate::mix::{combine, combine_all, fmix64, splitmix64, GOLDEN_GAMMA};
+use crate::unit::to_unit_open;
 
 /// Deterministic keyed hash oracle.
 ///
@@ -121,6 +122,131 @@ impl SeededHash {
     #[must_use]
     pub fn unit4(&self, a: u64, b: u64, c: u64, d: u64) -> f64 {
         crate::unit::to_unit_open(self.hash4(a, b, c, d))
+    }
+
+    /// Capture the combine chain over one leading word.
+    ///
+    /// `prefix1(a).finish(b)` is bit-identical to [`Self::hash2`]`(a, b)`;
+    /// the kernels hoist the prefix out of their inner loops so each draw
+    /// costs one combine plus one finalize instead of the full chain.
+    #[inline]
+    #[must_use]
+    pub fn prefix1(&self, a: u64) -> HashPrefix {
+        HashPrefix { acc: combine(self.state, a) }
+    }
+
+    /// Capture the combine chain over two leading words.
+    ///
+    /// `prefix2(a, b).finish(c)` is bit-identical to [`Self::hash3`]`(a, b, c)`.
+    #[inline]
+    #[must_use]
+    pub fn prefix2(&self, a: u64, b: u64) -> HashPrefix {
+        HashPrefix { acc: combine(combine(self.state, a), b) }
+    }
+
+    /// Start an incremental word chain, bit-identical to [`Self::hash_words`]
+    /// over the words later pushed.
+    ///
+    /// `chain().push(a).push(b).finish()` equals `hash_words(&[a, b])`; a
+    /// partially-built chain is `Copy`, so a shared `[role, d, k]` prefix can
+    /// be walked down many `(j, t)` continuations without re-mixing it.
+    #[inline]
+    #[must_use]
+    pub fn chain(&self) -> WordChain {
+        WordChain { acc: splitmix64(self.state ^ 0x243F_6A88_85A3_08D3), index: 0 }
+    }
+}
+
+/// A partially-applied hash: the combine chain up to (but excluding) the
+/// final word, produced by [`SeededHash::prefix1`]/[`SeededHash::prefix2`].
+///
+/// Finishing with the last word reproduces the corresponding `hashN` chain
+/// bit for bit — this is the lane-parallel batched entry point the
+/// vectorized sketching kernels are built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPrefix {
+    acc: u64,
+}
+
+impl HashPrefix {
+    /// Extend the prefix by one more word (equivalent to having passed it to
+    /// `prefixN` up front).
+    #[inline]
+    #[must_use]
+    pub fn push(self, w: u64) -> Self {
+        Self { acc: combine(self.acc, w) }
+    }
+
+    /// Finish with the final word — bit-identical to the full scalar chain.
+    #[inline]
+    #[must_use]
+    pub fn finish(self, w: u64) -> u64 {
+        fmix64(combine(self.acc, w))
+    }
+
+    /// Finish into a uniform `f64` in `(0, 1)`, like the `unitN` methods.
+    #[inline]
+    #[must_use]
+    pub fn finish_unit(self, w: u64) -> f64 {
+        to_unit_open(self.finish(w))
+    }
+
+    /// Lane-parallel finish: `out[i] = finish(keys[i])`.
+    ///
+    /// Processes the whole key slice in one branch-free pass so the combine
+    /// and finalizer arithmetic autovectorizes 4/8 lanes at a time. Only the
+    /// shorter of the two slices is written.
+    #[inline]
+    pub fn finish_lanes(self, keys: &[u64], out: &mut [u64]) {
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = fmix64(combine(self.acc, k));
+        }
+    }
+
+    /// Lane-parallel finish into uniform `f64` lanes in `(0, 1)`.
+    #[inline]
+    pub fn finish_unit_lanes(self, keys: &[u64], out: &mut [f64]) {
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = to_unit_open(fmix64(combine(self.acc, k)));
+        }
+    }
+}
+
+/// An incremental [`SeededHash::hash_words`] computation.
+///
+/// Pushing words one at a time reproduces `hash_words` bit for bit; because
+/// the value is `Copy`, a common word prefix (say `[role, d, k]`) is mixed
+/// once and reused across every continuation — the CWS interval-record walk
+/// uses this to cut per-draw hashing from a five-word chain to two combines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordChain {
+    acc: u64,
+    index: u64,
+}
+
+impl WordChain {
+    /// Append the next word to the chain.
+    #[inline]
+    #[must_use]
+    pub fn push(self, w: u64) -> Self {
+        Self {
+            acc: combine(self.acc, w ^ self.index.wrapping_mul(GOLDEN_GAMMA)),
+            index: self.index + 1,
+        }
+    }
+
+    /// Finalize — bit-identical to `hash_words` over the pushed words.
+    #[inline]
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        fmix64(self.acc)
+    }
+
+    /// Finalize into a uniform `f64` in `(0, 1)`.
+    #[inline]
+    #[must_use]
+    pub fn finish_unit(self) -> f64 {
+        to_unit_open(self.finish())
     }
 }
 
@@ -297,6 +423,63 @@ mod tests {
             let z = (f64::from(c) - expect) / (expect * (1.0 - 1.0 / n as f64)).sqrt();
             assert!(z.abs() < 5.0, "element {k} won {c} times (z = {z:.2})");
         }
+    }
+
+    #[test]
+    fn prefix_reproduces_fixed_arity_chains() {
+        let h = SeededHash::new(0xFACE);
+        for a in [0u64, 1, 0x5EED, u64::MAX] {
+            for b in [0u64, 7, 0xDEAD_BEEF] {
+                assert_eq!(h.prefix1(a).finish(b), h.hash2(a, b));
+                assert_eq!(h.prefix1(a).finish_unit(b).to_bits(), h.unit2(a, b).to_bits());
+                for c in [0u64, 3, u64::MAX - 1] {
+                    assert_eq!(h.prefix2(a, b).finish(c), h.hash3(a, b, c));
+                    assert_eq!(h.prefix1(a).push(b).finish(c), h.hash3(a, b, c));
+                    assert_eq!(
+                        h.prefix2(a, b).finish_unit(c).to_bits(),
+                        h.unit3(a, b, c).to_bits()
+                    );
+                    assert_eq!(h.prefix2(a, b).push(c).finish(0), h.hash4(a, b, c, 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_lanes_match_scalar_finish() {
+        let h = SeededHash::new(42);
+        let p = h.prefix2(0x0A, 17);
+        let keys: Vec<u64> = (0..300u64).map(|k| k.wrapping_mul(0x9E37)).collect();
+        let mut words = vec![0u64; keys.len()];
+        p.finish_lanes(&keys, &mut words);
+        let mut units = vec![0.0f64; keys.len()];
+        p.finish_unit_lanes(&keys, &mut units);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(words[i], h.hash3(0x0A, 17, k), "lane {i}");
+            assert_eq!(units[i].to_bits(), h.unit3(0x0A, 17, k).to_bits(), "unit lane {i}");
+        }
+    }
+
+    #[test]
+    fn word_chain_matches_hash_words() {
+        let h = SeededHash::new(0xC1A0);
+        assert_eq!(h.chain().finish(), h.hash_words(&[]));
+        let words = [0x06u64, 3, 9, u64::MAX, 0, 0x1234_5678_9ABC_DEF0];
+        for n in 0..=words.len() {
+            let mut chain = h.chain();
+            for &w in &words[..n] {
+                chain = chain.push(w);
+            }
+            assert_eq!(chain.finish(), h.hash_words(&words[..n]), "length {n}");
+            assert_eq!(
+                chain.finish_unit().to_bits(),
+                crate::unit::to_unit_open(h.hash_words(&words[..n])).to_bits()
+            );
+        }
+        // A copied prefix walks two continuations independently.
+        let prefix = h.chain().push(7).push(8);
+        assert_eq!(prefix.push(1).finish(), h.hash_words(&[7, 8, 1]));
+        assert_eq!(prefix.push(2).finish(), h.hash_words(&[7, 8, 2]));
     }
 
     #[test]

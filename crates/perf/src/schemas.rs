@@ -118,6 +118,15 @@ fn ablation_small_d() -> Schema {
     ]))
 }
 
+fn ablation_fastmath() -> Schema {
+    Schema::array(Schema::object(vec![
+        ("d", Schema::UInt),
+        ("exact_mse", Schema::Number),
+        ("fast_mse", Schema::Number),
+        ("max_estimate_gap", Schema::Number),
+    ]))
+}
+
 fn bias_study() -> Schema {
     Schema::array(Schema::object(vec![
         ("algorithm", Schema::Str),
@@ -242,6 +251,7 @@ pub fn schema_for(file_name: &str) -> Option<Schema> {
     match file_name {
         "ablation_bbit.json" => Some(ablation_bbit()),
         "ablation_ccws_pairing.json" => Some(ablation_ccws_pairing()),
+        "ablation_fastmath.json" => Some(ablation_fastmath()),
         "ablation_quantization.json" => Some(ablation_quantization()),
         "ablation_small_d.json" => Some(ablation_small_d()),
         "bias_study.json" => Some(bias_study()),
@@ -251,30 +261,49 @@ pub fn schema_for(file_name: &str) -> Option<Schema> {
     }
 }
 
-/// Validate every `*.json` directly under `dir` (checkpoint logs live in
-/// subdirectories and are line-oriented, so they are out of scope here).
+/// Validate every `*.json` directly under `dir`, plus the perf-trajectory
+/// points under `dir/trajectory/` (checkpoint logs live in other
+/// subdirectories and are line-oriented, so they stay out of scope).
 ///
 /// Returns `(file_name, outcome)` per file, sorted by name; an unknown
 /// file name or an unreadable/invalid file is an `Err` outcome.
 #[must_use]
 pub fn validate_results_dir(dir: &Path) -> Vec<(String, Result<(), String>)> {
-    let mut names: Vec<String> = match std::fs::read_dir(dir) {
-        Ok(entries) => entries
+    let list = |d: &Path| -> Result<Vec<String>, String> {
+        let entries = std::fs::read_dir(d).map_err(|e| format!("unreadable: {e}"))?;
+        let mut names: Vec<String> = entries
             .filter_map(Result::ok)
             .filter(|e| e.path().is_file())
             .filter_map(|e| e.file_name().into_string().ok())
             .filter(|n| n.ends_with(".json"))
-            .collect(),
-        Err(e) => return vec![(dir.display().to_string(), Err(format!("unreadable: {e}")))],
+            .collect();
+        names.sort();
+        Ok(names)
     };
-    names.sort();
-    names
+    let names = match list(dir) {
+        Ok(names) => names,
+        Err(e) => return vec![(dir.display().to_string(), Err(e))],
+    };
+    let mut outcomes: Vec<(String, Result<(), String>)> = names
         .into_iter()
         .map(|name| {
             let outcome = validate_file(dir, &name);
             (name, outcome)
         })
-        .collect()
+        .collect();
+    // Trajectory points keep their family's file-name prefix, so they ride
+    // the same schema lookup; they are listed as `trajectory/<name>`.
+    let traj = dir.join("trajectory");
+    if traj.is_dir() {
+        match list(&traj) {
+            Ok(names) => outcomes.extend(names.into_iter().map(|name| {
+                let outcome = validate_file(&traj, &name);
+                (format!("trajectory/{name}"), outcome)
+            })),
+            Err(e) => outcomes.push((traj.display().to_string(), Err(e))),
+        }
+    }
+    outcomes
 }
 
 fn validate_file(dir: &Path, name: &str) -> Result<(), String> {
@@ -300,13 +329,22 @@ mod tests {
     }
 
     #[test]
-    fn checked_in_trajectory_has_dart_beating_the_cws_family_at_d128() {
-        // The "beat the paper" acceptance bar, pinned against the
-        // checked-in trajectory point: on the Table-4 D=128 shape,
-        // DartMinHash's O(n + D log D) sketching must undercut every
-        // CWS-family O(n·D) sketcher. Read from the report so a baseline
-        // refresh that loses the head-to-head block (or the advantage)
-        // fails here, not in a human's eyeball diff.
+    fn checked_in_head_to_head_ordering_holds_at_d128() {
+        // The head-to-head acceptance bar, pinned against the checked-in
+        // benchmark point on the Table-4 D=128 shape. Two orderings:
+        //
+        // 1. DartMinHash's O(n + D log D) sketching must undercut every
+        //    interval-walk sketcher (the O(n·D·walk) rejection/active-index
+        //    family), whose serial per-(element, d) loops resist
+        //    vectorization.
+        // 2. The fused closed-form CWS kernels (ICWS, 0-bit-CWS, CCWS) must
+        //    undercut DartMinHash — the vectorized register-pass layout
+        //    inverted the pre-vectorization ordering (see
+        //    results/trajectory/ and DESIGN.md "Vectorized kernels").
+        //
+        // Read from the report so a baseline refresh that loses the
+        // head-to-head block (or either advantage) fails here, not in a
+        // human's eyeball diff.
         let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_fig9_hot.json");
         let text = std::fs::read_to_string(&path).expect("BENCH_fig9_hot.json is checked in");
         let report: crate::report::Report =
@@ -321,12 +359,19 @@ mod tests {
                 .median_ns
         };
         let dart = median("DartMinHash");
-        for cws in wmh_core::Algorithm::CWS_SCHEME {
-            let rival = median(cws.name());
+        for walker in ["CWS", "Haveliwala2000", "Haeupler2014", "Gollapudi2006-Active"] {
+            let rival = median(walker);
             assert!(
                 dart < rival,
-                "DartMinHash ({dart:.0} ns) must beat {} ({rival:.0} ns) at D=128",
-                cws.name()
+                "DartMinHash ({dart:.0} ns) must beat interval-walker {walker} ({rival:.0} ns) \
+                 at D=128"
+            );
+        }
+        for fused in ["ICWS", "0-bit-CWS", "CCWS"] {
+            let ours = median(fused);
+            assert!(
+                ours < dart,
+                "vectorized {fused} ({ours:.0} ns) must beat DartMinHash ({dart:.0} ns) at D=128"
             );
         }
     }

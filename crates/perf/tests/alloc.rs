@@ -5,6 +5,12 @@
 //! `alloc`/`alloc_zeroed`/`realloc`. The whole check lives in a single
 //! `#[test]` function: the counter is process-global, so concurrent test
 //! threads would pollute each other's deltas.
+//!
+//! Coverage spans the three vectorized kernel shapes: MinHash (pure hash
+//! race), ICWS (five-lane closed form), and CWS (chained interval walk over
+//! the `exponent` lane). The lane buffers added for vectorization live
+//! inside [`SketchScratch`], so this test is also the proof that the SoA
+//! scratch reuses its capacity across warm calls.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,9 +65,10 @@ fn batch_paths_do_not_allocate_after_warmup() {
     let docs = docs();
     let config = AlgorithmConfig::default();
 
-    for algorithm in [Algorithm::MinHash, Algorithm::Icws] {
-        let sketcher =
-            algorithm.build(7, 64, &config).expect("MinHash and ICWS build without preconditions");
+    for algorithm in [Algorithm::MinHash, Algorithm::Icws, Algorithm::Cws] {
+        let sketcher = algorithm
+            .build(7, 64, &config)
+            .expect("MinHash, ICWS, and CWS build without preconditions");
         let mut scratch = SketchScratch::new();
         let mut batch = CodeBatch::new();
 

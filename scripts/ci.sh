@@ -3,162 +3,348 @@
 # the workspace has no registry dependencies (wmh-bench, which pulls
 # criterion, lives in its own excluded workspace under crates/bench/).
 #
-# Usage: scripts/ci.sh [--quick]
+# Usage: scripts/ci.sh [--quick] [--only STEP] [--list]
 #
 # --quick is the inner-loop mode (see CONTRIBUTING.md): debug builds and
 # scaled-down statistical suites, so it finishes in a few minutes. It
 # skips the perf gate — debug-build timings say nothing about release
 # performance. The full (default) mode is the merge gate.
+#
+# --only STEP runs a single named step (combine with --quick for a fast
+# debug-build iteration on one gate); --list prints the step names with
+# one-line descriptions and exits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-QUICK=0
-if [[ "${1:-}" == "--quick" ]]; then
-  QUICK=1
-elif [[ $# -gt 0 ]]; then
-  echo "usage: scripts/ci.sh [--quick]" >&2
-  exit 2
-fi
+usage() { echo "usage: scripts/ci.sh [--quick] [--only STEP] [--list]" >&2; }
 
+QUICK=0
+ONLY=""
+LIST=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --only)
+      [[ $# -ge 2 ]] || { usage; exit 2; }
+      ONLY="$2"
+      shift
+      ;;
+    --list) LIST=1 ;;
+    *)
+      usage
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+FULL_CHECK_CASES=6
+FULL_CHAOS_CASES=100000
 if [[ "$QUICK" == "1" ]]; then
   RELEASE=()
   CHECK_CASES_DEFAULT=2
   CHAOS_CASES_DEFAULT=5000
 else
   RELEASE=(--release)
-  CHECK_CASES_DEFAULT=6
-  CHAOS_CASES_DEFAULT=100000
+  CHECK_CASES_DEFAULT=$FULL_CHECK_CASES
+  CHAOS_CASES_DEFAULT=$FULL_CHAOS_CASES
 fi
+
+# Effective suite-scaling env, exported once so EVERY cargo invocation
+# below sees the same values — including the plain `--workspace` test run,
+# which executes the conformance/chaos binaries too. (Before this export
+# the scaled counts were set inline on the dedicated steps only, so the
+# workspace run silently used the in-code defaults: 24 conformance reps
+# even under --quick. The env-scaling step asserts this plumbing.)
+USER_CHECK_CASES="${WMH_CHECK_CASES:-}"
+USER_CHAOS_CASES="${WMH_CHAOS_CASES:-}"
+export WMH_CHECK_CASES="${WMH_CHECK_CASES:-$CHECK_CASES_DEFAULT}"
+export WMH_CHAOS_CASES="${WMH_CHAOS_CASES:-$CHAOS_CASES_DEFAULT}"
+export WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}"
 
 run() {
   echo "==> $*"
   "$@"
 }
 
-run cargo build "${RELEASE[@]}" --workspace
-run cargo test "${RELEASE[@]}" --workspace -q
+# --- step registry -----------------------------------------------------
+# Each step is a function step_<name> (dashes become underscores); the
+# registry drives --list, --only validation, and the default full order.
+STEP_NAMES=()
+STEP_DESCS=()
+register() {
+  STEP_NAMES+=("$1")
+  STEP_DESCS+=("$2")
+}
+
+register env-scaling "assert the exported WMH_*_CASES plumbing and --quick scaling"
+register build "cargo build across the workspace"
+register test "cargo test across the workspace"
+register conformance "estimator-conformance suite (WMH_CHECK_CASES scales it)"
+register catalog "CLI catalog-count pin (expect 15 algorithms)"
+register panic-gate "static no-panic gate over the sketching core"
+register chaos "adversarial chaos suite (WMH_CHAOS_CASES scales it)"
+register determinism "1-vs-N-thread byte-identity for the parallel sweep"
+register failpoints "wmh-fault scenario/registry suite with failpoints on"
+register chaos-soak "Figure-8 sweep under randomized transient fault schedules"
+register serve-soak "wmh-serve quarantine/recovery chaos soak"
+register mutation-soak "WAL kill-resume byte-identity at every commit failpoint"
+register snapshot-soak "durability-lifecycle kill-resume soak"
+register scrub-gate "flipped-bit detection/quarantine/heal, called out by name"
+register serve-smoke "loopback server answers every outcome class typed"
+register mutation-smoke "live-mutation soak over the wire with kill-resume"
+register fast-math "wmh-core suite with the opt-in fast-math feature compiled in"
+register schema-check "every checked-in results/*.json matches its schema"
+register perf-gate "wmh-perf quick suite vs results/BENCH_baseline.json (full mode only)"
+register perf-trajectory "compare the two newest checked-in trajectory points"
+register fmt "cargo fmt --check (advisory if rustfmt missing)"
+register clippy "cargo clippy -D warnings (advisory if clippy missing)"
+
+step_env_scaling() {
+  # A child process must observe the exported effective values (this is
+  # what the workspace test run sees), and --quick must scale strictly
+  # below the full-mode counts unless the caller overrode them.
+  local seen_check seen_chaos
+  seen_check="$(bash -c 'printf %s "${WMH_CHECK_CASES:-unset}"')"
+  seen_chaos="$(bash -c 'printf %s "${WMH_CHAOS_CASES:-unset}"')"
+  if [[ "$seen_check" != "$WMH_CHECK_CASES" || "$seen_chaos" != "$WMH_CHAOS_CASES" ]]; then
+    echo "env plumbing broken: child saw WMH_CHECK_CASES=$seen_check" \
+      "WMH_CHAOS_CASES=$seen_chaos (wanted $WMH_CHECK_CASES / $WMH_CHAOS_CASES)" >&2
+    return 1
+  fi
+  if [[ "$QUICK" == "1" && -z "$USER_CHECK_CASES" ]] \
+    && ((WMH_CHECK_CASES >= FULL_CHECK_CASES)); then
+    echo "--quick did not scale WMH_CHECK_CASES ($WMH_CHECK_CASES >= $FULL_CHECK_CASES)" >&2
+    return 1
+  fi
+  if [[ "$QUICK" == "1" && -z "$USER_CHAOS_CASES" ]] \
+    && ((WMH_CHAOS_CASES >= FULL_CHAOS_CASES)); then
+    echo "--quick did not scale WMH_CHAOS_CASES ($WMH_CHAOS_CASES >= $FULL_CHAOS_CASES)" >&2
+    return 1
+  fi
+  echo "    effective WMH_CHECK_CASES=$WMH_CHECK_CASES" \
+    "WMH_CHAOS_CASES=$WMH_CHAOS_CASES WMH_FAULT_SEED=$WMH_FAULT_SEED (quick=$QUICK)"
+}
+
+step_build() {
+  run cargo build "${RELEASE[@]}" --workspace
+}
+
+step_test() {
+  run cargo test "${RELEASE[@]}" --workspace -q
+}
 
 # Estimator-conformance suite. WMH_CHECK_CASES scales it (the CLT bound
 # tightens as repetitions grow, so a nightly run with a larger count is a
 # stricter gate, not just a longer one).
-run env WMH_CHECK_CASES="${WMH_CHECK_CASES:-$CHECK_CASES_DEFAULT}" \
-  cargo test "${RELEASE[@]}" -p wmh-core --test conformance -q
+step_conformance() {
+  run cargo test "${RELEASE[@]}" -p wmh-core --test conformance -q
+}
 
 # Catalog-count pin: the CLI must list exactly the 15 registered algorithms
 # (the paper's 13 + DartMinHash/BagMinHash). A silently unregistered
 # sketcher would shrink every ALL-driven suite without failing any test —
 # this step (and conformance's catalog_pins_fifteen_algorithms) makes that
 # loud.
-echo "==> catalog count pin (expect 15 algorithms)"
-ALGO_COUNT="$(cargo run "${RELEASE[@]}" -q -- algorithms | wc -l)"
-if [[ "$ALGO_COUNT" != "15" ]]; then
-  echo "catalog lists $ALGO_COUNT algorithms, expected 15" >&2
-  exit 1
-fi
+step_catalog() {
+  echo "==> catalog count pin (expect 15 algorithms)"
+  local algo_count
+  algo_count="$(cargo run "${RELEASE[@]}" -q -- algorithms | wc -l)"
+  if [[ "$algo_count" != "15" ]]; then
+    echo "catalog lists $algo_count algorithms, expected 15" >&2
+    return 1
+  fi
+}
 
 # Static no-panic gate: non-test code in the sketching core must not
 # unwrap/expect/panic outside the checked-in allowlist
 # (scripts/panic_allowlist.txt).
-run scripts/panic_gate.sh
+step_panic_gate() {
+  run scripts/panic_gate.sh
+}
 
 # Adversarial chaos suite: hostile weights and index layouts against all
 # 15 algorithms — no panic, no hang, typed errors or full-length
 # deterministic sketches only. WMH_CHAOS_CASES scales it.
-run env WMH_CHAOS_CASES="${WMH_CHAOS_CASES:-$CHAOS_CASES_DEFAULT}" \
-  cargo test "${RELEASE[@]}" -p wmh-core --test chaos -q
+step_chaos() {
+  run cargo test "${RELEASE[@]}" -p wmh-core --test chaos -q
+}
 
 # 1-vs-N-thread determinism: the parallel sweep must return byte-identical
 # results at every thread count, and the committer must never interleave
 # partial checkpoint lines.
-run cargo test "${RELEASE[@]}" -p wmh-eval --test determinism -q
+step_determinism() {
+  run cargo test "${RELEASE[@]}" -p wmh-eval --test determinism -q
+}
 
 # Failpoint machinery: the wmh-fault crate's own scenario/registry suite
 # (points compile to no-ops without the feature, so it must be explicit).
-run cargo test "${RELEASE[@]}" -p wmh-fault --features failpoints -q
+step_failpoints() {
+  run cargo test "${RELEASE[@]}" -p wmh-fault --features failpoints -q
+}
 
 # Chaos soak: the Figure 8 sweep under randomized transient fault schedules
 # must finish byte-identical to a fault-free run at 1 and 8 threads, and
 # timed-out / quarantined cells must stay terminal across resume. The soak
-# runs its built-in seeds plus the pinned WMH_FAULT_SEED below; override the
-# pin to probe new schedules (determinism holds for any seed, so a failure
-# under a fresh seed is a real bug, not flakiness).
-run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
-  cargo test "${RELEASE[@]}" -p wmh-eval --features wmh-fault/failpoints \
-  --test chaos_soak --test supervision -q
+# runs its built-in seeds plus the pinned WMH_FAULT_SEED exported above;
+# override the pin to probe new schedules (determinism holds for any seed,
+# so a failure under a fresh seed is a real bug, not flakiness).
+step_chaos_soak() {
+  run cargo test "${RELEASE[@]}" -p wmh-eval --features wmh-fault/failpoints \
+    --test chaos_soak --test supervision -q
+}
 
 # Serving chaos soak: quarantine/recovery byte-identity, typed outcomes
 # under injected shard/admission faults, and supervised ingest retry — the
 # wmh-serve robustness envelope under the same pinned seed.
-run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
-  cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
-  --test chaos_soak -q
+step_serve_soak() {
+  run cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
+    --test chaos_soak -q
+}
 
 # Mutation chaos soak: kill-resume recovery over the write-ahead log must
 # replay byte-identical with faults injected at every commit-path failpoint
 # (serve::wal_append, serve::wal_fsync, serve::apply, serve::reshard) at
 # 1/2/8 shards; torn tails discard, exhausted appends flip read-only, and
 # re-shards converge byte-identical to from-scratch partitions.
-run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
-  cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
-  --test mutation_soak -q
+step_mutation_soak() {
+  run cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
+    --test mutation_soak -q
+}
 
 # Durability-lifecycle soak: kill-resume byte-identity with faults at every
 # lifecycle failpoint (serve::snapshot_write/fsync/rename, serve::wal_rotate,
 # serve::scrub) at 1/2/8 shards; compaction-bounded replay pinned by the
 # serve::wal_replay hit counter; one-generation fallback from a flipped bit;
 # ENOSPC-style snapshot aborts; half-open write-gate recovery.
-run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
-  cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
-  --test snapshot_soak -q
+step_snapshot_soak() {
+  run cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
+    --test snapshot_soak -q
+}
 
 # Scrub gate, called out by name: a flipped bit in a snapshot AND a sealed
 # WAL segment must be detected, quarantined to *.bad, and healed with a
 # fresh snapshot under the pinned seed — query bytes unchanged.
-run env WMH_FAULT_SEED="${WMH_FAULT_SEED:-0xC1A05}" \
-  cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
-  --test snapshot_soak scrub_detects_flipped_bits_and_heals -q
+step_scrub_gate() {
+  run cargo test "${RELEASE[@]}" -p wmh-serve --features wmh-fault/failpoints \
+    --test snapshot_soak scrub_detects_flipped_bits_and_heals -q
+}
 
 # Serving smoke: a real loopback server must answer every outcome class
 # typed — healthy, forced deadline miss, forced overload, bad request, and
 # a mutation against a read-only service.
-if [[ "$QUICK" == "1" ]]; then
-  run cargo run -q -p wmh-serve -- smoke --quick
-else
-  run cargo run "${RELEASE[@]}" -q -p wmh-serve -- smoke
-fi
+step_serve_smoke() {
+  if [[ "$QUICK" == "1" ]]; then
+    run cargo run -q -p wmh-serve -- smoke --quick
+  else
+    run cargo run "${RELEASE[@]}" -q -p wmh-serve -- smoke
+  fi
+}
 
 # Live-mutation soak over the wire: the whole mutation surface against a
 # WAL-backed loopback server, then kill-resume and a live re-shard both
 # proven byte-identical end to end.
-if [[ "$QUICK" == "1" ]]; then
-  run cargo run -q -p wmh-serve -- mutation-soak --quick
-else
-  run cargo run "${RELEASE[@]}" -q -p wmh-serve -- mutation-soak
-fi
+step_mutation_smoke() {
+  if [[ "$QUICK" == "1" ]]; then
+    run cargo run -q -p wmh-serve -- mutation-soak --quick
+  else
+    run cargo run "${RELEASE[@]}" -q -p wmh-serve -- mutation-soak
+  fi
+}
 
-# Every checked-in results/*.json must match its registered schema
-# (crates/perf/src/schemas.rs); an unregistered file name is a failure.
-run cargo run "${RELEASE[@]}" -q -p wmh-perf --bin schema_check -- results
+# Fast-math profile: the opt-in polynomial ln/exp feature must compile and
+# hold the whole wmh-core wall — conformance CLT bounds, the scratch_parity
+# differential dump, and the catalog pin that the DEFAULT build stays on
+# exact libm (the feature only unlocks AlgorithmConfig::fast_math; it must
+# never change results unless explicitly requested).
+step_fast_math() {
+  run cargo test "${RELEASE[@]}" -p wmh-core --features fast-math -q
+}
+
+# Every checked-in results/*.json (and results/trajectory/*.json) must
+# match its registered schema (crates/perf/src/schemas.rs); an
+# unregistered file name is a failure.
+step_schema_check() {
+  run cargo run "${RELEASE[@]}" -q -p wmh-perf --bin schema_check -- results
+}
 
 # Performance gate: the wmh-perf quick suite vs results/BENCH_baseline.json
 # (skippable via WMH_SKIP_PERF=1; tolerance via WMH_PERF_TOL).
-if [[ "$QUICK" == "1" ]]; then
-  echo "==> skipping perf gate (--quick: debug timings are not gateable)"
-else
-  run scripts/perf_gate.sh
-fi
+step_perf_gate() {
+  if [[ "$QUICK" == "1" ]]; then
+    echo "==> skipping perf gate (--quick: debug timings are not gateable)"
+  else
+    run scripts/perf_gate.sh
+  fi
+}
+
+# Perf trajectory: the two newest checked-in BENCH_fig9_hot points under
+# results/trajectory/ must compare clean — no workload regressed beyond
+# WMH_PERF_TOL between consecutive points, and none disappeared (coverage
+# drop). This gates the history itself, not the current machine: both
+# inputs are checked-in files, so it runs in --quick mode too. After an
+# intentional perf change, append a new numbered point alongside the
+# refreshed results/BENCH_fig9_hot.json rather than rewriting old ones.
+step_perf_trajectory() {
+  local points=(results/trajectory/BENCH_fig9_hot_*.json)
+  if ((${#points[@]} < 2)); then
+    echo "perf-trajectory: need >=2 checked-in points in results/trajectory/," \
+      "found ${#points[@]}" >&2
+    return 1
+  fi
+  local prev="${points[-2]}" newest="${points[-1]}"
+  run cargo run "${RELEASE[@]}" -q -p wmh-perf --bin wmh-perf -- compare "$prev" "$newest" \
+    --tolerance "${WMH_PERF_TOL:-0.25}"
+}
 
 # Formatting and lints are advisory if the components are not installed
 # (minimal toolchains ship without rustfmt/clippy).
-if cargo fmt --version >/dev/null 2>&1; then
-  run cargo fmt --all -- --check
-else
-  echo "==> skipping cargo fmt (rustfmt not installed)"
+step_fmt() {
+  if cargo fmt --version >/dev/null 2>&1; then
+    run cargo fmt --all -- --check
+  else
+    echo "==> skipping cargo fmt (rustfmt not installed)"
+  fi
+}
+
+step_clippy() {
+  if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --workspace --all-targets -- -D warnings
+  else
+    echo "==> skipping cargo clippy (clippy not installed)"
+  fi
+}
+
+# --- driver ------------------------------------------------------------
+
+if [[ "$LIST" == "1" ]]; then
+  for i in "${!STEP_NAMES[@]}"; do
+    printf '%-16s %s\n' "${STEP_NAMES[$i]}" "${STEP_DESCS[$i]}"
+  done
+  exit 0
 fi
-if cargo clippy --version >/dev/null 2>&1; then
-  run cargo clippy --workspace --all-targets -- -D warnings
-else
-  echo "==> skipping cargo clippy (clippy not installed)"
+
+run_step() {
+  local fn="step_${1//-/_}"
+  "$fn"
+}
+
+if [[ -n "$ONLY" ]]; then
+  found=0
+  for name in "${STEP_NAMES[@]}"; do
+    [[ "$name" == "$ONLY" ]] && found=1
+  done
+  if [[ "$found" != "1" ]]; then
+    echo "unknown step '$ONLY' (scripts/ci.sh --list shows the names)" >&2
+    exit 2
+  fi
+  run_step "$ONLY"
+  echo "CI step '$ONLY' passed."
+  exit 0
 fi
+
+for name in "${STEP_NAMES[@]}"; do
+  run_step "$name"
+done
 
 echo "CI gate passed."
